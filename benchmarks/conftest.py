@@ -1,0 +1,50 @@
+"""Shared benchmark helpers: result tables written next to the suite.
+
+Every figure/table benchmark renders its rows with :func:`emit_table`, which
+both prints them (visible with ``pytest -s``) and persists them under
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable artefacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit_table(name: str, title: str, header: list[str], rows: list[list]) -> str:
+    """Format, print and persist one experiment table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    widths = [
+        max(len(str(header[i])), *(len(str(r[i])) for r in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+
+    def fmt(cells) -> str:
+        return "  ".join(str(c).ljust(w) for c, w in zip(cells, widths))
+
+    lines = [title, fmt(header), fmt(["-" * w for w in widths])]
+    lines += [fmt(r) for r in rows]
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)
+    return text
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def record(benchmark, fn=None) -> None:
+    """Attach a timing to a table/shape test.
+
+    pytest-benchmark skips tests that never touch the ``benchmark`` fixture
+    when invoked with ``--benchmark-only``; every experiment test calls this
+    so that ``pytest benchmarks/ --benchmark-only`` regenerates *all* figure
+    tables, not just the micro-timings.
+    """
+    benchmark.pedantic(fn or (lambda: None), rounds=1, iterations=1)

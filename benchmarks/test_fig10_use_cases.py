@@ -1,0 +1,129 @@
+"""Fig. 10 — instrumentation-optimisation overhead on the domain workloads.
+
+Regenerates the §5.3 volunteer-computing / pay-by-computation figure: for
+MSieve, the PC algorithm, SubsetSum and the Darknet-style classifier,
+runtime with naive / flow-based / loop-based instrumentation normalised to
+the uninstrumented run, on WASM and on WASM-SGX.
+
+Shape targets: overheads range roughly -7%..+34%; naive is worst (Darknet's
+tight loops: +34% in the paper); loop-based recovers to within a few percent
+(Darknet: +3-4%).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_table, record
+from repro.instrument import instrument_module
+from repro.instrument.weights import UNIT_WEIGHTS
+from repro.perf.model import Deployment, PerformanceModel, WorkloadRun
+from repro.workloads import DARKNET, MSIEVE, PC_ALGORITHM, SUBSET_SUM
+from repro.workloads.spec import WorkloadSpec
+from dataclasses import replace
+
+# smaller inputs than the specs' defaults keep the interpreted sweep tractable
+WORKLOADS: list[WorkloadSpec] = [
+    replace(MSIEVE, run=("factorize", (2 * 2 * 3 * 104729 * 130043,))),
+    replace(PC_ALGORITHM, run=("skeleton", (991,))),
+    replace(SUBSET_SUM, run=("search", (4242, 12, 150))),
+    DARKNET,
+]
+
+LEVELS = ["naive", "flow-based", "loop-based"]
+MODEL = PerformanceModel()
+
+
+def _cycles(spec: WorkloadSpec, level: str | None, deployment: Deployment) -> float:
+    module = spec.compile().clone()
+    if level is not None:
+        module = instrument_module(module, level, UNIT_WEIGHTS).module
+    run, _ = WorkloadRun.measure(
+        module,
+        spec.run[0],
+        spec.run[1],
+        setup=list(spec.setup),
+        footprint_bytes=spec.paper_footprint_bytes,
+        locality=spec.locality,
+    )
+    return MODEL.report(run, deployment).cycles
+
+
+@pytest.fixture(scope="module")
+def fig10_data():
+    data = {}
+    for spec in WORKLOADS:
+        for deployment in (Deployment.WASM, Deployment.WASM_SGX_HW):
+            base = _cycles(spec, None, deployment)
+            for level in LEVELS:
+                ratio = _cycles(spec, level, deployment) / base
+                data[(spec.name, deployment, level)] = ratio
+    return data
+
+
+def test_fig10_table(fig10_data, benchmark):
+    record(benchmark)
+    rows = []
+    for spec in WORKLOADS:
+        for deployment in (Deployment.WASM, Deployment.WASM_SGX_HW):
+            rows.append(
+                [spec.name, deployment.value]
+                + [round(fig10_data[(spec.name, deployment, lv)], 3) for lv in LEVELS]
+            )
+    emit_table(
+        "fig10_use_cases",
+        "Fig. 10: instrumented runtime normalised to uninstrumented",
+        ["workload", "deployment", "naive", "flow-based", "loop-based"],
+        rows,
+    )
+
+
+def test_fig10_overheads_in_paper_band(fig10_data, benchmark):
+    record(benchmark)
+    """All overheads within roughly -7%..+40% (paper: -7%..+34%)."""
+    for ratio in fig10_data.values():
+        assert 0.90 < ratio < 1.45
+
+
+def test_fig10_loop_based_beats_naive_everywhere(fig10_data, benchmark):
+    record(benchmark)
+    for spec in WORKLOADS:
+        for deployment in (Deployment.WASM, Deployment.WASM_SGX_HW):
+            naive = fig10_data[(spec.name, deployment, "naive")]
+            loop = fig10_data[(spec.name, deployment, "loop-based")]
+            assert loop <= naive + 1e-9
+
+
+def test_fig10_dense_loops_show_a_large_naive_penalty(fig10_data, benchmark):
+    record(benchmark)
+    """Dense loop nests make naive instrumentation costly (paper: up to +34%).
+
+    In the paper the worst case is Darknet; in this reproduction the densest
+    small basic blocks belong to subset-sum's bit sweep — the mechanism (and
+    the recovery below) is the same.
+    """
+    naive_overheads = {
+        spec.name: fig10_data[(spec.name, Deployment.WASM, "naive")]
+        for spec in WORKLOADS
+    }
+    assert max(naive_overheads.values()) > 1.15
+    # optimisation recovers the worst case to a small overhead
+    worst = max(naive_overheads, key=naive_overheads.get)
+    recovered = fig10_data[(worst, Deployment.WASM, "loop-based")]
+    assert recovered < naive_overheads[worst] - 0.05
+
+
+def test_fig10_loop_based_final_overhead_small(fig10_data, benchmark):
+    record(benchmark)
+    """Paper: loop-based cuts Darknet to +3% (WASM) / +4% (WASM-SGX)."""
+    for deployment in (Deployment.WASM, Deployment.WASM_SGX_HW):
+        ratio = fig10_data[("darknet", deployment, "loop-based")]
+        assert ratio < 1.12
+
+
+def test_fig10_benchmark_measurement(benchmark):
+    benchmark.pedantic(
+        lambda: _cycles(WORKLOADS[2], "loop-based", Deployment.WASM),
+        rounds=1,
+        iterations=1,
+    )

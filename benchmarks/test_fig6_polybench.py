@@ -1,0 +1,98 @@
+"""Fig. 6 — PolyBench/C normalised runtimes across the deployment ladder.
+
+Regenerates the paper's headline sandboxing-overhead figure: for each of the
+29 kernels, runtime normalised to native under WASM, WASM-SGX SIM, WASM-SGX
+HW and WASM-SGX HW with loop-based instrumentation.
+
+Shape targets (paper §5.1): WASM averages ~1.1x native; SGX-LKL simulation
+adds nothing; hardware mode averages ~2.1x with the large blow-ups coming
+from EPC paging on kernels whose LARGE-dataset footprints exceed 93 MiB;
+instrumentation adds 0-9% (avg ~4%) over WASM-SGX HW.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_table, record
+from repro.instrument import instrument_module
+from repro.instrument.weights import UNIT_WEIGHTS
+from repro.perf.model import Deployment, PerformanceModel, WorkloadRun
+from repro.workloads.polybench import fig6_order
+
+_MODEL = PerformanceModel()
+
+
+def _measure(spec, instrumented: bool) -> WorkloadRun:
+    module = spec.compile().clone()
+    if instrumented:
+        module = instrument_module(module, "loop-based", UNIT_WEIGHTS).module
+    run, _value = WorkloadRun.measure(
+        module,
+        spec.run[0],
+        spec.run[1],
+        setup=list(spec.setup),
+        footprint_bytes=spec.paper_footprint_bytes,
+        locality=spec.locality,
+    )
+    return run
+
+
+@pytest.fixture(scope="module")
+def fig6_rows():
+    rows = []
+    for spec in fig6_order():
+        run = _measure(spec, instrumented=False)
+        ratios = _MODEL.normalised_runtimes(run)
+        instrumented = _measure(spec, instrumented=True)
+        hw_instr = _MODEL.report(instrumented, Deployment.WASM_SGX_HW).cycles
+        native = _MODEL.native_cycles(run)
+        rows.append(
+            [
+                spec.name,
+                round(ratios[Deployment.WASM], 2),
+                round(ratios[Deployment.WASM_SGX_SIM], 2),
+                round(ratios[Deployment.WASM_SGX_HW], 2),
+                round(hw_instr / native, 2),
+            ]
+        )
+    return rows
+
+
+def test_fig6_table(fig6_rows, benchmark):
+    record(benchmark)
+    emit_table(
+        "fig6_polybench",
+        "Fig. 6: PolyBench normalised runtime (1.0 = native)",
+        ["kernel", "WASM", "WASM-SGX SIM", "WASM-SGX HW", "HW instrumented"],
+        fig6_rows,
+    )
+    wasm = [r[1] for r in fig6_rows]
+    sim = [r[2] for r in fig6_rows]
+    hw = [r[3] for r in fig6_rows]
+    instr = [r[4] for r in fig6_rows]
+
+    # WASM averages near the paper's 1.1x
+    assert 1.0 < sum(wasm) / len(wasm) < 1.6
+    # simulation mode tracks plain WASM closely
+    for w, s in zip(wasm, sim):
+        assert s == pytest.approx(w, rel=0.05)
+    # hardware mode costs more, with paging blow-ups on the big kernels
+    assert all(h >= s for h, s in zip(hw, sim))
+    big = {"2mm", "3mm", "gemm", "deriche"}
+    blowups = [r[3] / r[2] for r in fig6_rows if r[0] in big]
+    small = [r[3] / r[2] for r in fig6_rows if r[0] not in big]
+    assert min(blowups) > max(small) * 1.05
+    # instrumentation adds little over HW (paper: 0-9%, avg 4%; our coarser
+    # interpreter-granularity blocks push the worst case slightly higher)
+    overheads = [(i - h) / h for h, i in zip(hw, instr)]
+    assert max(overheads) < 0.18
+    assert sum(overheads) / len(overheads) < 0.08
+    # the paging-hit kernels land in the paper's 2-4x band, not orders more
+    assert 1.8 < max(hw) < 7.0
+
+
+def test_fig6_benchmark_one_kernel(benchmark):
+    """pytest-benchmark hook: time one representative kernel measurement."""
+    spec = fig6_order()[12]  # gemm
+    benchmark.pedantic(lambda: _measure(spec, False), rounds=1, iterations=1)

@@ -1,0 +1,125 @@
+"""Fig. 7 — cycles per WebAssembly instruction (127 plain instructions).
+
+Regenerates the microbenchmark of §5.2: for every non-control, non-memory
+instruction, a straight-line body executes it N times (operands from
+constants, results dropped); the per-instruction cost is the net cycle count
+divided by N.
+
+Shape targets: ~74% of instructions under 10 cycles; rounding modes
+(floor/ceil/trunc/nearest) in a middle band up to ~32; divisions/remainders
+and sqrt above 50.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_table, record
+from repro.wasm.costmodel import CostModel
+from repro.wasm.instructions import Instr, PLAIN_INSTRUCTIONS
+from repro.wasm.interpreter import Instance
+from repro.wasm.module import Function, Module
+from repro.wasm.types import FuncType, ValType
+from repro.wasm.validate import validate
+
+N = 2_000
+
+#: Safe constant operands per value type (avoid traps in div/trunc).
+_OPERANDS = {
+    ValType.I32: Instr("i32.const", (7,)),
+    ValType.I64: Instr("i64.const", (9,)),
+    ValType.F32: Instr("f32.const", (2.5,)),
+    ValType.F64: Instr("f64.const", (3.5,)),
+}
+
+
+def _operand_types(name: str) -> list[ValType]:
+    """Input types of a plain instruction, derived like the validator does."""
+    prefix, _, suffix = name.partition(".")
+    vt = ValType.from_name(prefix)
+    if suffix == "const":
+        return []
+    if suffix.startswith("trunc_f") or suffix.startswith("convert_i") or "_" in suffix and suffix.split("_")[0] in (
+        "wrap", "extend", "demote", "promote", "reinterpret", "trunc", "convert"
+    ):
+        # conversion: source encoded in the suffix
+        source_name = suffix.split("_")[-1]
+        if source_name in ("s", "u"):
+            source_name = suffix.split("_")[-2]
+        return [ValType.from_name(source_name)]
+    unary = {"eqz", "clz", "ctz", "popcnt", "abs", "neg", "ceil", "floor",
+             "trunc", "nearest", "sqrt"}
+    if suffix in unary:
+        return [vt]
+    return [vt, vt]
+
+
+def _bench_module(name: str, repetitions: int) -> Module:
+    body = []
+    if name.endswith(".const"):
+        # const instructions carry their operand as an immediate
+        measured = _OPERANDS[ValType.from_name(name.split(".")[0])]
+    else:
+        measured = Instr(name)
+    for _ in range(repetitions):
+        for operand_type in _operand_types(name):
+            body.append(_OPERANDS[operand_type])
+        body.append(measured)
+        body.append(Instr("drop"))
+    module = Module()
+    type_index = module.add_type(FuncType((), ()))
+    module.funcs.append(Function(type_index=type_index, body=body, name="bench"))
+    from repro.wasm.module import Export
+
+    module.exports.append(Export("bench", "func", 0))
+    return module
+
+
+def _measure(name: str) -> float:
+    module = _bench_module(name, N)
+    validate(module)
+    cost = CostModel()
+    instance = Instance(module, cost_model=cost)
+    instance.invoke("bench")
+    # subtract the scaffolding: operand consts and the drop
+    overhead = sum(
+        cost.instruction_cycles(_OPERANDS[t].name) for t in _operand_types(name)
+    ) + cost.instruction_cycles("drop")
+    return instance.stats.cycles / N - overhead
+
+
+@pytest.fixture(scope="module")
+def instruction_costs():
+    return {name: _measure(name) for name in PLAIN_INSTRUCTIONS}
+
+
+def test_fig7_distribution(instruction_costs, benchmark):
+    record(benchmark)
+    costs = instruction_costs
+    ordered = sorted(costs.items(), key=lambda kv: kv[1])
+    rows = [[name, round(c, 1)] for name, c in ordered]
+    emit_table(
+        "fig7_instruction_costs",
+        f"Fig. 7: cycles per instruction ({len(costs)} plain instructions, n={N})",
+        ["instruction", "cycles"],
+        rows,
+    )
+    values = list(costs.values())
+    under_10 = sum(1 for c in values if c < 10)
+    assert len(values) == 127
+    assert under_10 / len(values) >= 0.70  # paper: 74% under 10 cycles
+    assert max(values) > 50  # expensive tail exists
+    assert costs["i64.div_s"] > 50
+    assert costs["f32.sqrt"] > 50
+    assert 15 <= costs["f32.floor"] <= 32
+    assert 15 <= costs["f64.ceil"] <= 34
+
+
+def test_fig7_costs_are_stable(instruction_costs, benchmark):
+    record(benchmark)
+    again = _measure("i32.add")
+    assert again == pytest.approx(instruction_costs["i32.add"])
+
+
+def test_fig7_benchmark_measurement(benchmark):
+    benchmark.pedantic(lambda: _measure("f64.mul"), rounds=1, iterations=1)

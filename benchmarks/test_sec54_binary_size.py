@@ -1,0 +1,90 @@
+"""§5.4 — binary size overhead of instrumentation.
+
+Regenerates the in-text table: across every Wasm binary used in the
+evaluation, the size growth of instrumented binaries without optimisation
+(paper: 4-39%) and with all optimisations (paper: 4-27%).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit_table, record
+from repro.instrument import instrument_module
+from repro.instrument.weights import UNIT_WEIGHTS
+from repro.wasm.binary import encode_module
+from repro.workloads import DARKNET, ECHO, MSIEVE, PC_ALGORITHM, RESIZE, SUBSET_SUM
+from repro.workloads.polybench import fig6_order
+
+ALL_SPECS = list(fig6_order()) + [MSIEVE, PC_ALGORITHM, SUBSET_SUM, DARKNET, ECHO, RESIZE]
+
+
+@pytest.fixture(scope="module")
+def size_rows():
+    rows = []
+    for spec in ALL_SPECS:
+        module = spec.compile()
+        base = len(encode_module(module))
+        naive = len(encode_module(instrument_module(module, "naive", UNIT_WEIGHTS).module))
+        flow = len(encode_module(instrument_module(module, "flow-based", UNIT_WEIGHTS).module))
+        loop = len(encode_module(instrument_module(module, "loop-based", UNIT_WEIGHTS).module))
+        rows.append(
+            [
+                spec.name,
+                base,
+                naive,
+                flow,
+                loop,
+                round(100 * (naive - base) / base, 1),
+                round(100 * (flow - base) / base, 1),
+                round(100 * (loop - base) / base, 1),
+            ]
+        )
+    return rows
+
+
+def test_sec54_table(size_rows, benchmark):
+    record(benchmark)
+    emit_table(
+        "sec54_binary_size",
+        f"Sec 5.4: binary sizes over {len(size_rows)} evaluation binaries [bytes]",
+        ["binary", "original", "naive", "flow", "loop", "naive_%", "flow_%", "loop_%"],
+        size_rows,
+    )
+
+
+def test_sec54_growth_bands(size_rows, benchmark):
+    record(benchmark)
+    """Relative growth bands.
+
+    Our modules are two orders of magnitude smaller than the paper's 0.5 KB -
+    901 KB binaries, so the fixed per-increment cost weighs more: the band
+    shifts up from the paper's 4-39%/4-27% but the *ordering* holds — flow
+    optimisation strictly shrinks the instrumented binary, and loop-based
+    trades a few bytes of reconstruction code for runtime.
+    """
+    naive_growth = [r[5] for r in size_rows]
+    flow_growth = [r[6] for r in size_rows]
+    assert min(naive_growth) > 0
+    assert max(naive_growth) < 80
+    assert min(flow_growth) > 0
+    assert sum(flow_growth) / len(flow_growth) < sum(naive_growth) / len(naive_growth)
+
+
+def test_sec54_flow_growth_never_exceeds_naive(benchmark):
+    record(benchmark)
+    for spec in ALL_SPECS:
+        module = spec.compile()
+        naive = len(encode_module(instrument_module(module, "naive", UNIT_WEIGHTS).module))
+        flow = len(encode_module(instrument_module(module, "flow-based", UNIT_WEIGHTS).module))
+        assert flow <= naive
+
+
+def test_sec54_benchmark_measurement(benchmark):
+    spec = ALL_SPECS[0]
+    module = spec.compile()
+    benchmark.pedantic(
+        lambda: encode_module(instrument_module(module, "loop-based", UNIT_WEIGHTS).module),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Pay-by-computation: unlock web content by donating cycles instead of ads.
+
+A content server hands the visiting browser short classification tasks (the
+Darknet-style workload); the two-way sandbox meters them, the signed log is
+the payment proof, and an article unlocks once enough computation has been
+contributed (§2.1).  The sandbox's instruction budget caps what any task can
+burn.
+
+Run with::
+
+    python examples/pay_by_computation.py
+"""
+
+from dataclasses import replace
+
+from repro.scenarios.paybycomputation import (
+    Article,
+    BrowsingSession,
+    ContentServer,
+    PaymentRejected,
+    TaskAssignment,
+)
+from repro.workloads import DARKNET
+
+
+def main() -> None:
+    tasks = [
+        TaskAssignment(
+            replace(DARKNET, run=("classify", (7, image_seed))),
+            (7, image_seed),
+            budget_instructions=5_000_000,
+        )
+        for image_seed in (101, 202, 303)
+    ]
+    server = ContentServer(
+        tasks=tasks,
+        articles=[
+            Article("news", "Today's Headlines", price_instructions=800_000),
+            Article("longread", "The Long Investigation", price_instructions=2_500_000),
+        ],
+    )
+
+    session = BrowsingSession.open(budget_instructions=5_000_000, seed=1)
+    print("visitor arrives; no ads shown — the server assigns compute tasks")
+
+    try:
+        server.redeem(session, "news")
+    except PaymentRejected as exc:
+        print(f"  before any work: {exc}")
+
+    while True:
+        task = server.assign_task()
+        label = session.run_task(task)
+        print(
+            f"  classified image -> class {label}; "
+            f"balance {session.balance:,} weighted instructions"
+        )
+        try:
+            article = server.redeem(session, "news")
+            print(f"  unlocked: {article}")
+            break
+        except PaymentRejected:
+            continue
+
+    print(f"tasks completed: {session.completed_tasks}")
+    print(f"remaining balance: {session.balance:,}")
+    print(f"log verifies for the server: {session.sandbox.verify_log()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: deploy a two-way sandbox and meter a workload.
+
+Walks the full AccTEE protocol on one machine:
+
+1. deploy (launch IE + AE + quoting enclave, provision attestation, attest);
+2. submit a MiniC workload (compiled to Wasm, instrumented, evidence-checked);
+3. invoke it a few times;
+4. verify the signed resource usage log and price it.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import SandboxConfig, TwoWaySandbox
+
+WORKLOAD = """
+// a toy workload: leibniz series approximation of pi
+double approximate_pi(int terms) {
+    double total = 0.0;
+    double sign = 1.0;
+    for (int k = 0; k < terms; k = k + 1) {
+        total = total + sign / (double)(2 * k + 1);
+        sign = -sign;
+    }
+    return 4.0 * total;
+}
+"""
+
+
+def main() -> None:
+    print("deploying the two-way sandbox (attestation included)...")
+    sandbox = TwoWaySandbox.deploy(SandboxConfig(level="loop-based"))
+    print(f"  AE measurement: {sandbox.ae.mrenclave.hex()[:16]}...")
+    print(f"  IE measurement: {sandbox.ie.mrenclave.hex()[:16]}...")
+
+    print("submitting the workload (compile -> instrument -> evidence)...")
+    workload = sandbox.submit_minic(WORKLOAD)
+    print(f"  evidence output hash: {workload.evidence.output_hash.hex()[:16]}...")
+
+    for terms in (10, 1_000, 100_000 // 50):
+        result = workload.invoke("approximate_pi", terms)
+        vector = result.vector
+        print(
+            f"  approximate_pi({terms:>6}) = {result.value:.6f}   "
+            f"metered: {vector.weighted_instructions:>8} instructions, "
+            f"{vector.peak_memory_bytes // 1024} KiB peak"
+        )
+
+    print(f"log verifies: {sandbox.verify_log()}")
+    totals = sandbox.totals()
+    print(f"totals: {totals.weighted_instructions} weighted instructions")
+    print(f"invoice: {sandbox.invoice():.6f} currency units")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Reimbursed computing: a marketplace selling spare cycles (§2.1).
+
+A workload provider posts jobs with escrowed budgets; independent providers
+execute them inside attested two-way sandboxes and submit signed receipts;
+the marketplace settles from escrow after verifying each receipt — and
+rejects a provider who inflates their log.
+
+Run with::
+
+    python examples/reimbursed_marketplace.py
+"""
+
+from dataclasses import replace
+
+from repro.core.accounting_enclave import AccountingEnclave
+from repro.core.instrumentation_enclave import InstrumentationEnclave
+from repro.scenarios.reimbursed import ComputeMarketplace, SettlementError
+from repro.workloads import SUBSET_SUM
+
+
+def trusted_ae_measurement() -> bytes:
+    """Both parties audit the AE sources and compute the expected build hash."""
+    ie = InstrumentationEnclave()
+    ae = AccountingEnclave(
+        ie_public_key=ie.evidence_public_key,
+        ie_measurement=ie.mrenclave,
+        weight_table=ie.weight_table,
+    )
+    return ae.mrenclave
+
+
+def main() -> None:
+    market = ComputeMarketplace()
+    market.register("garage-rig")
+    market.register("old-laptop")
+    expected_measurement = trusted_ae_measurement()
+
+    print("posting 4 subset-sum jobs at 50 units per mega-instruction...")
+    jobs = [
+        market.post_job(SUBSET_SUM, (seed, 11, 130), price_per_mega_instruction=50.0)
+        for seed in (21, 42, 63, 84)
+    ]
+    print(f"escrow pool: {market.escrow_pool:,.2f}")
+
+    for i, job in enumerate(jobs[:3]):
+        provider = "garage-rig" if i % 2 == 0 else "old-laptop"
+        receipt = market.execute(provider, job)
+        payout = market.settle(receipt, expected_measurement)
+        print(f"  job {job.job_id} on {provider}: result={receipt.value}, paid {payout:.4f}")
+
+    print("a greedy provider inflates the final job's log...")
+    receipt = market.execute("old-laptop", jobs[3])
+    entry = receipt.log.entries[-1]
+    receipt.log.entries[-1] = replace(
+        entry,
+        vector=replace(entry.vector, weighted_instructions=10**9),
+    )
+    try:
+        market.settle(receipt, expected_measurement)
+    except SettlementError as exc:
+        print(f"  settlement refused: {exc}")
+
+    print("\nfinal accounts:")
+    for name, account in market.accounts.items():
+        print(
+            f"  {name:<12} balance={account.balance:8.4f} "
+            f"jobs={account.completed_jobs} rejected={account.rejected_receipts}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Thin setup.py kept for legacy editable installs (no `wheel` available offline)."""
+
+from setuptools import setup
+
+setup()

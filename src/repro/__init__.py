@@ -1,0 +1,46 @@
+"""AccTEE reproduction: a WebAssembly-based two-way sandbox for trusted resource accounting.
+
+This package reimplements, in pure Python, the full system described in
+"AccTEE: A WebAssembly-based Two-way Sandbox for Trusted Resource
+Accounting" (MIDDLEWARE 2019): a WebAssembly toolchain (parser, validator,
+interpreter, binary codec), a MiniC-to-Wasm compiler, the instruction-counting
+instrumentation passes, a software simulation of Intel SGX (enclaves, EPC
+paging, attestation), and the AccTEE protocol itself (instrumentation enclave,
+accounting enclave, signed resource usage logs), plus the evaluation
+scenarios: FaaS, volunteer computing and pay-by-computation.
+
+The top level re-exports the small public surface most users need; the
+subpackages expose the substrates.
+"""
+
+__all__ = [
+    "TwoWaySandbox",
+    "SandboxConfig",
+    "ResourceUsageLog",
+    "ResourceVector",
+    "MemoryPolicy",
+    "PricingPolicy",
+    "InstrumentationLevel",
+]
+
+__version__ = "1.0.0"
+
+_EXPORT_HOMES = {
+    "TwoWaySandbox": "repro.core.sandbox",
+    "SandboxConfig": "repro.core.sandbox",
+    "ResourceUsageLog": "repro.core.resource_log",
+    "ResourceVector": "repro.core.resource_log",
+    "MemoryPolicy": "repro.core.policy",
+    "PricingPolicy": "repro.core.policy",
+    "InstrumentationLevel": "repro.instrument",
+}
+
+
+def __getattr__(name: str):
+    """Lazily resolve the public surface (PEP 562) to keep import light."""
+    if name in _EXPORT_HOMES:
+        import importlib
+
+        module = importlib.import_module(_EXPORT_HOMES[name])
+        return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,197 @@
+"""Command-line interface: instrument, run and meter WebAssembly modules.
+
+Usage (also via ``python -m repro``)::
+
+    repro instrument module.wat --level loop-based -o instrumented.wat
+    repro run module.wat --invoke fib --args 20
+    repro meter module.wat --invoke kernel --deployments
+    repro sandbox module.mc --invoke work --args 5
+
+``run`` executes any WAT module and prints the result plus execution stats;
+``meter`` prices it across the deployment ladder; ``sandbox`` does the full
+AccTEE protocol for a MiniC source file and prints the signed log.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.instrument import instrument_module
+from repro.instrument.weights import UNIT_WEIGHTS, cycle_weight_table
+from repro.perf.model import Deployment, PerformanceModel, WorkloadRun
+from repro.wasm.binary import encode_module
+from repro.wasm.interpreter import Instance
+from repro.wasm.validate import validate
+from repro.wasm.wat_parser import parse_wat
+from repro.wasm.wat_printer import print_wat
+
+
+def _load_module(path: str):
+    text = pathlib.Path(path).read_text()
+    if path.endswith((".mc", ".minic", ".c")):
+        from repro.minic import compile_source
+
+        return compile_source(text)
+    module = parse_wat(text)
+    validate(module)
+    return module
+
+
+def _parse_args_list(raw: list[str]) -> list:
+    out = []
+    for item in raw:
+        try:
+            out.append(int(item, 0))
+        except ValueError:
+            out.append(float(item))
+    return out
+
+
+def cmd_instrument(args: argparse.Namespace) -> int:
+    module = _load_module(args.module)
+    weights = cycle_weight_table() if args.weighted else UNIT_WEIGHTS
+    result = instrument_module(module, args.level, weights)
+    text = print_wat(result.module)
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+    else:
+        sys.stdout.write(text)
+    before = len(encode_module(module))
+    after = len(encode_module(result.module))
+    print(
+        f"; level={args.level} counter_global={result.counter_global_index} "
+        f"increments={result.increments_emitted} hoisted={result.hoisted_loops} "
+        f"size {before} -> {after} bytes (+{100 * (after - before) / before:.1f}%)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    module = _load_module(args.module)
+    instance = Instance(module)
+    value = instance.invoke(args.invoke, *_parse_args_list(args.args))
+    print(f"result: {value}")
+    stats = instance.stats
+    print(f"instructions executed: {stats.total_visits}")
+    print(f"loads/stores: {stats.loads}/{stats.stores}")
+    if instance.memory is not None:
+        print(f"linear memory: {instance.memory.pages} pages")
+    if args.top:
+        print("hottest instructions:")
+        for name, count in stats.visits.most_common(args.top):
+            print(f"  {name:<20} {count}")
+    return 0
+
+
+def cmd_meter(args: argparse.Namespace) -> int:
+    module = _load_module(args.module)
+    run, value = WorkloadRun.measure(
+        module, args.invoke, tuple(_parse_args_list(args.args))
+    )
+    print(f"result: {value}")
+    model = PerformanceModel()
+    ratios = model.normalised_runtimes(run)
+    for deployment in Deployment:
+        report = model.report(run, deployment)
+        print(
+            f"  {deployment.value:<14} {report.cycles / 1e6:10.3f} Mcycles "
+            f"({ratios[deployment]:.2f}x native)"
+        )
+    return 0
+
+
+def cmd_sandbox(args: argparse.Namespace) -> int:
+    from repro.core.sandbox import SandboxConfig, TwoWaySandbox
+
+    source = pathlib.Path(args.module).read_text()
+    sandbox = TwoWaySandbox.deploy(SandboxConfig(level=args.level, weighted=args.weighted))
+    if args.module.endswith(".wat"):
+        workload = sandbox.submit_wat(source)
+    else:
+        workload = sandbox.submit_minic(source)
+    result = workload.invoke(args.invoke, *_parse_args_list(args.args))
+    print(f"result: {result.value}" + ("  (trapped!)" if result.trapped else ""))
+    print(f"metered: {result.vector.weighted_instructions} weighted instructions, "
+          f"{result.vector.peak_memory_bytes} B peak, "
+          f"{result.vector.io_bytes_total} B I/O")
+    print(f"log verifies: {sandbox.verify_log()}")
+    print(f"invoice: {sandbox.invoice():.6f}")
+    if args.export_log:
+        from repro.core.serialization import dump_log
+
+        dump_log(sandbox.log, sandbox.ae.log_public_key, args.export_log)
+        print(f"log exported to {args.export_log}")
+    return 0
+
+
+def cmd_verify_log(args: argparse.Namespace) -> int:
+    from repro.core.serialization import public_key_from_json, verify_log_file
+
+    key = None
+    if args.key:
+        import json
+
+        key = public_key_from_json(json.loads(pathlib.Path(args.key).read_text()))
+    ok, totals = verify_log_file(args.log, public_key=key)
+    print(f"log verifies: {ok}")
+    print(f"totals: {totals.weighted_instructions} weighted instructions, "
+          f"{totals.io_bytes_total} B I/O, peak {totals.peak_memory_bytes} B")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AccTEE reproduction: instrument, run and meter Wasm modules",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("instrument", help="inject the weighted instruction counter")
+    p.add_argument("module", help="a .wat file (or .mc MiniC source)")
+    p.add_argument("--level", default="loop-based",
+                   choices=["naive", "flow-based", "loop-based"])
+    p.add_argument("--weighted", action="store_true",
+                   help="use the cycle-calibrated weight table")
+    p.add_argument("-o", "--output", help="write instrumented WAT here")
+    p.set_defaults(fn=cmd_instrument)
+
+    p = sub.add_parser("run", help="execute an exported function")
+    p.add_argument("module")
+    p.add_argument("--invoke", required=True)
+    p.add_argument("--args", nargs="*", default=[])
+    p.add_argument("--top", type=int, default=0, help="show N hottest instructions")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("meter", help="price a run across the deployment ladder")
+    p.add_argument("module")
+    p.add_argument("--invoke", required=True)
+    p.add_argument("--args", nargs="*", default=[])
+    p.set_defaults(fn=cmd_meter)
+
+    p = sub.add_parser("sandbox", help="full AccTEE protocol for one workload")
+    p.add_argument("module", help="MiniC (.mc) or WAT (.wat) source")
+    p.add_argument("--invoke", required=True)
+    p.add_argument("--args", nargs="*", default=[])
+    p.add_argument("--level", default="loop-based",
+                   choices=["naive", "flow-based", "loop-based"])
+    p.add_argument("--weighted", action="store_true")
+    p.add_argument("--export-log", help="dump the signed resource log to this JSON file")
+    p.set_defaults(fn=cmd_sandbox)
+
+    p = sub.add_parser("verify-log", help="offline verification of an exported log")
+    p.add_argument("log", help="JSON file produced by 'sandbox --export-log'")
+    p.add_argument("--key", help="JSON public key to pin (else the bundled key)")
+    p.set_defaults(fn=cmd_verify_log)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""AccTEE core: the two-way sandbox and trusted resource accounting protocol.
+
+The pieces map one-to-one onto the paper's Fig. 3 workflow:
+
+* :mod:`repro.core.instrumentation_enclave` — the IE: instruments a Wasm
+  module and signs *instrumentation evidence* binding the output;
+* :mod:`repro.core.accounting_enclave` — the AE: verifies evidence, executes
+  the workload inside the (simulated) SGX enclave and emits signed
+  :class:`~repro.core.resource_log.ResourceUsageLog` entries;
+* :mod:`repro.core.sandbox` — :class:`~repro.core.sandbox.TwoWaySandbox`,
+  the user-facing API tying both together with remote attestation;
+* :mod:`repro.core.policy` — memory-accounting and pricing policies.
+"""
+
+from repro.core.policy import MemoryPolicy, PricingPolicy
+from repro.core.resource_log import ResourceUsageLog, ResourceVector
+from repro.core.instrumentation_enclave import InstrumentationEnclave, InstrumentationEvidence
+from repro.core.accounting_enclave import AccountingEnclave, WorkloadResult
+from repro.core.sandbox import SandboxConfig, TwoWaySandbox
+
+__all__ = [
+    "MemoryPolicy",
+    "PricingPolicy",
+    "ResourceUsageLog",
+    "ResourceVector",
+    "InstrumentationEnclave",
+    "InstrumentationEvidence",
+    "AccountingEnclave",
+    "WorkloadResult",
+    "SandboxConfig",
+    "TwoWaySandbox",
+]

@@ -1,0 +1,200 @@
+"""The accounting enclave (AE): executes workloads and produces trusted logs.
+
+The AE is the runtime half of Fig. 3: it verifies instrumentation evidence,
+instantiates the workload in the Wasm runtime under (simulated) SGX, reads
+the injected counter plus the runtime's memory and I/O meters, and appends
+signed entries to the resource usage log.  Its signing key is generated
+inside the enclave per run and bound to the enclave identity by embedding
+the public key's fingerprint in the remote-attestation report data, so a
+workload provider who attested the AE can trust every log entry it signs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.instrumentation_enclave import InstrumentationEvidence, verify_evidence
+from repro.core.policy import MemoryPolicy, memory_integral
+from repro.core.resource_log import ResourceUsageLog, ResourceVector
+from repro.instrument.weights import WeightTable
+from repro.sgx.enclave import Enclave
+from repro.sgx.lkl import SGXLKL
+from repro.tcrypto.hashing import sha256
+from repro.tcrypto.rsa import RSAKeyPair, RSAPublicKey, rsa_generate
+from repro.wasm.binary import encode_module
+from repro.wasm.interpreter import ExecutionLimits, Instance, Trap
+from repro.wasm.module import Module
+from repro.wasm.runtime import HostEnvironment, IOChannel
+from repro.wasm.validate import validate
+
+
+class WorkloadRejected(Exception):
+    """The AE refused a workload (bad evidence, bad module, wrong IE)."""
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one invocation inside the AE."""
+
+    value: object
+    trapped: bool
+    trap_message: str
+    vector: ResourceVector
+    output: bytes
+
+
+class AccountingEnclave(Enclave):
+    """Executes evidence-carrying workloads and meters their resources."""
+
+    CODE_VERSION = b"acctee-sim accounting enclave v1"
+
+    def __init__(
+        self,
+        ie_public_key: RSAPublicKey,
+        ie_measurement: bytes,
+        weight_table: WeightTable,
+        memory_policy: MemoryPolicy = MemoryPolicy.PEAK,
+        key_bits: int = 512,
+        key_seed: int = 23,
+        limits: ExecutionLimits | None = None,
+    ):
+        super().__init__(
+            "accounting-enclave",
+            (
+                self.CODE_VERSION,
+                ie_measurement,
+                weight_table.digest(),
+                memory_policy.value.encode("utf-8"),
+            ),
+        )
+        self.ie_public_key = ie_public_key
+        self.ie_measurement = ie_measurement
+        self.weight_table = weight_table
+        self.memory_policy = memory_policy
+        self.limits = limits or ExecutionLimits()
+        self.lkl = SGXLKL()
+        self._signing_key: RSAKeyPair = rsa_generate(key_bits, seed=key_seed)
+        self.log = ResourceUsageLog(self._signing_key)
+
+        self._module: Module | None = None
+        self._counter_global: int | None = None
+        self._workload_hash: bytes = b""
+        self._last_counter = 0
+
+    @property
+    def log_public_key(self) -> RSAPublicKey:
+        return self._signing_key.public
+
+    def report_data_binding(self) -> bytes:
+        """The value a challenger expects in this AE's attestation user data."""
+        return self.log_public_key.fingerprint()
+
+    # -- workload intake ---------------------------------------------------------
+
+    def load_workload(self, module: Module, evidence: InstrumentationEvidence) -> None:
+        """Admit a workload: verify evidence, module validity and counter wiring."""
+        if not verify_evidence(evidence, module, self.ie_public_key, self.ie_measurement):
+            raise WorkloadRejected("instrumentation evidence verification failed")
+        if evidence.weight_table_digest != self.weight_table.digest():
+            raise WorkloadRejected("workload instrumented under a different weight table")
+        try:
+            validate(module)
+        except Exception as exc:
+            raise WorkloadRejected(f"module fails validation: {exc}") from exc
+        counter = evidence.counter_global_index
+        if counter >= module.num_imported_globals + len(module.globals):
+            raise WorkloadRejected("evidence names a counter global that does not exist")
+        self._module = module
+        self._counter_global = counter
+        self._workload_hash = sha256(encode_module(module))
+        self._last_counter = 0
+
+    # -- execution -----------------------------------------------------------------
+
+    def invoke(
+        self,
+        export: str,
+        *args,
+        input_data: bytes = b"",
+        label: str = "",
+        progress_interval: int | None = None,
+    ) -> WorkloadResult:
+        """Run one exported function and append a signed accounting entry.
+
+        A fresh module instance is created per invocation (the paper's FaaS
+        deployment instantiates per request to isolate tenants); the counter
+        therefore starts at zero each time.
+
+        With ``progress_interval`` set, the AE additionally appends interim
+        "progress" entries to the log every that-many executed instructions —
+        the paper's periodic accounting reports (§3.3), used e.g. by the
+        pay-by-computation scenario to give the content provider feedback
+        while a task runs.
+        """
+        if self._module is None or self._counter_global is None:
+            raise WorkloadRejected("no workload loaded")
+        channel = IOChannel(input_data=input_data)
+        env = HostEnvironment(channel=channel, account_io=True)
+        limits = self.limits
+        if progress_interval is not None:
+            from dataclasses import replace as _replace
+
+            def report_progress(stats) -> None:
+                self.log.append(
+                    ResourceVector(
+                        weighted_instructions=0,  # interim marker, not billed
+                        peak_memory_bytes=0,
+                        memory_integral_page_instructions=0,
+                        io_bytes_in=0,
+                        io_bytes_out=0,
+                        label=f"progress:{label or export}@{stats.executed}",
+                    ),
+                    self._workload_hash,
+                    self.weight_table.digest(),
+                )
+
+            limits = _replace(
+                limits,
+                progress_interval=progress_interval,
+                progress_callback=report_progress,
+            )
+        instance = env.instantiate(self._module, limits=limits)
+
+        trapped = False
+        trap_message = ""
+        value: object = None
+        try:
+            value = instance.invoke(export, *args)
+        except Trap as exc:
+            trapped = True
+            trap_message = str(exc)
+
+        counter_value = int(instance.globals[self._counter_global].value)
+        memory = instance.memory
+        peak = memory.peak_bytes if memory is not None else 0
+        initial_pages = (
+            self._module.memories[0].limits.minimum if self._module.memories else 0
+        )
+        integral = memory_integral(
+            instance.stats.grow_history, initial_pages, counter_value
+        )
+        vector = ResourceVector(
+            weighted_instructions=counter_value,
+            peak_memory_bytes=peak,
+            memory_integral_page_instructions=(
+                integral if self.memory_policy is MemoryPolicy.INTEGRAL else 0
+            ),
+            io_bytes_in=env.account.bytes_in,
+            io_bytes_out=env.account.bytes_out,
+            label=label or export,
+        )
+        self.log.append(vector, self._workload_hash, self.weight_table.digest())
+        self.lkl.request_io_cycles(len(input_data), len(channel.output))
+        self._last_counter = counter_value
+        return WorkloadResult(
+            value=value,
+            trapped=trapped,
+            trap_message=trap_message,
+            vector=vector,
+            output=bytes(channel.output),
+        )

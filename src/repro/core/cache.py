@@ -1,0 +1,66 @@
+"""Instrumented-module cache (paper §3.3).
+
+"The code only needs to be instrumented once.  A cached copy of the
+instrumented code can be re-used across many invocations."  The cache is
+keyed by the *input* module hash together with the IE identity (measurement
+covers level + weight table), and stores the instrumented module bytes plus
+the signed evidence — everything an accounting enclave needs to re-admit the
+workload without re-running the IE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.instrumentation_enclave import (
+    InstrumentationEnclave,
+    InstrumentationEvidence,
+)
+from repro.tcrypto.hashing import sha256
+from repro.wasm.binary import decode_module, encode_module
+from repro.wasm.module import Module
+
+
+@dataclass
+class _CacheEntry:
+    module_bytes: bytes
+    evidence: InstrumentationEvidence
+    counter_export: str
+    hits: int = 0
+
+
+@dataclass
+class InstrumentationCache:
+    """Caches IE outputs keyed by (input hash, IE measurement)."""
+
+    ie: InstrumentationEnclave
+    _entries: dict[tuple[bytes, bytes], _CacheEntry] = field(default_factory=dict)
+    misses: int = 0
+
+    def instrument(self, module: Module) -> tuple[Module, InstrumentationEvidence, str]:
+        """Return (instrumented module, evidence, counter export), cached.
+
+        The returned module is freshly decoded from the cached bytes, so
+        callers may mutate it without poisoning the cache.
+        """
+        key = (sha256(encode_module(module)), self.ie.mrenclave)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            result, evidence = self.ie.instrument(module)
+            entry = _CacheEntry(
+                module_bytes=encode_module(result.module),
+                evidence=evidence,
+                counter_export=result.counter_export,
+            )
+            self._entries[key] = entry
+        else:
+            entry.hits += 1
+        return decode_module(entry.module_bytes), entry.evidence, entry.counter_export
+
+    @property
+    def hits(self) -> int:
+        return sum(entry.hits for entry in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,83 @@
+"""Accounting and pricing policies (paper §3.5 and §3.2).
+
+Memory can be accounted either by **peak** linear-memory size or by the
+**integral** of memory size over execution progress, where progress is
+approximated by the weighted instruction counter — both policies are offered
+by the paper and the choice is left to the two parties' agreement.
+
+Pricing turns a resource vector into a price, letting infrastructure
+providers fold their internal cost factors (management, energy, hardware)
+into public per-unit rates while customers compare offers on the platform-
+independent metered quantities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MemoryPolicy(enum.Enum):
+    """How memory usage enters the resource log."""
+
+    PEAK = "peak"
+    INTEGRAL = "integral"
+
+
+def memory_integral(
+    grow_history: list[tuple[int, int]],
+    initial_pages: int,
+    total_instructions: int,
+) -> int:
+    """Integrate linear-memory pages over the instruction counter.
+
+    ``grow_history`` is a list of ``(instructions_at_grow, pages_after)``
+    events; the result is in page-instructions.  Because linear memory never
+    shrinks, the integral is an exact sum of rectangles.
+    """
+    integral = 0
+    last_point = 0
+    pages = initial_pages
+    for at, new_pages in grow_history:
+        integral += pages * (at - last_point)
+        pages = new_pages
+        last_point = at
+    integral += pages * (total_instructions - last_point)
+    return integral
+
+
+@dataclass(frozen=True)
+class PricingPolicy:
+    """Per-unit prices over the metered resources.
+
+    Prices are in abstract currency micro-units:
+
+    * ``per_mega_weighted_instructions`` — per million weighted instructions;
+    * ``per_mib_peak`` / ``per_mib_instruction`` — for whichever memory
+      policy is active;
+    * ``per_kib_io`` — per KiB crossing the module boundary.
+    """
+
+    per_mega_weighted_instructions: float = 40.0
+    per_mib_peak: float = 2.0
+    per_mib_instruction: float = 0.0000005
+    per_kib_io: float = 0.08
+    memory_policy: MemoryPolicy = MemoryPolicy.PEAK
+
+    def price(
+        self,
+        weighted_instructions: int,
+        peak_memory_bytes: int,
+        memory_integral_page_instructions: int,
+        io_bytes: int,
+    ) -> float:
+        """Price one resource vector under this policy."""
+        total = self.per_mega_weighted_instructions * weighted_instructions / 1e6
+        if self.memory_policy is MemoryPolicy.PEAK:
+            total += self.per_mib_peak * peak_memory_bytes / (1024 * 1024)
+        else:
+            # page-instructions -> MiB-instructions (one page is 64 KiB)
+            mib_instructions = memory_integral_page_instructions / 16.0
+            total += self.per_mib_instruction * mib_instructions
+        total += self.per_kib_io * io_bytes / 1024.0
+        return total

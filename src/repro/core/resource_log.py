@@ -1,0 +1,140 @@
+"""Signed resource usage logs: the artefact both parties trust (Fig. 1).
+
+A :class:`ResourceUsageLog` is an append-only sequence of
+:class:`ResourceVector` entries, hash-chained and signed by the accounting
+enclave's run key (whose public half is bound to the enclave identity via
+remote attestation).  Either party can verify the chain offline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.tcrypto.hashing import sha256
+from repro.tcrypto.rsa import RSAKeyPair, RSAPublicKey, rsa_sign, rsa_verify
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """One accounting sample: the three resources the paper meters (§3.5)."""
+
+    weighted_instructions: int
+    peak_memory_bytes: int
+    memory_integral_page_instructions: int
+    io_bytes_in: int
+    io_bytes_out: int
+    label: str = ""
+
+    @property
+    def io_bytes_total(self) -> int:
+        return self.io_bytes_in + self.io_bytes_out
+
+    def to_json(self) -> dict:
+        return {
+            "weighted_instructions": self.weighted_instructions,
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "memory_integral_page_instructions": self.memory_integral_page_instructions,
+            "io_bytes_in": self.io_bytes_in,
+            "io_bytes_out": self.io_bytes_out,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ResourceVector":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    """A resource vector chained to its predecessor and signed."""
+
+    sequence: int
+    vector: ResourceVector
+    workload_hash: bytes
+    weight_table_digest: bytes
+    previous_hash: bytes
+    signature: bytes
+
+    def body(self) -> bytes:
+        payload = {
+            "sequence": self.sequence,
+            "vector": self.vector.to_json(),
+            "workload_hash": self.workload_hash.hex(),
+            "weight_table_digest": self.weight_table_digest.hex(),
+            "previous_hash": self.previous_hash.hex(),
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    def entry_hash(self) -> bytes:
+        return sha256(self.body())
+
+
+class ResourceUsageLog:
+    """The mutually trusted, verifiable log of a workload's resource usage."""
+
+    GENESIS = b"\x00" * 32
+
+    def __init__(self, signing_key: RSAKeyPair | None = None):
+        self._signing_key = signing_key
+        self.entries: list[LogEntry] = []
+
+    @property
+    def head_hash(self) -> bytes:
+        if not self.entries:
+            return self.GENESIS
+        return self.entries[-1].entry_hash()
+
+    def append(
+        self,
+        vector: ResourceVector,
+        workload_hash: bytes,
+        weight_table_digest: bytes,
+    ) -> LogEntry:
+        """Sign and append one accounting sample (producer side)."""
+        if self._signing_key is None:
+            raise RuntimeError("this log handle is verify-only")
+        unsigned = LogEntry(
+            sequence=len(self.entries),
+            vector=vector,
+            workload_hash=workload_hash,
+            weight_table_digest=weight_table_digest,
+            previous_hash=self.head_hash,
+            signature=b"",
+        )
+        entry = LogEntry(
+            sequence=unsigned.sequence,
+            vector=unsigned.vector,
+            workload_hash=unsigned.workload_hash,
+            weight_table_digest=unsigned.weight_table_digest,
+            previous_hash=unsigned.previous_hash,
+            signature=rsa_sign(self._signing_key, unsigned.body()),
+        )
+        self.entries.append(entry)
+        return entry
+
+    def verify(self, public_key: RSAPublicKey) -> bool:
+        """Check the hash chain and every signature (either party)."""
+        previous = self.GENESIS
+        for i, entry in enumerate(self.entries):
+            if entry.sequence != i or entry.previous_hash != previous:
+                return False
+            if not rsa_verify(public_key, entry.body(), entry.signature):
+                return False
+            previous = entry.entry_hash()
+        return True
+
+    def totals(self) -> ResourceVector:
+        """Aggregate all entries into one vector (sum/max as appropriate)."""
+        return ResourceVector(
+            weighted_instructions=sum(e.vector.weighted_instructions for e in self.entries),
+            peak_memory_bytes=max(
+                (e.vector.peak_memory_bytes for e in self.entries), default=0
+            ),
+            memory_integral_page_instructions=sum(
+                e.vector.memory_integral_page_instructions for e in self.entries
+            ),
+            io_bytes_in=sum(e.vector.io_bytes_in for e in self.entries),
+            io_bytes_out=sum(e.vector.io_bytes_out for e in self.entries),
+            label="totals",
+        )

@@ -1,0 +1,61 @@
+"""AccTEE's instrumentation passes: the paper's core contribution.
+
+The instrumentation enclave takes a WebAssembly module and injects a
+*weighted instruction counter*: a fresh mutable ``i64`` global incremented at
+the end of each basic block by the total weight of the block's instructions
+(paper §3.5).  Two static optimisations elide most increments while keeping
+the final count exact (§3.6):
+
+* **flow-based** — counter updates are folded along dominating edges and the
+  minimum over a join's predecessors is pushed into the join block (Fig. 4);
+* **loop-based** — updates for control-flow-independent loop bodies are
+  hoisted out of the loop: the pass identifies a loop variable written
+  exactly once per iteration by a constant stride and reconstructs the
+  iteration count after the loop.
+
+Correctness invariant (enforced by the test suite): for any module and input,
+the injected counter after execution equals the weighted number of
+instructions the uninstrumented module *visits* on the same input, as counted
+by :class:`repro.wasm.interpreter.ExecutionStats`.
+"""
+
+import enum
+
+from repro.instrument.cfg import BasicBlock, ControlFlowGraph, build_cfg
+from repro.instrument.weights import WeightTable, UNIT_WEIGHTS, cycle_weight_table
+from repro.instrument.passes import (
+    InstrumentationResult,
+    instrument_module,
+    COUNTER_EXPORT,
+)
+from repro.instrument.multiclass import (
+    DEFAULT_CLASSES,
+    MulticlassResult,
+    instrument_module_multiclass,
+)
+
+
+class InstrumentationLevel(enum.Enum):
+    """The three instrumentation variants evaluated in the paper (Fig. 10)."""
+
+    NONE = "none"
+    NAIVE = "naive"
+    FLOW = "flow-based"
+    LOOP = "loop-based"
+
+
+__all__ = [
+    "InstrumentationLevel",
+    "BasicBlock",
+    "ControlFlowGraph",
+    "build_cfg",
+    "WeightTable",
+    "UNIT_WEIGHTS",
+    "cycle_weight_table",
+    "InstrumentationResult",
+    "instrument_module",
+    "COUNTER_EXPORT",
+    "DEFAULT_CLASSES",
+    "MulticlassResult",
+    "instrument_module_multiclass",
+]

@@ -1,0 +1,229 @@
+"""Control-flow graph construction over flat WebAssembly function bodies.
+
+The CFG mirrors *exactly* the visit semantics of
+:mod:`repro.wasm.interpreter`:
+
+* a branch to a ``block``/``if`` label lands on the matching ``end`` marker;
+* a branch to a ``loop`` label lands on the ``loop`` instruction itself;
+* the false arm of an ``if`` without ``else`` lands on the ``end`` marker;
+* falling out of a true arm lands on the ``end`` via the ``else`` marker
+  (the ``else`` itself is part of the true arm's block);
+* ``return``/``unreachable`` and branches past the outermost label edge to
+  the virtual exit node.
+
+Because of this mirroring, the set of instructions attributed to a basic
+block is precisely the set the interpreter visits whenever that block
+executes — which is what makes the injected counters exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.wasm.instructions import Instr
+from repro.wasm.interpreter import build_structure_map
+
+#: Virtual node id for the function exit.
+EXIT = -1
+
+#: Instructions that end a basic block.
+_TERMINATORS = frozenset({"br", "br_if", "br_table", "return", "unreachable", "if", "else"})
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line run of instructions [start, end] inclusive."""
+
+    index: int  # block id == index of first instruction
+    start: int
+    end: int
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    def instructions(self, body: list[Instr]) -> list[Instr]:
+        return body[self.start : self.end + 1]
+
+    @property
+    def size(self) -> int:
+        return self.end - self.start + 1
+
+
+@dataclass
+class ControlFlowGraph:
+    """Basic blocks over one function body, keyed by start index."""
+
+    body: list[Instr]
+    blocks: dict[int, BasicBlock]
+    entry: int
+
+    def block_of(self, instr_index: int) -> BasicBlock:
+        """The block containing the given instruction index."""
+        candidates = [b for b in self.blocks.values() if b.start <= instr_index <= b.end]
+        if not candidates:
+            raise KeyError(f"no block contains instruction {instr_index}")
+        return candidates[0]
+
+    def reachable_blocks(self) -> set[int]:
+        """Block ids reachable from the entry."""
+        seen: set[int] = set()
+        work = [self.entry]
+        while work:
+            current = work.pop()
+            if current in seen or current == EXIT:
+                continue
+            seen.add(current)
+            work.extend(self.blocks[current].successors)
+        return seen
+
+
+def _branch_target(
+    body: list[Instr],
+    structs,
+    pc: int,
+    depth: int,
+    enclosing: list[int],
+) -> int:
+    """Index the interpreter jumps to for a branch of ``depth`` at ``pc``.
+
+    ``enclosing`` is the stack of open structured-instruction indices at pc.
+    Returns EXIT when the branch leaves the function.
+    """
+    if depth >= len(enclosing):
+        return EXIT
+    opener = enclosing[-1 - depth]
+    if body[opener].name == "loop":
+        return opener
+    return structs[opener].end
+
+
+def build_cfg(body: list[Instr]) -> ControlFlowGraph:
+    """Build the CFG of one function body."""
+    n = len(body)
+    structs = build_structure_map(body)
+
+    # Pre-compute the stack of enclosing structured instructions at each index.
+    enclosing_at: list[list[int]] = []
+    stack: list[int] = []
+    for i, instr in enumerate(body):
+        if instr.name == "end":
+            if stack:
+                stack.pop()
+        enclosing_at.append(list(stack))
+        if instr.name in ("block", "loop", "if"):
+            stack.append(i)
+
+    # -- leaders ---------------------------------------------------------------
+    leaders: set[int] = {0} if n else set()
+    for i, instr in enumerate(body):
+        name = instr.name
+        if name == "loop":
+            leaders.add(i)  # back-edge target: header starts a block
+        elif name == "if":
+            info = structs[i]
+            leaders.add(i + 1)
+            leaders.add(info.else_ + 1 if info.else_ is not None else info.end)
+        elif name == "else":
+            leaders.add(structs_end_of_else(structs, body, i))
+            leaders.add(i + 1)
+        elif name in ("br", "br_if"):
+            target = _branch_target(body, structs, i, instr.args[0], enclosing_at[i])
+            if target != EXIT:
+                leaders.add(target)
+            if i + 1 < n:
+                leaders.add(i + 1)
+        elif name == "br_table":
+            depths, default = instr.args
+            for depth in tuple(depths) + (default,):
+                target = _branch_target(body, structs, i, depth, enclosing_at[i])
+                if target != EXIT:
+                    leaders.add(target)
+            if i + 1 < n:
+                leaders.add(i + 1)
+        elif name in ("return", "unreachable"):
+            if i + 1 < n:
+                leaders.add(i + 1)
+    leaders = {l for l in leaders if l < n}
+
+    # -- blocks ------------------------------------------------------------------
+    ordered = sorted(leaders)
+    blocks: dict[int, BasicBlock] = {}
+    for idx, start in enumerate(ordered):
+        hard_end = ordered[idx + 1] - 1 if idx + 1 < len(ordered) else n - 1
+        end = hard_end
+        for j in range(start, hard_end + 1):
+            if body[j].name in _TERMINATORS:
+                end = j
+                break
+        blocks[start] = BasicBlock(index=start, start=start, end=end)
+
+    # A terminator mid-range splits the leader run: the tail is dead code but
+    # must still live in a block (it may contain increments targets).  Create
+    # blocks for uncovered gaps.
+    covered: set[int] = set()
+    for b in blocks.values():
+        covered.update(range(b.start, b.end + 1))
+    i = 0
+    while i < n:
+        if i not in covered:
+            start = i
+            while i < n and i not in covered and body[i].name not in _TERMINATORS:
+                i += 1
+            if i < n and i not in covered and body[i].name in _TERMINATORS:
+                end = i
+                i += 1
+            else:
+                end = i - 1
+            blocks[start] = BasicBlock(index=start, start=start, end=end)
+            covered.update(range(start, end + 1))
+        else:
+            i += 1
+
+    # -- edges ---------------------------------------------------------------------
+    def add_edge(src: BasicBlock, dst_index: int) -> None:
+        src.successors.append(dst_index)
+        if dst_index != EXIT:
+            target_block = blocks[dst_index]
+            target_block.predecessors.append(src.index)
+
+    for block in blocks.values():
+        t = block.end
+        instr = body[t]
+        name = instr.name
+        if name == "br":
+            add_edge(block, _resolve(blocks, body, structs, t, instr.args[0], enclosing_at))
+        elif name == "br_if":
+            add_edge(block, _resolve(blocks, body, structs, t, instr.args[0], enclosing_at))
+            add_edge(block, t + 1 if t + 1 < n else EXIT)
+        elif name == "br_table":
+            depths, default = instr.args
+            seen_targets: set[int] = set()
+            for depth in tuple(depths) + (default,):
+                target = _resolve(blocks, body, structs, t, depth, enclosing_at)
+                if target not in seen_targets:
+                    seen_targets.add(target)
+                    add_edge(block, target)
+        elif name in ("return", "unreachable"):
+            add_edge(block, EXIT)
+        elif name == "if":
+            info = structs[t]
+            add_edge(block, t + 1)
+            add_edge(block, info.else_ + 1 if info.else_ is not None else info.end)
+        elif name == "else":
+            add_edge(block, structs_end_of_else(structs, body, t))
+        else:  # fall-through
+            add_edge(block, t + 1 if t + 1 < n else EXIT)
+
+    entry = 0 if n else EXIT
+    return ControlFlowGraph(body=body, blocks=blocks, entry=entry)
+
+
+def _resolve(blocks, body, structs, pc: int, depth: int, enclosing_at) -> int:
+    return _branch_target(body, structs, pc, depth, enclosing_at[pc])
+
+
+def structs_end_of_else(structs, body: list[Instr], else_index: int) -> int:
+    """The ``end`` index of the if/else construct owning the ``else`` at ``else_index``."""
+    for opener, info in structs.items():
+        if info.else_ == else_index:
+            return info.end
+    raise KeyError(f"no if owns else at {else_index}")

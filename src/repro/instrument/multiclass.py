@@ -1,0 +1,137 @@
+"""Per-class instruction counters: runtime-adjustable weights (§3.7).
+
+The paper notes that instruction weights should be adjustable "without
+requiring the release of new enclaves".  With a single weighted counter the
+weights are baked in at instrumentation time; this pass instead injects one
+counter per instruction *class* (e.g. cheap ALU / float / division /
+memory), so the parties can re-price past executions under new per-class
+rates — the weights move from the instrumented code into the (signed,
+versioned) pricing policy.
+
+Supports the naive and flow-based placement strategies; loop hoisting is a
+single-counter optimisation and is intentionally out of scope here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.instrument.cfg import build_cfg
+from repro.instrument.passes import COUNTER_EXPORT, _flow_optimise, _increment_seq, _insertion_point
+from repro.wasm.instructions import INSTRUCTIONS_BY_NAME, Instr
+from repro.wasm.module import Export, Global, Module
+from repro.wasm.types import GlobalType, ValType
+
+#: A sensible default partition by cost character (see Fig. 7's bands).
+DEFAULT_CLASSES: dict[str, frozenset[str]] = {
+    "cheap": frozenset(
+        name
+        for name, op in INSTRUCTIONS_BY_NAME.items()
+        if op.category.value in ("control", "parametric", "variable", "const", "comparison")
+    ),
+    "alu": frozenset(
+        name
+        for name, op in INSTRUCTIONS_BY_NAME.items()
+        if op.category.value in ("numeric", "conversion")
+        and "div" not in name and "rem" not in name and "sqrt" not in name
+    ),
+    "division": frozenset(
+        name for name in INSTRUCTIONS_BY_NAME
+        if "div" in name or "rem" in name or "sqrt" in name
+    ),
+    "memory": frozenset(
+        name for name, op in INSTRUCTIONS_BY_NAME.items() if op.category.value == "memory"
+    ),
+}
+
+
+@dataclass
+class MulticlassResult:
+    """Instrumented module plus the per-class counter locations."""
+
+    module: Module
+    level: str
+    classes: dict[str, frozenset[str]]
+    counter_globals: dict[str, int]
+
+    def counter_export(self, class_name: str) -> str:
+        return f"{COUNTER_EXPORT}_{class_name}"
+
+    def read_counts(self, instance) -> dict[str, int]:
+        """Read all class counters from a finished instance."""
+        return {
+            name: int(instance.globals[index].value)
+            for name, index in self.counter_globals.items()
+        }
+
+    @staticmethod
+    def price(counts: dict[str, int], rates: dict[str, float]) -> float:
+        """Re-price a recorded count vector under (new) per-class rates."""
+        return sum(rates.get(name, 0.0) * count for name, count in counts.items())
+
+
+def instrument_module_multiclass(
+    module: Module,
+    classes: dict[str, frozenset[str]] | None = None,
+    level: str = "flow-based",
+) -> MulticlassResult:
+    """Inject one instruction counter per class.
+
+    Classes need not partition the instruction set, but instructions in no
+    class are simply not counted, and overlapping classes count twice —
+    validation of the classification is the caller's policy decision.
+    """
+    if level not in ("naive", "flow-based"):
+        raise ValueError("multiclass instrumentation supports naive/flow-based only")
+    classes = dict(classes or DEFAULT_CLASSES)
+    for name, members in classes.items():
+        unknown = members - set(INSTRUCTIONS_BY_NAME)
+        if unknown:
+            raise ValueError(f"class {name!r} references unknown instructions {sorted(unknown)[:3]}")
+
+    out = module.clone()
+    counter_globals: dict[str, int] = {}
+    existing_exports = {e.name for e in out.exports}
+    for class_name in classes:
+        index = out.num_imported_globals + len(out.globals)
+        out.globals.append(
+            Global(GlobalType(ValType.I64, mutable=True), [Instr("i64.const", (0,))])
+        )
+        export_name = f"{COUNTER_EXPORT}_{class_name}"
+        while export_name in existing_exports:
+            export_name += "_"
+        existing_exports.add(export_name)
+        out.exports.append(Export(export_name, "global", index))
+        counter_globals[class_name] = index
+
+    for func in out.funcs:
+        if not func.body:
+            continue
+        cfg = build_cfg(func.body)
+        per_class_increments: dict[str, dict[int, int]] = {}
+        for class_name, members in classes.items():
+            increments = {
+                block.index: sum(
+                    1 for i in block.instructions(func.body) if i.name in members
+                )
+                for block in cfg.blocks.values()
+            }
+            if level == "flow-based":
+                _flow_optimise(cfg, increments, frozen=set())
+            per_class_increments[class_name] = increments
+
+        insertions: list[tuple[int, list[Instr]]] = []
+        for block in cfg.blocks.values():
+            sequence: list[Instr] = []
+            for class_name in classes:
+                amount = per_class_increments[class_name].get(block.index, 0)
+                if amount > 0:
+                    sequence += _increment_seq(counter_globals[class_name], amount)
+            if sequence:
+                insertions.append((_insertion_point(block, func.body), sequence))
+        for position, sequence in sorted(insertions, key=lambda p: p[0], reverse=True):
+            func.body[position:position] = sequence
+
+    return MulticlassResult(
+        module=out, level=level, classes=classes, counter_globals=counter_globals
+    )

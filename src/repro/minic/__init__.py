@@ -1,0 +1,27 @@
+"""MiniC: a small C-like language compiled to WebAssembly.
+
+Stands in for the paper's Emscripten/rustc toolchains (requirement R1,
+"polyglot input"): the evaluation workloads — PolyBench kernels, MSieve-style
+factorisation, the PC algorithm, subset-sum and the Darknet-style classifier
+— are written in MiniC and compiled to the same Wasm the instrumentation
+enclave instruments.
+
+Supported surface: ``int``/``long``/``float``/``double`` scalars, global
+arrays (any rank, row-major in linear memory), functions, ``if``/``else``,
+``while``/``for``, ``break``/``continue``, ``return``, full expression
+grammar with short-circuit logic, C cast syntax, ``&a[i]`` for passing
+buffer addresses to the host I/O built-ins, and ``extern`` declarations for
+host imports.
+
+Example::
+
+    from repro.minic import compile_source
+
+    module = compile_source('''
+        int square(int x) { return x * x; }
+    ''')
+"""
+
+from repro.minic.compiler import compile_source, CompileError
+
+__all__ = ["compile_source", "CompileError"]

@@ -1,0 +1,235 @@
+"""MiniC abstract syntax tree and source-level types."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.wasm.types import ValType
+
+
+class CType(enum.Enum):
+    """MiniC scalar types and their WebAssembly mapping."""
+
+    INT = "int"
+    LONG = "long"
+    FLOAT = "float"
+    DOUBLE = "double"
+    VOID = "void"
+
+    @property
+    def valtype(self) -> ValType:
+        mapping = {
+            CType.INT: ValType.I32,
+            CType.LONG: ValType.I64,
+            CType.FLOAT: ValType.F32,
+            CType.DOUBLE: ValType.F64,
+        }
+        if self not in mapping:
+            raise ValueError("void has no value type")
+        return mapping[self]
+
+    @property
+    def size(self) -> int:
+        return {CType.INT: 4, CType.LONG: 8, CType.FLOAT: 4, CType.DOUBLE: 8}[self]
+
+    @property
+    def is_integer(self) -> bool:
+        return self in (CType.INT, CType.LONG)
+
+    @property
+    def is_float(self) -> bool:
+        return self in (CType.FLOAT, CType.DOUBLE)
+
+
+# -- expressions --------------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLiteral(Expr):
+    value: int = 0
+    ctype: CType = CType.INT
+
+
+@dataclass
+class FloatLiteral(Expr):
+    value: float = 0.0
+    ctype: CType = CType.DOUBLE
+
+
+@dataclass
+class VarRef(Expr):
+    name: str = ""
+
+
+@dataclass
+class ArrayRef(Expr):
+    name: str = ""
+    indices: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class AddressOf(Expr):
+    """``&a[i]...`` — the byte address of an array element, as int."""
+
+    target: ArrayRef = None  # type: ignore[assignment]
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Cast(Expr):
+    ctype: CType = CType.INT
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class LocalDecl(Stmt):
+    ctype: CType = CType.INT
+    name: str = ""
+    init: Expr | None = None
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is a variable or array element."""
+
+    target: Expr = None  # type: ignore[assignment]
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then_body: list[Stmt] = field(default_factory=list)
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class DoWhile(Stmt):
+    """``do { body } while (cond);`` — the body runs at least once."""
+
+    cond: Expr = None  # type: ignore[assignment]
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Stmt | None = None
+    body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Block(Stmt):
+    body: list[Stmt] = field(default_factory=list)
+
+
+# -- top level ----------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    ctype: CType
+    name: str
+
+
+@dataclass
+class FuncDecl:
+    return_type: CType
+    name: str
+    params: list[Param]
+    body: list[Stmt]
+    extern: bool = False
+    line: int = 0
+
+
+@dataclass
+class GlobalArray:
+    ctype: CType
+    name: str
+    dims: list[int]
+    line: int = 0
+
+    @property
+    def element_count(self) -> int:
+        count = 1
+        for d in self.dims:
+            count *= d
+        return count
+
+    @property
+    def byte_size(self) -> int:
+        return self.element_count * self.ctype.size
+
+
+@dataclass
+class GlobalScalar:
+    ctype: CType
+    name: str
+    init: Expr | None = None
+    line: int = 0
+
+
+@dataclass
+class Program:
+    functions: list[FuncDecl] = field(default_factory=list)
+    arrays: list[GlobalArray] = field(default_factory=list)
+    scalars: list[GlobalScalar] = field(default_factory=list)

@@ -1,0 +1,740 @@
+"""MiniC-to-WebAssembly code generator.
+
+Lowers the MiniC AST to the flat Wasm IR of :mod:`repro.wasm`.  Loop code is
+emitted in the canonical ``block/loop/br_if/br`` shape so that AccTEE's
+loop-based optimisation recognises compiler-generated loops, mirroring how
+the paper's pass targets Emscripten output.
+
+Memory layout: global arrays are bump-allocated row-major in linear memory
+starting at offset 0, 8-byte aligned; global scalars become Wasm globals;
+everything else lives in locals.  Every defined function is exported under
+its own name, and the linear memory is exported as ``memory``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.minic import ast
+from repro.minic.ast import CType
+from repro.minic.parser import ParseError, parse_source
+from repro.wasm.instructions import Instr
+from repro.wasm.memory import PAGE_SIZE
+from repro.wasm.module import Export, Function, Global, Import, Module
+from repro.wasm.types import FuncType, GlobalType, Limits, MemoryType, ValType
+
+
+class CompileError(Exception):
+    """Raised on semantic errors in MiniC source."""
+
+
+_BUILTIN_UNARY_F64 = {
+    "sqrt": "sqrt",
+    "fabs": "abs",
+    "floor": "floor",
+    "ceil": "ceil",
+    "trunc": "trunc",
+    "round": "nearest",
+}
+
+_BUILTIN_BINARY_F64 = {"fmin": "min", "fmax": "max"}
+
+
+@dataclass
+class _ArrayInfo:
+    ctype: CType
+    dims: list[int]
+    offset: int  # byte offset of the array base in linear memory
+
+
+@dataclass
+class _FuncInfo:
+    index: int  # combined function index
+    functype: FuncType
+    return_type: CType
+    param_types: list[CType]
+
+
+@dataclass
+class _LocalInfo:
+    index: int
+    ctype: CType
+
+
+@dataclass
+class _Scope:
+    names: dict[str, _LocalInfo] = field(default_factory=dict)
+
+
+class _FunctionCompiler:
+    """Compiles one function body to a flat instruction list."""
+
+    def __init__(self, module_compiler: "_ModuleCompiler", decl: ast.FuncDecl):
+        self.mc = module_compiler
+        self.decl = decl
+        self.code: list[Instr] = []
+        self.local_types: list[ValType] = []
+        self.scopes: list[_Scope] = [_Scope()]
+        self.n_params = len(decl.params)
+        for i, param in enumerate(decl.params):
+            if param.ctype is CType.VOID:
+                raise CompileError(f"line {decl.line}: void parameter in {decl.name}")
+            self.scopes[0].names[param.name] = _LocalInfo(i, param.ctype)
+        # control stack: entries are ("loop-top" | "loop-exit" | "loop-cont" |
+        # "plain") markers used to compute branch depths
+        self.ctrl: list[str] = []
+
+    # -- emit helpers -----------------------------------------------------------
+
+    def emit(self, name: str, *args) -> None:
+        self.code.append(Instr(name, tuple(args)))
+
+    def _push_ctrl(self, marker: str) -> None:
+        self.ctrl.append(marker)
+
+    def _pop_ctrl(self) -> None:
+        self.ctrl.pop()
+
+    def _depth_to(self, marker: str) -> int:
+        """Branch depth from the current position to the innermost ``marker``."""
+        for depth, entry in enumerate(reversed(self.ctrl)):
+            if entry == marker:
+                return depth
+        raise CompileError(f"no enclosing loop for {marker}")
+
+    def _new_local(self, name: str, ctype: CType, line: int) -> _LocalInfo:
+        scope = self.scopes[-1]
+        if name in scope.names:
+            raise CompileError(f"line {line}: duplicate declaration of {name!r}")
+        info = _LocalInfo(self.n_params + len(self.local_types), ctype)
+        self.local_types.append(ctype.valtype)
+        scope.names[name] = info
+        return info
+
+    def _lookup_local(self, name: str) -> _LocalInfo | None:
+        for scope in reversed(self.scopes):
+            if name in scope.names:
+                return scope.names[name]
+        return None
+
+    # -- conversions -------------------------------------------------------------
+
+    def _convert(self, from_type: CType, to_type: CType, line: int) -> None:
+        if from_type is to_type:
+            return
+        key = (from_type, to_type)
+        table = {
+            (CType.INT, CType.LONG): ["i64.extend_i32_s"],
+            (CType.LONG, CType.INT): ["i32.wrap_i64"],
+            (CType.INT, CType.FLOAT): ["f32.convert_i32_s"],
+            (CType.INT, CType.DOUBLE): ["f64.convert_i32_s"],
+            (CType.LONG, CType.FLOAT): ["f32.convert_i64_s"],
+            (CType.LONG, CType.DOUBLE): ["f64.convert_i64_s"],
+            (CType.FLOAT, CType.DOUBLE): ["f64.promote_f32"],
+            (CType.DOUBLE, CType.FLOAT): ["f32.demote_f64"],
+            (CType.FLOAT, CType.INT): ["i32.trunc_f32_s"],
+            (CType.FLOAT, CType.LONG): ["i64.trunc_f32_s"],
+            (CType.DOUBLE, CType.INT): ["i32.trunc_f64_s"],
+            (CType.DOUBLE, CType.LONG): ["i64.trunc_f64_s"],
+        }
+        if key not in table:
+            raise CompileError(f"line {line}: cannot convert {from_type.value} to {to_type.value}")
+        for name in table[key]:
+            self.emit(name)
+
+    @staticmethod
+    def _unify(a: CType, b: CType) -> CType:
+        order = [CType.INT, CType.LONG, CType.FLOAT, CType.DOUBLE]
+        return order[max(order.index(a), order.index(b))]
+
+    def _to_bool(self, ctype: CType) -> None:
+        """Turn the value on the stack into an i32 boolean."""
+        if ctype is CType.INT:
+            return
+        if ctype is CType.LONG:
+            self.emit("i64.const", 0)
+            self.emit("i64.ne")
+        elif ctype is CType.FLOAT:
+            self.emit("f32.const", 0.0)
+            self.emit("f32.ne")
+        elif ctype is CType.DOUBLE:
+            self.emit("f64.const", 0.0)
+            self.emit("f64.ne")
+        else:
+            raise CompileError("void value used as condition")
+
+    # -- expressions ----------------------------------------------------------------
+
+    def expr(self, node: ast.Expr) -> CType:
+        """Emit code pushing the expression's value; returns its type."""
+        if isinstance(node, ast.IntLiteral):
+            mask = 0xFFFFFFFF if node.ctype is CType.INT else 0xFFFFFFFFFFFFFFFF
+            self.emit(f"{node.ctype.valtype.value}.const", node.value & mask)
+            return node.ctype
+        if isinstance(node, ast.FloatLiteral):
+            self.emit(f"{node.ctype.valtype.value}.const", node.value)
+            return node.ctype
+        if isinstance(node, ast.VarRef):
+            local = self._lookup_local(node.name)
+            if local is not None:
+                self.emit("local.get", local.index)
+                return local.ctype
+            if node.name in self.mc.scalar_globals:
+                index, ctype = self.mc.scalar_globals[node.name]
+                self.emit("global.get", index)
+                return ctype
+            raise CompileError(f"line {node.line}: undefined variable {node.name!r}")
+        if isinstance(node, ast.ArrayRef):
+            info = self._array(node)
+            self._emit_element_index(node, info)
+            vt = info.ctype.valtype
+            self.emit(f"{vt.value}.load", info.ctype.size, info.offset)
+            return info.ctype
+        if isinstance(node, ast.AddressOf):
+            info = self._array(node.target)
+            self._emit_element_index(node.target, info)
+            if info.offset:
+                self.emit("i32.const", info.offset)
+                self.emit("i32.add")
+            return CType.INT
+        if isinstance(node, ast.Unary):
+            return self._unary(node)
+        if isinstance(node, ast.Binary):
+            return self._binary(node)
+        if isinstance(node, ast.Cast):
+            source = self.expr(node.operand)
+            self._convert(source, node.ctype, node.line)
+            return node.ctype
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        raise CompileError(f"unsupported expression {type(node).__name__}")
+
+    def _array(self, node: ast.ArrayRef) -> _ArrayInfo:
+        info = self.mc.arrays.get(node.name)
+        if info is None:
+            raise CompileError(f"line {node.line}: undefined array {node.name!r}")
+        if len(node.indices) != len(info.dims):
+            raise CompileError(
+                f"line {node.line}: array {node.name!r} has {len(info.dims)} "
+                f"dimensions, {len(node.indices)} indices given"
+            )
+        return info
+
+    def _emit_element_index(self, node: ast.ArrayRef, info: _ArrayInfo) -> None:
+        """Push the *byte address within the array* (base goes in the memarg offset)."""
+        first = self.expr(node.indices[0])
+        if first is not CType.INT:
+            raise CompileError(f"line {node.line}: array index must be int")
+        for dim, index_expr in zip(info.dims[1:], node.indices[1:]):
+            self.emit("i32.const", dim)
+            self.emit("i32.mul")
+            itype = self.expr(index_expr)
+            if itype is not CType.INT:
+                raise CompileError(f"line {node.line}: array index must be int")
+            self.emit("i32.add")
+        shift = {4: 2, 8: 3}[info.ctype.size]
+        self.emit("i32.const", shift)
+        self.emit("i32.shl")
+
+    def _unary(self, node: ast.Unary) -> CType:
+        if node.op == "-":
+            if isinstance(node.operand, (ast.IntLiteral, ast.FloatLiteral)):
+                folded = type(node.operand)(
+                    line=node.line, value=-node.operand.value, ctype=node.operand.ctype
+                )
+                return self.expr(folded)
+            ctype = self.mc.type_of(node.operand, self)
+            vt = ctype.valtype.value
+            if ctype.is_float:
+                self.expr(node.operand)
+                self.emit(f"{vt}.neg")
+            else:
+                # 0 - x: the zero must be pushed before the operand
+                self.emit(f"{vt}.const", 0)
+                self.expr(node.operand)
+                self.emit(f"{vt}.sub")
+            return ctype
+        if node.op == "!":
+            ctype = self.expr(node.operand)
+            if ctype is CType.INT:
+                self.emit("i32.eqz")
+            elif ctype is CType.LONG:
+                self.emit("i64.eqz")
+            else:
+                self._to_bool(ctype)
+                self.emit("i32.eqz")
+            return CType.INT
+        if node.op == "~":
+            ctype = self.expr(node.operand)
+            if not ctype.is_integer:
+                raise CompileError(f"line {node.line}: '~' requires an integer operand")
+            vt = ctype.valtype.value
+            mask = 0xFFFFFFFF if ctype is CType.INT else 0xFFFFFFFFFFFFFFFF
+            self.emit(f"{vt}.const", mask)
+            self.emit(f"{vt}.xor")
+            return ctype
+        raise CompileError(f"line {node.line}: unknown unary operator {node.op!r}")
+
+    def _binary(self, node: ast.Binary) -> CType:
+        op = node.op
+        if op in ("&&", "||"):
+            return self._short_circuit(node)
+        left_type = self.expr(node.left)
+        # peek the right type without emitting: simplest is emit-then-unify;
+        # instead compute the unified type from a dry type pass
+        right_type = self.mc.type_of(node.right, self)
+        if op in ("<<", ">>", "&", "|", "^", "%"):
+            if not (left_type.is_integer and right_type.is_integer):
+                raise CompileError(f"line {node.line}: {op!r} requires integer operands")
+        unified = self._unify(left_type, right_type)
+        self._convert(left_type, unified, node.line)
+        actual_right = self.expr(node.right)
+        if actual_right is not right_type:
+            raise CompileError(f"line {node.line}: inconsistent type inference")
+        self._convert(right_type, unified, node.line)
+        vt = unified.valtype.value
+
+        arithmetic = {
+            "+": "add", "-": "sub", "*": "mul",
+            "/": "div_s" if unified.is_integer else "div",
+            "%": "rem_s",
+            "&": "and", "|": "or", "^": "xor",
+            "<<": "shl", ">>": "shr_s",
+        }
+        comparisons_int = {"==": "eq", "!=": "ne", "<": "lt_s", "<=": "le_s", ">": "gt_s", ">=": "ge_s"}
+        comparisons_float = {"==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge"}
+
+        if op in arithmetic:
+            if op == "%" and unified.is_float:
+                raise CompileError(f"line {node.line}: '%' requires integer operands")
+            self.emit(f"{vt}.{arithmetic[op]}")
+            return unified
+        if op in comparisons_int:
+            suffix = comparisons_int[op] if unified.is_integer else comparisons_float[op]
+            self.emit(f"{vt}.{suffix}")
+            return CType.INT
+        raise CompileError(f"line {node.line}: unknown operator {op!r}")
+
+    def _short_circuit(self, node: ast.Binary) -> CType:
+        left_type = self.expr(node.left)
+        self._to_bool(left_type)
+        self.emit("if", (ValType.I32,))
+        self._push_ctrl("plain")
+        if node.op == "&&":
+            right_type = self.expr(node.right)
+            self._to_bool(right_type)
+            self.emit("else")
+            self.emit("i32.const", 0)
+        else:
+            self.emit("i32.const", 1)
+            self.emit("else")
+            right_type = self.expr(node.right)
+            self._to_bool(right_type)
+        self.emit("end")
+        self._pop_ctrl()
+        return CType.INT
+
+    def _call(self, node: ast.Call) -> CType:
+        # math built-ins
+        if node.name in _BUILTIN_UNARY_F64:
+            if len(node.args) != 1:
+                raise CompileError(f"line {node.line}: {node.name} takes one argument")
+            arg_type = self.expr(node.args[0])
+            self._convert(arg_type, CType.DOUBLE, node.line)
+            self.emit(f"f64.{_BUILTIN_UNARY_F64[node.name]}")
+            return CType.DOUBLE
+        if node.name in _BUILTIN_BINARY_F64:
+            if len(node.args) != 2:
+                raise CompileError(f"line {node.line}: {node.name} takes two arguments")
+            a = self.expr(node.args[0])
+            self._convert(a, CType.DOUBLE, node.line)
+            b = self.expr(node.args[1])
+            self._convert(b, CType.DOUBLE, node.line)
+            self.emit(f"f64.{_BUILTIN_BINARY_F64[node.name]}")
+            return CType.DOUBLE
+
+        info = self.mc.functions.get(node.name)
+        if info is None:
+            raise CompileError(f"line {node.line}: undefined function {node.name!r}")
+        if len(node.args) != len(info.param_types):
+            raise CompileError(
+                f"line {node.line}: {node.name} expects {len(info.param_types)} "
+                f"arguments, got {len(node.args)}"
+            )
+        for arg, expected in zip(node.args, info.param_types):
+            actual = self.expr(arg)
+            self._convert(actual, expected, node.line)
+        self.emit("call", info.index)
+        return info.return_type
+
+    # -- statements --------------------------------------------------------------------
+
+    def stmt(self, node: ast.Stmt) -> None:
+        if isinstance(node, ast.LocalDecl):
+            if node.ctype is CType.VOID:
+                raise CompileError(f"line {node.line}: void local")
+            info = self._new_local(node.name, node.ctype, node.line)
+            if node.init is not None:
+                value_type = self.expr(node.init)
+                self._convert(value_type, node.ctype, node.line)
+                self.emit("local.set", info.index)
+            return
+        if isinstance(node, ast.Assign):
+            self._assign(node)
+            return
+        if isinstance(node, ast.ExprStmt):
+            result = self.expr(node.expr)
+            if result is not CType.VOID:
+                self.emit("drop")
+            return
+        if isinstance(node, ast.Block):
+            self.scopes.append(_Scope())
+            for child in node.body:
+                self.stmt(child)
+            self.scopes.pop()
+            return
+        if isinstance(node, ast.If):
+            cond_type = self.expr(node.cond)
+            self._to_bool(cond_type)
+            self.emit("if", ())
+            self._push_ctrl("plain")
+            self.scopes.append(_Scope())
+            for child in node.then_body:
+                self.stmt(child)
+            self.scopes.pop()
+            if node.else_body:
+                self.emit("else")
+                self.scopes.append(_Scope())
+                for child in node.else_body:
+                    self.stmt(child)
+                self.scopes.pop()
+            self.emit("end")
+            self._pop_ctrl()
+            return
+        if isinstance(node, ast.While):
+            self._loop(cond=node.cond, body=node.body, step=None)
+            return
+        if isinstance(node, ast.DoWhile):
+            self._do_while(node)
+            return
+        if isinstance(node, ast.For):
+            self.scopes.append(_Scope())
+            if node.init is not None:
+                self.stmt(node.init)
+            self._loop(cond=node.cond, body=node.body, step=node.step)
+            self.scopes.pop()
+            return
+        if isinstance(node, ast.Return):
+            if node.value is not None:
+                if self.decl.return_type is CType.VOID:
+                    raise CompileError(f"line {node.line}: void function returns a value")
+                value_type = self.expr(node.value)
+                self._convert(value_type, self.decl.return_type, node.line)
+            elif self.decl.return_type is not CType.VOID:
+                raise CompileError(f"line {node.line}: missing return value")
+            self.emit("return")
+            return
+        if isinstance(node, ast.Break):
+            self.emit("br", self._depth_to("loop-exit"))
+            return
+        if isinstance(node, ast.Continue):
+            try:
+                depth = self._depth_to("loop-cont")
+            except CompileError:
+                depth = self._depth_to("loop-top")
+            self.emit("br", depth)
+            return
+        raise CompileError(f"unsupported statement {type(node).__name__}")
+
+    def _assign(self, node: ast.Assign) -> None:
+        target = node.target
+        if isinstance(target, ast.VarRef):
+            local = self._lookup_local(target.name)
+            if local is not None:
+                value_type = self.expr(node.value)
+                self._convert(value_type, local.ctype, node.line)
+                self.emit("local.set", local.index)
+                return
+            if target.name in self.mc.scalar_globals:
+                index, ctype = self.mc.scalar_globals[target.name]
+                value_type = self.expr(node.value)
+                self._convert(value_type, ctype, node.line)
+                self.emit("global.set", index)
+                return
+            raise CompileError(f"line {node.line}: undefined variable {target.name!r}")
+        if isinstance(target, ast.ArrayRef):
+            info = self._array(target)
+            self._emit_element_index(target, info)
+            value_type = self.expr(node.value)
+            self._convert(value_type, info.ctype, node.line)
+            vt = info.ctype.valtype
+            self.emit(f"{vt.value}.store", info.ctype.size, info.offset)
+            return
+        raise CompileError(f"line {node.line}: invalid assignment target")
+
+    @staticmethod
+    def _contains_continue(body: list[ast.Stmt]) -> bool:
+        for node in body:
+            if isinstance(node, ast.Continue):
+                return True
+            if isinstance(node, ast.If):
+                if _FunctionCompiler._contains_continue(node.then_body):
+                    return True
+                if _FunctionCompiler._contains_continue(node.else_body):
+                    return True
+            elif isinstance(node, ast.Block):
+                if _FunctionCompiler._contains_continue(node.body):
+                    return True
+            # continue inside a nested loop binds to that loop: don't recurse
+        return False
+
+    def _loop(self, cond: ast.Expr | None, body: list[ast.Stmt], step: ast.Stmt | None) -> None:
+        """Emit the canonical hoistable loop shape.
+
+        ::
+
+            block            ;; loop-exit
+              loop           ;; loop-top
+                <cond> eqz br_if loop-exit
+                [block       ;; loop-cont, only when the body contains continue]
+                <body>
+                [end]
+                <step>
+                br loop-top
+              end
+            end
+        """
+        needs_cont = step is not None and self._contains_continue(body)
+        self.emit("block", ())
+        self._push_ctrl("loop-exit")
+        self.emit("loop", ())
+        self._push_ctrl("loop-top")
+        if cond is not None:
+            cond_type = self.expr(cond)
+            self._to_bool(cond_type)
+            self.emit("i32.eqz")
+            self.emit("br_if", self._depth_to("loop-exit"))
+        if needs_cont:
+            self.emit("block", ())
+            self._push_ctrl("loop-cont")
+        self.scopes.append(_Scope())
+        for child in body:
+            self.stmt(child)
+        self.scopes.pop()
+        if needs_cont:
+            self.emit("end")
+            self._pop_ctrl()
+        if step is not None:
+            self.stmt(step)
+        self.emit("br", self._depth_to("loop-top"))
+        self.emit("end")
+        self._pop_ctrl()
+        self.emit("end")
+        self._pop_ctrl()
+
+    def _do_while(self, node: ast.DoWhile) -> None:
+        """Emit ``do { body } while (cond)`` in the backward-br_if shape.
+
+        ::
+
+            block            ;; loop-exit (for break)
+              loop           ;; loop-top
+                [block]      ;; loop-cont, only when the body contains continue
+                <body>
+                [end]
+                <cond> br_if loop-top
+              end
+            end
+
+        The body-plus-condition region ends in a single backward ``br_if``,
+        which is exactly the instrumentation pass's pattern A.
+        """
+        needs_cont = self._contains_continue(node.body)
+        self.emit("block", ())
+        self._push_ctrl("loop-exit")
+        self.emit("loop", ())
+        self._push_ctrl("loop-top")
+        if needs_cont:
+            self.emit("block", ())
+            self._push_ctrl("loop-cont")
+        self.scopes.append(_Scope())
+        for child in node.body:
+            self.stmt(child)
+        self.scopes.pop()
+        if needs_cont:
+            self.emit("end")
+            self._pop_ctrl()
+        cond_type = self.expr(node.cond)
+        self._to_bool(cond_type)
+        self.emit("br_if", self._depth_to("loop-top"))
+        self.emit("end")
+        self._pop_ctrl()
+        self.emit("end")
+        self._pop_ctrl()
+
+    # -- entry ----------------------------------------------------------------------------
+
+    def compile(self) -> Function:
+        for node in self.decl.body:
+            self.stmt(node)
+        if self.decl.return_type is not CType.VOID:
+            # default result value: reachable only if control falls off the end
+            vt = self.decl.return_type.valtype
+            self.emit(f"{vt.value}.const", 0 if vt.is_int else 0.0)
+        functype = FuncType(
+            tuple(p.ctype.valtype for p in self.decl.params),
+            () if self.decl.return_type is CType.VOID else (self.decl.return_type.valtype,),
+        )
+        type_index = self.mc.module.add_type(functype)
+        return Function(
+            type_index=type_index,
+            locals=tuple(self.local_types),
+            body=self.code,
+            name=self.decl.name,
+        )
+
+
+class _ModuleCompiler:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.module = Module()
+        self.arrays: dict[str, _ArrayInfo] = {}
+        self.scalar_globals: dict[str, tuple[int, CType]] = {}
+        self.functions: dict[str, _FuncInfo] = {}
+
+    # -- type inference without emission (for binary type unification) ---------------
+
+    def type_of(self, node: ast.Expr, fc: _FunctionCompiler) -> CType:
+        """Static type of an expression (no code emitted)."""
+        if isinstance(node, ast.IntLiteral):
+            return node.ctype
+        if isinstance(node, ast.FloatLiteral):
+            return node.ctype
+        if isinstance(node, ast.VarRef):
+            local = fc._lookup_local(node.name)
+            if local is not None:
+                return local.ctype
+            if node.name in self.scalar_globals:
+                return self.scalar_globals[node.name][1]
+            raise CompileError(f"line {node.line}: undefined variable {node.name!r}")
+        if isinstance(node, ast.ArrayRef):
+            info = self.arrays.get(node.name)
+            if info is None:
+                raise CompileError(f"line {node.line}: undefined array {node.name!r}")
+            return info.ctype
+        if isinstance(node, ast.AddressOf):
+            return CType.INT
+        if isinstance(node, ast.Unary):
+            if node.op in ("!",):
+                return CType.INT
+            return self.type_of(node.operand, fc)
+        if isinstance(node, ast.Binary):
+            if node.op in ("&&", "||", "==", "!=", "<", "<=", ">", ">="):
+                return CType.INT
+            left = self.type_of(node.left, fc)
+            right = self.type_of(node.right, fc)
+            return _FunctionCompiler._unify(left, right)
+        if isinstance(node, ast.Cast):
+            return node.ctype
+        if isinstance(node, ast.Call):
+            if node.name in _BUILTIN_UNARY_F64 or node.name in _BUILTIN_BINARY_F64:
+                return CType.DOUBLE
+            info = self.functions.get(node.name)
+            if info is None:
+                raise CompileError(f"line {node.line}: undefined function {node.name!r}")
+            return info.return_type
+        raise CompileError(f"cannot type {type(node).__name__}")
+
+    # -- top level -------------------------------------------------------------------
+
+    def compile(self) -> Module:
+        module = self.module
+
+        # 1. linear memory layout for global arrays (8-byte aligned, base 0)
+        offset = 0
+        for array in self.program.arrays:
+            if array.ctype is CType.VOID:
+                raise CompileError(f"line {array.line}: void array")
+            if array.name in self.arrays:
+                raise CompileError(f"line {array.line}: duplicate array {array.name!r}")
+            for dim in array.dims:
+                if dim <= 0:
+                    raise CompileError(f"line {array.line}: non-positive array dimension")
+            offset = (offset + 7) & ~7
+            self.arrays[array.name] = _ArrayInfo(array.ctype, array.dims, offset)
+            offset += array.byte_size
+        pages = max(1, (offset + PAGE_SIZE - 1) // PAGE_SIZE)
+        module.memories.append(MemoryType(Limits(pages, None)))
+        module.exports.append(Export("memory", "memory", 0))
+
+        # 2. imports for extern functions, then indices for defined functions
+        defined = [f for f in self.program.functions if not f.extern]
+        externs = [f for f in self.program.functions if f.extern]
+        for i, decl in enumerate(externs):
+            functype = FuncType(
+                tuple(p.ctype.valtype for p in decl.params),
+                () if decl.return_type is CType.VOID else (decl.return_type.valtype,),
+            )
+            type_index = module.add_type(functype)
+            module.imports.append(Import("env", decl.name, "func", type_index, decl.name))
+            self.functions[decl.name] = _FuncInfo(
+                i, functype, decl.return_type, [p.ctype for p in decl.params]
+            )
+        for i, decl in enumerate(defined):
+            if decl.name in self.functions:
+                raise CompileError(f"line {decl.line}: duplicate function {decl.name!r}")
+            functype = FuncType(
+                tuple(p.ctype.valtype for p in decl.params),
+                () if decl.return_type is CType.VOID else (decl.return_type.valtype,),
+            )
+            self.functions[decl.name] = _FuncInfo(
+                len(externs) + i, functype, decl.return_type, [p.ctype for p in decl.params]
+            )
+
+        # 3. global scalars
+        for scalar in self.program.scalars:
+            if scalar.ctype is CType.VOID:
+                raise CompileError(f"line {scalar.line}: void global")
+            value = 0
+            if scalar.init is not None:
+                value = _const_eval(scalar.init)
+            vt = scalar.ctype.valtype
+            if vt.is_int:
+                init = [Instr(f"{vt.value}.const", (int(value) & ((1 << vt.bits) - 1),))]
+            else:
+                init = [Instr(f"{vt.value}.const", (float(value),))]
+            index = len(module.globals)
+            module.globals.append(
+                Global(GlobalType(vt, mutable=True), init, scalar.name)
+            )
+            self.scalar_globals[scalar.name] = (index, scalar.ctype)
+
+        # 4. function bodies + exports
+        for decl in defined:
+            func = _FunctionCompiler(self, decl).compile()
+            module.funcs.append(func)
+            module.exports.append(
+                Export(decl.name, "func", self.functions[decl.name].index)
+            )
+        return module
+
+
+def _const_eval(node: ast.Expr):
+    if isinstance(node, (ast.IntLiteral, ast.FloatLiteral)):
+        return node.value
+    if isinstance(node, ast.Unary) and node.op == "-":
+        return -_const_eval(node.operand)
+    raise CompileError("global initializers must be constant expressions")
+
+
+def compile_source(source: str) -> Module:
+    """Compile MiniC source text to a validated WebAssembly module."""
+    try:
+        program = parse_source(source)
+    except ParseError as exc:
+        raise CompileError(str(exc)) from exc
+    module = _ModuleCompiler(program).compile()
+    from repro.wasm.validate import validate
+
+    validate(module)
+    return module

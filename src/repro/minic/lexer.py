@@ -1,0 +1,121 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "int", "long", "float", "double", "void",
+    "if", "else", "while", "do", "for", "return", "break", "continue", "extern",
+}
+
+_TWO_CHAR = {
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=",
+}
+
+_ONE_CHAR = set("+-*/%<>=!&|^~(){}[];,.")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "ident" | "keyword" | "int" | "float" | "op"
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text}@{self.line}"
+
+
+class LexError(Exception):
+    """Raised on malformed MiniC source."""
+
+
+def tokenize(source: str) -> list[Token]:
+    """Produce the token stream for MiniC source text."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(count: int) -> None:
+        nonlocal i, line, col
+        for _ in range(count):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = source[i]
+        if c in " \t\r\n":
+            advance(1)
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError(f"unterminated block comment at line {line}")
+            advance(2)
+            continue
+        start_line, start_col = line, col
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, start_line, start_col))
+            advance(j - i)
+            continue
+        if c.isdigit() or (c == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            is_float = False
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                j = i + 2
+                while j < n and source[j] in "0123456789abcdefABCDEF":
+                    j += 1
+            else:
+                while j < n and source[j].isdigit():
+                    j += 1
+                if j < n and source[j] == ".":
+                    is_float = True
+                    j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+                if j < n and source[j] in "eE":
+                    is_float = True
+                    j += 1
+                    if j < n and source[j] in "+-":
+                        j += 1
+                    while j < n and source[j].isdigit():
+                        j += 1
+            suffix = ""
+            if j < n and source[j] in "fFlL":
+                suffix = source[j].lower()
+                j += 1
+            text = source[i:j]
+            kind = "float" if (is_float or suffix == "f") else "int"
+            tokens.append(Token(kind, text, start_line, start_col))
+            advance(j - i)
+            continue
+        if i + 1 < n and source[i : i + 2] in _TWO_CHAR:
+            tokens.append(Token("op", source[i : i + 2], start_line, start_col))
+            advance(2)
+            continue
+        if c in _ONE_CHAR:
+            tokens.append(Token("op", c, start_line, start_col))
+            advance(1)
+            continue
+        raise LexError(f"unexpected character {c!r} at line {line}, column {col}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

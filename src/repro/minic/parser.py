@@ -1,0 +1,293 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from repro.minic import ast
+from repro.minic.ast import CType
+from repro.minic.lexer import Token, tokenize
+
+
+class ParseError(Exception):
+    """Raised on syntactically invalid MiniC source."""
+
+
+_TYPE_NAMES = {"int", "long", "float", "double", "void"}
+
+# precedence-climbing table: operator -> binding power (higher binds tighter)
+_BINARY_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_COMPOUND_ASSIGN = {"+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%"}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.pos += 1
+        return token
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"line {self.current.line}: expected {want!r}, got {self.current.text!r}"
+            )
+        return self.advance()
+
+    def _is_type(self) -> bool:
+        return self.current.kind == "keyword" and self.current.text in _TYPE_NAMES
+
+    def _parse_type(self) -> CType:
+        token = self.expect("keyword")
+        if token.text not in _TYPE_NAMES:
+            raise ParseError(f"line {token.line}: expected type, got {token.text!r}")
+        return CType(token.text)
+
+    # -- program ----------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self.check("eof"):
+            extern = bool(self.accept("keyword", "extern"))
+            ctype = self._parse_type()
+            name = self.expect("ident").text
+            if self.check("op", "("):
+                program.functions.append(self._parse_function(ctype, name, extern))
+            elif extern:
+                raise ParseError("extern applies to function declarations only")
+            elif self.check("op", "["):
+                dims: list[int] = []
+                while self.accept("op", "["):
+                    dims.append(int(self.expect("int").text, 0))
+                    self.expect("op", "]")
+                self.expect("op", ";")
+                program.arrays.append(ast.GlobalArray(ctype, name, dims))
+            else:
+                init = None
+                if self.accept("op", "="):
+                    init = self._parse_expr()
+                self.expect("op", ";")
+                program.scalars.append(ast.GlobalScalar(ctype, name, init))
+        return program
+
+    def _parse_function(self, return_type: CType, name: str, extern: bool) -> ast.FuncDecl:
+        line = self.current.line
+        self.expect("op", "(")
+        params: list[ast.Param] = []
+        if not self.check("op", ")"):
+            while True:
+                if self.accept("keyword", "void") and self.check("op", ")"):
+                    break
+                ptype = self._parse_type()
+                pname = self.expect("ident").text
+                params.append(ast.Param(ptype, pname))
+                if not self.accept("op", ","):
+                    break
+        self.expect("op", ")")
+        if extern:
+            self.expect("op", ";")
+            return ast.FuncDecl(return_type, name, params, [], extern=True, line=line)
+        body = self._parse_block()
+        return ast.FuncDecl(return_type, name, params, body, line=line)
+
+    # -- statements ---------------------------------------------------------------
+
+    def _parse_block(self) -> list[ast.Stmt]:
+        self.expect("op", "{")
+        body: list[ast.Stmt] = []
+        while not self.check("op", "}"):
+            body.append(self._parse_stmt())
+        self.expect("op", "}")
+        return body
+
+    def _parse_stmt(self) -> ast.Stmt:
+        line = self.current.line
+        if self.check("op", "{"):
+            return ast.Block(line=line, body=self._parse_block())
+        if self._is_type():
+            ctype = self._parse_type()
+            name = self.expect("ident").text
+            init = None
+            if self.accept("op", "="):
+                init = self._parse_expr()
+            self.expect("op", ";")
+            return ast.LocalDecl(line=line, ctype=ctype, name=name, init=init)
+        if self.accept("keyword", "if"):
+            self.expect("op", "(")
+            cond = self._parse_expr()
+            self.expect("op", ")")
+            then_body = self._stmt_as_list()
+            else_body: list[ast.Stmt] = []
+            if self.accept("keyword", "else"):
+                else_body = self._stmt_as_list()
+            return ast.If(line=line, cond=cond, then_body=then_body, else_body=else_body)
+        if self.accept("keyword", "while"):
+            self.expect("op", "(")
+            cond = self._parse_expr()
+            self.expect("op", ")")
+            return ast.While(line=line, cond=cond, body=self._stmt_as_list())
+        if self.accept("keyword", "do"):
+            body = self._stmt_as_list()
+            self.expect("keyword", "while")
+            self.expect("op", "(")
+            cond = self._parse_expr()
+            self.expect("op", ")")
+            self.expect("op", ";")
+            return ast.DoWhile(line=line, cond=cond, body=body)
+        if self.accept("keyword", "for"):
+            self.expect("op", "(")
+            init = None if self.check("op", ";") else self._parse_simple_stmt()
+            self.expect("op", ";")
+            cond = None if self.check("op", ";") else self._parse_expr()
+            self.expect("op", ";")
+            step = None if self.check("op", ")") else self._parse_simple_stmt()
+            self.expect("op", ")")
+            return ast.For(line=line, init=init, cond=cond, step=step, body=self._stmt_as_list())
+        if self.accept("keyword", "return"):
+            value = None if self.check("op", ";") else self._parse_expr()
+            self.expect("op", ";")
+            return ast.Return(line=line, value=value)
+        if self.accept("keyword", "break"):
+            self.expect("op", ";")
+            return ast.Break(line=line)
+        if self.accept("keyword", "continue"):
+            self.expect("op", ";")
+            return ast.Continue(line=line)
+        stmt = self._parse_simple_stmt()
+        self.expect("op", ";")
+        return stmt
+
+    def _stmt_as_list(self) -> list[ast.Stmt]:
+        if self.check("op", "{"):
+            return self._parse_block()
+        return [self._parse_stmt()]
+
+    def _parse_simple_stmt(self) -> ast.Stmt:
+        """An assignment, declaration, or bare expression (for for-clauses)."""
+        line = self.current.line
+        if self._is_type():
+            ctype = self._parse_type()
+            name = self.expect("ident").text
+            init = None
+            if self.accept("op", "="):
+                init = self._parse_expr()
+            return ast.LocalDecl(line=line, ctype=ctype, name=name, init=init)
+        expr = self._parse_expr()
+        if self.accept("op", "="):
+            value = self._parse_expr()
+            return ast.Assign(line=line, target=expr, value=value)
+        for compound, base_op in _COMPOUND_ASSIGN.items():
+            if self.accept("op", compound):
+                value = self._parse_expr()
+                desugared = ast.Binary(line=line, op=base_op, left=expr, right=value)
+                return ast.Assign(line=line, target=expr, value=desugared)
+        return ast.ExprStmt(line=line, expr=expr)
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _parse_expr(self, min_precedence: int = 1) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.current
+            if token.kind != "op" or token.text not in _BINARY_PRECEDENCE:
+                return left
+            precedence = _BINARY_PRECEDENCE[token.text]
+            if precedence < min_precedence:
+                return left
+            self.advance()
+            right = self._parse_expr(precedence + 1)
+            left = ast.Binary(line=token.line, op=token.text, left=left, right=right)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self.advance()
+            return ast.Unary(line=token.line, op=token.text, operand=self._parse_unary())
+        if token.kind == "op" and token.text == "&":
+            self.advance()
+            target = self._parse_unary()
+            if not isinstance(target, ast.ArrayRef):
+                raise ParseError(f"line {token.line}: '&' applies to array elements only")
+            return ast.AddressOf(line=token.line, target=target)
+        # C-style cast: '(' type ')' unary
+        if token.kind == "op" and token.text == "(":
+            next_token = self.tokens[self.pos + 1]
+            if next_token.kind == "keyword" and next_token.text in _TYPE_NAMES:
+                self.advance()
+                ctype = self._parse_type()
+                self.expect("op", ")")
+                return ast.Cast(line=token.line, ctype=ctype, operand=self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "int":
+            self.advance()
+            text = token.text.rstrip("lL")
+            value = int(text, 0)
+            ctype = CType.LONG if token.text[-1] in "lL" else CType.INT
+            return ast.IntLiteral(line=token.line, value=value, ctype=ctype)
+        if token.kind == "float":
+            self.advance()
+            text = token.text.rstrip("fF")
+            ctype = CType.FLOAT if token.text[-1] in "fF" else CType.DOUBLE
+            return ast.FloatLiteral(line=token.line, value=float(text), ctype=ctype)
+        if token.kind == "ident":
+            self.advance()
+            name = token.text
+            if self.accept("op", "("):
+                args: list[ast.Expr] = []
+                if not self.check("op", ")"):
+                    while True:
+                        args.append(self._parse_expr())
+                        if not self.accept("op", ","):
+                            break
+                self.expect("op", ")")
+                return ast.Call(line=token.line, name=name, args=args)
+            if self.check("op", "["):
+                indices: list[ast.Expr] = []
+                while self.accept("op", "["):
+                    indices.append(self._parse_expr())
+                    self.expect("op", "]")
+                return ast.ArrayRef(line=token.line, name=name, indices=indices)
+            return ast.VarRef(line=token.line, name=name)
+        if self.accept("op", "("):
+            expr = self._parse_expr()
+            self.expect("op", ")")
+            return expr
+        raise ParseError(f"line {token.line}: unexpected token {token.text!r}")
+
+
+def parse_source(source: str) -> ast.Program:
+    """Parse MiniC source text into a :class:`~repro.minic.ast.Program`."""
+    return Parser(tokenize(source)).parse_program()

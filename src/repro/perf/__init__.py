@@ -1,0 +1,23 @@
+"""Deployment performance model.
+
+Turns interpreter execution statistics into estimated runtimes for the
+paper's deployment ladder — native, WASM, WASM-SGX in simulation mode,
+WASM-SGX in hardware mode, and the instrumented variants — reproducing the
+overhead *shape* of Figs. 6, 9 and 10 without the authors' Xeon testbed.
+"""
+
+from repro.perf.model import (
+    Deployment,
+    DeploymentReport,
+    PerformanceModel,
+    WorkloadRun,
+    CLOCK_GHZ,
+)
+
+__all__ = [
+    "Deployment",
+    "DeploymentReport",
+    "PerformanceModel",
+    "WorkloadRun",
+    "CLOCK_GHZ",
+]

@@ -1,0 +1,172 @@
+"""Cycle-level performance model for the deployment ladder.
+
+The model is mechanistic, not fitted per benchmark: every deployment's cost
+is assembled from the same measured quantities (instruction visit counts,
+cache behaviour, memory footprint, I/O volume) plus published per-component
+costs (EPC paging, enclave transitions, memory-encryption overhead).
+
+* **native** — the same instruction stream costed with a slightly cheaper
+  per-category table (no bounds checks, better register allocation), giving
+  the paper's ~1.1x average WASM-over-native overhead;
+* **wasm** — the interpreter's cost-model cycles as measured;
+* **wasm-sgx-sim** — SGX-LKL without hardware: LKL syscall servicing only
+  (the paper finds this adds nothing for compute-bound work);
+* **wasm-sgx-hw** — adds the memory-encryption-engine surcharge on LLC
+  misses, enclave transitions for delegated syscalls, and EPC paging once
+  the enclave footprint exceeds the 93 MiB usable EPC (the dominant effect
+  in Fig. 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.sgx.epc import EPCModel
+from repro.sgx.lkl import EEXIT_EENTER_CYCLES
+from repro.wasm.costmodel import CostModel, MemoryHierarchy
+from repro.wasm.instructions import Category, INSTRUCTIONS_BY_NAME
+from repro.wasm.interpreter import ExecutionStats, Instance
+from repro.wasm.module import Module
+
+#: Simulated clock of the paper's Xeon E3-1230 v5.
+CLOCK_GHZ = 3.4
+
+#: Native-over-wasm per-category cost discount: what an AOT native compile of
+#: the same kernel saves relative to the Wasm execution contract (bounds
+#: checks, stack-machine shuffles, call indirection).
+_NATIVE_DISCOUNT: dict[Category, float] = {
+    Category.CONTROL: 0.85,
+    Category.PARAMETRIC: 0.70,
+    Category.VARIABLE: 0.70,
+    Category.MEMORY: 0.80,
+    Category.CONST: 0.55,
+    Category.COMPARISON: 0.90,
+    Category.NUMERIC: 0.95,
+    Category.CONVERSION: 0.95,
+}
+
+#: Extra DRAM latency factor under the SGX memory encryption engine.
+_MEE_DRAM_FACTOR = 0.25
+
+
+class Deployment(enum.Enum):
+    NATIVE = "native"
+    WASM = "wasm"
+    WASM_SGX_SIM = "wasm-sgx-sim"
+    WASM_SGX_HW = "wasm-sgx-hw"
+
+
+@dataclass
+class WorkloadRun:
+    """One measured execution: stats plus the ambient memory facts."""
+
+    stats: ExecutionStats
+    hierarchy: MemoryHierarchy | None
+    footprint_bytes: int
+    locality: float = 0.7
+    delegated_syscalls: int = 0
+
+    @classmethod
+    def measure(
+        cls,
+        module: Module,
+        export: str,
+        args: tuple = (),
+        setup: list[tuple[str, tuple]] | None = None,
+        footprint_bytes: int | None = None,
+        locality: float = 0.7,
+        imports: dict | None = None,
+    ) -> tuple["WorkloadRun", object]:
+        """Instantiate and run a module under the default cost model."""
+        cost = CostModel.with_default_hierarchy()
+        instance = Instance(module, imports=imports or {}, cost_model=cost)
+        for name, call_args in setup or []:
+            instance.invoke(name, *call_args)
+        value = instance.invoke(export, *args)
+        footprint = footprint_bytes
+        if footprint is None:
+            footprint = instance.memory.size_bytes if instance.memory else 0
+        run = cls(
+            stats=instance.stats,
+            hierarchy=cost.hierarchy,
+            footprint_bytes=footprint,
+            locality=locality,
+        )
+        return run, value
+
+
+@dataclass
+class DeploymentReport:
+    """Estimated cost of one run under one deployment."""
+
+    deployment: Deployment
+    cycles: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (CLOCK_GHZ * 1e9)
+
+
+class PerformanceModel:
+    """Prices a :class:`WorkloadRun` under each deployment."""
+
+    def __init__(self, epc: EPCModel | None = None):
+        self.epc = epc or EPCModel()
+
+    # -- per-deployment costing ---------------------------------------------------
+
+    def native_cycles(self, run: WorkloadRun) -> float:
+        compute = 0.0
+        for name, count in run.stats.visits.items():
+            info = INSTRUCTIONS_BY_NAME[name]
+            weight = CostModel().instruction_cycles(name)
+            compute += count * weight * _NATIVE_DISCOUNT[info.category]
+        memory = run.hierarchy.total_cycles if run.hierarchy else 0.0
+        return compute + memory
+
+    def wasm_cycles(self, run: WorkloadRun) -> float:
+        return run.stats.cycles
+
+    def sgx_sim_cycles(self, run: WorkloadRun) -> float:
+        # LKL services syscalls in-enclave; compute-bound work is unaffected
+        lkl_service = run.stats.host_calls * 450.0
+        return run.stats.cycles + lkl_service
+
+    def sgx_hw_cycles(self, run: WorkloadRun) -> tuple[float, dict[str, float]]:
+        base = self.sgx_sim_cycles(run)
+        llc_misses = 0.0
+        if run.hierarchy is not None:
+            llc_misses = run.hierarchy.levels[-1].misses
+        mee = llc_misses * run.hierarchy.dram_cycles * _MEE_DRAM_FACTOR if run.hierarchy else 0.0
+        accesses = run.stats.loads + run.stats.stores
+        paging = self.epc.paging_overhead_cycles(
+            run.footprint_bytes, accesses, run.locality
+        )
+        transitions = run.delegated_syscalls * EEXIT_EENTER_CYCLES
+        breakdown = {
+            "base": base,
+            "mee": mee,
+            "epc_paging": paging,
+            "transitions": transitions,
+        }
+        return base + mee + paging + transitions, breakdown
+
+    def report(self, run: WorkloadRun, deployment: Deployment) -> DeploymentReport:
+        if deployment is Deployment.NATIVE:
+            return DeploymentReport(deployment, self.native_cycles(run))
+        if deployment is Deployment.WASM:
+            return DeploymentReport(deployment, self.wasm_cycles(run))
+        if deployment is Deployment.WASM_SGX_SIM:
+            return DeploymentReport(deployment, self.sgx_sim_cycles(run))
+        cycles, breakdown = self.sgx_hw_cycles(run)
+        return DeploymentReport(deployment, cycles, breakdown)
+
+    def normalised_runtimes(self, run: WorkloadRun) -> dict[Deployment, float]:
+        """Every deployment's runtime normalised to native (Fig. 6 y-axis)."""
+        native = self.native_cycles(run)
+        return {
+            d: self.report(run, d).cycles / native
+            for d in Deployment
+        }

@@ -1,0 +1,31 @@
+"""The paper's three deployment scenarios built on the AccTEE core.
+
+* :mod:`repro.scenarios.faas` — Function-as-a-Service with per-request
+  isolation and billed resource accounting (Fig. 9);
+* :mod:`repro.scenarios.volunteer` — BOINC-style volunteer computing with
+  trusted credit instead of redundant execution (§2.1, Fig. 10 workloads);
+* :mod:`repro.scenarios.paybycomputation` — trading computation for web
+  content with enforced resource budgets (§2.1);
+* :mod:`repro.scenarios.reimbursed` — a compute marketplace with escrowed,
+  log-settled payments (§2.1, reimbursed computing).
+"""
+
+from repro.scenarios.faas import FaaSPlatform, FaaSSetup, ThroughputPoint
+from repro.scenarios.volunteer import VolunteerProject, Volunteer, ProjectReport
+from repro.scenarios.paybycomputation import ContentServer, BrowsingSession
+from repro.scenarios.reimbursed import ComputeMarketplace, Job, Receipt, SettlementError
+
+__all__ = [
+    "FaaSPlatform",
+    "FaaSSetup",
+    "ThroughputPoint",
+    "VolunteerProject",
+    "Volunteer",
+    "ProjectReport",
+    "ContentServer",
+    "BrowsingSession",
+    "ComputeMarketplace",
+    "Job",
+    "Receipt",
+    "SettlementError",
+]

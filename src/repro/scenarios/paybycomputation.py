@@ -1,0 +1,98 @@
+"""Pay-by-computation scenario: trading computation for web content (§2.1).
+
+A content server replaces advertising with short-lived compute tasks: a
+visitor's browser runs a task inside the two-way sandbox, the sandbox's
+signed resource log proves how much computation was donated, and the server
+unlocks the article once the account covers its price.  The sandbox also
+*limits* resource consumption (the paper's "two-way sandbox limits the
+overall resource consumption") via the execution instruction budget, so a
+malicious task cannot burn the visitor's machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.policy import PricingPolicy
+from repro.core.sandbox import SandboxConfig, TwoWaySandbox
+from repro.sgx.enclave import SGXPlatform
+from repro.workloads.spec import WorkloadSpec
+
+
+@dataclass
+class Article:
+    """One piece of gated content with a compute price."""
+
+    slug: str
+    title: str
+    price_instructions: int  # weighted instructions required to unlock
+
+
+@dataclass
+class TaskAssignment:
+    """A compute task the server hands to a visiting browser."""
+
+    spec: WorkloadSpec
+    args: tuple
+    budget_instructions: int  # sandbox-enforced upper bound
+
+
+class PaymentRejected(Exception):
+    """The server refused a proof of computation."""
+
+
+class ContentServer:
+    """Publishes articles and verifies computation receipts."""
+
+    def __init__(self, tasks: list[TaskAssignment], articles: list[Article]):
+        self.tasks = tasks
+        self.articles = {a.slug: a for a in articles}
+        self._next_task = 0
+        self.collected_results: list[object] = []
+
+    def assign_task(self) -> TaskAssignment:
+        task = self.tasks[self._next_task % len(self.tasks)]
+        self._next_task += 1
+        return task
+
+    def redeem(self, session: "BrowsingSession", slug: str) -> str:
+        """Verify the session's accumulated log and unlock the article."""
+        article = self.articles[slug]
+        if not session.sandbox.verify_log():
+            raise PaymentRejected("resource log failed verification")
+        balance = session.sandbox.totals().weighted_instructions - session.spent
+        if balance < article.price_instructions:
+            raise PaymentRejected(
+                f"insufficient computation: have {balance}, "
+                f"need {article.price_instructions}"
+            )
+        session.spent += article.price_instructions
+        return f"<article:{article.title}>"
+
+
+@dataclass
+class BrowsingSession:
+    """A visitor's browser session: its sandbox plus the spent-credit cursor."""
+
+    sandbox: TwoWaySandbox
+    spent: int = 0
+    completed_tasks: int = 0
+
+    @classmethod
+    def open(cls, budget_instructions: int | None = None, seed: int = 0) -> "BrowsingSession":
+        config = SandboxConfig(max_instructions=budget_instructions)
+        platform = SGXPlatform(platform_id=f"browser-{seed}", seed=seed)
+        return cls(sandbox=TwoWaySandbox.deploy(config, platform=platform))
+
+    def run_task(self, task: TaskAssignment) -> object:
+        """Execute one assigned task inside the sandbox; returns its value."""
+        workload = self.sandbox.submit_module(task.spec.compile().clone())
+        for name, args in task.spec.setup:
+            workload.invoke(name, *args, label="setup")
+        result = workload.invoke(task.spec.run[0], *task.args, label=task.spec.name)
+        self.completed_tasks += 1
+        return result.value
+
+    @property
+    def balance(self) -> int:
+        return self.sandbox.totals().weighted_instructions - self.spent

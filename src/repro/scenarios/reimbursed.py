@@ -1,0 +1,184 @@
+"""Reimbursed computing: the commercialisation of volunteer computing (§2.1).
+
+Anyone with spare hardware registers as a provider on a marketplace;
+workload providers post jobs with a per-instruction price; the marketplace
+escrows the payment, dispatches jobs into the provider's attested two-way
+sandbox, verifies the signed resource log, and settles.
+
+The trust problems the paper lists map to concrete checks here:
+
+* providers are unknown and possibly malicious — payouts require a log
+  signed by a key bound to an attested accounting-enclave identity;
+* providers must not collect reimbursement for unassigned resources —
+  the escrowed amount caps the payout and the log's workload hash must
+  match the assigned job;
+* workload providers must not underpay — settlement is computed from the
+  verified log, not from the workload provider's own claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.resource_log import ResourceUsageLog
+from repro.core.sandbox import SandboxConfig, TwoWaySandbox
+from repro.sgx.enclave import SGXPlatform
+from repro.tcrypto.hashing import sha256
+from repro.wasm.binary import encode_module
+from repro.workloads.spec import WorkloadSpec
+
+
+class SettlementError(Exception):
+    """A payout was refused (bad log, wrong job, over-cap claim)."""
+
+
+@dataclass
+class Job:
+    """A posted unit of work with an escrowed budget."""
+
+    job_id: int
+    spec: WorkloadSpec
+    args: tuple
+    price_per_mega_instruction: float
+    escrow: float  # maximum payout, locked at posting time
+    max_instructions: int
+
+
+@dataclass
+class Receipt:
+    """What a provider submits to get paid."""
+
+    job_id: int
+    provider: str
+    value: object
+    log: ResourceUsageLog
+    log_public_key: object
+    expected_ae_measurement: bytes
+
+
+@dataclass
+class ProviderAccount:
+    name: str
+    balance: float = 0.0
+    completed_jobs: int = 0
+    rejected_receipts: int = 0
+
+
+class ComputeMarketplace:
+    """Escrow, dispatch and settlement for reimbursed computing."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[int, Job] = {}
+        self._next_job = 0
+        self.accounts: dict[str, ProviderAccount] = {}
+        self.escrow_pool = 0.0
+
+    # -- workload provider side --------------------------------------------------
+
+    def post_job(
+        self,
+        spec: WorkloadSpec,
+        args: tuple,
+        price_per_mega_instruction: float = 50.0,
+        max_instructions: int = 50_000_000,
+    ) -> Job:
+        """Post a job; the maximum possible payout is escrowed immediately."""
+        escrow = price_per_mega_instruction * max_instructions / 1e6
+        job = Job(
+            job_id=self._next_job,
+            spec=spec,
+            args=args,
+            price_per_mega_instruction=price_per_mega_instruction,
+            escrow=escrow,
+            max_instructions=max_instructions,
+        )
+        self._next_job += 1
+        self._jobs[job.job_id] = job
+        self.escrow_pool += escrow
+        return job
+
+    # -- provider side ---------------------------------------------------------------
+
+    def register(self, name: str) -> ProviderAccount:
+        account = ProviderAccount(name)
+        self.accounts[name] = account
+        return account
+
+    def execute(self, provider: str, job: Job, platform: SGXPlatform | None = None) -> Receipt:
+        """Run the job in the provider's attested sandbox and build a receipt."""
+        platform = platform or SGXPlatform(platform_id=f"provider-{provider}")
+        sandbox = TwoWaySandbox.deploy(
+            SandboxConfig(max_instructions=job.max_instructions), platform=platform
+        )
+        workload = sandbox.submit_module(job.spec.compile().clone())
+        for name, setup_args in job.spec.setup:
+            workload.invoke(name, *setup_args, label="setup")
+        result = workload.invoke(job.spec.run[0], *job.args, label=f"job-{job.job_id}")
+        return Receipt(
+            job_id=job.job_id,
+            provider=provider,
+            value=result.value,
+            log=sandbox.log,
+            log_public_key=sandbox.ae.log_public_key,
+            expected_ae_measurement=sandbox.ae.mrenclave,
+        )
+
+    # -- settlement --------------------------------------------------------------------
+
+    def settle(self, receipt: Receipt, trusted_ae_measurement: bytes) -> float:
+        """Verify a receipt and pay the provider from escrow.
+
+        ``trusted_ae_measurement`` is the AE build hash both parties audited;
+        a receipt from any other enclave identity is worthless regardless of
+        its internal consistency.
+        """
+        account = self.accounts.get(receipt.provider)
+        if account is None:
+            raise SettlementError(f"unknown provider {receipt.provider!r}")
+        job = self._jobs.get(receipt.job_id)
+        if job is None:
+            raise SettlementError(f"unknown job {receipt.job_id}")
+
+        def reject(reason: str) -> SettlementError:
+            account.rejected_receipts += 1
+            return SettlementError(reason)
+
+        if receipt.expected_ae_measurement != trusted_ae_measurement:
+            raise reject("receipt from an unaudited enclave build")
+        if not receipt.log.entries:
+            raise reject("empty resource log")
+        if not receipt.log.verify(receipt.log_public_key):
+            raise reject("resource log failed verification")
+        expected_hash = _instrumented_hash(job)
+        billed = [e for e in receipt.log.entries if e.vector.label == f"job-{job.job_id}"]
+        if not billed:
+            raise reject("log contains no entry for this job")
+        for entry in billed:
+            if entry.workload_hash != expected_hash:
+                raise reject("log entry covers a different workload")
+
+        instructions = sum(e.vector.weighted_instructions for e in billed)
+        payout = job.price_per_mega_instruction * instructions / 1e6
+        if payout > job.escrow:
+            raise reject("claim exceeds the escrowed budget")
+
+        self.escrow_pool -= payout
+        refund = job.escrow - payout
+        self.escrow_pool -= refund  # returned to the workload provider
+        del self._jobs[receipt.job_id]
+        account.balance += payout
+        account.completed_jobs += 1
+        return payout
+
+
+def _instrumented_hash(job: Job) -> bytes:
+    """The workload hash the AE logs: the *instrumented* module's bytes.
+
+    Settlement recomputes it independently through the same deterministic
+    IE configuration, so a provider cannot bill for a different module.
+    """
+    from repro.core.instrumentation_enclave import InstrumentationEnclave
+
+    ie = InstrumentationEnclave()
+    result, _ = ie.instrument(job.spec.compile().clone())
+    return sha256(encode_module(result.module))

@@ -1,0 +1,47 @@
+"""Software simulation of Intel SGX (paper §2.2).
+
+Implements, at the protocol level, everything AccTEE relies on from SGX:
+
+* **enclaves** with code measurements (MRENCLAVE analogue) and data sealing;
+* the **EPC** (enclave page cache) with its 128 MiB/93 MiB-usable limit and
+  the paging cost cliff applications hit beyond it (the dominant overhead in
+  the paper's Fig. 6 hardware-mode numbers);
+* **local attestation** (platform-keyed reports between enclaves on one
+  machine) and **remote attestation** (quoting enclave + an IAS-like
+  verification service with RSA signatures from :mod:`repro.tcrypto`);
+* the **SGX-LKL** layer: a syscall table split into calls servable inside
+  the enclave and calls delegated to the untrusted host, with the
+  enclave-transition cost model that explains the echo-function overheads in
+  Fig. 9.
+
+Everything is deterministic and seedable; no hardware is required, and the
+trust decisions (measurement comparison, signature verification) are
+executed for real rather than assumed.
+"""
+
+from repro.sgx.epc import EPCModel, EPC_USABLE_BYTES
+from repro.sgx.enclave import Enclave, Report, SGXPlatform
+from repro.sgx.attestation import (
+    AttestationError,
+    AttestationService,
+    Quote,
+    QuotingEnclave,
+    VerificationReport,
+)
+from repro.sgx.lkl import SGXLKL, SyscallClass, SyscallProfile
+
+__all__ = [
+    "EPCModel",
+    "EPC_USABLE_BYTES",
+    "Enclave",
+    "Report",
+    "SGXPlatform",
+    "AttestationError",
+    "AttestationService",
+    "Quote",
+    "QuotingEnclave",
+    "VerificationReport",
+    "SGXLKL",
+    "SyscallClass",
+    "SyscallProfile",
+]

@@ -1,0 +1,24 @@
+"""Discrete-event simulation substrate.
+
+Stands in for the paper's evaluation harness hardware (two Xeon machines on
+a switched 10 Gbps network driven by h2load): an event-driven simulator with
+processes, FIFO-served multi-worker servers, network links with latency and
+bandwidth, and a closed-loop load generator matching h2load's concurrent-
+clients model.
+"""
+
+from repro.simnet.kernel import Event, Simulator, Process
+from repro.simnet.network import NetworkLink
+from repro.simnet.server import RequestServer, ServedRequest
+from repro.simnet.loadgen import ClosedLoopLoadGenerator, LoadResult
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Process",
+    "NetworkLink",
+    "RequestServer",
+    "ServedRequest",
+    "ClosedLoopLoadGenerator",
+    "LoadResult",
+]

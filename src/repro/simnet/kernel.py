@@ -1,0 +1,85 @@
+"""Event-driven simulation kernel: a time-ordered callback queue.
+
+Minimal but complete: deterministic tie-breaking (FIFO within a timestamp),
+cancellable events, and generator-based processes for code that reads more
+naturally as sequential steps with waits.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Generator
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; compare by (time, sequence) for determinism."""
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Simulator:
+    """The event loop: schedule callbacks, run until quiescence or a horizon."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[Event] = []
+        self._sequence = itertools.count()
+        self.processed_events = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        event = Event(self.now + delay, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
+        return self.schedule(time - self.now, callback)
+
+    def run(self, until: float | None = None) -> None:
+        """Process events in order until the queue drains or ``until`` passes."""
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            self.processed_events += 1
+            event.callback()
+        if until is not None and self.now < until:
+            self.now = until
+
+    def start_process(self, generator: Generator[float, None, None]) -> "Process":
+        """Run a generator that yields wait durations between steps."""
+        process = Process(self, generator)
+        process._step()
+        return process
+
+
+class Process:
+    """A generator-backed sequential activity inside the simulation."""
+
+    def __init__(self, sim: Simulator, generator: Generator[float, None, None]):
+        self.sim = sim
+        self._generator = generator
+        self.finished = False
+
+    def _step(self) -> None:
+        try:
+            delay = next(self._generator)
+        except StopIteration:
+            self.finished = True
+            return
+        self.sim.schedule(delay, self._step)

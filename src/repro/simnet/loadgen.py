@@ -1,0 +1,88 @@
+"""Closed-loop load generator: the h2load model used in the paper (§5.3).
+
+``clients`` concurrent clients each keep exactly one request outstanding:
+send, wait for the response, immediately send again.  Throughput is measured
+over a window after a warm-up period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simnet.kernel import Simulator
+from repro.simnet.network import NetworkLink
+from repro.simnet.server import RequestServer, ServedRequest
+
+
+@dataclass
+class LoadResult:
+    """Outcome of one load-generation run."""
+
+    requests_completed: int
+    duration_s: float
+    mean_latency_s: float
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.requests_completed / self.duration_s
+
+
+class ClosedLoopLoadGenerator:
+    """Drives a :class:`RequestServer` with N always-on clients."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: RequestServer,
+        link: NetworkLink | None = None,
+        clients: int = 10,
+        payload_bytes: int = 1024,
+        response_bytes: int | None = None,
+    ):
+        self.sim = sim
+        self.server = server
+        self.link = link or NetworkLink()
+        self.clients = clients
+        self.payload_bytes = payload_bytes
+        self.response_bytes = response_bytes if response_bytes is not None else payload_bytes
+        self._measuring = False
+        self._completed = 0
+        self._latency_sum = 0.0
+
+    def _client_send(self) -> None:
+        delay = self.link.transfer_time(self.sim.now, self.payload_bytes)
+
+        def deliver() -> None:
+            self.server.submit(self.payload_bytes, self._on_response)
+
+        self.sim.schedule(delay, deliver)
+
+    def _on_response(self, request: ServedRequest) -> None:
+        delay = self.link.transfer_time(self.sim.now, self.response_bytes)
+
+        def arrive_back() -> None:
+            if self._measuring:
+                self._completed += 1
+                self._latency_sum += self.sim.now - request.arrival
+            self._client_send()
+
+        self.sim.schedule(delay, arrive_back)
+
+    def run(self, warmup_s: float = 0.5, measure_s: float = 5.0) -> LoadResult:
+        """Run warm-up then a measurement window; returns aggregate results."""
+        for _ in range(self.clients):
+            self._client_send()
+
+        def start_measuring() -> None:
+            self._measuring = True
+
+        self.sim.schedule(warmup_s, start_measuring)
+        self.sim.run(until=self.sim.now + warmup_s + measure_s)
+        mean_latency = self._latency_sum / self._completed if self._completed else 0.0
+        return LoadResult(
+            requests_completed=self._completed,
+            duration_s=measure_s,
+            mean_latency_s=mean_latency,
+        )

@@ -1,0 +1,29 @@
+"""Network link model: latency plus serialisation delay on shared bandwidth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class NetworkLink:
+    """A point-to-point link like the paper's switched 10 Gbps network.
+
+    The transfer time of a message is one propagation latency plus the
+    serialisation time of its bytes at the link bandwidth.  Concurrent
+    transfers share bandwidth implicitly by serialising on the link's
+    availability cursor.
+    """
+
+    latency_s: float = 50e-6  # one-way switch + NIC latency
+    bandwidth_bps: float = 10e9  # 10 Gbps
+
+    def __post_init__(self) -> None:
+        self._free_at = 0.0
+
+    def transfer_time(self, now: float, payload_bytes: int) -> float:
+        """Seconds until a message sent at ``now`` is fully delivered."""
+        serialisation = payload_bytes * 8.0 / self.bandwidth_bps
+        start = max(now, self._free_at)
+        self._free_at = start + serialisation
+        return (start - now) + serialisation + self.latency_s

@@ -1,0 +1,30 @@
+"""Cryptographic substrate used by the simulated SGX stack.
+
+Everything the attestation and evidence protocols need is implemented here
+from first principles (on top of ``hashlib``'s SHA-256 compression function
+only): HMAC, Miller-Rabin primality testing, RSA key generation and
+PKCS#1 v1.5-style signatures.  The goal is not production cryptography but a
+complete, self-contained and *deterministic* (seedable) implementation so the
+trust protocol in :mod:`repro.sgx` and :mod:`repro.core` is executed for real
+rather than stubbed.
+"""
+
+from repro.tcrypto.hashing import sha256, sha256_hex, measurement
+from repro.tcrypto.hmac import hmac_sha256, verify_hmac
+from repro.tcrypto.primes import is_probable_prime, generate_prime
+from repro.tcrypto.rsa import RSAKeyPair, RSAPublicKey, rsa_generate, rsa_sign, rsa_verify
+
+__all__ = [
+    "sha256",
+    "sha256_hex",
+    "measurement",
+    "hmac_sha256",
+    "verify_hmac",
+    "is_probable_prime",
+    "generate_prime",
+    "RSAKeyPair",
+    "RSAPublicKey",
+    "rsa_generate",
+    "rsa_sign",
+    "rsa_verify",
+]

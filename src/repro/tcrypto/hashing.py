@@ -1,0 +1,31 @@
+"""Hashing helpers: SHA-256 digests and SGX-style enclave measurements."""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def sha256(data: bytes) -> bytes:
+    """Return the raw 32-byte SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def sha256_hex(data: bytes) -> str:
+    """Return the hex-encoded SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def measurement(*parts: bytes) -> bytes:
+    """Compute an SGX-style measurement (MRENCLAVE analogue) over code parts.
+
+    Real SGX measures each page added with EADD/EEXTEND into MRENCLAVE.  We
+    model this by hashing a length-prefixed concatenation of the enclave's
+    code parts, which preserves the property that any change to any part
+    changes the measurement and that no two distinct part sequences collide
+    by concatenation ambiguity.
+    """
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(len(part).to_bytes(8, "little"))
+        h.update(part)
+    return h.digest()

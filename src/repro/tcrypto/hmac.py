@@ -1,0 +1,33 @@
+"""HMAC-SHA256 implemented from the RFC 2104 construction."""
+
+from __future__ import annotations
+
+import hashlib
+
+_BLOCK_SIZE = 64  # SHA-256 block size in bytes
+_IPAD = bytes(0x36 for _ in range(_BLOCK_SIZE))
+_OPAD = bytes(0x5C for _ in range(_BLOCK_SIZE))
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def hmac_sha256(key: bytes, message: bytes) -> bytes:
+    """Compute HMAC-SHA256 of ``message`` under ``key``."""
+    if len(key) > _BLOCK_SIZE:
+        key = hashlib.sha256(key).digest()
+    key = key.ljust(_BLOCK_SIZE, b"\x00")
+    inner = hashlib.sha256(_xor(key, _IPAD) + message).digest()
+    return hashlib.sha256(_xor(key, _OPAD) + inner).digest()
+
+
+def verify_hmac(key: bytes, message: bytes, tag: bytes) -> bool:
+    """Constant-time comparison of an HMAC tag."""
+    expected = hmac_sha256(key, message)
+    if len(expected) != len(tag):
+        return False
+    diff = 0
+    for x, y in zip(expected, tag):
+        diff |= x ^ y
+    return diff == 0

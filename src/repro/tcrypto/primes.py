@@ -1,0 +1,61 @@
+"""Primality testing and prime generation for RSA key material.
+
+Uses deterministic, seedable randomness (``random.Random``) so that test
+fixtures and simulated attestation services can generate reproducible keys.
+"""
+
+from __future__ import annotations
+
+import random
+
+# Small primes used for fast trial-division rejection.
+_SMALL_PRIMES = [
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61,
+    67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137,
+    139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193, 197, 199,
+]
+
+
+def is_probable_prime(n: int, rounds: int = 32, rng: random.Random | None = None) -> bool:
+    """Miller-Rabin probabilistic primality test.
+
+    ``rounds`` bases are tested; the error probability is at most 4**-rounds
+    for composite ``n``.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    rng = rng or random.Random(0xACC7EE)
+    # write n - 1 = d * 2^r with d odd
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """Generate a random probable prime with exactly ``bits`` bits."""
+    if bits < 8:
+        raise ValueError("prime size must be at least 8 bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | 1  # force bit length and oddness
+        if is_probable_prime(candidate, rng=rng):
+            return candidate

@@ -1,0 +1,69 @@
+"""WebAssembly substrate: types, IR, WAT parser/printer, binary codec, validator, interpreter.
+
+This subpackage implements the WebAssembly MVP from scratch so that the
+AccTEE instrumentation passes (:mod:`repro.instrument`) operate on real Wasm
+modules and the interpreter provides ground-truth executed-instruction counts
+against which instrumentation correctness is verified.
+
+Typical round trip::
+
+    from repro.wasm import parse_wat, print_wat, validate, Instance
+
+    module = parse_wat(source)
+    validate(module)
+    instance = Instance(module)
+    result = instance.invoke("main", 10)
+"""
+
+from repro.wasm.types import ValType, FuncType, Limits, GlobalType, MemoryType, TableType
+from repro.wasm.instructions import Instr, OPCODES, INSTRUCTIONS_BY_NAME, ImmKind
+from repro.wasm.module import (
+    Module,
+    Function,
+    Global,
+    Export,
+    Import,
+    DataSegment,
+    ElemSegment,
+)
+from repro.wasm.wat_parser import parse_wat, WatParseError
+from repro.wasm.wat_printer import print_wat
+from repro.wasm.binary import encode_module, decode_module, BinaryFormatError
+from repro.wasm.validate import validate, ValidationError
+from repro.wasm.memory import LinearMemory, PAGE_SIZE
+from repro.wasm.interpreter import Instance, Trap, ExecutionStats, HostFunction, ExecutionLimits
+
+__all__ = [
+    "ValType",
+    "FuncType",
+    "Limits",
+    "GlobalType",
+    "MemoryType",
+    "TableType",
+    "Instr",
+    "OPCODES",
+    "INSTRUCTIONS_BY_NAME",
+    "ImmKind",
+    "Module",
+    "Function",
+    "Global",
+    "Export",
+    "Import",
+    "DataSegment",
+    "ElemSegment",
+    "parse_wat",
+    "WatParseError",
+    "print_wat",
+    "encode_module",
+    "decode_module",
+    "BinaryFormatError",
+    "validate",
+    "ValidationError",
+    "LinearMemory",
+    "PAGE_SIZE",
+    "Instance",
+    "Trap",
+    "ExecutionStats",
+    "ExecutionLimits",
+    "HostFunction",
+]

@@ -1,0 +1,69 @@
+"""Main/side module linking (paper §4.1).
+
+AccTEE avoids accepting per-workload JavaScript glue by splitting modules
+the Emscripten way: a *main module* statically included in the framework
+exports the standard-library surface, and each dynamically loaded *side
+module* (the workload) imports what it needs from the main module — no
+additional glue code required.
+
+:func:`instantiate_side_module` resolves a side module's ``env`` function
+imports against a main instance's exports (falling back to the host
+environment's own functions), so workloads can call shared library routines
+without the infrastructure provider trusting any workload-supplied host
+code.
+"""
+
+from __future__ import annotations
+
+from repro.wasm.interpreter import HostFunction, Instance, LinkError
+from repro.wasm.module import Module
+
+
+def exported_functions(instance: Instance) -> dict[str, HostFunction]:
+    """Wrap every exported function of an instance as a callable import."""
+    out: dict[str, HostFunction] = {}
+    for export in instance.module.exports:
+        if export.kind != "func":
+            continue
+        functype = instance.module.func_type(export.index)
+
+        def call(*args, _instance=instance, _index=export.index, _ft=functype):
+            results = _instance.call_function(_index, list(args))
+            return results[0] if results else None
+
+        out[export.name] = HostFunction(functype, call, export.name)
+    return out
+
+
+def instantiate_side_module(
+    main_instance: Instance,
+    side_module: Module,
+    extra_imports: dict[str, dict[str, object]] | None = None,
+    **kwargs,
+) -> Instance:
+    """Instantiate a side module against a main module's exports.
+
+    Function imports from the ``env`` namespace resolve, in order, against
+    (1) ``extra_imports`` (typically the accountable I/O functions of a
+    :class:`~repro.wasm.runtime.HostEnvironment`), then (2) the main
+    instance's exports.  Unresolvable imports raise
+    :class:`~repro.wasm.interpreter.LinkError`.
+    """
+    library = exported_functions(main_instance)
+    imports: dict[str, dict[str, object]] = {"env": {}}
+    if extra_imports:
+        for namespace, entries in extra_imports.items():
+            imports.setdefault(namespace, {}).update(entries)
+    for imp in side_module.imports:
+        if imp.kind != "func":
+            continue
+        if imp.field in imports.get(imp.module, {}):
+            continue
+        if imp.module == "env" and imp.field in library:
+            imports["env"][imp.field] = library[imp.field]
+            continue
+        raise LinkError(
+            f"side module import {imp.module}.{imp.field} matches neither the "
+            "host environment nor the main module's exports"
+        )
+    return Instance(side_module, imports=imports, **kwargs)

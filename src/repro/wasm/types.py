@@ -1,0 +1,114 @@
+"""WebAssembly type system: value types, function types, limits."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class ValType(enum.Enum):
+    """The four WebAssembly MVP value types."""
+
+    I32 = "i32"
+    I64 = "i64"
+    F32 = "f32"
+    F64 = "f64"
+
+    @property
+    def is_int(self) -> bool:
+        return self in (ValType.I32, ValType.I64)
+
+    @property
+    def is_float(self) -> bool:
+        return self in (ValType.F32, ValType.F64)
+
+    @property
+    def bits(self) -> int:
+        return 32 if self in (ValType.I32, ValType.F32) else 64
+
+    @property
+    def byte_width(self) -> int:
+        return self.bits // 8
+
+    @classmethod
+    def from_name(cls, name: str) -> "ValType":
+        for member in cls:
+            if member.value == name:
+                return member
+        raise ValueError(f"unknown value type {name!r}")
+
+    # Binary-format type codes (negative SLEB128 values in the spec).
+    @property
+    def binary_code(self) -> int:
+        return {
+            ValType.I32: 0x7F,
+            ValType.I64: 0x7E,
+            ValType.F32: 0x7D,
+            ValType.F64: 0x7C,
+        }[self]
+
+    @classmethod
+    def from_binary_code(cls, code: int) -> "ValType":
+        table = {0x7F: cls.I32, 0x7E: cls.I64, 0x7D: cls.F32, 0x7C: cls.F64}
+        if code not in table:
+            raise ValueError(f"unknown value type code 0x{code:02x}")
+        return table[code]
+
+
+@dataclass(frozen=True)
+class FuncType:
+    """A function type: parameter types and result types.
+
+    The MVP allows at most one result; we keep a tuple for forward
+    compatibility but the validator enforces the MVP restriction.
+    """
+
+    params: tuple[ValType, ...] = ()
+    results: tuple[ValType, ...] = ()
+
+    def __str__(self) -> str:
+        ps = " ".join(p.value for p in self.params)
+        rs = " ".join(r.value for r in self.results)
+        return f"[{ps}] -> [{rs}]"
+
+
+@dataclass(frozen=True)
+class Limits:
+    """Size limits for memories and tables, in units of pages or elements."""
+
+    minimum: int
+    maximum: int | None = None
+
+    def validate(self, hard_cap: int) -> None:
+        if self.minimum < 0:
+            raise ValueError("limits minimum must be non-negative")
+        if self.minimum > hard_cap:
+            raise ValueError(f"limits minimum {self.minimum} exceeds cap {hard_cap}")
+        if self.maximum is not None:
+            if self.maximum < self.minimum:
+                raise ValueError("limits maximum below minimum")
+            if self.maximum > hard_cap:
+                raise ValueError(f"limits maximum {self.maximum} exceeds cap {hard_cap}")
+
+
+@dataclass(frozen=True)
+class MemoryType:
+    """A linear memory type (limits are in 64 KiB pages)."""
+
+    limits: Limits
+
+
+@dataclass(frozen=True)
+class TableType:
+    """A table type; the MVP only supports funcref tables."""
+
+    limits: Limits
+    elem_type: str = "funcref"
+
+
+@dataclass(frozen=True)
+class GlobalType:
+    """A global variable type: value type plus mutability."""
+
+    valtype: ValType
+    mutable: bool = False

@@ -1,0 +1,419 @@
+"""WebAssembly module validator.
+
+Implements the spec's type-checking algorithm for the MVP: a value-type stack
+plus a control stack with unreachable (stack-polymorphic) handling.  The
+validator is what gives WebAssembly its software-fault-isolation guarantees
+that AccTEE's threat model relies on; in particular the test suite exercises
+the property that the accounting global injected by the instrumentation
+enclave cannot be written by workload code that doesn't already contain a
+``global.set`` on it (fresh-index argument, paper §3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.wasm.instructions import Category, ImmKind, Instr
+from repro.wasm.memory import MAX_PAGES
+from repro.wasm.module import Function, Module
+from repro.wasm.types import FuncType, ValType
+
+
+class ValidationError(Exception):
+    """Raised when a module violates the WebAssembly validation rules."""
+
+
+@dataclass
+class _ControlFrame:
+    opcode: str  # "block" | "loop" | "if" | "else" | "func"
+    start_types: tuple[ValType, ...]
+    end_types: tuple[ValType, ...]
+    height: int
+    unreachable: bool = False
+
+    @property
+    def label_types(self) -> tuple[ValType, ...]:
+        """Types expected by a branch targeting this frame."""
+        return self.start_types if self.opcode == "loop" else self.end_types
+
+
+class _FuncValidator:
+    """Validates one function body using the spec's algorithm."""
+
+    def __init__(self, module: Module, func: Function):
+        self.module = module
+        self.func = func
+        functype = module.types[func.type_index]
+        self.locals: tuple[ValType, ...] = tuple(functype.params) + tuple(func.locals)
+        self.results = functype.results
+        self.value_stack: list[ValType] = []
+        self.control_stack: list[_ControlFrame] = [
+            _ControlFrame("func", (), functype.results, 0)
+        ]
+
+    # -- stack primitives ------------------------------------------------------
+
+    def push(self, vt: ValType) -> None:
+        self.value_stack.append(vt)
+
+    def pop(self, expect: ValType | None = None) -> ValType | None:
+        frame = self.control_stack[-1]
+        if len(self.value_stack) == frame.height:
+            if frame.unreachable:
+                return expect
+            raise ValidationError(
+                f"stack underflow in {self.func.name or self.func.type_index}"
+            )
+        actual = self.value_stack.pop()
+        if expect is not None and actual is not expect:
+            raise ValidationError(f"type mismatch: expected {expect.value}, got {actual.value}")
+        return actual
+
+    def push_all(self, types: tuple[ValType, ...]) -> None:
+        for vt in types:
+            self.push(vt)
+
+    def pop_all(self, types: tuple[ValType, ...]) -> None:
+        for vt in reversed(types):
+            self.pop(vt)
+
+    def push_frame(self, opcode: str, start: tuple[ValType, ...], end: tuple[ValType, ...]) -> None:
+        self.control_stack.append(
+            _ControlFrame(opcode, start, end, len(self.value_stack))
+        )
+        self.push_all(start)
+
+    def pop_frame(self) -> _ControlFrame:
+        if not self.control_stack:
+            raise ValidationError("control stack underflow")
+        frame = self.control_stack[-1]
+        self.pop_all(frame.end_types)
+        if len(self.value_stack) != frame.height and not frame.unreachable:
+            raise ValidationError("values left on stack at end of block")
+        del self.value_stack[frame.height :]
+        self.control_stack.pop()
+        return frame
+
+    def mark_unreachable(self) -> None:
+        frame = self.control_stack[-1]
+        del self.value_stack[frame.height :]
+        frame.unreachable = True
+
+    def label(self, depth: int) -> _ControlFrame:
+        if depth >= len(self.control_stack):
+            raise ValidationError(f"branch depth {depth} out of range")
+        return self.control_stack[-1 - depth]
+
+    # -- instruction dispatch ----------------------------------------------------
+
+    def validate_body(self) -> None:
+        for instr in self.func.body:
+            self.step(instr)
+        # implicit end of function
+        if len(self.control_stack) != 1:
+            raise ValidationError("unbalanced block structure at end of function")
+        frame = self.control_stack[-1]
+        self.pop_all(frame.end_types)
+        if len(self.value_stack) != frame.height and not frame.unreachable:
+            raise ValidationError("values left on stack at end of function")
+
+    def step(self, instr: Instr) -> None:
+        name = instr.name
+        category = instr.info.category
+        if category is Category.CONTROL:
+            self._control(instr)
+        elif category is Category.PARAMETRIC:
+            self._parametric(instr)
+        elif category is Category.VARIABLE:
+            self._variable(instr)
+        elif category is Category.MEMORY:
+            self._memory(instr)
+        elif category is Category.CONST:
+            self.push(ValType.from_name(name.split(".")[0]))
+        elif category is Category.COMPARISON:
+            self._comparison(instr)
+        elif category is Category.NUMERIC:
+            self._numeric(instr)
+        else:
+            self._conversion(instr)
+
+    def _control(self, instr: Instr) -> None:
+        name = instr.name
+        if name == "nop":
+            return
+        if name == "unreachable":
+            self.mark_unreachable()
+            return
+        if name in ("block", "loop"):
+            results = instr.args[0]
+            self.push_frame(name, (), tuple(results))
+            return
+        if name == "if":
+            results = instr.args[0]
+            self.pop(ValType.I32)
+            self.push_frame("if", (), tuple(results))
+            return
+        if name == "else":
+            frame = self.pop_frame()
+            if frame.opcode != "if":
+                raise ValidationError("else without matching if")
+            self.push_frame("else", frame.start_types, frame.end_types)
+            return
+        if name == "end":
+            frame = self.pop_frame()
+            if frame.opcode == "if" and frame.end_types:
+                raise ValidationError("if with results requires an else branch")
+            self.push_all(frame.end_types)
+            return
+        if name == "br":
+            frame = self.label(instr.args[0])
+            self.pop_all(frame.label_types)
+            self.mark_unreachable()
+            return
+        if name == "br_if":
+            self.pop(ValType.I32)
+            frame = self.label(instr.args[0])
+            self.pop_all(frame.label_types)
+            self.push_all(frame.label_types)
+            return
+        if name == "br_table":
+            depths, default = instr.args
+            self.pop(ValType.I32)
+            default_types = self.label(default).label_types
+            for depth in depths:
+                if self.label(depth).label_types != default_types:
+                    raise ValidationError("br_table labels have mismatched types")
+            self.pop_all(default_types)
+            self.mark_unreachable()
+            return
+        if name == "return":
+            self.pop_all(self.results)
+            self.mark_unreachable()
+            return
+        if name == "call":
+            func_index = instr.args[0]
+            try:
+                functype = self.module.func_type(func_index)
+            except IndexError as exc:
+                raise ValidationError(str(exc)) from exc
+            self.pop_all(functype.params)
+            self.push_all(functype.results)
+            return
+        if name == "call_indirect":
+            type_index = instr.args[0]
+            if type_index >= len(self.module.types):
+                raise ValidationError(f"type index {type_index} out of range")
+            if not self.module.tables and not any(
+                imp.kind == "table" for imp in self.module.imports
+            ):
+                raise ValidationError("call_indirect requires a table")
+            functype = self.module.types[type_index]
+            self.pop(ValType.I32)
+            self.pop_all(functype.params)
+            self.push_all(functype.results)
+            return
+        raise ValidationError(f"unhandled control instruction {name}")
+
+    def _parametric(self, instr: Instr) -> None:
+        if instr.name == "drop":
+            self.pop()
+            return
+        # select
+        self.pop(ValType.I32)
+        t1 = self.pop()
+        t2 = self.pop()
+        if t1 is not None and t2 is not None and t1 is not t2:
+            raise ValidationError("select operands must have the same type")
+        self.push(t1 or t2 or ValType.I32)
+
+    def _variable(self, instr: Instr) -> None:
+        name = instr.name
+        index = instr.args[0]
+        if name.startswith("local"):
+            if index >= len(self.locals):
+                raise ValidationError(f"local index {index} out of range")
+            vt = self.locals[index]
+            if name == "local.get":
+                self.push(vt)
+            elif name == "local.set":
+                self.pop(vt)
+            else:  # local.tee
+                self.pop(vt)
+                self.push(vt)
+            return
+        try:
+            gt = self.module.global_type(index)
+        except IndexError as exc:
+            raise ValidationError(str(exc)) from exc
+        if name == "global.get":
+            self.push(gt.valtype)
+        else:
+            if not gt.mutable:
+                raise ValidationError(f"global {index} is immutable")
+            self.pop(gt.valtype)
+
+    def _has_memory(self) -> bool:
+        return bool(self.module.memories) or any(
+            imp.kind == "memory" for imp in self.module.imports
+        )
+
+    def _memory(self, instr: Instr) -> None:
+        name = instr.name
+        if not self._has_memory():
+            raise ValidationError(f"{name} requires a memory")
+        if name == "memory.size":
+            self.push(ValType.I32)
+            return
+        if name == "memory.grow":
+            self.pop(ValType.I32)
+            self.push(ValType.I32)
+            return
+        align, _offset = instr.args
+        vt = ValType.from_name(name.split(".")[0])
+        width = _access_width(name, vt)
+        if align > width:
+            raise ValidationError(f"{name} alignment {align} exceeds access width {width}")
+        if "load" in name:
+            self.pop(ValType.I32)
+            self.push(vt)
+        else:
+            self.pop(vt)
+            self.pop(ValType.I32)
+
+    def _comparison(self, instr: Instr) -> None:
+        vt = ValType.from_name(instr.name.split(".")[0])
+        if instr.name.endswith("eqz"):
+            self.pop(vt)
+        else:
+            self.pop(vt)
+            self.pop(vt)
+        self.push(ValType.I32)
+
+    def _numeric(self, instr: Instr) -> None:
+        vt = ValType.from_name(instr.name.split(".")[0])
+        suffix = instr.name.split(".")[1]
+        unary_int = {"clz", "ctz", "popcnt"}
+        unary_float = {"abs", "neg", "ceil", "floor", "trunc", "nearest", "sqrt"}
+        if suffix in unary_int or suffix in unary_float:
+            self.pop(vt)
+        else:
+            self.pop(vt)
+            self.pop(vt)
+        self.push(vt)
+
+    def _conversion(self, instr: Instr) -> None:
+        target, op = instr.name.split(".")
+        target_vt = ValType.from_name(target)
+        source_name = op.split("_")[-1]
+        if source_name in ("s", "u"):
+            source_name = op.split("_")[-2]
+        source_vt = ValType.from_name(source_name)
+        self.pop(source_vt)
+        self.push(target_vt)
+
+
+def _access_width(name: str, vt: ValType) -> int:
+    for width_text, width in (("8", 1), ("16", 2), ("32", 4)):
+        tail = name.split(".")[1]
+        if width_text in tail:
+            return width
+    return vt.byte_width
+
+
+def _validate_const_expr(module: Module, expr: list[Instr], expect: ValType) -> None:
+    """Constant expressions: a single const or global.get of an immutable import."""
+    if len(expr) != 1:
+        raise ValidationError("constant expression must be a single instruction")
+    instr = expr[0]
+    if instr.name in ("i32.const", "i64.const", "f32.const", "f64.const"):
+        produced = ValType.from_name(instr.name.split(".")[0])
+    elif instr.name == "global.get":
+        index = instr.args[0]
+        if index >= module.num_imported_globals:
+            raise ValidationError("const global.get must reference an imported global")
+        gt = module.global_type(index)
+        if gt.mutable:
+            raise ValidationError("const global.get must reference an immutable global")
+        produced = gt.valtype
+    else:
+        raise ValidationError(f"{instr.name} not allowed in constant expression")
+    if produced is not expect:
+        raise ValidationError(
+            f"constant expression has type {produced.value}, expected {expect.value}"
+        )
+
+
+def validate(module: Module) -> None:
+    """Validate a whole module; raises :class:`ValidationError` on failure."""
+    for ft in module.types:
+        if len(ft.results) > 1:
+            raise ValidationError("MVP functions may return at most one value")
+
+    n_memories = len(module.memories) + sum(1 for i in module.imports if i.kind == "memory")
+    if n_memories > 1:
+        raise ValidationError("MVP modules may have at most one memory")
+    n_tables = len(module.tables) + sum(1 for i in module.imports if i.kind == "table")
+    if n_tables > 1:
+        raise ValidationError("MVP modules may have at most one table")
+
+    for mem in module.memories:
+        try:
+            mem.limits.validate(MAX_PAGES)
+        except ValueError as exc:
+            raise ValidationError(str(exc)) from exc
+    for table in module.tables:
+        try:
+            table.limits.validate(0xFFFFFFFF)
+        except ValueError as exc:
+            raise ValidationError(str(exc)) from exc
+
+    for imp in module.imports:
+        if imp.kind == "func" and imp.desc >= len(module.types):
+            raise ValidationError("import type index out of range")
+
+    for func in module.funcs:
+        if func.type_index >= len(module.types):
+            raise ValidationError("function type index out of range")
+        _FuncValidator(module, func).validate_body()
+
+    for g in module.globals:
+        _validate_const_expr(module, g.init, g.type.valtype)
+
+    total_funcs = module.num_imported_funcs + len(module.funcs)
+    total_globals = module.num_imported_globals + len(module.globals)
+
+    seen_export_names: set[str] = set()
+    for export in module.exports:
+        if export.name in seen_export_names:
+            raise ValidationError(f"duplicate export name {export.name!r}")
+        seen_export_names.add(export.name)
+        limit = {
+            "func": total_funcs,
+            "global": total_globals,
+            "memory": n_memories,
+            "table": n_tables,
+        }[export.kind]
+        if export.index >= limit:
+            raise ValidationError(
+                f"export {export.name!r} references {export.kind} {export.index} out of range"
+            )
+
+    if module.start is not None:
+        if module.start >= total_funcs:
+            raise ValidationError("start function index out of range")
+        start_type = module.func_type(module.start)
+        if start_type.params or start_type.results:
+            raise ValidationError("start function must have type [] -> []")
+
+    for elem in module.elems:
+        if elem.table_index >= n_tables:
+            raise ValidationError("element segment table index out of range")
+        _validate_const_expr(module, elem.offset, ValType.I32)
+        for func_index in elem.func_indices:
+            if func_index >= total_funcs:
+                raise ValidationError("element segment function index out of range")
+
+    for seg in module.data:
+        if seg.memory_index >= n_memories:
+            raise ValidationError("data segment memory index out of range")
+        _validate_const_expr(module, seg.offset, ValType.I32)

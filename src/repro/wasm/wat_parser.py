@@ -1,0 +1,847 @@
+"""Parser for the WebAssembly text format (WAT).
+
+Supports the module subset AccTEE needs, which in practice is the whole MVP
+text format as emitted by toolchains: named identifiers (``$id``), folded and
+unfolded instruction syntax, inline exports, typeuse abbreviations, memories
+with data segments, tables with element segments, imported functions and
+globals, and start functions.
+
+The parser is two-stage: an s-expression reader producing nested lists of
+tokens, then a module assembler that resolves names to indices and flattens
+folded expressions into the flat :class:`~repro.wasm.instructions.Instr`
+sequences used everywhere else in the package.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.wasm.instructions import ImmKind, Instr, INSTRUCTIONS_BY_NAME
+from repro.wasm.module import (
+    DataSegment,
+    ElemSegment,
+    Export,
+    Function,
+    Global,
+    Import,
+    Module,
+)
+from repro.wasm.types import FuncType, GlobalType, Limits, MemoryType, TableType, ValType
+
+
+class WatParseError(Exception):
+    """Raised when WAT source text cannot be parsed."""
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer / s-expression reader
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Str:
+    """A string literal token (already unescaped to bytes)."""
+
+    data: bytes
+
+
+def _tokenize(source: str) -> list:
+    """Split WAT source into atoms, string tokens and parens."""
+    tokens: list = []
+    i = 0
+    n = len(source)
+    while i < n:
+        c = source[i]
+        if c in " \t\r\n":
+            i += 1
+        elif c == ";" and i + 1 < n and source[i + 1] == ";":
+            while i < n and source[i] != "\n":
+                i += 1
+        elif c == "(" and i + 1 < n and source[i + 1] == ";":
+            depth = 1
+            i += 2
+            while i < n and depth:
+                if source.startswith("(;", i):
+                    depth += 1
+                    i += 2
+                elif source.startswith(";)", i):
+                    depth -= 1
+                    i += 2
+                else:
+                    i += 1
+            if depth:
+                raise WatParseError("unterminated block comment")
+        elif c in "()":
+            tokens.append(c)
+            i += 1
+        elif c == '"':
+            i += 1
+            out = bytearray()
+            while i < n and source[i] != '"':
+                ch = source[i]
+                if ch == "\\":
+                    if i + 1 >= n:
+                        raise WatParseError("unterminated string escape")
+                    esc = source[i + 1]
+                    simple = {"n": 10, "t": 9, "r": 13, '"': 34, "'": 39, "\\": 92}
+                    if esc in simple:
+                        out.append(simple[esc])
+                        i += 2
+                    else:
+                        if i + 2 >= n:
+                            raise WatParseError("bad hex escape in string")
+                        try:
+                            out.append(int(source[i + 1 : i + 3], 16))
+                        except ValueError as exc:
+                            raise WatParseError(
+                                f"bad escape \\{source[i + 1:i + 3]}"
+                            ) from exc
+                        i += 3
+                else:
+                    out.extend(ch.encode("utf-8"))
+                    i += 1
+            if i >= n:
+                raise WatParseError("unterminated string literal")
+            i += 1
+            tokens.append(_Str(bytes(out)))
+        else:
+            j = i
+            while j < n and source[j] not in ' \t\r\n();"':
+                j += 1
+            tokens.append(source[i:j])
+            i = j
+    return tokens
+
+
+def _read_sexprs(tokens: list) -> list:
+    """Turn the token stream into nested Python lists."""
+    stack: list[list] = [[]]
+    for tok in tokens:
+        if tok == "(":
+            stack.append([])
+        elif tok == ")":
+            if len(stack) == 1:
+                raise WatParseError("unbalanced ')'")
+            done = stack.pop()
+            stack[-1].append(done)
+        else:
+            stack[-1].append(tok)
+    if len(stack) != 1:
+        raise WatParseError("unbalanced '('")
+    return stack[0]
+
+
+# ---------------------------------------------------------------------------
+# Literal parsing
+# ---------------------------------------------------------------------------
+
+
+def parse_int(token: str, bits: int) -> int:
+    """Parse a WAT integer literal, wrapping into the type's two's complement range."""
+    text = token.replace("_", "")
+    try:
+        if text.lower().startswith("0x") or text.lower().startswith("-0x") or text.lower().startswith("+0x"):
+            value = int(text, 16)
+        else:
+            value = int(text, 10)
+    except ValueError as exc:
+        raise WatParseError(f"bad integer literal {token!r}") from exc
+    mask = (1 << bits) - 1
+    if value < -(1 << (bits - 1)) or value > mask:
+        raise WatParseError(f"integer literal {token!r} out of range for i{bits}")
+    return value & mask
+
+
+def parse_float(token: str) -> float:
+    """Parse a WAT float literal including nan/inf and hex-float forms."""
+    text = token.replace("_", "").lower()
+    sign = 1.0
+    if text.startswith("+"):
+        text = text[1:]
+    elif text.startswith("-"):
+        sign = -1.0
+        text = text[1:]
+    if text == "inf":
+        return sign * math.inf
+    if text == "nan" or text.startswith("nan:"):
+        return math.nan if sign > 0 else -math.nan
+    try:
+        if text.startswith("0x"):
+            return sign * float.fromhex(text)
+        return sign * float(text)
+    except ValueError as exc:
+        raise WatParseError(f"bad float literal {token!r}") from exc
+
+
+def _is_id(tok) -> bool:
+    return isinstance(tok, str) and tok.startswith("$")
+
+
+# ---------------------------------------------------------------------------
+# Module assembler
+# ---------------------------------------------------------------------------
+
+
+class _ModuleBuilder:
+    def __init__(self) -> None:
+        self.module = Module()
+        self.type_names: dict[str, int] = {}
+        self.func_names: dict[str, int] = {}  # combined index space
+        self.global_names: dict[str, int] = {}
+        self.memory_names: dict[str, int] = {}
+        self.table_names: dict[str, int] = {}
+        self._counts: dict[str, int] = {}
+
+    # -- types ---------------------------------------------------------------
+
+    def _parse_valtype(self, tok) -> ValType:
+        if not isinstance(tok, str):
+            raise WatParseError(f"expected value type, got {tok!r}")
+        return ValType.from_name(tok)
+
+    def _parse_params_results(
+        self, fields: list, start: int
+    ) -> tuple[int, tuple[ValType, ...], tuple[ValType, ...], dict[str, int]]:
+        """Consume (param ...) and (result ...) clauses starting at ``start``."""
+        params: list[ValType] = []
+        results: list[ValType] = []
+        param_names: dict[str, int] = {}
+        i = start
+        while i < len(fields) and isinstance(fields[i], list) and fields[i] and fields[i][0] == "param":
+            clause = fields[i]
+            if len(clause) >= 2 and _is_id(clause[1]):
+                if len(clause) != 3:
+                    raise WatParseError("named param must declare exactly one type")
+                param_names[clause[1]] = len(params)
+                params.append(self._parse_valtype(clause[2]))
+            else:
+                params.extend(self._parse_valtype(t) for t in clause[1:])
+            i += 1
+        while i < len(fields) and isinstance(fields[i], list) and fields[i] and fields[i][0] == "result":
+            results.extend(self._parse_valtype(t) for t in fields[i][1:])
+            i += 1
+        return i, tuple(params), tuple(results), param_names
+
+    def _parse_typeuse(
+        self, fields: list, start: int
+    ) -> tuple[int, int, dict[str, int]]:
+        """Parse an optional (type $t) followed by optional inline params/results.
+
+        Returns (next index, type index, param name map).
+        """
+        i = start
+        explicit: int | None = None
+        if i < len(fields) and isinstance(fields[i], list) and fields[i] and fields[i][0] == "type":
+            ref = fields[i][1]
+            explicit = self.type_names[ref] if _is_id(ref) else int(ref)
+            i += 1
+        i, params, results, names = self._parse_params_results(fields, i)
+        if explicit is not None:
+            declared = self.module.types[explicit]
+            if (params or results) and (declared.params != params or declared.results != results):
+                raise WatParseError("inline params/results disagree with (type ...)")
+            return i, explicit, names
+        return i, self.module.add_type(FuncType(params, results)), names
+
+    # -- limits --------------------------------------------------------------
+
+    def _parse_limits(self, fields: list, start: int) -> tuple[int, Limits]:
+        if start >= len(fields):
+            raise WatParseError("missing limits")
+        minimum = parse_int(fields[start], 32)
+        i = start + 1
+        maximum = None
+        if i < len(fields) and isinstance(fields[i], str) and not fields[i].startswith("$"):
+            try:
+                maximum = parse_int(fields[i], 32)
+                i += 1
+            except WatParseError:
+                maximum = None
+        return i, Limits(minimum, maximum)
+
+    # -- first pass: register names ------------------------------------------
+
+    def first_pass(self, fields: list) -> None:
+        """Register type definitions and the names/indices of all items."""
+        # types first, in order
+        for f in fields:
+            if isinstance(f, list) and f and f[0] == "type":
+                idx = len(self.module.types)
+                i = 1
+                if len(f) > 1 and _is_id(f[1]):
+                    self.type_names[f[1]] = idx
+                    i = 2
+                functype_sexpr = f[i]
+                if not (isinstance(functype_sexpr, list) and functype_sexpr and functype_sexpr[0] == "func"):
+                    raise WatParseError("(type ...) must contain (func ...)")
+                _, params, results, _ = self._parse_params_results(functype_sexpr, 1)
+                self.module.types.append(FuncType(params, results))
+        # imports next (they occupy the front of each index space)
+        for f in fields:
+            if isinstance(f, list) and f and f[0] == "import":
+                self._register_import(f)
+            elif isinstance(f, list) and f and f[0] in ("func", "memory", "global", "table"):
+                # inline import abbreviation: (func $f (import "m" "n") ...)
+                j = 1
+                if len(f) > 1 and _is_id(f[1]):
+                    j = 2
+                while j < len(f) and isinstance(f[j], list) and f[j] and f[j][0] == "export":
+                    j += 1
+                if j < len(f) and isinstance(f[j], list) and f[j] and f[j][0] == "import":
+                    self._register_inline_import(f, j)
+        # defined items
+        name_tables = {
+            "func": self.func_names,
+            "memory": self.memory_names,
+            "global": self.global_names,
+            "table": self.table_names,
+        }
+        for f in fields:
+            if not (isinstance(f, list) and f):
+                continue
+            if self._has_inline_import(f):
+                continue
+            kind = f[0]
+            if kind not in name_tables:
+                continue
+            index = self._import_count(kind) + self._counts.get(kind, 0)
+            if len(f) > 1 and _is_id(f[1]):
+                name_tables[kind][f[1]] = index
+            self._counts[kind] = self._counts.get(kind, 0) + 1
+
+    def _import_count(self, kind: str) -> int:
+        return sum(1 for imp in self.module.imports if imp.kind == kind)
+
+    def _has_inline_import(self, f: list) -> bool:
+        if f[0] not in ("func", "memory", "global", "table"):
+            return False
+        j = 1
+        if len(f) > 1 and _is_id(f[1]):
+            j = 2
+        while j < len(f) and isinstance(f[j], list) and f[j] and f[j][0] == "export":
+            j += 1
+        return j < len(f) and isinstance(f[j], list) and bool(f[j]) and f[j][0] == "import"
+
+    def _register_import(self, f: list) -> None:
+        if len(f) < 4 or not isinstance(f[1], _Str) or not isinstance(f[2], _Str):
+            raise WatParseError("(import ...) requires module and field names")
+        module_name = f[1].data.decode("utf-8")
+        field_name = f[2].data.decode("utf-8")
+        desc = f[3]
+        self._register_import_desc(module_name, field_name, desc)
+
+    def _register_inline_import(self, f: list, import_pos: int) -> None:
+        imp = f[import_pos]
+        module_name = imp[1].data.decode("utf-8")
+        field_name = imp[2].data.decode("utf-8")
+        desc = [f[0]]
+        if len(f) > 1 and _is_id(f[1]):
+            desc.append(f[1])
+        desc.extend(f[import_pos + 1 :])
+        self._register_import_desc(module_name, field_name, desc)
+
+    def _register_import_desc(self, module_name: str, field_name: str, desc: list) -> None:
+        if not (isinstance(desc, list) and desc):
+            raise WatParseError("bad import descriptor")
+        kind = desc[0]
+        i = 1
+        name = None
+        if len(desc) > 1 and _is_id(desc[1]):
+            name = desc[1]
+            i = 2
+        if kind == "func":
+            _, type_index, _ = self._parse_typeuse(desc, i)
+            index = self.module.num_imported_funcs
+            if name:
+                self.func_names[name] = index
+            self.module.imports.append(
+                Import(module_name, field_name, "func", type_index, name)
+            )
+        elif kind == "memory":
+            _, limits = self._parse_limits(desc, i)
+            if name:
+                self.memory_names[name] = self._import_count("memory")
+            self.module.imports.append(
+                Import(module_name, field_name, "memory", MemoryType(limits), name)
+            )
+        elif kind == "global":
+            gt = self._parse_globaltype(desc[i])
+            index = self.module.num_imported_globals
+            if name:
+                self.global_names[name] = index
+            self.module.imports.append(
+                Import(module_name, field_name, "global", gt, name)
+            )
+        elif kind == "table":
+            _, limits = self._parse_limits(desc, i)
+            if name:
+                self.table_names[name] = self._import_count("table")
+            self.module.imports.append(
+                Import(module_name, field_name, "table", TableType(limits), name)
+            )
+        else:
+            raise WatParseError(f"unsupported import kind {kind!r}")
+
+    def _parse_globaltype(self, tok) -> GlobalType:
+        if isinstance(tok, list):
+            if not (tok and tok[0] == "mut" and len(tok) == 2):
+                raise WatParseError("bad global type")
+            return GlobalType(self._parse_valtype(tok[1]), mutable=True)
+        return GlobalType(self._parse_valtype(tok), mutable=False)
+
+    # -- second pass: fields -------------------------------------------------
+
+    def second_pass(self, fields: list) -> None:
+        for f in fields:
+            if not (isinstance(f, list) and f):
+                raise WatParseError(f"unexpected module field {f!r}")
+            if self._has_inline_import(f):
+                self._handle_inline_import_exports(f)
+                continue
+            kind = f[0]
+            handler = getattr(self, f"_field_{kind.replace('.', '_')}", None)
+            if handler is None:
+                raise WatParseError(f"unsupported module field {kind!r}")
+            handler(f)
+
+    def _handle_inline_import_exports(self, f: list) -> None:
+        # (func $f (export "e") (import "m" "n") ...) — export refers to the import.
+        j = 1
+        name = None
+        if len(f) > 1 and _is_id(f[1]):
+            name = f[1]
+            j = 2
+        while j < len(f) and isinstance(f[j], list) and f[j] and f[j][0] == "export":
+            export_name = f[j][1].data.decode("utf-8")
+            index = {
+                "func": self.func_names,
+                "global": self.global_names,
+                "memory": self.memory_names,
+                "table": self.table_names,
+            }[f[0]].get(name, 0)
+            self.module.exports.append(Export(export_name, f[0], index))
+            j += 1
+
+    def _field_type(self, f: list) -> None:
+        pass  # handled in first pass
+
+    def _field_import(self, f: list) -> None:
+        pass  # handled in first pass
+
+    def _field_start(self, f: list) -> None:
+        ref = f[1]
+        self.module.start = self.func_names[ref] if _is_id(ref) else int(ref)
+
+    def _field_export(self, f: list) -> None:
+        name = f[1].data.decode("utf-8")
+        desc = f[2]
+        kind = desc[0]
+        ref = desc[1]
+        table = {
+            "func": self.func_names,
+            "global": self.global_names,
+            "memory": self.memory_names,
+            "table": self.table_names,
+        }[kind]
+        index = table[ref] if _is_id(ref) else int(ref)
+        self.module.exports.append(Export(name, kind, index))
+
+    def _field_memory(self, f: list) -> None:
+        i = 1
+        name = None
+        if len(f) > 1 and _is_id(f[1]):
+            name = f[1]
+            i = 2
+        mem_index = self._import_count("memory") + len(self.module.memories)
+        while i < len(f) and isinstance(f[i], list) and f[i] and f[i][0] == "export":
+            self.module.exports.append(
+                Export(f[i][1].data.decode("utf-8"), "memory", mem_index)
+            )
+            i += 1
+        if i < len(f) and isinstance(f[i], list) and f[i] and f[i][0] == "data":
+            # (memory (data "bytes")) abbreviation
+            data = b"".join(part.data for part in f[i][1:])
+            pages = (len(data) + 0xFFFF) // 0x10000
+            self.module.memories.append(MemoryType(Limits(pages, pages)))
+            self.module.data.append(
+                DataSegment(mem_index, [Instr("i32.const", (0,))], data)
+            )
+            return
+        _, limits = self._parse_limits(f, i)
+        self.module.memories.append(MemoryType(limits))
+
+    def _field_table(self, f: list) -> None:
+        i = 1
+        if len(f) > 1 and _is_id(f[1]):
+            i = 2
+        table_index = self._import_count("table") + len(self.module.tables)
+        while i < len(f) and isinstance(f[i], list) and f[i] and f[i][0] == "export":
+            self.module.exports.append(
+                Export(f[i][1].data.decode("utf-8"), "table", table_index)
+            )
+            i += 1
+        if i < len(f) and isinstance(f[i], str) and f[i] == "funcref":
+            # (table funcref (elem $f1 $f2)) abbreviation
+            elem = f[i + 1]
+            refs = tuple(
+                self.func_names[r] if _is_id(r) else int(r) for r in elem[1:]
+            )
+            self.module.tables.append(TableType(Limits(len(refs), len(refs))))
+            self.module.elems.append(
+                ElemSegment(table_index, [Instr("i32.const", (0,))], refs)
+            )
+            return
+        _, limits = self._parse_limits(f, i)
+        i += 1  # past limits; optional 'funcref'
+        self.module.tables.append(TableType(limits))
+
+    def _field_elem(self, f: list) -> None:
+        i = 1
+        table_index = 0
+        if i < len(f) and isinstance(f[i], str) and not f[i].startswith("$"):
+            table_index = int(f[i])
+            i += 1
+        elif i < len(f) and _is_id(f[i]):
+            table_index = self.table_names[f[i]]
+            i += 1
+        offset_sexpr = f[i]
+        if isinstance(offset_sexpr, list) and offset_sexpr and offset_sexpr[0] == "offset":
+            offset = self._parse_const_expr(offset_sexpr[1:])
+        else:
+            offset = self._parse_const_expr([offset_sexpr])
+        i += 1
+        refs = []
+        for r in f[i:]:
+            if _is_id(r):
+                refs.append(self.func_names[r])
+            elif isinstance(r, str) and r == "func":
+                continue
+            else:
+                refs.append(int(r))
+        self.module.elems.append(ElemSegment(table_index, offset, tuple(refs)))
+
+    def _field_data(self, f: list) -> None:
+        i = 1
+        memory_index = 0
+        if i < len(f) and isinstance(f[i], str) and not f[i].startswith("$"):
+            memory_index = int(f[i])
+            i += 1
+        elif i < len(f) and _is_id(f[i]):
+            memory_index = self.memory_names[f[i]]
+            i += 1
+        offset_sexpr = f[i]
+        if isinstance(offset_sexpr, list) and offset_sexpr and offset_sexpr[0] == "offset":
+            offset = self._parse_const_expr(offset_sexpr[1:])
+        else:
+            offset = self._parse_const_expr([offset_sexpr])
+        i += 1
+        data = b"".join(part.data for part in f[i:])
+        self.module.data.append(DataSegment(memory_index, offset, data))
+
+    def _field_global(self, f: list) -> None:
+        i = 1
+        name = None
+        if len(f) > 1 and _is_id(f[1]):
+            name = f[1]
+            i = 2
+        global_index = self.module.num_imported_globals + len(self.module.globals)
+        while i < len(f) and isinstance(f[i], list) and f[i] and f[i][0] == "export":
+            self.module.exports.append(
+                Export(f[i][1].data.decode("utf-8"), "global", global_index)
+            )
+            i += 1
+        gt = self._parse_globaltype(f[i])
+        i += 1
+        init = self._parse_const_expr(f[i:])
+        self.module.globals.append(Global(gt, init, name.lstrip("$") if name else None))
+
+    def _parse_const_expr(self, exprs: list) -> list[Instr]:
+        body = _BodyParser(self, Function(0), {}).parse_instrs(exprs)
+        return body
+
+    def _field_func(self, f: list) -> None:
+        i = 1
+        name = None
+        if len(f) > 1 and _is_id(f[1]):
+            name = f[1]
+            i = 2
+        func_index = self.module.num_imported_funcs + len(self.module.funcs)
+        while i < len(f) and isinstance(f[i], list) and f[i] and f[i][0] == "export":
+            self.module.exports.append(
+                Export(f[i][1].data.decode("utf-8"), "func", func_index)
+            )
+            i += 1
+        i, type_index, param_names = self._parse_typeuse(f, i)
+        local_types: list[ValType] = []
+        local_names: dict[str, int] = dict(param_names)
+        n_params = len(self.module.types[type_index].params)
+        while i < len(f) and isinstance(f[i], list) and f[i] and f[i][0] == "local":
+            clause = f[i]
+            if len(clause) >= 2 and _is_id(clause[1]):
+                if len(clause) != 3:
+                    raise WatParseError("named local must declare exactly one type")
+                local_names[clause[1]] = n_params + len(local_types)
+                local_types.append(self._parse_valtype(clause[2]))
+            else:
+                local_types.extend(self._parse_valtype(t) for t in clause[1:])
+            i += 1
+        func = Function(
+            type_index=type_index,
+            locals=tuple(local_types),
+            name=name.lstrip("$") if name else None,
+        )
+        func.body = _BodyParser(self, func, local_names).parse_instrs(f[i:])
+        self.module.funcs.append(func)
+
+
+class _BodyParser:
+    """Parses instruction sequences (folded or flat) into flat Instr lists."""
+
+    def __init__(self, builder: _ModuleBuilder, func: Function, local_names: dict[str, int]):
+        self.b = builder
+        self.func = func
+        self.local_names = local_names
+        self.label_stack: list[str | None] = []
+
+    # -- entry points ---------------------------------------------------------
+
+    def parse_instrs(self, items: list) -> list[Instr]:
+        out: list[Instr] = []
+        i = 0
+        while i < len(items):
+            i = self._parse_one(items, i, out)
+        return out
+
+    # -- helpers --------------------------------------------------------------
+
+    def _resolve_label(self, tok) -> int:
+        if _is_id(tok):
+            for depth, label in enumerate(reversed(self.label_stack)):
+                if label == tok:
+                    return depth
+            raise WatParseError(f"unknown label {tok}")
+        return parse_int(tok, 32)
+
+    def _resolve_local(self, tok) -> int:
+        if _is_id(tok):
+            if tok not in self.local_names:
+                raise WatParseError(f"unknown local {tok}")
+            return self.local_names[tok]
+        return parse_int(tok, 32)
+
+    def _resolve_global(self, tok) -> int:
+        if _is_id(tok):
+            if tok not in self.b.global_names:
+                raise WatParseError(f"unknown global {tok}")
+            return self.b.global_names[tok]
+        return parse_int(tok, 32)
+
+    def _resolve_func(self, tok) -> int:
+        if _is_id(tok):
+            if tok not in self.b.func_names:
+                raise WatParseError(f"unknown function {tok}")
+            return self.b.func_names[tok]
+        return parse_int(tok, 32)
+
+    def _parse_blocktype(self, items: list, i: int) -> tuple[int, tuple[ValType, ...]]:
+        results: list[ValType] = []
+        while (
+            i < len(items)
+            and isinstance(items[i], list)
+            and items[i]
+            and items[i][0] == "result"
+        ):
+            results.extend(ValType.from_name(t) for t in items[i][1:])
+            i += 1
+        return i, tuple(results)
+
+    def _parse_memarg(self, items: list, i: int, natural_align: int) -> tuple[int, int, int]:
+        offset = 0
+        align = natural_align
+        while i < len(items) and isinstance(items[i], str) and "=" in items[i]:
+            key, _, value = items[i].partition("=")
+            if key == "offset":
+                offset = parse_int(value, 32)
+            elif key == "align":
+                align = parse_int(value, 32)
+            else:
+                break
+            i += 1
+        return i, align, offset
+
+    @staticmethod
+    def _natural_align(name: str) -> int:
+        if name.endswith(("8_s", "8_u", "store8")) or "load8" in name or "store8" in name:
+            return 1
+        if "16" in name:
+            return 2
+        if "32" in name.split(".")[1] if "." in name else False:
+            return 4
+        head = name.split(".")[0]
+        return 4 if head in ("i32", "f32") else 8
+
+    # -- main dispatch ----------------------------------------------------------
+
+    def _parse_one(self, items: list, i: int, out: list[Instr]) -> int:
+        item = items[i]
+        if isinstance(item, list):
+            self._parse_folded(item, out)
+            return i + 1
+        if not isinstance(item, str):
+            raise WatParseError(f"unexpected token {item!r} in function body")
+        return self._parse_plain(items, i, out)
+
+    def _parse_plain(self, items: list, i: int, out: list[Instr]) -> int:
+        name = items[i]
+        i += 1
+        if name in ("block", "loop", "if"):
+            label = None
+            if i < len(items) and _is_id(items[i]):
+                label = items[i]
+                i += 1
+            i, results = self._parse_blocktype(items, i)
+            out.append(Instr(name, (results,)))
+            self.label_stack.append(label)
+            return i
+        if name == "else":
+            out.append(Instr("else"))
+            return i
+        if name == "end":
+            if i < len(items) and _is_id(items[i]):
+                i += 1  # trailing label comment
+            if self.label_stack:
+                self.label_stack.pop()
+            out.append(Instr("end"))
+            return i
+        return self._emit_simple(name, items, i, out)
+
+    def _emit_simple(self, name: str, items: list, i: int, out: list[Instr]) -> int:
+        info = INSTRUCTIONS_BY_NAME.get(name)
+        if info is None:
+            raise WatParseError(f"unknown instruction {name!r}")
+        imm = info.imm
+        if imm is ImmKind.NONE:
+            out.append(Instr(name))
+        elif imm is ImmKind.DEPTH:
+            out.append(Instr(name, (self._resolve_label(items[i]),)))
+            i += 1
+        elif imm is ImmKind.BRTABLE:
+            depths: list[int] = []
+            while i < len(items) and (
+                _is_id(items[i])
+                or (isinstance(items[i], str) and items[i].lstrip("+-").replace("_", "").isdigit())
+            ):
+                depths.append(self._resolve_label(items[i]))
+                i += 1
+            if not depths:
+                raise WatParseError("br_table requires at least a default label")
+            out.append(Instr(name, (tuple(depths[:-1]), depths[-1])))
+        elif imm is ImmKind.FUNC:
+            out.append(Instr(name, (self._resolve_func(items[i]),)))
+            i += 1
+        elif imm is ImmKind.TYPE:
+            # call_indirect (type $t) or inline params/results
+            j, type_index, _ = self.b._parse_typeuse(items, i)
+            out.append(Instr(name, (type_index,)))
+            i = j
+        elif imm is ImmKind.LOCAL:
+            out.append(Instr(name, (self._resolve_local(items[i]),)))
+            i += 1
+        elif imm is ImmKind.GLOBAL:
+            out.append(Instr(name, (self._resolve_global(items[i]),)))
+            i += 1
+        elif imm is ImmKind.MEMARG:
+            i, align, offset = self._parse_memarg(items, i, self._natural_align(name))
+            out.append(Instr(name, (align, offset)))
+        elif imm is ImmKind.MEMORY:
+            out.append(Instr(name, (0,)))
+        elif imm is ImmKind.I32:
+            out.append(Instr(name, (parse_int(items[i], 32),)))
+            i += 1
+        elif imm is ImmKind.I64:
+            out.append(Instr(name, (parse_int(items[i], 64),)))
+            i += 1
+        elif imm in (ImmKind.F32, ImmKind.F64):
+            out.append(Instr(name, (parse_float(items[i]),)))
+            i += 1
+        else:  # pragma: no cover - table is exhaustive
+            raise WatParseError(f"unhandled immediate kind {imm}")
+        return i
+
+    def _parse_folded(self, expr: list, out: list[Instr]) -> None:
+        if not expr or not isinstance(expr[0], str):
+            raise WatParseError(f"bad folded expression {expr!r}")
+        head = expr[0]
+        if head == "block" or head == "loop":
+            i = 1
+            label = None
+            if i < len(expr) and _is_id(expr[i]):
+                label = expr[i]
+                i += 1
+            i, results = self._parse_blocktype(expr, i)
+            out.append(Instr(head, (results,)))
+            self.label_stack.append(label)
+            inner = self.parse_instrs(expr[i:])
+            out.extend(inner)
+            self.label_stack.pop()
+            out.append(Instr("end"))
+            return
+        if head == "if":
+            i = 1
+            label = None
+            if i < len(expr) and _is_id(expr[i]):
+                label = expr[i]
+                i += 1
+            i, results = self._parse_blocktype(expr, i)
+            # condition: every folded child before (then ...)
+            while i < len(expr) and not (
+                isinstance(expr[i], list) and expr[i] and expr[i][0] == "then"
+            ):
+                self._parse_folded(expr[i], out)
+                i += 1
+            if i >= len(expr):
+                raise WatParseError("folded if requires a (then ...) clause")
+            out.append(Instr("if", (results,)))
+            self.label_stack.append(label)
+            then_clause = expr[i]
+            out.extend(self.parse_instrs(then_clause[1:]))
+            i += 1
+            if i < len(expr):
+                else_clause = expr[i]
+                if not (isinstance(else_clause, list) and else_clause and else_clause[0] == "else"):
+                    raise WatParseError("expected (else ...) clause in folded if")
+                out.append(Instr("else"))
+                out.extend(self.parse_instrs(else_clause[1:]))
+            self.label_stack.pop()
+            out.append(Instr("end"))
+            return
+        # general folded instruction: children first, then the operator
+        tmp: list[Instr] = []
+        consumed = self._emit_simple(head, expr, 1, tmp)
+        for child in expr[consumed:]:
+            if not isinstance(child, list):
+                raise WatParseError(
+                    f"unexpected operand {child!r} after {head} immediates"
+                )
+            self._parse_folded(child, out)
+        out.extend(tmp)
+
+
+def parse_wat(source: str) -> Module:
+    """Parse WAT source text into a :class:`~repro.wasm.module.Module`."""
+    sexprs = _read_sexprs(_tokenize(source))
+    if len(sexprs) == 1 and isinstance(sexprs[0], list) and sexprs[0] and sexprs[0][0] == "module":
+        fields = sexprs[0][1:]
+        name = None
+        if fields and _is_id(fields[0]):
+            name = fields[0].lstrip("$")
+            fields = fields[1:]
+    else:
+        fields = sexprs
+        name = None
+    builder = _ModuleBuilder()
+    builder.first_pass(fields)
+    builder.second_pass(fields)
+    builder.module.name = name
+    return builder.module

@@ -1,0 +1,164 @@
+"""Printer from module IR back to WebAssembly text format.
+
+Emits flat (non-folded) instruction syntax with indentation tracking block
+structure, numeric indices throughout, and float literals in hex-float form
+so that ``parse_wat(print_wat(m))`` round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.wasm.instructions import ImmKind, Instr
+from repro.wasm.module import Function, Global, Module
+from repro.wasm.types import FuncType, GlobalType, Limits, ValType
+
+
+def _format_float(value: float) -> str:
+    if math.isnan(value):
+        return "nan"
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if value == int(value) and abs(value) < 1e15:
+        return f"{value:.1f}"
+    return value.hex()
+
+
+def _format_instr(instr: Instr) -> str:
+    imm = instr.info.imm
+    if imm is ImmKind.NONE:
+        return instr.name
+    if imm is ImmKind.BLOCKTYPE:
+        results = instr.args[0]
+        if results:
+            types = " ".join(t.value for t in results)
+            return f"{instr.name} (result {types})"
+        return instr.name
+    if imm is ImmKind.BRTABLE:
+        depths, default = instr.args
+        parts = " ".join(str(d) for d in depths)
+        return f"{instr.name} {parts} {default}".replace("  ", " ")
+    if imm is ImmKind.MEMARG:
+        align, offset = instr.args
+        parts = [instr.name]
+        if offset:
+            parts.append(f"offset={offset}")
+        parts.append(f"align={align}")
+        return " ".join(parts)
+    if imm is ImmKind.TYPE:
+        return f"{instr.name} (type {instr.args[0]})"
+    if imm in (ImmKind.F32, ImmKind.F64):
+        return f"{instr.name} {_format_float(instr.args[0])}"
+    if imm is ImmKind.I32:
+        return f"{instr.name} {_signed(instr.args[0], 32)}"
+    if imm is ImmKind.I64:
+        return f"{instr.name} {_signed(instr.args[0], 64)}"
+    return f"{instr.name} {' '.join(str(a) for a in instr.args)}"
+
+
+def _signed(value: int, bits: int) -> int:
+    if value >= 1 << (bits - 1):
+        return value - (1 << bits)
+    return value
+
+
+def _format_body(body: list[Instr], indent: int) -> list[str]:
+    lines: list[str] = []
+    depth = indent
+    for instr in body:
+        if instr.name in ("end", "else"):
+            depth = max(indent, depth - 1)
+        lines.append("  " * depth + _format_instr(instr))
+        if instr.name in ("block", "loop", "if", "else"):
+            depth += 1
+    return lines
+
+
+def _format_limits(limits: Limits) -> str:
+    if limits.maximum is not None:
+        return f"{limits.minimum} {limits.maximum}"
+    return str(limits.minimum)
+
+
+def _format_functype_use(ft: FuncType) -> str:
+    parts = []
+    if ft.params:
+        parts.append("(param " + " ".join(p.value for p in ft.params) + ")")
+    if ft.results:
+        parts.append("(result " + " ".join(r.value for r in ft.results) + ")")
+    return " ".join(parts)
+
+
+def _format_globaltype(gt: GlobalType) -> str:
+    if gt.mutable:
+        return f"(mut {gt.valtype.value})"
+    return gt.valtype.value
+
+
+def _escape(data: bytes) -> str:
+    out = []
+    for b in data:
+        if b in (0x22, 0x5C):
+            out.append("\\" + chr(b))
+        elif 0x20 <= b < 0x7F:
+            out.append(chr(b))
+        else:
+            out.append(f"\\{b:02x}")
+    return "".join(out)
+
+
+def print_wat(module: Module) -> str:
+    """Render a module as WAT text."""
+    lines: list[str] = ["(module"]
+
+    for i, ft in enumerate(module.types):
+        use = _format_functype_use(ft)
+        inner = f"(func {use})" if use else "(func)"
+        lines.append(f"  (type (;{i};) {inner})")
+
+    for imp in module.imports:
+        if imp.kind == "func":
+            desc = f"(func (type {imp.desc}))"
+        elif imp.kind == "memory":
+            desc = f"(memory {_format_limits(imp.desc.limits)})"
+        elif imp.kind == "global":
+            desc = f"(global {_format_globaltype(imp.desc)})"
+        else:
+            desc = f"(table {_format_limits(imp.desc.limits)} funcref)"
+        lines.append(f'  (import "{imp.module}" "{imp.field}" {desc})')
+
+    for func in module.funcs:
+        header = f"  (func (type {func.type_index})"
+        lines.append(header)
+        if func.locals:
+            lines.append("    (local " + " ".join(t.value for t in func.locals) + ")")
+        lines.extend(_format_body(func.body, 2))
+        lines.append("  )")
+
+    for table in module.tables:
+        lines.append(f"  (table {_format_limits(table.limits)} funcref)")
+
+    for mem in module.memories:
+        lines.append(f"  (memory {_format_limits(mem.limits)})")
+
+    for g in module.globals:
+        init = " ".join(_format_instr(i) for i in g.init)
+        lines.append(f"  (global {_format_globaltype(g.type)} ({init}))")
+
+    for export in module.exports:
+        lines.append(f'  (export "{export.name}" ({export.kind} {export.index}))')
+
+    if module.start is not None:
+        lines.append(f"  (start {module.start})")
+
+    for elem in module.elems:
+        offset = " ".join(_format_instr(i) for i in elem.offset)
+        refs = " ".join(str(r) for r in elem.func_indices)
+        lines.append(f"  (elem ({offset}) func {refs})")
+
+    for seg in module.data:
+        offset = " ".join(_format_instr(i) for i in seg.offset)
+        lines.append(f'  (data ({offset}) "{_escape(seg.data)}")')
+
+    lines.append(")")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,29 @@
+"""Evaluation workloads: PolyBench kernels plus the paper's four domains.
+
+Every workload is a :class:`~repro.workloads.spec.WorkloadSpec`: MiniC source
+compiled to Wasm, setup/run call descriptions, and the memory footprint the
+paper's dataset sizes would occupy (which drives the EPC paging model — our
+interpreted runs use small datasets for tractable simulation, a substitution
+documented in DESIGN.md).
+"""
+
+from repro.workloads.spec import WorkloadSpec, compile_spec
+from repro.workloads.polybench import POLYBENCH_KERNELS, polybench_kernel
+from repro.workloads.msieve import MSIEVE
+from repro.workloads.pc_algorithm import PC_ALGORITHM
+from repro.workloads.subset_sum import SUBSET_SUM
+from repro.workloads.darknet import DARKNET
+from repro.workloads.imaging import ECHO, RESIZE
+
+__all__ = [
+    "WorkloadSpec",
+    "compile_spec",
+    "POLYBENCH_KERNELS",
+    "polybench_kernel",
+    "MSIEVE",
+    "PC_ALGORITHM",
+    "SUBSET_SUM",
+    "DARKNET",
+    "ECHO",
+    "RESIZE",
+]

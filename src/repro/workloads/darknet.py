@@ -1,0 +1,180 @@
+"""Darknet-style workload: tiny CNN image classification (pay-by-computation).
+
+The paper compiles the Darknet reference classifier to Wasm and runs it in
+the browser in exchange for ad-free content (§5.3).  Our MiniC stand-in is
+a small but structurally faithful convolutional network forward pass:
+conv3x3 -> relu -> maxpool2 -> conv3x3 -> relu -> global average pool ->
+dense argmax, with deterministic synthetic weights.
+
+Like Darknet itself (which lowers convolution to im2col + GEMM), the
+convolutions run as branch-free multiply-accumulate sweeps over zero-padded
+activation buffers with the pixel loop innermost — the loop structure where
+naive instrumentation hurts most and the loop-based optimisation recovers it
+(Fig. 10).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec
+
+_IMG = 16  # input resolution (16x16 grayscale)
+_P = _IMG + 2  # zero-padded width
+_H = _IMG // 2  # after maxpool
+_HP = _H + 2  # padded pooled width
+_C1 = 4    # channels after conv1
+_C2 = 6    # channels after conv2
+_CLASSES = 8
+
+_SOURCE = f"""
+// tiny CNN: conv3x3/{_C1} -> relu -> maxpool2 -> conv3x3/{_C2} -> relu -> GAP -> dense/{_CLASSES}
+// convolutions are branch-free MAC sweeps over zero-padded buffers, pixel
+// loop innermost (the im2col/GEMM structure of the original Darknet)
+double input_pad[{_P}][{_P}];
+double conv1_w[{_C1}][3][3];
+double conv1_out[{_C1}][{_IMG}][{_IMG}];
+double pool_pad[{_C1}][{_HP}][{_HP}];
+double conv2_w[{_C2}][{_C1}][3][3];
+double conv2_out[{_C2}][{_H}][{_H}];
+double gap[{_C2}];
+double dense_w[{_CLASSES}][{_C2}];
+double logits[{_CLASSES}];
+int rng = 0;
+
+double frand(void) {{
+    rng = (rng * 1103515245 + 12345) & 2147483647;
+    return (double)(rng % 2000) / 1000.0 - 1.0;
+}}
+
+void load_weights(int seed) {{
+    rng = seed;
+    for (int c = 0; c < {_C1}; c = c + 1)
+        for (int i = 0; i < 3; i = i + 1)
+            for (int j = 0; j < 3; j = j + 1)
+                conv1_w[c][i][j] = frand() * 0.5;
+    for (int c = 0; c < {_C2}; c = c + 1)
+        for (int d = 0; d < {_C1}; d = d + 1)
+            for (int i = 0; i < 3; i = i + 1)
+                for (int j = 0; j < 3; j = j + 1)
+                    conv2_w[c][d][i][j] = frand() * 0.3;
+    for (int k = 0; k < {_CLASSES}; k = k + 1)
+        for (int c = 0; c < {_C2}; c = c + 1)
+            dense_w[k][c] = frand();
+}}
+
+void load_image(int seed) {{
+    rng = seed;
+    for (int i = 0; i < {_P}; i = i + 1)
+        for (int j = 0; j < {_P}; j = j + 1)
+            input_pad[i][j] = 0.0;
+    for (int i = 1; i <= {_IMG}; i = i + 1)
+        for (int j = 1; j <= {_IMG}; j = j + 1)
+            input_pad[i][j] = frand() * 0.5 + 0.5;
+}}
+
+void conv1(void) {{
+    for (int c = 0; c < {_C1}; c = c + 1) {{
+        for (int y = 0; y < {_IMG}; y = y + 1)
+            for (int x = 0; x < {_IMG}; x = x + 1)
+                conv1_out[c][y][x] = 0.0;
+        // kernel position outer, pixel sweep inner: branch-free MACs
+        for (int dy = 0; dy < 3; dy = dy + 1) {{
+            for (int dx = 0; dx < 3; dx = dx + 1) {{
+                double w = conv1_w[c][dy][dx];
+                for (int y = 0; y < {_IMG}; y = y + 1) {{
+                    for (int x = 0; x < {_IMG}; x = x + 1) {{
+                        conv1_out[c][y][x] = conv1_out[c][y][x]
+                            + w * input_pad[y + dy][x + dx];
+                    }}
+                }}
+            }}
+        }}
+        // relu, branch-free via fmax
+        for (int y = 0; y < {_IMG}; y = y + 1)
+            for (int x = 0; x < {_IMG}; x = x + 1)
+                conv1_out[c][y][x] = fmax(conv1_out[c][y][x], 0.0);
+    }}
+}}
+
+void maxpool(void) {{
+    for (int c = 0; c < {_C1}; c = c + 1) {{
+        for (int y = 0; y < {_HP}; y = y + 1)
+            for (int x = 0; x < {_HP}; x = x + 1)
+                pool_pad[c][y][x] = 0.0;
+        for (int y = 0; y < {_H}; y = y + 1) {{
+            for (int x = 0; x < {_H}; x = x + 1) {{
+                double best = conv1_out[c][2 * y][2 * x];
+                best = fmax(best, conv1_out[c][2 * y][2 * x + 1]);
+                best = fmax(best, conv1_out[c][2 * y + 1][2 * x]);
+                best = fmax(best, conv1_out[c][2 * y + 1][2 * x + 1]);
+                pool_pad[c][y + 1][x + 1] = best;
+            }}
+        }}
+    }}
+}}
+
+void conv2(void) {{
+    for (int c = 0; c < {_C2}; c = c + 1) {{
+        for (int y = 0; y < {_H}; y = y + 1)
+            for (int x = 0; x < {_H}; x = x + 1)
+                conv2_out[c][y][x] = 0.0;
+        for (int d = 0; d < {_C1}; d = d + 1) {{
+            for (int dy = 0; dy < 3; dy = dy + 1) {{
+                for (int dx = 0; dx < 3; dx = dx + 1) {{
+                    double w = conv2_w[c][d][dy][dx];
+                    for (int y = 0; y < {_H}; y = y + 1) {{
+                        for (int x = 0; x < {_H}; x = x + 1) {{
+                            conv2_out[c][y][x] = conv2_out[c][y][x]
+                                + w * pool_pad[d][y + dy][x + dx];
+                        }}
+                    }}
+                }}
+            }}
+        }}
+        for (int y = 0; y < {_H}; y = y + 1)
+            for (int x = 0; x < {_H}; x = x + 1)
+                conv2_out[c][y][x] = fmax(conv2_out[c][y][x], 0.0);
+    }}
+}}
+
+int classify(int weight_seed, int image_seed) {{
+    load_weights(weight_seed);
+    load_image(image_seed);
+    conv1();
+    maxpool();
+    conv2();
+
+    // global average pool
+    for (int c = 0; c < {_C2}; c = c + 1) {{
+        double total = 0.0;
+        for (int y = 0; y < {_H}; y = y + 1)
+            for (int x = 0; x < {_H}; x = x + 1)
+                total = total + conv2_out[c][y][x];
+        gap[c] = total / (double)({_H * _H});
+    }}
+
+    // dense + argmax
+    int best_class = 0;
+    double best_logit = -1000000.0;
+    for (int k = 0; k < {_CLASSES}; k = k + 1) {{
+        double acc = 0.0;
+        for (int c = 0; c < {_C2}; c = c + 1)
+            acc = acc + dense_w[k][c] * gap[c];
+        logits[k] = acc;
+        if (acc > best_logit) {{
+            best_logit = acc;
+            best_class = k;
+        }}
+    }}
+    return best_class;
+}}
+"""
+
+DARKNET = WorkloadSpec(
+    name="darknet",
+    domain="pay-by-computation",
+    source=_SOURCE,
+    setup=(),
+    run=("classify", (7, 99)),
+    paper_footprint_bytes=80 * 1024 * 1024,  # Darknet reference model + activations
+    locality=0.85,
+)

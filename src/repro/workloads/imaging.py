@@ -1,0 +1,136 @@
+"""FaaS functions for the Fig. 9 throughput experiment: echo and resize.
+
+``echo`` replies with its input (the no-compute worst case exposing the
+sandbox's per-request software layers); ``resize`` scales a grayscale image
+to 64x64 with bilinear sampling (the compute-heavy case).  Input images are
+one byte per pixel, so the request payload sizes match the paper's 4 KiB
+(64px) through 1 MiB (1024px) sweep.
+
+Both functions read their input and write their response through the
+accountable I/O interface of :class:`repro.wasm.runtime.HostEnvironment`.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec
+
+_ECHO_SOURCE = """
+extern int io_read(int ptr, int len);
+extern int io_write(int ptr, int len);
+extern int io_available(void);
+
+int buffer[262144];  // 1 MiB of scratch space
+
+// copy the request body to the response unchanged, returning byte count
+int echo(void) {
+    int total = 0;
+    int chunk = io_read(&buffer[0], 16384);
+    while (chunk > 0) {
+        io_write(&buffer[0], chunk);
+        total = total + chunk;
+        chunk = io_read(&buffer[0], 16384);
+    }
+    return total;
+}
+"""
+
+_RESIZE_SOURCE = """
+extern int io_read(int ptr, int len);
+extern int io_write(int ptr, int len);
+
+int input_img[262144];   // up to 1024*1024 grayscale bytes, packed 4/int
+int output_img[1024];    // 64*64 output, packed 4 bytes per int
+
+int get_pixel(int x, int y, int width) {
+    int index = y * width + x;
+    int word = input_img[index / 4];
+    return (word >> ((index % 4) * 8)) & 255;
+}
+
+void put_pixel(int x, int y, int value) {
+    int index = y * 64 + x;
+    int word = output_img[index / 4];
+    int shift = (index % 4) * 8;
+    word = word & ~(255 << shift);
+    output_img[index / 4] = word | ((value & 255) << shift);
+}
+
+// read a width*width grayscale image, bilinear-resize to 64x64, write it back
+int resize(int width) {
+    int total = 0;
+    int want = width * width;
+    while (total < want) {
+        int got = io_read(&input_img[0] + total, want - total);
+        if (got <= 0) { break; }
+        total = total + got;
+    }
+    // decode pass: touch every input word once (the JPEG-decode analogue —
+    // the paper's zupply decode cost scales linearly with input pixels)
+    int luma = 0;
+    int words = (want + 3) / 4;
+    for (int w = 0; w < words; w = w + 1) {
+        int v = input_img[w];
+        luma = luma + (v & 255) + ((v >> 8) & 255) + ((v >> 16) & 255) + ((v >> 24) & 255);
+    }
+    input_img[262143] = luma;  // keep the pass observable
+    double scale = (double)width / 64.0;
+    for (int oy = 0; oy < 64; oy = oy + 1) {
+        for (int ox = 0; ox < 64; ox = ox + 1) {
+            double sx = ((double)ox + 0.5) * scale - 0.5;
+            double sy = ((double)oy + 0.5) * scale - 0.5;
+            int x0 = (int)sx;
+            int y0 = (int)sy;
+            if (x0 < 0) { x0 = 0; }
+            if (y0 < 0) { y0 = 0; }
+            int x1 = x0 + 1;
+            int y1 = y0 + 1;
+            if (x1 >= width) { x1 = width - 1; }
+            if (y1 >= width) { y1 = width - 1; }
+            double fx = sx - (double)x0;
+            double fy = sy - (double)y0;
+            if (fx < 0.0) { fx = 0.0; }
+            if (fy < 0.0) { fy = 0.0; }
+            double top = (double)get_pixel(x0, y0, width) * (1.0 - fx)
+                       + (double)get_pixel(x1, y0, width) * fx;
+            double bottom = (double)get_pixel(x0, y1, width) * (1.0 - fx)
+                          + (double)get_pixel(x1, y1, width) * fx;
+            int value = (int)(top * (1.0 - fy) + bottom * fy + 0.5);
+            put_pixel(ox, oy, value);
+        }
+    }
+    io_write(&output_img[0], 4096);
+    return total;
+}
+"""
+
+ECHO = WorkloadSpec(
+    name="echo",
+    domain="faas",
+    source=_ECHO_SOURCE,
+    setup=(),
+    run=("echo", ()),
+    paper_footprint_bytes=8 * 1024 * 1024,
+    locality=0.98,
+    uses_io=True,
+)
+
+RESIZE = WorkloadSpec(
+    name="resize",
+    domain="faas",
+    source=_RESIZE_SOURCE,
+    setup=(),
+    run=("resize", (64,)),
+    paper_footprint_bytes=16 * 1024 * 1024,
+    locality=0.9,
+    uses_io=True,
+)
+
+
+def synthetic_image(width: int, seed: int = 1) -> bytes:
+    """Deterministic grayscale test image, one byte per pixel."""
+    out = bytearray(width * width)
+    state = seed & 0x7FFFFFFF
+    for i in range(len(out)):
+        state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+        out[i] = (state >> 16) & 0xFF
+    return bytes(out)

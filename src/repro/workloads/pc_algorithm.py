@@ -1,0 +1,145 @@
+"""PC-algorithm workload (gene@Home): causal-skeleton discovery.
+
+The PC algorithm (Peter-Clark) removes edges from a complete graph by
+testing conditional independence of variable pairs given growing
+conditioning sets; the BOINC gene@Home project ran it over gene-expression
+data (paper §5.3).  Our MiniC implementation performs the order-0 and
+order-1 phases with Fisher-z tests on a correlation matrix computed from a
+synthetic expression data set generated in-module from a linear PRNG.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec
+
+_N_VARS = 10
+_N_SAMPLES = 40
+
+_SOURCE = f"""
+// PC algorithm: order-0/order-1 skeleton discovery over {_N_VARS} variables.
+double data[{_N_SAMPLES}][{_N_VARS}];
+double corr[{_N_VARS}][{_N_VARS}];
+int adj[{_N_VARS}][{_N_VARS}];
+int rng_state = 0;
+
+int next_rand(void) {{
+    rng_state = (rng_state * 1103515245 + 12345) & 2147483647;
+    return rng_state;
+}}
+
+void generate_data(int seed) {{
+    rng_state = seed;
+    for (int s = 0; s < {_N_SAMPLES}; s = s + 1) {{
+        for (int v = 0; v < {_N_VARS}; v = v + 1) {{
+            double noise = (double)(next_rand() % 1000) / 1000.0 - 0.5;
+            if (v < 2) {{
+                data[s][v] = noise;
+            }} else {{
+                // each variable depends on two predecessors plus noise
+                data[s][v] = 0.6 * data[s][v - 1] + 0.3 * data[s][v - 2] + noise;
+            }}
+        }}
+    }}
+}}
+
+void compute_correlations(void) {{
+    double n = (double){_N_SAMPLES};
+    for (int a = 0; a < {_N_VARS}; a = a + 1) {{
+        for (int b = 0; b < {_N_VARS}; b = b + 1) {{
+            double ma = 0.0;
+            double mb = 0.0;
+            for (int s = 0; s < {_N_SAMPLES}; s = s + 1) {{
+                ma = ma + data[s][a];
+                mb = mb + data[s][b];
+            }}
+            ma = ma / n;
+            mb = mb / n;
+            double sab = 0.0;
+            double saa = 0.0;
+            double sbb = 0.0;
+            for (int s = 0; s < {_N_SAMPLES}; s = s + 1) {{
+                double da = data[s][a] - ma;
+                double db = data[s][b] - mb;
+                sab = sab + da * db;
+                saa = saa + da * da;
+                sbb = sbb + db * db;
+            }}
+            corr[a][b] = sab / sqrt(saa * sbb + 0.000001);
+        }}
+    }}
+}}
+
+double log_approx(double x) {{
+    // ln(x) via atanh series on (x-1)/(x+1); adequate for Fisher z
+    double y = (x - 1.0) / (x + 1.0);
+    double y2 = y * y;
+    double term = y;
+    double total = 0.0;
+    for (int k = 0; k < 12; k = k + 1) {{
+        total = total + term / (double)(2 * k + 1);
+        term = term * y2;
+    }}
+    return 2.0 * total;
+}}
+
+double fisher_z(double r, int n_cond) {{
+    double clipped = r;
+    if (clipped > 0.999999) {{ clipped = 0.999999; }}
+    if (clipped < -0.999999) {{ clipped = -0.999999; }}
+    double z = 0.5 * log_approx((1.0 + clipped) / (1.0 - clipped));
+    double dof = (double)({_N_SAMPLES} - n_cond - 3);
+    return fabs(z) * sqrt(dof);
+}}
+
+double partial_corr(int a, int b, int c) {{
+    double rab = corr[a][b];
+    double rac = corr[a][c];
+    double rbc = corr[b][c];
+    double denom = sqrt((1.0 - rac * rac) * (1.0 - rbc * rbc)) + 0.000001;
+    return (rab - rac * rbc) / denom;
+}}
+
+int skeleton(int seed) {{
+    generate_data(seed);
+    compute_correlations();
+    double alpha_z = 1.96;
+    // order 0: marginal independence tests
+    for (int a = 0; a < {_N_VARS}; a = a + 1)
+        for (int b = 0; b < {_N_VARS}; b = b + 1) {{
+            if (a != b && fisher_z(corr[a][b], 0) > alpha_z)
+                adj[a][b] = 1;
+            else
+                adj[a][b] = 0;
+        }}
+    // order 1: condition on each single neighbour
+    for (int a = 0; a < {_N_VARS}; a = a + 1) {{
+        for (int b = 0; b < {_N_VARS}; b = b + 1) {{
+            if (a == b || adj[a][b] == 0) {{ continue; }}
+            for (int c = 0; c < {_N_VARS}; c = c + 1) {{
+                if (c == a || c == b || adj[a][c] == 0) {{ continue; }}
+                if (fisher_z(partial_corr(a, b, c), 1) <= alpha_z) {{
+                    adj[a][b] = 0;
+                    adj[b][a] = 0;
+                    break;
+                }}
+            }}
+        }}
+    }}
+    int edges = 0;
+    for (int a = 0; a < {_N_VARS}; a = a + 1)
+        for (int b = a + 1; b < {_N_VARS}; b = b + 1)
+            if (adj[a][b] == 1 && adj[b][a] == 1)
+                edges = edges + 1;
+    return edges;
+}}
+"""
+
+PC_ALGORITHM = WorkloadSpec(
+    name="pc-algorithm",
+    domain="volunteer-computing",
+    source=_SOURCE,
+    setup=(),
+    run=("skeleton", (20260705,)),
+    paper_footprint_bytes=64 * 1024 * 1024,
+    locality=0.8,
+)

@@ -1,0 +1,43 @@
+"""The PolyBench/C 4.2.1 kernel suite, re-implemented in MiniC.
+
+Same 29 kernels the paper's Fig. 6 sweeps (matrix products, stencils,
+solvers, data mining).  Interpreted runs use small problem sizes; each spec
+carries the footprint the original LARGE dataset would occupy so the EPC
+model reproduces the paging cliff the paper observed on kernels whose
+working set exceeds the 93 MiB usable EPC (2mm, 3mm, gemm, deriche, ...).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.polybench.linalg import LINALG_KERNELS
+from repro.workloads.polybench.solvers import SOLVER_KERNELS
+from repro.workloads.polybench.stencils import STENCIL_KERNELS
+from repro.workloads.spec import WorkloadSpec
+
+#: All 29 kernels keyed by name, in the paper's Fig. 6 order.
+POLYBENCH_KERNELS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (*LINALG_KERNELS, *SOLVER_KERNELS, *STENCIL_KERNELS)
+}
+
+_FIG6_ORDER = [
+    "2mm", "3mm", "adi", "atax", "bicg", "cholesky", "correlation",
+    "covariance", "deriche", "doitgen", "durbin", "fdtd-2d", "gemm",
+    "gemver", "gesummv", "gramschmidt", "heat-3d", "jacobi-1d", "jacobi-2d",
+    "lu", "ludcmp", "mvt", "nussinov", "seidel-2d", "symm", "syr2k", "syrk",
+    "trisolv", "trmm",
+]
+
+assert set(POLYBENCH_KERNELS) == set(_FIG6_ORDER), (
+    sorted(set(_FIG6_ORDER) ^ set(POLYBENCH_KERNELS))
+)
+
+
+def polybench_kernel(name: str) -> WorkloadSpec:
+    """Look up one kernel by its paper name."""
+    return POLYBENCH_KERNELS[name]
+
+
+def fig6_order() -> list[WorkloadSpec]:
+    """The kernels in the order Fig. 6 plots them."""
+    return [POLYBENCH_KERNELS[name] for name in _FIG6_ORDER]

@@ -1,0 +1,600 @@
+"""Linear-algebra PolyBench kernels (BLAS-like), written in MiniC.
+
+These are original MiniC implementations of the standard textbook
+computations the suite names: chained matrix products, matrix-vector
+products, rank-k updates and triangular solves/multiplies.  Problem sizes
+are small for interpretation; ``paper_footprint_bytes`` carries the LARGE-
+dataset working set (doubles, row-major) for the EPC model.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec
+
+MB = 1024 * 1024
+
+
+def _spec(name: str, source: str, footprint_mb: float, locality: float = 0.85) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        domain="polybench",
+        source=source,
+        setup=(("init", ()),),
+        run=("kernel", ()),
+        paper_footprint_bytes=int(footprint_mb * MB),
+        locality=locality,
+    )
+
+
+_2MM = _spec("2mm", """
+// D := alpha * A * B * C + beta * D   (two chained matrix products)
+double A[12][14];
+double B[14][12];
+double tmp[12][12];
+double C[12][16];
+double D[12][16];
+
+void init(void) {
+    for (int i = 0; i < 12; i = i + 1)
+        for (int k = 0; k < 14; k = k + 1)
+            A[i][k] = (double)((i * k + 1) % 12) / 12.0;
+    for (int k = 0; k < 14; k = k + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            B[k][j] = (double)(k * (j + 1) % 14) / 14.0;
+    for (int j = 0; j < 12; j = j + 1)
+        for (int l = 0; l < 16; l = l + 1)
+            C[j][l] = (double)((j * (l + 3) + 1) % 16) / 16.0;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int l = 0; l < 16; l = l + 1)
+            D[i][l] = (double)(i * (l + 2) % 12) / 12.0;
+}
+
+double kernel(void) {
+    double alpha = 1.5;
+    double beta = 1.2;
+    for (int i = 0; i < 12; i = i + 1) {
+        for (int j = 0; j < 12; j = j + 1) {
+            double acc = 0.0;
+            for (int k = 0; k < 14; k = k + 1)
+                acc = acc + alpha * A[i][k] * B[k][j];
+            tmp[i][j] = acc;
+        }
+    }
+    double s = 0.0;
+    for (int i = 0; i < 12; i = i + 1) {
+        for (int l = 0; l < 16; l = l + 1) {
+            double acc = D[i][l] * beta;
+            for (int j = 0; j < 12; j = j + 1)
+                acc = acc + tmp[i][j] * C[j][l];
+            D[i][l] = acc;
+            s = s + acc;
+        }
+    }
+    return s;
+}
+""", footprint_mb=148.0)
+
+
+_3MM = _spec("3mm", """
+// G := (A*B) * (C*D)   (three chained matrix products)
+double A[12][13];
+double B[13][12];
+double C[12][14];
+double D[14][12];
+double E[12][12];
+double F[12][12];
+double G[12][12];
+
+void init(void) {
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 13; j = j + 1)
+            A[i][j] = (double)((i * j + 1) % 13) / 15.0;
+    for (int i = 0; i < 13; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            B[i][j] = (double)((i * (j + 1) + 2) % 12) / 14.0;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 14; j = j + 1)
+            C[i][j] = (double)(i * (j + 3) % 14) / 13.0;
+    for (int i = 0; i < 14; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            D[i][j] = (double)((i * (j + 2) + 2) % 12) / 16.0;
+}
+
+double kernel(void) {
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1) {
+            double acc = 0.0;
+            for (int k = 0; k < 13; k = k + 1)
+                acc = acc + A[i][k] * B[k][j];
+            E[i][j] = acc;
+        }
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1) {
+            double acc = 0.0;
+            for (int k = 0; k < 14; k = k + 1)
+                acc = acc + C[i][k] * D[k][j];
+            F[i][j] = acc;
+        }
+    double s = 0.0;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1) {
+            double acc = 0.0;
+            for (int k = 0; k < 12; k = k + 1)
+                acc = acc + E[i][k] * F[k][j];
+            G[i][j] = acc;
+            s = s + acc;
+        }
+    return s;
+}
+""", footprint_mb=181.0)
+
+
+_ATAX = _spec("atax", """
+// y := A^T * (A * x)
+double A[14][16];
+double x[16];
+double y[16];
+double tmp[14];
+
+void init(void) {
+    for (int j = 0; j < 16; j = j + 1)
+        x[j] = 1.0 + (double)j / 16.0;
+    for (int i = 0; i < 14; i = i + 1)
+        for (int j = 0; j < 16; j = j + 1)
+            A[i][j] = (double)((i + j) % 16) / (16.0 * 5.0);
+}
+
+double kernel(void) {
+    for (int j = 0; j < 16; j = j + 1)
+        y[j] = 0.0;
+    for (int i = 0; i < 14; i = i + 1) {
+        double acc = 0.0;
+        for (int j = 0; j < 16; j = j + 1)
+            acc = acc + A[i][j] * x[j];
+        tmp[i] = acc;
+        for (int j = 0; j < 16; j = j + 1)
+            y[j] = y[j] + A[i][j] * acc;
+    }
+    double s = 0.0;
+    for (int j = 0; j < 16; j = j + 1)
+        s = s + y[j];
+    return s;
+}
+""", footprint_mb=31.0)
+
+
+_BICG = _spec("bicg", """
+// BiCG sub-kernel: s := A^T * r ; q := A * p
+double A[14][16];
+double r[14];
+double p[16];
+double s[16];
+double q[14];
+
+void init(void) {
+    for (int i = 0; i < 16; i = i + 1)
+        p[i] = (double)(i % 16) / 16.0;
+    for (int i = 0; i < 14; i = i + 1) {
+        r[i] = (double)(i % 14) / 14.0;
+        for (int j = 0; j < 16; j = j + 1)
+            A[i][j] = (double)(i * (j + 1) % 14) / 14.0;
+    }
+}
+
+double kernel(void) {
+    for (int j = 0; j < 16; j = j + 1)
+        s[j] = 0.0;
+    for (int i = 0; i < 14; i = i + 1) {
+        q[i] = 0.0;
+        for (int j = 0; j < 16; j = j + 1) {
+            s[j] = s[j] + r[i] * A[i][j];
+            q[i] = q[i] + A[i][j] * p[j];
+        }
+    }
+    double total = 0.0;
+    for (int j = 0; j < 16; j = j + 1)
+        total = total + s[j];
+    for (int i = 0; i < 14; i = i + 1)
+        total = total + q[i];
+    return total;
+}
+""", footprint_mb=32.0)
+
+
+_DOITGEN = _spec("doitgen", """
+// multiresolution analysis: A[r][q][*] := A[r][q][*] * C4
+double A[10][8][12];
+double C4[12][12];
+double sum[12];
+
+void init(void) {
+    for (int r = 0; r < 10; r = r + 1)
+        for (int q = 0; q < 8; q = q + 1)
+            for (int p = 0; p < 12; p = p + 1)
+                A[r][q][p] = (double)((r * q + p) % 12) / 12.0;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            C4[i][j] = (double)(i * j % 12) / 12.0;
+}
+
+double kernel(void) {
+    for (int r = 0; r < 10; r = r + 1) {
+        for (int q = 0; q < 8; q = q + 1) {
+            for (int p = 0; p < 12; p = p + 1) {
+                double acc = 0.0;
+                for (int sidx = 0; sidx < 12; sidx = sidx + 1)
+                    acc = acc + A[r][q][sidx] * C4[sidx][p];
+                sum[p] = acc;
+            }
+            for (int p = 0; p < 12; p = p + 1)
+                A[r][q][p] = sum[p];
+        }
+    }
+    double total = 0.0;
+    for (int p = 0; p < 12; p = p + 1)
+        total = total + A[9][7][p];
+    return total;
+}
+""", footprint_mb=27.0)
+
+
+_GEMM = _spec("gemm", """
+// C := alpha * A * B + beta * C
+double A[14][16];
+double B[16][12];
+double C[14][12];
+
+void init(void) {
+    for (int i = 0; i < 14; i = i + 1)
+        for (int k = 0; k < 16; k = k + 1)
+            A[i][k] = (double)(i * (k + 1) % 16) / 16.0;
+    for (int k = 0; k < 16; k = k + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            B[k][j] = (double)(k * (j + 2) % 12) / 12.0;
+    for (int i = 0; i < 14; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            C[i][j] = (double)((i - j) % 12) / 12.0;
+}
+
+double kernel(void) {
+    double alpha = 1.5;
+    double beta = 1.2;
+    double s = 0.0;
+    for (int i = 0; i < 14; i = i + 1) {
+        for (int j = 0; j < 12; j = j + 1)
+            C[i][j] = C[i][j] * beta;
+        for (int k = 0; k < 16; k = k + 1) {
+            for (int j = 0; j < 12; j = j + 1)
+                C[i][j] = C[i][j] + alpha * A[i][k] * B[k][j];
+        }
+    }
+    for (int i = 0; i < 14; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            s = s + C[i][j];
+    return s;
+}
+""", footprint_mb=126.0)
+
+
+_GEMVER = _spec("gemver", """
+// vector multiplications and matrix additions
+double A[16][16];
+double u1[16]; double v1[16];
+double u2[16]; double v2[16];
+double w[16]; double x[16]; double y[16]; double z[16];
+
+void init(void) {
+    for (int i = 0; i < 16; i = i + 1) {
+        u1[i] = (double)i / 16.0;
+        u2[i] = (double)(i + 1) / 32.0;
+        v1[i] = (double)(i + 2) / 48.0;
+        v2[i] = (double)(i + 3) / 64.0;
+        y[i] = (double)(i + 4) / 80.0;
+        z[i] = (double)(i + 5) / 96.0;
+        x[i] = 0.0;
+        w[i] = 0.0;
+        for (int j = 0; j < 16; j = j + 1)
+            A[i][j] = (double)(i * j % 16) / 16.0;
+    }
+}
+
+double kernel(void) {
+    double alpha = 1.5;
+    double beta = 1.2;
+    for (int i = 0; i < 16; i = i + 1)
+        for (int j = 0; j < 16; j = j + 1)
+            A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+    for (int i = 0; i < 16; i = i + 1)
+        for (int j = 0; j < 16; j = j + 1)
+            x[i] = x[i] + beta * A[j][i] * y[j];
+    for (int i = 0; i < 16; i = i + 1)
+        x[i] = x[i] + z[i];
+    for (int i = 0; i < 16; i = i + 1)
+        for (int j = 0; j < 16; j = j + 1)
+            w[i] = w[i] + alpha * A[i][j] * x[j];
+    double s = 0.0;
+    for (int i = 0; i < 16; i = i + 1)
+        s = s + w[i];
+    return s;
+}
+""", footprint_mb=32.0, locality=0.7)
+
+
+_GESUMMV = _spec("gesummv", """
+// y := alpha * A * x + beta * B * x
+double A[14][14];
+double B[14][14];
+double x[14];
+double y[14];
+
+void init(void) {
+    for (int i = 0; i < 14; i = i + 1) {
+        x[i] = (double)(i % 14) / 14.0;
+        for (int j = 0; j < 14; j = j + 1) {
+            A[i][j] = (double)((i * j + 1) % 14) / 14.0;
+            B[i][j] = (double)((i * j + 2) % 14) / 14.0;
+        }
+    }
+}
+
+double kernel(void) {
+    double alpha = 1.5;
+    double beta = 1.2;
+    double s = 0.0;
+    for (int i = 0; i < 14; i = i + 1) {
+        double t1 = 0.0;
+        double t2 = 0.0;
+        for (int j = 0; j < 14; j = j + 1) {
+            t1 = t1 + A[i][j] * x[j];
+            t2 = t2 + B[i][j] * x[j];
+        }
+        y[i] = alpha * t1 + beta * t2;
+        s = s + y[i];
+    }
+    return s;
+}
+""", footprint_mb=27.0)
+
+
+_MVT = _spec("mvt", """
+// x1 := x1 + A * y1 ; x2 := x2 + A^T * y2
+double A[16][16];
+double x1[16]; double x2[16];
+double y1[16]; double y2[16];
+
+void init(void) {
+    for (int i = 0; i < 16; i = i + 1) {
+        x1[i] = (double)(i % 16) / 16.0;
+        x2[i] = (double)((i + 1) % 16) / 16.0;
+        y1[i] = (double)((i + 3) % 16) / 16.0;
+        y2[i] = (double)((i + 4) % 16) / 16.0;
+        for (int j = 0; j < 16; j = j + 1)
+            A[i][j] = (double)(i * j % 16) / 16.0;
+    }
+}
+
+double kernel(void) {
+    for (int i = 0; i < 16; i = i + 1)
+        for (int j = 0; j < 16; j = j + 1)
+            x1[i] = x1[i] + A[i][j] * y1[j];
+    for (int i = 0; i < 16; i = i + 1)
+        for (int j = 0; j < 16; j = j + 1)
+            x2[i] = x2[i] + A[j][i] * y2[j];
+    double s = 0.0;
+    for (int i = 0; i < 16; i = i + 1)
+        s = s + x1[i] + x2[i];
+    return s;
+}
+""", footprint_mb=32.0, locality=0.7)
+
+
+_SYMM = _spec("symm", """
+// C := alpha*A*B + beta*C with A symmetric (lower stored)
+double A[12][12];
+double B[12][14];
+double C[12][14];
+
+void init(void) {
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            A[i][j] = (double)((i + j) % 12) / 12.0;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 14; j = j + 1) {
+            B[i][j] = (double)((13 * (i + 3) + 2 * (j + 1)) % 14) / 14.0;
+            C[i][j] = (double)((i * j + 3) % 14) / 14.0;
+        }
+}
+
+double kernel(void) {
+    double alpha = 1.5;
+    double beta = 1.2;
+    for (int i = 0; i < 12; i = i + 1) {
+        for (int j = 0; j < 14; j = j + 1) {
+            double temp2 = 0.0;
+            for (int k = 0; k < i; k = k + 1) {
+                C[k][j] = C[k][j] + alpha * B[i][j] * A[i][k];
+                temp2 = temp2 + B[k][j] * A[i][k];
+            }
+            C[i][j] = beta * C[i][j] + alpha * B[i][j] * A[i][i] + alpha * temp2;
+        }
+    }
+    double s = 0.0;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 14; j = j + 1)
+            s = s + C[i][j];
+    return s;
+}
+""", footprint_mb=27.0)
+
+
+_SYR2K = _spec("syr2k", """
+// C := alpha*A*B^T + alpha*B*A^T + beta*C (symmetric rank-2k update)
+double A[12][10];
+double B[12][10];
+double C[12][12];
+
+void init(void) {
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 10; j = j + 1) {
+            A[i][j] = (double)((i * j + 1) % 12) / 12.0;
+            B[i][j] = (double)((i * j + 2) % 10) / 10.0;
+        }
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            C[i][j] = (double)((i * j + 3) % 12) / 12.0;
+}
+
+double kernel(void) {
+    double alpha = 1.5;
+    double beta = 1.2;
+    for (int i = 0; i < 12; i = i + 1) {
+        for (int j = 0; j <= i; j = j + 1)
+            C[i][j] = C[i][j] * beta;
+        for (int k = 0; k < 10; k = k + 1)
+            for (int j = 0; j <= i; j = j + 1)
+                C[i][j] = C[i][j] + A[j][k] * alpha * B[i][k] + B[j][k] * alpha * A[i][k];
+    }
+    double s = 0.0;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j <= i; j = j + 1)
+            s = s + C[i][j];
+    return s;
+}
+""", footprint_mb=31.0)
+
+
+_SYRK = _spec("syrk", """
+// C := alpha*A*A^T + beta*C (symmetric rank-k update)
+double A[12][10];
+double C[12][12];
+
+void init(void) {
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 10; j = j + 1)
+            A[i][j] = (double)((i * j + 1) % 12) / 12.0;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            C[i][j] = (double)((i * j + 2) % 12) / 12.0;
+}
+
+double kernel(void) {
+    double alpha = 1.5;
+    double beta = 1.2;
+    for (int i = 0; i < 12; i = i + 1) {
+        for (int j = 0; j <= i; j = j + 1)
+            C[i][j] = C[i][j] * beta;
+        for (int k = 0; k < 10; k = k + 1)
+            for (int j = 0; j <= i; j = j + 1)
+                C[i][j] = C[i][j] + alpha * A[i][k] * A[j][k];
+    }
+    double s = 0.0;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j <= i; j = j + 1)
+            s = s + C[i][j];
+    return s;
+}
+""", footprint_mb=21.0)
+
+
+_TRMM = _spec("trmm", """
+// B := alpha * A^T * B with A unit lower triangular
+double A[12][12];
+double B[12][14];
+
+void init(void) {
+    for (int i = 0; i < 12; i = i + 1) {
+        for (int j = 0; j < i; j = j + 1)
+            A[i][j] = (double)((i + j) % 12) / 12.0;
+        A[i][i] = 1.0;
+        for (int j = 0; j < 14; j = j + 1)
+            B[i][j] = (double)((14 + (i - j)) % 14) / 14.0;
+    }
+}
+
+double kernel(void) {
+    double alpha = 1.5;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 14; j = j + 1) {
+            double acc = B[i][j];
+            for (int k = i + 1; k < 12; k = k + 1)
+                acc = acc + A[k][i] * B[k][j];
+            B[i][j] = alpha * acc;
+        }
+    double s = 0.0;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 14; j = j + 1)
+            s = s + B[i][j];
+    return s;
+}
+""", footprint_mb=18.0)
+
+
+_TRISOLV = _spec("trisolv", """
+// x := L^-1 * b (forward substitution)
+double L[16][16];
+double b[16];
+double x[16];
+
+void init(void) {
+    for (int i = 0; i < 16; i = i + 1) {
+        b[i] = (double)i / 16.0;
+        x[i] = -999.0;
+        for (int j = 0; j <= i; j = j + 1)
+            L[i][j] = (double)(i + 16 - j + 1) * 2.0 / 16.0;
+    }
+}
+
+double kernel(void) {
+    for (int i = 0; i < 16; i = i + 1) {
+        double acc = b[i];
+        for (int j = 0; j < i; j = j + 1)
+            acc = acc - L[i][j] * x[j];
+        x[i] = acc / L[i][i];
+    }
+    double s = 0.0;
+    for (int i = 0; i < 16; i = i + 1)
+        s = s + x[i];
+    return s;
+}
+""", footprint_mb=32.0)
+
+
+_DURBIN = _spec("durbin", """
+// Durbin's algorithm for Toeplitz systems
+double r[16];
+double y[16];
+double z[16];
+
+void init(void) {
+    for (int i = 0; i < 16; i = i + 1)
+        r[i] = (double)(16 + 1 - i) / 8.0;
+}
+
+double kernel(void) {
+    y[0] = -r[0];
+    double beta = 1.0;
+    double alpha = -r[0];
+    for (int k = 1; k < 16; k = k + 1) {
+        beta = (1.0 - alpha * alpha) * beta;
+        double total = 0.0;
+        for (int i = 0; i < k; i = i + 1)
+            total = total + r[k - i - 1] * y[i];
+        alpha = -(r[k] + total) / beta;
+        for (int i = 0; i < k; i = i + 1)
+            z[i] = y[i] + alpha * y[k - i - 1];
+        for (int i = 0; i < k; i = i + 1)
+            y[i] = z[i];
+        y[k] = alpha;
+    }
+    double s = 0.0;
+    for (int i = 0; i < 16; i = i + 1)
+        s = s + y[i];
+    return s;
+}
+""", footprint_mb=0.1)
+
+
+LINALG_KERNELS = (
+    _2MM, _3MM, _ATAX, _BICG, _DOITGEN, _GEMM, _GEMVER, _GESUMMV,
+    _MVT, _SYMM, _SYR2K, _SYRK, _TRMM, _TRISOLV, _DURBIN,
+)

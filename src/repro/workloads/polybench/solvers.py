@@ -1,0 +1,343 @@
+"""Decomposition/solver and data-mining PolyBench kernels in MiniC.
+
+Original MiniC implementations of the named textbook algorithms: Cholesky,
+LU (with and without forward/back substitution), Gram-Schmidt QR, dynamic
+programming (Nussinov-style RNA folding), and the correlation/covariance
+data-mining kernels.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec
+
+MB = 1024 * 1024
+
+
+def _spec(name: str, source: str, footprint_mb: float, locality: float = 0.8) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        domain="polybench",
+        source=source,
+        setup=(("init", ()),),
+        run=("kernel", ()),
+        paper_footprint_bytes=int(footprint_mb * MB),
+        locality=locality,
+    )
+
+
+_CHOLESKY = _spec("cholesky", """
+// Cholesky decomposition of a symmetric positive-definite matrix
+double A[14][14];
+
+void init(void) {
+    for (int i = 0; i < 14; i = i + 1) {
+        for (int j = 0; j <= i; j = j + 1)
+            A[i][j] = (double)(-(j % 14)) / 14.0 + 1.0;
+        for (int j = i + 1; j < 14; j = j + 1)
+            A[i][j] = 0.0;
+        A[i][i] = 1.0;
+    }
+    // make positive definite: A := A * A^T + n*I (computed in place surrogate)
+    for (int i = 0; i < 14; i = i + 1)
+        A[i][i] = A[i][i] + 14.0;
+}
+
+double kernel(void) {
+    for (int i = 0; i < 14; i = i + 1) {
+        for (int j = 0; j < i; j = j + 1) {
+            double acc = A[i][j];
+            for (int k = 0; k < j; k = k + 1)
+                acc = acc - A[i][k] * A[j][k];
+            A[i][j] = acc / A[j][j];
+        }
+        double diag = A[i][i];
+        for (int k = 0; k < i; k = k + 1)
+            diag = diag - A[i][k] * A[i][k];
+        A[i][i] = sqrt(diag);
+    }
+    double s = 0.0;
+    for (int i = 0; i < 14; i = i + 1)
+        for (int j = 0; j <= i; j = j + 1)
+            s = s + A[i][j];
+    return s;
+}
+""", footprint_mb=32.0)
+
+
+_LU = _spec("lu", """
+// LU decomposition without pivoting
+double A[14][14];
+
+void init(void) {
+    for (int i = 0; i < 14; i = i + 1) {
+        for (int j = 0; j <= i; j = j + 1)
+            A[i][j] = (double)(-(j % 14)) / 14.0 + 1.0;
+        for (int j = i + 1; j < 14; j = j + 1)
+            A[i][j] = 0.0;
+        A[i][i] = (double)14;
+    }
+}
+
+double kernel(void) {
+    for (int i = 0; i < 14; i = i + 1) {
+        for (int j = 0; j < i; j = j + 1) {
+            double acc = A[i][j];
+            for (int k = 0; k < j; k = k + 1)
+                acc = acc - A[i][k] * A[k][j];
+            A[i][j] = acc / A[j][j];
+        }
+        for (int j = i; j < 14; j = j + 1) {
+            double acc = A[i][j];
+            for (int k = 0; k < i; k = k + 1)
+                acc = acc - A[i][k] * A[k][j];
+            A[i][j] = acc;
+        }
+    }
+    double s = 0.0;
+    for (int i = 0; i < 14; i = i + 1)
+        for (int j = 0; j < 14; j = j + 1)
+            s = s + A[i][j];
+    return s;
+}
+""", footprint_mb=32.0)
+
+
+_LUDCMP = _spec("ludcmp", """
+// LU decomposition followed by forward and back substitution
+double A[14][14];
+double b[14];
+double x[14];
+double y[14];
+
+void init(void) {
+    for (int i = 0; i < 14; i = i + 1) {
+        b[i] = (double)(i + 1) / 16.0 / 2.0 + 4.0;
+        x[i] = 0.0;
+        y[i] = 0.0;
+        for (int j = 0; j <= i; j = j + 1)
+            A[i][j] = (double)(-(j % 14)) / 14.0 + 1.0;
+        for (int j = i + 1; j < 14; j = j + 1)
+            A[i][j] = 0.0;
+        A[i][i] = (double)14;
+    }
+}
+
+double kernel(void) {
+    for (int i = 0; i < 14; i = i + 1) {
+        for (int j = 0; j < i; j = j + 1) {
+            double w = A[i][j];
+            for (int k = 0; k < j; k = k + 1)
+                w = w - A[i][k] * A[k][j];
+            A[i][j] = w / A[j][j];
+        }
+        for (int j = i; j < 14; j = j + 1) {
+            double w = A[i][j];
+            for (int k = 0; k < i; k = k + 1)
+                w = w - A[i][k] * A[k][j];
+            A[i][j] = w;
+        }
+    }
+    for (int i = 0; i < 14; i = i + 1) {
+        double w = b[i];
+        for (int j = 0; j < i; j = j + 1)
+            w = w - A[i][j] * y[j];
+        y[i] = w;
+    }
+    for (int i = 13; i >= 0; i = i - 1) {
+        double w = y[i];
+        for (int j = i + 1; j < 14; j = j + 1)
+            w = w - A[i][j] * x[j];
+        x[i] = w / A[i][i];
+    }
+    double s = 0.0;
+    for (int i = 0; i < 14; i = i + 1)
+        s = s + x[i];
+    return s;
+}
+""", footprint_mb=32.0)
+
+
+_GRAMSCHMIDT = _spec("gramschmidt", """
+// modified Gram-Schmidt QR decomposition
+double A[12][10];
+double R[10][10];
+double Q[12][10];
+
+void init(void) {
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 10; j = j + 1) {
+            A[i][j] = ((double)((i * j) % 12) / 12.0) * 100.0 + 10.0;
+            Q[i][j] = 0.0;
+        }
+    for (int i = 0; i < 10; i = i + 1)
+        for (int j = 0; j < 10; j = j + 1)
+            R[i][j] = 0.0;
+}
+
+double kernel(void) {
+    for (int k = 0; k < 10; k = k + 1) {
+        double nrm = 0.0;
+        for (int i = 0; i < 12; i = i + 1)
+            nrm = nrm + A[i][k] * A[i][k];
+        R[k][k] = sqrt(nrm);
+        for (int i = 0; i < 12; i = i + 1)
+            Q[i][k] = A[i][k] / R[k][k];
+        for (int j = k + 1; j < 10; j = j + 1) {
+            double acc = 0.0;
+            for (int i = 0; i < 12; i = i + 1)
+                acc = acc + Q[i][k] * A[i][j];
+            R[k][j] = acc;
+            for (int i = 0; i < 12; i = i + 1)
+                A[i][j] = A[i][j] - Q[i][k] * R[k][j];
+        }
+    }
+    double s = 0.0;
+    for (int i = 0; i < 10; i = i + 1)
+        for (int j = 0; j < 10; j = j + 1)
+            s = s + R[i][j];
+    return s;
+}
+""", footprint_mb=31.0)
+
+
+_NUSSINOV = _spec("nussinov", """
+// Nussinov RNA base-pair maximisation (dynamic programming over intervals);
+// match/max are inlined expressions, as the original's preprocessor macros
+int seq[20];
+int table[20][20];
+
+void init(void) {
+    for (int i = 0; i < 20; i = i + 1) {
+        seq[i] = (i + 1) % 4;
+        for (int j = 0; j < 20; j = j + 1)
+            table[i][j] = 0;
+    }
+}
+
+double kernel(void) {
+    for (int i = 19; i >= 0; i = i - 1) {
+        for (int j = i + 1; j < 20; j = j + 1) {
+            int best = table[i][j];
+            if (j - 1 >= 0) {
+                int cand = table[i][j - 1];
+                if (cand > best) { best = cand; }
+            }
+            if (i + 1 < 20) {
+                int cand = table[i + 1][j];
+                if (cand > best) { best = cand; }
+            }
+            if (j - 1 >= 0 && i + 1 < 20) {
+                int pair = 0;
+                if (i < j - 1) { pair = (seq[i] + seq[j]) == 3; }
+                int cand = table[i + 1][j - 1] + pair;
+                if (cand > best) { best = cand; }
+            }
+            for (int k = i + 1; k < j; k = k + 1) {
+                int cand = table[i][k] + table[k + 1][j];
+                if (cand > best) { best = cand; }
+            }
+            table[i][j] = best;
+        }
+    }
+    return (double)table[0][19];
+}
+""", footprint_mb=50.0, locality=0.6)
+
+
+_CORRELATION = _spec("correlation", """
+// correlation matrix of a data set (columns are variables)
+double data[14][12];
+double corr[12][12];
+double mean[12];
+double stddev[12];
+
+void init(void) {
+    for (int i = 0; i < 14; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            data[i][j] = (double)(i * j) / 12.0 + (double)i / 14.0;
+}
+
+double kernel(void) {
+    double float_n = 14.0;
+    double eps = 0.1;
+    for (int j = 0; j < 12; j = j + 1) {
+        double m = 0.0;
+        for (int i = 0; i < 14; i = i + 1)
+            m = m + data[i][j];
+        mean[j] = m / float_n;
+    }
+    for (int j = 0; j < 12; j = j + 1) {
+        double sd = 0.0;
+        for (int i = 0; i < 14; i = i + 1)
+            sd = sd + (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+        sd = sqrt(sd / float_n);
+        if (sd <= eps) { sd = 1.0; }
+        stddev[j] = sd;
+    }
+    for (int i = 0; i < 14; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            data[i][j] = (data[i][j] - mean[j]) / (sqrt(float_n) * stddev[j]);
+    for (int i = 0; i < 11; i = i + 1) {
+        corr[i][i] = 1.0;
+        for (int j = i + 1; j < 12; j = j + 1) {
+            double acc = 0.0;
+            for (int k = 0; k < 14; k = k + 1)
+                acc = acc + data[k][i] * data[k][j];
+            corr[i][j] = acc;
+            corr[j][i] = acc;
+        }
+    }
+    corr[11][11] = 1.0;
+    double s = 0.0;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            s = s + corr[i][j];
+    return s;
+}
+""", footprint_mb=25.0)
+
+
+_COVARIANCE = _spec("covariance", """
+// covariance matrix of a data set
+double data[14][12];
+double cov[12][12];
+double mean[12];
+
+void init(void) {
+    for (int i = 0; i < 14; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            data[i][j] = (double)(i * j) / 12.0;
+}
+
+double kernel(void) {
+    double float_n = 14.0;
+    for (int j = 0; j < 12; j = j + 1) {
+        double m = 0.0;
+        for (int i = 0; i < 14; i = i + 1)
+            m = m + data[i][j];
+        mean[j] = m / float_n;
+    }
+    for (int i = 0; i < 14; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            data[i][j] = data[i][j] - mean[j];
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = i; j < 12; j = j + 1) {
+            double acc = 0.0;
+            for (int k = 0; k < 14; k = k + 1)
+                acc = acc + data[k][i] * data[k][j];
+            acc = acc / (float_n - 1.0);
+            cov[i][j] = acc;
+            cov[j][i] = acc;
+        }
+    double s = 0.0;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            s = s + cov[i][j];
+    return s;
+}
+""", footprint_mb=25.0)
+
+
+SOLVER_KERNELS = (
+    _CHOLESKY, _LU, _LUDCMP, _GRAMSCHMIDT, _NUSSINOV, _CORRELATION, _COVARIANCE,
+)

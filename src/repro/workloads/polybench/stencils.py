@@ -1,0 +1,331 @@
+"""Stencil and dynamic-programming PolyBench kernels in MiniC.
+
+Original MiniC implementations of the named stencil computations: Jacobi
+relaxations in 1D/2D, Gauss-Seidel, a 3D heat equation, a 2D FDTD
+electromagnetic solver, alternating-direction-implicit integration, and a
+separable recursive (Deriche-style) image filter.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec
+
+MB = 1024 * 1024
+
+
+def _spec(name: str, source: str, footprint_mb: float, locality: float = 0.9) -> WorkloadSpec:
+    return WorkloadSpec(
+        name=name,
+        domain="polybench",
+        source=source,
+        setup=(("init", ()),),
+        run=("kernel", ()),
+        paper_footprint_bytes=int(footprint_mb * MB),
+        locality=locality,
+    )
+
+
+_JACOBI_1D = _spec("jacobi-1d", """
+// 1D Jacobi relaxation, alternating arrays
+double A[30];
+double B[30];
+
+void init(void) {
+    for (int i = 0; i < 30; i = i + 1) {
+        A[i] = ((double)i + 2.0) / 30.0;
+        B[i] = ((double)i + 3.0) / 30.0;
+    }
+}
+
+double kernel(void) {
+    for (int t = 0; t < 10; t = t + 1) {
+        for (int i = 1; i < 29; i = i + 1)
+            B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+        for (int i = 1; i < 29; i = i + 1)
+            A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);
+    }
+    double s = 0.0;
+    for (int i = 0; i < 30; i = i + 1)
+        s = s + A[i];
+    return s;
+}
+""", footprint_mb=0.1)
+
+
+_JACOBI_2D = _spec("jacobi-2d", """
+// 2D Jacobi five-point relaxation
+double A[14][14];
+double B[14][14];
+
+void init(void) {
+    for (int i = 0; i < 14; i = i + 1)
+        for (int j = 0; j < 14; j = j + 1) {
+            A[i][j] = ((double)i * (j + 2) + 2.0) / 14.0;
+            B[i][j] = ((double)i * (j + 3) + 3.0) / 14.0;
+        }
+}
+
+double kernel(void) {
+    for (int t = 0; t < 6; t = t + 1) {
+        for (int i = 1; i < 13; i = i + 1)
+            for (int j = 1; j < 13; j = j + 1)
+                B[i][j] = 0.2 * (A[i][j] + A[i][j - 1] + A[i][j + 1] + A[i + 1][j] + A[i - 1][j]);
+        for (int i = 1; i < 13; i = i + 1)
+            for (int j = 1; j < 13; j = j + 1)
+                A[i][j] = 0.2 * (B[i][j] + B[i][j - 1] + B[i][j + 1] + B[i + 1][j] + B[i - 1][j]);
+    }
+    double s = 0.0;
+    for (int i = 0; i < 14; i = i + 1)
+        for (int j = 0; j < 14; j = j + 1)
+            s = s + A[i][j];
+    return s;
+}
+""", footprint_mb=27.0)
+
+
+_SEIDEL_2D = _spec("seidel-2d", """
+// 2D Gauss-Seidel nine-point relaxation (in place)
+double A[14][14];
+
+void init(void) {
+    for (int i = 0; i < 14; i = i + 1)
+        for (int j = 0; j < 14; j = j + 1)
+            A[i][j] = ((double)i * (j + 2) + 2.0) / 14.0;
+}
+
+double kernel(void) {
+    for (int t = 0; t < 6; t = t + 1)
+        for (int i = 1; i < 13; i = i + 1)
+            for (int j = 1; j < 13; j = j + 1)
+                A[i][j] = (A[i - 1][j - 1] + A[i - 1][j] + A[i - 1][j + 1]
+                         + A[i][j - 1] + A[i][j] + A[i][j + 1]
+                         + A[i + 1][j - 1] + A[i + 1][j] + A[i + 1][j + 1]) / 9.0;
+    double s = 0.0;
+    for (int i = 0; i < 14; i = i + 1)
+        for (int j = 0; j < 14; j = j + 1)
+            s = s + A[i][j];
+    return s;
+}
+""", footprint_mb=32.0)
+
+
+_HEAT_3D = _spec("heat-3d", """
+// 3D heat equation, two-array time stepping
+double A[8][8][8];
+double B[8][8][8];
+
+void init(void) {
+    for (int i = 0; i < 8; i = i + 1)
+        for (int j = 0; j < 8; j = j + 1)
+            for (int k = 0; k < 8; k = k + 1) {
+                A[i][j][k] = (double)(i + j + (8 - k)) * 10.0 / 8.0;
+                B[i][j][k] = A[i][j][k];
+            }
+}
+
+double kernel(void) {
+    for (int t = 1; t <= 4; t = t + 1) {
+        for (int i = 1; i < 7; i = i + 1)
+            for (int j = 1; j < 7; j = j + 1)
+                for (int k = 1; k < 7; k = k + 1)
+                    B[i][j][k] = 0.125 * (A[i + 1][j][k] - 2.0 * A[i][j][k] + A[i - 1][j][k])
+                               + 0.125 * (A[i][j + 1][k] - 2.0 * A[i][j][k] + A[i][j - 1][k])
+                               + 0.125 * (A[i][j][k + 1] - 2.0 * A[i][j][k] + A[i][j][k - 1])
+                               + A[i][j][k];
+        for (int i = 1; i < 7; i = i + 1)
+            for (int j = 1; j < 7; j = j + 1)
+                for (int k = 1; k < 7; k = k + 1)
+                    A[i][j][k] = 0.125 * (B[i + 1][j][k] - 2.0 * B[i][j][k] + B[i - 1][j][k])
+                               + 0.125 * (B[i][j + 1][k] - 2.0 * B[i][j][k] + B[i][j - 1][k])
+                               + 0.125 * (B[i][j][k + 1] - 2.0 * B[i][j][k] + B[i][j][k - 1])
+                               + B[i][j][k];
+    }
+    double s = 0.0;
+    for (int i = 0; i < 8; i = i + 1)
+        for (int j = 0; j < 8; j = j + 1)
+            for (int k = 0; k < 8; k = k + 1)
+                s = s + A[i][j][k];
+    return s;
+}
+""", footprint_mb=28.0)
+
+
+_FDTD_2D = _spec("fdtd-2d", """
+// 2D finite-difference time-domain electromagnetic kernel
+double ex[12][14];
+double ey[12][14];
+double hz[12][14];
+double fict[6];
+
+void init(void) {
+    for (int t = 0; t < 6; t = t + 1)
+        fict[t] = (double)t;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 14; j = j + 1) {
+            ex[i][j] = ((double)i * (j + 1)) / 12.0;
+            ey[i][j] = ((double)i * (j + 2)) / 14.0;
+            hz[i][j] = ((double)i * (j + 3)) / 12.0;
+        }
+}
+
+double kernel(void) {
+    for (int t = 0; t < 6; t = t + 1) {
+        for (int j = 0; j < 14; j = j + 1)
+            ey[0][j] = fict[t];
+        for (int i = 1; i < 12; i = i + 1)
+            for (int j = 0; j < 14; j = j + 1)
+                ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i - 1][j]);
+        for (int i = 0; i < 12; i = i + 1)
+            for (int j = 1; j < 14; j = j + 1)
+                ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j - 1]);
+        for (int i = 0; i < 11; i = i + 1)
+            for (int j = 0; j < 13; j = j + 1)
+                hz[i][j] = hz[i][j] - 0.7 * (ex[i][j + 1] - ex[i][j] + ey[i + 1][j] - ey[i][j]);
+    }
+    double s = 0.0;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 14; j = j + 1)
+            s = s + hz[i][j];
+    return s;
+}
+""", footprint_mb=29.0)
+
+
+_ADI = _spec("adi", """
+// alternating-direction-implicit integration (tridiagonal sweeps)
+double u[12][12];
+double v[12][12];
+double p[12][12];
+double q[12][12];
+
+void init(void) {
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            u[i][j] = (double)(i + 12 - j) / 12.0;
+}
+
+double kernel(void) {
+    double DX = 1.0 / 12.0;
+    double DY = 1.0 / 12.0;
+    double DT = 1.0 / 4.0;
+    double B1 = 2.0;
+    double B2 = 1.0;
+    double mul1 = B1 * DT / (DX * DX);
+    double mul2 = B2 * DT / (DY * DY);
+    double a = -mul1 / 2.0;
+    double b = 1.0 + mul1;
+    double c = a;
+    double d = -mul2 / 2.0;
+    double e = 1.0 + mul2;
+    double f = d;
+    for (int t = 1; t <= 4; t = t + 1) {
+        // column sweep
+        for (int i = 1; i < 11; i = i + 1) {
+            v[0][i] = 1.0;
+            p[i][0] = 0.0;
+            q[i][0] = v[0][i];
+            for (int j = 1; j < 11; j = j + 1) {
+                p[i][j] = -c / (a * p[i][j - 1] + b);
+                q[i][j] = (-d * u[j][i - 1] + (1.0 + 2.0 * d) * u[j][i] - f * u[j][i + 1] - a * q[i][j - 1]) / (a * p[i][j - 1] + b);
+            }
+            v[11][i] = 1.0;
+            for (int j = 10; j >= 1; j = j - 1)
+                v[j][i] = p[i][j] * v[j + 1][i] + q[i][j];
+        }
+        // row sweep
+        for (int i = 1; i < 11; i = i + 1) {
+            u[i][0] = 1.0;
+            p[i][0] = 0.0;
+            q[i][0] = u[i][0];
+            for (int j = 1; j < 11; j = j + 1) {
+                p[i][j] = -f / (d * p[i][j - 1] + e);
+                q[i][j] = (-a * v[i - 1][j] + (1.0 + 2.0 * a) * v[i][j] - c * v[i + 1][j] - d * q[i][j - 1]) / (d * p[i][j - 1] + e);
+            }
+            u[i][11] = 1.0;
+            for (int j = 10; j >= 1; j = j - 1)
+                u[i][j] = p[i][j] * u[i][j + 1] + q[i][j];
+        }
+    }
+    double s = 0.0;
+    for (int i = 0; i < 12; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            s = s + u[i][j];
+    return s;
+}
+""", footprint_mb=32.0)
+
+
+_DERICHE = _spec("deriche", """
+// separable recursive edge-detection filter over an image
+float img_in[16][12];
+float img_out[16][12];
+float y1m[16][12];
+float y2m[16][12];
+
+void init(void) {
+    for (int i = 0; i < 16; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            img_in[i][j] = (float)((313 * i + 991 * j) % 65536) / 65535.0f;
+}
+
+double kernel(void) {
+    float alpha = 0.25f;
+    float k = (1.0f - (float)exp_approx(-(double)alpha)) * (1.0f - (float)exp_approx(-(double)alpha));
+    float a1 = k;
+    float a2 = k * (float)exp_approx(-(double)alpha) * (alpha - 1.0f);
+    float a3 = k * (float)exp_approx(-(double)alpha) * (alpha + 1.0f);
+    float a4 = -k * (float)exp_approx(-2.0 * (double)alpha);
+    float b1 = 2.0f * (float)exp_approx(-(double)alpha);
+    float b2 = -(float)exp_approx(-2.0 * (double)alpha);
+
+    for (int i = 0; i < 16; i = i + 1) {
+        float ym1 = 0.0f;
+        float ym2 = 0.0f;
+        float xm1 = 0.0f;
+        for (int j = 0; j < 12; j = j + 1) {
+            y1m[i][j] = a1 * img_in[i][j] + a2 * xm1 + b1 * ym1 + b2 * ym2;
+            xm1 = img_in[i][j];
+            ym2 = ym1;
+            ym1 = y1m[i][j];
+        }
+    }
+    for (int i = 0; i < 16; i = i + 1) {
+        float yp1 = 0.0f;
+        float yp2 = 0.0f;
+        float xp1 = 0.0f;
+        float xp2 = 0.0f;
+        for (int j = 11; j >= 0; j = j - 1) {
+            y2m[i][j] = a3 * xp1 + a4 * xp2 + b1 * yp1 + b2 * yp2;
+            xp2 = xp1;
+            xp1 = img_in[i][j];
+            yp2 = yp1;
+            yp1 = y2m[i][j];
+        }
+    }
+    for (int i = 0; i < 16; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            img_out[i][j] = y1m[i][j] + y2m[i][j];
+    double s = 0.0;
+    for (int i = 0; i < 16; i = i + 1)
+        for (int j = 0; j < 12; j = j + 1)
+            s = s + (double)img_out[i][j];
+    return s;
+}
+
+// exp(x) via an 8-term Taylor polynomial: enough accuracy for the filter
+// coefficients, and keeps the workload self-contained (no libm).
+double exp_approx(double x) {
+    double term = 1.0;
+    double total = 1.0;
+    for (int n = 1; n < 9; n = n + 1) {
+        term = term * x / (double)n;
+        total = total + term;
+    }
+    return total;
+}
+""", footprint_mb=106.0)
+
+
+STENCIL_KERNELS = (
+    _JACOBI_1D, _JACOBI_2D, _SEIDEL_2D, _HEAT_3D, _FDTD_2D, _ADI, _DERICHE,
+)

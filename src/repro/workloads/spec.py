@@ -1,0 +1,42 @@
+"""Workload descriptors shared by tests, benchmarks and scenarios."""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+
+from repro.minic import compile_source
+from repro.wasm.module import Module
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One runnable workload.
+
+    ``setup`` lists exported calls to run before the measured ``run`` call
+    (initialisation is excluded from the paper's timings, which report "the
+    actual program runtime excluding VM startup", §5.1 — we mirror that by
+    measuring only the kernel call where the original suite does).
+
+    ``paper_footprint_bytes`` is the enclave memory footprint under the
+    paper's dataset sizes; it feeds the EPC paging model.  ``locality`` in
+    [0, 1] describes the access pattern (1 = linear sweeps).
+    """
+
+    name: str
+    domain: str
+    source: str
+    setup: tuple[tuple[str, tuple], ...] = ()
+    run: tuple[str, tuple] = ("main", ())
+    paper_footprint_bytes: int = 0
+    locality: float = 0.8
+    uses_io: bool = False
+
+    def compile(self) -> Module:
+        return compile_spec(self.source)
+
+
+@functools.lru_cache(maxsize=None)
+def compile_spec(source: str) -> Module:
+    """Compile-and-cache MiniC workload sources (modules are cloned by users)."""
+    return compile_source(source)

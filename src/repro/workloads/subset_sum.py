@@ -1,0 +1,67 @@
+"""SubsetSum@Home workload: exhaustive subset-sum search.
+
+The SubsetSum@Home BOINC project searches sets of integers for subsets
+hitting a target sum, to gather empirical evidence about the decision
+problem's density threshold (paper §5.3).  Our MiniC implementation
+enumerates subsets of an n-element set with the classic meet-in-the-middle
+bitmask sweep and counts the solutions — pure integer/bit manipulation with
+a dense, branchy inner loop.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.spec import WorkloadSpec
+
+_SOURCE = """
+// count subsets of weights[0..n) summing exactly to target
+int weights[24];
+
+void make_instance(int seed, int n) {
+    int state = seed;
+    for (int i = 0; i < n; i = i + 1) {
+        state = (state * 1103515245 + 12345) & 2147483647;
+        weights[i] = (state % 97) + 1;
+    }
+}
+
+int count_subsets(int n, int target) {
+    // split the set in two halves and sweep the smaller one's bitmask space
+    int half = n / 2;
+    int rest = n - half;
+    int solutions = 0;
+    int limit_a = 1 << half;
+    int limit_b = 1 << rest;
+    for (int a = 0; a < limit_a; a = a + 1) {
+        int sum_a = 0;
+        // branch-free bit sweep: mask-and-multiply instead of a conditional
+        for (int i = 0; i < half; i = i + 1) {
+            sum_a = sum_a + ((a >> i) & 1) * weights[i];
+        }
+        if (sum_a > target) { continue; }
+        int want = target - sum_a;
+        for (int b = 0; b < limit_b; b = b + 1) {
+            int sum_b = 0;
+            for (int i = 0; i < rest; i = i + 1) {
+                sum_b = sum_b + ((b >> i) & 1) * weights[half + i];
+            }
+            solutions = solutions + (sum_b == want);
+        }
+    }
+    return solutions;
+}
+
+int search(int seed, int n, int target) {
+    make_instance(seed, n);
+    return count_subsets(n, target);
+}
+"""
+
+SUBSET_SUM = WorkloadSpec(
+    name="subset-sum",
+    domain="volunteer-computing",
+    source=_SOURCE,
+    setup=(),
+    run=("search", (424242, 14, 180)),
+    paper_footprint_bytes=4 * 1024 * 1024,
+    locality=0.98,
+)

@@ -1,0 +1,20 @@
+"""Shared fixtures: small-but-valid RSA keys and a deployed sandbox."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.sandbox import SandboxConfig, TwoWaySandbox
+from repro.tcrypto.rsa import rsa_generate
+
+
+@pytest.fixture(scope="session")
+def rsa_keypair():
+    """One 512-bit key pair shared across crypto tests (keygen is the slow part)."""
+    return rsa_generate(512, seed=1234)
+
+
+@pytest.fixture(scope="session")
+def deployed_sandbox() -> TwoWaySandbox:
+    """A fully attested two-way sandbox shared by read-only protocol tests."""
+    return TwoWaySandbox.deploy(SandboxConfig())

@@ -1,0 +1,102 @@
+"""Cross-machine deployment tests: the remote-computation topology.
+
+The paper's deployment has the workload provider on one machine trusting an
+accounting enclave on the *infrastructure provider's* machine, with trust
+established only through the shared attestation service.  These tests place
+the parties on distinct simulated platforms and check the protocol holds —
+including that a man-in-the-middle platform cannot impersonate the AE.
+"""
+
+import pytest
+
+from repro.core.sandbox import SandboxConfig, TwoWaySandbox
+from repro.sgx.attestation import AttestationService, QuotingEnclave, remote_attest, verify_service_report
+from repro.sgx.enclave import SGXPlatform
+from repro.tcrypto.hashing import sha256
+
+
+@pytest.fixture(scope="module")
+def shared_service():
+    """The attestation service both parties trust out of band (the IAS role)."""
+    return AttestationService(seed=777)
+
+
+def test_two_providers_one_service(shared_service):
+    """A workload provider can attest sandboxes on two different machines."""
+    provider_a = TwoWaySandbox.deploy(
+        SandboxConfig(),
+        platform=SGXPlatform("provider-a", seed=1),
+        attestation_service=shared_service,
+    )
+    provider_b = TwoWaySandbox.deploy(
+        SandboxConfig(),
+        platform=SGXPlatform("provider-b", seed=2),
+        attestation_service=shared_service,
+    )
+    # identical enclave code => identical measurements on both machines:
+    # the workload provider audits the code once
+    assert provider_a.ae.mrenclave == provider_b.ae.mrenclave
+    assert provider_a.attest(b"check-a") and provider_b.attest(b"check-b")
+
+
+def test_same_workload_same_accounting_on_any_machine(shared_service):
+    """Platform independence (R2): identical counts on different providers."""
+    source = """
+    int work(int n) {
+        int t = 0;
+        for (int i = 0; i < n; i = i + 1) t = t + i * i;
+        return t;
+    }
+    """
+    counts = []
+    for seed in (10, 20):
+        sandbox = TwoWaySandbox.deploy(
+            SandboxConfig(),
+            platform=SGXPlatform(f"machine-{seed}", seed=seed),
+            attestation_service=shared_service,
+        )
+        workload = sandbox.submit_minic(source)
+        result = workload.invoke("work", 123)
+        counts.append(result.vector.weighted_instructions)
+    assert counts[0] == counts[1]
+
+
+def test_challenger_rejects_quote_from_unregistered_machine(shared_service):
+    """A rogue provider with its own QE cannot satisfy the challenger."""
+    rogue_platform = SGXPlatform("rogue", seed=666)
+    rogue_qe = QuotingEnclave(seed=668)
+    rogue_platform.launch(rogue_qe)
+    # the rogue provisions itself with its OWN service, not the shared one
+    rogue_service = AttestationService(seed=669)
+    rogue_service.provision(rogue_qe)
+
+    from repro.sgx.enclave import Enclave
+
+    fake_ae = Enclave("fake-ae", (b"acctee-sim accounting enclave v1",))
+    rogue_platform.launch(fake_ae)
+    verdict = remote_attest(fake_ae, rogue_qe, rogue_service, b"nonce")
+    # internally consistent, but signed by a service key the challenger
+    # does not trust:
+    assert verdict.ok
+    assert not verify_service_report(shared_service.public_key, verdict)
+
+
+def test_report_data_binds_log_key_across_machines(shared_service):
+    """Substituting a different log key breaks the attestation binding."""
+    sandbox = TwoWaySandbox.deploy(
+        SandboxConfig(),
+        platform=SGXPlatform("bind-check", seed=5),
+        attestation_service=shared_service,
+    )
+    nonce = b"binding-nonce"
+    verdict = remote_attest(
+        sandbox.ae, sandbox.qe, shared_service, nonce, sandbox.ae.report_data_binding()
+    )
+    assert verdict.ok
+    genuine = sha256(nonce + sandbox.ae.report_data_binding())
+    assert verdict.quote.report_data == genuine
+    from repro.tcrypto.rsa import rsa_generate
+
+    attacker_key = rsa_generate(512, seed=13)
+    forged = sha256(nonce + attacker_key.public.fingerprint())
+    assert verdict.quote.report_data != forged

@@ -1,0 +1,72 @@
+"""Tests for memory accounting and pricing policies."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.policy import MemoryPolicy, PricingPolicy, memory_integral
+
+
+class TestMemoryIntegral:
+    def test_flat_memory(self):
+        assert memory_integral([], initial_pages=2, total_instructions=100) == 200
+
+    def test_single_grow(self):
+        # 2 pages for 40 instructions, then 5 pages for 60
+        history = [(40, 5)]
+        assert memory_integral(history, 2, 100) == 2 * 40 + 5 * 60
+
+    def test_multiple_grows(self):
+        history = [(10, 3), (50, 8)]
+        expected = 1 * 10 + 3 * 40 + 8 * 50
+        assert memory_integral(history, 1, 100) == expected
+
+    def test_zero_instructions(self):
+        assert memory_integral([], 4, 0) == 0
+
+    @given(
+        st.lists(st.integers(1, 100), max_size=5),
+        st.integers(1, 10),
+    )
+    def test_monotone_in_growth(self, deltas, initial):
+        """Growing earlier can only increase the integral."""
+        total = 1000
+        points = sorted({(i + 1) * 100 for i in range(len(deltas))})
+        pages = initial
+        history = []
+        for at, delta in zip(points, deltas):
+            pages += delta
+            history.append((at, pages))
+        grown = memory_integral(history, initial, total)
+        flat = memory_integral([], initial, total)
+        assert grown >= flat
+
+
+class TestPricing:
+    def test_peak_policy_ignores_integral(self):
+        policy = PricingPolicy(memory_policy=MemoryPolicy.PEAK)
+        a = policy.price(1_000_000, 1024 * 1024, 0, 0)
+        b = policy.price(1_000_000, 1024 * 1024, 10**12, 0)
+        assert a == b
+
+    def test_integral_policy_ignores_peak(self):
+        policy = PricingPolicy(memory_policy=MemoryPolicy.INTEGRAL)
+        a = policy.price(0, 1, 1000, 0)
+        b = policy.price(0, 10**9, 1000, 0)
+        assert a == b
+
+    def test_price_components_additive(self):
+        policy = PricingPolicy(
+            per_mega_weighted_instructions=10.0,
+            per_mib_peak=2.0,
+            per_kib_io=1.0,
+        )
+        compute_only = policy.price(2_000_000, 0, 0, 0)
+        io_only = policy.price(0, 0, 0, 2048)
+        both = policy.price(2_000_000, 0, 0, 2048)
+        assert compute_only == 20.0
+        assert io_only == 2.0
+        assert both == 22.0
+
+    def test_more_usage_costs_more(self):
+        policy = PricingPolicy()
+        assert policy.price(2_000_000, 0, 0, 0) > policy.price(1_000_000, 0, 0, 0)
+        assert policy.price(0, 2**21, 0, 0) > policy.price(0, 2**20, 0, 0)

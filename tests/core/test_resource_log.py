@@ -1,0 +1,105 @@
+"""Tests for the signed, hash-chained resource usage log."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.resource_log import LogEntry, ResourceUsageLog, ResourceVector
+from repro.tcrypto.rsa import rsa_generate
+
+WH = b"\x11" * 32
+WD = b"\x22" * 32
+
+
+@pytest.fixture(scope="module")
+def key():
+    return rsa_generate(512, seed=808)
+
+
+def vector(n: int = 1) -> ResourceVector:
+    return ResourceVector(
+        weighted_instructions=1000 * n,
+        peak_memory_bytes=65536,
+        memory_integral_page_instructions=0,
+        io_bytes_in=10 * n,
+        io_bytes_out=5 * n,
+        label=f"call-{n}",
+    )
+
+
+def test_append_and_verify(key):
+    log = ResourceUsageLog(key)
+    for i in range(1, 4):
+        log.append(vector(i), WH, WD)
+    assert log.verify(key.public)
+    assert len(log.entries) == 3
+
+
+def test_verify_fails_with_wrong_key(key):
+    log = ResourceUsageLog(key)
+    log.append(vector(), WH, WD)
+    other = rsa_generate(512, seed=809)
+    assert not log.verify(other.public)
+
+
+def test_tampered_vector_detected(key):
+    log = ResourceUsageLog(key)
+    log.append(vector(1), WH, WD)
+    log.append(vector(2), WH, WD)
+    inflated = replace(
+        log.entries[0], vector=replace(log.entries[0].vector, weighted_instructions=10)
+    )
+    log.entries[0] = inflated
+    assert not log.verify(key.public)
+
+
+def test_reordered_entries_detected(key):
+    log = ResourceUsageLog(key)
+    log.append(vector(1), WH, WD)
+    log.append(vector(2), WH, WD)
+    log.entries.reverse()
+    assert not log.verify(key.public)
+
+
+def test_dropped_entry_detected(key):
+    log = ResourceUsageLog(key)
+    for i in range(3):
+        log.append(vector(i + 1), WH, WD)
+    del log.entries[1]
+    assert not log.verify(key.public)
+
+
+def test_chain_links_previous_hash(key):
+    log = ResourceUsageLog(key)
+    first = log.append(vector(1), WH, WD)
+    second = log.append(vector(2), WH, WD)
+    assert first.previous_hash == ResourceUsageLog.GENESIS
+    assert second.previous_hash == first.entry_hash()
+
+
+def test_verify_only_handle_cannot_append():
+    log = ResourceUsageLog(signing_key=None)
+    with pytest.raises(RuntimeError):
+        log.append(vector(), WH, WD)
+
+
+def test_totals_aggregate(key):
+    log = ResourceUsageLog(key)
+    log.append(vector(1), WH, WD)
+    log.append(vector(2), WH, WD)
+    totals = log.totals()
+    assert totals.weighted_instructions == 3000
+    assert totals.io_bytes_in == 30
+    assert totals.io_bytes_out == 15
+    assert totals.peak_memory_bytes == 65536  # max, not sum
+
+
+def test_empty_log_verifies_and_totals_zero(key):
+    log = ResourceUsageLog(key)
+    assert log.verify(key.public)
+    assert log.totals().weighted_instructions == 0
+
+
+def test_vector_json_roundtrip():
+    v = vector(3)
+    assert ResourceVector.from_json(v.to_json()) == v

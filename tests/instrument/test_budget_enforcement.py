@@ -1,0 +1,83 @@
+"""Tests for in-band budget enforcement (gas-metering-style self-limiting)."""
+
+import pytest
+
+from repro.instrument import instrument_module
+from repro.instrument.weights import UNIT_WEIGHTS
+from repro.minic import compile_source
+from repro.wasm.interpreter import Instance, Trap
+from repro.wasm.validate import validate
+
+LOOPY = """
+int f(int n) {
+    int t = 0;
+    for (int i = 0; i < n; i = i + 1) t = t + i;
+    return t;
+}
+"""
+
+SPIN = "int spin(void) { while (1) { } return 0; }"
+
+
+@pytest.mark.parametrize("level", ["naive", "flow-based", "loop-based"])
+def test_within_budget_behaves_normally(level):
+    module = compile_source(LOOPY)
+    result = instrument_module(module, level, UNIT_WEIGHTS, budget=1_000_000)
+    validate(result.module)
+    instance = Instance(result.module)
+    assert instance.invoke("f", 10) == 45
+    assert instance.global_value(result.counter_export) <= 1_000_000
+
+
+@pytest.mark.parametrize("level", ["naive", "flow-based", "loop-based"])
+def test_runaway_loop_traps_without_host_metering(level):
+    """The injected checks stop an infinite loop with NO ExecutionLimits."""
+    module = compile_source(SPIN)
+    result = instrument_module(module, level, UNIT_WEIGHTS, budget=5_000)
+    validate(result.module)
+    instance = Instance(result.module)  # note: no max_instructions
+    with pytest.raises(Trap, match="unreachable"):
+        instance.invoke("spin")
+    # the counter stopped shortly after the budget line
+    counter = instance.global_value(result.counter_export)
+    assert 5_000 < counter < 6_000
+
+
+def test_budget_exhaustion_point_is_deterministic():
+    module = compile_source(SPIN)
+    result = instrument_module(module, "naive", UNIT_WEIGHTS, budget=2_000)
+    readings = []
+    for _ in range(2):
+        instance = Instance(result.module.clone())
+        with pytest.raises(Trap):
+            instance.invoke("spin")
+        readings.append(instance.global_value(result.counter_export))
+    assert readings[0] == readings[1]
+
+
+def test_counter_still_exact_under_budget_checks():
+    module = compile_source(LOOPY)
+    base = Instance(module.clone())
+    base.invoke("f", 30)
+    truth = base.stats.total_visits
+    result = instrument_module(module, "loop-based", UNIT_WEIGHTS, budget=10**9)
+    instance = Instance(result.module)
+    instance.invoke("f", 30)
+    assert instance.global_value(result.counter_export) == truth
+
+
+def test_budget_must_be_positive():
+    module = compile_source(LOOPY)
+    with pytest.raises(ValueError):
+        instrument_module(module, "naive", UNIT_WEIGHTS, budget=0)
+
+
+def test_hoisted_loop_budget_checked_at_payoff():
+    """With loop hoisting the check runs after the loop: a long but finite
+    loop may overshoot during the loop body and trap at the payoff point."""
+    module = compile_source(LOOPY)
+    result = instrument_module(module, "loop-based", UNIT_WEIGHTS, budget=100)
+    assert result.hoisted_loops == 1
+    instance = Instance(result.module)
+    with pytest.raises(Trap):
+        instance.invoke("f", 100_000)

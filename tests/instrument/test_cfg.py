@@ -1,0 +1,129 @@
+"""Tests for the CFG builder (must mirror interpreter visit semantics)."""
+
+from repro.instrument.cfg import EXIT, build_cfg
+from repro.wasm.wat_parser import parse_wat
+
+
+def body_of(source: str):
+    return parse_wat(source).funcs[0].body
+
+
+def test_straight_line_is_one_block():
+    body = body_of("(module (func (result i32) (i32.add (i32.const 1) (i32.const 2))))")
+    cfg = build_cfg(body)
+    assert len(cfg.blocks) == 1
+    block = cfg.blocks[0]
+    assert block.start == 0 and block.end == len(body) - 1
+    assert block.successors == [EXIT]
+
+
+def test_if_else_produces_diamond():
+    body = body_of("""
+    (module (func (param i32) (result i32)
+      (if (result i32) (local.get 0)
+        (then (i32.const 1))
+        (else (i32.const 2)))))
+    """)
+    cfg = build_cfg(body)
+    # entry (cond+if), then-arm, else-arm, join (end)
+    entry = cfg.blocks[cfg.entry]
+    assert len(entry.successors) == 2
+    join_candidates = [b for b in cfg.blocks.values() if len(set(b.predecessors)) == 2]
+    assert len(join_candidates) == 1
+    join = join_candidates[0]
+    assert body[join.start].name == "end"
+
+
+def test_if_without_else_edges_to_end():
+    body = body_of("""
+    (module (func (param i32)
+      (if (local.get 0) (then nop))))
+    """)
+    cfg = build_cfg(body)
+    entry = cfg.blocks[cfg.entry]
+    targets = set(entry.successors)
+    end_index = max(i for i, ins in enumerate(body) if ins.name == "end")
+    assert end_index in targets  # the false edge lands on the end marker
+
+
+def test_loop_header_is_backedge_target():
+    body = body_of("""
+    (module (func (param i32)
+      (local $i i32)
+      (block $out (loop $top
+        (br_if $out (i32.ge_u (local.get $i) (local.get 0)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $top)))))
+    """)
+    cfg = build_cfg(body)
+    loop_index = next(i for i, ins in enumerate(body) if ins.name == "loop")
+    assert loop_index in cfg.blocks
+    header = cfg.blocks[loop_index]
+    # header has two predecessors: fall-through entry and the back edge
+    assert len(set(header.predecessors)) == 2
+
+
+def test_return_edges_to_exit():
+    body = body_of("(module (func (result i32) (return (i32.const 1))))")
+    cfg = build_cfg(body)
+    assert EXIT in cfg.blocks[cfg.entry].successors
+
+
+def test_br_table_has_all_targets():
+    body = body_of("""
+    (module (func (param i32) (result i32)
+      (block $a (result i32) (block $b
+        (br_table $b $a 1 (local.get 0)))
+        (i32.const 5))))
+    """)
+    cfg = build_cfg(body)
+    table_block = next(
+        b for b in cfg.blocks.values() if body[b.end].name == "br_table"
+    )
+    assert len(set(table_block.successors)) == 2  # $a's end and $b's end (deduped)
+
+
+def test_every_instruction_in_exactly_one_block():
+    body = body_of("""
+    (module (func (param i32) (result i32)
+      (local $acc i32)
+      (block $out (loop $top
+        (br_if $out (i32.eqz (local.get 0)))
+        (local.set $acc (i32.add (local.get $acc) (local.get 0)))
+        (local.set 0 (i32.sub (local.get 0) (i32.const 1)))
+        (br $top)))
+      (if (result i32) (i32.gt_s (local.get $acc) (i32.const 10))
+        (then (i32.const 1))
+        (else (i32.const 0)))))
+    """)
+    cfg = build_cfg(body)
+    covered = sorted(
+        i for b in cfg.blocks.values() for i in range(b.start, b.end + 1)
+    )
+    assert covered == list(range(len(body)))
+
+
+def test_edge_symmetry():
+    body = body_of("""
+    (module (func (param i32) (result i32)
+      (if (result i32) (local.get 0)
+        (then (i32.const 1))
+        (else (i32.const 2)))))
+    """)
+    cfg = build_cfg(body)
+    for block in cfg.blocks.values():
+        for succ in block.successors:
+            if succ != EXIT:
+                assert block.index in cfg.blocks[succ].predecessors
+
+
+def test_reachable_blocks_excludes_dead_code():
+    body = body_of("""
+    (module (func (result i32)
+      (return (i32.const 1))
+      (i32.const 2)))
+    """)
+    cfg = build_cfg(body)
+    reachable = cfg.reachable_blocks()
+    dead = [b for b in cfg.blocks.values() if b.index not in reachable]
+    assert dead  # the code after return is a dead block

@@ -1,0 +1,123 @@
+"""Tests for per-class counters (runtime-adjustable weights, §3.7)."""
+
+import pytest
+
+from repro.instrument.multiclass import (
+    DEFAULT_CLASSES,
+    MulticlassResult,
+    instrument_module_multiclass,
+)
+from repro.minic import compile_source
+from repro.wasm.interpreter import Instance
+from repro.wasm.validate import validate
+
+SOURCE = """
+double kernel(int n) {
+    double acc = 0.0;
+    for (int i = 1; i <= n; i = i + 1) {
+        acc = acc + sqrt((double)i) / (double)(i + 1);
+    }
+    return acc;
+}
+"""
+
+
+def ground_truth_counts(module, export, *args):
+    instance = Instance(module.clone())
+    instance.invoke(export, *args)
+    counts = {name: 0 for name in DEFAULT_CLASSES}
+    for instr_name, n in instance.stats.visits.items():
+        for class_name, members in DEFAULT_CLASSES.items():
+            if instr_name in members:
+                counts[class_name] += n
+    return counts
+
+
+@pytest.mark.parametrize("level", ["naive", "flow-based"])
+def test_class_counters_match_ground_truth(level):
+    module = compile_source(SOURCE)
+    truth = ground_truth_counts(module, "kernel", 25)
+    result = instrument_module_multiclass(module, level=level)
+    validate(result.module)
+    instance = Instance(result.module)
+    instance.invoke("kernel", 25)
+    counts = result.read_counts(instance)
+    assert counts == truth
+
+
+def test_division_class_counts_the_sqrt_and_div():
+    module = compile_source(SOURCE)
+    result = instrument_module_multiclass(module)
+    instance = Instance(result.module)
+    instance.invoke("kernel", 10)
+    counts = result.read_counts(instance)
+    # one sqrt and one division per iteration
+    assert counts["division"] == 20
+
+
+def test_reprice_without_reinstrumentation():
+    """The whole point: new rates apply to an already-recorded count vector."""
+    module = compile_source(SOURCE)
+    result = instrument_module_multiclass(module)
+    instance = Instance(result.module)
+    instance.invoke("kernel", 25)
+    counts = result.read_counts(instance)
+
+    flat = MulticlassResult.price(counts, {name: 1.0 for name in DEFAULT_CLASSES})
+    division_heavy = MulticlassResult.price(
+        counts, {"cheap": 1.0, "alu": 2.0, "division": 60.0, "memory": 4.0}
+    )
+    assert division_heavy > flat
+    assert flat == sum(counts.values())
+
+
+def test_flow_based_emits_fewer_increment_instructions():
+    module = compile_source(SOURCE)
+    naive = instrument_module_multiclass(module, level="naive")
+    flow = instrument_module_multiclass(module, level="flow-based")
+    count_naive = sum(
+        1 for f in naive.module.funcs for i in f.body if i.name == "global.set"
+    )
+    count_flow = sum(
+        1 for f in flow.module.funcs for i in f.body if i.name == "global.set"
+    )
+    assert count_flow <= count_naive
+
+
+def test_custom_classes():
+    module = compile_source("int f(int a, int b) { return a * b + a; }")
+    classes = {"mul": frozenset({"i32.mul"}), "add": frozenset({"i32.add"})}
+    result = instrument_module_multiclass(module, classes=classes)
+    instance = Instance(result.module)
+    instance.invoke("f", 3, 4)
+    assert result.read_counts(instance) == {"mul": 1, "add": 1}
+
+
+def test_unknown_instruction_in_class_rejected():
+    module = compile_source("int f(void) { return 0; }")
+    with pytest.raises(ValueError, match="unknown instructions"):
+        instrument_module_multiclass(module, classes={"bad": frozenset({"i32.frob"})})
+
+
+def test_loop_based_rejected():
+    module = compile_source("int f(void) { return 0; }")
+    with pytest.raises(ValueError, match="naive/flow-based"):
+        instrument_module_multiclass(module, level="loop-based")
+
+
+def test_counters_accumulate_across_invocations():
+    module = compile_source(SOURCE)
+    result = instrument_module_multiclass(module)
+    instance = Instance(result.module)
+    instance.invoke("kernel", 5)
+    first = result.read_counts(instance)
+    instance.invoke("kernel", 5)
+    second = result.read_counts(instance)
+    assert all(second[k] == 2 * first[k] for k in first)
+
+
+def test_original_behaviour_preserved():
+    module = compile_source(SOURCE)
+    expected = Instance(module.clone()).invoke("kernel", 30)
+    result = instrument_module_multiclass(module)
+    assert Instance(result.module).invoke("kernel", 30) == expected

@@ -1,0 +1,379 @@
+"""Tests for the instrumentation passes: exactness, optimisation, isolation.
+
+The central invariant (checked for curated programs here and for random
+programs in test_property_counters.py): running the instrumented module
+yields a counter equal to the *weighted visit count* of the original module
+on the same input, for every instrumentation level.
+"""
+
+import pytest
+
+from repro.instrument import COUNTER_EXPORT, instrument_module
+from repro.instrument.weights import UNIT_WEIGHTS, cycle_weight_table
+from repro.minic import compile_source
+from repro.wasm.interpreter import Instance
+from repro.wasm.validate import validate
+from repro.wasm.wat_parser import parse_wat
+
+LEVELS = ("naive", "flow-based", "loop-based")
+
+
+def ground_truth(module, export, *args, weights=UNIT_WEIGHTS, setup=()):
+    instance = Instance(module.clone())
+    for name, call_args in setup:
+        instance.invoke(name, *call_args)
+    value = instance.invoke(export, *args)
+    truth = round(instance.stats.weighted_visits({k: float(v) for k, v in weights.weights.items()}))
+    return value, truth
+
+
+def check_exact(module, export, *args, weights=UNIT_WEIGHTS, setup=()):
+    expected_value, expected_count = ground_truth(
+        module, export, *args, weights=weights, setup=setup
+    )
+    for level in LEVELS:
+        result = instrument_module(module, level, weights)
+        validate(result.module)
+        instance = Instance(result.module)
+        for name, call_args in setup:
+            instance.invoke(name, *call_args)
+        value = instance.invoke(export, *args)
+        counter = instance.global_value(result.counter_export)
+        assert value == expected_value, f"{level} changed the result"
+        assert counter == expected_count, (
+            f"{level}: counter {counter} != ground truth {expected_count}"
+        )
+    return expected_count
+
+
+class TestExactness:
+    def test_straight_line(self):
+        module = parse_wat(
+            '(module (func (export "f") (result i32) (i32.add (i32.const 1) (i32.const 2))))'
+        )
+        check_exact(module, "f")
+
+    def test_branchy_program(self):
+        module = compile_source("""
+        int f(int x) {
+            if (x > 10) { return x * 2; }
+            if (x > 5) { return x + 1; }
+            return -x;
+        }
+        """)
+        for arg in (0, 6, 11):
+            check_exact(module, "f", arg)
+
+    def test_while_loop_all_counts(self):
+        module = compile_source("""
+        int f(int n) {
+            int t = 0;
+            int i = 0;
+            while (i < n) { t = t + i; i = i + 1; }
+            return t;
+        }
+        """)
+        for n in (0, 1, 2, 17):
+            check_exact(module, "f", n)
+
+    def test_do_while_shape(self):
+        # pattern A: single backward br_if
+        module = parse_wat("""
+        (module (func (export "f") (param $n i32) (result i32)
+          (local $i i32)
+          (loop $top
+            (local.set $i (i32.add (local.get $i) (i32.const 1)))
+            (br_if $top (i32.lt_u (local.get $i) (local.get $n))))
+          (local.get $i)))
+        """)
+        for n in (0, 1, 5, 100):
+            check_exact(module, "f", n)
+
+    def test_nested_loops(self):
+        module = compile_source("""
+        int f(int n) {
+            int t = 0;
+            for (int i = 0; i < n; i = i + 1)
+                for (int j = 0; j < i; j = j + 1)
+                    t = t + j;
+            return t;
+        }
+        """)
+        for n in (0, 3, 9):
+            check_exact(module, "f", n)
+
+    def test_loop_with_break(self):
+        module = compile_source("""
+        int f(int n) {
+            int i = 0;
+            while (1) { if (i >= n) break; i = i + 1; }
+            return i;
+        }
+        """)
+        for n in (0, 4):
+            check_exact(module, "f", n)
+
+    def test_calls_count_callee_blocks(self):
+        module = compile_source("""
+        int helper(int x) { return x * 3; }
+        int f(int n) {
+            int t = 0;
+            for (int i = 0; i < n; i = i + 1) t = t + helper(i);
+            return t;
+        }
+        """)
+        check_exact(module, "f", 6)
+
+    def test_recursion(self):
+        module = compile_source(
+            "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }"
+        )
+        check_exact(module, "fib", 9)
+
+    def test_weighted_table_is_exact_too(self):
+        module = compile_source("""
+        double f(int n) {
+            double t = 0.0;
+            for (int i = 1; i <= n; i = i + 1) t = t + sqrt((double)i) / (double)n;
+            return t;
+        }
+        """)
+        check_exact(module, "f", 12, weights=cycle_weight_table())
+
+    def test_multiple_invocations_accumulate(self):
+        module = compile_source("int f(int x) { return x + 1; }")
+        result = instrument_module(module, "loop-based", UNIT_WEIGHTS)
+        instance = Instance(result.module)
+        instance.invoke("f", 1)
+        once = instance.global_value(result.counter_export)
+        instance.invoke("f", 1)
+        assert instance.global_value(result.counter_export) == 2 * once
+
+
+class TestOptimisationQuality:
+    LOOPY = """
+    double kernel(int n) {
+        double acc = 0.0;
+        for (int i = 0; i < n; i = i + 1)
+            for (int j = 0; j < n; j = j + 1)
+                acc = acc + (double)(i * j);
+        return acc;
+    }
+    """
+
+    def _instrumented_visits(self, level: str) -> int:
+        module = compile_source(self.LOOPY)
+        result = instrument_module(module, level, UNIT_WEIGHTS)
+        instance = Instance(result.module)
+        instance.invoke("kernel", 24)
+        return instance.stats.total_visits
+
+    def test_each_level_executes_fewer_instructions(self):
+        naive = self._instrumented_visits("naive")
+        flow = self._instrumented_visits("flow-based")
+        loop = self._instrumented_visits("loop-based")
+        assert naive >= flow > loop
+
+    def test_loop_based_overhead_under_10_percent(self):
+        """The paper's headline: loop-based instrumentation costs <= ~10%."""
+        module = compile_source(self.LOOPY)
+        base = Instance(module.clone())
+        base.invoke("kernel", 24)
+        baseline = base.stats.total_visits
+        loop = self._instrumented_visits("loop-based")
+        assert (loop - baseline) / baseline < 0.10
+
+    def test_naive_emits_increment_per_nonempty_block(self):
+        module = compile_source(self.LOOPY)
+        result = instrument_module(module, "naive", UNIT_WEIGHTS)
+        assert result.increments_emitted == result.increments_naive
+
+    def test_flow_emits_fewer_increments(self):
+        module = compile_source(self.LOOPY)
+        naive = instrument_module(module, "naive", UNIT_WEIGHTS)
+        flow = instrument_module(module, "flow-based", UNIT_WEIGHTS)
+        assert flow.increments_emitted < naive.increments_emitted
+
+    def test_loop_based_hoists_inner_loops(self):
+        module = compile_source(self.LOOPY)
+        result = instrument_module(module, "loop-based", UNIT_WEIGHTS)
+        assert result.hoisted_loops >= 1
+
+
+class TestFig4Example:
+    """The paper's flow-based example: a diamond loses 2 of 4 increments."""
+
+    DIAMOND = """
+    (module (func (export "f") (param i32) (result i32)
+      (local $r i32)
+      (local.set $r (i32.const 3))
+      (if (local.get 0)
+        (then (local.set $r (i32.mul (local.get $r) (i32.const 2))))
+        (else
+          (local.set $r (i32.add (local.get $r) (i32.const 7)))
+          (local.set $r (i32.add (local.get $r) (i32.const 1)))))
+      (i32.add (local.get $r) (i32.const 1))))
+    """
+
+    def test_two_of_four_increments_elided(self):
+        module = parse_wat(self.DIAMOND)
+        naive = instrument_module(module, "naive", UNIT_WEIGHTS)
+        flow = instrument_module(module, "flow-based", UNIT_WEIGHTS)
+        assert naive.increments_emitted == 4
+        assert flow.increments_emitted == 2
+
+    def test_flow_is_still_exact_on_both_paths(self):
+        module = parse_wat(self.DIAMOND)
+        for arg in (0, 1):
+            check_exact(module, "f", arg)
+
+
+class TestLoopHeuristicGuards:
+    def test_two_writes_to_loop_variable_disable_hoisting(self):
+        # the paper's attack: decrease the loop variable late in the body
+        module = parse_wat("""
+        (module (func (export "f") (param $n i32) (result i32)
+          (local $i i32)
+          (loop $top
+            (local.set $i (i32.add (local.get $i) (i32.const 2)))
+            (local.set $i (i32.sub (local.get $i) (i32.const 1)))
+            (br_if $top (i32.lt_u (local.get $i) (local.get $n))))
+          (local.get $i)))
+        """)
+        result = instrument_module(module, "loop-based", UNIT_WEIGHTS)
+        assert result.hoisted_loops == 0
+        for n in (0, 5):
+            check_exact(module, "f", n)
+
+    def test_tee_write_disables_hoisting(self):
+        module = parse_wat("""
+        (module (func (export "f") (param $n i32) (result i32)
+          (local $i i32)
+          (loop $top
+            (drop (local.tee $i (i32.add (local.get $i) (i32.const 1))))
+            (br_if $top (i32.lt_u (local.get $i) (local.get $n))))
+          (local.get $i)))
+        """)
+        result = instrument_module(module, "loop-based", UNIT_WEIGHTS)
+        assert result.hoisted_loops == 0
+        check_exact(module, "f", 7)
+
+    def test_conditional_body_hoists_only_the_depth0_portion(self):
+        # an `if` inside the body is fine: the always-executed portion is
+        # hoisted and the arm keeps its own increment, so counts stay exact
+        module = compile_source("""
+        int f(int n) {
+            int t = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                if (i % 2 == 0) t = t + i;
+            }
+            return t;
+        }
+        """)
+        result = instrument_module(module, "loop-based", UNIT_WEIGHTS)
+        assert result.hoisted_loops == 1
+        for n in (0, 1, 9, 10):
+            check_exact(module, "f", n)
+
+    def test_nested_loop_in_body_disables_hoisting(self):
+        module = compile_source("""
+        int f(int n) {
+            int t = 0;
+            for (int i = 0; i < n; i = i + 1)
+                for (int j = 0; j < i; j = j + 1)
+                    t = t + 1;
+            return t;
+        }
+        """)
+        result = instrument_module(module, "loop-based", UNIT_WEIGHTS)
+        # only the innermost loop qualifies
+        assert result.hoisted_loops == 1
+        check_exact(module, "f", 7)
+
+    def test_branch_inside_arm_disables_hoisting(self):
+        # a break inside the conditional arm leaves the canonical shape
+        module = compile_source("""
+        int f(int n) {
+            int i = 0;
+            while (i < n) {
+                if (i == 5) break;
+                i = i + 1;
+            }
+            return i;
+        }
+        """)
+        result = instrument_module(module, "loop-based", UNIT_WEIGHTS)
+        assert result.hoisted_loops == 0
+        for n in (0, 3, 9):
+            check_exact(module, "f", n)
+
+    def test_non_constant_stride_not_hoisted(self):
+        module = parse_wat("""
+        (module (func (export "f") (param $n i32) (result i32)
+          (local $i i32)
+          (local.set $i (i32.const 1))
+          (loop $top
+            (local.set $i (i32.add (local.get $i) (local.get $i)))
+            (br_if $top (i32.lt_u (local.get $i) (local.get $n))))
+          (local.get $i)))
+        """)
+        result = instrument_module(module, "loop-based", UNIT_WEIGHTS)
+        assert result.hoisted_loops == 0
+        check_exact(module, "f", 100)
+
+
+class TestIsolation:
+    """The paper's §3.5 argument: the workload cannot touch the counter."""
+
+    def test_counter_uses_fresh_global_index(self):
+        module = compile_source("int g = 5; int f(void) { g = g + 1; return g; }")
+        n_before = len(module.globals)
+        result = instrument_module(module, "naive", UNIT_WEIGHTS)
+        assert result.counter_global_index == n_before
+        # no pre-existing instruction can reference it: indices are immediates
+        for func in module.funcs:
+            for instr in func.body:
+                if instr.name in ("global.get", "global.set"):
+                    assert instr.args[0] < n_before
+
+    def test_counter_export_name_avoids_collisions(self):
+        module = parse_wat(f"""
+        (module
+          (global $fake (mut i64) (i64.const 0))
+          (export "{COUNTER_EXPORT}" (global $fake))
+          (func (export "f") (result i32) (i32.const 1)))
+        """)
+        result = instrument_module(module, "naive", UNIT_WEIGHTS)
+        exports = [e.name for e in result.module.exports]
+        assert COUNTER_EXPORT + "_" in exports
+
+    def test_original_module_is_not_mutated(self):
+        module = compile_source("int f(int x) { return x; }")
+        before = module.total_body_instructions()
+        instrument_module(module, "loop-based", UNIT_WEIGHTS)
+        assert module.total_body_instructions() == before
+        assert all(e.name != COUNTER_EXPORT for e in module.exports)
+
+    def test_unknown_level_rejected(self):
+        module = compile_source("int f(void) { return 0; }")
+        with pytest.raises(ValueError):
+            instrument_module(module, "super-fast")
+
+
+class TestBinarySizeGrowth:
+    def test_instrumented_binaries_grow_moderately(self):
+        """§5.4 shape: growth present, optimisation reduces it."""
+        from repro.wasm.binary import encode_module
+        from repro.workloads.polybench import polybench_kernel
+
+        module = polybench_kernel("gemm").compile()
+        base = len(encode_module(module))
+        naive = len(encode_module(instrument_module(module, "naive", UNIT_WEIGHTS).module))
+        flow = len(encode_module(instrument_module(module, "flow-based", UNIT_WEIGHTS).module))
+        loop = len(encode_module(instrument_module(module, "loop-based", UNIT_WEIGHTS).module))
+        assert base < flow <= naive  # flow-based strictly removes increments
+        assert base < loop  # loop hoisting trades bytes for runtime
+        assert (naive - base) / base < 0.60
+        # hoist reconstruction code weighs more on a tiny module; the §5.4
+        # benchmark reports the real distribution over all binaries
+        assert (loop - base) / base < 0.80

@@ -1,0 +1,156 @@
+"""Property-based verification of instrumentation exactness.
+
+Hypothesis generates random MiniC programs (expressions, branches, loops
+over parameters), compiles them, and checks the core AccTEE invariant: for
+every instrumentation level, the injected counter after execution equals the
+interpreter's ground-truth visit count of the uninstrumented module — and
+the computed result is unchanged.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.instrument import instrument_module
+from repro.instrument.weights import UNIT_WEIGHTS, cycle_weight_table
+from repro.minic import compile_source
+from repro.wasm.interpreter import ExecutionLimits, Instance, Trap
+from repro.wasm.validate import validate
+
+# ---------------------------------------------------------------------------
+# Random program generator
+# ---------------------------------------------------------------------------
+
+_VARS = ["a", "b", "t"]
+
+
+@st.composite
+def expressions(draw, depth: int = 0) -> str:
+    if depth >= 3:
+        return draw(st.sampled_from(_VARS + ["1", "2", "3", "7"]))
+    kind = draw(st.sampled_from(["leaf", "leaf", "binop", "cmp", "not"]))
+    if kind == "leaf":
+        return draw(st.sampled_from(_VARS + ["1", "2", "3", "7", "11"]))
+    if kind == "binop":
+        op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^"]))
+        left = draw(expressions(depth + 1))
+        right = draw(expressions(depth + 1))
+        return f"({left} {op} {right})"
+    if kind == "cmp":
+        op = draw(st.sampled_from(["<", ">", "==", "!="]))
+        left = draw(expressions(depth + 1))
+        right = draw(expressions(depth + 1))
+        return f"({left} {op} {right})"
+    operand = draw(expressions(depth + 1))
+    return f"(!{operand})"
+
+
+@st.composite
+def statements(draw, depth: int = 0) -> str:
+    kind = draw(
+        st.sampled_from(
+            ["assign", "assign", "if", "ifelse", "forloop", "whileloop"]
+            if depth < 2
+            else ["assign"]
+        )
+    )
+    if kind == "assign":
+        var = draw(st.sampled_from(_VARS))
+        expr = draw(expressions())
+        return f"{var} = {expr};"
+    if kind == "if":
+        cond = draw(expressions(1))
+        body = draw(statements(depth + 1))
+        return f"if ({cond}) {{ {body} }}"
+    if kind == "ifelse":
+        cond = draw(expressions(1))
+        then_body = draw(statements(depth + 1))
+        else_body = draw(statements(depth + 1))
+        return f"if ({cond}) {{ {then_body} }} else {{ {else_body} }}"
+    if kind == "forloop":
+        bound = draw(st.integers(min_value=0, max_value=6))
+        body = draw(statements(depth + 1))
+        loop_var = f"i{depth}"
+        return (
+            f"for (int {loop_var} = 0; {loop_var} < {bound}; "
+            f"{loop_var} = {loop_var} + 1) {{ {body} }}"
+        )
+    bound = draw(st.integers(min_value=0, max_value=5))
+    body = draw(statements(depth + 1))
+    guard = f"w{depth}"
+    return (
+        f"{{ int {guard} = 0; while ({guard} < {bound}) "
+        f"{{ {body} {guard} = {guard} + 1; }} }}"
+    )
+
+
+@st.composite
+def programs(draw) -> str:
+    body = " ".join(draw(st.lists(statements(), min_size=1, max_size=4)))
+    return (
+        "int f(int a, int b) { int t = 0; "
+        + body
+        + " return t + a + b; }"
+    )
+
+
+# ---------------------------------------------------------------------------
+# The invariant
+# ---------------------------------------------------------------------------
+
+
+def _run_with_budget(module, *args):
+    instance = Instance(module, limits=ExecutionLimits(max_instructions=300_000))
+    value = instance.invoke("f", *args)
+    return instance, value
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs(), st.integers(-10, 10), st.integers(-10, 10))
+def test_counter_equals_ground_truth_on_random_programs(source, a, b):
+    module = compile_source(source)
+    base, expected = _run_with_budget(module.clone(), a, b)
+    truth = base.stats.total_visits
+    for level in ("naive", "flow-based", "loop-based"):
+        result = instrument_module(module, level, UNIT_WEIGHTS)
+        validate(result.module)
+        instance, value = _run_with_budget(result.module, a, b)
+        counter = instance.global_value(result.counter_export)
+        assert value == expected, f"{level} changed program behaviour"
+        assert counter == truth, (
+            f"{level}: counter={counter} truth={truth}\nprogram:\n{source}"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs(), st.integers(-5, 5))
+def test_weighted_counter_matches_weighted_visits(source, a):
+    weights = cycle_weight_table()
+    module = compile_source(source)
+    base, expected = _run_with_budget(module.clone(), a, 2)
+    truth = sum(weights.weight(name) * n for name, n in base.stats.visits.items())
+    result = instrument_module(module, "loop-based", weights)
+    instance, value = _run_with_budget(result.module, a, 2)
+    assert value == expected
+    assert instance.global_value(result.counter_export) == truth
+
+
+@settings(max_examples=25, deadline=None)
+@given(programs())
+def test_instrumented_modules_always_validate(source):
+    module = compile_source(source)
+    for level in ("naive", "flow-based", "loop-based"):
+        validate(instrument_module(module, level, UNIT_WEIGHTS).module)
+
+
+@settings(max_examples=20, deadline=None)
+@given(programs(), st.integers(-5, 5))
+def test_levels_agree_with_each_other(source, a):
+    module = compile_source(source)
+    counters = []
+    for level in ("naive", "flow-based", "loop-based"):
+        result = instrument_module(module, level, UNIT_WEIGHTS)
+        instance, _ = _run_with_budget(result.module, a, 1)
+        counters.append(instance.global_value(result.counter_export))
+    assert counters[0] == counters[1] == counters[2]

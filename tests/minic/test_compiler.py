@@ -1,0 +1,379 @@
+"""End-to-end tests for the MiniC compiler: compile, validate, execute."""
+
+import pytest
+
+from repro.minic import CompileError, compile_source
+from repro.wasm.interpreter import Instance, Trap
+from repro.wasm.runtime import HostEnvironment, IOChannel
+
+
+def run(source: str, export: str, *args, env: HostEnvironment | None = None):
+    module = compile_source(source)
+    if env is not None:
+        instance = env.instantiate(module)
+    else:
+        instance = Instance(module)
+    return instance.invoke(export, *args)
+
+
+class TestExpressions:
+    def test_arithmetic(self):
+        assert run("int f(int a, int b) { return a * b + a - b; }", "f", 6, 4) == 26
+
+    def test_integer_division_truncates(self):
+        assert run("int f(void) { return -7 / 2; }", "f") == -3
+
+    def test_modulo(self):
+        assert run("int f(int a) { return a % 5; }", "f", 13) == 3
+
+    def test_unary_minus_int(self):
+        assert run("int f(int x) { return -x; }", "f", 5) == -5
+
+    def test_unary_minus_float(self):
+        assert run("double f(double x) { return -x; }", "f", 2.5) == -2.5
+
+    def test_logical_not(self):
+        assert run("int f(int x) { return !x; }", "f", 0) == 1
+        assert run("int f(int x) { return !x; }", "f", 3) == 0
+
+    def test_bitwise_complement(self):
+        assert run("int f(int x) { return ~x; }", "f", 0) == -1
+
+    def test_bitwise_ops_and_shifts(self):
+        src = "int f(int a, int b) { return ((a & b) | (a ^ b)) + (a << 2) + (b >> 1); }"
+        assert run(src, "f", 12, 10) == (12 | 10) + 48 + 5
+
+    def test_comparisons_produce_int(self):
+        assert run("int f(double a, double b) { return a < b; }", "f", 1.0, 2.0) == 1
+
+    def test_short_circuit_and(self):
+        # right side would trap (division by zero) if evaluated
+        src = "int f(int x) { return x != 0 && 10 / x > 2; }"
+        assert run(src, "f", 0) == 0
+        assert run(src, "f", 3) == 1
+
+    def test_short_circuit_or(self):
+        src = "int f(int x) { return x == 0 || 10 / x > 2; }"
+        assert run(src, "f", 0) == 1
+        assert run(src, "f", 5) == 0
+
+    def test_type_promotion_int_to_double(self):
+        assert run("double f(int a, double b) { return a + b; }", "f", 2, 0.5) == 2.5
+
+    def test_casts(self):
+        assert run("int f(double x) { return (int)x; }", "f", 3.9) == 3
+        assert run("long f(int x) { return (long)x * 1000000000L; }", "f", 5) == 5_000_000_000
+        assert run("double f(long x) { return (double)x / 2.0; }", "f", 7) == 3.5
+        assert run("float f(double x) { return (float)x; }", "f", 1.5) == 1.5
+
+    def test_builtin_math(self):
+        assert run("double f(double x) { return sqrt(x); }", "f", 16.0) == 4.0
+        assert run("double f(double x) { return fabs(x); }", "f", -3.0) == 3.0
+        assert run("double f(double a, double b) { return fmax(a, fmin(b, 10.0)); }", "f", 2.0, 99.0) == 10.0
+        assert run("double f(double x) { return floor(x) + ceil(x); }", "f", 2.5) == 5.0
+
+
+class TestControlFlow:
+    def test_while_loop(self):
+        src = """
+        int f(int n) {
+            int total = 0;
+            int i = 0;
+            while (i < n) { total = total + i; i = i + 1; }
+            return total;
+        }
+        """
+        assert run(src, "f", 10) == 45
+
+    def test_for_loop(self):
+        src = "int f(int n) { int t = 0; for (int i = 1; i <= n; i = i + 1) t = t + i; return t; }"
+        assert run(src, "f", 100) == 5050
+
+    def test_break(self):
+        src = """
+        int f(void) {
+            int i = 0;
+            while (1) { if (i >= 7) break; i = i + 1; }
+            return i;
+        }
+        """
+        assert run(src, "f") == 7
+
+    def test_continue_in_for(self):
+        src = """
+        int f(int n) {
+            int total = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                if (i % 2 == 0) continue;
+                total = total + i;
+            }
+            return total;
+        }
+        """
+        assert run(src, "f", 10) == 1 + 3 + 5 + 7 + 9
+
+    def test_continue_in_while(self):
+        src = """
+        int f(int n) {
+            int total = 0;
+            int i = 0;
+            while (i < n) {
+                i = i + 1;
+                if (i % 3 == 0) continue;
+                total = total + 1;
+            }
+            return total;
+        }
+        """
+        assert run(src, "f", 9) == 6
+
+    def test_nested_loops_with_break(self):
+        src = """
+        int f(void) {
+            int hits = 0;
+            for (int i = 0; i < 5; i = i + 1) {
+                for (int j = 0; j < 5; j = j + 1) {
+                    if (j > i) break;
+                    hits = hits + 1;
+                }
+            }
+            return hits;
+        }
+        """
+        assert run(src, "f") == 15
+
+    def test_recursion(self):
+        src = "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }"
+        assert run(src, "fib", 12) == 144
+
+    def test_mutual_calls(self):
+        src = """
+        int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+        int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+        """
+        assert run(src, "is_even", 10) == 1
+        assert run(src, "is_odd", 10) == 0
+
+    def test_shadowing_in_blocks(self):
+        src = """
+        int f(void) {
+            int x = 1;
+            { int x = 2; }
+            return x;
+        }
+        """
+        assert run(src, "f") == 1
+
+
+class TestArraysAndGlobals:
+    def test_global_scalar_mutation(self):
+        src = """
+        int counter = 10;
+        int bump(void) { counter = counter + 1; return counter; }
+        """
+        module = compile_source(src)
+        inst = Instance(module)
+        assert inst.invoke("bump") == 11
+        assert inst.invoke("bump") == 12
+
+    def test_1d_array(self):
+        src = """
+        int a[8];
+        int f(void) {
+            for (int i = 0; i < 8; i = i + 1) a[i] = i * i;
+            return a[7];
+        }
+        """
+        assert run(src, "f") == 49
+
+    def test_2d_array_row_major(self):
+        src = """
+        int m[3][4];
+        int f(void) {
+            for (int i = 0; i < 3; i = i + 1)
+                for (int j = 0; j < 4; j = j + 1)
+                    m[i][j] = i * 10 + j;
+            return m[2][3];
+        }
+        """
+        assert run(src, "f") == 23
+
+    def test_3d_array(self):
+        src = """
+        int c[2][3][4];
+        int f(void) { c[1][2][3] = 99; return c[1][2][3]; }
+        """
+        assert run(src, "f") == 99
+
+    def test_double_array(self):
+        src = """
+        double v[4];
+        double f(void) { v[0] = 1.5; v[3] = 2.5; return v[0] + v[3]; }
+        """
+        assert run(src, "f") == 4.0
+
+    def test_arrays_are_zero_initialised(self):
+        assert run("long a[16]; long f(void) { return a[9]; }", "f") == 0
+
+    def test_address_of_is_stable(self):
+        src = """
+        int a[4];
+        int b[4];
+        int f(void) { return &b[0] - &a[0]; }
+        """
+        assert run(src, "f") == 16  # four ints
+
+    def test_out_of_bounds_index_traps(self):
+        src = "int a[2]; int f(int i) { return a[i]; }"
+        module = compile_source(src)
+        inst = Instance(module)
+        with pytest.raises(Trap):
+            inst.invoke("f", 1 << 20)
+
+
+class TestExterns:
+    def test_extern_io(self):
+        src = """
+        extern int io_read(int ptr, int len);
+        extern int io_write(int ptr, int len);
+        int buf[16];
+        int swallow(void) {
+            int n = io_read(&buf[0], 64);
+            io_write(&buf[0], n);
+            return n;
+        }
+        """
+        env = HostEnvironment(IOChannel(input_data=b"ping"))
+        assert run(src, "swallow", env=env) == 4
+        assert bytes(env.channel.output) == b"ping"
+
+
+class TestErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError, match="undefined variable"):
+            compile_source("int f(void) { return nope; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CompileError, match="undefined function"):
+            compile_source("int f(void) { return g(); }")
+
+    def test_wrong_arity(self):
+        with pytest.raises(CompileError, match="expects"):
+            compile_source("int g(int a) { return a; } int f(void) { return g(); }")
+
+    def test_duplicate_local(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            compile_source("int f(void) { int x = 1; int x = 2; return x; }")
+
+    def test_duplicate_function(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            compile_source("int f(void) { return 1; } int f(void) { return 2; }")
+
+    def test_float_modulo_rejected(self):
+        with pytest.raises(CompileError):
+            compile_source("double f(double a) { return a % 2.0; }")
+
+    def test_shift_of_float_rejected(self):
+        with pytest.raises(CompileError, match="integer"):
+            compile_source("double f(double a) { return a << 1; }")
+
+    def test_void_return_with_value(self):
+        with pytest.raises(CompileError):
+            compile_source("void f(void) { return 1; }")
+
+    def test_missing_return_value(self):
+        with pytest.raises(CompileError, match="missing return value"):
+            compile_source("int f(void) { return; }")
+
+    def test_wrong_index_count(self):
+        with pytest.raises(CompileError, match="dimensions"):
+            compile_source("int a[2][2]; int f(void) { return a[1]; }")
+
+    def test_non_constant_global_init(self):
+        with pytest.raises(CompileError, match="constant"):
+            compile_source("int g(void) { return 1; } int x = g();")
+
+    def test_bad_array_dimension(self):
+        with pytest.raises(CompileError, match="dimension"):
+            compile_source("int a[0];")
+
+
+def test_memory_sized_to_arrays():
+    module = compile_source("double big[9000]; int f(void) { return 0; }")
+    # 72000 bytes -> 2 pages
+    assert module.memories[0].limits.minimum == 2
+
+
+def test_every_defined_function_exported():
+    module = compile_source("int a(void) { return 1; } int b(void) { return 2; }")
+    names = {e.name for e in module.exports if e.kind == "func"}
+    assert {"a", "b"} <= names
+
+
+class TestDoWhile:
+    def test_body_runs_at_least_once(self):
+        src = """
+        int f(int n) {
+            int count = 0;
+            do { count = count + 1; } while (count < n);
+            return count;
+        }
+        """
+        assert run(src, "f", 0) == 1  # body executes once even if cond false
+        assert run(src, "f", 5) == 5
+
+    def test_break_inside_do_while(self):
+        src = """
+        int f(void) {
+            int i = 0;
+            do { i = i + 1; if (i == 3) break; } while (1);
+            return i;
+        }
+        """
+        assert run(src, "f") == 3
+
+    def test_continue_inside_do_while(self):
+        src = """
+        int f(int n) {
+            int i = 0;
+            int odd = 0;
+            do {
+                i = i + 1;
+                if (i % 2 == 0) continue;
+                odd = odd + 1;
+            } while (i < n);
+            return odd;
+        }
+        """
+        assert run(src, "f", 10) == 5
+
+    def test_do_while_is_pattern_a_hoistable(self):
+        from repro.instrument import instrument_module, UNIT_WEIGHTS
+        from repro.wasm.validate import validate
+
+        src = """
+        long f(int n) {
+            long acc = 0L;
+            int i = 0;
+            do {
+                acc = acc + (long)i;
+                i = i + 1;
+            } while (i < n);
+            return acc;
+        }
+        """
+        module = compile_source(src)
+        result = instrument_module(module, "loop-based")
+        validate(result.module)
+        assert result.hoisted_loops == 1
+        for n in (0, 1, 50):
+            base = Instance(module.clone())
+            expected = base.invoke("f", n)
+            truth = base.stats.total_visits
+            inst = Instance(result.module.clone())
+            assert inst.invoke("f", n) == expected
+            assert inst.global_value(result.counter_export) == truth
+
+    def test_missing_semicolon_after_do_while(self):
+        with pytest.raises(CompileError):
+            compile_source("int f(void) { do { } while (0) return 1; }")

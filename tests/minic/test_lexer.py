@@ -1,0 +1,59 @@
+"""Tests for the MiniC lexer."""
+
+import pytest
+
+from repro.minic.lexer import LexError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]  # drop eof
+
+
+def test_keywords_vs_identifiers():
+    assert kinds("int intx for forth") == [
+        ("keyword", "int"), ("ident", "intx"), ("keyword", "for"), ("ident", "forth"),
+    ]
+
+
+def test_integer_literals():
+    assert kinds("42 0x1F 7L") == [("int", "42"), ("int", "0x1F"), ("int", "7L")]
+
+
+def test_float_literals():
+    assert kinds("1.5 2e3 .25 3f") == [
+        ("float", "1.5"), ("float", "2e3"), ("float", ".25"), ("float", "3f"),
+    ]
+
+
+def test_two_char_operators_win():
+    assert kinds("a<=b") == [("ident", "a"), ("op", "<="), ("ident", "b")]
+    assert kinds("x<<2>>1") == [
+        ("ident", "x"), ("op", "<<"), ("int", "2"), ("op", ">>"), ("int", "1"),
+    ]
+    assert kinds("i+=1") == [("ident", "i"), ("op", "+="), ("int", "1")]
+
+
+def test_comments_stripped():
+    source = """
+    int x; // line comment
+    /* block
+       comment */ int y;
+    """
+    assert ("ident", "y") in kinds(source)
+    assert all("comment" not in text for _, text in kinds(source))
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("/* never ends")
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError):
+        tokenize("int a = `b`;")
+
+
+def test_line_numbers_tracked():
+    tokens = tokenize("int a;\nint b;")
+    b_token = [t for t in tokens if t.text == "b"][0]
+    assert b_token.line == 2

@@ -1,0 +1,121 @@
+"""Tests for the MiniC parser (AST shape)."""
+
+import pytest
+
+from repro.minic import ast
+from repro.minic.ast import CType
+from repro.minic.parser import ParseError, parse_source
+
+
+def test_global_array_dims():
+    program = parse_source("double A[3][4];")
+    assert program.arrays[0].dims == [3, 4]
+    assert program.arrays[0].byte_size == 3 * 4 * 8
+
+
+def test_global_scalar_with_init():
+    program = parse_source("int counter = 5;")
+    scalar = program.scalars[0]
+    assert scalar.name == "counter" and isinstance(scalar.init, ast.IntLiteral)
+
+
+def test_function_params():
+    program = parse_source("long f(int a, double b) { return 0L; }")
+    func = program.functions[0]
+    assert func.return_type is CType.LONG
+    assert [(p.ctype, p.name) for p in func.params] == [
+        (CType.INT, "a"), (CType.DOUBLE, "b"),
+    ]
+
+
+def test_extern_declaration():
+    program = parse_source("extern int io_read(int ptr, int len);")
+    assert program.functions[0].extern
+    assert program.functions[0].body == []
+
+
+def test_operator_precedence():
+    program = parse_source("int f(void) { return 1 + 2 * 3; }")
+    ret = program.functions[0].body[0]
+    assert isinstance(ret.value, ast.Binary) and ret.value.op == "+"
+    assert isinstance(ret.value.right, ast.Binary) and ret.value.right.op == "*"
+
+
+def test_comparison_binds_looser_than_arithmetic():
+    program = parse_source("int f(int a) { return a + 1 < 5; }")
+    ret = program.functions[0].body[0]
+    assert ret.value.op == "<"
+
+
+def test_compound_assignment_desugars():
+    program = parse_source("void f(void) { int x = 0; x += 3; }")
+    assign = program.functions[0].body[1]
+    assert isinstance(assign, ast.Assign)
+    assert isinstance(assign.value, ast.Binary) and assign.value.op == "+"
+
+
+def test_cast_expression():
+    program = parse_source("double f(int x) { return (double)x; }")
+    ret = program.functions[0].body[0]
+    assert isinstance(ret.value, ast.Cast) and ret.value.ctype is CType.DOUBLE
+
+
+def test_address_of_array_element():
+    program = parse_source("int A[4]; int f(void) { return &A[2]; }")
+    ret = program.functions[0].body[0]
+    assert isinstance(ret.value, ast.AddressOf)
+
+
+def test_address_of_scalar_rejected():
+    with pytest.raises(ParseError):
+        parse_source("int f(int x) { return &x; }")
+
+
+def test_for_loop_clauses():
+    program = parse_source("void f(void) { for (int i = 0; i < 3; i = i + 1) { } }")
+    loop = program.functions[0].body[0]
+    assert isinstance(loop, ast.For)
+    assert isinstance(loop.init, ast.LocalDecl)
+    assert isinstance(loop.cond, ast.Binary)
+    assert isinstance(loop.step, ast.Assign)
+
+
+def test_for_loop_empty_clauses():
+    program = parse_source("void f(void) { for (;;) { break; } }")
+    loop = program.functions[0].body[0]
+    assert loop.init is None and loop.cond is None and loop.step is None
+
+
+def test_if_else_chains():
+    program = parse_source("""
+    int f(int x) {
+        if (x > 0) return 1;
+        else if (x < 0) return -1;
+        else return 0;
+    }
+    """)
+    outer = program.functions[0].body[0]
+    assert isinstance(outer, ast.If)
+    assert isinstance(outer.else_body[0], ast.If)
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParseError):
+        parse_source("int f(void) { return 1 }")
+
+
+def test_unclosed_brace_rejected():
+    with pytest.raises(ParseError):
+        parse_source("void f(void) { if (1) {")
+
+
+def test_long_literal_suffix():
+    program = parse_source("long f(void) { return 10L; }")
+    ret = program.functions[0].body[0]
+    assert ret.value.ctype is CType.LONG
+
+
+def test_float_literal_suffix():
+    program = parse_source("float f(void) { return 1.5f; }")
+    ret = program.functions[0].body[0]
+    assert ret.value.ctype is CType.FLOAT

@@ -1,0 +1,99 @@
+"""Tests for the deployment performance model."""
+
+import pytest
+
+from repro.perf.model import CLOCK_GHZ, Deployment, PerformanceModel, WorkloadRun
+from repro.workloads.polybench import polybench_kernel
+
+MB = 1024 * 1024
+
+
+@pytest.fixture(scope="module")
+def gemm_run():
+    spec = polybench_kernel("gemm")
+    run, value = WorkloadRun.measure(
+        spec.compile().clone(),
+        spec.run[0],
+        spec.run[1],
+        setup=list(spec.setup),
+        footprint_bytes=spec.paper_footprint_bytes,
+        locality=spec.locality,
+    )
+    return run, value
+
+
+def test_measure_returns_kernel_value(gemm_run):
+    _, value = gemm_run
+    assert isinstance(value, float) and value != 0.0
+
+
+def test_wasm_is_slower_than_native(gemm_run):
+    run, _ = gemm_run
+    model = PerformanceModel()
+    assert model.wasm_cycles(run) > model.native_cycles(run)
+
+
+def test_wasm_overhead_in_paper_band(gemm_run):
+    """Paper: WASM averages ~1.1x native, within -45%..+80%."""
+    run, _ = gemm_run
+    model = PerformanceModel()
+    ratio = model.wasm_cycles(run) / model.native_cycles(run)
+    assert 1.0 < ratio < 1.8
+
+
+def test_sgx_sim_adds_little(gemm_run):
+    """Paper §5.1: SGX-LKL in simulation adds no overhead of its own."""
+    run, _ = gemm_run
+    model = PerformanceModel()
+    sim = model.sgx_sim_cycles(run)
+    wasm = model.wasm_cycles(run)
+    assert sim >= wasm
+    assert sim / wasm < 1.05
+
+
+def test_sgx_hw_costs_more_than_sim(gemm_run):
+    run, _ = gemm_run
+    model = PerformanceModel()
+    hw, breakdown = model.sgx_hw_cycles(run)
+    assert hw > model.sgx_sim_cycles(run)
+    assert breakdown["epc_paging"] > 0  # gemm's LARGE footprint exceeds EPC
+
+
+def test_small_footprint_has_no_paging():
+    spec = polybench_kernel("durbin")  # ~0.1 MB footprint
+    run, _ = WorkloadRun.measure(
+        spec.compile().clone(),
+        spec.run[0],
+        spec.run[1],
+        setup=list(spec.setup),
+        footprint_bytes=spec.paper_footprint_bytes,
+    )
+    model = PerformanceModel()
+    _, breakdown = model.sgx_hw_cycles(run)
+    assert breakdown["epc_paging"] == 0.0
+
+
+def test_normalised_runtimes_ordering(gemm_run):
+    run, _ = gemm_run
+    ratios = PerformanceModel().normalised_runtimes(run)
+    assert ratios[Deployment.NATIVE] == pytest.approx(1.0)
+    assert (
+        ratios[Deployment.NATIVE]
+        < ratios[Deployment.WASM]
+        <= ratios[Deployment.WASM_SGX_SIM]
+        < ratios[Deployment.WASM_SGX_HW]
+    )
+
+
+def test_report_seconds_uses_clock(gemm_run):
+    run, _ = gemm_run
+    report = PerformanceModel().report(run, Deployment.WASM)
+    assert report.seconds == pytest.approx(report.cycles / (CLOCK_GHZ * 1e9))
+
+
+def test_footprint_defaults_to_linear_memory():
+    spec = polybench_kernel("durbin")
+    run, _ = WorkloadRun.measure(
+        spec.compile().clone(), spec.run[0], spec.run[1], setup=list(spec.setup)
+    )
+    assert run.footprint_bytes >= 0x10000  # at least one wasm page

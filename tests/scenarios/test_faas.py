@@ -1,0 +1,90 @@
+"""Tests for the FaaS scenario (Fig. 9 shape assertions)."""
+
+import pytest
+
+from repro.scenarios.faas import FaaSPlatform, FaaSSetup
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return FaaSPlatform(measure_s=2.0)
+
+
+@pytest.fixture(scope="module")
+def echo_small(platform):
+    return {
+        setup: platform.measure("echo", 64, setup).throughput_rps
+        for setup in FaaSSetup
+    }
+
+
+class TestEchoShape:
+    def test_wasm_fastest(self, echo_small):
+        wasm = echo_small[FaaSSetup.WASM]
+        assert all(wasm >= v for v in echo_small.values())
+
+    def test_sgx_lkl_drop_in_paper_band(self, echo_small):
+        """Paper: echo drops 2.1x-4.8x moving onto SGX-LKL."""
+        ratio = echo_small[FaaSSetup.WASM] / echo_small[FaaSSetup.WASM_SGX_SIM]
+        assert 1.8 < ratio < 5.5
+
+    def test_hw_adds_more_for_small_payloads(self, echo_small):
+        assert echo_small[FaaSSetup.WASM_SGX_SIM] > echo_small[FaaSSetup.WASM_SGX_HW]
+
+    def test_instrumentation_negligible(self, echo_small):
+        hw = echo_small[FaaSSetup.WASM_SGX_HW]
+        instr = echo_small[FaaSSetup.WASM_SGX_HW_INSTR]
+        assert instr == pytest.approx(hw, rel=0.05)
+
+    def test_io_accounting_negligible(self, echo_small):
+        hw = echo_small[FaaSSetup.WASM_SGX_HW]
+        io = echo_small[FaaSSetup.WASM_SGX_HW_IO]
+        assert io == pytest.approx(hw, rel=0.05)
+
+    def test_js_openfaas_is_slowest(self, echo_small):
+        js = echo_small[FaaSSetup.JS]
+        assert all(js <= v for v in echo_small.values())
+
+    def test_acctee_beats_js_by_an_order_of_magnitude(self, echo_small):
+        """Paper: up to 16x higher throughput than the JS deployment."""
+        assert echo_small[FaaSSetup.WASM_SGX_HW] / echo_small[FaaSSetup.JS] > 5
+
+
+class TestSizeScaling:
+    def test_echo_throughput_falls_with_payload(self, platform):
+        small = platform.measure("echo", 64, FaaSSetup.WASM).throughput_rps
+        large = platform.measure("echo", 512, FaaSSetup.WASM).throughput_rps
+        assert small > large
+
+    def test_resize_throughput_falls_with_payload(self, platform):
+        small = platform.measure("resize", 64, FaaSSetup.WASM).throughput_rps
+        large = platform.measure("resize", 128, FaaSSetup.WASM).throughput_rps
+        assert small > large
+
+    def test_resize_relative_sgx_drop_smaller_than_echo(self, platform):
+        """Compute-heavy functions hide the sandbox layers (paper §5.3)."""
+        echo_ratio = (
+            platform.measure("echo", 64, FaaSSetup.WASM).throughput_rps
+            / platform.measure("echo", 64, FaaSSetup.WASM_SGX_SIM).throughput_rps
+        )
+        resize_ratio = (
+            platform.measure("resize", 64, FaaSSetup.WASM).throughput_rps
+            / platform.measure("resize", 64, FaaSSetup.WASM_SGX_SIM).throughput_rps
+        )
+        assert resize_ratio < echo_ratio
+
+
+class TestServiceTimes:
+    def test_unknown_function_rejected(self, platform):
+        with pytest.raises(ValueError):
+            platform.service_time("transcode", 64, FaaSSetup.WASM)
+
+    def test_service_time_positive_and_finite(self, platform):
+        for setup in FaaSSetup:
+            t = platform.service_time("echo", 64, setup)
+            assert 0 < t < 1.0
+
+    def test_execution_cycles_cached(self, platform):
+        platform.service_time("echo", 64, FaaSSetup.WASM)
+        key = ("echo", 64 * 64, False)
+        assert key in platform._exec_cache

@@ -1,0 +1,94 @@
+"""Tests for the pay-by-computation scenario."""
+
+import pytest
+
+from repro.scenarios.paybycomputation import (
+    Article,
+    BrowsingSession,
+    ContentServer,
+    PaymentRejected,
+    TaskAssignment,
+)
+from repro.workloads import SUBSET_SUM
+
+
+@pytest.fixture(scope="module")
+def server():
+    return ContentServer(
+        tasks=[TaskAssignment(SUBSET_SUM, (11, 10, 100), budget_instructions=None)],
+        articles=[
+            Article("cheap", "Short Read", price_instructions=10_000),
+            Article("pricey", "Long Investigation", price_instructions=10**10),
+        ],
+    )
+
+
+def test_task_execution_earns_balance(server):
+    session = BrowsingSession.open(seed=1)
+    session.run_task(server.assign_task())
+    assert session.balance > 0
+    assert session.completed_tasks == 1
+
+
+def test_unlock_after_enough_computation(server):
+    session = BrowsingSession.open(seed=2)
+    session.run_task(server.assign_task())
+    content = server.redeem(session, "cheap")
+    assert "Short Read" in content
+
+
+def test_redeem_decrements_balance(server):
+    session = BrowsingSession.open(seed=3)
+    session.run_task(server.assign_task())
+    before = session.balance
+    server.redeem(session, "cheap")
+    assert session.balance == before - 10_000
+
+
+def test_insufficient_computation_rejected(server):
+    session = BrowsingSession.open(seed=4)
+    session.run_task(server.assign_task())
+    with pytest.raises(PaymentRejected, match="insufficient"):
+        server.redeem(session, "pricey")
+
+
+def test_double_spend_eventually_rejected(server):
+    session = BrowsingSession.open(seed=5)
+    session.run_task(server.assign_task())
+    unlocks = 0
+    with pytest.raises(PaymentRejected):
+        for _ in range(100):
+            server.redeem(session, "cheap")
+            unlocks += 1
+    assert unlocks >= 1  # some unlocks, then the balance ran dry
+
+
+def test_sandbox_budget_limits_runaway_tasks():
+    """The two-way sandbox caps what a task may consume (paper §2.1)."""
+    from repro.minic import compile_source
+    from repro.workloads.spec import WorkloadSpec
+
+    spin = WorkloadSpec(
+        name="spin",
+        domain="test",
+        source="int spin(void) { while (1) { } return 0; }",
+        run=("spin", ()),
+    )
+    session = BrowsingSession.open(budget_instructions=20_000, seed=6)
+    task = TaskAssignment(spin, (), budget_instructions=20_000)
+    session.run_task(task)  # traps inside, session survives
+    assert session.sandbox.verify_log()
+    assert session.sandbox.totals().weighted_instructions <= 21_000
+
+
+def test_tampered_log_refused(server):
+    from dataclasses import replace
+
+    session = BrowsingSession.open(seed=7)
+    session.run_task(server.assign_task())
+    entry = session.sandbox.log.entries[0]
+    session.sandbox.log.entries[0] = replace(
+        entry, vector=replace(entry.vector, weighted_instructions=10**12)
+    )
+    with pytest.raises(PaymentRejected, match="verification"):
+        server.redeem(session, "cheap")

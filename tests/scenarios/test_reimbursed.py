@@ -1,0 +1,134 @@
+"""Tests for the reimbursed-computing marketplace."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.instrumentation_enclave import InstrumentationEnclave
+from repro.core.resource_log import ResourceUsageLog
+from repro.scenarios.reimbursed import ComputeMarketplace, SettlementError
+from repro.tcrypto.rsa import rsa_generate
+from repro.workloads import SUBSET_SUM
+
+
+@pytest.fixture(scope="module")
+def trusted_measurement():
+    """The AE build hash both parties audited out of band."""
+    ie = InstrumentationEnclave()
+    from repro.core.accounting_enclave import AccountingEnclave
+    from repro.core.policy import MemoryPolicy
+
+    ae = AccountingEnclave(
+        ie_public_key=ie.evidence_public_key,
+        ie_measurement=ie.mrenclave,
+        weight_table=ie.weight_table,
+        memory_policy=MemoryPolicy.PEAK,
+    )
+    return ae.mrenclave
+
+
+@pytest.fixture
+def market():
+    m = ComputeMarketplace()
+    m.register("worker-1")
+    return m
+
+
+def _post(market, price=50.0):
+    return market.post_job(SUBSET_SUM, (77, 10, 120), price_per_mega_instruction=price)
+
+
+def test_honest_flow_pays_out(market, trusted_measurement):
+    job = _post(market)
+    receipt = market.execute("worker-1", job)
+    payout = market.settle(receipt, trusted_measurement)
+    assert payout > 0
+    account = market.accounts["worker-1"]
+    assert account.balance == payout
+    assert account.completed_jobs == 1
+
+
+def test_payout_proportional_to_price(market, trusted_measurement):
+    cheap = _post(market, price=10.0)
+    dear = _post(market, price=100.0)
+    p1 = market.settle(market.execute("worker-1", cheap), trusted_measurement)
+    p2 = market.settle(market.execute("worker-1", dear), trusted_measurement)
+    assert p2 == pytest.approx(10 * p1)
+
+
+def test_escrow_locked_and_released(market, trusted_measurement):
+    job = _post(market)
+    assert market.escrow_pool == pytest.approx(job.escrow)
+    receipt = market.execute("worker-1", job)
+    market.settle(receipt, trusted_measurement)
+    assert market.escrow_pool == pytest.approx(0.0)
+
+
+def test_double_settlement_rejected(market, trusted_measurement):
+    job = _post(market)
+    receipt = market.execute("worker-1", job)
+    market.settle(receipt, trusted_measurement)
+    with pytest.raises(SettlementError, match="unknown job"):
+        market.settle(receipt, trusted_measurement)
+
+
+def test_inflated_log_rejected(market, trusted_measurement):
+    job = _post(market)
+    receipt = market.execute("worker-1", job)
+    entry = receipt.log.entries[-1]
+    receipt.log.entries[-1] = replace(
+        entry, vector=replace(entry.vector, weighted_instructions=10**9)
+    )
+    with pytest.raises(SettlementError, match="verification"):
+        market.settle(receipt, trusted_measurement)
+    assert market.accounts["worker-1"].rejected_receipts == 1
+
+
+def test_self_signed_log_rejected(market, trusted_measurement):
+    """A provider fabricating a whole log under its own key gets nothing."""
+    job = _post(market)
+    genuine = market.execute("worker-1", job)
+    own_key = rsa_generate(512, seed=99)
+    fabricated = ResourceUsageLog(own_key)
+    for entry in genuine.log.entries:
+        fabricated.append(entry.vector, entry.workload_hash, entry.weight_table_digest)
+    forged = replace(genuine, log=fabricated, log_public_key=own_key.public,
+                     expected_ae_measurement=b"\x00" * 32)
+    with pytest.raises(SettlementError, match="unaudited"):
+        market.settle(forged, trusted_measurement)
+
+
+def test_receipt_for_wrong_workload_rejected(market, trusted_measurement):
+    """Billing a cheap job's id with an expensive run on another module."""
+    from repro.workloads import MSIEVE
+
+    job = _post(market)
+    expensive = replace(job, spec=MSIEVE, args=(2 * 3 * 104729,))
+    receipt = market.execute("worker-1", expensive)
+    with pytest.raises(SettlementError, match="different workload"):
+        market.settle(receipt, trusted_measurement)
+
+
+def test_unknown_provider_rejected(market, trusted_measurement):
+    job = _post(market)
+    receipt = market.execute("worker-1", job)
+    receipt = replace(receipt, provider="ghost")
+    with pytest.raises(SettlementError, match="unknown provider"):
+        market.settle(receipt, trusted_measurement)
+
+
+def test_budget_capped_jobs_trap_but_settle_for_work_done(market, trusted_measurement):
+    from repro.workloads.spec import WorkloadSpec
+
+    spin = WorkloadSpec(
+        name="spin",
+        domain="test",
+        source="int spin(void) { while (1) { } return 0; }",
+        run=("spin", ()),
+    )
+    job = market.post_job(spin, (), price_per_mega_instruction=50.0, max_instructions=30_000)
+    receipt = market.execute("worker-1", job)
+    payout = market.settle(receipt, trusted_measurement)
+    # the sandbox stopped the runaway job at the budget; the provider is
+    # paid for exactly the capped work
+    assert 0 < payout <= job.escrow

@@ -1,0 +1,94 @@
+"""Tests for the volunteer-computing scenario."""
+
+import pytest
+
+from repro.scenarios.volunteer import Volunteer, VolunteerProject, WorkUnit
+from repro.workloads import SUBSET_SUM
+
+
+@pytest.fixture(scope="module")
+def units():
+    return [WorkUnit(i, SUBSET_SUM, (500 + i, 9, 110)) for i in range(3)]
+
+
+@pytest.fixture(scope="module")
+def honest_volunteers():
+    return [Volunteer("alice", 1.0), Volunteer("bob", 2.5), Volunteer("carol", 0.5)]
+
+
+class TestRedundantMode:
+    def test_every_unit_executed_at_least_twice(self, units, honest_volunteers):
+        project = VolunteerProject(honest_volunteers, quorum=2, seed=1)
+        report = project.run_redundant(units)
+        assert report.executions >= 2 * len(units)
+        assert report.units_completed == len(units)
+
+    def test_credit_claims_vary_with_cpu_speed(self, units):
+        """The paper's fairness complaint: same work, different CPU seconds."""
+        fast = [Volunteer("fast", 4.0), Volunteer("slow", 0.5)]
+        project = VolunteerProject(fast, quorum=2, seed=3)
+        report = project.run_redundant(units)
+        assert report.credits["slow"] > report.credits["fast"]
+
+    def test_credit_cheater_profits_in_redundant_mode(self, units):
+        volunteers = [
+            Volunteer("honest", 1.0),
+            Volunteer("cheater", 1.0, cheat="credit"),
+        ]
+        project = VolunteerProject(volunteers, quorum=2, seed=5)
+        report = project.run_redundant(units)
+        assert report.credits["cheater"] > 5 * report.credits["honest"]
+        assert "cheater" not in report.cheaters_detected  # goes unnoticed!
+
+    def test_result_cheater_forces_extra_executions(self, units):
+        volunteers = [
+            Volunteer("honest1", 1.0),
+            Volunteer("honest2", 1.0),
+            Volunteer("saboteur", 1.0, cheat="result"),
+        ]
+        project = VolunteerProject(volunteers, quorum=2, seed=7)
+        report = project.run_redundant(units)
+        if "saboteur" in report.cheaters_detected:
+            assert report.wasted_executions > 0
+
+    def test_quorum_below_two_rejected(self, honest_volunteers):
+        with pytest.raises(ValueError):
+            VolunteerProject(honest_volunteers, quorum=1)
+
+
+class TestAccTEEMode:
+    def test_single_execution_per_unit(self, units, honest_volunteers):
+        project = VolunteerProject(honest_volunteers, seed=11)
+        report = project.run_acctee(units)
+        assert report.executions == len(units)
+        assert report.units_completed == len(units)
+        assert report.wasted_executions == 0
+
+    def test_resource_saving_vs_redundant(self, units, honest_volunteers):
+        """The headline saving: no duplicated work."""
+        project = VolunteerProject(honest_volunteers, seed=13)
+        redundant = project.run_redundant(units)
+        acctee = project.run_acctee(units)
+        assert acctee.executions < redundant.executions
+
+    def test_credit_is_platform_independent(self, units):
+        """Heterogeneous CPU speeds yield identical weighted-instruction credit."""
+        fast = Volunteer("fast", speed=8.0)
+        slow = Volunteer("slow", speed=0.25)
+        rng_units = [WorkUnit(0, SUBSET_SUM, (99, 9, 100))]
+        fast_result = fast.execute_acctee(rng_units[0], __import__("random").Random(1))
+        slow_result = slow.execute_acctee(rng_units[0], __import__("random").Random(1))
+        assert fast_result.claimed_credit == slow_result.claimed_credit
+
+    def test_forged_log_cheater_detected_and_denied(self, units):
+        volunteers = [Volunteer("honest", 1.0), Volunteer("forger", 1.0, cheat="credit")]
+        project = VolunteerProject(volunteers, seed=17)
+        report = project.run_acctee(units)
+        assert "forger" in report.cheaters_detected or "forger" not in report.credits
+
+    def test_result_tamperer_detected(self, units):
+        volunteers = [Volunteer("evil", 1.0, cheat="result")]
+        project = VolunteerProject(volunteers, seed=19)
+        report = project.run_acctee(units)
+        assert report.cheaters_detected.count("evil") == len(units)
+        assert "evil" not in report.credits

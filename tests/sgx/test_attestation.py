@@ -1,0 +1,135 @@
+"""Tests for remote attestation: quoting enclave + attestation service."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.sgx.attestation import (
+    AttestationError,
+    AttestationService,
+    QuotingEnclave,
+    remote_attest,
+    verify_service_report,
+)
+from repro.sgx.enclave import Enclave, SGXPlatform
+
+
+@pytest.fixture(scope="module")
+def world():
+    platform = SGXPlatform("attest-machine", seed=9)
+    app = Enclave("app", (b"app-code",))
+    qe = QuotingEnclave(seed=41)
+    platform.launch(app)
+    platform.launch(qe)
+    service = AttestationService(seed=42)
+    service.provision(qe)
+    return platform, app, qe, service
+
+
+def test_full_roundtrip_succeeds(world):
+    _, app, qe, service = world
+    verdict = remote_attest(app, qe, service, nonce=b"n1")
+    assert verdict.ok and verdict.advisory == "OK"
+    assert verdict.quote.mrenclave == app.mrenclave
+    assert verify_service_report(service.public_key, verdict)
+
+
+def test_unprovisioned_platform_rejected(world):
+    platform, app, _, service = world
+    rogue_qe = QuotingEnclave(seed=77)
+    platform.launch(rogue_qe)
+    verdict = remote_attest(app, rogue_qe, service, nonce=b"n2")
+    assert not verdict.ok and verdict.advisory == "UNKNOWN_PLATFORM"
+
+
+def test_revoked_platform_rejected(world):
+    platform, app, _, service = world
+    qe2 = QuotingEnclave(seed=78)
+    platform.launch(qe2)
+    service.provision(qe2)
+    service.revoke(qe2)
+    verdict = remote_attest(app, qe2, service, nonce=b"n3")
+    assert not verdict.ok
+
+
+def test_outdated_tcb_rejected(world):
+    platform, app, _, service = world
+    qe3 = QuotingEnclave(seed=79)
+    platform.launch(qe3)
+    service.provision(qe3)
+    service.mark_tcb_outdated(qe3)
+    verdict = remote_attest(app, qe3, service, nonce=b"n4")
+    assert not verdict.ok and verdict.advisory == "GROUP_OUT_OF_DATE"
+
+
+def test_tampered_quote_rejected(world):
+    _, app, qe, service = world
+    report = app.report(b"data")
+    quote = qe.quote(report)
+    tampered = replace(quote, mrenclave=b"\x01" * 32)
+    verdict = service.verify_quote(tampered)
+    assert not verdict.ok and verdict.advisory == "INVALID_SIGNATURE"
+
+
+def test_qe_refuses_forged_report(world):
+    _, app, qe, _ = world
+    report = app.report(b"data")
+    forged = replace(report, report_data=b"other data")
+    with pytest.raises(AttestationError):
+        qe.quote(forged)
+
+
+def test_qe_refuses_report_from_other_platform(world):
+    _, _, qe, _ = world
+    other_platform = SGXPlatform("other", seed=100)
+    foreign = Enclave("foreign", (b"foreign-code",))
+    other_platform.launch(foreign)
+    with pytest.raises(AttestationError):
+        qe.quote(foreign.report(b"x"))
+
+
+def test_service_report_signature_binds_verdict(world):
+    _, app, qe, service = world
+    verdict = remote_attest(app, qe, service, nonce=b"n5")
+    flipped = replace(verdict, ok=not verdict.ok)
+    assert not verify_service_report(service.public_key, flipped)
+
+
+def test_service_report_from_wrong_service_rejected(world):
+    _, app, qe, service = world
+    other_service = AttestationService(seed=500)
+    verdict = remote_attest(app, qe, service, nonce=b"n6")
+    assert not verify_service_report(other_service.public_key, verdict)
+
+
+def test_nonce_binds_report_data(world):
+    _, app, qe, service = world
+    v1 = remote_attest(app, qe, service, nonce=b"nonce-A")
+    v2 = remote_attest(app, qe, service, nonce=b"nonce-B")
+    assert v1.quote.report_data != v2.quote.report_data
+
+
+def test_quote_replay_with_stale_nonce_detected(world):
+    """A provider replaying yesterday's quote fails the freshness check."""
+    from repro.tcrypto.hashing import sha256
+
+    _, app, qe, service = world
+    old = remote_attest(app, qe, service, nonce=b"yesterday")
+    assert old.ok
+    # the challenger issues a fresh nonce and checks the report data binds it
+    fresh_nonce = b"today"
+    expected = sha256(fresh_nonce + b"")
+    assert old.quote.report_data != expected  # replay exposed
+
+
+def test_quote_cannot_be_transplanted_between_enclaves(world):
+    """Rewriting a quote's measurement to impersonate another enclave fails."""
+    from dataclasses import replace
+
+    platform, app, qe, service = world
+    other = Enclave("other-app", (b"other-code",))
+    platform.launch(other)
+    genuine = qe.quote(app.report(b"x"))
+    transplanted = replace(genuine, mrenclave=other.mrenclave)
+    verdict = service.verify_quote(transplanted)
+    assert not verdict.ok and verdict.advisory == "INVALID_SIGNATURE"

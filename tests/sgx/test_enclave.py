@@ -1,0 +1,96 @@
+"""Tests for enclaves, measurements, local attestation and sealing."""
+
+import pytest
+
+from repro.sgx.enclave import Enclave, SGXPlatform
+
+
+@pytest.fixture
+def platform():
+    return SGXPlatform("test-machine", seed=3)
+
+
+def test_measurement_depends_on_code():
+    a = Enclave("a", (b"code-v1",))
+    b = Enclave("b", (b"code-v2",))
+    same = Enclave("c", (b"code-v1",))
+    assert a.mrenclave != b.mrenclave
+    assert a.mrenclave == same.mrenclave
+
+
+def test_report_requires_launch():
+    enclave = Enclave("orphan", (b"x",))
+    with pytest.raises(RuntimeError):
+        enclave.report(b"data")
+
+
+def test_local_attestation_roundtrip(platform):
+    prover = Enclave("prover", (b"prover-code",))
+    verifier = Enclave("verifier", (b"verifier-code",))
+    platform.launch(prover)
+    platform.launch(verifier)
+    report = prover.report(b"hello")
+    assert verifier.verify_local(report, prover.mrenclave)
+
+
+def test_local_attestation_rejects_wrong_measurement(platform):
+    prover = Enclave("prover", (b"prover-code",))
+    verifier = Enclave("verifier", (b"verifier-code",))
+    platform.launch(prover)
+    platform.launch(verifier)
+    report = prover.report(b"hello")
+    assert not verifier.verify_local(report, b"\x00" * 32)
+
+
+def test_local_attestation_rejects_cross_platform():
+    p1 = SGXPlatform("m1", seed=1)
+    p2 = SGXPlatform("m2", seed=2)
+    prover = Enclave("prover", (b"code",))
+    verifier = Enclave("verifier", (b"code2",))
+    p1.launch(prover)
+    p2.launch(verifier)
+    report = prover.report(b"x")
+    assert not verifier.verify_local(report, prover.mrenclave)
+
+
+def test_report_forgery_detected(platform):
+    from dataclasses import replace
+
+    prover = Enclave("prover", (b"code",))
+    platform.launch(prover)
+    report = prover.report(b"genuine")
+    forged = replace(report, report_data=b"forged!")
+    assert not platform.verify_report(forged)
+
+
+def test_long_report_data_is_hashed(platform):
+    enclave = Enclave("e", (b"c",))
+    platform.launch(enclave)
+    report = enclave.report(b"z" * 1000)
+    assert len(report.report_data) == 32
+
+
+def test_sealing_roundtrip(platform):
+    enclave = Enclave("e", (b"c",))
+    platform.launch(enclave)
+    blob = enclave.seal("state", b"secret counter value")
+    assert enclave.unseal("state", blob) == b"secret counter value"
+
+
+def test_sealed_blob_bound_to_identity(platform):
+    e1 = Enclave("e1", (b"c1",))
+    e2 = Enclave("e2", (b"c2",))
+    platform.launch(e1)
+    platform.launch(e2)
+    blob = e1.seal("state", b"secret")
+    with pytest.raises(ValueError):
+        e2.unseal("state", blob)
+
+
+def test_sealed_blob_tamper_detected(platform):
+    enclave = Enclave("e", (b"c",))
+    platform.launch(enclave)
+    blob = bytearray(enclave.seal("state", b"secret"))
+    blob[-1] ^= 0xFF
+    with pytest.raises(ValueError):
+        enclave.unseal("state", bytes(blob))

@@ -1,0 +1,44 @@
+"""Tests for the EPC paging model."""
+
+from repro.sgx.epc import EPC_USABLE_BYTES, EPCModel
+
+MB = 1024 * 1024
+
+
+def test_usable_epc_is_93_mib():
+    assert EPC_USABLE_BYTES == 93 * MB
+
+
+def test_no_overhead_within_epc():
+    epc = EPCModel()
+    assert epc.excess_ratio(50 * MB) == 0.0
+    assert epc.paging_overhead_cycles(93 * MB, 1_000_000) == 0.0
+
+
+def test_excess_ratio_grows_with_footprint():
+    epc = EPCModel()
+    assert 0 < epc.excess_ratio(100 * MB) < epc.excess_ratio(200 * MB) < 1
+
+
+def test_random_access_pays_more_than_linear():
+    epc = EPCModel()
+    footprint = 150 * MB
+    linear = epc.paging_overhead_cycles(footprint, 100_000, locality=1.0)
+    random_access = epc.paging_overhead_cycles(footprint, 100_000, locality=0.0)
+    assert 0 < linear < random_access
+
+
+def test_overhead_scales_with_access_count():
+    epc = EPCModel()
+    one = epc.paging_overhead_cycles(150 * MB, 10_000)
+    ten = epc.paging_overhead_cycles(150 * MB, 100_000)
+    assert abs(ten - 10 * one) < 1e-6
+
+
+def test_larger_epc_removes_overhead():
+    """The paper's remark: a larger future EPC mitigates this entirely."""
+    small = EPCModel()
+    big = EPCModel(usable_bytes=1024 * MB)
+    footprint = 150 * MB
+    assert small.paging_overhead_cycles(footprint, 10_000) > 0
+    assert big.paging_overhead_cycles(footprint, 10_000) == 0.0

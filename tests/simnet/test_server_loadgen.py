@@ -1,0 +1,90 @@
+"""Tests for the request server, network link and closed-loop load generator."""
+
+import pytest
+
+from repro.simnet import (
+    ClosedLoopLoadGenerator,
+    NetworkLink,
+    RequestServer,
+    Simulator,
+)
+
+
+class TestNetworkLink:
+    def test_latency_floor(self):
+        link = NetworkLink(latency_s=1e-3, bandwidth_bps=1e9)
+        assert link.transfer_time(0.0, 0) == pytest.approx(1e-3)
+
+    def test_serialisation_scales_with_bytes(self):
+        link = NetworkLink(latency_s=0.0, bandwidth_bps=8e6)  # 1 MB/s
+        assert link.transfer_time(0.0, 1_000_000) == pytest.approx(1.0)
+
+    def test_back_to_back_transfers_queue(self):
+        link = NetworkLink(latency_s=0.0, bandwidth_bps=8e6)
+        first = link.transfer_time(0.0, 500_000)
+        second = link.transfer_time(0.0, 500_000)
+        assert second == pytest.approx(first + 0.5)
+
+
+class TestRequestServer:
+    def test_single_worker_serialises(self):
+        sim = Simulator()
+        server = RequestServer(sim, service_time=lambda _: 1.0, workers=1)
+        done = []
+        server.submit(0, lambda r: done.append(sim.now))
+        server.submit(0, lambda r: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 2.0]
+
+    def test_multiple_workers_parallelise(self):
+        sim = Simulator()
+        server = RequestServer(sim, service_time=lambda _: 1.0, workers=2)
+        done = []
+        for _ in range(2):
+            server.submit(0, lambda r: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 1.0]
+
+    def test_queueing_recorded(self):
+        sim = Simulator()
+        server = RequestServer(sim, service_time=lambda _: 2.0, workers=1)
+        server.submit(0, lambda r: None)
+        server.submit(0, lambda r: None)
+        sim.run()
+        assert server.completed[0].queueing == 0.0
+        assert server.completed[1].queueing == pytest.approx(2.0)
+
+
+class TestClosedLoop:
+    def test_throughput_matches_service_rate(self):
+        """One worker, deterministic 10 ms service: throughput -> ~100 rps."""
+        sim = Simulator()
+        server = RequestServer(sim, service_time=lambda _: 0.010, workers=1)
+        loadgen = ClosedLoopLoadGenerator(
+            sim, server, link=NetworkLink(latency_s=1e-6), clients=10, payload_bytes=100
+        )
+        result = loadgen.run(warmup_s=0.5, measure_s=4.0)
+        assert result.throughput_rps == pytest.approx(100.0, rel=0.05)
+
+    def test_more_workers_scale_until_client_limit(self):
+        def run(workers):
+            sim = Simulator()
+            server = RequestServer(sim, service_time=lambda _: 0.010, workers=workers)
+            loadgen = ClosedLoopLoadGenerator(
+                sim, server, link=NetworkLink(latency_s=1e-6), clients=4, payload_bytes=10
+            )
+            return loadgen.run(warmup_s=0.2, measure_s=2.0).throughput_rps
+
+        assert run(2) == pytest.approx(2 * run(1), rel=0.1)
+        # beyond the number of clients, closed-loop throughput saturates
+        assert run(8) == pytest.approx(run(4), rel=0.1)
+
+    def test_latency_includes_queueing(self):
+        sim = Simulator()
+        server = RequestServer(sim, service_time=lambda _: 0.010, workers=1)
+        loadgen = ClosedLoopLoadGenerator(
+            sim, server, link=NetworkLink(latency_s=1e-6), clients=10, payload_bytes=10
+        )
+        result = loadgen.run(warmup_s=0.2, measure_s=2.0)
+        # with 10 clients on one 10 ms worker, latency ~ 100 ms
+        assert result.mean_latency_s == pytest.approx(0.100, rel=0.1)

@@ -1,0 +1,39 @@
+"""Tests for SHA-256 helpers and enclave measurements."""
+
+from repro.tcrypto.hashing import measurement, sha256, sha256_hex
+
+
+def test_sha256_known_vector():
+    # FIPS 180-2 test vector for "abc"
+    assert sha256_hex(b"abc") == (
+        "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    )
+
+
+def test_sha256_empty_input():
+    assert sha256_hex(b"") == (
+        "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    )
+
+
+def test_sha256_returns_32_bytes():
+    assert len(sha256(b"anything")) == 32
+
+
+def test_measurement_changes_with_any_part():
+    base = measurement(b"code", b"config")
+    assert measurement(b"code!", b"config") != base
+    assert measurement(b"code", b"config!") != base
+
+
+def test_measurement_is_order_sensitive():
+    assert measurement(b"a", b"b") != measurement(b"b", b"a")
+
+
+def test_measurement_resists_concatenation_ambiguity():
+    # ("ab", "c") must not collide with ("a", "bc")
+    assert measurement(b"ab", b"c") != measurement(b"a", b"bc")
+
+
+def test_measurement_part_count_matters():
+    assert measurement(b"abc") != measurement(b"abc", b"")

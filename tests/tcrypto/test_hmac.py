@@ -1,0 +1,55 @@
+"""Tests for the from-scratch HMAC-SHA256 against RFC 4231 vectors."""
+
+import hashlib
+import hmac as stdlib_hmac
+
+from hypothesis import given, strategies as st
+
+from repro.tcrypto.hmac import hmac_sha256, verify_hmac
+
+
+def test_rfc4231_case_1():
+    key = b"\x0b" * 20
+    message = b"Hi There"
+    expected = bytes.fromhex(
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    )
+    assert hmac_sha256(key, message) == expected
+
+
+def test_rfc4231_case_2_short_key():
+    key = b"Jefe"
+    message = b"what do ya want for nothing?"
+    expected = bytes.fromhex(
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    )
+    assert hmac_sha256(key, message) == expected
+
+
+def test_long_key_is_hashed_first():
+    key = b"k" * 200  # longer than the SHA-256 block size
+    message = b"payload"
+    assert hmac_sha256(key, message) == stdlib_hmac.new(key, message, hashlib.sha256).digest()
+
+
+def test_verify_accepts_valid_tag():
+    tag = hmac_sha256(b"key", b"message")
+    assert verify_hmac(b"key", b"message", tag)
+
+
+def test_verify_rejects_wrong_key_message_and_tag():
+    tag = hmac_sha256(b"key", b"message")
+    assert not verify_hmac(b"other", b"message", tag)
+    assert not verify_hmac(b"key", b"other", tag)
+    assert not verify_hmac(b"key", b"message", tag[:-1] + bytes([tag[-1] ^ 1]))
+
+
+def test_verify_rejects_truncated_tag():
+    tag = hmac_sha256(b"key", b"message")
+    assert not verify_hmac(b"key", b"message", tag[:16])
+
+
+@given(st.binary(max_size=128), st.binary(max_size=512))
+def test_matches_stdlib_hmac(key, message):
+    expected = stdlib_hmac.new(key, message, hashlib.sha256).digest()
+    assert hmac_sha256(key, message) == expected

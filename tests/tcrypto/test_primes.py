@@ -1,0 +1,56 @@
+"""Tests for Miller-Rabin primality and prime generation."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tcrypto.primes import generate_prime, is_probable_prime
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 199, 7919, 104729, 1299709, 2**31 - 1]
+KNOWN_COMPOSITES = [1, 4, 100, 7917, 104730, 561, 41041, 2**31 - 3]
+CARMICHAEL = [561, 1105, 1729, 2465, 2821, 6601, 8911]
+
+
+@pytest.mark.parametrize("p", KNOWN_PRIMES)
+def test_accepts_primes(p):
+    assert is_probable_prime(p)
+
+
+@pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+def test_rejects_composites(n):
+    assert not is_probable_prime(n)
+
+
+@pytest.mark.parametrize("n", CARMICHAEL)
+def test_rejects_carmichael_numbers(n):
+    # these fool the Fermat test; Miller-Rabin must not be fooled
+    assert not is_probable_prime(n)
+
+
+def test_rejects_negative_and_zero():
+    assert not is_probable_prime(0)
+    assert not is_probable_prime(-7)
+
+
+def test_generate_prime_has_exact_bit_length():
+    rng = random.Random(42)
+    for bits in (16, 32, 64, 128):
+        p = generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p)
+
+
+def test_generate_prime_is_deterministic_for_a_seed():
+    assert generate_prime(64, random.Random(5)) == generate_prime(64, random.Random(5))
+
+
+def test_generate_prime_rejects_tiny_sizes():
+    with pytest.raises(ValueError):
+        generate_prime(4, random.Random(0))
+
+
+@given(st.integers(min_value=2, max_value=10_000))
+def test_agrees_with_trial_division(n):
+    by_trial = n >= 2 and all(n % d for d in range(2, int(n**0.5) + 1))
+    assert is_probable_prime(n) == by_trial

@@ -1,0 +1,76 @@
+"""Tests for RSA key generation and PKCS#1 v1.5 signatures."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tcrypto.rsa import rsa_generate, rsa_sign, rsa_verify
+
+
+def test_sign_verify_roundtrip(rsa_keypair):
+    message = b"the accounting enclave signs this"
+    signature = rsa_sign(rsa_keypair, message)
+    assert rsa_verify(rsa_keypair.public, message, signature)
+
+
+def test_verify_rejects_tampered_message(rsa_keypair):
+    signature = rsa_sign(rsa_keypair, b"original")
+    assert not rsa_verify(rsa_keypair.public, b"Original", signature)
+
+
+def test_verify_rejects_tampered_signature(rsa_keypair):
+    signature = rsa_sign(rsa_keypair, b"message")
+    bad = signature[:-1] + bytes([signature[-1] ^ 0x01])
+    assert not rsa_verify(rsa_keypair.public, b"message", bad)
+
+
+def test_verify_rejects_wrong_key(rsa_keypair):
+    other = rsa_generate(512, seed=999)
+    signature = rsa_sign(rsa_keypair, b"message")
+    assert not rsa_verify(other.public, b"message", signature)
+
+
+def test_verify_rejects_wrong_length_signature(rsa_keypair):
+    signature = rsa_sign(rsa_keypair, b"message")
+    assert not rsa_verify(rsa_keypair.public, b"message", signature[:-3])
+    assert not rsa_verify(rsa_keypair.public, b"message", signature + b"\x00")
+
+
+def test_signature_length_equals_modulus_length(rsa_keypair):
+    signature = rsa_sign(rsa_keypair, b"x")
+    assert len(signature) == rsa_keypair.public.byte_length
+
+
+def test_keygen_is_deterministic_by_seed():
+    a = rsa_generate(512, seed=7)
+    b = rsa_generate(512, seed=7)
+    assert a.public == b.public and a.d == b.d
+
+
+def test_keygen_differs_across_seeds():
+    assert rsa_generate(512, seed=1).public.n != rsa_generate(512, seed=2).public.n
+
+
+def test_keygen_rejects_tiny_moduli():
+    with pytest.raises(ValueError):
+        rsa_generate(64)
+
+
+def test_fingerprint_is_stable_and_distinct():
+    a = rsa_generate(512, seed=31)
+    b = rsa_generate(512, seed=32)
+    assert a.public.fingerprint() == a.public.fingerprint()
+    assert a.public.fingerprint() != b.public.fingerprint()
+
+
+def test_sign_requires_sufficient_modulus():
+    # 128-bit modulus cannot hold a SHA-256 DigestInfo
+    tiny = rsa_generate(128, seed=3)
+    with pytest.raises(ValueError):
+        rsa_sign(tiny, b"message")
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.binary(min_size=0, max_size=256))
+def test_roundtrip_over_arbitrary_messages(message):
+    key = rsa_generate(512, seed=424242)
+    assert rsa_verify(key.public, message, rsa_sign(key, message))

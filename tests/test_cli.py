@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+WAT = """
+(module
+  (func (export "fib") (param $n i32) (result i32)
+    (if (result i32) (i32.lt_s (local.get $n) (i32.const 2))
+      (then (local.get $n))
+      (else (i32.add
+        (call 0 (i32.sub (local.get $n) (i32.const 1)))
+        (call 0 (i32.sub (local.get $n) (i32.const 2))))))))
+"""
+
+MINIC = "int twice(int x) { return 2 * x; }"
+
+
+@pytest.fixture
+def wat_file(tmp_path):
+    path = tmp_path / "fib.wat"
+    path.write_text(WAT)
+    return str(path)
+
+
+@pytest.fixture
+def minic_file(tmp_path):
+    path = tmp_path / "twice.mc"
+    path.write_text(MINIC)
+    return str(path)
+
+
+def test_run_command(wat_file, capsys):
+    assert main(["run", wat_file, "--invoke", "fib", "--args", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "result: 55" in out
+    assert "instructions executed:" in out
+
+
+def test_run_with_top_instructions(wat_file, capsys):
+    main(["run", wat_file, "--invoke", "fib", "--args", "8", "--top", "3"])
+    out = capsys.readouterr().out
+    assert "hottest instructions:" in out
+
+
+def test_instrument_command_roundtrips(wat_file, tmp_path, capsys):
+    out_path = tmp_path / "instrumented.wat"
+    assert main(["instrument", wat_file, "-o", str(out_path)]) == 0
+    from repro.wasm.interpreter import Instance
+    from repro.wasm.validate import validate
+    from repro.wasm.wat_parser import parse_wat
+
+    module = parse_wat(out_path.read_text())
+    validate(module)
+    instance = Instance(module)
+    assert instance.invoke("fib", 10) == 55
+    assert instance.global_value("__acctee_counter") > 0
+
+
+def test_instrument_to_stdout(wat_file, capsys):
+    assert main(["instrument", wat_file, "--level", "naive"]) == 0
+    out = capsys.readouterr().out
+    assert "global.set" in out
+
+
+def test_meter_command(wat_file, capsys):
+    assert main(["meter", wat_file, "--invoke", "fib", "--args", "10"]) == 0
+    out = capsys.readouterr().out
+    assert "native" in out and "wasm-sgx-hw" in out
+
+
+def test_run_minic_source(minic_file, capsys):
+    assert main(["run", minic_file, "--invoke", "twice", "--args", "21"]) == 0
+    assert "result: 42" in capsys.readouterr().out
+
+
+def test_sandbox_command(minic_file, capsys):
+    assert main(["sandbox", minic_file, "--invoke", "twice", "--args", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "result: 8" in out
+    assert "log verifies: True" in out
+    assert "invoice:" in out
+
+
+def test_float_args_parsed(tmp_path, capsys):
+    path = tmp_path / "s.mc"
+    path.write_text("double s(double x) { return sqrt(x); }")
+    main(["run", str(path), "--invoke", "s", "--args", "6.25"])
+    assert "result: 2.5" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_sandbox_export_and_verify_log(minic_file, tmp_path, capsys):
+    log_path = tmp_path / "log.json"
+    assert main([
+        "sandbox", minic_file, "--invoke", "twice", "--args", "3",
+        "--export-log", str(log_path),
+    ]) == 0
+    assert log_path.exists()
+    assert main(["verify-log", str(log_path)]) == 0
+    out = capsys.readouterr().out
+    assert "log verifies: True" in out
+
+
+def test_verify_log_detects_tampering(minic_file, tmp_path, capsys):
+    import json
+
+    log_path = tmp_path / "log.json"
+    main([
+        "sandbox", minic_file, "--invoke", "twice", "--args", "3",
+        "--export-log", str(log_path),
+    ])
+    data = json.loads(log_path.read_text())
+    data["entries"][0]["vector"]["weighted_instructions"] = 10**9
+    log_path.write_text(json.dumps(data))
+    assert main(["verify-log", str(log_path)]) == 1

@@ -1,0 +1,52 @@
+"""Smoke tests: the shipped examples must run end to end."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _load(name: str):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples.{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart_runs(capsys):
+    _load("quickstart").main()
+    out = capsys.readouterr().out
+    assert "log verifies: True" in out
+    assert "invoice:" in out
+
+
+def test_faas_billing_runs(capsys):
+    _load("faas_billing").main()
+    out = capsys.readouterr().out
+    assert "identical metered quantities" in out
+    assert "WASM" in out
+
+
+def test_reimbursed_marketplace_runs(capsys):
+    _load("reimbursed_marketplace").main()
+    out = capsys.readouterr().out
+    assert "settlement refused" in out
+    assert "rejected=1" in out
+
+
+@pytest.mark.slow
+def test_volunteer_computing_runs(capsys):
+    _load("volunteer_computing").main()
+    out = capsys.readouterr().out
+    assert "acctee mode" in out
+
+
+@pytest.mark.slow
+def test_pay_by_computation_runs(capsys):
+    _load("pay_by_computation").main()
+    out = capsys.readouterr().out
+    assert "unlocked" in out

@@ -1,0 +1,73 @@
+"""Robustness: the binary decoder must never crash unpredictably.
+
+The accounting enclave decodes workload bytes supplied by an untrusted
+party, so the decoder's contract is: either return a module or raise
+:class:`BinaryFormatError`-family exceptions — no hangs, no arbitrary
+exceptions, no accepting garbage that later breaks the validator in
+uncontrolled ways.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.minic import compile_source
+from repro.wasm.binary import BinaryFormatError, decode_module, encode_module
+from repro.wasm.validate import ValidationError, validate
+
+BASE = encode_module(
+    compile_source(
+        """
+        int work(int n) {
+            int t = 0;
+            for (int i = 0; i < n; i = i + 1) t = t + i;
+            return t;
+        }
+        """
+    )
+)
+
+#: Exceptions the decode/validate pipeline may legitimately raise on garbage.
+_ACCEPTABLE = (BinaryFormatError, ValidationError, ValueError)
+
+
+def _decode_validate(blob: bytes) -> None:
+    module = decode_module(blob)
+    validate(module)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    st.integers(min_value=8, max_value=len(BASE) - 1),
+    st.integers(min_value=0, max_value=255),
+)
+def test_single_byte_corruption_is_contained(position, value):
+    blob = bytearray(BASE)
+    blob[position] = value
+    try:
+        _decode_validate(bytes(blob))
+    except _ACCEPTABLE:
+        pass  # rejected cleanly
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(min_value=9, max_value=len(BASE) - 1))
+def test_truncation_is_contained(cut):
+    try:
+        _decode_validate(BASE[:cut])
+    except _ACCEPTABLE:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.binary(min_size=0, max_size=200))
+def test_random_bytes_are_rejected_cleanly(data):
+    try:
+        _decode_validate(b"\x00asm\x01\x00\x00\x00" + data)
+    except _ACCEPTABLE:
+        pass
+
+
+def test_uncorrupted_base_still_accepted():
+    _decode_validate(BASE)

@@ -1,0 +1,136 @@
+"""Tests for the cycle table and cache-hierarchy cost model."""
+
+from repro.wasm.costmodel import (
+    CacheLevel,
+    CostModel,
+    CYCLE_WEIGHTS,
+    MemoryHierarchy,
+    PLAIN_CYCLE_WEIGHTS,
+)
+from repro.wasm.instructions import PLAIN_INSTRUCTIONS
+
+
+class TestCycleTable:
+    def test_covers_every_instruction(self):
+        from repro.wasm.instructions import INSTRUCTIONS_BY_NAME
+
+        assert set(CYCLE_WEIGHTS) == set(INSTRUCTIONS_BY_NAME)
+
+    def test_fig7_distribution_shape(self):
+        """~74% of plain instructions under 10 cycles; an expensive tail >50."""
+        costs = sorted(PLAIN_CYCLE_WEIGHTS.values())
+        under_10 = sum(1 for c in costs if c < 10)
+        assert under_10 / len(costs) >= 0.70
+        assert max(costs) > 50
+        # rounding modes occupy the middle band (up to ~32 cycles)
+        assert 20 <= CYCLE_WEIGHTS["f32.floor"] <= 32
+        assert 20 <= CYCLE_WEIGHTS["f64.ceil"] <= 34
+
+    def test_divisions_and_sqrt_are_expensive(self):
+        assert CYCLE_WEIGHTS["i64.div_s"] > 50
+        assert CYCLE_WEIGHTS["f32.sqrt"] > 50
+        assert CYCLE_WEIGHTS["f64.div"] > 50
+
+    def test_alu_is_cheap(self):
+        for name in ("i32.add", "i32.and", "i64.xor", "local.get", "i32.const"):
+            assert CYCLE_WEIGHTS[name] <= 2
+
+    def test_plain_table_has_127_entries(self):
+        assert len(PLAIN_CYCLE_WEIGHTS) == len(PLAIN_INSTRUCTIONS) == 127
+
+
+class TestCacheLevel:
+    def test_repeated_access_hits(self):
+        cache = CacheLevel("L1", 1024, 64, 2, 4.0)
+        cache.access(0, False)
+        hit, _ = cache.access(0, False)
+        assert hit
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_different_bytes_hit(self):
+        cache = CacheLevel("L1", 1024, 64, 2, 4.0)
+        cache.access(0, False)
+        hit, _ = cache.access(63, False)
+        assert hit
+
+    def test_lru_eviction(self):
+        # 2-way set: third distinct line in the same set evicts the oldest
+        cache = CacheLevel("L1", 2 * 64, 64, 2, 4.0)  # one set, two ways
+        cache.access(0 * 64, False)
+        cache.access(1 * 64, False)
+        cache.access(0 * 64, False)  # touch line 0: line 1 becomes LRU
+        cache.access(2 * 64, False)  # evicts line 1
+        hit, _ = cache.access(0 * 64, False)
+        assert hit
+        hit, _ = cache.access(1 * 64, False)
+        assert not hit
+
+    def test_dirty_eviction_reported(self):
+        cache = CacheLevel("L1", 2 * 64, 64, 2, 4.0)
+        cache.access(0, True)  # dirty
+        cache.access(64, False)
+        _, evicted_dirty = cache.access(128, False)  # evicts dirty line 0
+        assert evicted_dirty
+
+    def test_reset_clears_state(self):
+        cache = CacheLevel("L1", 1024, 64, 2, 4.0)
+        cache.access(0, False)
+        cache.reset()
+        assert cache.hits == 0 and cache.misses == 0
+        hit, _ = cache.access(0, False)
+        assert not hit
+
+
+class TestMemoryHierarchy:
+    def test_linear_access_is_cheap(self):
+        h = MemoryHierarchy()
+        n = 10_000
+        total = sum(h.access(i * 8, 8, False) for i in range(n))
+        assert total / n < 40  # near L1 latency amortised
+
+    def test_random_access_cost_grows_with_footprint(self):
+        import random
+
+        costs = {}
+        for mb in (1, 64, 256):
+            h = MemoryHierarchy()
+            rng = random.Random(7)
+            span = mb * 1024 * 1024
+            n = 4000
+            costs[mb] = sum(h.access(rng.randrange(span), 8, False) for i in range(n)) / n
+        assert costs[1] < costs[64] < costs[256]
+        # Fig. 8: random far above linear at large footprints
+        assert costs[256] > 500
+
+    def test_random_stores_cost_more_than_loads_when_large(self):
+        import random
+
+        def run(is_store: bool) -> float:
+            h = MemoryHierarchy()
+            rng = random.Random(7)
+            span = 256 * 1024 * 1024
+            n = 4000
+            return sum(h.access(rng.randrange(span), 8, is_store) for _ in range(n)) / n
+
+        loads, stores = run(False), run(True)
+        assert 1.2 < stores / loads < 2.5  # paper: up to ~1.8x at 256 MB
+
+    def test_stats_exposed(self):
+        h = MemoryHierarchy()
+        h.access(0, 8, False)
+        stats = h.stats
+        assert stats["accesses"] == 1
+        assert "L1D_misses" in stats
+
+
+class TestCostModel:
+    def test_instruction_cycles_lookup(self):
+        model = CostModel()
+        assert model.instruction_cycles("i32.add") == CYCLE_WEIGHTS["i32.add"]
+
+    def test_memory_cost_zero_without_hierarchy(self):
+        assert CostModel().memory_access_cycles(0, 8, False) == 0.0
+
+    def test_with_default_hierarchy(self):
+        model = CostModel.with_default_hierarchy()
+        assert model.memory_access_cycles(0, 8, False) > 0

@@ -1,0 +1,68 @@
+"""Tests for the instruction table."""
+
+import pytest
+
+from repro.wasm.instructions import (
+    Category,
+    ImmKind,
+    Instr,
+    INSTRUCTIONS_BY_NAME,
+    INSTRUCTIONS_BY_OPCODE,
+    OPCODES,
+    PLAIN_INSTRUCTIONS,
+)
+
+
+def test_opcodes_are_unique():
+    assert len({op.opcode for op in OPCODES}) == len(OPCODES)
+    assert len({op.name for op in OPCODES}) == len(OPCODES)
+
+
+def test_table_covers_the_mvp():
+    # 172 opcodes in the MVP numeric/control/memory space
+    assert len(OPCODES) == 172
+
+
+def test_exactly_127_plain_instructions():
+    # the paper's Fig. 7 microbenchmarks 127 instructions (no loads/stores)
+    assert len(PLAIN_INSTRUCTIONS) == 127
+
+
+def test_plain_excludes_control_and_memory():
+    for name in PLAIN_INSTRUCTIONS:
+        category = INSTRUCTIONS_BY_NAME[name].category
+        assert category not in (Category.CONTROL, Category.MEMORY)
+
+
+def test_known_opcode_values():
+    assert INSTRUCTIONS_BY_NAME["unreachable"].opcode == 0x00
+    assert INSTRUCTIONS_BY_NAME["end"].opcode == 0x0B
+    assert INSTRUCTIONS_BY_NAME["i32.const"].opcode == 0x41
+    assert INSTRUCTIONS_BY_NAME["i32.add"].opcode == 0x6A
+    assert INSTRUCTIONS_BY_NAME["f64.sqrt"].opcode == 0x9F
+    assert INSTRUCTIONS_BY_NAME["i64.load"].opcode == 0x29
+    assert INSTRUCTIONS_BY_NAME["f64.reinterpret_i64"].opcode == 0xBF
+
+
+def test_lookup_tables_agree():
+    for op in OPCODES:
+        assert INSTRUCTIONS_BY_OPCODE[op.opcode] is op
+        assert INSTRUCTIONS_BY_NAME[op.name] is op
+
+
+def test_immediate_kinds():
+    assert INSTRUCTIONS_BY_NAME["br_table"].imm is ImmKind.BRTABLE
+    assert INSTRUCTIONS_BY_NAME["call"].imm is ImmKind.FUNC
+    assert INSTRUCTIONS_BY_NAME["i32.load"].imm is ImmKind.MEMARG
+    assert INSTRUCTIONS_BY_NAME["memory.grow"].imm is ImmKind.MEMORY
+    assert INSTRUCTIONS_BY_NAME["nop"].imm is ImmKind.NONE
+
+
+def test_instr_rejects_unknown_names():
+    with pytest.raises(ValueError):
+        Instr("i32.frobnicate")
+
+
+def test_instr_repr_is_compact():
+    assert "i32.const" in repr(Instr("i32.const", (5,)))
+    assert repr(Instr("nop")) == "Instr(nop)"

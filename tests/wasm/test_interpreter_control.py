@@ -1,0 +1,233 @@
+"""Tests for control flow: blocks, loops, branches, calls, traps, limits."""
+
+import pytest
+
+from repro.wasm.interpreter import ExecutionLimits, Instance, Trap
+from repro.wasm.wat_parser import parse_wat
+
+
+def make(source: str, **kwargs) -> Instance:
+    return Instance(parse_wat(source), **kwargs)
+
+
+def test_block_result_value():
+    inst = make('(module (func (export "f") (result i32) (block (result i32) (i32.const 7))))')
+    assert inst.invoke("f") == 7
+
+
+def test_br_skips_rest_of_block():
+    inst = make("""
+    (module (func (export "f") (result i32)
+      (local $x i32)
+      (block
+        (local.set $x (i32.const 1))
+        (br 0)
+        (local.set $x (i32.const 99)))
+      (local.get $x)))
+    """)
+    assert inst.invoke("f") == 1
+
+
+def test_br_with_value():
+    inst = make("""
+    (module (func (export "f") (result i32)
+      (block (result i32)
+        (br 0 (i32.const 42))
+        (i32.const 0))))
+    """)
+    assert inst.invoke("f") == 42
+
+
+def test_loop_counts_iterations():
+    inst = make("""
+    (module (func (export "f") (param $n i32) (result i32)
+      (local $i i32)
+      (block $done
+        (loop $top
+          (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+          (local.set $i (i32.add (local.get $i) (i32.const 1)))
+          (br $top)))
+      (local.get $i)))
+    """)
+    assert inst.invoke("f", 0) == 0
+    assert inst.invoke("f", 13) == 13
+
+
+def test_if_else_both_arms():
+    inst = make("""
+    (module (func (export "f") (param i32) (result i32)
+      (if (result i32) (local.get 0)
+        (then (i32.const 10))
+        (else (i32.const 20)))))
+    """)
+    assert inst.invoke("f", 1) == 10
+    assert inst.invoke("f", 0) == 20
+
+
+def test_if_without_else_false_path():
+    inst = make("""
+    (module (func (export "f") (param i32) (result i32)
+      (local $x i32)
+      (local.set $x (i32.const 5))
+      (if (local.get 0) (then (local.set $x (i32.const 9))))
+      (local.get $x)))
+    """)
+    assert inst.invoke("f", 0) == 5
+    assert inst.invoke("f", 1) == 9
+
+
+def test_br_table_dispatch():
+    inst = make("""
+    (module (func (export "f") (param i32) (result i32)
+      (block $c (block $b (block $a
+        (br_table $a $b $c (local.get 0)))
+        (return (i32.const 100)))
+      (return (i32.const 200)))
+      (i32.const 300)))
+    """)
+    assert inst.invoke("f", 0) == 100
+    assert inst.invoke("f", 1) == 200
+    assert inst.invoke("f", 2) == 300
+    assert inst.invoke("f", 9) == 300  # out of range uses default
+
+
+def test_early_return():
+    inst = make("""
+    (module (func (export "f") (param i32) (result i32)
+      (if (local.get 0) (then (return (i32.const 1))))
+      (i32.const 2)))
+    """)
+    assert inst.invoke("f", 5) == 1
+    assert inst.invoke("f", 0) == 2
+
+
+def test_branch_to_function_label_returns():
+    inst = make("""
+    (module (func (export "f") (result i32)
+      (i32.const 77)
+      (br 0)))
+    """)
+    assert inst.invoke("f") == 77
+
+
+def test_nested_loops():
+    inst = make("""
+    (module (func (export "f") (param $n i32) (result i32)
+      (local $i i32) (local $j i32) (local $acc i32)
+      (block $oe (loop $ot
+        (br_if $oe (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $j (i32.const 0))
+        (block $ie (loop $it
+          (br_if $ie (i32.ge_u (local.get $j) (local.get $n)))
+          (local.set $acc (i32.add (local.get $acc) (i32.const 1)))
+          (local.set $j (i32.add (local.get $j) (i32.const 1)))
+          (br $it)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $ot)))
+      (local.get $acc)))
+    """)
+    assert inst.invoke("f", 5) == 25
+
+
+def test_select():
+    inst = make("""
+    (module (func (export "f") (param i32) (result i32)
+      (select (i32.const 11) (i32.const 22) (local.get 0))))
+    """)
+    assert inst.invoke("f", 1) == 11
+    assert inst.invoke("f", 0) == 22
+
+
+def test_unreachable_traps():
+    inst = make('(module (func (export "f") unreachable))')
+    with pytest.raises(Trap, match="unreachable"):
+        inst.invoke("f")
+
+
+def test_direct_call_and_recursion():
+    inst = make("""
+    (module
+      (func $fact (param $n i32) (result i32)
+        (if (result i32) (i32.le_s (local.get $n) (i32.const 1))
+          (then (i32.const 1))
+          (else (i32.mul (local.get $n) (call $fact (i32.sub (local.get $n) (i32.const 1)))))))
+      (func (export "fact") (param i32) (result i32) (call $fact (local.get 0))))
+    """)
+    assert inst.invoke("fact", 6) == 720
+
+
+def test_call_stack_exhaustion_traps():
+    inst = make("""
+    (module (func $loop (export "f") (call $loop)))
+    """, limits=ExecutionLimits(max_call_depth=64))
+    with pytest.raises(Trap, match="call stack"):
+        inst.invoke("f")
+
+
+def test_instruction_budget_traps():
+    inst = make("""
+    (module (func (export "spin")
+      (loop $top (br $top))))
+    """, limits=ExecutionLimits(max_instructions=1000))
+    with pytest.raises(Trap, match="budget"):
+        inst.invoke("spin")
+    assert inst.stats.total_visits <= 1002
+
+
+def test_call_indirect_dispatch_and_type_check():
+    inst = make("""
+    (module
+      (type $bin (func (param i32 i32) (result i32)))
+      (type $un (func (param i32) (result i32)))
+      (table 3 funcref)
+      (elem (i32.const 0) $add $mul $neg)
+      (func $add (param i32 i32) (result i32) (i32.add (local.get 0) (local.get 1)))
+      (func $mul (param i32 i32) (result i32) (i32.mul (local.get 0) (local.get 1)))
+      (func $neg (param i32) (result i32) (i32.sub (i32.const 0) (local.get 0)))
+      (func (export "bin") (param i32 i32 i32) (result i32)
+        (call_indirect (type $bin) (local.get 1) (local.get 2) (local.get 0))))
+    """)
+    assert inst.invoke("bin", 0, 3, 4) == 7
+    assert inst.invoke("bin", 1, 3, 4) == 12
+    with pytest.raises(Trap, match="type mismatch"):
+        inst.invoke("bin", 2, 3, 4)  # $neg has the wrong signature
+    with pytest.raises(Trap, match="undefined"):
+        inst.invoke("bin", 7, 1, 1)
+
+
+def test_start_function_runs_at_instantiation():
+    inst = make("""
+    (module
+      (global $g (mut i32) (i32.const 0))
+      (func $boot (global.set $g (i32.const 99)))
+      (func (export "read") (result i32) (global.get $g))
+      (start $boot))
+    """)
+    assert inst.invoke("read") == 99
+
+
+def test_end_is_visited_on_both_if_arms():
+    # the interpreter's visit semantics: 'end' joins both paths
+    source = """
+    (module (func (export "f") (param i32) (result i32)
+      (if (result i32) (local.get 0)
+        (then (i32.const 1))
+        (else (i32.const 2)))))
+    """
+    for arg in (0, 1):
+        inst = make(source)
+        inst.invoke("f", arg)
+        assert inst.stats.visits["end"] == 1
+
+
+def test_loop_header_visited_per_iteration():
+    inst = make("""
+    (module (func (export "f") (param $n i32)
+      (local $i i32)
+      (block $done (loop $top
+        (br_if $done (i32.ge_u (local.get $i) (local.get $n)))
+        (local.set $i (i32.add (local.get $i) (i32.const 1)))
+        (br $top)))))
+    """)
+    inst.invoke("f", 10)
+    assert inst.stats.visits["loop"] == 11  # n iterations + final check

@@ -1,0 +1,218 @@
+"""Tests for the interpreter's numeric semantics.
+
+Each test compiles a one-instruction WAT function and checks the Wasm spec's
+required behaviour (wrapping, signedness, trapping, NaN handling) — with
+hypothesis cross-checking the integer ALU against Python reference models.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.wasm.interpreter import Instance, Trap
+from repro.wasm.wat_parser import parse_wat
+
+i32 = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+i64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+
+
+def run1(op: str, *args, types="i32 i32", result="i32"):
+    params = " ".join(f"(param {t})" for t in types.split())
+    gets = " ".join(f"(local.get {i})" for i in range(len(types.split())))
+    module = parse_wat(
+        f'(module (func (export "f") {params} (result {result}) ({op} {gets})))'
+    )
+    return Instance(module).invoke("f", *args)
+
+
+class TestI32Arithmetic:
+    def test_add_wraps(self):
+        assert run1("i32.add", 2**31 - 1, 1) == -(2**31)
+
+    def test_sub_wraps(self):
+        assert run1("i32.sub", -(2**31), 1) == 2**31 - 1
+
+    def test_mul_wraps(self):
+        assert run1("i32.mul", 0x10000, 0x10000) == 0
+
+    def test_div_s_truncates_toward_zero(self):
+        assert run1("i32.div_s", -7, 2) == -3
+        assert run1("i32.div_s", 7, -2) == -3
+
+    def test_div_u_is_unsigned(self):
+        assert run1("i32.div_u", -1, 2) == 0x7FFFFFFF
+
+    def test_div_by_zero_traps(self):
+        with pytest.raises(Trap, match="divide by zero"):
+            run1("i32.div_s", 1, 0)
+        with pytest.raises(Trap, match="divide by zero"):
+            run1("i32.rem_u", 1, 0)
+
+    def test_div_overflow_traps(self):
+        with pytest.raises(Trap, match="overflow"):
+            run1("i32.div_s", -(2**31), -1)
+
+    def test_rem_s_sign_follows_dividend(self):
+        assert run1("i32.rem_s", -7, 2) == -1
+        assert run1("i32.rem_s", 7, -2) == 1
+
+    def test_rem_s_no_overflow_trap(self):
+        # INT_MIN % -1 is 0, not a trap (unlike division)
+        assert run1("i32.rem_s", -(2**31), -1) == 0
+
+    def test_shifts_mask_count(self):
+        assert run1("i32.shl", 1, 37) == 32  # 37 mod 32 = 5
+        assert run1("i32.shr_u", -1, 28) == 0xF
+        assert run1("i32.shr_s", -16, 2) == -4
+
+    def test_rotations(self):
+        assert run1("i32.rotl", 0x80000001, 1) == 3
+        assert run1("i32.rotr", 3, 1) == -(2**31) + 1
+
+
+class TestI32Unary:
+    def test_clz(self):
+        assert run1("i32.clz", 1, types="i32") == 31
+        assert run1("i32.clz", 0, types="i32") == 32
+        assert run1("i32.clz", -1, types="i32") == 0
+
+    def test_ctz(self):
+        assert run1("i32.ctz", 8, types="i32") == 3
+        assert run1("i32.ctz", 0, types="i32") == 32
+
+    def test_popcnt(self):
+        assert run1("i32.popcnt", 0xF0F0, types="i32") == 8
+
+    def test_eqz(self):
+        assert run1("i32.eqz", 0, types="i32") == 1
+        assert run1("i32.eqz", 5, types="i32") == 0
+
+
+class TestComparisons:
+    def test_signed_vs_unsigned(self):
+        assert run1("i32.lt_s", -1, 1) == 1
+        assert run1("i32.lt_u", -1, 1) == 0  # 0xffffffff > 1 unsigned
+        assert run1("i32.gt_u", -1, 1) == 1
+
+    def test_i64_comparison(self):
+        assert run1("i64.le_s", -(2**62), 0, types="i64 i64") == 1
+
+    def test_float_nan_comparisons(self):
+        assert run1("f64.eq", math.nan, math.nan, types="f64 f64") == 0
+        assert run1("f64.ne", math.nan, math.nan, types="f64 f64") == 1
+        assert run1("f64.lt", math.nan, 1.0, types="f64 f64") == 0
+
+
+class TestFloats:
+    def test_div_by_zero_gives_infinity(self):
+        assert run1("f64.div", 1.0, 0.0, types="f64 f64", result="f64") == math.inf
+        assert run1("f64.div", -1.0, 0.0, types="f64 f64", result="f64") == -math.inf
+
+    def test_zero_over_zero_is_nan(self):
+        assert math.isnan(run1("f64.div", 0.0, 0.0, types="f64 f64", result="f64"))
+
+    def test_min_max_nan_propagation(self):
+        assert math.isnan(run1("f64.min", math.nan, 1.0, types="f64 f64", result="f64"))
+        assert math.isnan(run1("f64.max", 1.0, math.nan, types="f64 f64", result="f64"))
+
+    def test_min_of_signed_zeros(self):
+        result = run1("f64.min", 0.0, -0.0, types="f64 f64", result="f64")
+        assert result == 0.0 and math.copysign(1.0, result) < 0
+
+    def test_sqrt(self):
+        assert run1("f64.sqrt", 9.0, types="f64", result="f64") == 3.0
+        assert math.isnan(run1("f64.sqrt", -1.0, types="f64", result="f64"))
+
+    def test_nearest_rounds_half_to_even(self):
+        assert run1("f64.nearest", 2.5, types="f64", result="f64") == 2.0
+        assert run1("f64.nearest", 3.5, types="f64", result="f64") == 4.0
+        assert run1("f64.nearest", -0.5, types="f64", result="f64") == -0.0
+
+    def test_floor_ceil_trunc(self):
+        assert run1("f64.floor", -1.2, types="f64", result="f64") == -2.0
+        assert run1("f64.ceil", -1.2, types="f64", result="f64") == -1.0
+        assert run1("f64.trunc", -1.8, types="f64", result="f64") == -1.0
+
+    def test_copysign(self):
+        assert run1("f64.copysign", 3.0, -1.0, types="f64 f64", result="f64") == -3.0
+
+    def test_f32_results_are_rounded(self):
+        # 0.1 + 0.2 in f32 differs from the f64 result
+        result = run1("f32.add", 0.1, 0.2, types="f32 f32", result="f32")
+        import struct
+        expected = struct.unpack("<f", struct.pack("<f",
+            struct.unpack("<f", struct.pack("<f", 0.1))[0]
+            + struct.unpack("<f", struct.pack("<f", 0.2))[0],
+        ))[0]
+        assert result == expected
+
+
+class TestConversions:
+    def test_wrap(self):
+        assert run1("i32.wrap_i64", 2**40 + 5, types="i64") == 5
+
+    def test_extend(self):
+        assert run1("i64.extend_i32_s", -1, types="i32", result="i64") == -1
+        assert run1("i64.extend_i32_u", -1, types="i32", result="i64") == 0xFFFFFFFF
+
+    def test_trunc_basics(self):
+        assert run1("i32.trunc_f64_s", -3.7, types="f64") == -3
+        assert run1("i32.trunc_f64_u", 3.7, types="f64") == 3
+
+    def test_trunc_nan_traps(self):
+        with pytest.raises(Trap, match="NaN"):
+            run1("i32.trunc_f64_s", math.nan, types="f64")
+
+    def test_trunc_overflow_traps(self):
+        with pytest.raises(Trap, match="overflow"):
+            run1("i32.trunc_f64_s", 3e9, types="f64")
+        with pytest.raises(Trap, match="overflow"):
+            run1("i32.trunc_f64_u", -1.0, types="f64")
+        with pytest.raises(Trap, match="overflow"):
+            run1("i32.trunc_f64_s", math.inf, types="f64")
+
+    def test_convert(self):
+        assert run1("f64.convert_i32_s", -5, types="i32", result="f64") == -5.0
+        assert run1("f64.convert_i32_u", -1, types="i32", result="f64") == 4294967295.0
+
+    def test_reinterpret_roundtrip(self):
+        bits = run1("i64.reinterpret_f64", 1.5, types="f64", result="i64")
+        assert run1("f64.reinterpret_i64", bits, types="i64", result="f64") == 1.5
+
+    def test_demote_promote(self):
+        assert run1("f64.promote_f32", 1.5, types="f32", result="f64") == 1.5
+        assert run1("f32.demote_f64", 2.5, types="f64", result="f32") == 2.5
+
+
+@given(i32, i32)
+def test_i32_add_matches_reference(a, b):
+    expected = (a + b) & 0xFFFFFFFF
+    if expected >= 2**31:
+        expected -= 2**32
+    assert run1("i32.add", a, b) == expected
+
+
+@given(i32, i32)
+def test_i32_mul_matches_reference(a, b):
+    expected = (a * b) & 0xFFFFFFFF
+    if expected >= 2**31:
+        expected -= 2**32
+    assert run1("i32.mul", a, b) == expected
+
+
+@given(i64, i64.filter(lambda v: v != 0))
+def test_i64_div_u_matches_reference(a, b):
+    ua, ub = a & (2**64 - 1), b & (2**64 - 1)
+    expected = ua // ub
+    if expected >= 2**63:
+        expected -= 2**64
+    assert run1("i64.div_u", a, b, types="i64 i64", result="i64") == expected
+
+
+@given(i32, st.integers(min_value=0, max_value=255))
+def test_i32_shl_matches_reference(a, count):
+    expected = (a << (count % 32)) & 0xFFFFFFFF
+    if expected >= 2**31:
+        expected -= 2**32
+    assert run1("i32.shl", a, count) == expected

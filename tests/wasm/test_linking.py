@@ -1,0 +1,106 @@
+"""Tests for main/side module linking (paper §4.1)."""
+
+import pytest
+
+from repro.minic import compile_source
+from repro.wasm.interpreter import Instance, LinkError
+from repro.wasm.linking import exported_functions, instantiate_side_module
+
+MAIN = """
+// the framework's statically included main module: a standard library
+int abs_i(int x) { if (x < 0) { return -x; } return x; }
+int gcd(int a, int b) {
+    a = abs_i(a);
+    b = abs_i(b);
+    while (b != 0) { int t = a % b; a = b; b = t; }
+    return a;
+}
+double hypot2(double a, double b) { return sqrt(a * a + b * b); }
+"""
+
+SIDE = """
+// a dynamically loaded workload importing library functions from main
+extern int gcd(int a, int b);
+extern double hypot2(double a, double b);
+
+int reduce_fraction(int num, int den) {
+    int g = gcd(num, den);
+    return (num / g) * 1000 + (den / g);
+}
+double diagonal(int w, int h) { return hypot2((double)w, (double)h); }
+"""
+
+
+@pytest.fixture(scope="module")
+def main_instance():
+    return Instance(compile_source(MAIN))
+
+
+def test_exported_functions_wrap_all_func_exports(main_instance):
+    library = exported_functions(main_instance)
+    assert {"abs_i", "gcd", "hypot2"} <= set(library)
+
+
+def test_side_module_calls_into_main(main_instance):
+    side = instantiate_side_module(main_instance, compile_source(SIDE))
+    assert side.invoke("reduce_fraction", 12, 18) == 2003  # 2/3
+    assert side.invoke("diagonal", 3, 4) == 5.0
+
+
+def test_side_module_has_its_own_memory(main_instance):
+    side = instantiate_side_module(main_instance, compile_source(SIDE))
+    assert side.memory is not main_instance.memory
+
+
+def test_unresolvable_import_rejected(main_instance):
+    orphan = compile_source("extern int no_such_library_fn(int x); int f(int x) { return no_such_library_fn(x); }")
+    with pytest.raises(LinkError, match="neither"):
+        instantiate_side_module(main_instance, orphan)
+
+
+def test_extra_imports_take_precedence(main_instance):
+    from repro.wasm.interpreter import HostFunction
+    from repro.wasm.types import FuncType, ValType
+
+    override = HostFunction(
+        FuncType((ValType.I32, ValType.I32), (ValType.I32,)), lambda a, b: 999, "gcd"
+    )
+    side = instantiate_side_module(
+        main_instance,
+        compile_source(SIDE),
+        extra_imports={"env": {"gcd": override}},
+    )
+    assert side.invoke("reduce_fraction", 12, 18) == 0  # 12/999=0 -> 0*1000+0
+
+
+def test_host_environment_composes_with_main_module(main_instance):
+    from repro.wasm.runtime import HostEnvironment, IOChannel
+
+    source = """
+    extern int io_read(int ptr, int len);
+    extern int gcd(int a, int b);
+    int buf[16];
+    int gcd_of_first_two_bytes(void) {
+        io_read(&buf[0], 2);
+        int word = buf[0];
+        return gcd(word & 255, (word >> 8) & 255);
+    }
+    """
+    env = HostEnvironment(IOChannel(input_data=bytes([24, 36])))
+    side = instantiate_side_module(
+        main_instance,
+        compile_source(source),
+        extra_imports=env.imports(),
+    )
+    env.bind(side)  # I/O reads and writes the side module's memory
+    assert side.invoke("gcd_of_first_two_bytes") == 12
+
+
+def test_side_module_counts_do_not_leak_into_main(main_instance):
+    before = main_instance.stats.total_visits
+    side = instantiate_side_module(main_instance, compile_source(SIDE))
+    side.invoke("reduce_fraction", 10, 4)
+    # the call into main's gcd executes in main's instance and is accounted
+    # there, not in the side module's stats
+    assert main_instance.stats.total_visits > before
+    assert side.stats.total_visits > 0

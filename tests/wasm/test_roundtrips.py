@@ -1,0 +1,115 @@
+"""Round-trip tests: WAT printer and binary codec must preserve modules."""
+
+import pytest
+
+from repro.wasm.binary import (
+    BinaryFormatError,
+    decode_module,
+    encode_module,
+    encode_s64,
+    encode_u32,
+    _Reader,
+)
+from repro.wasm.validate import validate
+from repro.wasm.wat_parser import parse_wat
+from repro.wasm.wat_printer import print_wat
+from hypothesis import given, strategies as st
+
+SAMPLE_MODULES = [
+    "(module)",
+    "(module (memory 1 4) (data (i32.const 0) \"xyz\\00\\ff\"))",
+    """
+    (module
+      (global $c (mut i64) (i64.const 0))
+      (func (export "bump") (result i64)
+        (global.set $c (i64.add (global.get $c) (i64.const 3)))
+        (global.get $c)))
+    """,
+    """
+    (module
+      (import "env" "host" (func $h (param i32) (result i32)))
+      (memory (export "memory") 1)
+      (func (export "go") (param i32) (result i32)
+        (call $h (i32.load (local.get 0)))))
+    """,
+    """
+    (module
+      (type $sig (func (param i32) (result i32)))
+      (table 2 funcref)
+      (elem (i32.const 0) $double $triple)
+      (func $double (param i32) (result i32) (i32.mul (local.get 0) (i32.const 2)))
+      (func $triple (param i32) (result i32) (i32.mul (local.get 0) (i32.const 3)))
+      (func (export "dispatch") (param i32) (param i32) (result i32)
+        (call_indirect (type $sig) (local.get 1) (local.get 0))))
+    """,
+    """
+    (module
+      (func (export "control") (param i32) (result f64)
+        (local $x f64)
+        (block $out
+          (loop $top
+            (br_if $out (i32.eqz (local.get 0)))
+            (local.set $x (f64.add (local.get $x) (f64.const 1.5)))
+            (local.set 0 (i32.sub (local.get 0) (i32.const 1)))
+            (br $top)))
+        (local.get $x)))
+    """,
+]
+
+
+@pytest.mark.parametrize("source", SAMPLE_MODULES)
+def test_wat_print_parse_roundtrip(source):
+    original = parse_wat(source)
+    validate(original)
+    reparsed = parse_wat(print_wat(original))
+    validate(reparsed)
+    # binary encoding is the canonical equality check
+    assert encode_module(reparsed) == encode_module(original)
+
+
+@pytest.mark.parametrize("source", SAMPLE_MODULES)
+def test_binary_encode_decode_roundtrip(source):
+    original = parse_wat(source)
+    blob = encode_module(original)
+    decoded = decode_module(blob)
+    validate(decoded)
+    assert encode_module(decoded) == blob
+
+
+def test_binary_rejects_bad_magic():
+    with pytest.raises(BinaryFormatError):
+        decode_module(b"\x00nope\x01\x00\x00\x00")
+
+
+def test_binary_rejects_truncation():
+    blob = encode_module(parse_wat(SAMPLE_MODULES[2]))
+    with pytest.raises(BinaryFormatError):
+        decode_module(blob[:-4])
+
+
+def test_binary_skips_custom_sections():
+    blob = encode_module(parse_wat("(module (func))"))
+    # splice in an empty custom section (id 0) after the header
+    custom = bytes([0]) + encode_u32(5) + bytes([4]) + b"name"
+    spliced = blob[:8] + custom + blob[8:]
+    decoded = decode_module(spliced)
+    assert len(decoded.funcs) == 1
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_u32_leb128_roundtrip(value):
+    reader = _Reader(encode_u32(value))
+    assert reader.u32() == value
+    assert reader.eof()
+
+
+@given(st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_s64_leb128_roundtrip(value):
+    reader = _Reader(encode_s64(value))
+    assert reader.s64() == value
+    assert reader.eof()
+
+
+def test_u32_rejects_negative():
+    with pytest.raises(ValueError):
+        encode_u32(-1)

@@ -1,0 +1,57 @@
+"""Tests for the WebAssembly type system."""
+
+import pytest
+
+from repro.wasm.types import FuncType, GlobalType, Limits, ValType
+
+
+def test_valtype_names_roundtrip():
+    for vt in ValType:
+        assert ValType.from_name(vt.value) is vt
+
+
+def test_valtype_unknown_name():
+    with pytest.raises(ValueError):
+        ValType.from_name("v128")
+
+
+def test_valtype_classification():
+    assert ValType.I32.is_int and ValType.I64.is_int
+    assert ValType.F32.is_float and ValType.F64.is_float
+    assert not ValType.F32.is_int and not ValType.I64.is_float
+
+
+def test_valtype_widths():
+    assert ValType.I32.bits == 32 and ValType.I32.byte_width == 4
+    assert ValType.F64.bits == 64 and ValType.F64.byte_width == 8
+
+
+def test_valtype_binary_codes_roundtrip():
+    for vt in ValType:
+        assert ValType.from_binary_code(vt.binary_code) is vt
+    with pytest.raises(ValueError):
+        ValType.from_binary_code(0x7B)
+
+
+def test_functype_equality_and_str():
+    a = FuncType((ValType.I32,), (ValType.I64,))
+    b = FuncType((ValType.I32,), (ValType.I64,))
+    assert a == b
+    assert "i32" in str(a) and "i64" in str(a)
+
+
+def test_limits_validation():
+    Limits(1, 4).validate(10)
+    with pytest.raises(ValueError):
+        Limits(5, 4).validate(10)
+    with pytest.raises(ValueError):
+        Limits(11).validate(10)
+    with pytest.raises(ValueError):
+        Limits(0, 11).validate(10)
+    with pytest.raises(ValueError):
+        Limits(-1).validate(10)
+
+
+def test_globaltype_defaults_immutable():
+    assert not GlobalType(ValType.I32).mutable
+    assert GlobalType(ValType.I32, mutable=True).mutable

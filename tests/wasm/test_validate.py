@@ -1,0 +1,152 @@
+"""Tests for the module validator."""
+
+import pytest
+
+from repro.wasm.validate import ValidationError, validate
+from repro.wasm.wat_parser import parse_wat
+
+
+def check(source: str):
+    validate(parse_wat(source))
+
+
+def reject(source: str, fragment: str = ""):
+    with pytest.raises(ValidationError) as excinfo:
+        check(source)
+    if fragment:
+        assert fragment in str(excinfo.value)
+
+
+def test_accepts_well_typed_function():
+    check("(module (func (param i32 i32) (result i32) (i32.add (local.get 0) (local.get 1))))")
+
+
+def test_rejects_stack_underflow():
+    reject("(module (func (result i32) i32.add))", "underflow")
+
+
+def test_rejects_type_mismatch():
+    reject("(module (func (result i32) (i32.add (i32.const 1) (i64.const 2))))", "mismatch")
+
+
+def test_rejects_leftover_values():
+    reject("(module (func (i32.const 1)))", "left on stack")
+
+
+def test_rejects_missing_result():
+    reject("(module (func (result i32) nop))")
+
+
+def test_rejects_bad_local_index():
+    reject("(module (func (local.get 3)))", "local index")
+
+
+def test_rejects_bad_global_index():
+    reject("(module (func (global.get 0)))")
+
+
+def test_rejects_set_of_immutable_global():
+    reject(
+        "(module (global i32 (i32.const 1)) (func (global.set 0 (i32.const 2))))",
+        "immutable",
+    )
+
+
+def test_accepts_set_of_mutable_global():
+    check("(module (global (mut i32) (i32.const 1)) (func (global.set 0 (i32.const 2))))")
+
+
+def test_rejects_branch_depth_out_of_range():
+    reject("(module (func (block (br 5))))", "depth")
+
+
+def test_accepts_branch_to_function_label():
+    check("(module (func (br 0)))")
+
+
+def test_if_requires_i32_condition():
+    reject("(module (func (if (i64.const 1) (then nop))))")
+
+
+def test_if_with_result_requires_else():
+    reject("(module (func (result i32) (if (result i32) (i32.const 1) (then (i32.const 2)))))")
+
+
+def test_unreachable_makes_stack_polymorphic():
+    check("(module (func (result i32) unreachable))")
+    check("(module (func (result i32) (return (i32.const 1)) i32.add))")
+
+
+def test_br_table_label_types_must_agree():
+    reject("""
+    (module (func (param i32) (result i32)
+      (block $a (result i32)
+        (block $b
+          (br_table $a $b (local.get 0) (local.get 0)))
+        (i32.const 0))))
+    """)
+
+
+def test_select_operand_types_must_match():
+    reject("(module (func (result i32) (select (i32.const 1) (i64.const 2) (i32.const 0))))")
+
+
+def test_memory_ops_require_memory():
+    reject("(module (func (result i32) (i32.load (i32.const 0))))", "memory")
+    check("(module (memory 1) (func (result i32) (i32.load (i32.const 0))))")
+
+
+def test_alignment_must_not_exceed_width():
+    reject("(module (memory 1) (func (result i32) (i32.load align=8 (i32.const 0))))", "alignment")
+
+
+def test_call_argument_types_checked():
+    reject("""
+    (module
+      (func $f (param i64))
+      (func (call $f (i32.const 1))))
+    """)
+
+
+def test_call_indirect_requires_table():
+    reject("""
+    (module
+      (type $t (func))
+      (func (call_indirect (type $t) (i32.const 0))))
+    """, "table")
+
+
+def test_multiple_memories_rejected():
+    reject("(module (memory 1) (memory 1))", "at most one memory")
+
+
+def test_multi_result_rejected():
+    reject("(module (func (result i32 i32) (i32.const 1) (i32.const 2)))", "at most one value")
+
+
+def test_start_function_must_be_nullary():
+    reject("(module (func $s (param i32)) (start $s))", "start")
+
+
+def test_duplicate_export_names_rejected():
+    reject('(module (func $a) (func $b) (export "x" (func $a)) (export "x" (func $b)))', "duplicate")
+
+
+def test_export_index_range_checked():
+    reject('(module (export "f" (func 0)))')
+
+
+def test_data_segment_requires_const_offset():
+    reject("""
+    (module (memory 1)
+      (global $g (mut i32) (i32.const 0))
+      (data (global.get $g) "x"))
+    """)
+
+
+def test_global_init_type_checked():
+    reject("(module (global i32 (i64.const 1)))")
+
+
+def test_elem_function_indices_checked():
+    reject("(module (table 1 funcref) (elem (i32.const 0) 5))")

@@ -1,0 +1,215 @@
+"""Tests for the WAT parser."""
+
+import math
+
+import pytest
+
+from repro.wasm.instructions import Instr
+from repro.wasm.types import ValType
+from repro.wasm.wat_parser import WatParseError, parse_float, parse_int, parse_wat
+
+
+def test_parse_empty_module():
+    module = parse_wat("(module)")
+    assert not module.funcs and not module.memories
+
+
+def test_parse_named_module():
+    assert parse_wat("(module $demo)").name == "demo"
+
+
+def test_int_literals():
+    assert parse_int("42", 32) == 42
+    assert parse_int("-1", 32) == 0xFFFFFFFF
+    assert parse_int("0x10", 32) == 16
+    assert parse_int("-0x10", 32) == (-16) & 0xFFFFFFFF
+    assert parse_int("1_000", 32) == 1000
+    with pytest.raises(WatParseError):
+        parse_int("0x1_0000_0000_0", 32)
+    with pytest.raises(WatParseError):
+        parse_int("zap", 32)
+
+
+def test_float_literals():
+    assert parse_float("1.5") == 1.5
+    assert parse_float("-2.0") == -2.0
+    assert parse_float("inf") == math.inf
+    assert parse_float("-inf") == -math.inf
+    assert math.isnan(parse_float("nan"))
+    assert parse_float("0x1.8p1") == 3.0
+
+
+def test_simple_function():
+    module = parse_wat("""
+    (module
+      (func $add (param $a i32) (param $b i32) (result i32)
+        local.get $a
+        local.get $b
+        i32.add))
+    """)
+    assert len(module.funcs) == 1
+    func = module.funcs[0]
+    assert func.name == "add"
+    assert [i.name for i in func.body] == ["local.get", "local.get", "i32.add"]
+    assert module.types[func.type_index].params == (ValType.I32, ValType.I32)
+
+
+def test_folded_instructions_order():
+    module = parse_wat("(module (func (result i32) (i32.add (i32.const 1) (i32.const 2))))")
+    assert [i.name for i in module.funcs[0].body] == ["i32.const", "i32.const", "i32.add"]
+
+
+def test_folded_if_with_else():
+    module = parse_wat("""
+    (module (func (param i32) (result i32)
+      (if (result i32) (local.get 0)
+        (then (i32.const 1))
+        (else (i32.const 2)))))
+    """)
+    names = [i.name for i in module.funcs[0].body]
+    assert names == ["local.get", "if", "i32.const", "else", "i32.const", "end"]
+
+
+def test_block_loop_label_resolution():
+    module = parse_wat("""
+    (module (func (param i32)
+      (block $out
+        (loop $top
+          (br_if $out (local.get 0))
+          (br $top)))))
+    """)
+    body = module.funcs[0].body
+    br_if = next(i for i in body if i.name == "br_if")
+    br = next(i for i in body if i.name == "br")
+    assert br_if.args == (1,)  # $out is one level up from inside the loop
+    assert br.args == (0,)
+
+
+def test_unfolded_body_with_end_labels():
+    module = parse_wat("""
+    (module (func (param i32) (result i32)
+      block $b (result i32)
+        local.get 0
+      end $b))
+    """)
+    assert [i.name for i in module.funcs[0].body] == ["block", "local.get", "end"]
+
+
+def test_memory_with_data_segment():
+    module = parse_wat('(module (memory 1) (data (i32.const 8) "hi\\00"))')
+    assert module.memories[0].limits.minimum == 1
+    assert module.data[0].data == b"hi\x00"
+    assert module.data[0].offset == [Instr("i32.const", (8,))]
+
+
+def test_memory_limits_max():
+    module = parse_wat("(module (memory 2 17))")
+    limits = module.memories[0].limits
+    assert limits.minimum == 2 and limits.maximum == 17
+
+
+def test_globals_and_exports():
+    module = parse_wat("""
+    (module
+      (global $g (mut i64) (i64.const 9))
+      (export "g" (global $g)))
+    """)
+    assert module.globals[0].type.mutable
+    assert module.globals[0].init == [Instr("i64.const", (9,))]
+    assert module.exports[0].kind == "global" and module.exports[0].index == 0
+
+
+def test_inline_export_on_func():
+    module = parse_wat('(module (func $f (export "run") (result i32) (i32.const 7)))')
+    assert module.exports[0].name == "run"
+    assert module.exports[0].index == 0
+
+
+def test_imports_take_index_space_precedence():
+    module = parse_wat("""
+    (module
+      (import "env" "log" (func $log (param i32)))
+      (func $main (call $log (i32.const 1))))
+    """)
+    assert module.num_imported_funcs == 1
+    call = module.funcs[0].body[-1]
+    assert call.name == "call" and call.args == (0,)
+
+
+def test_inline_import_abbreviation():
+    module = parse_wat('(module (func $ext (import "env" "x") (param i32) (result i32)))')
+    assert module.imports[0].module == "env"
+    assert module.imports[0].field == "x"
+    assert not module.funcs
+
+
+def test_table_with_elem_and_call_indirect():
+    module = parse_wat("""
+    (module
+      (type $t (func (result i32)))
+      (table 2 funcref)
+      (elem (i32.const 0) $a $b)
+      (func $a (result i32) (i32.const 1))
+      (func $b (result i32) (i32.const 2))
+      (func (export "pick") (param i32) (result i32)
+        (call_indirect (type $t) (local.get 0))))
+    """)
+    assert module.elems[0].func_indices == (0, 1)
+    assert module.tables[0].limits.minimum == 2
+
+
+def test_br_table_parsing():
+    module = parse_wat("""
+    (module (func (param i32)
+      (block $a (block $b
+        (br_table $b $a 0 (local.get 0))))))
+    """)
+    br_table = next(i for i in module.funcs[0].body if i.name == "br_table")
+    depths, default = br_table.args
+    assert depths == (0, 1) and default == 0
+
+
+def test_memarg_offsets_and_alignment():
+    module = parse_wat("""
+    (module (memory 1) (func (result i32)
+      (i32.load offset=16 align=2 (i32.const 0))))
+    """)
+    load = module.funcs[0].body[1]
+    assert load.args == (2, 16)
+
+
+def test_start_section():
+    module = parse_wat("(module (func $boot) (start $boot))")
+    assert module.start == 0
+
+
+def test_comments_are_skipped():
+    module = parse_wat("""
+    (module
+      ;; line comment
+      (; block (; nested ;) comment ;)
+      (func))
+    """)
+    assert len(module.funcs) == 1
+
+
+def test_unbalanced_parens_rejected():
+    with pytest.raises(WatParseError):
+        parse_wat("(module (func)")
+    with pytest.raises(WatParseError):
+        parse_wat("(module))")
+
+
+def test_unknown_instruction_rejected():
+    with pytest.raises(WatParseError):
+        parse_wat("(module (func i32.bogus))")
+
+
+def test_unknown_label_rejected():
+    with pytest.raises(WatParseError):
+        parse_wat("(module (func (br $nowhere)))")
+
+
+def test_string_escapes():
+    module = parse_wat('(module (memory 1) (data (i32.const 0) "\\n\\t\\\\\\22\\41"))')
+    assert module.data[0].data == b"\n\t\\\"A"

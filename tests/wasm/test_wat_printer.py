@@ -1,0 +1,105 @@
+"""Edge-case tests for the WAT printer (float formats, structure, escapes)."""
+
+import math
+
+import pytest
+
+from repro.wasm.binary import encode_module
+from repro.wasm.validate import validate
+from repro.wasm.wat_parser import parse_wat
+from repro.wasm.wat_printer import print_wat
+
+
+def roundtrip(source: str):
+    module = parse_wat(source)
+    reparsed = parse_wat(print_wat(module))
+    validate(reparsed)
+    assert encode_module(reparsed) == encode_module(module)
+    return print_wat(module)
+
+
+@pytest.mark.parametrize(
+    "literal",
+    ["0.1", "1e-10", "-0.0", "3.141592653589793", "1e300", "-1e300", "inf", "-inf", "nan"],
+)
+def test_f64_literals_roundtrip(literal):
+    roundtrip(f'(module (func (export "c") (result f64) (f64.const {literal})))')
+
+
+def test_f32_literal_precision_preserved():
+    text = roundtrip('(module (func (result f32) (f32.const 0.1)))')
+    module = parse_wat(text)
+    import struct
+
+    expected = struct.unpack("<f", struct.pack("<f", 0.1))[0]
+    # the binary encoding pins the f32 value exactly
+    from repro.wasm.binary import decode_module
+
+    decoded = decode_module(encode_module(module))
+    assert decoded.funcs[0].body[0].args[0] == expected
+
+
+def test_negative_int_immediates_print_signed():
+    text = print_wat(parse_wat("(module (func (result i32) (i32.const -5)))"))
+    assert "i32.const -5" in text
+
+
+def test_large_unsigned_i64_roundtrips():
+    roundtrip(f'(module (func (result i64) (i64.const {2**63 - 1})))')
+    roundtrip('(module (func (result i64) (i64.const -9223372036854775808)))')
+
+
+def test_indentation_tracks_block_structure():
+    text = print_wat(parse_wat("""
+    (module (func (param i32)
+      (block (loop (br_if 1 (local.get 0)) (br 0)))))
+    """))
+    lines = [l for l in text.splitlines() if l.strip() in ("block", "loop")]
+    block_indent = next(l for l in text.splitlines() if l.strip() == "block")
+    loop_indent = next(l for l in text.splitlines() if l.strip() == "loop")
+    assert len(loop_indent) - len(loop_indent.lstrip()) > len(block_indent) - len(block_indent.lstrip())
+
+
+def test_data_segment_escaping():
+    source = '(module (memory 1) (data (i32.const 0) "a\\00\\ff\\22\\5c"))'
+    module = parse_wat(source)
+    reparsed = parse_wat(print_wat(module))
+    assert reparsed.data[0].data == module.data[0].data == b'a\x00\xff"\\'
+
+
+def test_memarg_offset_printed_and_reparsed():
+    roundtrip("""
+    (module (memory 1)
+      (func (result i32) (i32.load offset=1024 align=2 (i32.const 0))))
+    """)
+
+
+def test_br_table_immediates():
+    text = roundtrip("""
+    (module (func (param i32)
+      (block (block (br_table 0 1 0 (local.get 0))))))
+    """)
+    assert "br_table 0 1 0" in text
+
+
+def test_start_and_elem_sections_roundtrip():
+    roundtrip("""
+    (module
+      (table 2 funcref)
+      (func $a)
+      (func $b)
+      (elem (i32.const 0) $a $b)
+      (start $a))
+    """)
+
+
+def test_imported_entities_printed():
+    text = roundtrip("""
+    (module
+      (import "env" "f" (func (param i32)))
+      (import "env" "m" (memory 1))
+      (import "env" "g" (global i64))
+      (func (call 0 (i32.wrap_i64 (global.get 0)))))
+    """)
+    assert '(import "env" "f"' in text
+    assert '(import "env" "m" (memory 1))' in text

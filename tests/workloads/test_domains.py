@@ -1,0 +1,152 @@
+"""Tests for the domain workloads: msieve, PC, subset-sum, darknet, imaging."""
+
+import pytest
+
+from repro.wasm.interpreter import Instance
+from repro.wasm.runtime import HostEnvironment, IOChannel
+from repro.workloads import DARKNET, ECHO, MSIEVE, PC_ALGORITHM, RESIZE, SUBSET_SUM
+from repro.workloads.imaging import synthetic_image
+
+
+class TestMSieve:
+    def _factorize(self, n: int):
+        instance = Instance(MSIEVE.compile().clone())
+        return instance.invoke("factorize", n)
+
+    def test_small_composite(self):
+        # 60 = 2^2 * 3 * 5 -> checksum 2*2*3*5 mod p
+        assert self._factorize(60) == 60
+
+    def test_semiprime(self):
+        # 101 * 103: both factors survive as mod-p residues
+        assert self._factorize(101 * 103) == (101 * 103) % 1000003
+
+    def test_larger_semiprime_via_rho(self):
+        p, q = 104729, 130043  # beyond the trial-division bound
+        assert self._factorize(p * q) == (p % 1000003) * (q % 1000003) % 1000003
+
+    def test_prime_input(self):
+        assert self._factorize(1299709) == 1299709 % 1000003
+
+    def test_power_of_two(self):
+        assert self._factorize(1 << 20) == pow(2, 20, 1000003)
+
+
+class TestPCAlgorithm:
+    def test_returns_plausible_edge_count(self):
+        instance = Instance(PC_ALGORITHM.compile().clone())
+        edges = instance.invoke("skeleton", 20260705)
+        # 10 variables -> at most 45 edges; the chain structure keeps a few
+        assert 0 < edges <= 45
+
+    def test_deterministic_for_seed(self):
+        a = Instance(PC_ALGORITHM.compile().clone()).invoke("skeleton", 123)
+        b = Instance(PC_ALGORITHM.compile().clone()).invoke("skeleton", 123)
+        assert a == b
+
+    def test_different_seeds_can_differ(self):
+        results = {
+            Instance(PC_ALGORITHM.compile().clone()).invoke("skeleton", seed)
+            for seed in (1, 99, 4242, 31337)
+        }
+        assert len(results) >= 2
+
+
+class TestSubsetSum:
+    def _search(self, seed, n, target):
+        return Instance(SUBSET_SUM.compile().clone()).invoke("search", seed, n, target)
+
+    def test_counts_match_python_reference(self):
+        from itertools import combinations
+
+        seed, n, target = 4242, 10, 120
+        # regenerate the same weights with the same LCG
+        state = seed
+        weights = []
+        for _ in range(n):
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            weights.append((state % 97) + 1)
+        expected = sum(
+            1
+            for r in range(n + 1)
+            for combo in combinations(weights, r)
+            if sum(combo) == target
+        )
+        # note: combinations treats equal weights at distinct indices as
+        # distinct, matching the bitmask enumeration
+        assert self._search(seed, n, target) == expected
+
+    def test_zero_target_counts_empty_subset(self):
+        assert self._search(7, 8, 0) >= 1
+
+    def test_unreachable_target(self):
+        assert self._search(7, 6, 100000) == 0
+
+
+class TestDarknet:
+    def test_classifies_into_range(self):
+        label = Instance(DARKNET.compile().clone()).invoke("classify", 7, 99)
+        assert 0 <= label < 8
+
+    def test_deterministic(self):
+        a = Instance(DARKNET.compile().clone()).invoke("classify", 7, 99)
+        b = Instance(DARKNET.compile().clone()).invoke("classify", 7, 99)
+        assert a == b
+
+    def test_different_weights_produce_different_labels_somewhere(self):
+        # with fixed weights the dense layer dominates the argmax, so vary
+        # the network seed rather than the image seed
+        labels = {
+            Instance(DARKNET.compile().clone()).invoke("classify", seed, 99)
+            for seed in (7, 8, 9)
+        }
+        assert len(labels) >= 2
+
+
+class TestImaging:
+    def test_echo_reflects_input(self):
+        env = HostEnvironment(IOChannel(input_data=b"request body"))
+        instance = env.instantiate(ECHO.compile().clone())
+        assert instance.invoke("echo") == 12
+        assert bytes(env.channel.output) == b"request body"
+
+    def test_echo_empty_input(self):
+        env = HostEnvironment(IOChannel(input_data=b""))
+        instance = env.instantiate(ECHO.compile().clone())
+        assert instance.invoke("echo") == 0
+
+    def test_resize_consumes_input_and_emits_64x64(self):
+        image = synthetic_image(64)
+        env = HostEnvironment(IOChannel(input_data=image))
+        instance = env.instantiate(RESIZE.compile().clone())
+        consumed = instance.invoke("resize", 64)
+        assert consumed == 64 * 64
+        assert len(env.channel.output) == 4096  # 64*64 bytes packed
+
+    def test_resize_identity_at_native_size(self):
+        """Resizing a 64x64 image to 64x64 reproduces the pixels."""
+        image = synthetic_image(64, seed=5)
+        env = HostEnvironment(IOChannel(input_data=image))
+        instance = env.instantiate(RESIZE.compile().clone())
+        instance.invoke("resize", 64)
+        assert bytes(env.channel.output) == image
+
+    def test_resize_downscales_constant_image_losslessly(self):
+        image = bytes([77]) * (128 * 128)
+        env = HostEnvironment(IOChannel(input_data=image))
+        instance = env.instantiate(RESIZE.compile().clone())
+        instance.invoke("resize", 128)
+        assert set(env.channel.output) == {77}
+
+    def test_resize_compute_scales_with_input(self):
+        def visits(px: int) -> int:
+            env = HostEnvironment(IOChannel(input_data=synthetic_image(px)))
+            instance = env.instantiate(RESIZE.compile().clone())
+            instance.invoke("resize", px)
+            return instance.stats.total_visits
+
+        assert visits(128) > visits(64)  # the decode pass scales
+
+    def test_synthetic_image_deterministic(self):
+        assert synthetic_image(32, seed=9) == synthetic_image(32, seed=9)
+        assert synthetic_image(32, seed=9) != synthetic_image(32, seed=10)
