@@ -1,0 +1,105 @@
+"""Interpreter throughput — legacy per-instruction loop vs. pre-decoded engine.
+
+Times both engines on a set of PolyBench kernels and reports wall-clock
+instructions/second plus the speedup ratio.  The pre-decoded threaded
+dispatcher (``repro.wasm.predecode``) must deliver >= 3x on at least two
+kernels — that is the acceptance bar for shipping it as the default engine.
+
+Artefacts:
+
+* ``benchmarks/results/interp_speed.txt`` — the human-readable table;
+* ``BENCH_interp.json`` (repo root) — machine-readable per-kernel numbers
+  for CI/regression tracking.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_interp_speed.py -q -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_table, record
+from repro.wasm.interpreter import Instance
+from repro.workloads import POLYBENCH_KERNELS
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+#: A spread of kernel shapes: dense linalg (gemm, 2mm), stencils (jacobi-1d,
+#: jacobi-2d), triangular solve (trisolv) and a reduction-heavy one (atax).
+KERNELS = ["gemm", "2mm", "jacobi-1d", "jacobi-2d", "trisolv", "atax"]
+
+
+def _time_engine(name: str, engine: str) -> tuple[float, int]:
+    """Run one kernel under one engine; return (seconds, executed)."""
+    spec = POLYBENCH_KERNELS[name]
+    instance = Instance(spec.compile().clone(), engine=engine)
+    for fn, args in spec.setup:
+        instance.invoke(fn, *args)
+    start = time.perf_counter()
+    instance.invoke(spec.run[0], *spec.run[1])
+    elapsed = time.perf_counter() - start
+    return elapsed, instance.stats.executed
+
+
+@pytest.fixture(scope="module")
+def speed_rows():
+    rows = []
+    results = {}
+    for name in KERNELS:
+        legacy_s, executed = _time_engine(name, "legacy")
+        pre_s, executed_pre = _time_engine(name, "predecode")
+        assert executed_pre == executed, "engines disagree on instruction count"
+        legacy_ips = executed / legacy_s
+        pre_ips = executed / pre_s
+        speedup = pre_ips / legacy_ips
+        rows.append(
+            [
+                name,
+                executed,
+                f"{legacy_ips / 1e6:.2f}",
+                f"{pre_ips / 1e6:.2f}",
+                f"{speedup:.2f}x",
+            ]
+        )
+        results[name] = {
+            "executed": executed,
+            "legacy_seconds": round(legacy_s, 6),
+            "predecode_seconds": round(pre_s, 6),
+            "legacy_ips": round(legacy_ips),
+            "predecode_ips": round(pre_ips),
+            "speedup": round(speedup, 3),
+        }
+    (REPO_ROOT / "BENCH_interp.json").write_text(
+        json.dumps({"kernels": results}, indent=2) + "\n"
+    )
+    return rows
+
+
+def test_interp_speed_table(speed_rows, benchmark):
+    emit_table(
+        "interp_speed",
+        "Interpreter throughput: legacy loop vs. pre-decoded engine "
+        "(Minstr/s, wall clock)",
+        ["kernel", "instructions", "legacy Mi/s", "predecode Mi/s", "speedup"],
+        speed_rows,
+    )
+    record(benchmark)
+
+
+def test_predecode_speedup_at_least_3x_on_two_kernels(speed_rows, benchmark):
+    speedups = {row[0]: float(row[4].rstrip("x")) for row in speed_rows}
+    fast_enough = [k for k, s in speedups.items() if s >= 3.0]
+    assert len(fast_enough) >= 2, f"speedups too low: {speedups}"
+    record(benchmark)
+
+
+def test_bench_json_written(speed_rows, benchmark):
+    data = json.loads((REPO_ROOT / "BENCH_interp.json").read_text())
+    assert set(data["kernels"]) == set(KERNELS)
+    for entry in data["kernels"].values():
+        assert entry["predecode_ips"] > 0 and entry["legacy_ips"] > 0
+    record(benchmark)

@@ -22,7 +22,7 @@ from repro.instrument import instrument_module
 from repro.instrument.weights import UNIT_WEIGHTS, cycle_weight_table
 from repro.perf.model import Deployment, PerformanceModel, WorkloadRun
 from repro.wasm.binary import encode_module
-from repro.wasm.interpreter import Instance
+from repro.wasm.interpreter import ENGINES, Instance
 from repro.wasm.validate import validate
 from repro.wasm.wat_parser import parse_wat
 from repro.wasm.wat_printer import print_wat
@@ -71,7 +71,7 @@ def cmd_instrument(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     module = _load_module(args.module)
-    instance = Instance(module)
+    instance = Instance(module, engine=args.engine)
     value = instance.invoke(args.invoke, *_parse_args_list(args.args))
     print(f"result: {value}")
     stats = instance.stats
@@ -163,6 +163,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--invoke", required=True)
     p.add_argument("--args", nargs="*", default=[])
     p.add_argument("--top", type=int, default=0, help="show N hottest instructions")
+    p.add_argument("--engine", choices=ENGINES, default=None,
+                   help="execution engine (default: pre-decoded threaded dispatch)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("meter", help="price a run across the deployment ladder")

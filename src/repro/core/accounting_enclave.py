@@ -57,6 +57,7 @@ class AccountingEnclave(Enclave):
         key_bits: int = 512,
         key_seed: int = 23,
         limits: ExecutionLimits | None = None,
+        engine: str | None = None,
     ):
         super().__init__(
             "accounting-enclave",
@@ -72,6 +73,11 @@ class AccountingEnclave(Enclave):
         self.weight_table = weight_table
         self.memory_policy = memory_policy
         self.limits = limits or ExecutionLimits()
+        #: Wasm execution engine used for workload invocations ("predecode"
+        #: or "legacy"; None picks the interpreter default).  The injected
+        #: counter verification is engine-independent — the differential
+        #: tests pin both engines to identical ExecutionStats.
+        self.engine = engine
         self.lkl = SGXLKL()
         self._signing_key: RSAKeyPair = rsa_generate(key_bits, seed=key_seed)
         self.log = ResourceUsageLog(self._signing_key)
@@ -158,7 +164,7 @@ class AccountingEnclave(Enclave):
                 progress_interval=progress_interval,
                 progress_callback=report_progress,
             )
-        instance = env.instantiate(self._module, limits=limits)
+        instance = env.instantiate(self._module, limits=limits, engine=self.engine)
 
         trapped = False
         trap_message = ""

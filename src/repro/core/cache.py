@@ -6,6 +6,11 @@ keyed by the *input* module hash together with the IE identity (measurement
 covers level + weight table), and stores the instrumented module bytes plus
 the signed evidence — everything an accounting enclave needs to re-admit the
 workload without re-running the IE.
+
+Under FaaS-style churn (every distinct tenant module adds an entry) the
+cache is bounded: with ``max_entries`` set it evicts least-recently-used
+entries, and :meth:`InstrumentationCache.stats` exposes hit/miss/eviction
+counters so operators can size it.
 """
 
 from __future__ import annotations
@@ -31,11 +36,24 @@ class _CacheEntry:
 
 @dataclass
 class InstrumentationCache:
-    """Caches IE outputs keyed by (input hash, IE measurement)."""
+    """Caches IE outputs keyed by (input hash, IE measurement).
+
+    ``max_entries`` bounds the cache with LRU eviction: ``None`` (the
+    default) keeps it unbounded, matching the original behaviour.  Entry
+    order in the backing dict is recency order — a hit re-inserts the entry
+    at the most-recently-used end.
+    """
 
     ie: InstrumentationEnclave
+    max_entries: int | None = None
     _entries: dict[tuple[bytes, bytes], _CacheEntry] = field(default_factory=dict)
     misses: int = 0
+    _hit_count: int = field(default=0, repr=False)
+    _evictions: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.max_entries is not None and self.max_entries <= 0:
+            raise ValueError("max_entries must be positive (or None for unbounded)")
 
     def instrument(self, module: Module) -> tuple[Module, InstrumentationEvidence, str]:
         """Return (instrumented module, evidence, counter export), cached.
@@ -53,14 +71,39 @@ class InstrumentationCache:
                 evidence=evidence,
                 counter_export=result.counter_export,
             )
+            if self.max_entries is not None and len(self._entries) >= self.max_entries:
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+                self._evictions += 1
             self._entries[key] = entry
         else:
             entry.hits += 1
+            self._hit_count += 1
+            # refresh recency: move the entry to the MRU end
+            del self._entries[key]
+            self._entries[key] = entry
         return decode_module(entry.module_bytes), entry.evidence, entry.counter_export
 
     @property
     def hits(self) -> int:
-        return sum(entry.hits for entry in self._entries.values())
+        """Cumulative hit count (survives eviction of the entries that hit)."""
+        return self._hit_count
+
+    @property
+    def evictions(self) -> int:
+        return self._evictions
+
+    def stats(self) -> dict[str, int | float | None]:
+        """Operational counters: hits, misses, evictions, occupancy."""
+        lookups = self._hit_count + self.misses
+        return {
+            "hits": self._hit_count,
+            "misses": self.misses,
+            "evictions": self._evictions,
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hit_rate": (self._hit_count / lookups) if lookups else 0.0,
+        }
 
     def __len__(self) -> int:
         return len(self._entries)

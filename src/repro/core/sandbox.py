@@ -55,6 +55,7 @@ class SandboxConfig:
     pricing: PricingPolicy = field(default_factory=PricingPolicy)
     max_instructions: int | None = None  # the sandbox's resource cap
     attestation_nonce: bytes = b"acctee-deploy-nonce"
+    engine: str | None = None  # Wasm execution engine ("predecode"/"legacy")
 
     def weight_table(self) -> WeightTable:
         return cycle_weight_table() if self.weighted else UNIT_WEIGHTS
@@ -119,6 +120,7 @@ class TwoWaySandbox:
             weight_table=weight_table,
             memory_policy=config.memory_policy,
             limits=ExecutionLimits(max_instructions=config.max_instructions),
+            engine=config.engine,
         )
         platform.launch(ae)
         qe = QuotingEnclave()

@@ -183,6 +183,27 @@ BLOCK_TERMINATORS: frozenset[str] = frozenset(
      "block", "loop"}
 )
 
+#: Instructions the pre-decoded engine executes one at a time rather than
+#: inside a batched straight-line segment: every control transfer (a segment
+#: may not span a jump source or target) plus ``memory.grow``, whose
+#: ``grow_history`` entries record the exact instruction count at grow time.
+SEGMENT_BARRIERS: frozenset[str] = frozenset(
+    {"block", "loop", "if", "else", "end", "br", "br_if", "br_table",
+     "return", "call", "call_indirect", "unreachable", "memory.grow"}
+)
+
+#: Non-control instructions that can raise a runtime :class:`Trap`: memory
+#: accesses (out-of-bounds), integer division/remainder (zero divisor or
+#: overflow) and float-to-int truncation (NaN or overflow).  The pre-decoded
+#: engine tracks the in-segment position of these so a mid-segment trap can
+#: be attributed to the exact instruction (visit counts stay precise).
+TRAPPING_INSTRUCTIONS: frozenset[str] = frozenset(
+    {op.name for op in _ops() if op.category is Category.MEMORY}
+    | {f"{p}.{s}" for p in ("i32", "i64") for s in ("div_s", "div_u", "rem_s", "rem_u")}
+    | {name for name in (f"{p}.trunc_f{w}_{sg}" for p in ("i32", "i64")
+                         for w in ("32", "64") for sg in ("s", "u"))}
+)
+
 #: Plain computational instructions: constants, comparisons, numeric
 #: operators and conversions — excluding control flow, memory accesses and
 #: administrative (variable/parametric) instructions.  Exactly the 127

@@ -22,6 +22,7 @@ The CFG builder in :mod:`repro.instrument.cfg` mirrors exactly these rules.
 from __future__ import annotations
 
 import math
+import os
 import struct
 from collections import Counter
 from dataclasses import dataclass, field
@@ -36,6 +37,15 @@ from repro.wasm.types import FuncType, GlobalType, ValType
 
 class Trap(Exception):
     """A WebAssembly trap: execution aborts, no result is produced."""
+
+
+#: Engine used when ``Instance(engine=None)``: the pre-decoded
+#: threaded-dispatch engine (:mod:`repro.wasm.predecode`) unless overridden
+#: via the ``REPRO_WASM_ENGINE`` environment variable.
+DEFAULT_ENGINE = os.environ.get("REPRO_WASM_ENGINE", "predecode")
+
+#: Recognised values for ``Instance(engine=...)``.
+ENGINES = ("predecode", "legacy")
 
 
 class LinkError(Exception):
@@ -259,6 +269,12 @@ class Instance:
     ``imports`` maps ``module -> field -> object`` where objects are
     :class:`HostFunction`, :class:`LinearMemory`, :class:`GlobalInstance`
     or :class:`TableInstance`.
+
+    ``engine`` selects the execution engine: ``"predecode"`` (the default;
+    see :mod:`repro.wasm.predecode`) compiles every function body once at
+    instantiation into a flat handler array with per-basic-block visit
+    batching, ``"legacy"`` keeps the original per-instruction string-dispatch
+    loop.  Both produce identical :class:`ExecutionStats`.
     """
 
     def __init__(
@@ -267,6 +283,7 @@ class Instance:
         imports: dict[str, dict[str, object]] | None = None,
         cost_model: CostModel | None = None,
         limits: ExecutionLimits | None = None,
+        engine: str | None = None,
     ):
         self.module = module
         self.cost_model = cost_model
@@ -350,6 +367,19 @@ class Instance:
         ]
         self._call_depth = 0
 
+        # -- execution engine
+        engine = engine or DEFAULT_ENGINE
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self.engine = engine
+        if engine == "predecode":
+            from repro.wasm.predecode import PredecodedEngine
+
+            self._engine = PredecodedEngine(self)
+            self._engine.compile_all()
+        else:
+            self._engine = None
+
         if module.start is not None:
             self.call_function(module.start, [])
 
@@ -430,6 +460,8 @@ class Instance:
             raise Trap("call stack exhausted")
         self._call_depth += 1
         try:
+            if self._engine is not None:
+                return self._engine.exec_function(func_index - n_imported, args)
             return self._exec_function(func_index - n_imported, args)
         finally:
             self._call_depth -= 1

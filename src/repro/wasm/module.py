@@ -127,6 +127,14 @@ class Module:
             type_index = self.funcs[defined].type_index
         return self.types[type_index]
 
+    def func_param_count(self, func_index: int) -> int:
+        """Number of parameters of any function index (imports first).
+
+        The pre-decoded engine bakes this into ``call`` entries so argument
+        popping needs no type lookup in the hot loop.
+        """
+        return len(self.func_type(func_index).params)
+
     def global_type(self, global_index: int) -> GlobalType:
         """Resolve the :class:`GlobalType` of any global index (imports first)."""
         n_imp = self.num_imported_globals

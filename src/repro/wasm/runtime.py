@@ -133,9 +133,17 @@ class HostEnvironment:
             }
         }
 
-    def instantiate(self, module: Module, **kwargs) -> Instance:
-        """Instantiate ``module`` against this environment's imports."""
-        instance = Instance(module, imports=self.imports(), **kwargs)
+    def instantiate(
+        self, module: Module, engine: str | None = None, **kwargs
+    ) -> Instance:
+        """Instantiate ``module`` against this environment's imports.
+
+        ``engine`` selects the execution engine (``"predecode"`` or
+        ``"legacy"``, defaulting to the interpreter-wide default) — the FaaS
+        and volunteer scenarios thread it through so throughput experiments
+        can compare both engines.
+        """
+        instance = Instance(module, imports=self.imports(), engine=engine, **kwargs)
         self._instance = instance
         return instance
 

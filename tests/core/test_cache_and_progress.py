@@ -70,6 +70,63 @@ class TestInstrumentationCache:
         assert instance.global_value(counter_export) > 0
 
 
+class TestCacheBounds:
+    def _sources(self, n):
+        return [f"int f{i}(void) {{ return {i}; }}" for i in range(n)]
+
+    def test_lru_eviction_under_churn(self, ie):
+        cache = InstrumentationCache(ie, max_entries=2)
+        for src in self._sources(4):
+            cache.instrument(compile_source(src))
+        assert len(cache) == 2
+        stats = cache.stats()
+        assert stats["evictions"] == 2
+        assert stats["misses"] == 4
+        assert stats["entries"] == 2
+        assert stats["max_entries"] == 2
+
+    def test_hit_refreshes_recency(self, ie):
+        cache = InstrumentationCache(ie, max_entries=2)
+        a, b, c = (compile_source(src) for src in self._sources(3))
+        cache.instrument(a)
+        cache.instrument(b)
+        cache.instrument(a)  # a becomes most recently used
+        cache.instrument(c)  # evicts b, not a
+        assert cache.stats()["evictions"] == 1
+        cache.instrument(a)  # still cached
+        assert cache.misses == 3
+        assert cache.hits == 2
+
+    def test_evicted_entry_is_reinstrumented_on_return(self, ie):
+        cache = InstrumentationCache(ie, max_entries=1)
+        a, b = (compile_source(src) for src in self._sources(2))
+        cache.instrument(a)
+        cache.instrument(b)  # evicts a
+        cache.instrument(a)  # miss again
+        assert cache.misses == 3
+        assert cache.stats()["evictions"] == 2
+
+    def test_hit_count_survives_eviction(self, ie):
+        cache = InstrumentationCache(ie, max_entries=1)
+        a, b = (compile_source(src) for src in self._sources(2))
+        cache.instrument(a)
+        cache.instrument(a)
+        cache.instrument(b)  # evicts a, whose hit must not vanish
+        assert cache.hits == 1
+        assert cache.stats()["hit_rate"] == pytest.approx(1 / 3)
+
+    def test_unbounded_by_default(self, ie):
+        cache = InstrumentationCache(ie)
+        for src in self._sources(5):
+            cache.instrument(compile_source(src))
+        assert len(cache) == 5
+        assert cache.stats()["evictions"] == 0
+
+    def test_rejects_nonpositive_bound(self, ie):
+        with pytest.raises(ValueError):
+            InstrumentationCache(ie, max_entries=0)
+
+
 class TestProgressReports:
     def test_periodic_entries_appended(self, ie):
         ae = AccountingEnclave(

@@ -1,0 +1,163 @@
+"""Differential pinning: the pre-decoded engine vs. the legacy loop.
+
+The pre-decoded threaded-dispatch engine (:mod:`repro.wasm.predecode`) must
+be an *observationally identical* replacement for the legacy per-instruction
+loop: same return values, same traps, and byte-identical
+:class:`~repro.wasm.interpreter.ExecutionStats` — the stats are AccTEE's
+accounting ground truth, so any divergence is a billing bug, not just a perf
+bug.  This suite runs every workload entry point in :mod:`repro.workloads`
+under both engines (raw and at every instrumentation level) and compares the
+full stats record.
+
+Cycle totals are compared exactly: all per-instruction cycle weights are
+dyadic rationals (x.0 / x.5), so floating-point accumulation is exact and
+independent of summation order.  The cache-hierarchy model introduces one
+non-dyadic constant (the store-miss write-allocate term), so the hierarchy
+run asserts exact equality of everything except cycles, which must agree to
+1 ulp-scale relative tolerance, plus exact per-level hit/miss counts.
+"""
+
+import math
+
+import pytest
+
+from repro.instrument import instrument_module
+from repro.wasm.costmodel import CostModel, MemoryHierarchy
+from repro.wasm.interpreter import ExecutionStats, Instance
+from repro.wasm.runtime import HostEnvironment, IOChannel
+from repro.workloads import (
+    DARKNET,
+    ECHO,
+    MSIEVE,
+    PC_ALGORITHM,
+    POLYBENCH_KERNELS,
+    RESIZE,
+    SUBSET_SUM,
+)
+from repro.workloads.imaging import synthetic_image
+
+ALL_WORKLOADS = {
+    **POLYBENCH_KERNELS,
+    MSIEVE.name: MSIEVE,
+    PC_ALGORITHM.name: PC_ALGORITHM,
+    SUBSET_SUM.name: SUBSET_SUM,
+    DARKNET.name: DARKNET,
+    ECHO.name: ECHO,
+    RESIZE.name: RESIZE,
+}
+
+#: Representative subset for the (3 levels x 2 engines) instrumented sweep
+#: and the cost-model sweep — one linalg kernel, one stencil, one solver,
+#: one branchy domain workload and one I/O workload.
+REPRESENTATIVE = ["gemm", "jacobi-1d", "trisolv", "subset-sum", "echo"]
+
+LEVELS = ["naive", "flow-based", "loop-based"]
+
+
+def _stats_record(stats: ExecutionStats) -> dict:
+    """Every observable field of the stats, for exact comparison."""
+    return {
+        "visits": stats.visits,
+        "executed": stats.executed,
+        "cycles": stats.cycles,
+        "loads": stats.loads,
+        "stores": stats.stores,
+        "bytes_loaded": stats.bytes_loaded,
+        "bytes_stored": stats.bytes_stored,
+        "calls": stats.calls,
+        "host_calls": stats.host_calls,
+        "grow_history": stats.grow_history,
+    }
+
+
+def _run(spec, engine: str, level: str | None = None, cost_model=None):
+    module = spec.compile().clone()
+    if level is not None:
+        module = instrument_module(module, level).module
+    if spec.uses_io:
+        data = synthetic_image(64) if spec.name == "resize" else b"differential body"
+        env = HostEnvironment(IOChannel(input_data=data))
+        instance = env.instantiate(module, engine=engine, cost_model=cost_model)
+    else:
+        instance = Instance(module, engine=engine, cost_model=cost_model)
+    for name, args in spec.setup:
+        instance.invoke(name, *args)
+    value = instance.invoke(spec.run[0], *spec.run[1])
+    return value, instance
+
+
+@pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
+def test_raw_stats_identical(name):
+    spec = ALL_WORKLOADS[name]
+    value_legacy, inst_legacy = _run(spec, "legacy")
+    value_pre, inst_pre = _run(spec, "predecode")
+    assert value_pre == value_legacy
+    assert _stats_record(inst_pre.stats) == _stats_record(inst_legacy.stats)
+
+
+@pytest.mark.parametrize("level", LEVELS)
+@pytest.mark.parametrize("name", REPRESENTATIVE)
+def test_instrumented_stats_identical(name, level):
+    """Both engines agree on every instrumentation level's injected counters
+    *and* on the visit counts of the instrumented module itself."""
+    spec = ALL_WORKLOADS[name]
+    value_legacy, inst_legacy = _run(spec, "legacy", level=level)
+    value_pre, inst_pre = _run(spec, "predecode", level=level)
+    assert value_pre == value_legacy
+    assert _stats_record(inst_pre.stats) == _stats_record(inst_legacy.stats)
+    # the injected counter (an exported global) must also agree
+    counters_legacy = [g.value for g in inst_legacy.globals]
+    counters_pre = [g.value for g in inst_pre.globals]
+    assert counters_pre == counters_legacy
+
+
+@pytest.mark.parametrize("name", REPRESENTATIVE)
+def test_cycle_accounting_identical(name):
+    """With the (dyadic) cycle table charged, cycles are byte-identical."""
+    spec = ALL_WORKLOADS[name]
+    _, inst_legacy = _run(spec, "legacy", cost_model=CostModel())
+    _, inst_pre = _run(spec, "predecode", cost_model=CostModel())
+    assert _stats_record(inst_pre.stats) == _stats_record(inst_legacy.stats)
+    assert inst_pre.stats.cycles > 0
+
+
+def test_cache_hierarchy_accounting_agrees():
+    """With the full memory hierarchy, per-level hit/miss counts are exact
+    and cycle totals agree to float-accumulation tolerance."""
+    spec = ALL_WORKLOADS["gemm"]
+    _, inst_legacy = _run(spec, "legacy", cost_model=CostModel(hierarchy=MemoryHierarchy()))
+    _, inst_pre = _run(spec, "predecode", cost_model=CostModel(hierarchy=MemoryHierarchy()))
+    legacy_record = _stats_record(inst_legacy.stats)
+    pre_record = _stats_record(inst_pre.stats)
+    legacy_cycles = legacy_record.pop("cycles")
+    pre_cycles = pre_record.pop("cycles")
+    assert pre_record == legacy_record
+    assert math.isclose(pre_cycles, legacy_cycles, rel_tol=1e-12)
+    assert (
+        inst_pre.cost_model.hierarchy.stats == inst_legacy.cost_model.hierarchy.stats
+    )
+
+
+def test_mid_segment_trap_stats_identical():
+    """A trap inside a batched segment rolls back the uncharged suffix."""
+    from repro.wasm.interpreter import Trap
+    from repro.wasm.wat_parser import parse_wat
+
+    wat = """
+    (module (func (export "boom") (param i32) (result i32)
+      (local i32)
+      (local.set 1 (i32.const 40))
+      (local.set 1 (i32.add (local.get 1) (i32.const 2)))
+      (local.set 1 (i32.div_u (local.get 1) (local.get 0)))
+      (local.set 1 (i32.mul (local.get 1) (i32.const 7)))
+      (local.get 1)))
+    """
+    records = {}
+    for engine in ("legacy", "predecode"):
+        inst = Instance(parse_wat(wat), engine=engine)
+        with pytest.raises(Trap, match="divide by zero"):
+            inst.invoke("boom", 0)
+        records[engine] = _stats_record(inst.stats)
+    assert records["predecode"] == records["legacy"]
+    # the instructions after the division were never visited
+    assert "i32.mul" not in records["predecode"]["visits"]

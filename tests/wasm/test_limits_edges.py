@@ -1,0 +1,115 @@
+"""Pinned budget/progress boundary semantics, identical under both engines.
+
+These are the invariants the pre-decoded engine's basic-block batching must
+not break (it falls back to per-instruction stepping for any segment that
+contains a budget or progress crossing):
+
+* the budget :class:`Trap` fires exactly when ``executed ==
+  max_instructions + 1`` — the (N+1)-th instruction is visited (charged),
+  then execution aborts;
+* ``progress_callback`` fires at *every* multiple of ``progress_interval``,
+  with ``stats.executed`` equal to that exact multiple at callback time.
+"""
+
+import pytest
+
+from repro.wasm.interpreter import ENGINES, ExecutionLimits, Instance, Trap
+from repro.wasm.wat_parser import parse_wat
+
+# A straight-line-heavy spinner: the loop body is one long segment of simple
+# instructions, so under the pre-decoded engine every budget/progress
+# boundary lands *inside* a batched segment and exercises the fallback.
+SPIN = """
+(module
+  (func (export "spin") (param i32) (result i32)
+    (local i32 i32)
+    (loop $top
+      (local.set 1 (i32.add (local.get 1) (i32.const 1)))
+      (local.set 2 (i32.add (local.get 2) (i32.const 3)))
+      (local.set 2 (i32.sub (local.get 2) (i32.const 2)))
+      (br_if $top (i32.lt_u (local.get 1) (local.get 0))))
+    (local.get 2)))
+"""
+
+
+def make(engine: str, **limits_kwargs) -> Instance:
+    return Instance(
+        parse_wat(SPIN),
+        limits=ExecutionLimits(**limits_kwargs),
+        engine=engine,
+    )
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestBudgetEdge:
+    @pytest.mark.parametrize("budget", [1, 7, 64, 65, 66, 200, 201])
+    def test_trap_fires_at_exactly_budget_plus_one(self, engine, budget):
+        inst = make(engine, max_instructions=budget)
+        with pytest.raises(Trap, match="instruction budget exhausted"):
+            inst.invoke("spin", 1_000_000)
+        assert inst.stats.executed == budget + 1
+
+    def test_run_that_exactly_meets_budget_does_not_trap(self, engine):
+        free = Instance(parse_wat(SPIN), engine=engine)
+        free.invoke("spin", 25)
+        exact = free.stats.executed
+        inst = make(engine, max_instructions=exact)
+        assert inst.invoke("spin", 25) == 25
+        assert inst.stats.executed == exact
+
+    def test_one_under_budget_traps(self, engine):
+        free = Instance(parse_wat(SPIN), engine=engine)
+        free.invoke("spin", 25)
+        exact = free.stats.executed
+        inst = make(engine, max_instructions=exact - 1)
+        with pytest.raises(Trap, match="budget"):
+            inst.invoke("spin", 25)
+        assert inst.stats.executed == exact
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+class TestProgressEdge:
+    @pytest.mark.parametrize("interval", [1, 2, 3, 7, 10, 64])
+    def test_callback_fires_at_every_multiple(self, engine, interval):
+        seen: list[int] = []
+        inst = make(
+            engine,
+            progress_interval=interval,
+            progress_callback=lambda stats: seen.append(stats.executed),
+        )
+        inst.invoke("spin", 40)
+        total = inst.stats.executed
+        assert seen == list(range(interval, total + 1, interval))
+
+    def test_callback_observes_consistent_visit_counts(self, engine):
+        # at callback time the per-name Counter must sum to executed —
+        # batching must never leave the stats partially charged
+        mismatches: list[tuple[int, int]] = []
+
+        def check(stats):
+            total = sum(stats.visits.values())
+            if total != stats.executed:
+                mismatches.append((total, stats.executed))
+
+        inst = make(engine, progress_interval=5, progress_callback=check)
+        inst.invoke("spin", 40)
+        assert mismatches == []
+
+    def test_interval_without_callback_is_inert(self, engine):
+        inst = make(engine, progress_interval=3)
+        assert inst.invoke("spin", 10) == 10
+
+    def test_progress_and_budget_interact_exactly(self, engine):
+        seen: list[int] = []
+        inst = make(
+            engine,
+            max_instructions=100,
+            progress_interval=10,
+            progress_callback=lambda stats: seen.append(stats.executed),
+        )
+        with pytest.raises(Trap, match="budget"):
+            inst.invoke("spin", 1_000_000)
+        assert inst.stats.executed == 101
+        # every multiple up to the budget was reported; the trapping
+        # instruction (101) is past the last multiple
+        assert seen == list(range(10, 101, 10))

@@ -1,0 +1,103 @@
+"""Fixed-point roundtrip: print → parse → encode → decode → print.
+
+The tooling chain has four representation hops (text printer, text parser,
+binary encoder, binary decoder).  For every real module the repo produces
+(minic-compiled workloads, plus their instrumented variants) one full trip
+through all four must reach a *fixed point*: the text printed after the trip
+is character-identical to the text printed before it, and the binary
+encoding is byte-identical.  This pins the printer/parser pair as lossless
+for everything the compilers actually emit — not just hand-picked WAT.
+"""
+
+import pytest
+
+from repro.instrument import instrument_module
+from repro.minic import compile_source
+from repro.wasm.binary import decode_module, encode_module
+from repro.wasm.validate import validate
+from repro.wasm.wat_parser import parse_wat
+from repro.wasm.wat_printer import print_wat
+from repro.workloads import (
+    DARKNET,
+    ECHO,
+    MSIEVE,
+    PC_ALGORITHM,
+    POLYBENCH_KERNELS,
+    RESIZE,
+    SUBSET_SUM,
+)
+
+WORKLOADS = {
+    **POLYBENCH_KERNELS,
+    MSIEVE.name: MSIEVE,
+    PC_ALGORITHM.name: PC_ALGORITHM,
+    SUBSET_SUM.name: SUBSET_SUM,
+    DARKNET.name: DARKNET,
+    ECHO.name: ECHO,
+    RESIZE.name: RESIZE,
+}
+
+MINIC_SAMPLES = {
+    "globals-and-loops": """
+    int acc = 7;
+    int f(int n) {
+        int t = 0;
+        for (int i = 0; i < n; i = i + 1) {
+            if (i % 3 == 0) t = t + acc; else t = t - 1;
+        }
+        while (t > 100) t = t / 2;
+        return t;
+    }
+    """,
+    "recursion-and-floats": """
+    double scale = 1.5;
+    double fib(int n) {
+        if (n < 2) return 1.0 * n;
+        return fib(n - 1) + fib(n - 2) * scale;
+    }
+    """,
+}
+
+
+def roundtrip_once(module):
+    """One full representation trip; returns (text before, text after, blobs)."""
+    text = print_wat(module)
+    reparsed = parse_wat(text)
+    blob = encode_module(reparsed)
+    decoded = decode_module(blob)
+    return text, print_wat(decoded), blob, encode_module(decoded)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_workload_module_reaches_fixed_point(name):
+    module = WORKLOADS[name].compile()
+    validate(module)
+    text, text_after, blob, blob_after = roundtrip_once(module)
+    assert text_after == text
+    assert blob_after == blob
+
+
+@pytest.mark.parametrize("level", ["naive", "flow-based", "loop-based"])
+def test_instrumented_module_reaches_fixed_point(level):
+    module = instrument_module(WORKLOADS["gemm"].compile().clone(), level).module
+    text, text_after, blob, blob_after = roundtrip_once(module)
+    assert text_after == text
+    assert blob_after == blob
+
+
+@pytest.mark.parametrize("name", sorted(MINIC_SAMPLES))
+def test_minic_sample_reaches_fixed_point(name):
+    module = compile_source(MINIC_SAMPLES[name])
+    validate(module)
+    text, text_after, blob, blob_after = roundtrip_once(module)
+    assert text_after == text
+    assert blob_after == blob
+
+
+def test_second_trip_is_stationary():
+    """After one trip the representation is stationary: trip(trip(m)) == trip(m)."""
+    module = WORKLOADS["gemm"].compile()
+    _, text1, _, blob1 = roundtrip_once(module)
+    _, text2, _, blob2 = roundtrip_once(decode_module(blob1))
+    assert text2 == text1
+    assert blob2 == blob1
