@@ -1,4 +1,4 @@
-"""Command-line interface: instrument, run and meter WebAssembly modules.
+"""Command-line interface: instrument, run, meter and serve Wasm modules.
 
 Usage (also via ``python -m repro``)::
 
@@ -6,10 +6,15 @@ Usage (also via ``python -m repro``)::
     repro run module.wat --invoke fib --args 20
     repro meter module.wat --invoke kernel --deployments
     repro sandbox module.mc --invoke work --args 5
+    repro serve --workers 4 --requests 60
+    repro loadtest --workers 1,2,4 --out BENCH_service.json
 
 ``run`` executes any WAT module and prints the result plus execution stats;
 ``meter`` prices it across the deployment ladder; ``sandbox`` does the full
-AccTEE protocol for a MiniC source file and prints the signed log.
+AccTEE protocol for a MiniC source file and prints the signed log;
+``serve`` drives the multi-tenant metering gateway over a synthetic tenant
+mix; ``loadtest`` sweeps gateway worker counts and emits throughput/latency
+percentiles as JSON.
 """
 
 from __future__ import annotations
@@ -117,6 +122,8 @@ def cmd_sandbox(args: argparse.Namespace) -> int:
     print(f"metered: {result.vector.weighted_instructions} weighted instructions, "
           f"{result.vector.peak_memory_bytes} B peak, "
           f"{result.vector.io_bytes_total} B I/O")
+    cache = sandbox.cache.stats()
+    print(f"instrumentation cache: {cache['hits']} hits, {cache['misses']} misses")
     print(f"log verifies: {sandbox.verify_log()}")
     print(f"invoice: {sandbox.invoice():.6f}")
     if args.export_log:
@@ -128,17 +135,132 @@ def cmd_sandbox(args: argparse.Namespace) -> int:
 
 
 def cmd_verify_log(args: argparse.Namespace) -> int:
+    import json
+
     from repro.core.serialization import public_key_from_json, verify_log_file
 
     key = None
     if args.key:
-        import json
-
         key = public_key_from_json(json.loads(pathlib.Path(args.key).read_text()))
     ok, totals = verify_log_file(args.log, public_key=key)
+    if args.json:
+        with open(args.log) as handle:
+            entries = len(json.load(handle)["entries"])
+        print(json.dumps(
+            {"ok": ok, "entries": entries, "totals": totals.to_json()}, indent=2
+        ))
+        return 0 if ok else 1
     print(f"log verifies: {ok}")
     print(f"totals: {totals.weighted_instructions} weighted instructions, "
           f"{totals.io_bytes_total} B I/O, peak {totals.peak_memory_bytes} B")
+    return 0 if ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Drive the metering gateway over a synthetic multi-tenant mix."""
+    from repro.core.sandbox import SandboxConfig
+    from repro.service import AdmissionError, MeteringGateway, TenantQuota
+    from repro.service.backends import SimulatedFaaSBackend
+    from repro.service.gateway import polybench_tenant_mix
+
+    kernels = tuple(args.kernels.split(",")) if args.kernels else ()
+    mix = polybench_tenant_mix(kernels)
+    backend = None
+    if args.backend == "modeled":
+        backend = SimulatedFaaSBackend(workers=args.workers, time_scale=args.time_scale)
+    config = SandboxConfig(engine=args.engine)
+    with MeteringGateway(
+        workers=args.workers, pool=args.pool, config=config, backend=backend
+    ) as gw:
+        quota = TenantQuota(
+            max_queue_depth=args.queue_depth,
+            requests_per_second=args.rate_limit,
+            burst=max(1, args.queue_depth or 1),
+        )
+        for tenant_id, module, _run in mix:
+            gw.register_tenant(tenant_id, module=module, quota=quota)
+        print(f"serving {args.requests} requests across {len(mix)} tenants "
+              f"on backend {gw.backend.kind}")
+        futures = []
+        rejected = 0
+        for i in range(args.requests):
+            tenant_id, _module, (export, fn_args) = mix[i % len(mix)]
+            try:
+                futures.append(gw.submit(tenant_id, export, *fn_args))
+            except AdmissionError as exc:
+                rejected += 1
+                hint = f" retry after {exc.retry_after_s:.3f}s" if exc.retry_after_s else ""
+                print(f"  rejected [{exc.code}] {tenant_id}:{hint}")
+        responses = [f.result() for f in futures]
+        seal = gw.seal_epoch()
+        verdict = gw.verify_epoch(seal)
+        print(f"served {len(responses)} requests, rejected {rejected}")
+        for tenant_id, _module, _run in mix:
+            totals = gw.totals(tenant_id)
+            print(f"  {tenant_id:<20} {len(gw.ledger.receipts(tenant_id)):>4} receipts  "
+                  f"{totals.weighted_instructions:>12} weighted instructions")
+        print(f"epoch {seal.epoch} sealed: root {seal.merkle_root.hex()[:16]}… "
+              f"over {len(seal.spans)} tenant chains")
+        print(f"epoch verifies offline: {verdict.ok} "
+              f"({verdict.receipts_checked} receipts checked)")
+        cache = gw.cache.stats()
+        print(f"instrumentation cache: {cache['hits']} hits, {cache['misses']} misses")
+    return 0 if verdict.ok else 1
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Sweep gateway worker counts; write BENCH_service.json."""
+    import json
+
+    from repro.service.gateway import run_loadtest
+
+    worker_counts = tuple(int(w) for w in args.workers.split(","))
+    kernels = tuple(args.kernels.split(",")) if args.kernels else ()
+    backends = ("wasm", "modeled") if args.backend == "both" else (args.backend,)
+    sweeps = {}
+    ok = True
+    for backend in backends:
+        result = run_loadtest(
+            worker_counts=worker_counts,
+            requests=args.requests,
+            pool=args.pool,
+            engine=args.engine,
+            kernels=kernels,
+            backend=backend,
+            time_scale=args.time_scale,
+            verify_serial=not args.no_serial,
+        )
+        sweeps[backend] = result
+        for point in result["sweep"]:
+            latency = point["latency_s"]
+            print(f"[{backend}] workers={point['workers']}: "
+                  f"{point['throughput_rps']:8.1f} req/s  "
+                  f"p50={latency['p50'] * 1000:.1f}ms p95={latency['p95'] * 1000:.1f}ms "
+                  f"p99={latency['p99'] * 1000:.1f}ms  epoch_ok={point['epoch_ok']}")
+            ok = ok and point["epoch_ok"]
+            if point["quota_rejection"]:
+                print(f"         over-quota probe rejected: "
+                      f"[{point['quota_rejection']['code']}]")
+        if "speedup_4_over_1" in result:
+            print(f"[{backend}] speedup 4 workers over 1: "
+                  f"{result['speedup_4_over_1']:.2f}x")
+        if not args.no_serial:
+            print(f"[{backend}] totals byte-identical to serial sandbox: "
+                  f"{result['serial_totals_match']}")
+            ok = ok and result["serial_totals_match"]
+    report = {
+        "benchmark": "metering-gateway-loadtest",
+        "cores_available": sweeps[backends[0]]["cores_available"],
+        "worker_counts": list(worker_counts),
+        "requests_per_point": args.requests,
+        "speedup_4_over_1": {
+            backend: sweeps[backend].get("speedup_4_over_1")
+            for backend in backends
+        },
+        "sweeps": sweeps,
+    }
+    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
     return 0 if ok else 1
 
 
@@ -186,7 +308,41 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify-log", help="offline verification of an exported log")
     p.add_argument("log", help="JSON file produced by 'sandbox --export-log'")
     p.add_argument("--key", help="JSON public key to pin (else the bundled key)")
+    p.add_argument("--json", action="store_true",
+                   help="print a machine-readable verdict instead of prose")
     p.set_defaults(fn=cmd_verify_log)
+
+    p = sub.add_parser("serve", help="run the multi-tenant metering gateway")
+    p.add_argument("--workers", type=int, default=2, help="execution pool size")
+    p.add_argument("--pool", choices=["process", "thread"], default="process")
+    p.add_argument("--backend", choices=["wasm", "modeled"], default="wasm",
+                   help="execute for real, or pace with the Fig. 9 service-time model")
+    p.add_argument("--requests", type=int, default=60, help="requests to serve")
+    p.add_argument("--kernels", default="",
+                   help="comma-separated PolyBench kernels (default: built-in mix)")
+    p.add_argument("--queue-depth", type=int, default=None,
+                   help="per-tenant max in-flight requests")
+    p.add_argument("--rate-limit", type=float, default=None,
+                   help="per-tenant requests/second cap")
+    p.add_argument("--time-scale", type=float, default=1.0,
+                   help="modeled-backend time compression (0 = no sleeping)")
+    p.add_argument("--engine", choices=ENGINES, default=None)
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("loadtest", help="sweep gateway worker counts, emit JSON")
+    p.add_argument("--workers", default="1,2,4",
+                   help="comma-separated worker counts to sweep")
+    p.add_argument("--requests", type=int, default=60, help="requests per sweep point")
+    p.add_argument("--pool", choices=["process", "thread"], default="process")
+    p.add_argument("--backend", choices=["both", "wasm", "modeled"], default="both")
+    p.add_argument("--kernels", default="",
+                   help="comma-separated PolyBench kernels (default: built-in mix)")
+    p.add_argument("--time-scale", type=float, default=1.0)
+    p.add_argument("--no-serial", action="store_true",
+                   help="skip the serial single-sandbox equivalence check")
+    p.add_argument("--engine", choices=ENGINES, default=None)
+    p.add_argument("--out", default="BENCH_service.json", help="output JSON path")
+    p.set_defaults(fn=cmd_loadtest)
     return parser
 
 

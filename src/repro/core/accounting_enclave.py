@@ -43,6 +43,31 @@ class WorkloadResult:
     output: bytes
 
 
+@dataclass(frozen=True)
+class RawExecution:
+    """The raw, unsigned measurements of one workload invocation.
+
+    Produced wherever the Wasm actually ran — inside this AE's
+    :meth:`~AccountingEnclave.invoke`, or in a metering-gateway worker
+    process — and turned into a signed log entry by
+    :meth:`AccountingEnclave.account`.  It carries exactly the quantities
+    accounting needs, so the execution site and the signing site can live in
+    different processes while producing byte-identical resource vectors.
+    """
+
+    workload_hash: bytes
+    counter_value: int
+    peak_memory_bytes: int
+    initial_pages: int
+    grow_history: tuple[tuple[int, int], ...]
+    io_bytes_in: int
+    io_bytes_out: int
+    value: object = None
+    trapped: bool = False
+    trap_message: str = ""
+    output: bytes = b""
+
+
 class AccountingEnclave(Enclave):
     """Executes evidence-carrying workloads and meters their resources."""
 
@@ -175,32 +200,57 @@ class AccountingEnclave(Enclave):
             trapped = True
             trap_message = str(exc)
 
-        counter_value = int(instance.globals[self._counter_global].value)
         memory = instance.memory
-        peak = memory.peak_bytes if memory is not None else 0
-        initial_pages = (
-            self._module.memories[0].limits.minimum if self._module.memories else 0
-        )
-        integral = memory_integral(
-            instance.stats.grow_history, initial_pages, counter_value
-        )
-        vector = ResourceVector(
-            weighted_instructions=counter_value,
-            peak_memory_bytes=peak,
-            memory_integral_page_instructions=(
-                integral if self.memory_policy is MemoryPolicy.INTEGRAL else 0
+        raw = RawExecution(
+            workload_hash=self._workload_hash,
+            counter_value=int(instance.globals[self._counter_global].value),
+            peak_memory_bytes=memory.peak_bytes if memory is not None else 0,
+            initial_pages=(
+                self._module.memories[0].limits.minimum if self._module.memories else 0
             ),
+            grow_history=tuple(instance.stats.grow_history),
             io_bytes_in=env.account.bytes_in,
             io_bytes_out=env.account.bytes_out,
-            label=label or export,
-        )
-        self.log.append(vector, self._workload_hash, self.weight_table.digest())
-        self.lkl.request_io_cycles(len(input_data), len(channel.output))
-        self._last_counter = counter_value
-        return WorkloadResult(
             value=value,
             trapped=trapped,
             trap_message=trap_message,
-            vector=vector,
             output=bytes(channel.output),
+        )
+        result = self.account(raw, label=label or export)
+        self.lkl.request_io_cycles(len(input_data), len(channel.output))
+        return result
+
+    def account(self, raw: RawExecution, label: str = "") -> WorkloadResult:
+        """Turn raw measurements into a signed log entry (the receipt).
+
+        This is the AE's accounting half, split out so a metering gateway
+        can execute workloads in worker processes and still have *this*
+        enclave — the one the tenant attested — sign every receipt.  The
+        raw measurements must be for the workload this AE admitted.
+        """
+        if self._workload_hash == b"":
+            raise WorkloadRejected("no workload loaded")
+        if raw.workload_hash != self._workload_hash:
+            raise WorkloadRejected("raw execution is for a different workload")
+        integral = memory_integral(
+            list(raw.grow_history), raw.initial_pages, raw.counter_value
+        )
+        vector = ResourceVector(
+            weighted_instructions=raw.counter_value,
+            peak_memory_bytes=raw.peak_memory_bytes,
+            memory_integral_page_instructions=(
+                integral if self.memory_policy is MemoryPolicy.INTEGRAL else 0
+            ),
+            io_bytes_in=raw.io_bytes_in,
+            io_bytes_out=raw.io_bytes_out,
+            label=label,
+        )
+        self.log.append(vector, self._workload_hash, self.weight_table.digest())
+        self._last_counter = raw.counter_value
+        return WorkloadResult(
+            value=raw.value,
+            trapped=raw.trapped,
+            trap_message=raw.trap_message,
+            vector=vector,
+            output=raw.output,
         )

@@ -11,10 +11,17 @@ Under FaaS-style churn (every distinct tenant module adds an entry) the
 cache is bounded: with ``max_entries`` set it evicts least-recently-used
 entries, and :meth:`InstrumentationCache.stats` exposes hit/miss/eviction
 counters so operators can size it.
+
+The cache is thread-safe: the metering gateway shares one instance across
+request-submitting threads and pool completion callbacks, so lookups,
+inserts, evictions and the counters are all serialised behind one lock
+(instrumentation of a miss runs inside the lock — concurrent submitters of
+the same module would otherwise both pay the IE pass).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro.core.instrumentation_enclave import (
@@ -50,6 +57,7 @@ class InstrumentationCache:
     misses: int = 0
     _hit_count: int = field(default=0, repr=False)
     _evictions: int = field(default=0, repr=False)
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_entries is not None and self.max_entries <= 0:
@@ -62,27 +70,28 @@ class InstrumentationCache:
         callers may mutate it without poisoning the cache.
         """
         key = (sha256(encode_module(module)), self.ie.mrenclave)
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            result, evidence = self.ie.instrument(module)
-            entry = _CacheEntry(
-                module_bytes=encode_module(result.module),
-                evidence=evidence,
-                counter_export=result.counter_export,
-            )
-            if self.max_entries is not None and len(self._entries) >= self.max_entries:
-                oldest = next(iter(self._entries))
-                del self._entries[oldest]
-                self._evictions += 1
-            self._entries[key] = entry
-        else:
-            entry.hits += 1
-            self._hit_count += 1
-            # refresh recency: move the entry to the MRU end
-            del self._entries[key]
-            self._entries[key] = entry
-        return decode_module(entry.module_bytes), entry.evidence, entry.counter_export
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                result, evidence = self.ie.instrument(module)
+                entry = _CacheEntry(
+                    module_bytes=encode_module(result.module),
+                    evidence=evidence,
+                    counter_export=result.counter_export,
+                )
+                if self.max_entries is not None and len(self._entries) >= self.max_entries:
+                    oldest = next(iter(self._entries))
+                    del self._entries[oldest]
+                    self._evictions += 1
+                self._entries[key] = entry
+            else:
+                entry.hits += 1
+                self._hit_count += 1
+                # refresh recency: move the entry to the MRU end
+                del self._entries[key]
+                self._entries[key] = entry
+            return decode_module(entry.module_bytes), entry.evidence, entry.counter_export
 
     @property
     def hits(self) -> int:
@@ -95,15 +104,17 @@ class InstrumentationCache:
 
     def stats(self) -> dict[str, int | float | None]:
         """Operational counters: hits, misses, evictions, occupancy."""
-        lookups = self._hit_count + self.misses
-        return {
-            "hits": self._hit_count,
-            "misses": self.misses,
-            "evictions": self._evictions,
-            "entries": len(self._entries),
-            "max_entries": self.max_entries,
-            "hit_rate": (self._hit_count / lookups) if lookups else 0.0,
-        }
+        with self._lock:
+            lookups = self._hit_count + self.misses
+            return {
+                "hits": self._hit_count,
+                "misses": self.misses,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hit_rate": (self._hit_count / lookups) if lookups else 0.0,
+            }
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)

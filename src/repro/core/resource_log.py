@@ -113,8 +113,20 @@ class ResourceUsageLog:
         self.entries.append(entry)
         return entry
 
-    def verify(self, public_key: RSAPublicKey) -> bool:
-        """Check the hash chain and every signature (either party)."""
+    def verify(
+        self,
+        public_key: RSAPublicKey,
+        expected_head: bytes | None = None,
+        expected_entries: int | None = None,
+    ) -> bool:
+        """Check the hash chain and every signature (either party).
+
+        The chain alone cannot detect *truncation* — dropping a suffix
+        leaves a shorter but internally consistent log.  Callers who learned
+        the expected head hash (or entry count) out of band — e.g. from an
+        epoch seal or a progress report — pass it via ``expected_head`` /
+        ``expected_entries`` to close that hole.
+        """
         previous = self.GENESIS
         for i, entry in enumerate(self.entries):
             if entry.sequence != i or entry.previous_hash != previous:
@@ -122,6 +134,10 @@ class ResourceUsageLog:
             if not rsa_verify(public_key, entry.body(), entry.signature):
                 return False
             previous = entry.entry_hash()
+        if expected_head is not None and previous != expected_head:
+            return False
+        if expected_entries is not None and len(self.entries) != expected_entries:
+            return False
         return True
 
     def totals(self) -> ResourceVector:

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.accounting_enclave import AccountingEnclave, WorkloadResult
+from repro.core.cache import InstrumentationCache
 from repro.core.instrumentation_enclave import InstrumentationEnclave, InstrumentationEvidence
 from repro.core.policy import MemoryPolicy, PricingPolicy
 from repro.core.resource_log import ResourceUsageLog, ResourceVector
@@ -92,6 +93,10 @@ class TwoWaySandbox:
         self.ae = ae
         self.qe = qe
         self.attestation_service = attestation_service
+        #: Instrumented-module cache (paper §3.3): resubmitting the same
+        #: module skips the IE pass.  Shared-cache deployments (the metering
+        #: gateway) swap in their own instance.
+        self.cache = InstrumentationCache(ie)
 
     # -- deployment -------------------------------------------------------------
 
@@ -151,14 +156,14 @@ class TwoWaySandbox:
     # -- workload intake ------------------------------------------------------------
 
     def submit_module(self, module: Module) -> Workload:
-        """Instrument and admit a raw WebAssembly module."""
-        result, evidence = self.ie.instrument(module)
-        self.ae.load_workload(result.module, evidence)
+        """Instrument (cached) and admit a raw WebAssembly module."""
+        instrumented, evidence, counter_export = self.cache.instrument(module)
+        self.ae.load_workload(instrumented, evidence)
         return Workload(
             sandbox=self,
-            module=result.module,
+            module=instrumented,
             evidence=evidence,
-            counter_export=result.counter_export,
+            counter_export=counter_export,
         )
 
     def submit_wat(self, source: str) -> Workload:

@@ -78,6 +78,40 @@ _HW_RUNTIME_PAGING_S = 0.0006
 _JS_COMPUTE_FACTOR = 9.0
 
 
+def assemble_service_time(setup: FaaSSetup, exec_cycles: float, payload_bytes: int) -> float:
+    """Assemble one request's modeled service time from its execution cycles.
+
+    This is the paper's Fig. 9 service-time model factored into a pure
+    function of ``(setup, cycles, payload)``, so it is pluggable wherever a
+    per-request cost is needed: :class:`FaaSPlatform` feeds it into the
+    discrete-event simulator, and the metering gateway's simulated backend
+    (:class:`repro.service.backends.SimulatedFaaSBackend`) uses it to pace a
+    *real* wall-clock serving loop without executing Wasm per request.
+    """
+    if setup is FaaSSetup.JS:
+        compute_s = exec_cycles * _JS_COMPUTE_FACTOR / (CLOCK_GHZ * 1e9)
+        return _HTTP_BASE_S[setup] + _PER_BYTE_S[setup] * payload_bytes + compute_s
+
+    total = _HTTP_BASE_S[setup]
+    total += _INSTANTIATE_S
+    total += _PER_BYTE_S[setup] * payload_bytes
+    total += exec_cycles / (CLOCK_GHZ * 1e9)
+    if setup in (
+        FaaSSetup.WASM_SGX_HW,
+        FaaSSetup.WASM_SGX_HW_INSTR,
+        FaaSSetup.WASM_SGX_HW_IO,
+    ):
+        total += _HW_RUNTIME_PAGING_S
+        # enclave transitions for the request's delegated I/O syscalls
+        chunks = max(1, payload_bytes // 16384) + 2
+        total += chunks * EEXIT_EENTER_CYCLES / (CLOCK_GHZ * 1e9)
+        total += payload_bytes * ENCRYPTION_CYCLES_PER_BYTE / (CLOCK_GHZ * 1e9)
+    if setup is FaaSSetup.WASM_SGX_HW_IO:
+        # the JavaScript-side byte counters on each io call
+        total += payload_bytes * 1.2e-9
+    return total
+
+
 @dataclass
 class ThroughputPoint:
     """One bar of Fig. 9."""
@@ -126,33 +160,10 @@ class FaaSPlatform:
         payload = image_px * image_px  # one byte per pixel
         spec, args = self._function(function, image_px)
         instrumented = setup in (FaaSSetup.WASM_SGX_HW_INSTR, FaaSSetup.WASM_SGX_HW_IO)
-
-        if setup is FaaSSetup.JS:
-            exec_cycles = self._execution_cycles(spec, synthetic_image(image_px), args, False)
-            compute_s = exec_cycles * _JS_COMPUTE_FACTOR / (CLOCK_GHZ * 1e9)
-            return _HTTP_BASE_S[setup] + _PER_BYTE_S[setup] * payload + compute_s
-
         exec_cycles = self._execution_cycles(
             spec, synthetic_image(image_px), args, instrumented
         )
-        total = _HTTP_BASE_S[setup]
-        total += _INSTANTIATE_S
-        total += _PER_BYTE_S[setup] * payload
-        total += exec_cycles / (CLOCK_GHZ * 1e9)
-        if setup in (
-            FaaSSetup.WASM_SGX_HW,
-            FaaSSetup.WASM_SGX_HW_INSTR,
-            FaaSSetup.WASM_SGX_HW_IO,
-        ):
-            total += _HW_RUNTIME_PAGING_S
-            # enclave transitions for the request's delegated I/O syscalls
-            chunks = max(1, payload // 16384) + 2
-            total += chunks * EEXIT_EENTER_CYCLES / (CLOCK_GHZ * 1e9)
-            total += payload * ENCRYPTION_CYCLES_PER_BYTE / (CLOCK_GHZ * 1e9)
-        if setup is FaaSSetup.WASM_SGX_HW_IO:
-            # the JavaScript-side byte counters on each io call
-            total += payload * 1.2e-9
-        return total
+        return assemble_service_time(setup, exec_cycles, payload)
 
     @staticmethod
     def _function(function: str, image_px: int) -> tuple[WorkloadSpec, tuple]:

@@ -1,0 +1,66 @@
+"""The multi-tenant metering gateway (the paper's §3.5 FaaS provider, live).
+
+Where :mod:`repro.core.sandbox` runs one workload for one pair of parties,
+this package is the *serving* layer an infrastructure provider actually
+operates: many mutually-distrusting tenants, concurrent wall-clock
+execution on a worker pool, per-tenant admission control, and a billing
+ledger that seals signed receipts into Merkle-rooted epochs any tenant can
+audit offline.
+
+Layers (each usable on its own):
+
+* :mod:`repro.service.quota`   — admission control: typed rejections with
+  retry-after hints, token-bucket rate limiting, instruction budgets;
+* :mod:`repro.service.worker`  — the execution pool: process-based
+  parallelism with a threaded fallback, per-process module caches;
+* :mod:`repro.service.ledger`  — receipts, epoch seals (Merkle root over
+  per-tenant hash chains) and the offline :func:`verify_epoch` auditor;
+* :mod:`repro.service.backends`— pluggable execution backends (real Wasm, or
+  the FaaS service-time model from :mod:`repro.scenarios.faas`);
+* :mod:`repro.service.gateway` — the façade tying it all together, plus the
+  load-test driver behind ``repro loadtest``.
+"""
+
+from repro.service.backends import ExecutionBackend, WasmBackend
+from repro.service.gateway import GatewayResponse, MeteringGateway, run_loadtest
+from repro.service.ledger import (
+    BillingLedger,
+    EpochSeal,
+    EpochVerification,
+    Receipt,
+    verify_epoch,
+)
+from repro.service.quota import (
+    AdmissionController,
+    AdmissionError,
+    InstructionBudgetExhausted,
+    MemoryCapExceeded,
+    QueueFull,
+    RateLimited,
+    TenantQuota,
+    UnknownTenant,
+)
+from repro.service.worker import ExecutionTask, WorkerPool
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "BillingLedger",
+    "EpochSeal",
+    "EpochVerification",
+    "ExecutionBackend",
+    "ExecutionTask",
+    "GatewayResponse",
+    "InstructionBudgetExhausted",
+    "MemoryCapExceeded",
+    "MeteringGateway",
+    "QueueFull",
+    "RateLimited",
+    "Receipt",
+    "TenantQuota",
+    "UnknownTenant",
+    "WasmBackend",
+    "WorkerPool",
+    "run_loadtest",
+    "verify_epoch",
+]

@@ -1,0 +1,99 @@
+"""Pluggable execution backends for the metering gateway.
+
+A backend answers one question: *how does an admitted request turn into raw
+meter readings?*  Two implementations ship:
+
+* :class:`WasmBackend` — the real thing: execute the instrumented module on
+  the worker pool (process or thread workers).  This is the only backend
+  whose receipts are trustworthy — it is what ``repro loadtest`` measures.
+* :class:`SimulatedFaaSBackend` — the paper's Fig. 9 service-time model
+  (:func:`repro.scenarios.faas.assemble_service_time`) as a backend: it
+  executes each distinct module *once* to calibrate, then serves subsequent
+  requests by pacing the calibrated raw readings at the modeled service
+  time.  Useful for exercising the gateway/ledger machinery under request
+  volumes the interpreter could not execute for real.
+
+Both expose ``submit(task) -> Future[WorkerResult]`` so the gateway does
+not care which one it drives.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Protocol
+
+from repro.service.worker import ExecutionTask, WorkerPool, WorkerResult, execute_task
+
+
+class ExecutionBackend(Protocol):
+    """Structural interface every backend satisfies."""
+
+    kind: str
+
+    def submit(self, task: ExecutionTask) -> Future: ...
+
+    def shutdown(self, wait: bool = True) -> None: ...
+
+
+class WasmBackend:
+    """Execute requests for real on a :class:`WorkerPool`."""
+
+    def __init__(self, pool: WorkerPool):
+        self.pool = pool
+        self.kind = f"wasm-{pool.kind}"
+
+    def submit(self, task: ExecutionTask) -> Future:
+        return self.pool.submit(task)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self.pool.shutdown(wait=wait)
+
+
+class SimulatedFaaSBackend:
+    """Serve requests at the Fig. 9 model's pace instead of executing them.
+
+    The first request for each module hash runs for real (in-process) to
+    obtain calibrated meter readings; the weighted-instruction counter then
+    stands in for execution cycles when assembling the modeled service
+    time, exactly as the FaaS scenario derives service times from measured
+    cycles.  ``time_scale`` compresses modeled time (0 disables sleeping —
+    tests use that).
+    """
+
+    def __init__(self, setup=None, workers: int = 4, time_scale: float = 1.0):
+        from repro.scenarios.faas import FaaSSetup
+
+        self.setup = setup or FaaSSetup.WASM_SGX_HW_IO
+        self.time_scale = time_scale
+        self.kind = f"simulated-{self.setup.value}"
+        self._executor = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="sim-worker"
+        )
+        self._calibrated: dict[bytes, WorkerResult] = {}
+        self._lock = threading.Lock()
+
+    def _serve(self, task: ExecutionTask) -> WorkerResult:
+        from repro.scenarios.faas import assemble_service_time
+
+        with self._lock:
+            calibrated = self._calibrated.get(task.module_hash)
+        if calibrated is None:
+            calibrated = execute_task(task)
+            with self._lock:
+                self._calibrated.setdefault(task.module_hash, calibrated)
+        service_s = assemble_service_time(
+            self.setup,
+            exec_cycles=float(calibrated.raw.counter_value),
+            payload_bytes=len(task.input_data),
+        )
+        if self.time_scale > 0:
+            time.sleep(service_s * self.time_scale)
+        return WorkerResult(raw=calibrated.raw, exec_wall_s=service_s)
+
+    def submit(self, task: ExecutionTask) -> Future:
+        return self._executor.submit(self._serve, task)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)

@@ -1,0 +1,529 @@
+"""The metering gateway façade: many tenants, one attested platform.
+
+One :class:`MeteringGateway` is what the paper's infrastructure provider
+runs: a single SGX platform hosting one instrumentation enclave (shared,
+with its instrumented-module cache) and **one accounting enclave per
+tenant**, so every tenant's receipts carry their own attested signing key
+and no tenant can be billed for another's work.  Requests fan out to an
+execution backend (worker processes by default) and come back as raw meter
+readings; the tenant's AE signs each into a receipt, and the billing ledger
+seals receipts into Merkle-rooted epochs.
+
+The module also houses the wall-clock load-test driver behind
+``repro loadtest`` — the serving-layer counterpart of the Fig. 9 throughput
+experiment, measured for real instead of simulated.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+from repro.core.accounting_enclave import AccountingEnclave, WorkloadResult
+from repro.core.cache import InstrumentationCache
+from repro.core.instrumentation_enclave import InstrumentationEnclave
+from repro.core.resource_log import ResourceUsageLog, ResourceVector
+from repro.core.sandbox import SandboxConfig
+from repro.service.backends import ExecutionBackend, WasmBackend
+from repro.service.ledger import (
+    BillingLedger,
+    EpochSeal,
+    EpochVerification,
+    Receipt,
+    verify_epoch,
+)
+from repro.service.quota import (
+    AdmissionController,
+    AdmissionError,
+    TenantQuota,
+    UnknownTenant,
+)
+from repro.service.worker import ExecutionTask, WorkerPool, WorkerResult
+from repro.sgx.attestation import (
+    AttestationError,
+    AttestationService,
+    QuotingEnclave,
+    remote_attest,
+    verify_service_report,
+)
+from repro.sgx.enclave import SGXPlatform
+from repro.tcrypto.hashing import sha256
+from repro.wasm.binary import encode_module
+from repro.wasm.interpreter import ExecutionLimits
+from repro.wasm.memory import PAGE_SIZE
+from repro.wasm.module import Module
+
+
+@dataclass
+class _Tenant:
+    tenant_id: str
+    ae: AccountingEnclave
+    module_bytes: bytes
+    module_hash: bytes
+    counter_index: int
+    memory_required_bytes: int
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+@dataclass
+class GatewayResponse:
+    """What a tenant gets back for one request."""
+
+    tenant_id: str
+    request_id: int
+    result: WorkloadResult
+    receipt: Receipt
+    latency_s: float
+    exec_wall_s: float
+
+
+class MeteringGateway:
+    """A live multi-tenant metering service over the two-way sandbox."""
+
+    def __init__(
+        self,
+        workers: int = 1,
+        pool: str = "process",
+        config: SandboxConfig | None = None,
+        backend: ExecutionBackend | None = None,
+        cache_entries: int | None = 256,
+    ):
+        self.config = config or SandboxConfig()
+        self.platform = SGXPlatform(platform_id="gateway-0")
+        self.attestation_service = AttestationService()
+        weight_table = self.config.weight_table()
+        self.ie = InstrumentationEnclave(weight_table=weight_table, level=self.config.level)
+        self.platform.launch(self.ie)
+        self.qe = QuotingEnclave()
+        self.platform.launch(self.qe)
+        self.attestation_service.provision(self.qe)
+        self.cache = InstrumentationCache(self.ie, max_entries=cache_entries)
+        self.backend: ExecutionBackend = backend or WasmBackend(
+            WorkerPool(workers=workers, kind=pool)
+        )
+        self.admission = AdmissionController()
+        self.ledger = BillingLedger()
+        self._tenants: dict[str, _Tenant] = {}
+        self._requests = 0
+        self._requests_lock = threading.Lock()
+
+    # -- tenant lifecycle --------------------------------------------------------
+
+    def register_tenant(
+        self,
+        tenant_id: str,
+        module: Module | None = None,
+        minic: str | None = None,
+        wat: str | None = None,
+        quota: TenantQuota | None = None,
+    ) -> None:
+        """Admit a tenant: instrument their module (cached), launch and
+        attest their accounting enclave, and open their ledger chain."""
+        if tenant_id in self._tenants:
+            raise ValueError(f"tenant {tenant_id!r} already registered")
+        if module is None:
+            if minic is not None:
+                from repro.minic import compile_source
+
+                module = compile_source(minic)
+            elif wat is not None:
+                from repro.wasm.wat_parser import parse_wat
+
+                module = parse_wat(wat)
+            else:
+                raise ValueError("register_tenant needs a module, minic= or wat=")
+
+        instrumented, evidence, _counter_export = self.cache.instrument(module)
+        ae = AccountingEnclave(
+            ie_public_key=self.ie.evidence_public_key,
+            ie_measurement=self.ie.mrenclave,
+            weight_table=self.config.weight_table(),
+            memory_policy=self.config.memory_policy,
+            key_seed=self._tenant_key_seed(tenant_id),
+            limits=ExecutionLimits(max_instructions=self.config.max_instructions),
+            engine=self.config.engine,
+        )
+        self.platform.launch(ae)
+        self._attest(ae, tenant_id)
+        ae.load_workload(instrumented, evidence)
+
+        module_bytes = encode_module(instrumented)
+        if instrumented.memories:
+            limits = instrumented.memories[0].limits
+            pages = limits.maximum if limits.maximum is not None else limits.minimum
+        else:
+            pages = 0
+        tenant = _Tenant(
+            tenant_id=tenant_id,
+            ae=ae,
+            module_bytes=module_bytes,
+            module_hash=sha256(module_bytes),
+            counter_index=evidence.counter_global_index,
+            memory_required_bytes=pages * PAGE_SIZE,
+        )
+        self._tenants[tenant_id] = tenant
+        self.admission.register(tenant_id, quota or TenantQuota())
+        self.ledger.register_tenant(tenant_id, ae.log_public_key)
+
+    @staticmethod
+    def _tenant_key_seed(tenant_id: str) -> int:
+        # deterministic but tenant-unique AE signing keys
+        return int.from_bytes(sha256(b"tenant-ae:" + tenant_id.encode())[:6], "big") | 1
+
+    def _attest(self, ae: AccountingEnclave, tenant_id: str) -> None:
+        nonce = sha256(b"gateway-attest:" + tenant_id.encode())[:16]
+        user_data = ae.report_data_binding()
+        verdict = remote_attest(ae, self.qe, self.attestation_service, nonce, user_data)
+        ok = (
+            verdict.ok
+            and verify_service_report(self.attestation_service.public_key, verdict)
+            and verdict.quote.mrenclave == ae.mrenclave
+            and sha256(sha256(nonce + user_data)) == sha256(verdict.quote.report_data)
+        )
+        if not ok:
+            raise AttestationError(
+                f"accounting enclave for tenant {tenant_id!r} failed attestation"
+            )
+
+    # -- request path ------------------------------------------------------------
+
+    def submit(
+        self,
+        tenant_id: str,
+        export: str,
+        *args,
+        input_data: bytes = b"",
+        label: str = "",
+    ) -> "Future[GatewayResponse]":
+        """Admit and dispatch one request; resolves to a signed response.
+
+        Raises a typed :class:`~repro.service.quota.AdmissionError`
+        *synchronously* when the tenant is over quota — rejected requests
+        never reach the pool.
+        """
+        tenant = self._tenants.get(tenant_id)
+        if tenant is None:
+            raise UnknownTenant(f"tenant {tenant_id!r} is not registered")
+        self.admission.admit(tenant_id, tenant.memory_required_bytes)
+        with self._requests_lock:
+            self._requests += 1
+            request_id = self._requests
+        task = ExecutionTask(
+            module_bytes=tenant.module_bytes,
+            module_hash=tenant.module_hash,
+            counter_global_index=tenant.counter_index,
+            export=export,
+            args=args,
+            input_data=input_data,
+            engine=self.config.engine,
+            max_instructions=self.config.max_instructions,
+        )
+        submitted = time.perf_counter()
+        response: Future[GatewayResponse] = Future()
+        inner = self.backend.submit(task)
+
+        def _settle(done: Future) -> None:
+            try:
+                worker_result: WorkerResult = done.result()
+                with tenant.lock:
+                    result = tenant.ae.account(
+                        worker_result.raw, label=label or export
+                    )
+                    receipt = self.ledger.record(tenant_id, tenant.ae.log.entries[-1])
+                self.admission.settle(
+                    tenant_id, result.vector.weighted_instructions
+                )
+                response.set_result(
+                    GatewayResponse(
+                        tenant_id=tenant_id,
+                        request_id=request_id,
+                        result=result,
+                        receipt=receipt,
+                        latency_s=time.perf_counter() - submitted,
+                        exec_wall_s=worker_result.exec_wall_s,
+                    )
+                )
+            except BaseException as exc:  # noqa: BLE001 - relayed to the caller
+                self.admission.settle(tenant_id, 0)
+                response.set_exception(exc)
+
+        inner.add_done_callback(_settle)
+        return response
+
+    def execute(
+        self,
+        tenant_id: str,
+        export: str,
+        *args,
+        input_data: bytes = b"",
+        label: str = "",
+    ) -> GatewayResponse:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        return self.submit(
+            tenant_id, export, *args, input_data=input_data, label=label
+        ).result()
+
+    # -- billing -----------------------------------------------------------------
+
+    def seal_epoch(self) -> EpochSeal:
+        """Seal all outstanding receipts; instruction budgets reset."""
+        seal = self.ledger.seal_epoch()
+        self.admission.reset_epoch()
+        return seal
+
+    def verify_epoch(self, seal: EpochSeal | None = None) -> EpochVerification:
+        """Offline audit of an epoch (defaults to the most recent seal)."""
+        if seal is None:
+            if not self.ledger.seals:
+                raise ValueError("no epoch sealed yet")
+            seal = self.ledger.seals[-1]
+        receipts = {
+            span.tenant_id: self.ledger.epoch_receipts(seal, span.tenant_id)
+            for span in seal.spans
+        }
+        keys = {span.tenant_id: self.ledger.ae_key(span.tenant_id) for span in seal.spans}
+        previous = self.ledger.seals[seal.epoch - 1] if seal.epoch > 0 else None
+        return verify_epoch(
+            seal, receipts, keys, self.ledger.public_key, previous_seal=previous
+        )
+
+    def totals(self, tenant_id: str | None = None) -> ResourceVector:
+        """Aggregate usage — one tenant's, or across the whole gateway."""
+        if tenant_id is not None:
+            return self.ledger.totals(tenant_id)
+        log = ResourceUsageLog(signing_key=None)
+        log.entries = [
+            receipt.entry
+            for tid in sorted(self._tenants)
+            for receipt in self.ledger.receipts(tid)
+        ]
+        return log.totals()
+
+    # -- operations --------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "backend": self.backend.kind,
+            "tenants": len(self._tenants),
+            "requests": self._requests,
+            "epochs_sealed": len(self.ledger.seals),
+            "cache": self.cache.stats(),
+            "admission": {
+                tid: self.admission.stats(tid) for tid in sorted(self._tenants)
+            },
+        }
+
+    def shutdown(self) -> None:
+        self.backend.shutdown()
+
+    def __enter__(self) -> "MeteringGateway":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+# -- synthetic tenant mixes and the load-test driver ---------------------------
+
+
+def polybench_tenant_mix(kernels: tuple[str, ...] = ()) -> list[tuple[str, Module, tuple[str, tuple]]]:
+    """A mixed-tenant workload: one tenant per PolyBench kernel.
+
+    Returns ``(tenant_id, module, (export, args))`` triples.  The default
+    mix spans linear algebra, solvers and a stencil — small enough to load
+    quickly, varied enough that request service times differ by ~10x.
+    """
+    from repro.workloads.polybench import POLYBENCH_KERNELS
+
+    names = kernels or ("atax", "bicg", "mvt", "trisolv", "gesummv", "jacobi-1d")
+    mix = []
+    for name in names:
+        spec = POLYBENCH_KERNELS[name]
+        mix.append((f"tenant-{name}", spec.compile().clone(), spec.run))
+    return mix
+
+
+#: The quota-probe tenant every load test carries: its instruction budget is
+#: below one request's cost, so its second request must come back as a typed
+#: ``instruction-budget-exhausted`` rejection — exercising admission control
+#: under load on every run.
+_PROBE_KERNEL = "trisolv"
+_PROBE_BUDGET = 1000
+
+
+def _request_schedule(
+    mix: list[tuple[str, Module, tuple[str, tuple]]], requests: int
+) -> list[tuple[str, str, tuple]]:
+    """Round-robin ``(tenant_id, export, args)`` list for one sweep point."""
+    schedule = []
+    for i in range(requests):
+        tenant_id, _module, (export, args) = mix[i % len(mix)]
+        schedule.append((tenant_id, export, args))
+    return schedule
+
+
+def serial_baseline_totals(
+    mix: list[tuple[str, Module, tuple[str, tuple]]],
+    schedule: list[tuple[str, str, tuple]],
+    engine: str | None = None,
+) -> ResourceVector:
+    """Run the exact same requests serially through a single two-way sandbox.
+
+    The ground truth for the gateway's aggregate accounting: whatever the
+    worker pool does, totals must come out byte-identical to this.
+    """
+    from repro.core.sandbox import TwoWaySandbox
+
+    sandbox = TwoWaySandbox.deploy(SandboxConfig(engine=engine))
+    modules = {tenant_id: module for tenant_id, module, _run in mix}
+    for tenant_id, export, args in schedule:
+        workload = sandbox.submit_module(modules[tenant_id].clone())
+        workload.invoke(export, *args)
+    return sandbox.totals()
+
+
+def run_loadtest(
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    requests: int = 60,
+    pool: str = "process",
+    engine: str | None = None,
+    kernels: tuple[str, ...] = (),
+    backend: str = "wasm",
+    time_scale: float = 1.0,
+    verify_serial: bool = True,
+    quota_probe: bool = True,
+) -> dict:
+    """Drive the gateway at each worker count and report wall-clock numbers.
+
+    Each sweep point serves ``requests`` requests round-robin across the
+    PolyBench tenant mix, seals the epoch, audits it offline, and records
+    throughput plus latency percentiles.  With ``quota_probe`` a tenant with
+    a too-small instruction budget rides along and must be rejected with a
+    typed error; with ``verify_serial`` the same requests are re-run
+    serially through one :class:`TwoWaySandbox` and the aggregate resource
+    totals must match byte-for-byte.  The result feeds
+    ``BENCH_service.json``.
+
+    ``backend="wasm"`` executes every request for real on the worker pool —
+    throughput then scales with *physical* cores.  ``backend="modeled"``
+    paces requests with the Fig. 9 FaaS service-time model instead
+    (:class:`~repro.service.backends.SimulatedFaaSBackend`), which measures
+    the gateway/ledger serving overhead itself and scales with workers even
+    on a single core (modeled service time is waiting, not CPU).
+    """
+    mix = polybench_tenant_mix(kernels)
+    schedule = _request_schedule(mix, requests)
+    probe_spec = None
+    if quota_probe:
+        from repro.workloads.polybench import POLYBENCH_KERNELS
+
+        probe_spec = POLYBENCH_KERNELS[_PROBE_KERNEL]
+
+    sweep = []
+    for workers in worker_counts:
+        config = SandboxConfig(engine=engine)
+        if backend == "modeled":
+            from repro.service.backends import SimulatedFaaSBackend
+
+            gw_backend: ExecutionBackend | None = SimulatedFaaSBackend(
+                workers=workers, time_scale=time_scale
+            )
+        elif backend == "wasm":
+            gw_backend = None
+        else:
+            raise ValueError(f"unknown loadtest backend {backend!r}")
+        with MeteringGateway(
+            workers=workers, pool=pool, config=config, backend=gw_backend
+        ) as gw:
+            for tenant_id, module, _run in mix:
+                gw.register_tenant(tenant_id, module=module.clone())
+            rejection = None
+            if probe_spec is not None:
+                gw.register_tenant(
+                    "tenant-overquota",
+                    module=probe_spec.compile().clone(),
+                    quota=TenantQuota(instruction_budget=_PROBE_BUDGET),
+                )
+                export, args = probe_spec.run
+                gw.execute("tenant-overquota", export, *args)  # spends the budget
+                try:
+                    gw.execute("tenant-overquota", export, *args)
+                except AdmissionError as exc:
+                    rejection = exc.to_json()
+                    rejection["tenant"] = "tenant-overquota"
+
+            started = time.perf_counter()
+            futures = [
+                gw.submit(tenant_id, export, *args)
+                for tenant_id, export, args in schedule
+            ]
+            responses = [f.result() for f in futures]
+            wall_s = time.perf_counter() - started
+            seal = gw.seal_epoch()
+            verdict = gw.verify_epoch(seal)
+            latencies = sorted(r.latency_s for r in responses)
+
+            def pct(q: float) -> float:
+                return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+            point = {
+                "workers": workers,
+                "backend": gw.backend.kind,
+                "requests": len(responses),
+                "wall_s": wall_s,
+                "throughput_rps": len(responses) / wall_s,
+                "latency_s": {
+                    "p50": pct(0.50),
+                    "p95": pct(0.95),
+                    "p99": pct(0.99),
+                    "mean": sum(latencies) / len(latencies),
+                },
+                "epoch_ok": verdict.ok,
+                "receipts_checked": verdict.receipts_checked,
+                "quota_rejection": rejection,
+                "cache": gw.cache.stats(),
+            }
+            if verify_serial:
+                # totals over the scheduled mix only — the probe tenant's
+                # served request is not part of the serial baseline
+                mix_totals = ResourceUsageLog(signing_key=None)
+                mix_totals.entries = [
+                    receipt.entry
+                    for tenant_id, _module, _run in mix
+                    for receipt in gw.ledger.receipts(tenant_id)
+                ]
+                point["gateway_totals"] = mix_totals.totals().to_json()
+            sweep.append(point)
+    result = {
+        "benchmark": "metering-gateway-loadtest",
+        "mix": [tenant_id for tenant_id, _m, _r in mix],
+        "requests_per_point": requests,
+        "pool": pool,
+        "engine": engine or "default",
+        "execution_backend": backend,
+        "cores_available": _cores_available(),
+        "sweep": sweep,
+    }
+    if verify_serial:
+        serial = serial_baseline_totals(mix, schedule, engine=engine).to_json()
+        result["serial_totals"] = serial
+        result["serial_totals_match"] = all(
+            point.get("gateway_totals") == serial for point in sweep
+        )
+    by_workers = {point["workers"]: point for point in sweep}
+    if 1 in by_workers and 4 in by_workers:
+        result["speedup_4_over_1"] = (
+            by_workers[4]["throughput_rps"] / by_workers[1]["throughput_rps"]
+        )
+    return result
+
+
+def _cores_available() -> int:
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1

@@ -1,0 +1,329 @@
+"""The billing ledger: signed receipts sealed into auditable epochs.
+
+Every request the gateway serves yields a *receipt* — the log entry the
+tenant's accounting enclave signed.  Receipts for one tenant form a hash
+chain (the AE's :class:`~repro.core.resource_log.ResourceUsageLog`); the
+ledger periodically *seals an epoch* by committing, for every tenant, the
+chain segment served since the previous seal, and publishing one Merkle
+root over all segments (S-FaaS-style aggregation: one commitment covers
+every tenant's bill).
+
+The offline :func:`verify_epoch` auditor re-derives everything from the
+receipts alone and catches the three receipt-level attacks the paper's
+threat model cares about:
+
+* **tampered** receipts — a signature or entry hash no longer verifies;
+* **reordered** receipts — sequence numbers or ``previous_hash`` links break;
+* **dropped** receipts — interior drops break the chain, and a truncated
+  *tail* (which a bare hash chain cannot see) contradicts the sealed
+  segment-end hash.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+
+from repro.core.resource_log import LogEntry, ResourceUsageLog, ResourceVector
+from repro.tcrypto.hashing import sha256
+from repro.tcrypto.merkle import MerkleProof, MerkleTree, verify_proof
+from repro.tcrypto.rsa import RSAKeyPair, RSAPublicKey, rsa_generate, rsa_sign, rsa_verify
+
+
+@dataclass(frozen=True)
+class Receipt:
+    """One request's signed accounting entry, attributed to a tenant."""
+
+    tenant_id: str
+    entry: LogEntry
+
+
+@dataclass(frozen=True)
+class TenantSpan:
+    """One tenant's chain segment inside an epoch: entries
+    ``[start_sequence, end_sequence)`` linking ``start_hash`` → ``end_hash``."""
+
+    tenant_id: str
+    start_sequence: int
+    end_sequence: int
+    start_hash: bytes
+    end_hash: bytes
+    ae_key_fingerprint: bytes
+
+    def leaf(self) -> bytes:
+        payload = {
+            "tenant_id": self.tenant_id,
+            "start_sequence": self.start_sequence,
+            "end_sequence": self.end_sequence,
+            "start_hash": self.start_hash.hex(),
+            "end_hash": self.end_hash.hex(),
+            "ae_key_fingerprint": self.ae_key_fingerprint.hex(),
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+@dataclass(frozen=True)
+class EpochSeal:
+    """The ledger's public commitment to one epoch, signed by the gateway."""
+
+    epoch: int
+    previous_seal_hash: bytes
+    merkle_root: bytes
+    spans: tuple[TenantSpan, ...]
+    signature: bytes
+
+    def body(self) -> bytes:
+        payload = {
+            "epoch": self.epoch,
+            "previous_seal_hash": self.previous_seal_hash.hex(),
+            "merkle_root": self.merkle_root.hex(),
+            "spans": [span.leaf().decode("utf-8") for span in self.spans],
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    def seal_hash(self) -> bytes:
+        return sha256(self.body())
+
+    def span_for(self, tenant_id: str) -> TenantSpan | None:
+        for span in self.spans:
+            if span.tenant_id == tenant_id:
+                return span
+        return None
+
+
+@dataclass(frozen=True)
+class EpochVerification:
+    """Outcome of an offline epoch audit."""
+
+    ok: bool
+    epoch: int
+    receipts_checked: int
+    errors: tuple[str, ...] = ()
+
+
+class BillingLedger:
+    """Collects receipts per tenant and seals them into epochs."""
+
+    GENESIS = ResourceUsageLog.GENESIS
+
+    def __init__(self, signing_key: RSAKeyPair | None = None):
+        self._signing_key = signing_key or rsa_generate(512, seed=0x1ED6E5)
+        self._lock = threading.Lock()
+        self._receipts: dict[str, list[Receipt]] = {}
+        self._ae_keys: dict[str, RSAPublicKey] = {}
+        self._sealed_upto: dict[str, int] = {}  # sequence already in an epoch
+        self.seals: list[EpochSeal] = []
+
+    @property
+    def public_key(self) -> RSAPublicKey:
+        return self._signing_key.public
+
+    def register_tenant(self, tenant_id: str, ae_public_key: RSAPublicKey) -> None:
+        with self._lock:
+            self._receipts.setdefault(tenant_id, [])
+            self._ae_keys[tenant_id] = ae_public_key
+            self._sealed_upto.setdefault(tenant_id, 0)
+
+    def record(self, tenant_id: str, entry: LogEntry) -> Receipt:
+        """Append one signed receipt to a tenant's chain (arrival order)."""
+        receipt = Receipt(tenant_id=tenant_id, entry=entry)
+        with self._lock:
+            chain = self._receipts[tenant_id]
+            if entry.sequence != len(chain):
+                raise ValueError(
+                    f"receipt out of order for {tenant_id!r}: "
+                    f"got sequence {entry.sequence}, expected {len(chain)}"
+                )
+            chain.append(receipt)
+        return receipt
+
+    def receipts(self, tenant_id: str) -> list[Receipt]:
+        with self._lock:
+            return list(self._receipts[tenant_id])
+
+    def ae_key(self, tenant_id: str) -> RSAPublicKey:
+        return self._ae_keys[tenant_id]
+
+    def totals(self, tenant_id: str) -> ResourceVector:
+        """One tenant's aggregate usage across all recorded receipts."""
+        log = ResourceUsageLog(signing_key=None)
+        log.entries = [r.entry for r in self.receipts(tenant_id)]
+        return log.totals()
+
+    # -- epoch sealing -----------------------------------------------------------
+
+    def seal_epoch(self) -> EpochSeal:
+        """Seal all unsealed receipts into a new epoch.
+
+        Tenants with no new receipts since the last seal are omitted; an
+        epoch with no new receipts at all still seals (empty span list is
+        rejected by the Merkle tree, so we commit a sentinel leaf).
+        """
+        with self._lock:
+            spans: list[TenantSpan] = []
+            for tenant_id in sorted(self._receipts):
+                chain = self._receipts[tenant_id]
+                start = self._sealed_upto[tenant_id]
+                if start >= len(chain):
+                    continue
+                start_hash = (
+                    chain[start].entry.previous_hash if start < len(chain) else self.GENESIS
+                )
+                spans.append(
+                    TenantSpan(
+                        tenant_id=tenant_id,
+                        start_sequence=start,
+                        end_sequence=len(chain),
+                        start_hash=start_hash,
+                        end_hash=chain[-1].entry.entry_hash(),
+                        ae_key_fingerprint=self._ae_keys[tenant_id].fingerprint(),
+                    )
+                )
+                self._sealed_upto[tenant_id] = len(chain)
+            leaves = [span.leaf() for span in spans] or [b"empty-epoch"]
+            previous = self.seals[-1].seal_hash() if self.seals else self.GENESIS
+            unsigned = EpochSeal(
+                epoch=len(self.seals),
+                previous_seal_hash=previous,
+                merkle_root=MerkleTree(leaves).root,
+                spans=tuple(spans),
+                signature=b"",
+            )
+            seal = EpochSeal(
+                epoch=unsigned.epoch,
+                previous_seal_hash=unsigned.previous_seal_hash,
+                merkle_root=unsigned.merkle_root,
+                spans=unsigned.spans,
+                signature=rsa_sign(self._signing_key, unsigned.body()),
+            )
+            self.seals.append(seal)
+            return seal
+
+    def epoch_receipts(self, seal: EpochSeal, tenant_id: str) -> list[Receipt]:
+        """The receipts a given seal covers for one tenant."""
+        span = seal.span_for(tenant_id)
+        if span is None:
+            return []
+        with self._lock:
+            return list(self._receipts[tenant_id][span.start_sequence : span.end_sequence])
+
+    def inclusion_proof(self, seal: EpochSeal, tenant_id: str) -> MerkleProof:
+        """Merkle proof that a tenant's span is committed under the seal."""
+        for index, span in enumerate(seal.spans):
+            if span.tenant_id == tenant_id:
+                tree = MerkleTree([s.leaf() for s in seal.spans])
+                return tree.proof(index)
+        raise KeyError(f"tenant {tenant_id!r} has no span in epoch {seal.epoch}")
+
+
+def _verify_span(
+    span: TenantSpan,
+    receipts: list[Receipt],
+    ae_key: RSAPublicKey,
+    errors: list[str],
+) -> None:
+    tid = span.tenant_id
+    if ae_key.fingerprint() != span.ae_key_fingerprint:
+        errors.append(f"{tid}: accounting key does not match the sealed fingerprint")
+        return
+    expected = span.end_sequence - span.start_sequence
+    if len(receipts) != expected:
+        errors.append(
+            f"{tid}: {len(receipts)} receipts for a span of {expected} "
+            "(dropped or extra receipts)"
+        )
+        return
+    previous = span.start_hash
+    for offset, receipt in enumerate(receipts):
+        entry = receipt.entry
+        seq = span.start_sequence + offset
+        if entry.sequence != seq:
+            errors.append(f"{tid}: receipt {offset} has sequence {entry.sequence}, expected {seq}")
+            return
+        if entry.previous_hash != previous:
+            errors.append(f"{tid}: chain broken at sequence {seq} (reordered or dropped)")
+            return
+        if not rsa_verify(ae_key, entry.body(), entry.signature):
+            errors.append(f"{tid}: signature invalid at sequence {seq} (tampered)")
+            return
+        previous = entry.entry_hash()
+    if previous != span.end_hash:
+        errors.append(f"{tid}: chain head does not match the sealed end hash (truncated tail)")
+
+
+def verify_epoch(
+    seal: EpochSeal,
+    receipts_by_tenant: dict[str, list[Receipt]],
+    ae_keys: dict[str, RSAPublicKey],
+    ledger_public_key: RSAPublicKey,
+    previous_seal: EpochSeal | None = None,
+) -> EpochVerification:
+    """Offline audit of one epoch from first principles.
+
+    ``receipts_by_tenant`` must hold, for each tenant with a span in the
+    seal, exactly the receipts the span covers, in chain order.  Either
+    party can run this: it needs only public keys and the receipts.
+    """
+    errors: list[str] = []
+    checked = 0
+
+    unsigned = EpochSeal(
+        epoch=seal.epoch,
+        previous_seal_hash=seal.previous_seal_hash,
+        merkle_root=seal.merkle_root,
+        spans=seal.spans,
+        signature=b"",
+    )
+    if not rsa_verify(ledger_public_key, unsigned.body(), seal.signature):
+        errors.append("epoch seal signature invalid")
+    if previous_seal is not None and seal.previous_seal_hash != previous_seal.seal_hash():
+        errors.append("epoch does not chain to the given previous seal")
+
+    leaves = [span.leaf() for span in seal.spans] or [b"empty-epoch"]
+    if MerkleTree(leaves).root != seal.merkle_root:
+        errors.append("Merkle root does not match the sealed spans")
+
+    for span in seal.spans:
+        receipts = receipts_by_tenant.get(span.tenant_id)
+        key = ae_keys.get(span.tenant_id)
+        if receipts is None or key is None:
+            errors.append(f"{span.tenant_id}: receipts or accounting key missing")
+            continue
+        checked += len(receipts)
+        _verify_span(span, receipts, key, errors)
+
+    return EpochVerification(
+        ok=not errors,
+        epoch=seal.epoch,
+        receipts_checked=checked,
+        errors=tuple(errors),
+    )
+
+
+def audit_tenant(
+    seal: EpochSeal,
+    proof: MerkleProof,
+    span: TenantSpan,
+    receipts: list[Receipt],
+    ae_key: RSAPublicKey,
+    ledger_public_key: RSAPublicKey,
+) -> bool:
+    """A single tenant's audit: my receipts, my span, one Merkle proof.
+
+    Needs nothing about other tenants — the privacy-preserving audit path.
+    """
+    unsigned = EpochSeal(
+        epoch=seal.epoch,
+        previous_seal_hash=seal.previous_seal_hash,
+        merkle_root=seal.merkle_root,
+        spans=seal.spans,
+        signature=b"",
+    )
+    if not rsa_verify(ledger_public_key, unsigned.body(), seal.signature):
+        return False
+    if not verify_proof(span.leaf(), proof, seal.merkle_root):
+        return False
+    errors: list[str] = []
+    _verify_span(span, receipts, ae_key, errors)
+    return not errors

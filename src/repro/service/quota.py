@@ -1,0 +1,207 @@
+"""Per-tenant admission control for the metering gateway.
+
+Quotas are enforced *before* dispatch — a rejected request never occupies a
+worker, so one noisy tenant cannot starve the pool.  Every rejection is a
+typed :class:`AdmissionError` carrying a machine-readable ``code`` and,
+where the condition is transient, a ``retry_after_s`` hint (the HTTP 429 /
+503 Retry-After analogue).
+
+Four quota dimensions, mirroring what the paper's provider would sell:
+
+* **instruction budget** — cumulative weighted instructions per epoch
+  (resets when the billing ledger seals an epoch);
+* **memory cap** — the workload's declared linear-memory requirement;
+* **queue depth** — in-flight + queued requests per tenant;
+* **request rate** — a token bucket (sustained rate plus burst).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+class AdmissionError(Exception):
+    """Base class for typed admission rejections."""
+
+    code = "rejected"
+
+    def __init__(self, message: str, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+    def to_json(self) -> dict:
+        return {
+            "code": self.code,
+            "message": str(self),
+            "retry_after_s": self.retry_after_s,
+        }
+
+
+class UnknownTenant(AdmissionError):
+    """Request names a tenant the gateway has never registered."""
+
+    code = "unknown-tenant"
+
+
+class QueueFull(AdmissionError):
+    """The tenant's in-flight + queued request count is at its cap."""
+
+    code = "queue-full"
+
+
+class RateLimited(AdmissionError):
+    """The tenant's token bucket is empty."""
+
+    code = "rate-limited"
+
+
+class InstructionBudgetExhausted(AdmissionError):
+    """The tenant spent its per-epoch weighted-instruction budget."""
+
+    code = "instruction-budget-exhausted"
+
+
+class MemoryCapExceeded(AdmissionError):
+    """The workload's declared memory requirement exceeds the tenant's cap."""
+
+    code = "memory-cap-exceeded"
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """What one tenant bought.  ``None`` disables a dimension."""
+
+    instruction_budget: int | None = None  # weighted instructions per epoch
+    memory_cap_bytes: int | None = None
+    max_queue_depth: int | None = None
+    requests_per_second: float | None = None
+    burst: int = 1  # token-bucket capacity when rate limiting is on
+
+
+@dataclass
+class _TenantState:
+    quota: TenantQuota
+    in_flight: int = 0
+    spent_instructions: int = 0  # this epoch
+    tokens: float = 0.0
+    last_refill: float = 0.0
+    admitted: int = 0
+    rejected: int = 0
+
+    def __post_init__(self) -> None:
+        self.tokens = float(self.quota.burst)
+
+
+class AdmissionController:
+    """Tracks per-tenant consumption and decides admission.
+
+    Thread-safe: the gateway calls :meth:`admit` from the submitting thread
+    and :meth:`settle` from pool completion callbacks.  ``clock`` is
+    injectable so tests can drive the token bucket deterministically.
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._clock = clock
+        self._tenants: dict[str, _TenantState] = {}
+        self._lock = threading.Lock()
+
+    def register(self, tenant_id: str, quota: TenantQuota) -> None:
+        with self._lock:
+            self._tenants[tenant_id] = _TenantState(quota=quota)
+
+    def quota(self, tenant_id: str) -> TenantQuota:
+        state = self._tenants.get(tenant_id)
+        if state is None:
+            raise UnknownTenant(f"tenant {tenant_id!r} is not registered")
+        return state.quota
+
+    # -- admission ---------------------------------------------------------------
+
+    def admit(self, tenant_id: str, memory_required_bytes: int = 0) -> None:
+        """Admit one request or raise a typed :class:`AdmissionError`.
+
+        On success the tenant's in-flight count is incremented; the caller
+        must eventually :meth:`settle` the request (even if execution fails).
+        """
+        with self._lock:
+            state = self._tenants.get(tenant_id)
+            if state is None:
+                raise UnknownTenant(f"tenant {tenant_id!r} is not registered")
+            quota = state.quota
+            try:
+                if (
+                    quota.memory_cap_bytes is not None
+                    and memory_required_bytes > quota.memory_cap_bytes
+                ):
+                    raise MemoryCapExceeded(
+                        f"workload needs {memory_required_bytes} B, "
+                        f"cap is {quota.memory_cap_bytes} B"
+                    )
+                if (
+                    quota.instruction_budget is not None
+                    and state.spent_instructions >= quota.instruction_budget
+                ):
+                    raise InstructionBudgetExhausted(
+                        f"spent {state.spent_instructions} of "
+                        f"{quota.instruction_budget} weighted instructions this epoch"
+                    )
+                if (
+                    quota.max_queue_depth is not None
+                    and state.in_flight >= quota.max_queue_depth
+                ):
+                    raise QueueFull(
+                        f"{state.in_flight} requests already queued "
+                        f"(cap {quota.max_queue_depth})",
+                        retry_after_s=0.05,
+                    )
+                if quota.requests_per_second is not None:
+                    self._refill(state)
+                    if state.tokens < 1.0:
+                        raise RateLimited(
+                            f"rate cap {quota.requests_per_second}/s exceeded",
+                            retry_after_s=(1.0 - state.tokens)
+                            / quota.requests_per_second,
+                        )
+                    state.tokens -= 1.0
+            except AdmissionError:
+                state.rejected += 1
+                raise
+            state.in_flight += 1
+            state.admitted += 1
+
+    def settle(self, tenant_id: str, weighted_instructions: int = 0) -> None:
+        """Record one finished request: free its slot, charge its budget."""
+        with self._lock:
+            state = self._tenants[tenant_id]
+            state.in_flight = max(0, state.in_flight - 1)
+            state.spent_instructions += weighted_instructions
+
+    def reset_epoch(self) -> None:
+        """Start a new accounting epoch: instruction budgets reset."""
+        with self._lock:
+            for state in self._tenants.values():
+                state.spent_instructions = 0
+
+    def _refill(self, state: _TenantState) -> None:
+        now = self._clock()
+        rate = state.quota.requests_per_second or 0.0
+        if state.last_refill:
+            state.tokens = min(
+                float(state.quota.burst),
+                state.tokens + (now - state.last_refill) * rate,
+            )
+        state.last_refill = now
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self, tenant_id: str) -> dict[str, int]:
+        state = self._tenants[tenant_id]
+        return {
+            "admitted": state.admitted,
+            "rejected": state.rejected,
+            "in_flight": state.in_flight,
+            "spent_instructions": state.spent_instructions,
+        }

@@ -1,0 +1,151 @@
+"""The gateway's execution pool: run instrumented workloads concurrently.
+
+Execution and accounting are deliberately split (see
+:class:`repro.core.accounting_enclave.RawExecution`): workers — plain
+processes, standing in for the per-request enclave instances of the paper's
+FaaS deployment — execute the *already instrumented* module and return raw
+meter readings; the tenant's accounting enclave back in the gateway process
+turns those into signed receipts.  Workers therefore never hold signing
+keys, and a compromised worker can at worst mis-execute its own tenant's
+request — exactly the blast radius the two-way sandbox promises.
+
+The default pool is a :class:`~concurrent.futures.ProcessPoolExecutor`
+(real parallelism for the pure-Python interpreter); ``kind="thread"`` gives
+a threaded fallback for platforms where subprocesses are unavailable, and is
+also what the test suite uses for speed.  Each worker process keeps a small
+module cache keyed by module hash, so per-request work is instantiate +
+execute, matching the paper's cached-side-module FaaS setup (§4.3).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.core.accounting_enclave import RawExecution
+from repro.wasm.binary import decode_module
+from repro.wasm.interpreter import ExecutionLimits, Trap
+from repro.wasm.module import Module
+from repro.wasm.runtime import HostEnvironment, IOChannel
+
+#: Worker-side decoded-module cache (per process; in the threaded pool all
+#: workers share it, which is safe because decoded modules are never mutated
+#: by instantiation).
+_MODULE_CACHE: dict[bytes, Module] = {}
+_MODULE_CACHE_MAX = 64
+
+
+@dataclass(frozen=True)
+class ExecutionTask:
+    """Everything a worker needs to run one request — plain bytes and ints,
+    so it pickles cheaply across the process boundary."""
+
+    module_bytes: bytes
+    module_hash: bytes
+    counter_global_index: int
+    export: str
+    args: tuple
+    input_data: bytes = b""
+    engine: str | None = None
+    max_instructions: int | None = None
+
+
+@dataclass(frozen=True)
+class WorkerResult:
+    """A finished task: raw meter readings plus the worker's own wall time."""
+
+    raw: RawExecution
+    exec_wall_s: float
+
+
+def _cached_module(task: ExecutionTask) -> Module:
+    module = _MODULE_CACHE.get(task.module_hash)
+    if module is None:
+        module = decode_module(task.module_bytes)
+        if len(_MODULE_CACHE) >= _MODULE_CACHE_MAX:
+            _MODULE_CACHE.pop(next(iter(_MODULE_CACHE)))
+        _MODULE_CACHE[task.module_hash] = module
+    return module
+
+
+def execute_task(task: ExecutionTask) -> WorkerResult:
+    """Run one request in this process and return its raw meter readings.
+
+    Mirrors :meth:`AccountingEnclave.invoke`'s execution half exactly — a
+    fresh instance per request, counter starting at zero — so that a
+    gateway run and a serial in-enclave run of the same requests produce
+    byte-identical resource vectors.
+    """
+    started = time.perf_counter()
+    module = _cached_module(task)
+    channel = IOChannel(input_data=task.input_data)
+    env = HostEnvironment(channel=channel, account_io=True)
+    limits = ExecutionLimits(max_instructions=task.max_instructions)
+    instance = env.instantiate(module, limits=limits, engine=task.engine)
+
+    trapped = False
+    trap_message = ""
+    value: object = None
+    try:
+        value = instance.invoke(task.export, *task.args)
+    except Trap as exc:
+        trapped = True
+        trap_message = str(exc)
+
+    memory = instance.memory
+    raw = RawExecution(
+        workload_hash=task.module_hash,
+        counter_value=int(instance.globals[task.counter_global_index].value),
+        peak_memory_bytes=memory.peak_bytes if memory is not None else 0,
+        initial_pages=module.memories[0].limits.minimum if module.memories else 0,
+        grow_history=tuple(instance.stats.grow_history),
+        io_bytes_in=env.account.bytes_in,
+        io_bytes_out=env.account.bytes_out,
+        value=value,
+        trapped=trapped,
+        trap_message=trap_message,
+        output=bytes(channel.output),
+    )
+    return WorkerResult(raw=raw, exec_wall_s=time.perf_counter() - started)
+
+
+class WorkerPool:
+    """A bounded pool of execution workers.
+
+    ``kind="process"`` (the default) runs tasks in subprocesses;
+    ``kind="thread"`` in threads.  If the process pool cannot be created
+    (no ``fork``/``spawn`` support, restricted environments) the pool
+    silently falls back to threads and records that in :attr:`kind`.
+    """
+
+    def __init__(self, workers: int = 1, kind: str = "process"):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if kind not in ("process", "thread"):
+            raise ValueError(f"unknown pool kind {kind!r}")
+        self.workers = workers
+        self._executor: Executor
+        if kind == "process":
+            try:
+                self._executor = ProcessPoolExecutor(max_workers=workers)
+            except (OSError, ValueError, NotImplementedError):
+                kind = "thread"
+        if kind == "thread":
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="metering-worker"
+            )
+        self.kind = kind
+
+    def submit(self, task: ExecutionTask) -> Future:
+        """Schedule one task; the future resolves to a :class:`WorkerResult`."""
+        return self._executor.submit(execute_task, task)
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -11,6 +11,7 @@ rather than stubbed.
 
 from repro.tcrypto.hashing import sha256, sha256_hex, measurement
 from repro.tcrypto.hmac import hmac_sha256, verify_hmac
+from repro.tcrypto.merkle import MerkleProof, MerkleTree, merkle_root, verify_proof
 from repro.tcrypto.primes import is_probable_prime, generate_prime
 from repro.tcrypto.rsa import RSAKeyPair, RSAPublicKey, rsa_generate, rsa_sign, rsa_verify
 
@@ -20,6 +21,10 @@ __all__ = [
     "measurement",
     "hmac_sha256",
     "verify_hmac",
+    "MerkleProof",
+    "MerkleTree",
+    "merkle_root",
+    "verify_proof",
     "is_probable_prime",
     "generate_prime",
     "RSAKeyPair",

@@ -1,0 +1,99 @@
+"""Merkle trees over billing receipts (epoch sealing).
+
+The metering gateway seals each accounting epoch by building a Merkle tree
+whose leaves are per-tenant chain-segment digests; publishing only the root
+commits the provider to *every* tenant's receipts at once.  A tenant who
+holds their own receipts plus an inclusion proof can audit their bill
+without seeing any other tenant's data — the same aggregation shape S-FaaS
+uses for per-request receipts.
+
+Hashing is domain-separated (``0x00`` prefix for leaves, ``0x01`` for inner
+nodes) so a leaf value can never be confused with an inner-node digest, and
+an odd node at any level is promoted unchanged (no duplicate-last rule, so
+``root([a, b]) != root([a, b, b])``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tcrypto.hashing import sha256
+
+_LEAF_PREFIX = b"\x00"
+_NODE_PREFIX = b"\x01"
+
+
+def leaf_hash(data: bytes) -> bytes:
+    """Hash one leaf value into the tree's leaf domain."""
+    return sha256(_LEAF_PREFIX + data)
+
+
+def node_hash(left: bytes, right: bytes) -> bytes:
+    """Combine two child digests into their parent."""
+    return sha256(_NODE_PREFIX + left + right)
+
+
+@dataclass(frozen=True)
+class MerkleProof:
+    """An inclusion proof: the sibling digests from one leaf up to the root.
+
+    ``path`` lists ``(sibling_digest, sibling_is_right)`` pairs bottom-up;
+    levels where the node was promoted without a sibling contribute nothing.
+    """
+
+    leaf_index: int
+    leaf_count: int
+    path: tuple[tuple[bytes, bool], ...]
+
+
+class MerkleTree:
+    """A Merkle tree over an ordered list of leaf values."""
+
+    def __init__(self, leaves: list[bytes]):
+        if not leaves:
+            raise ValueError("a Merkle tree needs at least one leaf")
+        self.leaf_count = len(leaves)
+        # levels[0] is the leaf level, levels[-1] is [root]
+        self.levels: list[list[bytes]] = [[leaf_hash(leaf) for leaf in leaves]]
+        while len(self.levels[-1]) > 1:
+            below = self.levels[-1]
+            above = [
+                node_hash(below[i], below[i + 1])
+                for i in range(0, len(below) - 1, 2)
+            ]
+            if len(below) % 2:
+                above.append(below[-1])  # odd node promoted unchanged
+            self.levels.append(above)
+
+    @property
+    def root(self) -> bytes:
+        return self.levels[-1][0]
+
+    def proof(self, index: int) -> MerkleProof:
+        """Inclusion proof for the leaf at ``index``."""
+        if not 0 <= index < self.leaf_count:
+            raise IndexError(f"leaf index {index} out of range")
+        path: list[tuple[bytes, bool]] = []
+        i = index
+        for level in self.levels[:-1]:
+            sibling = i ^ 1
+            if sibling < len(level):
+                path.append((level[sibling], sibling > i))
+            i //= 2
+        return MerkleProof(leaf_index=index, leaf_count=self.leaf_count, path=tuple(path))
+
+
+def merkle_root(leaves: list[bytes]) -> bytes:
+    """The root commitment over ``leaves`` (see :class:`MerkleTree`)."""
+    return MerkleTree(leaves).root
+
+
+def verify_proof(leaf: bytes, proof: MerkleProof, root: bytes) -> bool:
+    """Check that ``leaf`` is committed under ``root`` at the proof's position."""
+    digest = leaf_hash(leaf)
+    for sibling, sibling_is_right in proof.path:
+        if sibling_is_right:
+            digest = node_hash(digest, sibling)
+        else:
+            digest = node_hash(sibling, digest)
+    return digest == root

@@ -1,0 +1,101 @@
+"""Receipt-level attacks on the resource usage log (paper §3.1 threat model).
+
+The provider (or a tenant) may try to reorder, swap, truncate or forge
+entries after the fact; every one of these must fail offline verification.
+Truncation needs the out-of-band head hash — the epoch seal supplies it in
+the gateway; here we pass it explicitly.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.resource_log import ResourceUsageLog, ResourceVector
+from repro.tcrypto.hashing import sha256
+from repro.tcrypto.rsa import rsa_generate
+
+WH = b"\x33" * 32
+WD = b"\x44" * 32
+
+
+@pytest.fixture(scope="module")
+def key():
+    return rsa_generate(512, seed=4242)
+
+
+def make_log(key, entries: int = 4) -> ResourceUsageLog:
+    log = ResourceUsageLog(key)
+    for i in range(entries):
+        log.append(
+            ResourceVector(
+                weighted_instructions=1000 + i,
+                peak_memory_bytes=65536,
+                memory_integral_page_instructions=0,
+                io_bytes_in=i,
+                io_bytes_out=0,
+                label=f"req-{i}",
+            ),
+            WH,
+            WD,
+        )
+    return log
+
+
+def test_untampered_log_verifies(key):
+    log = make_log(key)
+    assert log.verify(key.public)
+    assert log.verify(key.public, expected_head=log.head_hash, expected_entries=4)
+
+
+def test_entry_reordering_detected(key):
+    log = make_log(key)
+    log.entries[1], log.entries[2] = log.entries[2], log.entries[1]
+    assert not log.verify(key.public)
+
+
+def test_reordering_with_renumbered_sequences_detected(key):
+    # an attacker who also rewrites the sequence numbers still breaks the
+    # previous_hash chain (sequence is inside the signed body)
+    log = make_log(key)
+    a, b = log.entries[1], log.entries[2]
+    log.entries[1] = replace(b, sequence=1)
+    log.entries[2] = replace(a, sequence=2)
+    assert not log.verify(key.public)
+
+
+def test_signature_swapped_between_entries_detected(key):
+    log = make_log(key)
+    sig1, sig2 = log.entries[1].signature, log.entries[2].signature
+    log.entries[1] = replace(log.entries[1], signature=sig2)
+    log.entries[2] = replace(log.entries[2], signature=sig1)
+    assert not log.verify(key.public)
+
+
+def test_truncated_tail_detected_with_expected_head(key):
+    log = make_log(key)
+    head = log.head_hash
+    log.entries.pop()
+    # a bare chain check cannot see the missing tail...
+    assert log.verify(key.public)
+    # ...but the sealed head hash (or entry count) catches it
+    assert not log.verify(key.public, expected_head=head)
+    assert not log.verify(key.public, expected_entries=4)
+
+
+def test_forged_previous_hash_detected(key):
+    log = make_log(key)
+    forged = replace(log.entries[2], previous_hash=sha256(b"forged"))
+    log.entries[2] = forged
+    assert not log.verify(key.public)
+
+
+def test_forged_previous_hash_with_recomputed_chain_detected(key):
+    # even if the attacker re-links the *following* entries' previous_hash
+    # fields, they cannot re-sign the modified bodies without the key
+    log = make_log(key)
+    log.entries[1] = replace(log.entries[1], previous_hash=sha256(b"forged"))
+    for i in range(2, len(log.entries)):
+        log.entries[i] = replace(
+            log.entries[i], previous_hash=log.entries[i - 1].entry_hash()
+        )
+    assert not log.verify(key.public)

@@ -22,6 +22,27 @@ class TestMemoryIntegral:
     def test_zero_instructions(self):
         assert memory_integral([], 4, 0) == 0
 
+    def test_empty_history_zero_pages(self):
+        assert memory_integral([], initial_pages=0, total_instructions=500) == 0
+
+    def test_grow_at_instruction_zero(self):
+        # growing before any instruction retires: the initial size never
+        # contributes, the grown size covers the whole run
+        assert memory_integral([(0, 7)], initial_pages=2, total_instructions=100) == 700
+
+    def test_two_grows_at_same_instruction(self):
+        # consecutive grows with no instructions in between: the middle size
+        # is live for zero instructions and must contribute nothing
+        history = [(30, 4), (30, 9)]
+        assert memory_integral(history, 1, 100) == 1 * 30 + 4 * 0 + 9 * 70
+
+    def test_grow_at_final_instruction(self):
+        # growth at the last counted instruction adds nothing
+        assert (
+            memory_integral([(100, 50)], initial_pages=3, total_instructions=100)
+            == 3 * 100
+        )
+
     @given(
         st.lists(st.integers(1, 100), max_size=5),
         st.integers(1, 10),

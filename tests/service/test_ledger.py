@@ -1,0 +1,207 @@
+"""Tests for the epoch-sealed billing ledger and its offline auditor."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.resource_log import ResourceUsageLog, ResourceVector
+from repro.service.ledger import (
+    BillingLedger,
+    EpochSeal,
+    audit_tenant,
+    verify_epoch,
+)
+from repro.tcrypto.rsa import rsa_generate
+
+WD = b"\x55" * 32
+
+
+@pytest.fixture(scope="module")
+def tenant_keys():
+    return {
+        "alice": rsa_generate(512, seed=101),
+        "bob": rsa_generate(512, seed=102),
+    }
+
+
+def vector(n: int) -> ResourceVector:
+    return ResourceVector(
+        weighted_instructions=100 * n,
+        peak_memory_bytes=65536,
+        memory_integral_page_instructions=0,
+        io_bytes_in=0,
+        io_bytes_out=0,
+        label=f"req-{n}",
+    )
+
+
+def make_ledger(tenant_keys, per_tenant: int = 3):
+    """A ledger plus the per-tenant AE logs that feed it."""
+    ledger = BillingLedger()
+    logs = {}
+    for tenant_id, key in tenant_keys.items():
+        ledger.register_tenant(tenant_id, key.public)
+        log = ResourceUsageLog(key)
+        logs[tenant_id] = log
+        for i in range(per_tenant):
+            entry = log.append(vector(i + 1), tenant_id.encode() * 4, WD)
+            ledger.record(tenant_id, entry)
+    return ledger, logs
+
+
+def audit_inputs(ledger, seal):
+    receipts = {
+        span.tenant_id: ledger.epoch_receipts(seal, span.tenant_id)
+        for span in seal.spans
+    }
+    keys = {span.tenant_id: ledger.ae_key(span.tenant_id) for span in seal.spans}
+    return receipts, keys
+
+
+def test_epoch_seals_and_verifies(tenant_keys):
+    ledger, _ = make_ledger(tenant_keys)
+    seal = ledger.seal_epoch()
+    receipts, keys = audit_inputs(ledger, seal)
+    verdict = verify_epoch(seal, receipts, keys, ledger.public_key)
+    assert verdict.ok, verdict.errors
+    assert verdict.receipts_checked == 6
+    assert {s.tenant_id for s in seal.spans} == {"alice", "bob"}
+
+
+def test_second_epoch_chains_to_first(tenant_keys):
+    ledger, logs = make_ledger(tenant_keys)
+    first = ledger.seal_epoch()
+    entry = logs["alice"].append(vector(9), b"alice" * 4, WD)
+    ledger.record("alice", entry)
+    second = ledger.seal_epoch()
+    assert second.previous_seal_hash == first.seal_hash()
+    assert second.span_for("bob") is None  # no new receipts for bob
+    span = second.span_for("alice")
+    assert (span.start_sequence, span.end_sequence) == (3, 4)
+    receipts, keys = audit_inputs(ledger, second)
+    verdict = verify_epoch(
+        second, receipts, keys, ledger.public_key, previous_seal=first
+    )
+    assert verdict.ok, verdict.errors
+
+
+def test_empty_epoch_still_seals(tenant_keys):
+    ledger, _ = make_ledger(tenant_keys, per_tenant=0)
+    seal = ledger.seal_epoch()
+    assert seal.spans == ()
+    verdict = verify_epoch(seal, {}, {}, ledger.public_key)
+    assert verdict.ok
+
+
+def test_out_of_order_record_rejected(tenant_keys):
+    ledger, logs = make_ledger(tenant_keys, per_tenant=0)
+    log = logs["alice"]
+    first = log.append(vector(1), b"alice" * 4, WD)
+    second = log.append(vector(2), b"alice" * 4, WD)
+    with pytest.raises(ValueError):
+        ledger.record("alice", second)  # skips sequence 0
+    ledger.record("alice", first)
+    ledger.record("alice", second)
+
+
+def test_dropped_receipt_detected(tenant_keys):
+    ledger, _ = make_ledger(tenant_keys)
+    seal = ledger.seal_epoch()
+    receipts, keys = audit_inputs(ledger, seal)
+    del receipts["alice"][1]
+    verdict = verify_epoch(seal, receipts, keys, ledger.public_key)
+    assert not verdict.ok
+    assert any("dropped" in err for err in verdict.errors)
+
+
+def test_reordered_receipts_detected(tenant_keys):
+    ledger, _ = make_ledger(tenant_keys)
+    seal = ledger.seal_epoch()
+    receipts, keys = audit_inputs(ledger, seal)
+    receipts["bob"][0], receipts["bob"][1] = receipts["bob"][1], receipts["bob"][0]
+    verdict = verify_epoch(seal, receipts, keys, ledger.public_key)
+    assert not verdict.ok
+
+
+def test_tampered_receipt_detected(tenant_keys):
+    ledger, _ = make_ledger(tenant_keys)
+    seal = ledger.seal_epoch()
+    receipts, keys = audit_inputs(ledger, seal)
+    victim = receipts["alice"][1]
+    inflated = replace(
+        victim,
+        entry=replace(
+            victim.entry, vector=replace(victim.entry.vector, weighted_instructions=1)
+        ),
+    )
+    receipts["alice"][1] = inflated
+    verdict = verify_epoch(seal, receipts, keys, ledger.public_key)
+    assert not verdict.ok
+
+
+def test_truncated_tail_detected(tenant_keys):
+    ledger, _ = make_ledger(tenant_keys)
+    seal = ledger.seal_epoch()
+    receipts, keys = audit_inputs(ledger, seal)
+    span = seal.span_for("alice")
+    truncated = replace(span, end_sequence=span.end_sequence - 1)
+    # the seal still names 3 receipts; presenting 2 is caught by the count,
+    # and presenting a seal with a doctored span breaks root + signature
+    receipts["alice"].pop()
+    verdict = verify_epoch(seal, receipts, keys, ledger.public_key)
+    assert not verdict.ok
+    doctored = EpochSeal(
+        epoch=seal.epoch,
+        previous_seal_hash=seal.previous_seal_hash,
+        merkle_root=seal.merkle_root,
+        spans=tuple(truncated if s.tenant_id == "alice" else s for s in seal.spans),
+        signature=seal.signature,
+    )
+    verdict = verify_epoch(doctored, receipts, keys, ledger.public_key)
+    assert not verdict.ok
+
+
+def test_substituted_ae_key_detected(tenant_keys):
+    ledger, _ = make_ledger(tenant_keys)
+    seal = ledger.seal_epoch()
+    receipts, keys = audit_inputs(ledger, seal)
+    keys["alice"] = rsa_generate(512, seed=999).public
+    verdict = verify_epoch(seal, receipts, keys, ledger.public_key)
+    assert not verdict.ok
+
+
+def test_forged_seal_signature_detected(tenant_keys):
+    ledger, _ = make_ledger(tenant_keys)
+    seal = ledger.seal_epoch()
+    receipts, keys = audit_inputs(ledger, seal)
+    forged = EpochSeal(
+        epoch=seal.epoch,
+        previous_seal_hash=seal.previous_seal_hash,
+        merkle_root=seal.merkle_root,
+        spans=seal.spans,
+        signature=b"\x00" * len(seal.signature),
+    )
+    verdict = verify_epoch(forged, receipts, keys, ledger.public_key)
+    assert not verdict.ok
+
+
+def test_tenant_self_audit_with_merkle_proof(tenant_keys):
+    ledger, _ = make_ledger(tenant_keys)
+    seal = ledger.seal_epoch()
+    span = seal.span_for("alice")
+    proof = ledger.inclusion_proof(seal, "alice")
+    receipts = ledger.epoch_receipts(seal, "alice")
+    assert audit_tenant(
+        seal, proof, span, receipts, ledger.ae_key("alice"), ledger.public_key
+    )
+    # bob's proof does not vouch for alice's span
+    bob_proof = ledger.inclusion_proof(seal, "bob")
+    assert not audit_tenant(
+        seal, bob_proof, span, receipts, ledger.ae_key("alice"), ledger.public_key
+    )
+
+
+def test_ledger_totals(tenant_keys):
+    ledger, _ = make_ledger(tenant_keys)
+    totals = ledger.totals("alice")
+    assert totals.weighted_instructions == 100 + 200 + 300

@@ -1,0 +1,117 @@
+"""Tests for gateway admission control."""
+
+import pytest
+
+from repro.service.quota import (
+    AdmissionController,
+    AdmissionError,
+    InstructionBudgetExhausted,
+    MemoryCapExceeded,
+    QueueFull,
+    RateLimited,
+    TenantQuota,
+    UnknownTenant,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def controller(clock):
+    return AdmissionController(clock=clock)
+
+
+def test_unknown_tenant_rejected(controller):
+    with pytest.raises(UnknownTenant) as exc:
+        controller.admit("ghost")
+    assert exc.value.code == "unknown-tenant"
+
+
+def test_unlimited_quota_admits_everything(controller):
+    controller.register("t", TenantQuota())
+    for _ in range(100):
+        controller.admit("t")
+
+
+def test_queue_depth_enforced_and_released(controller):
+    controller.register("t", TenantQuota(max_queue_depth=2))
+    controller.admit("t")
+    controller.admit("t")
+    with pytest.raises(QueueFull) as exc:
+        controller.admit("t")
+    assert exc.value.retry_after_s is not None
+    controller.settle("t")
+    controller.admit("t")  # slot freed
+
+
+def test_rate_limit_with_retry_after(controller, clock):
+    controller.register("t", TenantQuota(requests_per_second=10.0, burst=1))
+    controller.admit("t")
+    with pytest.raises(RateLimited) as exc:
+        controller.admit("t")
+    assert exc.value.code == "rate-limited"
+    assert exc.value.retry_after_s == pytest.approx(0.1, abs=0.05)
+    clock.advance(0.15)
+    controller.admit("t")  # bucket refilled
+
+
+def test_rate_limit_burst(controller, clock):
+    controller.register("t", TenantQuota(requests_per_second=1.0, burst=3))
+    for _ in range(3):
+        controller.admit("t")
+    with pytest.raises(RateLimited):
+        controller.admit("t")
+
+
+def test_instruction_budget_exhausts_and_resets(controller):
+    controller.register("t", TenantQuota(instruction_budget=1000))
+    controller.admit("t")
+    controller.settle("t", weighted_instructions=1500)
+    with pytest.raises(InstructionBudgetExhausted) as exc:
+        controller.admit("t")
+    assert exc.value.code == "instruction-budget-exhausted"
+    controller.reset_epoch()
+    controller.admit("t")  # new epoch, fresh budget
+
+
+def test_memory_cap(controller):
+    controller.register("t", TenantQuota(memory_cap_bytes=65536))
+    controller.admit("t", memory_required_bytes=65536)
+    with pytest.raises(MemoryCapExceeded):
+        controller.admit("t", memory_required_bytes=65537)
+
+
+def test_rejections_counted_in_stats(controller):
+    controller.register("t", TenantQuota(max_queue_depth=1))
+    controller.admit("t")
+    with pytest.raises(QueueFull):
+        controller.admit("t")
+    stats = controller.stats("t")
+    assert stats["admitted"] == 1
+    assert stats["rejected"] == 1
+    assert stats["in_flight"] == 1
+
+
+def test_typed_errors_serialise(controller):
+    controller.register("t", TenantQuota(max_queue_depth=1))
+    controller.admit("t")
+    try:
+        controller.admit("t")
+    except AdmissionError as exc:
+        data = exc.to_json()
+    assert data["code"] == "queue-full"
+    assert "retry_after_s" in data

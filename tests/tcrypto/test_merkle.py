@@ -1,0 +1,73 @@
+"""Tests for the Merkle tree behind epoch sealing."""
+
+import pytest
+
+from repro.tcrypto.merkle import MerkleTree, leaf_hash, merkle_root, verify_proof
+
+
+def leaves(n: int) -> list[bytes]:
+    return [f"leaf-{i}".encode() for i in range(n)]
+
+
+def test_single_leaf_root_is_leaf_hash():
+    assert merkle_root([b"only"]) == leaf_hash(b"only")
+
+
+def test_empty_tree_rejected():
+    with pytest.raises(ValueError):
+        MerkleTree([])
+
+
+def test_root_changes_with_any_leaf():
+    base = merkle_root(leaves(5))
+    for i in range(5):
+        mutated = leaves(5)
+        mutated[i] = b"tampered"
+        assert merkle_root(mutated) != base
+
+
+def test_root_depends_on_order():
+    a = leaves(4)
+    b = [a[1], a[0], *a[2:]]
+    assert merkle_root(a) != merkle_root(b)
+
+
+def test_odd_promotion_is_not_duplication():
+    # With duplicate-last trees, root([a, b, b]) == root([a, b]); promotion
+    # keeps them distinct so an attacker cannot replay the last span.
+    assert merkle_root(leaves(2)) != merkle_root([*leaves(2), leaves(2)[-1]])
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 8, 13])
+def test_proofs_verify_for_every_leaf(n):
+    tree = MerkleTree(leaves(n))
+    for i, leaf in enumerate(leaves(n)):
+        proof = tree.proof(i)
+        assert verify_proof(leaf, proof, tree.root)
+
+
+def test_proof_fails_for_wrong_leaf():
+    tree = MerkleTree(leaves(6))
+    proof = tree.proof(2)
+    assert not verify_proof(b"not-the-leaf", proof, tree.root)
+
+
+def test_proof_fails_under_wrong_root():
+    tree = MerkleTree(leaves(6))
+    other = MerkleTree(leaves(7))
+    proof = tree.proof(2)
+    assert not verify_proof(leaves(6)[2], proof, other.root)
+
+
+def test_proof_index_out_of_range():
+    tree = MerkleTree(leaves(3))
+    with pytest.raises(IndexError):
+        tree.proof(3)
+
+
+def test_leaf_domain_separated_from_nodes():
+    # a leaf equal to the concatenation of two digests must not collide
+    # with their parent node
+    tree = MerkleTree(leaves(2))
+    forged_leaf = tree.levels[0][0] + tree.levels[0][1]
+    assert leaf_hash(forged_leaf) != tree.root

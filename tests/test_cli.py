@@ -119,3 +119,63 @@ def test_verify_log_detects_tampering(minic_file, tmp_path, capsys):
     data["entries"][0]["vector"]["weighted_instructions"] = 10**9
     log_path.write_text(json.dumps(data))
     assert main(["verify-log", str(log_path)]) == 1
+
+
+def test_verify_log_json_output(minic_file, tmp_path, capsys):
+    import json
+
+    log_path = tmp_path / "log.json"
+    main([
+        "sandbox", minic_file, "--invoke", "twice", "--args", "3",
+        "--export-log", str(log_path),
+    ])
+    capsys.readouterr()
+    assert main(["verify-log", str(log_path), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is True
+    assert report["entries"] == 1
+    assert report["totals"]["weighted_instructions"] > 0
+
+    data = json.loads(log_path.read_text())
+    data["entries"][0]["vector"]["weighted_instructions"] = 10**9
+    log_path.write_text(json.dumps(data))
+    assert main(["verify-log", str(log_path), "--json"]) == 1
+    report = json.loads(capsys.readouterr().out)
+    assert report["ok"] is False
+
+
+def test_sandbox_reports_cache_stats(minic_file, capsys):
+    assert main(["sandbox", minic_file, "--invoke", "twice", "--args", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "instrumentation cache:" in out
+    assert "1 misses" in out
+
+
+def test_serve_command(capsys):
+    assert main([
+        "serve", "--workers", "2", "--pool", "thread",
+        "--requests", "6", "--kernels", "trisolv,atax",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "epoch verifies offline: True" in out
+    assert "receipts" in out
+
+
+def test_loadtest_command_writes_report(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "bench.json"
+    assert main([
+        "loadtest", "--workers", "1,2", "--requests", "4", "--pool", "thread",
+        "--backend", "wasm", "--kernels", "trisolv", "--out", str(out_path),
+    ]) == 0
+    report = json.loads(out_path.read_text())
+    assert report["benchmark"] == "metering-gateway-loadtest"
+    assert report["worker_counts"] == [1, 2]
+    sweep = report["sweeps"]["wasm"]["sweep"]
+    assert all(point["epoch_ok"] for point in sweep)
+    assert all(
+        point["quota_rejection"]["code"] == "instruction-budget-exhausted"
+        for point in sweep
+    )
+    assert report["sweeps"]["wasm"]["serial_totals_match"] is True
