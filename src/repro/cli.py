@@ -8,6 +8,9 @@ Usage (also via ``python -m repro``)::
     repro sandbox module.mc --invoke work --args 5
     repro serve --workers 4 --requests 60
     repro loadtest --workers 1,2,4 --out BENCH_service.json
+    repro trace atax --out trace.json
+    repro metrics --requests 12
+    repro run module.wat --invoke fib --args 20 --profile
 
 ``run`` executes any WAT module and prints the result plus execution stats;
 ``meter`` prices it across the deployment ladder; ``sandbox`` does the full
@@ -15,6 +18,13 @@ AccTEE protocol for a MiniC source file and prints the signed log;
 ``serve`` drives the multi-tenant metering gateway over a synthetic tenant
 mix; ``loadtest`` sweeps gateway worker counts and emits throughput/latency
 percentiles as JSON.
+
+Observability: ``trace`` records one traced workload run and writes Chrome
+``trace_event`` JSON (open in Perfetto / ``about:tracing``); ``metrics``
+drives a short gateway mix and dumps the OpenMetrics text exposition (or
+checks the metric-name contract with ``--check-contract``); ``--profile``
+on ``run``/``sandbox`` prints a hot-function report and can write a
+flamegraph collapsed-stack file.
 """
 
 from __future__ import annotations
@@ -74,10 +84,39 @@ def cmd_instrument(args: argparse.Namespace) -> int:
     return 0
 
 
+def _profiled(enabled: bool):
+    """Context manager yielding an active profiler (or None)."""
+    from contextlib import contextmanager
+
+    from repro.obs.profiler import disable_profiling, enable_profiling
+
+    @contextmanager
+    def _cm():
+        if not enabled:
+            yield None
+            return
+        prof = enable_profiling()
+        try:
+            yield prof
+        finally:
+            disable_profiling()
+
+    return _cm()
+
+
+def _emit_profile(prof, args: argparse.Namespace) -> None:
+    print(prof.report(args.profile_top))
+    if args.profile_out:
+        pathlib.Path(args.profile_out).write_text(prof.collapsed_stacks())
+        print(f"collapsed stacks written to {args.profile_out} "
+              "(feed to flamegraph.pl / speedscope)")
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     module = _load_module(args.module)
     instance = Instance(module, engine=args.engine)
-    value = instance.invoke(args.invoke, *_parse_args_list(args.args))
+    with _profiled(args.profile) as prof:
+        value = instance.invoke(args.invoke, *_parse_args_list(args.args))
     print(f"result: {value}")
     stats = instance.stats
     print(f"instructions executed: {stats.total_visits}")
@@ -88,6 +127,8 @@ def cmd_run(args: argparse.Namespace) -> int:
         print("hottest instructions:")
         for name, count in stats.visits.most_common(args.top):
             print(f"  {name:<20} {count}")
+    if prof is not None:
+        _emit_profile(prof, args)
     return 0
 
 
@@ -117,7 +158,8 @@ def cmd_sandbox(args: argparse.Namespace) -> int:
         workload = sandbox.submit_wat(source)
     else:
         workload = sandbox.submit_minic(source)
-    result = workload.invoke(args.invoke, *_parse_args_list(args.args))
+    with _profiled(args.profile) as prof:
+        result = workload.invoke(args.invoke, *_parse_args_list(args.args))
     print(f"result: {result.value}" + ("  (trapped!)" if result.trapped else ""))
     print(f"metered: {result.vector.weighted_instructions} weighted instructions, "
           f"{result.vector.peak_memory_bytes} B peak, "
@@ -126,6 +168,8 @@ def cmd_sandbox(args: argparse.Namespace) -> int:
     print(f"instrumentation cache: {cache['hits']} hits, {cache['misses']} misses")
     print(f"log verifies: {sandbox.verify_log()}")
     print(f"invoice: {sandbox.invoice():.6f}")
+    if prof is not None:
+        _emit_profile(prof, args)
     if args.export_log:
         from repro.core.serialization import dump_log
 
@@ -217,6 +261,13 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     worker_counts = tuple(int(w) for w in args.workers.split(","))
     kernels = tuple(args.kernels.split(",")) if args.kernels else ()
     backends = ("wasm", "modeled") if args.backend == "both" else (args.backend,)
+    registry = None
+    if args.metrics_out:
+        from repro.obs import enable_metrics, get_registry
+
+        registry = get_registry()
+        registry.reset()
+        enable_metrics()
     sweeps = {}
     ok = True
     for backend in backends:
@@ -238,6 +289,10 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                   f"p50={latency['p50'] * 1000:.1f}ms p95={latency['p95'] * 1000:.1f}ms "
                   f"p99={latency['p99'] * 1000:.1f}ms  epoch_ok={point['epoch_ok']}")
             ok = ok and point["epoch_ok"]
+            if not point["epoch_ok"]:
+                for error in point["epoch_errors"]:
+                    print(f"[{backend}] workers={point['workers']}: "
+                          f"epoch audit error: {error}", file=sys.stderr)
             if point["quota_rejection"]:
                 print(f"         over-quota probe rejected: "
                       f"[{point['quota_rejection']['code']}]")
@@ -261,7 +316,112 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     }
     pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
+    if registry is not None:
+        from repro.obs import disable_metrics
+
+        disable_metrics()
+        metrics_path = pathlib.Path(args.metrics_out)
+        merged = {}
+        if metrics_path.exists():
+            try:
+                merged = json.loads(metrics_path.read_text())
+            except ValueError:
+                merged = {}
+        merged["loadtest_metrics"] = registry.snapshot()
+        metrics_path.write_text(json.dumps(merged, indent=2) + "\n")
+        print(f"metrics snapshot merged into {args.metrics_out}")
     return 0 if ok else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run one workload through the two-way sandbox with tracing enabled."""
+    from repro.core.sandbox import SandboxConfig, TwoWaySandbox
+    from repro.obs.trace import disable_tracing, enable_tracing
+    from repro.workloads import POLYBENCH_KERNELS
+
+    if args.workload in POLYBENCH_KERNELS:
+        spec = POLYBENCH_KERNELS[args.workload]
+        module = spec.compile().clone()
+        export, call_args = spec.run
+    else:
+        module = _load_module(args.workload)
+        if not args.invoke:
+            print("--invoke is required for file workloads", file=sys.stderr)
+            return 2
+        export, call_args = args.invoke, tuple(_parse_args_list(args.args))
+
+    tracer = enable_tracing()
+    try:
+        sandbox = TwoWaySandbox.deploy(SandboxConfig(engine=args.engine))
+        workload = sandbox.submit_module(module)
+        result = workload.invoke(export, *call_args)
+    finally:
+        disable_tracing()
+    tracer.write_chrome_trace(args.out)
+
+    spans = tracer.finished()
+    print(f"result: {result.value}" + ("  (trapped!)" if result.trapped else ""))
+    print(f"{len(spans)} spans captured; Chrome trace written to {args.out}")
+    print("open it at https://ui.perfetto.dev or chrome://tracing")
+    for s in sorted(spans, key=lambda s: s.duration_ns, reverse=True)[:args.top]:
+        print(f"  {s.name:<26} {s.duration_ns / 1e6:10.3f} ms  "
+              f"span={s.span_id} parent={s.parent_id}")
+    return 0
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    """Drive a short gateway mix with metrics on; dump the exposition."""
+    import json
+
+    from repro.obs import disable_metrics, enable_metrics, get_registry
+    from repro.obs.instruments import check_contract
+
+    if args.check_contract:
+        problems = check_contract()
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        if problems:
+            return 1
+        print("metric-name contract OK")
+        return 0
+
+    from repro.service.gateway import run_loadtest
+
+    kernels = tuple(args.kernels.split(",")) if args.kernels else ("trisolv", "atax")
+    registry = get_registry()
+    registry.reset()
+    enable_metrics()
+    try:
+        run_loadtest(
+            worker_counts=(args.workers,),
+            requests=args.requests,
+            pool="thread",
+            kernels=kernels,
+            backend="wasm",
+            verify_serial=False,
+        )
+    finally:
+        disable_metrics()
+    output = (
+        json.dumps(registry.snapshot(), indent=2) + "\n"
+        if args.json
+        else registry.render_openmetrics()
+    )
+    if args.out:
+        pathlib.Path(args.out).write_text(output)
+        print(f"metrics written to {args.out}")
+    else:
+        sys.stdout.write(output)
+    return 0
+
+
+def _add_profile_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--profile", action="store_true",
+                   help="attribute execution to Wasm functions and hot segments")
+    p.add_argument("--profile-top", type=int, default=10,
+                   help="rows in the hot-function report")
+    p.add_argument("--profile-out",
+                   help="write flamegraph collapsed stacks to this file")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -287,6 +447,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=0, help="show N hottest instructions")
     p.add_argument("--engine", choices=ENGINES, default=None,
                    help="execution engine (default: pre-decoded threaded dispatch)")
+    _add_profile_args(p)
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("meter", help="price a run across the deployment ladder")
@@ -303,6 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["naive", "flow-based", "loop-based"])
     p.add_argument("--weighted", action="store_true")
     p.add_argument("--export-log", help="dump the signed resource log to this JSON file")
+    _add_profile_args(p)
     p.set_defaults(fn=cmd_sandbox)
 
     p = sub.add_parser("verify-log", help="offline verification of an exported log")
@@ -342,7 +504,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the serial single-sandbox equivalence check")
     p.add_argument("--engine", choices=ENGINES, default=None)
     p.add_argument("--out", default="BENCH_service.json", help="output JSON path")
+    p.add_argument("--metrics-out", default=None,
+                   help="run with metrics enabled and merge the snapshot "
+                        "into this JSON file")
     p.set_defaults(fn=cmd_loadtest)
+
+    p = sub.add_parser("trace", help="traced workload run -> Chrome trace JSON")
+    p.add_argument("workload",
+                   help="a PolyBench kernel name (e.g. atax) or a .wat/.mc file")
+    p.add_argument("--invoke", default=None, help="export to call (file workloads)")
+    p.add_argument("--args", nargs="*", default=[])
+    p.add_argument("--engine", choices=ENGINES, default=None)
+    p.add_argument("--top", type=int, default=8, help="slowest spans to print")
+    p.add_argument("--out", default="trace.json", help="Chrome trace output path")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("metrics",
+                       help="drive a short gateway mix, dump OpenMetrics text")
+    p.add_argument("--requests", type=int, default=12)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--kernels", default="",
+                   help="comma-separated PolyBench kernels (default: trisolv,atax)")
+    p.add_argument("--json", action="store_true",
+                   help="JSON snapshot instead of OpenMetrics text")
+    p.add_argument("--out", default=None, help="write the exposition here")
+    p.add_argument("--check-contract", action="store_true",
+                   help="verify registered metric names against "
+                        "obs/metric_names.txt and exit")
+    p.set_defaults(fn=cmd_metrics)
     return parser
 
 

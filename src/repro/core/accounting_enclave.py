@@ -17,6 +17,13 @@ from repro.core.instrumentation_enclave import InstrumentationEvidence, verify_e
 from repro.core.policy import MemoryPolicy, memory_integral
 from repro.core.resource_log import ResourceUsageLog, ResourceVector
 from repro.instrument.weights import WeightTable
+from repro.obs.instruments import (
+    SANDBOX_INSTRUCTIONS,
+    SANDBOX_IO_BYTES,
+    SANDBOX_PEAK_MEMORY,
+    SANDBOX_RUNS,
+)
+from repro.obs.trace import span
 from repro.sgx.enclave import Enclave
 from repro.sgx.lkl import SGXLKL
 from repro.tcrypto.hashing import sha256
@@ -189,36 +196,45 @@ class AccountingEnclave(Enclave):
                 progress_interval=progress_interval,
                 progress_callback=report_progress,
             )
-        instance = env.instantiate(self._module, limits=limits, engine=self.engine)
+        with span(
+            "invoke",
+            export=export,
+            module_hash=self._workload_hash,
+            engine=self.engine or "default",
+        ):
+            instance = env.instantiate(self._module, limits=limits, engine=self.engine)
 
-        trapped = False
-        trap_message = ""
-        value: object = None
-        try:
-            value = instance.invoke(export, *args)
-        except Trap as exc:
-            trapped = True
-            trap_message = str(exc)
+            trapped = False
+            trap_message = ""
+            value: object = None
+            with span("execute", export=export):
+                try:
+                    value = instance.invoke(export, *args)
+                except Trap as exc:
+                    trapped = True
+                    trap_message = str(exc)
 
-        memory = instance.memory
-        raw = RawExecution(
-            workload_hash=self._workload_hash,
-            counter_value=int(instance.globals[self._counter_global].value),
-            peak_memory_bytes=memory.peak_bytes if memory is not None else 0,
-            initial_pages=(
-                self._module.memories[0].limits.minimum if self._module.memories else 0
-            ),
-            grow_history=tuple(instance.stats.grow_history),
-            io_bytes_in=env.account.bytes_in,
-            io_bytes_out=env.account.bytes_out,
-            value=value,
-            trapped=trapped,
-            trap_message=trap_message,
-            output=bytes(channel.output),
-        )
-        result = self.account(raw, label=label or export)
-        self.lkl.request_io_cycles(len(input_data), len(channel.output))
-        return result
+            memory = instance.memory
+            raw = RawExecution(
+                workload_hash=self._workload_hash,
+                counter_value=int(instance.globals[self._counter_global].value),
+                peak_memory_bytes=memory.peak_bytes if memory is not None else 0,
+                initial_pages=(
+                    self._module.memories[0].limits.minimum
+                    if self._module.memories
+                    else 0
+                ),
+                grow_history=tuple(instance.stats.grow_history),
+                io_bytes_in=env.account.bytes_in,
+                io_bytes_out=env.account.bytes_out,
+                value=value,
+                trapped=trapped,
+                trap_message=trap_message,
+                output=bytes(channel.output),
+            )
+            result = self.account(raw, label=label or export)
+            self.lkl.request_io_cycles(len(input_data), len(channel.output))
+            return result
 
     def account(self, raw: RawExecution, label: str = "") -> WorkloadResult:
         """Turn raw measurements into a signed log entry (the receipt).
@@ -232,21 +248,27 @@ class AccountingEnclave(Enclave):
             raise WorkloadRejected("no workload loaded")
         if raw.workload_hash != self._workload_hash:
             raise WorkloadRejected("raw execution is for a different workload")
-        integral = memory_integral(
-            list(raw.grow_history), raw.initial_pages, raw.counter_value
-        )
-        vector = ResourceVector(
-            weighted_instructions=raw.counter_value,
-            peak_memory_bytes=raw.peak_memory_bytes,
-            memory_integral_page_instructions=(
-                integral if self.memory_policy is MemoryPolicy.INTEGRAL else 0
-            ),
-            io_bytes_in=raw.io_bytes_in,
-            io_bytes_out=raw.io_bytes_out,
-            label=label,
-        )
-        self.log.append(vector, self._workload_hash, self.weight_table.digest())
-        self._last_counter = raw.counter_value
+        with span("account", label=label, module_hash=self._workload_hash):
+            integral = memory_integral(
+                list(raw.grow_history), raw.initial_pages, raw.counter_value
+            )
+            vector = ResourceVector(
+                weighted_instructions=raw.counter_value,
+                peak_memory_bytes=raw.peak_memory_bytes,
+                memory_integral_page_instructions=(
+                    integral if self.memory_policy is MemoryPolicy.INTEGRAL else 0
+                ),
+                io_bytes_in=raw.io_bytes_in,
+                io_bytes_out=raw.io_bytes_out,
+                label=label,
+            )
+            self.log.append(vector, self._workload_hash, self.weight_table.digest())
+            self._last_counter = raw.counter_value
+        SANDBOX_RUNS.inc(outcome="trapped" if raw.trapped else "ok")
+        SANDBOX_INSTRUCTIONS.inc(raw.counter_value)
+        SANDBOX_PEAK_MEMORY.observe(float(raw.peak_memory_bytes))
+        SANDBOX_IO_BYTES.inc(raw.io_bytes_in, direction="in")
+        SANDBOX_IO_BYTES.inc(raw.io_bytes_out, direction="out")
         return WorkloadResult(
             value=raw.value,
             trapped=raw.trapped,

@@ -28,6 +28,8 @@ from repro.core.instrumentation_enclave import (
     InstrumentationEnclave,
     InstrumentationEvidence,
 )
+from repro.obs.instruments import CACHE_EVICTIONS, CACHE_HITS, CACHE_MISSES
+from repro.obs.trace import span
 from repro.tcrypto.hashing import sha256
 from repro.wasm.binary import decode_module, encode_module
 from repro.wasm.module import Module
@@ -70,28 +72,37 @@ class InstrumentationCache:
         callers may mutate it without poisoning the cache.
         """
         key = (sha256(encode_module(module)), self.ie.mrenclave)
-        with self._lock:
-            entry = self._entries.get(key)
-            if entry is None:
-                self.misses += 1
-                result, evidence = self.ie.instrument(module)
-                entry = _CacheEntry(
-                    module_bytes=encode_module(result.module),
-                    evidence=evidence,
-                    counter_export=result.counter_export,
-                )
-                if self.max_entries is not None and len(self._entries) >= self.max_entries:
-                    oldest = next(iter(self._entries))
-                    del self._entries[oldest]
-                    self._evictions += 1
-                self._entries[key] = entry
-            else:
-                entry.hits += 1
-                self._hit_count += 1
-                # refresh recency: move the entry to the MRU end
-                del self._entries[key]
-                self._entries[key] = entry
-            return decode_module(entry.module_bytes), entry.evidence, entry.counter_export
+        with span("instrument", module_hash=key[0]) as sp:
+            with self._lock:
+                entry = self._entries.get(key)
+                if entry is None:
+                    self.misses += 1
+                    CACHE_MISSES.inc()
+                    sp.set_attribute("cache", "miss")
+                    result, evidence = self.ie.instrument(module)
+                    entry = _CacheEntry(
+                        module_bytes=encode_module(result.module),
+                        evidence=evidence,
+                        counter_export=result.counter_export,
+                    )
+                    if (
+                        self.max_entries is not None
+                        and len(self._entries) >= self.max_entries
+                    ):
+                        oldest = next(iter(self._entries))
+                        del self._entries[oldest]
+                        self._evictions += 1
+                        CACHE_EVICTIONS.inc()
+                    self._entries[key] = entry
+                else:
+                    entry.hits += 1
+                    self._hit_count += 1
+                    CACHE_HITS.inc()
+                    sp.set_attribute("cache", "hit")
+                    # refresh recency: move the entry to the MRU end
+                    del self._entries[key]
+                    self._entries[key] = entry
+                return decode_module(entry.module_bytes), entry.evidence, entry.counter_export
 
     @property
     def hits(self) -> int:
@@ -105,10 +116,14 @@ class InstrumentationCache:
     def stats(self) -> dict[str, int | float | None]:
         """Operational counters: hits, misses, evictions, occupancy."""
         with self._lock:
+            # single atomic snapshot: every counter below is read under the
+            # same lock acquisition, so hits + misses == lookups always holds
+            # even while instrument() runs concurrently
             lookups = self._hit_count + self.misses
             return {
                 "hits": self._hit_count,
                 "misses": self.misses,
+                "lookups": lookups,
                 "evictions": self._evictions,
                 "entries": len(self._entries),
                 "max_entries": self.max_entries,

@@ -33,6 +33,7 @@ from repro.core.instrumentation_enclave import InstrumentationEnclave, Instrumen
 from repro.core.policy import MemoryPolicy, PricingPolicy
 from repro.core.resource_log import ResourceUsageLog, ResourceVector
 from repro.instrument.weights import UNIT_WEIGHTS, WeightTable, cycle_weight_table
+from repro.obs.trace import span
 from repro.sgx.attestation import (
     AttestationError,
     AttestationService,
@@ -112,53 +113,58 @@ class TwoWaySandbox:
         Raises :class:`~repro.sgx.attestation.AttestationError` if either
         party would reject the deployment.
         """
-        config = config or SandboxConfig()
-        platform = platform or SGXPlatform()
-        service = attestation_service or AttestationService()
-        weight_table = config.weight_table()
+        with span("sandbox.deploy"):
+            config = config or SandboxConfig()
+            platform = platform or SGXPlatform()
+            service = attestation_service or AttestationService()
+            weight_table = config.weight_table()
 
-        ie = InstrumentationEnclave(weight_table=weight_table, level=config.level)
-        platform.launch(ie)
-        ae = AccountingEnclave(
-            ie_public_key=ie.evidence_public_key,
-            ie_measurement=ie.mrenclave,
-            weight_table=weight_table,
-            memory_policy=config.memory_policy,
-            limits=ExecutionLimits(max_instructions=config.max_instructions),
-            engine=config.engine,
-        )
-        platform.launch(ae)
-        qe = QuotingEnclave()
-        platform.launch(qe)
-        service.provision(qe)
+            ie = InstrumentationEnclave(weight_table=weight_table, level=config.level)
+            platform.launch(ie)
+            ae = AccountingEnclave(
+                ie_public_key=ie.evidence_public_key,
+                ie_measurement=ie.mrenclave,
+                weight_table=weight_table,
+                memory_policy=config.memory_policy,
+                limits=ExecutionLimits(max_instructions=config.max_instructions),
+                engine=config.engine,
+            )
+            platform.launch(ae)
+            qe = QuotingEnclave()
+            platform.launch(qe)
+            service.provision(qe)
 
-        sandbox = cls(config, platform, ie, ae, qe, service)
-        if not sandbox.attest(config.attestation_nonce):
-            raise AttestationError("accounting enclave failed remote attestation")
-        return sandbox
+            sandbox = cls(config, platform, ie, ae, qe, service)
+            if not sandbox.attest(config.attestation_nonce):
+                raise AttestationError("accounting enclave failed remote attestation")
+            return sandbox
 
     def attest(self, nonce: bytes) -> bool:
         """Remote-attest the AE and check the log-key binding (both parties)."""
-        user_data = self.ae.report_data_binding()
-        verdict = remote_attest(self.ae, self.qe, self.attestation_service, nonce, user_data)
-        if not verdict.ok:
-            return False
-        if not verify_service_report(self.attestation_service.public_key, verdict):
-            return False
-        if verdict.quote.mrenclave != self.ae.mrenclave:
-            return False
-        # freshness + key binding: report data must hash this nonce and the
-        # AE's log-signing key fingerprint
-        expected = sha256(sha256(nonce + user_data))
-        actual = sha256(verdict.quote.report_data)
-        return expected == actual
+        with span("sandbox.attest", enclave=self.ae.name):
+            user_data = self.ae.report_data_binding()
+            verdict = remote_attest(
+                self.ae, self.qe, self.attestation_service, nonce, user_data
+            )
+            if not verdict.ok:
+                return False
+            if not verify_service_report(self.attestation_service.public_key, verdict):
+                return False
+            if verdict.quote.mrenclave != self.ae.mrenclave:
+                return False
+            # freshness + key binding: report data must hash this nonce and the
+            # AE's log-signing key fingerprint
+            expected = sha256(sha256(nonce + user_data))
+            actual = sha256(verdict.quote.report_data)
+            return expected == actual
 
     # -- workload intake ------------------------------------------------------------
 
     def submit_module(self, module: Module) -> Workload:
         """Instrument (cached) and admit a raw WebAssembly module."""
-        instrumented, evidence, counter_export = self.cache.instrument(module)
-        self.ae.load_workload(instrumented, evidence)
+        with span("sandbox.submit"):
+            instrumented, evidence, counter_export = self.cache.instrument(module)
+            self.ae.load_workload(instrumented, evidence)
         return Workload(
             sandbox=self,
             module=instrumented,

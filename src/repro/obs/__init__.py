@@ -1,0 +1,84 @@
+"""``repro.obs`` — the zero-dependency observability layer.
+
+Three cooperating subsystems, each off by default and free (a global read
+plus a branch) when disabled, so :class:`~repro.wasm.interpreter.ExecutionStats`
+and every signed resource vector stay byte-identical whether or not anyone
+is watching:
+
+* :mod:`repro.obs.trace`   — hierarchical spans with monotonic timestamps
+  and parent/child links, exported as JSON or Chrome ``trace_event`` format
+  (``about:tracing`` / Perfetto);
+* :mod:`repro.obs.metrics` — Counter / Gauge / Histogram (fixed log-scale
+  buckets) with an OpenMetrics text exporter and a JSON snapshot; the
+  system's instruments live in :mod:`repro.obs.instruments`, pinned by the
+  ``metric_names.txt`` contract file;
+* :mod:`repro.obs.profiler`— per-function and basic-block-segment
+  attribution inside both Wasm engines, with a top-N hot-function report
+  and flamegraph collapsed-stack output.
+
+CLI surface: ``repro trace <workload>``, ``repro metrics``,
+``repro run/sandbox --profile`` and ``repro loadtest --metrics-out``.
+"""
+
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    metrics_enabled,
+)
+from repro.obs.profiler import (
+    Profiler,
+    active_profiler,
+    disable_profiling,
+    enable_profiling,
+    profile,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+__all__ = [
+    "BYTES_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Profiler",
+    "Span",
+    "Tracer",
+    "active_profiler",
+    "disable_metrics",
+    "disable_profiling",
+    "disable_tracing",
+    "enable_metrics",
+    "enable_profiling",
+    "enable_tracing",
+    "get_registry",
+    "get_tracer",
+    "metrics_enabled",
+    "profile",
+    "span",
+    "tracing_enabled",
+]
+
+
+def disable_all() -> None:
+    """Turn every observability subsystem off (the default state)."""
+    disable_tracing()
+    disable_metrics()
+    disable_profiling()

@@ -1,0 +1,131 @@
+"""The repo's metric families, declared once and shared by every layer.
+
+Three groups, mirroring the system's layers:
+
+* ``acctee_gateway_*`` / ``acctee_ledger_*`` / ``acctee_worker_pool_*`` —
+  the metering gateway's serving path (per-tenant request latency, queue
+  depth, admission rejections by reason, ledger seal duration, worker-pool
+  utilisation);
+* ``acctee_cache_*`` — the shared instrumented-module cache;
+* ``acctee_sandbox_*`` — per-run resource accounting as signed by the AE
+  (weighted instructions, memory peak, I/O bytes).
+
+The full name list is pinned by ``metric_names.txt`` next to this module —
+a *contract file*: dashboards and the CI artifact diff rely on these names,
+so adding/renaming a metric must update the contract in the same commit
+(:func:`check_contract` fails CI otherwise).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.obs.metrics import BYTES_BUCKETS, LATENCY_BUCKETS, get_registry
+
+REGISTRY = get_registry()
+
+# -- gateway request path ------------------------------------------------------
+
+GATEWAY_REQUESTS = REGISTRY.counter(
+    "acctee_gateway_requests",
+    "Requests settled by the metering gateway, by tenant and outcome.",
+)
+GATEWAY_REQUEST_LATENCY = REGISTRY.histogram(
+    "acctee_gateway_request_latency_seconds",
+    "Submit-to-receipt latency per request, by tenant.",
+    buckets=LATENCY_BUCKETS,
+)
+GATEWAY_QUEUE_DEPTH = REGISTRY.gauge(
+    "acctee_gateway_queue_depth",
+    "Admitted in-flight requests per tenant (admission controller view).",
+)
+GATEWAY_REJECTIONS = REGISTRY.counter(
+    "acctee_gateway_admission_rejections",
+    "Typed admission rejections, by tenant and reason code.",
+)
+LEDGER_SEAL_DURATION = REGISTRY.histogram(
+    "acctee_ledger_seal_duration_seconds",
+    "Wall time to seal one billing epoch (Merkle root + signature).",
+    buckets=LATENCY_BUCKETS,
+)
+LEDGER_RECEIPTS = REGISTRY.counter(
+    "acctee_ledger_receipts",
+    "Signed receipts recorded into tenant hash chains, by tenant.",
+)
+
+# -- worker pool ---------------------------------------------------------------
+
+POOL_TASKS = REGISTRY.counter(
+    "acctee_worker_pool_tasks",
+    "Execution tasks submitted to the worker pool.",
+)
+POOL_TASKS_IN_FLIGHT = REGISTRY.gauge(
+    "acctee_worker_pool_tasks_in_flight",
+    "Execution tasks currently queued or running on the pool.",
+)
+POOL_UTILISATION = REGISTRY.gauge(
+    "acctee_worker_pool_utilisation_ratio",
+    "In-flight tasks over pool size, clamped to [0, 1].",
+)
+POOL_EXEC_WALL = REGISTRY.histogram(
+    "acctee_worker_pool_exec_wall_seconds",
+    "Worker-side wall time per executed task (instantiate + run).",
+    buckets=LATENCY_BUCKETS,
+)
+
+# -- instrumentation cache -----------------------------------------------------
+
+CACHE_HITS = REGISTRY.counter(
+    "acctee_cache_hits",
+    "Instrumented-module cache hits (IE pass skipped).",
+)
+CACHE_MISSES = REGISTRY.counter(
+    "acctee_cache_misses",
+    "Instrumented-module cache misses (IE pass executed).",
+)
+CACHE_EVICTIONS = REGISTRY.counter(
+    "acctee_cache_evictions",
+    "LRU evictions from the instrumented-module cache.",
+)
+
+# -- sandbox / accounting enclave ----------------------------------------------
+
+SANDBOX_RUNS = REGISTRY.counter(
+    "acctee_sandbox_runs",
+    "Workload invocations accounted by an accounting enclave.",
+)
+SANDBOX_INSTRUCTIONS = REGISTRY.counter(
+    "acctee_sandbox_weighted_instructions",
+    "Weighted instructions metered across all accounted runs.",
+)
+SANDBOX_PEAK_MEMORY = REGISTRY.histogram(
+    "acctee_sandbox_peak_memory_bytes",
+    "Peak linear-memory footprint per accounted run.",
+    buckets=BYTES_BUCKETS,
+)
+SANDBOX_IO_BYTES = REGISTRY.counter(
+    "acctee_sandbox_io_bytes",
+    "Bytes crossing the module boundary via accounted I/O, by direction.",
+)
+
+# -- the name contract ---------------------------------------------------------
+
+CONTRACT_PATH = pathlib.Path(__file__).with_name("metric_names.txt")
+
+
+def contract_names() -> list[str]:
+    """The checked-in metric-name contract, one name per line."""
+    lines = CONTRACT_PATH.read_text().splitlines()
+    return sorted(line.strip() for line in lines if line.strip() and not line.startswith("#"))
+
+
+def check_contract() -> list[str]:
+    """Return drift messages (empty = registry matches the contract file)."""
+    expected = set(contract_names())
+    actual = set(REGISTRY.names())
+    problems = []
+    for name in sorted(actual - expected):
+        problems.append(f"metric {name!r} is registered but missing from metric_names.txt")
+    for name in sorted(expected - actual):
+        problems.append(f"metric {name!r} is in metric_names.txt but not registered")
+    return problems

@@ -1,0 +1,345 @@
+"""Metrics registry: Counter, Gauge and Histogram with OpenMetrics export.
+
+A :class:`MetricsRegistry` holds named instruments; observation sites call
+``metric.inc(...)`` / ``.set(...)`` / ``.observe(...)`` with free-form label
+keywords (``tenant="tenant-atax"``, ``code="queue-full"``).  Histograms use
+**fixed log-scale buckets** (powers of four), so the same bucket layout
+covers microsecond span costs and multi-second epoch seals without
+per-deployment tuning.
+
+Export formats:
+
+* :meth:`MetricsRegistry.render_openmetrics` — Prometheus/OpenMetrics text
+  (``# TYPE``/``# HELP`` headers, ``_total``/``_bucket``/``_sum``/``_count``
+  samples, terminated by ``# EOF``);
+* :meth:`MetricsRegistry.snapshot` — a JSON-friendly dict, what
+  ``repro loadtest --metrics-out`` persists.
+
+Recording is **off by default**: every mutator checks one shared flag first
+(:func:`enable_metrics` / :func:`disable_metrics`), so instrumented call
+sites cost an attribute read and a branch when metrics are disabled.  The
+instrument *objects* always exist — declaring them is free — which keeps
+the metric-name contract (``metric_names.txt``) checkable without running
+any workload.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+
+#: Log-scale (powers of 4) latency buckets: 1 µs … ~67 s.
+LATENCY_BUCKETS: tuple[float, ...] = tuple(1e-6 * 4**i for i in range(14))
+
+#: Log-scale (powers of 4) size buckets: 1 B … 1 GiB.
+BYTES_BUCKETS: tuple[float, ...] = tuple(float(4**i) for i in range(16))
+
+
+class _State:
+    """Shared on/off switch read by every instrument mutator."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+_STATE = _State()
+
+
+def enable_metrics() -> None:
+    _STATE.enabled = True
+
+
+def disable_metrics() -> None:
+    _STATE.enabled = False
+
+
+def metrics_enabled() -> bool:
+    return _STATE.enabled
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+def _render_labels(key: tuple) -> str:
+    if not key:
+        return ""
+    parts = []
+    for name, value in key:
+        escaped = (
+            str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        )
+        parts.append(f'{name}="{escaped}"')
+    return "{" + ",".join(parts) + "}"
+
+
+class Metric:
+    """Base: a named instrument with per-labelset values."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str):
+        self.name = name
+        self.help = help
+        self._lock = threading.Lock()
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+    def samples(self) -> list[str]:
+        raise NotImplementedError
+
+    def to_json(self):
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonically increasing count (rendered with the ``_total`` suffix)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str):
+        super().__init__(name, help)
+        self._values: dict[tuple, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if not _STATE.enabled:
+            return
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        with self._lock:
+            return sum(self._values.values())
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def samples(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            f"{self.name}_total{_render_labels(key)} {_format_number(value)}"
+            for key, value in items
+        ]
+
+    def to_json(self) -> dict:
+        with self._lock:
+            return {
+                _render_labels(key) or "{}": value
+                for key, value in sorted(self._values.items())
+            }
+
+
+class Gauge(Metric):
+    """A value that goes up and down (queue depth, pool utilisation)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str):
+        super().__init__(name, help)
+        self._values: dict[tuple, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        if not _STATE.enabled:
+            return
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if not _STATE.enabled:
+            return
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+    def samples(self) -> list[str]:
+        with self._lock:
+            items = sorted(self._values.items())
+        return [
+            f"{self.name}{_render_labels(key)} {_format_number(value)}"
+            for key, value in items
+        ]
+
+    def to_json(self) -> dict:
+        with self._lock:
+            return {
+                _render_labels(key) or "{}": value
+                for key, value in sorted(self._values.items())
+            }
+
+
+class Histogram(Metric):
+    """A distribution over fixed log-scale buckets.
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    catches everything above.  Per-labelset state is (bucket counts, sum,
+    count), exported cumulatively as OpenMetrics requires.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, buckets: tuple[float, ...] = LATENCY_BUCKETS):
+        super().__init__(name, help)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("buckets must be a non-empty ascending sequence")
+        self.buckets = tuple(float(b) for b in buckets)
+        self._series: dict[tuple, list] = {}  # key -> [counts, sum, count]
+
+    def observe(self, value: float, **labels) -> None:
+        if not _STATE.enabled:
+            return
+        key = _label_key(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = [[0] * (len(self.buckets) + 1), 0.0, 0]
+            series[0][index] += 1
+            series[1] += value
+            series[2] += 1
+
+    def count(self, **labels) -> int:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series[2] if series else 0
+
+    def sum(self, **labels) -> float:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return series[1] if series else 0.0
+
+    def reset(self) -> None:
+        with self._lock:
+            self._series.clear()
+
+    def samples(self) -> list[str]:
+        with self._lock:
+            items = sorted((k, (list(v[0]), v[1], v[2])) for k, v in self._series.items())
+        lines = []
+        for key, (counts, total, count) in items:
+            cumulative = 0
+            for bound, n in zip(self.buckets, counts):
+                cumulative += n
+                le_key = key + (("le", _format_number(bound)),)
+                lines.append(f"{self.name}_bucket{_render_labels(le_key)} {cumulative}")
+            cumulative += counts[-1]
+            inf_key = key + (("le", "+Inf"),)
+            lines.append(f"{self.name}_bucket{_render_labels(inf_key)} {cumulative}")
+            lines.append(f"{self.name}_sum{_render_labels(key)} {_format_number(total)}")
+            lines.append(f"{self.name}_count{_render_labels(key)} {count}")
+        return lines
+
+    def to_json(self) -> dict:
+        with self._lock:
+            return {
+                _render_labels(key) or "{}": {
+                    "buckets": dict(zip(map(_format_number, self.buckets), series[0])),
+                    "overflow": series[0][-1],
+                    "sum": series[1],
+                    "count": series[2],
+                }
+                for key, series in sorted(self._series.items())
+            }
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class MetricsRegistry:
+    """Holds instruments by name; renders OpenMetrics text and JSON snapshots."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+
+    def _register(self, metric: Metric) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValueError(
+                        f"metric {metric.name!r} already registered as {existing.kind}"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    def counter(self, name: str, help: str) -> Counter:
+        return self._register(Counter(name, help))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str) -> Gauge:
+        return self._register(Gauge(name, help))  # type: ignore[return-value]
+
+    def histogram(
+        self, name: str, help: str, buckets: tuple[float, ...] = LATENCY_BUCKETS
+    ) -> Histogram:
+        return self._register(Histogram(name, help, buckets))  # type: ignore[return-value]
+
+    def get(self, name: str) -> Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def reset(self) -> None:
+        """Zero every instrument's recorded values (names stay registered)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
+
+    def render_openmetrics(self) -> str:
+        """Prometheus/OpenMetrics exposition text, ``# EOF``-terminated."""
+        lines: list[str] = []
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        for metric in metrics:
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.extend(metric.samples())
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict:
+        """JSON-friendly dump of every instrument's current values."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        return {
+            metric.name: {"kind": metric.kind, "values": metric.to_json()}
+            for metric in metrics
+        }
+
+
+#: The process-wide default registry; the instruments in
+#: :mod:`repro.obs.instruments` all live here.
+_DEFAULT = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _DEFAULT

@@ -1,0 +1,263 @@
+"""Hierarchical tracing spans for the two-way sandbox and metering gateway.
+
+A :class:`Tracer` records :class:`Span` trees — one span per protocol phase
+(``instrument``, ``execute``, ``account``, ``gateway.request``, …) — with
+monotonic nanosecond timestamps, parent/child links and attached attributes
+(module hash, tenant, engine, cache hit/miss).  Finished traces export two
+ways:
+
+* :meth:`Tracer.to_json` — a plain JSON list of spans with explicit
+  ``span_id``/``parent_id`` links, for programmatic consumers;
+* :meth:`Tracer.to_chrome_trace` — Chrome ``trace_event`` format (``ph: X``
+  complete events), loadable directly in ``about:tracing`` or Perfetto.
+
+Tracing is **off by default**: :func:`span` returns a shared no-op span
+unless :func:`enable_tracing` installed a tracer, so instrumented call sites
+cost one module-global read plus a ``None`` check when disabled.  Span
+nesting is tracked per thread; cross-thread children (a gateway request
+settled on a pool callback thread) pass ``parent=`` explicitly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+def _json_safe(value):
+    """Coerce an attribute value into something JSON-serialisable."""
+    if isinstance(value, (bytes, bytearray)):
+        return value.hex()
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+@dataclass
+class Span:
+    """One timed operation. Usable as a context manager (ends on exit)."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_ns: int
+    end_ns: int | None = None
+    attributes: dict = field(default_factory=dict)
+    thread_id: int = 0
+    _tracer: "Tracer | None" = field(default=None, repr=False)
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    def set_attribute(self, key: str, value) -> None:
+        self.attributes[key] = _json_safe(value)
+
+    def set_attributes(self, **attributes) -> None:
+        for key, value in attributes.items():
+            self.attributes[key] = _json_safe(value)
+
+    def end(self) -> None:
+        """Close the span; idempotent."""
+        if self.end_ns is None and self._tracer is not None:
+            self._tracer._finish(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.end()
+        return False
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_ns": self.start_ns,
+            "duration_ns": self.duration_ns,
+            "thread_id": self.thread_id,
+            "attributes": dict(self.attributes),
+        }
+
+
+class _NullSpan:
+    """The disabled-tracing span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+    def set_attributes(self, **attributes) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans into per-request traces.
+
+    Thread-safe: spans may start and finish on different threads than the
+    tracer was created on; the per-thread span stack gives implicit
+    parent/child nesting within a thread.
+    """
+
+    def __init__(self, service: str = "repro"):
+        self.service = service
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._next_id = 1
+        self._local = threading.local()
+
+    # -- recording ---------------------------------------------------------------
+
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(
+        self,
+        name: str,
+        parent: Span | None = None,
+        detached: bool = False,
+        **attributes,
+    ) -> Span:
+        """Open a span; the caller closes it (``with`` or ``.end()``).
+
+        ``detached`` spans are not pushed on the opening thread's stack —
+        use it for spans that end on a *different* thread (e.g. a gateway
+        request settled by a pool callback), which would otherwise pin the
+        opener's stack; children then link via explicit ``parent=``.
+        """
+        stack = self._stack()
+        if parent is None and stack:
+            parent = stack[-1]
+        if not isinstance(parent, Span):
+            parent = None  # e.g. NULL_SPAN captured before tracing was enabled
+        with self._lock:
+            span_id = self._next_id
+            self._next_id += 1
+        s = Span(
+            name=name,
+            span_id=span_id,
+            parent_id=parent.span_id if parent is not None else None,
+            start_ns=time.perf_counter_ns(),
+            attributes={k: _json_safe(v) for k, v in attributes.items()},
+            thread_id=threading.get_ident(),
+            _tracer=self,
+        )
+        if not detached:
+            stack.append(s)
+        return s
+
+    def _finish(self, span: Span) -> None:
+        span.end_ns = time.perf_counter_ns()
+        stack = self._stack()
+        if span in stack:
+            # pop this span and anything opened after it on this thread
+            # (abandoned children of an errored operation)
+            del stack[stack.index(span) :]
+        with self._lock:
+            self._spans.append(span)
+
+    def current_span(self) -> Span | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- export ------------------------------------------------------------------
+
+    def finished(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def to_json(self) -> list[dict]:
+        return [s.to_json() for s in self.finished()]
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome ``trace_event`` JSON object format (Perfetto-loadable)."""
+        pid = os.getpid()
+        events = []
+        for s in self.finished():
+            args = dict(s.attributes)
+            args["span_id"] = s.span_id
+            if s.parent_id is not None:
+                args["parent_id"] = s.parent_id
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": self.service,
+                    "ph": "X",
+                    "ts": s.start_ns / 1000.0,  # microseconds
+                    "dur": s.duration_ns / 1000.0,
+                    "pid": pid,
+                    "tid": s.thread_id % 2**31,
+                    "args": args,
+                }
+            )
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {"service": self.service},
+        }
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=2)
+            handle.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Module-level switch: off by default, one global read on the disabled path
+# ---------------------------------------------------------------------------
+
+_tracer: Tracer | None = None
+
+
+def enable_tracing(tracer: Tracer | None = None) -> Tracer:
+    """Install (and return) the process-wide tracer; spans record from now on."""
+    global _tracer
+    _tracer = tracer or Tracer()
+    return _tracer
+
+
+def disable_tracing() -> None:
+    global _tracer
+    _tracer = None
+
+
+def tracing_enabled() -> bool:
+    return _tracer is not None
+
+
+def get_tracer() -> Tracer | None:
+    return _tracer
+
+
+def span(name: str, parent: Span | None = None, detached: bool = False, **attributes):
+    """Open a span on the active tracer, or a shared no-op when disabled."""
+    t = _tracer
+    if t is None:
+        return NULL_SPAN
+    return t.span(name, parent=parent, detached=detached, **attributes)

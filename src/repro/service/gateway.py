@@ -26,6 +26,8 @@ from repro.core.cache import InstrumentationCache
 from repro.core.instrumentation_enclave import InstrumentationEnclave
 from repro.core.resource_log import ResourceUsageLog, ResourceVector
 from repro.core.sandbox import SandboxConfig
+from repro.obs.instruments import GATEWAY_REQUEST_LATENCY, GATEWAY_REQUESTS
+from repro.obs.trace import span as obs_span
 from repro.service.backends import ExecutionBackend, WasmBackend
 from repro.service.ledger import (
     BillingLedger,
@@ -135,6 +137,12 @@ class MeteringGateway:
             else:
                 raise ValueError("register_tenant needs a module, minic= or wat=")
 
+        with obs_span("gateway.register_tenant", tenant=tenant_id):
+            self._register_tenant(tenant_id, module, quota)
+
+    def _register_tenant(
+        self, tenant_id: str, module: Module, quota: TenantQuota | None
+    ) -> None:
         instrumented, evidence, _counter_export = self.cache.instrument(module)
         ae = AccountingEnclave(
             ie_public_key=self.ie.evidence_public_key,
@@ -203,13 +211,27 @@ class MeteringGateway:
         *synchronously* when the tenant is over quota — rejected requests
         never reach the pool.
         """
-        tenant = self._tenants.get(tenant_id)
-        if tenant is None:
-            raise UnknownTenant(f"tenant {tenant_id!r} is not registered")
-        self.admission.admit(tenant_id, tenant.memory_required_bytes)
+        req_span = obs_span(
+            "gateway.request", detached=True, tenant=tenant_id, export=export
+        )
+        try:
+            tenant = self._tenants.get(tenant_id)
+            if tenant is None:
+                raise UnknownTenant(f"tenant {tenant_id!r} is not registered")
+            with obs_span("gateway.admit", parent=req_span, tenant=tenant_id):
+                self.admission.admit(tenant_id, tenant.memory_required_bytes)
+        except AdmissionError as exc:
+            GATEWAY_REQUESTS.inc(tenant=tenant_id, outcome=f"rejected:{exc.code}")
+            req_span.set_attribute("outcome", f"rejected:{exc.code}")
+            req_span.end()
+            raise
+        except BaseException:
+            req_span.end()
+            raise
         with self._requests_lock:
             self._requests += 1
             request_id = self._requests
+        req_span.set_attribute("request_id", request_id)
         task = ExecutionTask(
             module_bytes=tenant.module_bytes,
             module_hash=tenant.module_hash,
@@ -227,26 +249,37 @@ class MeteringGateway:
         def _settle(done: Future) -> None:
             try:
                 worker_result: WorkerResult = done.result()
-                with tenant.lock:
-                    result = tenant.ae.account(
-                        worker_result.raw, label=label or export
-                    )
-                    receipt = self.ledger.record(tenant_id, tenant.ae.log.entries[-1])
+                with obs_span("gateway.account", parent=req_span, tenant=tenant_id):
+                    with tenant.lock:
+                        result = tenant.ae.account(
+                            worker_result.raw, label=label or export
+                        )
+                        receipt = self.ledger.record(
+                            tenant_id, tenant.ae.log.entries[-1]
+                        )
                 self.admission.settle(
                     tenant_id, result.vector.weighted_instructions
                 )
+                latency_s = time.perf_counter() - submitted
+                GATEWAY_REQUESTS.inc(tenant=tenant_id, outcome="ok")
+                GATEWAY_REQUEST_LATENCY.observe(latency_s, tenant=tenant_id)
+                req_span.set_attribute("outcome", "ok")
+                req_span.end()
                 response.set_result(
                     GatewayResponse(
                         tenant_id=tenant_id,
                         request_id=request_id,
                         result=result,
                         receipt=receipt,
-                        latency_s=time.perf_counter() - submitted,
+                        latency_s=latency_s,
                         exec_wall_s=worker_result.exec_wall_s,
                     )
                 )
             except BaseException as exc:  # noqa: BLE001 - relayed to the caller
                 self.admission.settle(tenant_id, 0)
+                GATEWAY_REQUESTS.inc(tenant=tenant_id, outcome="error")
+                req_span.set_attribute("outcome", "error")
+                req_span.end()
                 response.set_exception(exc)
 
         inner.add_done_callback(_settle)
@@ -269,9 +302,10 @@ class MeteringGateway:
 
     def seal_epoch(self) -> EpochSeal:
         """Seal all outstanding receipts; instruction budgets reset."""
-        seal = self.ledger.seal_epoch()
-        self.admission.reset_epoch()
-        return seal
+        with obs_span("gateway.seal_epoch"):
+            seal = self.ledger.seal_epoch()
+            self.admission.reset_epoch()
+            return seal
 
     def verify_epoch(self, seal: EpochSeal | None = None) -> EpochVerification:
         """Offline audit of an epoch (defaults to the most recent seal)."""
@@ -481,6 +515,7 @@ def run_loadtest(
                     "mean": sum(latencies) / len(latencies),
                 },
                 "epoch_ok": verdict.ok,
+                "epoch_errors": list(verdict.errors),
                 "receipts_checked": verdict.receipts_checked,
                 "quota_rejection": rejection,
                 "cache": gw.cache.stats(),

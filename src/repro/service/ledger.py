@@ -23,9 +23,12 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from dataclasses import dataclass, field
 
 from repro.core.resource_log import LogEntry, ResourceUsageLog, ResourceVector
+from repro.obs.instruments import LEDGER_RECEIPTS, LEDGER_SEAL_DURATION
+from repro.obs.trace import span as obs_span
 from repro.tcrypto.hashing import sha256
 from repro.tcrypto.merkle import MerkleProof, MerkleTree, verify_proof
 from repro.tcrypto.rsa import RSAKeyPair, RSAPublicKey, rsa_generate, rsa_sign, rsa_verify
@@ -136,6 +139,7 @@ class BillingLedger:
                     f"got sequence {entry.sequence}, expected {len(chain)}"
                 )
             chain.append(receipt)
+        LEDGER_RECEIPTS.inc(tenant=tenant_id)
         return receipt
 
     def receipts(self, tenant_id: str) -> list[Receipt]:
@@ -160,7 +164,8 @@ class BillingLedger:
         epoch with no new receipts at all still seals (empty span list is
         rejected by the Merkle tree, so we commit a sentinel leaf).
         """
-        with self._lock:
+        sealed_at = time.perf_counter()
+        with self._lock, obs_span("ledger.seal_epoch", epoch=len(self.seals)):
             spans: list[TenantSpan] = []
             for tenant_id in sorted(self._receipts):
                 chain = self._receipts[tenant_id]
@@ -198,6 +203,7 @@ class BillingLedger:
                 signature=rsa_sign(self._signing_key, unsigned.body()),
             )
             self.seals.append(seal)
+            LEDGER_SEAL_DURATION.observe(time.perf_counter() - sealed_at)
             return seal
 
     def epoch_receipts(self, seal: EpochSeal, tenant_id: str) -> list[Receipt]:

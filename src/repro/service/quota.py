@@ -22,6 +22,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs.instruments import GATEWAY_QUEUE_DEPTH, GATEWAY_REJECTIONS
+
 
 class AdmissionError(Exception):
     """Base class for typed admission rejections."""
@@ -129,6 +131,7 @@ class AdmissionController:
         with self._lock:
             state = self._tenants.get(tenant_id)
             if state is None:
+                GATEWAY_REJECTIONS.inc(tenant=tenant_id, reason=UnknownTenant.code)
                 raise UnknownTenant(f"tenant {tenant_id!r} is not registered")
             quota = state.quota
             try:
@@ -166,11 +169,13 @@ class AdmissionController:
                             / quota.requests_per_second,
                         )
                     state.tokens -= 1.0
-            except AdmissionError:
+            except AdmissionError as exc:
                 state.rejected += 1
+                GATEWAY_REJECTIONS.inc(tenant=tenant_id, reason=exc.code)
                 raise
             state.in_flight += 1
             state.admitted += 1
+            GATEWAY_QUEUE_DEPTH.set(state.in_flight, tenant=tenant_id)
 
     def settle(self, tenant_id: str, weighted_instructions: int = 0) -> None:
         """Record one finished request: free its slot, charge its budget."""
@@ -178,6 +183,7 @@ class AdmissionController:
             state = self._tenants[tenant_id]
             state.in_flight = max(0, state.in_flight - 1)
             state.spent_instructions += weighted_instructions
+            GATEWAY_QUEUE_DEPTH.set(state.in_flight, tenant=tenant_id)
 
     def reset_epoch(self) -> None:
         """Start a new accounting epoch: instruction budgets reset."""
@@ -198,10 +204,14 @@ class AdmissionController:
     # -- introspection -----------------------------------------------------------
 
     def stats(self, tenant_id: str) -> dict[str, int]:
-        state = self._tenants[tenant_id]
-        return {
-            "admitted": state.admitted,
-            "rejected": state.rejected,
-            "in_flight": state.in_flight,
-            "spent_instructions": state.spent_instructions,
-        }
+        # snapshot under the lock: admit()/settle() mutate these fields from
+        # other threads, and callers rely on the four counters being mutually
+        # consistent (e.g. admitted - in_flight = settled so far)
+        with self._lock:
+            state = self._tenants[tenant_id]
+            return {
+                "admitted": state.admitted,
+                "rejected": state.rejected,
+                "in_flight": state.in_flight,
+                "spent_instructions": state.spent_instructions,
+            }

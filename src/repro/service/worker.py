@@ -19,11 +19,18 @@ execute, matching the paper's cached-side-module FaaS setup (§4.3).
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.core.accounting_enclave import RawExecution
+from repro.obs.instruments import (
+    POOL_EXEC_WALL,
+    POOL_TASKS,
+    POOL_TASKS_IN_FLIGHT,
+    POOL_UTILISATION,
+)
 from repro.wasm.binary import decode_module
 from repro.wasm.interpreter import ExecutionLimits, Trap
 from repro.wasm.module import Module
@@ -125,6 +132,8 @@ class WorkerPool:
         if kind not in ("process", "thread"):
             raise ValueError(f"unknown pool kind {kind!r}")
         self.workers = workers
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
         self._executor: Executor
         if kind == "process":
             try:
@@ -139,7 +148,25 @@ class WorkerPool:
 
     def submit(self, task: ExecutionTask) -> Future:
         """Schedule one task; the future resolves to a :class:`WorkerResult`."""
-        return self._executor.submit(execute_task, task)
+        POOL_TASKS.inc()
+        with self._in_flight_lock:
+            self._in_flight += 1
+            self._publish_load()
+        future = self._executor.submit(execute_task, task)
+        future.add_done_callback(self._task_done)
+        return future
+
+    def _task_done(self, future: Future) -> None:
+        with self._in_flight_lock:
+            self._in_flight = max(0, self._in_flight - 1)
+            self._publish_load()
+        if not future.cancelled() and future.exception() is None:
+            POOL_EXEC_WALL.observe(future.result().exec_wall_s)
+
+    def _publish_load(self) -> None:
+        # caller holds _in_flight_lock
+        POOL_TASKS_IN_FLIGHT.set(self._in_flight)
+        POOL_UTILISATION.set(min(1.0, self._in_flight / self.workers))
 
     def shutdown(self, wait: bool = True) -> None:
         self._executor.shutdown(wait=wait)

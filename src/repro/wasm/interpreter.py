@@ -28,6 +28,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+from repro.obs.profiler import active_profiler
 from repro.wasm.costmodel import CostModel
 from repro.wasm.instructions import Instr
 from repro.wasm.memory import LinearMemory, MemoryAccessError
@@ -213,6 +214,25 @@ def _rotr(value: int, count: int, bits: int) -> int:
     return ((value >> count) | (value << (bits - count))) & mask
 
 
+def function_labels(module: Module) -> tuple[str, ...]:
+    """Human-readable labels for *defined* functions, for profiler reports.
+
+    Preference order: export name, the WAT ``$identifier``, then a
+    positional ``func[i]`` fallback (combined index space, imports first).
+    """
+    n_imported = module.num_imported_funcs
+    labels = [""] * len(module.funcs)
+    for export in module.exports:
+        if export.kind == "func" and export.index >= n_imported:
+            defined = export.index - n_imported
+            if defined < len(labels) and not labels[defined]:
+                labels[defined] = export.name
+    for i, func in enumerate(module.funcs):
+        if not labels[i]:
+            labels[i] = func.name or f"func[{n_imported + i}]"
+    return tuple(labels)
+
+
 # ---------------------------------------------------------------------------
 # Structure maps
 # ---------------------------------------------------------------------------
@@ -366,6 +386,11 @@ class Instance:
             build_structure_map(f.body) for f in module.funcs
         ]
         self._call_depth = 0
+        #: hot-path profiler (repro.obs): snapshotted from the process-wide
+        #: active profiler at each top-level invoke; None keeps the engines'
+        #: profiler hooks on their no-cost path
+        self._profiler = None
+        self._func_labels: tuple[str, ...] | None = None
 
         # -- execution engine
         engine = engine or DEFAULT_ENGINE
@@ -406,6 +431,9 @@ class Instance:
 
     def invoke(self, export_name: str, *args):
         """Invoke an exported function with Python ints/floats."""
+        self._profiler = active_profiler()
+        if self._profiler is not None and self._func_labels is None:
+            self._func_labels = function_labels(self.module)
         func_index = self.module.export_index(export_name, "func")
         functype = self.module.func_type(func_index)
         if len(args) != len(functype.params):
@@ -460,9 +488,21 @@ class Instance:
             raise Trap("call stack exhausted")
         self._call_depth += 1
         try:
+            defined = func_index - n_imported
+            prof = self._profiler
+            if prof is not None:
+                prof.enter_function(
+                    self._func_labels[defined], self.stats.executed, self.stats.cycles
+                )
+                try:
+                    if self._engine is not None:
+                        return self._engine.exec_function(defined, args)
+                    return self._exec_function(defined, args)
+                finally:
+                    prof.exit_function(self.stats.executed, self.stats.cycles)
             if self._engine is not None:
-                return self._engine.exec_function(func_index - n_imported, args)
-            return self._exec_function(func_index - n_imported, args)
+                return self._engine.exec_function(defined, args)
+            return self._exec_function(defined, args)
         finally:
             self._call_depth -= 1
 
@@ -477,6 +517,10 @@ class Instance:
         stats = self.stats
         cost = self.cost_model
         limits = self.limits
+        prof = self._profiler
+        prof_label = (
+            self._func_labels[defined_index] if prof is not None else ""
+        )
 
         locals_: list = list(args)
         for vt in func.locals:
@@ -493,6 +537,8 @@ class Instance:
 
             stats.visits[name] += 1
             stats.executed += 1
+            if prof is not None:
+                prof.record_point(prof_label, pc)
             if cost is not None:
                 stats.cycles += cost.instruction_cycles(name)
             if limits.max_instructions is not None and stats.executed > limits.max_instructions:

@@ -838,6 +838,8 @@ class PredecodedEngine:
         cell = self.cell
         code = cf.code
         n = cf.n
+        prof = inst._profiler
+        prof_label = inst._func_labels[defined_index] if prof is not None else ""
 
         locals_: list = list(args)
         locals_.extend(cf.local_init)
@@ -853,6 +855,8 @@ class PredecodedEngine:
             if kind == K_SEG:
                 seg = entry[1]
                 count = seg.count
+                if prof is not None:
+                    prof.record_segment(prof_label, pc, count)
                 executed = stats.executed
                 mi = limits.max_instructions
                 pi = limits.progress_interval

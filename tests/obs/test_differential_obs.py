@@ -1,0 +1,112 @@
+"""Observability must not perturb accounting: byte-identical ExecutionStats.
+
+The acceptance-critical differential: running any workload with tracing,
+metrics and profiling all enabled produces the same stats — byte for byte —
+as running with everything off, across both engines and all three
+instrumentation levels.  Signed resource vectors get the same treatment
+through the full two-way sandbox.
+"""
+
+import json
+
+import pytest
+
+from repro.instrument import instrument_module
+from repro.obs import (
+    disable_all,
+    enable_metrics,
+    enable_profiling,
+    enable_tracing,
+    get_registry,
+)
+from repro.wasm.interpreter import ENGINES, Instance
+from repro.workloads import POLYBENCH_KERNELS
+
+LEVELS = ("naive", "flow-based", "loop-based")
+KERNEL = "trisolv"  # touches loads/stores, loops and calls; runs fast
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    disable_all()
+    yield
+    disable_all()
+    get_registry().reset()
+
+
+def stats_bytes(stats) -> bytes:
+    """Canonical byte serialisation of every ExecutionStats field."""
+    return json.dumps(
+        {
+            "visits": sorted(stats.visits.items()),
+            "executed": stats.executed,
+            "cycles": stats.cycles,
+            "loads": stats.loads,
+            "stores": stats.stores,
+            "bytes_loaded": stats.bytes_loaded,
+            "bytes_stored": stats.bytes_stored,
+            "calls": stats.calls,
+            "host_calls": stats.host_calls,
+            "grow_history": stats.grow_history,
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+
+
+def run_stats(module, engine: str) -> bytes:
+    instance = Instance(module, engine=engine)
+    instance.invoke("kernel")
+    return stats_bytes(instance.stats)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("level", LEVELS)
+def test_stats_byte_identical_with_all_obs_enabled(engine, level):
+    base = POLYBENCH_KERNELS[KERNEL].compile()
+    module = instrument_module(base, level).module
+
+    baseline = run_stats(module, engine)
+
+    enable_tracing()
+    enable_metrics()
+    enable_profiling()
+    observed = run_stats(module, engine)
+
+    assert observed == baseline
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_signed_vector_byte_identical_through_sandbox(engine):
+    from repro.core.sandbox import SandboxConfig, TwoWaySandbox
+
+    spec = POLYBENCH_KERNELS[KERNEL]
+    export, args = spec.run
+
+    def vector_bytes() -> bytes:
+        sandbox = TwoWaySandbox.deploy(SandboxConfig(engine=engine))
+        workload = sandbox.submit_module(spec.compile().clone())
+        result = workload.invoke(export, *args)
+        assert sandbox.verify_log()
+        return json.dumps(result.vector.to_json(), sort_keys=True).encode()
+
+    baseline = vector_bytes()
+    enable_tracing()
+    enable_metrics()
+    enable_profiling()
+    observed = vector_bytes()
+    assert observed == baseline
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_stats_identical_after_obs_disabled_again(engine):
+    """Enable/disable cycling leaves no residue in the engines."""
+    base = POLYBENCH_KERNELS[KERNEL].compile()
+    module = instrument_module(base, "loop-based").module
+    before = run_stats(module, engine)
+    enable_tracing()
+    enable_metrics()
+    enable_profiling()
+    run_stats(module, engine)
+    disable_all()
+    after = run_stats(module, engine)
+    assert after == before

@@ -1,0 +1,159 @@
+"""Metrics registry: instruments, OpenMetrics rendering, on/off switch."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _metrics_on():
+    enable_metrics()
+    yield
+    disable_metrics()
+
+
+def test_disabled_mutators_record_nothing():
+    disable_metrics()
+    assert not metrics_enabled()
+    c, g, h = Counter("c", "h"), Gauge("g", "h"), Histogram("h", "h")
+    c.inc()
+    g.set(5.0)
+    h.observe(0.1)
+    assert c.total() == 0.0
+    assert g.value() == 0.0
+    assert h.count() == 0
+
+
+def test_counter_accumulates_per_labelset():
+    c = Counter("requests", "served requests")
+    c.inc(tenant="a")
+    c.inc(2.0, tenant="a")
+    c.inc(tenant="b")
+    assert c.value(tenant="a") == 3.0
+    assert c.value(tenant="b") == 1.0
+    assert c.total() == 4.0
+    assert c.samples() == [
+        'requests_total{tenant="a"} 3',
+        'requests_total{tenant="b"} 1',
+    ]
+
+
+def test_counter_label_order_is_canonical():
+    c = Counter("x", "h")
+    c.inc(b="2", a="1")
+    c.inc(a="1", b="2")
+    assert c.value(a="1", b="2") == 2.0
+    assert c.samples() == ['x_total{a="1",b="2"} 2']
+
+
+def test_gauge_set_inc_dec():
+    g = Gauge("depth", "queue depth")
+    g.set(3, tenant="a")
+    g.inc(tenant="a")
+    g.dec(2.0, tenant="a")
+    assert g.value(tenant="a") == 2.0
+    assert g.samples() == ['depth{tenant="a"} 2']
+
+
+def test_histogram_buckets_are_cumulative():
+    h = Histogram("lat", "latency", buckets=(0.001, 0.01, 0.1))
+    for v in (0.0005, 0.005, 0.05, 5.0):
+        h.observe(v)
+    assert h.count() == 4
+    assert h.sum() == pytest.approx(5.0555)
+    lines = h.samples()
+    assert 'lat_bucket{le="0.001"} 1' in lines
+    assert 'lat_bucket{le="0.01"} 2' in lines
+    assert 'lat_bucket{le="0.1"} 3' in lines
+    assert 'lat_bucket{le="+Inf"} 4' in lines
+    assert "lat_count 4" in lines
+
+
+def test_histogram_boundary_lands_in_le_bucket():
+    h = Histogram("b", "h", buckets=(1.0, 4.0))
+    h.observe(1.0)  # exactly on the bound: le="1" includes it
+    assert 'b_bucket{le="1"} 1' in h.samples()
+
+
+def test_histogram_rejects_unsorted_buckets():
+    with pytest.raises(ValueError):
+        Histogram("bad", "h", buckets=(2.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("bad", "h", buckets=())
+
+
+def test_default_bucket_layouts_are_log_scale():
+    assert LATENCY_BUCKETS[0] == pytest.approx(1e-6)
+    assert all(b2 / b1 == pytest.approx(4.0) for b1, b2 in zip(LATENCY_BUCKETS, LATENCY_BUCKETS[1:]))
+    assert BYTES_BUCKETS[0] == 1.0
+    assert BYTES_BUCKETS[-1] == float(4**15)  # 1 GiB
+
+
+def test_label_values_are_escaped():
+    c = Counter("esc", "h")
+    c.inc(msg='say "hi"\nnow')
+    [sample] = c.samples()
+    assert sample == 'esc_total{msg="say \\"hi\\"\\nnow"} 1'
+
+
+def test_registry_registration_is_idempotent_and_type_checked():
+    reg = MetricsRegistry()
+    c1 = reg.counter("n", "h")
+    c2 = reg.counter("n", "h")
+    assert c1 is c2
+    with pytest.raises(ValueError):
+        reg.gauge("n", "h")
+    assert reg.names() == ["n"]
+    assert reg.get("n") is c1
+    assert reg.get("missing") is None
+
+
+def test_registry_reset_keeps_names():
+    reg = MetricsRegistry()
+    c = reg.counter("n", "h")
+    c.inc()
+    reg.reset()
+    assert c.total() == 0.0
+    assert reg.names() == ["n"]
+
+
+def test_render_openmetrics_format():
+    reg = MetricsRegistry()
+    reg.counter("runs", "workload runs").inc(3, engine="predecode")
+    reg.gauge("util", "pool utilisation").set(0.5)
+    reg.histogram("lat", "latency", buckets=(1.0,)).observe(0.5)
+    text = reg.render_openmetrics()
+    lines = text.splitlines()
+    assert "# TYPE runs counter" in lines
+    assert "# HELP runs workload runs" in lines
+    assert 'runs_total{engine="predecode"} 3' in lines
+    assert "# TYPE util gauge" in lines
+    assert "util 0.5" in lines
+    assert "# TYPE lat histogram" in lines
+    assert lines[-1] == "# EOF"
+    assert text.endswith("# EOF\n")
+
+
+def test_snapshot_is_json_serialisable():
+    reg = MetricsRegistry()
+    reg.counter("c", "h").inc(tenant="a")
+    reg.histogram("h", "h", buckets=(1.0,)).observe(2.0)
+    snap = reg.snapshot()
+    round_tripped = json.loads(json.dumps(snap))
+    assert round_tripped["c"]["kind"] == "counter"
+    assert round_tripped["c"]["values"] == {'{tenant="a"}': 1.0}
+    hist = round_tripped["h"]["values"]["{}"]
+    assert hist["count"] == 1
+    assert hist["overflow"] == 1  # 2.0 > the single 1.0 bound

@@ -1,0 +1,157 @@
+"""Profiler: function/segment attribution in both engines, flamegraph output."""
+
+import pytest
+
+from repro.obs.profiler import (
+    Profiler,
+    active_profiler,
+    disable_profiling,
+    enable_profiling,
+    profile,
+)
+from repro.wasm.interpreter import ENGINES, Instance, function_labels
+from repro.wasm.wat_parser import parse_wat
+
+FIB_WAT = """
+(module
+  (func $fib (export "fib") (param $n i32) (result i32)
+    (if (result i32) (i32.lt_s (local.get $n) (i32.const 2))
+      (then (local.get $n))
+      (else
+        (i32.add
+          (call $fib (i32.sub (local.get $n) (i32.const 1)))
+          (call $fib (i32.sub (local.get $n) (i32.const 2)))))))
+  (func $helper (result i32) (i32.const 7))
+  (func (export "entry") (result i32)
+    (i32.add (call $fib (i32.const 6)) (call $helper))))
+"""
+
+
+@pytest.fixture(autouse=True)
+def _profiling_off():
+    disable_profiling()
+    yield
+    disable_profiling()
+
+
+def test_switch_roundtrip():
+    assert active_profiler() is None
+    prof = enable_profiling()
+    assert active_profiler() is prof
+    disable_profiling()
+    assert active_profiler() is None
+
+
+def test_profile_context_manager():
+    with profile() as prof:
+        assert active_profiler() is prof
+    assert active_profiler() is None
+
+
+def test_function_labels_prefer_export_then_identifier():
+    module = parse_wat(FIB_WAT)
+    labels = function_labels(module)
+    assert labels[0] == "fib"       # export name wins
+    assert labels[1] == "helper"    # WAT $identifier
+    assert labels[2] == "entry"     # export-only function
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_function_attribution_names_real_functions(engine):
+    module = parse_wat(FIB_WAT)
+    with profile() as prof:
+        instance = Instance(module, engine=engine)
+        assert instance.invoke("entry") == 8 + 7
+    assert set(prof.functions) == {"fib", "helper", "entry"}
+    fib = dict(zip(
+        ("calls", "incl_wall", "excl_wall", "incl_visits", "excl_visits",
+         "incl_cycles", "excl_cycles"),
+        prof.functions["fib"],
+    ))
+    assert fib["calls"] == 25  # fib(6) call tree
+    assert prof.functions["helper"][0] == 1
+    assert prof.functions["entry"][0] == 1
+    # entry's inclusive visits cover its callees; exclusive visits do not
+    entry = prof.functions["entry"]
+    assert entry[3] > entry[4] > 0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_profiling_does_not_perturb_stats(engine):
+    module = parse_wat(FIB_WAT)
+    plain = Instance(module, engine=engine)
+    plain.invoke("entry")
+    with profile():
+        profiled = Instance(module, engine=engine)
+        profiled.invoke("entry")
+    assert profiled.stats.executed == plain.stats.executed
+    assert profiled.stats.visits == plain.stats.visits
+    assert profiled.stats.cycles == plain.stats.cycles
+
+
+def test_segment_attribution_predecode_batches():
+    module = parse_wat(FIB_WAT)
+    with profile() as prof:
+        Instance(module, engine="predecode").invoke("fib", 6)
+    segs = prof.top_segments(100)
+    assert segs, "predecode must report basic-block segments"
+    assert all(row["function"] == "fib" for row in segs)
+    # pre-decoded segments batch: some segment covers >1 instruction per entry
+    assert any(row["instructions"] > row["entries"] for row in segs)
+
+
+def test_segment_attribution_legacy_per_instruction():
+    module = parse_wat(FIB_WAT)
+    with profile() as prof:
+        Instance(module, engine="legacy").invoke("fib", 6)
+    segs = prof.top_segments(1000)
+    assert segs
+    # legacy fallback reports single instructions: entries == instructions
+    assert all(row["instructions"] == row["entries"] for row in segs)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_engines_agree_on_instruction_attribution(engine):
+    """Per-function instruction totals match the engine-neutral stats."""
+    module = parse_wat(FIB_WAT)
+    with profile() as prof:
+        instance = Instance(module, engine=engine)
+        instance.invoke("entry")
+    total_excl_visits = sum(stat[4] for stat in prof.functions.values())
+    assert total_excl_visits == instance.stats.executed
+
+
+def test_collapsed_stacks_format():
+    module = parse_wat(FIB_WAT)
+    with profile() as prof:
+        Instance(module).invoke("entry")
+    text = prof.collapsed_stacks()
+    lines = text.strip().splitlines()
+    assert lines
+    for line in lines:
+        path, count = line.rsplit(" ", 1)
+        assert int(count) >= 1
+        assert all(frame for frame in path.split(";"))
+    # recursion produces deepening fib chains under entry
+    assert any(line.startswith("entry;fib;fib ") for line in lines)
+
+
+def test_report_and_json():
+    module = parse_wat(FIB_WAT)
+    with profile() as prof:
+        Instance(module).invoke("entry")
+    report = prof.report(5)
+    assert "hot functions" in report
+    assert "fib" in report
+    assert "hot basic-block segments" in report
+    doc = prof.to_json()
+    assert {row["function"] for row in doc["functions"]} == {"fib", "helper", "entry"}
+    assert doc["segments"]
+
+
+def test_top_functions_sorted_by_exclusive_wall():
+    prof = Profiler()
+    prof.functions["slow"] = [1, 100, 90, 10, 10, 0.0, 0.0]
+    prof.functions["fast"] = [1, 50, 10, 5, 5, 0.0, 0.0]
+    rows = prof.top_functions(2)
+    assert [r["function"] for r in rows] == ["slow", "fast"]

@@ -1,0 +1,161 @@
+"""Tracing spans: nesting, attributes, exports, and off-by-default no-ops."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    NULL_SPAN,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    disable_tracing()
+    yield
+    disable_tracing()
+
+
+def test_disabled_span_is_the_shared_null_span():
+    assert not tracing_enabled()
+    s = span("anything", tenant="t")
+    assert s is NULL_SPAN
+    # every operation is a no-op
+    with s:
+        s.set_attribute("k", "v")
+    s.end()
+
+
+def test_enable_disable_roundtrip():
+    tracer = enable_tracing()
+    assert tracing_enabled()
+    assert get_tracer() is tracer
+    disable_tracing()
+    assert not tracing_enabled()
+    assert get_tracer() is None
+
+
+def test_span_records_timing_and_attributes():
+    tracer = enable_tracing()
+    with span("work", tenant="alice", module_hash=b"\x01\x02") as s:
+        s.set_attribute("cache", "hit")
+    [finished] = tracer.finished()
+    assert finished.name == "work"
+    assert finished.end_ns is not None and finished.end_ns >= finished.start_ns
+    # bytes attributes are hex-encoded for JSON safety
+    assert finished.attributes == {
+        "tenant": "alice",
+        "module_hash": "0102",
+        "cache": "hit",
+    }
+
+
+def test_implicit_nesting_within_a_thread():
+    tracer = enable_tracing()
+    with span("parent") as parent:
+        with span("child") as child:
+            pass
+    spans = {s.name: s for s in tracer.finished()}
+    assert spans["child"].parent_id == spans["parent"].span_id
+    assert spans["parent"].parent_id is None
+    assert child.span_id != parent.span_id
+
+
+def test_explicit_parent_for_cross_thread_children():
+    tracer = enable_tracing()
+    root = tracer.span("request", detached=True)
+
+    def settle():
+        with span("account", parent=root):
+            pass
+        root.end()
+
+    worker = threading.Thread(target=settle)
+    worker.start()
+    worker.join()
+    spans = {s.name: s for s in tracer.finished()}
+    assert spans["account"].parent_id == spans["request"].span_id
+    assert spans["request"].end_ns is not None
+
+
+def test_detached_span_does_not_pin_the_opening_thread_stack():
+    tracer = enable_tracing()
+    detached = tracer.span("request", detached=True)
+    with span("other") as other:
+        pass
+    detached.end()
+    spans = {s.name: s for s in tracer.finished()}
+    # "other" must NOT have nested under the detached request span
+    assert spans["other"].parent_id is None
+    assert other.span_id != detached.span_id
+
+
+def test_end_is_idempotent():
+    tracer = enable_tracing()
+    s = span("once")
+    s.end()
+    first_end = s.end_ns
+    s.end()
+    assert s.end_ns == first_end
+    assert len(tracer.finished()) == 1
+
+
+def test_error_pops_abandoned_children():
+    tracer = enable_tracing()
+    with pytest.raises(RuntimeError):
+        with span("outer"):
+            span("abandoned")  # never closed before the error unwinds
+            raise RuntimeError("boom")
+    # outer finished; the tracer's thread stack must be clean again
+    with span("next"):
+        pass
+    spans = {s.name: s for s in tracer.finished()}
+    assert spans["next"].parent_id is None
+
+
+def test_chrome_trace_export_shape():
+    tracer = enable_tracing()
+    with span("phase", tenant="t0"):
+        pass
+    doc = tracer.to_chrome_trace()
+    assert set(doc) >= {"traceEvents", "displayTimeUnit"}
+    [event] = doc["traceEvents"]
+    assert event["ph"] == "X"
+    assert {"name", "cat", "ts", "dur", "pid", "tid", "args"} <= set(event)
+    assert event["args"]["tenant"] == "t0"
+    # must round-trip as JSON (Perfetto ingests this file verbatim)
+    json.loads(json.dumps(doc))
+
+
+def test_write_chrome_trace(tmp_path):
+    tracer = enable_tracing()
+    with span("io"):
+        pass
+    path = tmp_path / "trace.json"
+    tracer.write_chrome_trace(str(path))
+    doc = json.loads(path.read_text())
+    assert doc["traceEvents"][0]["name"] == "io"
+
+
+def test_clear_and_json_export():
+    tracer = enable_tracing()
+    with span("a"):
+        pass
+    assert [s["name"] for s in tracer.to_json()] == ["a"]
+    tracer.clear()
+    assert tracer.to_json() == []
+
+
+def test_independent_tracer_instances_do_not_share_spans():
+    t1, t2 = Tracer(), Tracer()
+    with t1.span("one"):
+        pass
+    assert [s.name for s in t1.finished()] == ["one"]
+    assert t2.finished() == []
