@@ -270,6 +270,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         enable_metrics()
     sweeps = {}
     ok = True
+    chaos = bool(args.faults)
     for backend in backends:
         result = run_loadtest(
             worker_counts=worker_counts,
@@ -280,6 +281,10 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             backend=backend,
             time_scale=args.time_scale,
             verify_serial=not args.no_serial,
+            faults=args.faults or None,
+            fault_seed=args.fault_seed,
+            deadline_s=args.deadline,
+            hang_s=args.hang_s,
         )
         sweeps[backend] = result
         for point in result["sweep"]:
@@ -296,10 +301,26 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             if point["quota_rejection"]:
                 print(f"         over-quota probe rejected: "
                       f"[{point['quota_rejection']['code']}]")
+            if chaos:
+                faults = point["faults"]
+                billing = point["billing"]
+                injected = ",".join(
+                    f"{kind}:{n}" for kind, n in sorted(faults["faults_injected"].items())
+                ) or "none"
+                print(f"         chaos: injected {injected}  "
+                      f"retries={faults['retries']} "
+                      f"deadline_exceeded={faults['deadline_exceeded']} "
+                      f"rejected_results={faults['results_rejected']} "
+                      f"pool_rebuilds={faults['pool_rebuilds']}")
+                print(f"         billing exactly-once: {billing['exactly_once']} "
+                      f"(receipts={billing['receipts']} "
+                      f"distinct_billed={billing['distinct_requests_billed']} "
+                      f"ok_responses={billing['ok_responses']})")
+                ok = ok and billing["exactly_once"]
         if "speedup_4_over_1" in result:
             print(f"[{backend}] speedup 4 workers over 1: "
                   f"{result['speedup_4_over_1']:.2f}x")
-        if not args.no_serial:
+        if not args.no_serial and not chaos:
             print(f"[{backend}] totals byte-identical to serial sandbox: "
                   f"{result['serial_totals_match']}")
             ok = ok and result["serial_totals_match"]
@@ -503,6 +524,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-serial", action="store_true",
                    help="skip the serial single-sandbox equivalence check")
     p.add_argument("--engine", choices=ENGINES, default=None)
+    p.add_argument("--faults", default="",
+                   help="chaos mode: inject faults, e.g. crash:7,hang:13 "
+                        "(kinds: crash, hang, corrupt, slow; every Nth request)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the fault schedule and backoff jitter")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-request wall-clock deadline in seconds "
+                        "(default: none; 2.0 when --faults is given)")
+    p.add_argument("--hang-s", type=float, default=3.0,
+                   help="sleep injected by the hang fault (must exceed the deadline)")
     p.add_argument("--out", default="BENCH_service.json", help="output JSON path")
     p.add_argument("--metrics-out", default=None,
                    help="run with metrics enabled and merge the snapshot "

@@ -43,6 +43,18 @@ GATEWAY_REJECTIONS = REGISTRY.counter(
     "acctee_gateway_admission_rejections",
     "Typed admission rejections, by tenant and reason code.",
 )
+GATEWAY_RETRIES = REGISTRY.counter(
+    "acctee_gateway_retries",
+    "Request re-dispatches after transient worker failures, by tenant.",
+)
+GATEWAY_DEADLINE_EXCEEDED = REGISTRY.counter(
+    "acctee_gateway_deadline_exceeded",
+    "Requests failed by the wall-clock deadline watchdog, by tenant.",
+)
+GATEWAY_RESULTS_REJECTED = REGISTRY.counter(
+    "acctee_gateway_results_rejected",
+    "Worker meter readings that failed sanity validation, by tenant.",
+)
 LEDGER_SEAL_DURATION = REGISTRY.histogram(
     "acctee_ledger_seal_duration_seconds",
     "Wall time to seal one billing epoch (Merkle root + signature).",
@@ -71,6 +83,10 @@ POOL_EXEC_WALL = REGISTRY.histogram(
     "acctee_worker_pool_exec_wall_seconds",
     "Worker-side wall time per executed task (instantiate + run).",
     buckets=LATENCY_BUCKETS,
+)
+POOL_REBUILDS = REGISTRY.counter(
+    "acctee_worker_pool_rebuilds",
+    "In-place rebuilds of a broken worker pool (crashed worker process).",
 )
 
 # -- instrumentation cache -----------------------------------------------------

@@ -17,14 +17,28 @@ Layers (each usable on its own):
   per-tenant hash chains) and the offline :func:`verify_epoch` auditor;
 * :mod:`repro.service.backends`— pluggable execution backends (real Wasm, or
   the FaaS service-time model from :mod:`repro.scenarios.faas`);
+* :mod:`repro.service.faults`  — failure semantics: typed request failures,
+  deadline/retry/backoff policy, worker-result sanity validation, and the
+  deterministic fault-injection plans behind ``repro loadtest --faults``;
 * :mod:`repro.service.gateway` — the façade tying it all together, plus the
   load-test driver behind ``repro loadtest``.
 """
 
 from repro.service.backends import ExecutionBackend, WasmBackend
+from repro.service.faults import (
+    DeadlineExceeded,
+    FaultPlan,
+    GatewayFailure,
+    ResiliencePolicy,
+    ResultRejected,
+    RetriesExhausted,
+    WorkerCrashed,
+    validate_raw,
+)
 from repro.service.gateway import GatewayResponse, MeteringGateway, run_loadtest
 from repro.service.ledger import (
     BillingLedger,
+    DuplicateReceipt,
     EpochSeal,
     EpochVerification,
     Receipt,
@@ -46,10 +60,14 @@ __all__ = [
     "AdmissionController",
     "AdmissionError",
     "BillingLedger",
+    "DeadlineExceeded",
+    "DuplicateReceipt",
     "EpochSeal",
     "EpochVerification",
     "ExecutionBackend",
     "ExecutionTask",
+    "FaultPlan",
+    "GatewayFailure",
     "GatewayResponse",
     "InstructionBudgetExhausted",
     "MemoryCapExceeded",
@@ -57,10 +75,15 @@ __all__ = [
     "QueueFull",
     "RateLimited",
     "Receipt",
+    "ResiliencePolicy",
+    "ResultRejected",
+    "RetriesExhausted",
     "TenantQuota",
     "UnknownTenant",
     "WasmBackend",
+    "WorkerCrashed",
     "WorkerPool",
     "run_loadtest",
+    "validate_raw",
     "verify_epoch",
 ]

@@ -22,15 +22,18 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import replace
 from typing import Protocol
 
+from repro.service.faults import InjectedCrash, corrupt_raw
 from repro.service.worker import ExecutionTask, WorkerPool, WorkerResult, execute_task
 
 
 class ExecutionBackend(Protocol):
     """Structural interface every backend satisfies."""
 
-    kind: str
+    @property
+    def kind(self) -> str: ...
 
     def submit(self, task: ExecutionTask) -> Future: ...
 
@@ -42,7 +45,11 @@ class WasmBackend:
 
     def __init__(self, pool: WorkerPool):
         self.pool = pool
-        self.kind = f"wasm-{pool.kind}"
+
+    @property
+    def kind(self) -> str:
+        # live, not cached: a broken process pool may degrade to threads
+        return f"wasm-{self.pool.kind}"
 
     def submit(self, task: ExecutionTask) -> Future:
         return self.pool.submit(task)
@@ -77,6 +84,15 @@ class SimulatedFaaSBackend:
     def _serve(self, task: ExecutionTask) -> WorkerResult:
         from repro.scenarios.faas import assemble_service_time
 
+        fault = task.fault
+        if fault is not None:
+            # act out injected faults here (there is no real worker to
+            # crash), and never let a faulted task poison the calibration
+            if fault == "crash":
+                raise InjectedCrash("injected worker crash (simulated backend)")
+            if fault in ("hang", "slow") and task.fault_arg > 0:
+                time.sleep(task.fault_arg)
+            task = replace(task, fault=None, fault_arg=0.0)
         with self._lock:
             calibrated = self._calibrated.get(task.module_hash)
         if calibrated is None:
@@ -90,7 +106,8 @@ class SimulatedFaaSBackend:
         )
         if self.time_scale > 0:
             time.sleep(service_s * self.time_scale)
-        return WorkerResult(raw=calibrated.raw, exec_wall_s=service_s)
+        raw = corrupt_raw(calibrated.raw) if fault == "corrupt" else calibrated.raw
+        return WorkerResult(raw=raw, exec_wall_s=service_s)
 
     def submit(self, task: ExecutionTask) -> Future:
         return self._executor.submit(self._serve, task)

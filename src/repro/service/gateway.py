@@ -19,16 +19,32 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.accounting_enclave import AccountingEnclave, WorkloadResult
 from repro.core.cache import InstrumentationCache
 from repro.core.instrumentation_enclave import InstrumentationEnclave
 from repro.core.resource_log import ResourceUsageLog, ResourceVector
 from repro.core.sandbox import SandboxConfig
-from repro.obs.instruments import GATEWAY_REQUEST_LATENCY, GATEWAY_REQUESTS
+from repro.obs.instruments import (
+    GATEWAY_DEADLINE_EXCEEDED,
+    GATEWAY_REQUEST_LATENCY,
+    GATEWAY_REQUESTS,
+    GATEWAY_RESULTS_REJECTED,
+    GATEWAY_RETRIES,
+)
 from repro.obs.trace import span as obs_span
 from repro.service.backends import ExecutionBackend, WasmBackend
+from repro.service.faults import (
+    DeadlineExceeded,
+    FaultPlan,
+    GatewayFailure,
+    ResiliencePolicy,
+    ResultRejected,
+    RetriesExhausted,
+    is_transient,
+    validate_raw,
+)
 from repro.service.ledger import (
     BillingLedger,
     EpochSeal,
@@ -81,6 +97,39 @@ class GatewayResponse:
     exec_wall_s: float
 
 
+@dataclass
+class _RequestState:
+    """One admitted request's lifecycle, shared by the dispatch path, the
+    retry timers, and the deadline watchdog.
+
+    ``finalized`` is the exactly-once gate: whichever of {worker result,
+    deadline, terminal failure} claims it first settles the admission slot,
+    ends the span and resolves the future — and only the claimant may sign
+    a receipt, so a result arriving after its deadline is dropped unbilled.
+    """
+
+    request_id: int
+    tenant: "_Tenant"
+    label: str
+    response: "Future[GatewayResponse]"
+    span: object
+    submitted: float
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    finalized: bool = False
+    watchdog: threading.Timer | None = None
+
+    def claim(self) -> bool:
+        with self.lock:
+            if self.finalized:
+                return False
+            self.finalized = True
+            return True
+
+    def cancel_watchdog(self) -> None:
+        if self.watchdog is not None:
+            self.watchdog.cancel()
+
+
 class MeteringGateway:
     """A live multi-tenant metering service over the two-way sandbox."""
 
@@ -91,8 +140,23 @@ class MeteringGateway:
         config: SandboxConfig | None = None,
         backend: ExecutionBackend | None = None,
         cache_entries: int | None = 256,
+        resilience: ResiliencePolicy | None = None,
+        fault_plan: FaultPlan | None = None,
     ):
         self.config = config or SandboxConfig()
+        #: Failure-handling policy.  The default retries transient worker
+        #: crashes a couple of times and enforces no deadline — fault-free
+        #: behaviour (and its signed vectors) is byte-identical to a gateway
+        #: with no policy at all.
+        self.resilience = resilience or ResiliencePolicy()
+        #: Chaos-testing hook: when set, outgoing tasks are stamped with the
+        #: plan's fault for their request id (``repro loadtest --faults``).
+        self.fault_plan = fault_plan
+        self._resilience_lock = threading.Lock()
+        self._retries = 0
+        self._deadline_exceeded = 0
+        self._results_rejected = 0
+        self._faults_injected: dict[str, int] = {}
         self.platform = SGXPlatform(platform_id="gateway-0")
         self.attestation_service = AttestationService()
         weight_table = self.config.weight_table()
@@ -209,7 +273,14 @@ class MeteringGateway:
 
         Raises a typed :class:`~repro.service.quota.AdmissionError`
         *synchronously* when the tenant is over quota — rejected requests
-        never reach the pool.
+        never reach the pool.  Post-admission failures resolve the future
+        to a typed :class:`~repro.service.faults.GatewayFailure`: transient
+        worker crashes are retried (same ``request_id``, exponential backoff
+        with deterministic jitter) within :attr:`resilience`'s budget, a
+        wall-clock deadline is enforced by a gateway-side watchdog, and
+        meter readings are sanity-validated before the tenant's accounting
+        enclave signs them.  Whatever happens, the request is billed at
+        most once and its admission slot is settled exactly once.
         """
         req_span = obs_span(
             "gateway.request", detached=True, tenant=tenant_id, export=export
@@ -242,48 +313,184 @@ class MeteringGateway:
             engine=self.config.engine,
             max_instructions=self.config.max_instructions,
         )
-        submitted = time.perf_counter()
-        response: Future[GatewayResponse] = Future()
-        inner = self.backend.submit(task)
-
-        def _settle(done: Future) -> None:
-            try:
-                worker_result: WorkerResult = done.result()
-                with obs_span("gateway.account", parent=req_span, tenant=tenant_id):
-                    with tenant.lock:
-                        result = tenant.ae.account(
-                            worker_result.raw, label=label or export
-                        )
-                        receipt = self.ledger.record(
-                            tenant_id, tenant.ae.log.entries[-1]
-                        )
-                self.admission.settle(
-                    tenant_id, result.vector.weighted_instructions
+        if self.fault_plan is not None:
+            fault = self.fault_plan.fault_for(request_id)
+            if fault is not None:
+                task = replace(
+                    task, fault=fault, fault_arg=self.fault_plan.fault_arg(fault)
                 )
-                latency_s = time.perf_counter() - submitted
-                GATEWAY_REQUESTS.inc(tenant=tenant_id, outcome="ok")
-                GATEWAY_REQUEST_LATENCY.observe(latency_s, tenant=tenant_id)
-                req_span.set_attribute("outcome", "ok")
-                req_span.end()
-                response.set_result(
-                    GatewayResponse(
-                        tenant_id=tenant_id,
-                        request_id=request_id,
-                        result=result,
-                        receipt=receipt,
-                        latency_s=latency_s,
-                        exec_wall_s=worker_result.exec_wall_s,
+                req_span.set_attribute("injected_fault", fault)
+                with self._resilience_lock:
+                    self._faults_injected[fault] = (
+                        self._faults_injected.get(fault, 0) + 1
                     )
-                )
-            except BaseException as exc:  # noqa: BLE001 - relayed to the caller
-                self.admission.settle(tenant_id, 0)
-                GATEWAY_REQUESTS.inc(tenant=tenant_id, outcome="error")
-                req_span.set_attribute("outcome", "error")
-                req_span.end()
-                response.set_exception(exc)
-
-        inner.add_done_callback(_settle)
+        response: Future[GatewayResponse] = Future()
+        state = _RequestState(
+            request_id=request_id,
+            tenant=tenant,
+            label=label or export,
+            response=response,
+            span=req_span,
+            submitted=time.perf_counter(),
+        )
+        if self.resilience.deadline_s is not None:
+            watchdog = threading.Timer(
+                self.resilience.deadline_s, self._on_deadline, args=(state,)
+            )
+            watchdog.daemon = True
+            state.watchdog = watchdog
+            watchdog.start()
+        self._dispatch(state, task, attempt=0)
         return response
+
+    # -- the resilient dispatch path ---------------------------------------------
+
+    def _dispatch(self, state: _RequestState, task: ExecutionTask, attempt: int) -> None:
+        with state.lock:
+            if state.finalized:
+                return  # deadline fired while a retry was waiting to run
+        try:
+            inner = self.backend.submit(task)
+        except BaseException as exc:  # noqa: BLE001 - classified below
+            self._task_failed(state, task, attempt, exc)
+            return
+        inner.add_done_callback(
+            lambda done: self._task_done(state, task, attempt, done)
+        )
+
+    def _task_done(
+        self, state: _RequestState, task: ExecutionTask, attempt: int, done: Future
+    ) -> None:
+        exc = done.exception()
+        if exc is None:
+            self._account(state, done.result())
+        else:
+            self._task_failed(state, task, attempt, exc)
+
+    def _task_failed(
+        self,
+        state: _RequestState,
+        task: ExecutionTask,
+        attempt: int,
+        exc: BaseException,
+    ) -> None:
+        if is_transient(exc) and attempt < self.resilience.max_retries:
+            with state.lock:
+                if state.finalized:
+                    return
+            tenant_id = state.tenant.tenant_id
+            GATEWAY_RETRIES.inc(tenant=tenant_id)
+            with self._resilience_lock:
+                self._retries += 1
+            state.span.set_attribute("attempts", attempt + 2)
+            # retries reuse the request id (exactly-once billing) but never
+            # re-inject the fault: the crash already happened
+            clean = replace(task, fault=None, fault_arg=0.0)
+            timer = threading.Timer(
+                self.resilience.backoff_s(state.request_id, attempt),
+                self._dispatch,
+                args=(state, clean, attempt + 1),
+            )
+            timer.daemon = True
+            timer.start()
+            return
+        if is_transient(exc):
+            exc = RetriesExhausted(
+                f"request {state.request_id} failed after {attempt + 1} attempts; "
+                f"last error: {exc}"
+            )
+        self._finalize_failure(state, exc)
+
+    def _account(self, state: _RequestState, worker_result: WorkerResult) -> None:
+        tenant = state.tenant
+        problems = validate_raw(worker_result.raw, self.config.max_instructions)
+        if problems:
+            # a lying worker, not a failing one: reject, never sign, no retry
+            GATEWAY_RESULTS_REJECTED.inc(tenant=tenant.tenant_id)
+            with self._resilience_lock:
+                self._results_rejected += 1
+            self._finalize_failure(
+                state, ResultRejected("implausible meter readings: " + "; ".join(problems))
+            )
+            return
+        if not state.claim():
+            return  # the deadline watchdog won the race: drop, unbilled
+        try:
+            with obs_span(
+                "gateway.account", parent=state.span, tenant=tenant.tenant_id
+            ):
+                with tenant.lock:
+                    result = tenant.ae.account(worker_result.raw, label=state.label)
+                    receipt = self.ledger.record(
+                        tenant.tenant_id,
+                        tenant.ae.log.entries[-1],
+                        request_id=state.request_id,
+                    )
+        except BaseException as exc:  # noqa: BLE001 - relayed to the caller
+            self._fail_finalized(state, exc)
+            return
+        self.admission.settle(tenant.tenant_id, result.vector.weighted_instructions)
+        state.cancel_watchdog()
+        latency_s = time.perf_counter() - state.submitted
+        GATEWAY_REQUESTS.inc(tenant=tenant.tenant_id, outcome="ok")
+        GATEWAY_REQUEST_LATENCY.observe(latency_s, tenant=tenant.tenant_id)
+        state.span.set_attribute("outcome", "ok")
+        state.span.end()
+        state.response.set_result(
+            GatewayResponse(
+                tenant_id=tenant.tenant_id,
+                request_id=state.request_id,
+                result=result,
+                receipt=receipt,
+                latency_s=latency_s,
+                exec_wall_s=worker_result.exec_wall_s,
+            )
+        )
+
+    def _on_deadline(self, state: _RequestState) -> None:
+        if not state.claim():
+            return
+        tenant_id = state.tenant.tenant_id
+        GATEWAY_DEADLINE_EXCEEDED.inc(tenant=tenant_id)
+        with self._resilience_lock:
+            self._deadline_exceeded += 1
+        self._fail_finalized(
+            state,
+            DeadlineExceeded(
+                f"request {state.request_id} exceeded its "
+                f"{self.resilience.deadline_s}s deadline"
+            ),
+        )
+
+    def _finalize_failure(self, state: _RequestState, exc: BaseException) -> None:
+        if not state.claim():
+            return
+        self._fail_finalized(state, exc)
+
+    def _fail_finalized(self, state: _RequestState, exc: BaseException) -> None:
+        """Failure bookkeeping once the state is claimed: settle the slot,
+        end the span, resolve the future — each exactly once."""
+        state.cancel_watchdog()
+        self.admission.settle(state.tenant.tenant_id, 0)
+        outcome = exc.code if isinstance(exc, GatewayFailure) else "error"
+        GATEWAY_REQUESTS.inc(tenant=state.tenant.tenant_id, outcome=outcome)
+        state.span.set_attribute("outcome", outcome)
+        state.span.end()
+        state.response.set_exception(exc)
+
+    def resilience_stats(self) -> dict:
+        """Counters for the failure-containment layer (chaos-run report)."""
+        with self._resilience_lock:
+            stats = {
+                "retries": self._retries,
+                "deadline_exceeded": self._deadline_exceeded,
+                "results_rejected": self._results_rejected,
+                "faults_injected": dict(self._faults_injected),
+            }
+        pool = getattr(self.backend, "pool", None)
+        stats["pool_rebuilds"] = getattr(pool, "rebuilds", 0)
+        stats["backend_kind"] = self.backend.kind
+        return stats
 
     def execute(
         self,
@@ -344,6 +551,7 @@ class MeteringGateway:
             "requests": self._requests,
             "epochs_sealed": len(self.ledger.seals),
             "cache": self.cache.stats(),
+            "resilience": self.resilience_stats(),
             "admission": {
                 tid: self.admission.stats(tid) for tid in sorted(self._tenants)
             },
@@ -428,6 +636,11 @@ def run_loadtest(
     time_scale: float = 1.0,
     verify_serial: bool = True,
     quota_probe: bool = True,
+    faults: "str | FaultPlan | None" = None,
+    fault_seed: int = 0,
+    deadline_s: float | None = None,
+    hang_s: float = 3.0,
+    max_retries: int | None = None,
 ) -> dict:
     """Drive the gateway at each worker count and report wall-clock numbers.
 
@@ -446,9 +659,37 @@ def run_loadtest(
     (:class:`~repro.service.backends.SimulatedFaaSBackend`), which measures
     the gateway/ledger serving overhead itself and scales with workers even
     on a single core (modeled service time is waiting, not CPU).
+
+    ``faults`` turns the run into a *chaos loadtest*: a
+    :class:`~repro.service.faults.FaultPlan` (or spec string like
+    ``"crash:7,hang:13"``) injects deterministic worker failures while the
+    resilience layer (deadline watchdog, bounded retries, pool rebuilds)
+    keeps the gateway serving.  Chaos runs drop the serial-equivalence and
+    quota-probe checks (failed requests have no serial counterpart) and
+    instead report the failure-containment invariants: the epoch still
+    audits clean, and billing is exactly-once — receipt count == distinct
+    billed request ids == successful responses.
     """
     mix = polybench_tenant_mix(kernels)
     schedule = _request_schedule(mix, requests)
+    plan: FaultPlan | None = None
+    if faults is not None:
+        plan = (
+            faults
+            if isinstance(faults, FaultPlan)
+            else FaultPlan.parse(faults, seed=fault_seed, hang_s=hang_s)
+        )
+        if deadline_s is None:
+            deadline_s = 2.0  # must outlast honest requests, not the hangs
+        verify_serial = False  # failed requests have no serial counterpart
+        quota_probe = False  # a fault on the probe would invalidate its assertion
+    policy = ResiliencePolicy(
+        deadline_s=deadline_s,
+        max_retries=(4 if plan is not None else 2) if max_retries is None else max_retries,
+        backoff_base_s=0.05,
+        backoff_cap_s=0.5,
+        jitter_seed=fault_seed,
+    )
     probe_spec = None
     if quota_probe:
         from repro.workloads.polybench import POLYBENCH_KERNELS
@@ -469,7 +710,12 @@ def run_loadtest(
         else:
             raise ValueError(f"unknown loadtest backend {backend!r}")
         with MeteringGateway(
-            workers=workers, pool=pool, config=config, backend=gw_backend
+            workers=workers,
+            pool=pool,
+            config=config,
+            backend=gw_backend,
+            resilience=policy,
+            fault_plan=plan,
         ) as gw:
             for tenant_id, module, _run in mix:
                 gw.register_tenant(tenant_id, module=module.clone())
@@ -493,11 +739,17 @@ def run_loadtest(
                 gw.submit(tenant_id, export, *args)
                 for tenant_id, export, args in schedule
             ]
-            responses = [f.result() for f in futures]
+            responses = []
+            failures: dict[str, int] = {}
+            for future in futures:
+                try:
+                    responses.append(future.result())
+                except GatewayFailure as exc:
+                    failures[exc.code] = failures.get(exc.code, 0) + 1
             wall_s = time.perf_counter() - started
             seal = gw.seal_epoch()
             verdict = gw.verify_epoch(seal)
-            latencies = sorted(r.latency_s for r in responses)
+            latencies = sorted(r.latency_s for r in responses) or [0.0]
 
             def pct(q: float) -> float:
                 return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
@@ -520,6 +772,19 @@ def run_loadtest(
                 "quota_rejection": rejection,
                 "cache": gw.cache.stats(),
             }
+            if plan is not None:
+                receipts_total = sum(
+                    len(gw.ledger.receipts(tenant_id))
+                    for tenant_id, _module, _run in mix
+                )
+                billed = gw.ledger.billed_requests()
+                point["faults"] = dict(gw.resilience_stats(), failures=failures)
+                point["billing"] = {
+                    "receipts": receipts_total,
+                    "distinct_requests_billed": billed,
+                    "ok_responses": len(responses),
+                    "exactly_once": receipts_total == billed == len(responses),
+                }
             if verify_serial:
                 # totals over the scheduled mix only — the probe tenant's
                 # served request is not part of the serial baseline
@@ -541,6 +806,9 @@ def run_loadtest(
         "cores_available": _cores_available(),
         "sweep": sweep,
     }
+    if plan is not None:
+        result["fault_plan"] = plan.describe()
+        result["deadline_s"] = deadline_s
     if verify_serial:
         serial = serial_baseline_totals(mix, schedule, engine=engine).to_json()
         result["serial_totals"] = serial

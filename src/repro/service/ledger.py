@@ -34,12 +34,24 @@ from repro.tcrypto.merkle import MerkleProof, MerkleTree, verify_proof
 from repro.tcrypto.rsa import RSAKeyPair, RSAPublicKey, rsa_generate, rsa_sign, rsa_verify
 
 
+class DuplicateReceipt(ValueError):
+    """A second receipt arrived for a request id already billed — the
+    exactly-once invariant caught a double-billing attempt (e.g. a retry
+    racing its own first attempt)."""
+
+
 @dataclass(frozen=True)
 class Receipt:
-    """One request's signed accounting entry, attributed to a tenant."""
+    """One request's signed accounting entry, attributed to a tenant.
+
+    ``request_id`` ties the receipt to the gateway request it bills
+    (retries reuse the id, so at most one receipt ever carries it);
+    ``None`` for receipts recorded outside a gateway request path.
+    """
 
     tenant_id: str
     entry: LogEntry
+    request_id: int | None = None
 
 
 @dataclass(frozen=True)
@@ -116,6 +128,7 @@ class BillingLedger:
         self._receipts: dict[str, list[Receipt]] = {}
         self._ae_keys: dict[str, RSAPublicKey] = {}
         self._sealed_upto: dict[str, int] = {}  # sequence already in an epoch
+        self._billed_requests: dict[str, set[int]] = {}  # request ids receipted
         self.seals: list[EpochSeal] = []
 
     @property
@@ -127,20 +140,45 @@ class BillingLedger:
             self._receipts.setdefault(tenant_id, [])
             self._ae_keys[tenant_id] = ae_public_key
             self._sealed_upto.setdefault(tenant_id, 0)
+            self._billed_requests.setdefault(tenant_id, set())
 
-    def record(self, tenant_id: str, entry: LogEntry) -> Receipt:
-        """Append one signed receipt to a tenant's chain (arrival order)."""
-        receipt = Receipt(tenant_id=tenant_id, entry=entry)
+    def record(
+        self, tenant_id: str, entry: LogEntry, request_id: int | None = None
+    ) -> Receipt:
+        """Append one signed receipt to a tenant's chain (arrival order).
+
+        With ``request_id`` given, enforces exactly-once billing: a second
+        receipt for an id already on the chain raises
+        :class:`DuplicateReceipt` *before* anything is appended.
+        """
+        receipt = Receipt(tenant_id=tenant_id, entry=entry, request_id=request_id)
         with self._lock:
             chain = self._receipts[tenant_id]
+            if request_id is not None and request_id in self._billed_requests[tenant_id]:
+                raise DuplicateReceipt(
+                    f"request {request_id} already billed for {tenant_id!r}"
+                )
             if entry.sequence != len(chain):
                 raise ValueError(
                     f"receipt out of order for {tenant_id!r}: "
                     f"got sequence {entry.sequence}, expected {len(chain)}"
                 )
             chain.append(receipt)
+            if request_id is not None:
+                self._billed_requests[tenant_id].add(request_id)
         LEDGER_RECEIPTS.inc(tenant=tenant_id)
         return receipt
+
+    def billed_requests(self, tenant_id: str | None = None) -> int:
+        """Distinct request ids with a receipt — one tenant's, or all.
+
+        The offline double-billing check compares this against the raw
+        receipt count: they must be equal when every receipt carries an id.
+        """
+        with self._lock:
+            if tenant_id is not None:
+                return len(self._billed_requests.get(tenant_id, ()))
+            return sum(len(ids) for ids in self._billed_requests.values())
 
     def receipts(self, tenant_id: str) -> list[Receipt]:
         with self._lock:

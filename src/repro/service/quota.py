@@ -89,9 +89,13 @@ class _TenantState:
     in_flight: int = 0
     spent_instructions: int = 0  # this epoch
     tokens: float = 0.0
-    last_refill: float = 0.0
+    # None = never refilled; a plain 0.0 would be indistinguishable from a
+    # legitimate clock reading of zero (injected test clocks, monotonic
+    # clocks near process start) and silently skip the first refill interval
+    last_refill: float | None = None
     admitted: int = 0
     rejected: int = 0
+    settled: int = 0
 
     def __post_init__(self) -> None:
         self.tokens = float(self.quota.burst)
@@ -180,9 +184,12 @@ class AdmissionController:
     def settle(self, tenant_id: str, weighted_instructions: int = 0) -> None:
         """Record one finished request: free its slot, charge its budget."""
         with self._lock:
-            state = self._tenants[tenant_id]
+            state = self._tenants.get(tenant_id)
+            if state is None:
+                raise UnknownTenant(f"tenant {tenant_id!r} is not registered")
             state.in_flight = max(0, state.in_flight - 1)
             state.spent_instructions += weighted_instructions
+            state.settled += 1
             GATEWAY_QUEUE_DEPTH.set(state.in_flight, tenant=tenant_id)
 
     def reset_epoch(self) -> None:
@@ -194,7 +201,7 @@ class AdmissionController:
     def _refill(self, state: _TenantState) -> None:
         now = self._clock()
         rate = state.quota.requests_per_second or 0.0
-        if state.last_refill:
+        if state.last_refill is not None:
             state.tokens = min(
                 float(state.quota.burst),
                 state.tokens + (now - state.last_refill) * rate,
@@ -205,13 +212,16 @@ class AdmissionController:
 
     def stats(self, tenant_id: str) -> dict[str, int]:
         # snapshot under the lock: admit()/settle() mutate these fields from
-        # other threads, and callers rely on the four counters being mutually
-        # consistent (e.g. admitted - in_flight = settled so far)
+        # other threads, and callers rely on the counters being mutually
+        # consistent (admitted - in_flight == settled at all times)
         with self._lock:
-            state = self._tenants[tenant_id]
+            state = self._tenants.get(tenant_id)
+            if state is None:
+                raise UnknownTenant(f"tenant {tenant_id!r} is not registered")
             return {
                 "admitted": state.admitted,
                 "rejected": state.rejected,
                 "in_flight": state.in_flight,
+                "settled": state.settled,
                 "spent_instructions": state.spent_instructions,
             }

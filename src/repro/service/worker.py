@@ -15,38 +15,69 @@ a threaded fallback for platforms where subprocesses are unavailable, and is
 also what the test suite uses for speed.  Each worker process keeps a small
 module cache keyed by module hash, so per-request work is instantiate +
 execute, matching the paper's cached-side-module FaaS setup (§4.3).
+
+Workers are assumed to fail: a crashed worker process poisons the whole
+``ProcessPoolExecutor`` (every later submit raises ``BrokenProcessPool``),
+so :class:`WorkerPool` detects the break and rebuilds the executor in
+place.  The pool never hands the executor more than ``workers`` tasks at a
+time — the surplus waits in the pool's own backlog, outside the executor —
+so on a break the backlog (provably never started) re-dispatches
+transparently onto the replacement, while the few tasks that may have been
+in flight surface as typed :class:`~repro.service.faults.WorkerCrashed`
+errors for the gateway's bounded retry layer.  After ``max_rebuilds``
+process-pool rebuilds the pool falls back to threads for the rest of its
+life rather than fork-looping.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import Executor, Future, ProcessPoolExecutor, ThreadPoolExecutor
+from collections import OrderedDict, deque
+from concurrent.futures import (
+    BrokenExecutor,
+    Executor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 from dataclasses import dataclass
 
 from repro.core.accounting_enclave import RawExecution
 from repro.obs.instruments import (
     POOL_EXEC_WALL,
+    POOL_REBUILDS,
     POOL_TASKS,
     POOL_TASKS_IN_FLIGHT,
     POOL_UTILISATION,
 )
+from repro.service.faults import WorkerCrashed, corrupt_raw, perform_pre_fault
 from repro.wasm.binary import decode_module
 from repro.wasm.interpreter import ExecutionLimits, Trap
 from repro.wasm.module import Module
 from repro.wasm.runtime import HostEnvironment, IOChannel
 
 #: Worker-side decoded-module cache (per process; in the threaded pool all
-#: workers share it, which is safe because decoded modules are never mutated
-#: by instantiation).
-_MODULE_CACHE: dict[bytes, Module] = {}
+#: workers share it, so every access goes through ``_MODULE_CACHE_LOCK`` —
+#: decoded modules themselves are never mutated by instantiation, but the
+#: dict bookkeeping is a classic check-then-act race without the lock).
+#: Ordered, so eviction is true LRU: hits move the entry to the MRU end.
+_MODULE_CACHE: "OrderedDict[bytes, Module]" = OrderedDict()
 _MODULE_CACHE_MAX = 64
+_MODULE_CACHE_LOCK = threading.Lock()
 
 
 @dataclass(frozen=True)
 class ExecutionTask:
     """Everything a worker needs to run one request — plain bytes and ints,
-    so it pickles cheaply across the process boundary."""
+    so it pickles cheaply across the process boundary.
+
+    ``fault`` is the chaos-testing hook: when the gateway's
+    :class:`~repro.service.faults.FaultPlan` selects this request, the fault
+    kind (and its numeric argument, e.g. a hang duration) ships with the
+    task and the worker acts it out.  ``None`` — the default and the entire
+    production path — executes normally.
+    """
 
     module_bytes: bytes
     module_hash: bytes
@@ -56,6 +87,8 @@ class ExecutionTask:
     input_data: bytes = b""
     engine: str | None = None
     max_instructions: int | None = None
+    fault: str | None = None
+    fault_arg: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -67,13 +100,22 @@ class WorkerResult:
 
 
 def _cached_module(task: ExecutionTask) -> Module:
-    module = _MODULE_CACHE.get(task.module_hash)
-    if module is None:
-        module = decode_module(task.module_bytes)
-        if len(_MODULE_CACHE) >= _MODULE_CACHE_MAX:
-            _MODULE_CACHE.pop(next(iter(_MODULE_CACHE)))
-        _MODULE_CACHE[task.module_hash] = module
-    return module
+    with _MODULE_CACHE_LOCK:
+        module = _MODULE_CACHE.get(task.module_hash)
+        if module is not None:
+            _MODULE_CACHE.move_to_end(task.module_hash)
+            return module
+    # decode outside the lock — it is the expensive part, and two threads
+    # decoding the same module concurrently is wasteful but harmless
+    module = decode_module(task.module_bytes)
+    with _MODULE_CACHE_LOCK:
+        if task.module_hash not in _MODULE_CACHE:
+            while len(_MODULE_CACHE) >= _MODULE_CACHE_MAX:
+                _MODULE_CACHE.popitem(last=False)
+            _MODULE_CACHE[task.module_hash] = module
+        else:
+            _MODULE_CACHE.move_to_end(task.module_hash)
+        return _MODULE_CACHE[task.module_hash]
 
 
 def execute_task(task: ExecutionTask) -> WorkerResult:
@@ -85,6 +127,8 @@ def execute_task(task: ExecutionTask) -> WorkerResult:
     byte-identical resource vectors.
     """
     started = time.perf_counter()
+    if task.fault is not None:
+        perform_pre_fault(task.fault, task.fault_arg)
     module = _cached_module(task)
     channel = IOChannel(input_data=task.input_data)
     env = HostEnvironment(channel=channel, account_io=True)
@@ -114,26 +158,49 @@ def execute_task(task: ExecutionTask) -> WorkerResult:
         trap_message=trap_message,
         output=bytes(channel.output),
     )
+    if task.fault == "corrupt":
+        raw = corrupt_raw(raw)
     return WorkerResult(raw=raw, exec_wall_s=time.perf_counter() - started)
 
 
 class WorkerPool:
-    """A bounded pool of execution workers.
+    """A bounded, self-healing pool of execution workers.
 
     ``kind="process"`` (the default) runs tasks in subprocesses;
     ``kind="thread"`` in threads.  If the process pool cannot be created
     (no ``fork``/``spawn`` support, restricted environments) the pool
     silently falls back to threads and records that in :attr:`kind`.
+
+    A crashed worker process permanently breaks a
+    ``ProcessPoolExecutor``; this pool survives it.  At most ``workers``
+    tasks are ever inside the executor — the surplus waits in the pool's
+    own backlog, which the executor never sees.  When the executor breaks
+    it is replaced in place (counted in :attr:`rebuilds`), the backlog —
+    provably queued, never started — drains transparently onto the
+    replacement, and only the ≤ ``workers`` tasks that may have been
+    mid-execution fail, with a typed
+    :class:`~repro.service.faults.WorkerCrashed`, so the caller can apply
+    its own retry policy without ever double-executing work.  After
+    ``max_rebuilds`` process-pool rebuilds the pool degrades to threads
+    permanently.
     """
 
-    def __init__(self, workers: int = 1, kind: str = "process"):
+    def __init__(self, workers: int = 1, kind: str = "process", max_rebuilds: int = 3):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if kind not in ("process", "thread"):
             raise ValueError(f"unknown pool kind {kind!r}")
         self.workers = workers
+        self.max_rebuilds = max_rebuilds
+        self.rebuilds = 0
         self._in_flight = 0
         self._in_flight_lock = threading.Lock()
+        # guards _executor, _active, _backlog, rebuilds, _shutdown; never
+        # held across executor calls or callbacks
+        self._lock = threading.Lock()
+        self._active = 0  # tasks currently inside the executor (≤ workers)
+        self._backlog: "deque[tuple[ExecutionTask, Future]]" = deque()
+        self._shutdown = False
         self._executor: Executor
         if kind == "process":
             try:
@@ -147,14 +214,108 @@ class WorkerPool:
         self.kind = kind
 
     def submit(self, task: ExecutionTask) -> Future:
-        """Schedule one task; the future resolves to a :class:`WorkerResult`."""
+        """Schedule one task; the future resolves to a :class:`WorkerResult`.
+
+        The returned future is the pool's own, not the executor's: tasks
+        beyond the worker count wait in the pool's backlog, so a pool
+        rebuild can transparently re-dispatch them without the caller (or
+        the broken executor) ever noticing.
+        """
         POOL_TASKS.inc()
         with self._in_flight_lock:
             self._in_flight += 1
             self._publish_load()
-        future = self._executor.submit(execute_task, task)
-        future.add_done_callback(self._task_done)
-        return future
+        outer: Future = Future()
+        outer.add_done_callback(self._task_done)
+        with self._lock:
+            if self._shutdown:
+                closed = True
+                dispatch_now = False
+            elif self._active < self.workers:
+                closed = False
+                self._active += 1
+                dispatch_now = True
+            else:
+                closed = False
+                self._backlog.append((task, outer))
+                dispatch_now = False
+        if closed:
+            outer.set_exception(RuntimeError("worker pool shut down"))
+        elif dispatch_now:
+            self._dispatch(task, outer)
+        return outer
+
+    # -- dispatch & recovery -----------------------------------------------------
+
+    def _dispatch(self, task: ExecutionTask, outer: Future) -> None:
+        """Hand one task to the executor (the caller holds an active slot)."""
+        for attempt in (0, 1):
+            with self._lock:
+                executor = self._executor
+            try:
+                inner = executor.submit(execute_task, task)
+            except BrokenExecutor:
+                # the submit itself failed, so the task never reached the
+                # broken executor — rebuild and try once on the replacement
+                self._rebuild(executor)
+                if attempt == 0:
+                    continue
+                self._release_slot()
+                outer.set_exception(
+                    WorkerCrashed("worker pool broke repeatedly while dispatching")
+                )
+                return
+            except RuntimeError as exc:  # executor shut down
+                self._release_slot()
+                outer.set_exception(exc)
+                return
+            inner.add_done_callback(lambda f: self._relay(f, executor, outer))
+            return
+
+    def _relay(self, inner: Future, executor: Executor, outer: Future) -> None:
+        exc = inner.exception()
+        if isinstance(exc, BrokenExecutor):
+            self._rebuild(executor)
+        self._release_slot()
+        if isinstance(exc, BrokenExecutor):
+            # the executor cannot say whether this task was mid-execution
+            # when the worker died, so never silently re-run it — surface a
+            # typed crash and let the gateway's bounded retry layer decide
+            outer.set_exception(WorkerCrashed(str(exc) or "worker process died"))
+        elif exc is not None:
+            outer.set_exception(exc)
+        else:
+            outer.set_result(inner.result())
+
+    def _release_slot(self) -> None:
+        """Free one executor slot, draining the backlog onto the (possibly
+        rebuilt) executor first — backlogged tasks provably never started."""
+        with self._lock:
+            if self._backlog:
+                task, outer = self._backlog.popleft()  # slot stays occupied
+            else:
+                self._active -= 1
+                return
+        self._dispatch(task, outer)
+
+    def _rebuild(self, broken: Executor) -> None:
+        """Replace a broken executor in place (at most once per breakage)."""
+        with self._lock:
+            if self._executor is not broken or self._shutdown:
+                return  # another thread already rebuilt (or we are closing)
+            self.rebuilds += 1
+            POOL_REBUILDS.inc()
+            if self.kind == "process" and self.rebuilds <= self.max_rebuilds:
+                self._executor = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                # repeated breakage: degrade to threads for good
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="metering-worker"
+                )
+                self.kind = "thread"
+        broken.shutdown(wait=False)
+
+    # -- bookkeeping -------------------------------------------------------------
 
     def _task_done(self, future: Future) -> None:
         with self._in_flight_lock:
@@ -169,7 +330,16 @@ class WorkerPool:
         POOL_UTILISATION.set(min(1.0, self._in_flight / self.workers))
 
     def shutdown(self, wait: bool = True) -> None:
-        self._executor.shutdown(wait=wait)
+        with self._lock:
+            self._shutdown = True
+            executor = self._executor
+            stranded = list(self._backlog)
+            self._backlog.clear()
+        for _task, outer in stranded:
+            # backlogged tasks never reached the executor; fail them rather
+            # than leave their futures pending forever
+            outer.set_exception(RuntimeError("worker pool shut down"))
+        executor.shutdown(wait=wait)
 
     def __enter__(self) -> "WorkerPool":
         return self

@@ -115,3 +115,54 @@ def test_typed_errors_serialise(controller):
         data = exc.to_json()
     assert data["code"] == "queue-full"
     assert "retry_after_s" in data
+
+
+def test_rate_limit_refills_from_clock_zero():
+    """Regression: a first refill stamped at clock reading 0.0 is a real
+    timestamp, not "never refilled" — the bucket must accrue tokens from it."""
+    clock = FakeClock()
+    clock.now = 0.0
+    controller = AdmissionController(clock=clock)
+    controller.register("t", TenantQuota(requests_per_second=10.0, burst=1))
+    controller.admit("t")  # drains the one burst token at t=0.0
+    clock.advance(0.15)  # 1.5 tokens accrued — unless 0.0 read as falsy
+    controller.admit("t")
+
+
+def test_rate_limited_at_clock_zero_reports_retry_after():
+    clock = FakeClock()
+    clock.now = 0.0
+    controller = AdmissionController(clock=clock)
+    controller.register("t", TenantQuota(requests_per_second=10.0, burst=1))
+    controller.admit("t")
+    with pytest.raises(RateLimited) as exc:
+        controller.admit("t")
+    assert exc.value.retry_after_s is not None and exc.value.retry_after_s > 0
+
+
+def test_settle_and_stats_raise_typed_unknown_tenant(controller):
+    """Regression: unknown tenants get the typed admission error, not a bare
+    KeyError, on every controller entry point."""
+    for call in (
+        lambda: controller.settle("ghost"),
+        lambda: controller.stats("ghost"),
+        lambda: controller.quota("ghost"),
+        lambda: controller.admit("ghost"),
+    ):
+        with pytest.raises(UnknownTenant) as exc:
+            call()
+        assert exc.value.code == "unknown-tenant"
+        assert exc.value.to_json()["code"] == "unknown-tenant"
+
+
+def test_settled_counter_matches_admitted(controller):
+    controller.register("t", TenantQuota())
+    for _ in range(5):
+        controller.admit("t")
+    for _ in range(3):
+        controller.settle("t")
+    stats = controller.stats("t")
+    assert stats["admitted"] == 5
+    assert stats["settled"] == 3
+    assert stats["in_flight"] == 2
+    assert stats["admitted"] - stats["in_flight"] == stats["settled"]

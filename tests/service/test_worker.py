@@ -1,0 +1,139 @@
+"""Unit tests for the worker pool and its per-process module cache.
+
+The cache tests stub out ``decode_module`` so they exercise pure cache
+mechanics (LRU order, bounded size, thread safety) without compiling
+anything; the pool tests use crash-faulted tasks, which fail before ever
+touching their module bytes, so no real module is needed there either.
+Full pool-through-gateway behaviour (rebuild after a real process crash)
+lives in ``test_faults.py``.
+"""
+
+import threading
+from collections import OrderedDict
+
+import pytest
+
+import repro.service.worker as worker
+from repro.service.faults import InjectedCrash
+from repro.service.worker import ExecutionTask, WorkerPool
+
+
+def make_task(tag: bytes, fault: str | None = None, fault_arg: float = 0.0) -> ExecutionTask:
+    return ExecutionTask(
+        module_bytes=b"module-" + tag,
+        module_hash=tag.ljust(32, b"\x00"),
+        counter_global_index=0,
+        export="f",
+        args=(),
+        fault=fault,
+        fault_arg=fault_arg,
+    )
+
+
+# -- module cache --------------------------------------------------------------
+
+
+@pytest.fixture
+def fresh_cache(monkeypatch):
+    decoded: list[bytes] = []
+
+    def fake_decode(module_bytes: bytes) -> object:
+        decoded.append(module_bytes)
+        return ("decoded", module_bytes)
+
+    monkeypatch.setattr(worker, "_MODULE_CACHE", OrderedDict())
+    monkeypatch.setattr(worker, "_MODULE_CACHE_MAX", 2)
+    monkeypatch.setattr(worker, "decode_module", fake_decode)
+    return decoded
+
+
+def test_module_cache_hits_skip_decoding(fresh_cache):
+    task = make_task(b"a")
+    first = worker._cached_module(task)
+    second = worker._cached_module(task)
+    assert first is second
+    assert len(fresh_cache) == 1
+
+
+def test_module_cache_is_true_lru(fresh_cache):
+    a, b, c = make_task(b"a"), make_task(b"b"), make_task(b"c")
+    worker._cached_module(a)
+    worker._cached_module(b)
+    worker._cached_module(a)  # hit: A becomes most-recently-used
+    worker._cached_module(c)  # full: evicts B (least recent), not A
+    assert len(fresh_cache) == 3
+    worker._cached_module(a)  # still cached
+    assert len(fresh_cache) == 3
+    worker._cached_module(b)  # was evicted: decoded again
+    assert len(fresh_cache) == 4
+
+
+def test_module_cache_size_stays_bounded(fresh_cache):
+    for i in range(10):
+        worker._cached_module(make_task(b"m%d" % i))
+    assert len(worker._MODULE_CACHE) == 2
+
+
+def test_module_cache_concurrent_access_is_safe(monkeypatch):
+    """Regression for the unsynchronized check-then-act eviction: hammer the
+    cache from many threads and require it stays bounded and consistent."""
+    monkeypatch.setattr(worker, "_MODULE_CACHE", OrderedDict())
+    monkeypatch.setattr(worker, "_MODULE_CACHE_MAX", 2)
+    monkeypatch.setattr(worker, "decode_module", lambda b: ("decoded", b))
+    errors: list[BaseException] = []
+
+    def hammer(seed: int) -> None:
+        try:
+            for i in range(300):
+                tag = b"m%d" % ((seed + i) % 5)
+                module = worker._cached_module(make_task(tag))
+                assert module == ("decoded", b"module-" + tag)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(n,)) for n in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len(worker._MODULE_CACHE) <= 2
+
+
+# -- pool mechanics ------------------------------------------------------------
+
+
+def test_thread_pool_backlog_drains_and_settles():
+    """More tasks than workers: the surplus waits in the pool's own backlog
+    and every future still resolves (here: to the injected crash)."""
+    pool = WorkerPool(workers=1, kind="thread")
+    try:
+        futures = [pool.submit(make_task(b"x", fault="crash")) for _ in range(5)]
+        for future in futures:
+            with pytest.raises(InjectedCrash):
+                future.result(timeout=10)
+        assert pool._active == 0
+        assert not pool._backlog
+        assert pool._in_flight == 0
+    finally:
+        pool.shutdown()
+
+
+def test_shutdown_fails_backlogged_tasks_instead_of_stranding_them():
+    pool = WorkerPool(workers=1, kind="thread")
+    blocker = pool.submit(make_task(b"x", fault="hang", fault_arg=0.3))
+    backlogged = [pool.submit(make_task(b"y", fault="crash")) for _ in range(3)]
+    pool.shutdown(wait=False)
+    for future in backlogged:
+        with pytest.raises(RuntimeError, match="shut down"):
+            future.result(timeout=10)
+    with pytest.raises(Exception):
+        blocker.result(timeout=10)  # garbage module bytes fail decode
+
+
+def test_submit_after_shutdown_raises():
+    pool = WorkerPool(workers=1, kind="thread")
+    pool.shutdown()
+    future = pool.submit(make_task(b"x"))
+    with pytest.raises(RuntimeError, match="shut down"):
+        future.result(timeout=10)
