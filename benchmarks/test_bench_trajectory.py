@@ -1,0 +1,147 @@
+"""Benchmark trajectory: `repro loadtest --bench-append` perf history.
+
+Unit coverage for the distill/append helpers plus an end-to-end check that
+the CLI really grows a bounded, timestamped time series inside the bench
+file without disturbing the authoritative latest report.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_bench_trajectory.py -q``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from benchmarks.conftest import record
+from repro.cli import main
+from repro.obs.bench import (
+    TRAJECTORY_LIMIT,
+    TRAJECTORY_SCHEMA,
+    append_point,
+    distill_point,
+)
+
+
+def _fake_report(throughput: float = 50.0) -> dict:
+    point = {
+        "workers": 2,
+        "throughput_rps": throughput,
+        "wall_s": 0.5,
+        "latency_s": {"p50": 0.01, "p95": 0.02, "p99": 0.03},
+        "epoch_ok": True,
+    }
+    return {
+        "sweep": [point],
+        "requests_per_point": 12,
+        "execution_backend": "wasm",
+        "engine": "predecode",
+        "pool": "thread",
+        "cores_available": 4,
+        "speedup_4_over_1": 1.8,
+        "serial_totals_match": True,
+    }
+
+
+# -- distill -------------------------------------------------------------------
+
+
+def test_distill_point_compresses_a_report(benchmark):
+    point = distill_point(_fake_report(), ts_s=123.0)
+    assert point["schema"] == TRAJECTORY_SCHEMA
+    assert point["ts_s"] == 123.0
+    assert point["execution_backend"] == "wasm"
+    assert point["by_workers"]["2"] == {
+        "throughput_rps": 50.0,
+        "wall_s": 0.5,
+        "p50_s": 0.01,
+        "p99_s": 0.03,
+        "epoch_ok": True,
+    }
+    assert point["speedup_4_over_1"] == 1.8
+    assert point["serial_totals_match"] is True
+    record(benchmark)
+
+
+def test_distill_point_stamps_wall_clock_by_default(benchmark):
+    import time
+
+    before = time.time()
+    point = distill_point(_fake_report())
+    assert before <= point["ts_s"] <= time.time()
+    record(benchmark)
+
+
+def test_distill_point_omits_absent_optionals(benchmark):
+    report = _fake_report()
+    del report["speedup_4_over_1"]
+    del report["serial_totals_match"]
+    point = distill_point(report, ts_s=0.0)
+    assert "speedup_4_over_1" not in point
+    assert "serial_totals_match" not in point
+    record(benchmark)
+
+
+# -- append --------------------------------------------------------------------
+
+
+def test_append_point_grows_a_trajectory(tmp_path, benchmark):
+    path = tmp_path / "BENCH_service.json"
+    for i in range(3):
+        doc = append_point(str(path), distill_point(_fake_report(40.0 + i),
+                                                    ts_s=float(i)))
+    assert doc["trajectory_schema"] == TRAJECTORY_SCHEMA
+    trajectory = json.loads(path.read_text())["trajectory"]
+    assert [p["ts_s"] for p in trajectory] == [0.0, 1.0, 2.0]
+    assert trajectory[-1]["by_workers"]["2"]["throughput_rps"] == 42.0
+    record(benchmark)
+
+
+def test_append_point_preserves_the_rest_of_the_bench_file(tmp_path, benchmark):
+    path = tmp_path / "BENCH_service.json"
+    path.write_text(json.dumps({"benchmark": "metering-gateway-loadtest",
+                                "sweeps": {"wasm": {}}}))
+    append_point(str(path), distill_point(_fake_report(), ts_s=1.0))
+    doc = json.loads(path.read_text())
+    assert doc["benchmark"] == "metering-gateway-loadtest"  # untouched
+    assert doc["sweeps"] == {"wasm": {}}
+    assert len(doc["trajectory"]) == 1
+    record(benchmark)
+
+
+def test_append_point_caps_history_dropping_oldest(tmp_path, benchmark):
+    path = tmp_path / "BENCH_service.json"
+    for i in range(TRAJECTORY_LIMIT + 25):
+        append_point(str(path), {"schema": TRAJECTORY_SCHEMA, "ts_s": float(i)},
+                     limit=TRAJECTORY_LIMIT)
+    trajectory = json.loads(path.read_text())["trajectory"]
+    assert len(trajectory) == TRAJECTORY_LIMIT
+    assert trajectory[0]["ts_s"] == 25.0  # oldest dropped first
+    assert trajectory[-1]["ts_s"] == float(TRAJECTORY_LIMIT + 24)
+    record(benchmark)
+
+
+# -- end to end through the CLI ------------------------------------------------
+
+
+def _loadtest_args(tmp_path) -> list[str]:
+    return [
+        "loadtest", "--workers", "1", "--requests", "4", "--pool", "thread",
+        "--backend", "modeled", "--time-scale", "0", "--no-serial",
+        "--out", str(tmp_path / "BENCH_service.json"),
+        "--bench-append", str(tmp_path / "BENCH_service.json"),
+    ]
+
+
+def test_cli_bench_append_accumulates_across_runs(tmp_path, benchmark):
+    args = _loadtest_args(tmp_path)
+    assert main(args) == 0
+    assert main(args) == 0
+    doc = json.loads((tmp_path / "BENCH_service.json").read_text())
+    # the latest full report and the history coexist in one file
+    assert doc["benchmark"] == "metering-gateway-loadtest"
+    assert doc["trajectory_schema"] == TRAJECTORY_SCHEMA
+    assert len(doc["trajectory"]) == 2
+    for point in doc["trajectory"]:
+        assert point["execution_backend"] == "modeled"
+        assert point["by_workers"]["1"]["epoch_ok"] is True
+        assert point["ts_s"] > 0
+    record(benchmark)

@@ -43,6 +43,8 @@ from repro.obs import (
     enable_tracing,
     get_registry,
 )
+from repro.obs.events import EventLog, enable_events
+from repro.obs.events import emit as emit_event
 from repro.obs.metrics import Counter
 from repro.obs.trace import span
 from repro.wasm.interpreter import Instance
@@ -97,6 +99,9 @@ def _micro_costs() -> dict[str, float]:
     def counter_call():
         counter.inc(tenant="t")
 
+    def emit_call():
+        emit_event("probe", tenant="t")
+
     def baseline():
         pass
 
@@ -104,10 +109,13 @@ def _micro_costs() -> dict[str, float]:
     costs["call_baseline_ns"] = _time_loop(baseline, MICRO_ITERS)
     costs["span_disabled_ns"] = _time_loop(span_call, MICRO_ITERS)
     costs["counter_disabled_ns"] = _time_loop(counter_call, MICRO_ITERS)
+    costs["emit_disabled_ns"] = _time_loop(emit_call, MICRO_ITERS)
     tracer = enable_tracing()
     enable_metrics()
+    enable_events(EventLog(capacity=MICRO_ITERS + 1))
     costs["span_enabled_ns"] = _time_loop(span_call, MICRO_ITERS)
     costs["counter_enabled_ns"] = _time_loop(counter_call, MICRO_ITERS)
+    costs["emit_enabled_ns"] = _time_loop(emit_call, MICRO_ITERS)
     tracer.clear()
     disable_all()
     return costs
@@ -170,6 +178,8 @@ def overhead_numbers():
         ["span (enabled)", f"{micro['span_enabled_ns']:.0f} ns", "-"],
         ["counter.inc (disabled)", f"{micro['counter_disabled_ns']:.0f} ns", "-"],
         ["counter.inc (enabled)", f"{micro['counter_enabled_ns']:.0f} ns", "-"],
+        ["event emit (disabled)", f"{micro['emit_disabled_ns']:.0f} ns", "-"],
+        ["event emit (enabled)", f"{micro['emit_enabled_ns']:.0f} ns", "-"],
     ]
 
     for engine in ("predecode", "legacy"):
@@ -206,11 +216,12 @@ def overhead_numbers():
 
 def test_disabled_noop_cost_is_negligible(overhead_numbers, benchmark):
     micro = overhead_numbers["micro_ns"]
-    # a disabled span/counter call is a function call, one global check and a
-    # shared constant — order-of-a-microsecond, thousands of times cheaper
-    # than the multi-millisecond operations they would wrap
+    # a disabled span/counter/emit call is a function call, one global check
+    # and a shared constant — order-of-a-microsecond, thousands of times
+    # cheaper than the multi-millisecond operations they would wrap
     assert micro["span_disabled_ns"] < 2000
     assert micro["counter_disabled_ns"] < 2000
+    assert micro["emit_disabled_ns"] < 2000
     assert micro["span_disabled_ns"] < micro["span_enabled_ns"]
     record(benchmark)
 
@@ -256,4 +267,91 @@ def test_bench_artifact_written(overhead_numbers, benchmark):
     doc = json.loads(BENCH_PATH.read_text())
     assert "obs_overhead" in doc
     assert set(doc["obs_overhead"]["end_to_end"]) == {"predecode", "legacy"}
+    record(benchmark)
+
+
+# -- telemetry pipeline: event log + aggregation riding a metered loadtest -----
+
+PIPELINE_ROUNDS = 5
+PIPELINE_CEILING = 0.05  # the CI gate for the full pipeline
+
+
+def _loadtest_wall(pipeline: bool) -> float:
+    from repro.service.gateway import run_loadtest
+
+    result = run_loadtest(
+        worker_counts=(2,), requests=12, pool="thread", backend="wasm",
+        kernels=("trisolv",), verify_serial=False, quota_probe=False,
+        pipeline=pipeline,
+    )
+    return result["sweep"][0]["wall_s"]
+
+
+@pytest.fixture(scope="module")
+def pipeline_numbers():
+    """Paired on/off rounds of a real metered loadtest.
+
+    Same methodology as :func:`_paired_rounds`: each round runs the identical
+    workload with the pipeline off then on within seconds of each other, and
+    the overhead is the median of per-round wall-clock ratios, so machine
+    drift cancels instead of masquerading as pipeline cost.
+    """
+    disable_all()
+    _loadtest_wall(False)  # warm module/compile caches
+    ratios = []
+    best_off = float("inf")
+    for _ in range(PIPELINE_ROUNDS):
+        off = _loadtest_wall(False)
+        on = _loadtest_wall(True)
+        best_off = min(best_off, off)
+        ratios.append(on / off)
+    overhead = statistics.median(ratios) - 1.0
+    results = {
+        "rounds": PIPELINE_ROUNDS,
+        "best_off_s": best_off,
+        "overhead": overhead,
+        "ratios": ratios,
+    }
+    emit_table(
+        "obs_pipeline_overhead",
+        "Telemetry pipeline overhead on a metered loadtest (paired rounds)",
+        ["probe", "cost", "overhead"],
+        [["loadtest 12 req x 2 workers (wasm)", f"{best_off * 1e3:.1f} ms off",
+          f"{overhead * 100:+.1f}% with events+aggregation+audit"]],
+    )
+    _merge_bench({"obs_pipeline_overhead": results})
+    return results
+
+
+def test_pipeline_overhead_under_gate(pipeline_numbers, benchmark):
+    assert pipeline_numbers["overhead"] < PIPELINE_CEILING, (
+        f"telemetry pipeline costs {pipeline_numbers['overhead']:.1%} of a "
+        f"metered loadtest (gate {PIPELINE_CEILING:.0%})"
+    )
+    record(benchmark)
+
+
+def test_pipeline_off_keeps_signed_totals_byte_identical(benchmark):
+    """Differential pin: the pipeline must be an observer, never a participant.
+
+    With the pipeline off (the default), the gateway's aggregate signed
+    totals must match a serial single-sandbox re-run byte for byte — exactly
+    as before the pipeline existed.  And turning the pipeline *on* must not
+    perturb them either: events narrate the billing path, they do not touch
+    it.
+    """
+    from repro.service.gateway import run_loadtest
+
+    for pipeline in (False, True):
+        result = run_loadtest(
+            worker_counts=(1,), requests=6, pool="thread", backend="wasm",
+            kernels=("trisolv",), verify_serial=True, quota_probe=False,
+            pipeline=pipeline,
+        )
+        assert result["serial_totals_match"] is True, (
+            f"pipeline={pipeline}: signed totals diverged from serial baseline"
+        )
+        assert ("telemetry" in result) is pipeline
+        if pipeline:
+            assert result["telemetry"]["drift_ok"] is True
     record(benchmark)

@@ -11,6 +11,9 @@ Usage (also via ``python -m repro``)::
     repro trace atax --out trace.json
     repro metrics --requests 12
     repro run module.wat --invoke fib --args 20 --profile
+    repro top --duration 10 --interval 1
+    repro loadtest --events-out events.jsonl --slo examples/slo_rules.json
+    repro alerts --rules examples/slo_rules.json --replay events.jsonl
 
 ``run`` executes any WAT module and prints the result plus execution stats;
 ``meter`` prices it across the deployment ladder; ``sandbox`` does the full
@@ -25,6 +28,13 @@ drives a short gateway mix and dumps the OpenMetrics text exposition (or
 checks the metric-name contract with ``--check-contract``); ``--profile``
 on ``run``/``sandbox`` prints a hot-function report and can write a
 flamegraph collapsed-stack file.
+
+Telemetry pipeline: ``top`` renders a live rolling-window dashboard over the
+structured event stream while driving a gateway mix; ``loadtest
+--events-out`` records the stream to JSONL, ``--slo RULES.json`` evaluates
+declarative threshold/burn-rate rules plus the per-tenant billing-drift
+audit (non-zero exit on a page-severity alert or billing drift); ``alerts``
+re-evaluates any rule file offline against a recorded stream.
 """
 
 from __future__ import annotations
@@ -272,6 +282,11 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     ok = True
     chaos = bool(args.faults)
     for backend in backends:
+        events_out = args.events_out
+        if events_out and len(backends) > 1:
+            # one stream per backend rather than the second overwriting the first
+            stem = pathlib.Path(events_out)
+            events_out = str(stem.with_name(f"{stem.stem}.{backend}{stem.suffix}"))
         result = run_loadtest(
             worker_counts=worker_counts,
             requests=args.requests,
@@ -285,6 +300,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             fault_seed=args.fault_seed,
             deadline_s=args.deadline,
             hang_s=args.hang_s,
+            events_out=events_out,
+            slo_rules=args.slo,
+            validate_results=not args.no_validate,
         )
         sweeps[backend] = result
         for point in result["sweep"]:
@@ -324,6 +342,32 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             print(f"[{backend}] totals byte-identical to serial sandbox: "
                   f"{result['serial_totals_match']}")
             ok = ok and result["serial_totals_match"]
+        telemetry = result.get("telemetry")
+        if telemetry is not None:
+            drift_ok = telemetry["drift_ok"]
+            print(f"[{backend}] billing drift audit: "
+                  f"{'clean' if drift_ok else 'DRIFT DETECTED'}")
+            if not drift_ok:
+                for point in result["sweep"]:
+                    for finding in point.get("drift", {}).get("findings", []):
+                        if finding["severity"] == "error":
+                            print(f"[{backend}] drift [{finding['code']}] "
+                                  f"{finding['tenant']}: {finding['detail']}",
+                                  file=sys.stderr)
+            slo = telemetry.get("slo")
+            if slo is not None:
+                for alert in slo["alerts"]:
+                    print(f"[{backend}] alert [{alert['severity']}] "
+                          f"{alert['rule']}: {alert['detail']}")
+                print(f"[{backend}] SLO gate: "
+                      f"{'FAIL' if slo['gating'] else 'pass'} "
+                      f"(worst={slo['worst_severity']})")
+            if telemetry.get("events_path"):
+                dropped = telemetry["events"]["dropped"]
+                print(f"[{backend}] {telemetry['events']['buffered']} events "
+                      f"written to {telemetry['events_path']}"
+                      + (f" ({dropped} dropped)" if dropped else ""))
+            ok = ok and telemetry["ok"]
     report = {
         "benchmark": "metering-gateway-loadtest",
         "cores_available": sweeps[backends[0]]["cores_available"],
@@ -335,8 +379,31 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         },
         "sweeps": sweeps,
     }
-    pathlib.Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    out_path = pathlib.Path(args.out)
+    if out_path.exists():
+        # the bench file may carry a perf-history trajectory (--bench-append);
+        # rewriting the latest report must not wipe it
+        try:
+            previous = json.loads(out_path.read_text())
+        except ValueError:
+            previous = {}
+        for key in ("trajectory", "trajectory_schema"):
+            if key in previous:
+                report[key] = previous[key]
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
+    if args.slo_out:
+        slo_report = {
+            backend: sweeps[backend].get("telemetry") for backend in backends
+        }
+        pathlib.Path(args.slo_out).write_text(json.dumps(slo_report, indent=2) + "\n")
+        print(f"SLO/drift report written to {args.slo_out}")
+    if args.bench_append:
+        from repro.obs.bench import append_point, distill_point
+
+        for backend in backends:
+            append_point(args.bench_append, distill_point(sweeps[backend]))
+        print(f"appended {len(backends)} trajectory point(s) to {args.bench_append}")
     if registry is not None:
         from repro.obs import disable_metrics
 
@@ -352,6 +419,145 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         metrics_path.write_text(json.dumps(merged, indent=2) + "\n")
         print(f"metrics snapshot merged into {args.metrics_out}")
     return 0 if ok else 1
+
+
+def _render_top_frame(agg, engine, log, window_s: float, plain: bool) -> None:
+    snapshot = agg.snapshot(window_s)
+    stats = log.stats()
+    lines = []
+    lines.append(
+        f"repro top — trailing {window_s:g}s window   "
+        f"(events: {stats['emitted']} emitted, {stats['dropped']} dropped)"
+    )
+    latency = snapshot["latency_s"]
+    lines.append(
+        f"  throughput {snapshot['throughput_rps']:8.1f} req/s   "
+        f"p50 {latency['p50'] * 1000:7.1f}ms  p95 {latency['p95'] * 1000:7.1f}ms  "
+        f"p99 {latency['p99'] * 1000:7.1f}ms"
+    )
+    lines.append("  events in window:")
+    for key, count in snapshot["counts"].items():
+        lines.append(f"    {key:<40} {count:>8}")
+    if engine is not None:
+        firing = engine.firing
+        if firing:
+            lines.append("  ALERTS FIRING:")
+            for alert in firing:
+                lines.append(f"    [{alert.severity:>8}] {alert.rule}: {alert.detail}")
+        else:
+            lines.append(f"  alerts: none firing ({len(engine.rules)} rules armed)")
+    if not plain:
+        sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
+    print("\n".join(lines), flush=True)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live rolling-window dashboard while driving a gateway mix."""
+    import threading
+    import time
+
+    from repro.core.sandbox import SandboxConfig
+    from repro.obs.events import EventLog, disable_events, enable_events
+    from repro.obs.rollup import RollingAggregator
+    from repro.service import MeteringGateway
+    from repro.service.gateway import polybench_tenant_mix
+
+    agg = RollingAggregator(slice_s=0.5, slices=240)
+    log = enable_events(EventLog())
+    log.subscribe(agg.observe)
+    engine = None
+    if args.rules:
+        from repro.obs.slo import SLOEngine, load_rules
+
+        engine = SLOEngine(load_rules(args.rules))
+    kernels = tuple(args.kernels.split(",")) if args.kernels else ()
+    mix = polybench_tenant_mix(kernels)
+    stop = threading.Event()
+
+    def drive() -> None:
+        backend = None
+        if args.backend == "modeled":
+            from repro.service.backends import SimulatedFaaSBackend
+
+            backend = SimulatedFaaSBackend(
+                workers=args.workers, time_scale=args.time_scale
+            )
+        with MeteringGateway(
+            workers=args.workers, pool="thread",
+            config=SandboxConfig(), backend=backend,
+        ) as gw:
+            for tenant_id, module, _run in mix:
+                gw.register_tenant(tenant_id, module=module)
+            outstanding: list = []
+            i = 0
+            while not stop.is_set():
+                tenant_id, _module, (export, fn_args) = mix[i % len(mix)]
+                outstanding.append(gw.submit(tenant_id, export, *fn_args))
+                i += 1
+                while len(outstanding) >= max(2, args.workers * 4):
+                    done = outstanding.pop(0)
+                    try:
+                        done.result()
+                    except Exception:
+                        pass
+            for future in outstanding:
+                try:
+                    future.result(timeout=30)
+                except Exception:
+                    pass
+            gw.seal_epoch()
+            gw.verify_epoch()
+
+    driver = threading.Thread(target=drive, daemon=True)
+    driver.start()
+    deadline = time.monotonic() + args.duration
+    try:
+        while time.monotonic() < deadline:
+            time.sleep(args.interval)
+            if engine is not None:
+                engine.evaluate(agg)
+            _render_top_frame(agg, engine, log, args.window, args.plain)
+    finally:
+        stop.set()
+        driver.join(timeout=60)
+        disable_events()
+    if engine is not None:
+        engine.evaluate(agg)
+    _render_top_frame(agg, engine, log, args.window, plain=True)
+    if args.events_out:
+        meta = log.write_jsonl(args.events_out)
+        print(f"{meta['buffered']} events written to {args.events_out}")
+    return 0
+
+
+def cmd_alerts(args: argparse.Namespace) -> int:
+    """Evaluate an SLO rule file offline against a recorded event stream."""
+    import json
+
+    from repro.obs.events import read_jsonl
+    from repro.obs.slo import load_rules, replay
+
+    rules = load_rules(args.rules)
+    meta, events = read_jsonl(args.replay)
+    engine, _agg = replay(events, rules, eval_every_s=args.eval_every)
+    report = engine.report()
+    if args.json:
+        print(json.dumps({"meta": meta, **report}, indent=2))
+        return 1 if report["gating"] else 0
+    dropped = meta.get("dropped", 0)
+    print(f"{len(events)} events replayed "
+          f"({dropped} dropped at capture); {len(rules)} rules")
+    for alert in report["alerts"]:
+        print(f"  [{alert['severity']:>8}] {alert['rule']}: {alert['detail']}  "
+              f"(value={alert['value']:.4f} at t={alert['at_s']:.1f}s)")
+    if not report["alerts"]:
+        print("  no alerts fired")
+    for cleared in report["cleared"]:
+        print(f"  cleared: {cleared['rule']} after "
+              f"{cleared['cleared_at_s'] - cleared['fired_at_s']:.1f}s")
+    print(f"worst severity: {report['worst_severity']}   "
+          f"gate: {'FAIL' if report['gating'] else 'pass'}")
+    return 1 if report["gating"] else 0
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -538,7 +744,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--metrics-out", default=None,
                    help="run with metrics enabled and merge the snapshot "
                         "into this JSON file")
+    p.add_argument("--events-out", default=None,
+                   help="record the structured telemetry event stream to "
+                        "this JSONL file (replayable via 'repro alerts')")
+    p.add_argument("--slo", default=None, metavar="RULES_JSON",
+                   help="evaluate SLO rules over the run's event stream and "
+                        "run the billing-drift audit; exit non-zero on a "
+                        "page-severity alert or billing drift")
+    p.add_argument("--slo-out", default=None,
+                   help="write the SLO/drift telemetry report JSON here")
+    p.add_argument("--no-validate", action="store_true",
+                   help="disable worker meter-reading validation (drift-audit "
+                        "demonstration: lets a 'corrupt' fault reach a receipt)")
+    p.add_argument("--bench-append", default=None, metavar="BENCH_JSON",
+                   help="append a timestamped distilled perf point to the "
+                        "'trajectory' list inside this bench JSON file")
     p.set_defaults(fn=cmd_loadtest)
+
+    p = sub.add_parser("top",
+                       help="live rolling-window dashboard over the event stream")
+    p.add_argument("--duration", type=float, default=10.0,
+                   help="seconds to run the driver and dashboard")
+    p.add_argument("--interval", type=float, default=1.0,
+                   help="seconds between dashboard refreshes")
+    p.add_argument("--window", type=float, default=30.0,
+                   help="trailing window the dashboard aggregates over")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--backend", choices=["wasm", "modeled"], default="wasm")
+    p.add_argument("--time-scale", type=float, default=0.2,
+                   help="modeled-backend time compression")
+    p.add_argument("--kernels", default="",
+                   help="comma-separated PolyBench kernels (default: built-in mix)")
+    p.add_argument("--rules", default=None,
+                   help="SLO rules JSON to evaluate live on each refresh")
+    p.add_argument("--plain", action="store_true",
+                   help="append frames instead of clearing the screen (for "
+                        "pipes and tests)")
+    p.add_argument("--events-out", default=None,
+                   help="write the captured event stream to this JSONL file")
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser("alerts",
+                       help="evaluate SLO rules offline over a recorded stream")
+    p.add_argument("--rules", required=True, help="SLO rules JSON file")
+    p.add_argument("--replay", required=True,
+                   help="events JSONL recorded by 'loadtest --events-out' "
+                        "or 'top --events-out'")
+    p.add_argument("--eval-every", type=float, default=1.0,
+                   help="evaluation cadence in replayed seconds")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report instead of prose")
+    p.set_defaults(fn=cmd_alerts)
 
     p = sub.add_parser("trace", help="traced workload run -> Chrome trace JSON")
     p.add_argument("workload",

@@ -16,10 +16,30 @@ is watching:
   attribution inside both Wasm engines, with a top-N hot-function report
   and flamegraph collapsed-stack output.
 
-CLI surface: ``repro trace <workload>``, ``repro metrics``,
-``repro run/sandbox --profile`` and ``repro loadtest --metrics-out``.
+A fourth subsystem — the **streaming telemetry pipeline** — builds on the
+same off-by-default switch discipline: :mod:`repro.obs.events` (structured,
+bounded, replayable event log), :mod:`repro.obs.rollup` (ring-buffer
+rolling-window aggregation), :mod:`repro.obs.slo` (declarative threshold and
+multi-window burn-rate alerting) and :mod:`repro.obs.audit` (per-tenant
+billing-drift reconciliation of meter readings vs signed receipts vs sealed
+epochs).
+
+CLI surface: ``repro trace <workload>``, ``repro metrics``, ``repro top``,
+``repro alerts``, ``repro run/sandbox --profile`` and ``repro loadtest
+--metrics-out/--events-out/--slo``.
 """
 
+from repro.obs.audit import DriftFinding, DriftReport, audit_billing
+from repro.obs.events import (
+    Event,
+    EventLog,
+    disable_events,
+    emit,
+    enable_events,
+    events_enabled,
+    get_event_log,
+    read_jsonl,
+)
 from repro.obs.metrics import (
     BYTES_BUCKETS,
     LATENCY_BUCKETS,
@@ -39,6 +59,8 @@ from repro.obs.profiler import (
     enable_profiling,
     profile,
 )
+from repro.obs.rollup import RollingAggregator
+from repro.obs.slo import Alert, Rule, SLOEngine, load_rules, replay
 from repro.obs.trace import (
     NULL_SPAN,
     Span,
@@ -51,27 +73,44 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "Alert",
     "BYTES_BUCKETS",
     "Counter",
+    "DriftFinding",
+    "DriftReport",
+    "Event",
+    "EventLog",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
     "MetricsRegistry",
     "NULL_SPAN",
     "Profiler",
+    "RollingAggregator",
+    "Rule",
+    "SLOEngine",
     "Span",
     "Tracer",
     "active_profiler",
+    "audit_billing",
+    "disable_events",
     "disable_metrics",
     "disable_profiling",
     "disable_tracing",
+    "emit",
+    "enable_events",
     "enable_metrics",
     "enable_profiling",
     "enable_tracing",
+    "events_enabled",
+    "get_event_log",
     "get_registry",
     "get_tracer",
+    "load_rules",
     "metrics_enabled",
     "profile",
+    "read_jsonl",
+    "replay",
     "span",
     "tracing_enabled",
 ]
@@ -82,3 +121,4 @@ def disable_all() -> None:
     disable_tracing()
     disable_metrics()
     disable_profiling()
+    disable_events()

@@ -1,0 +1,75 @@
+"""Benchmark trajectory: perf history appended across loadtest runs.
+
+``BENCH_service.json`` traditionally held only the *latest* loadtest report,
+so a perf regression was invisible unless someone remembered the old number.
+``repro loadtest --bench-append`` distills each run into one compact,
+timestamped point and appends it to a bounded ``trajectory`` list inside the
+same file — the full report stays the authoritative snapshot, and the
+trajectory gives CI (``benchmarks/test_bench_trajectory.py``) and humans a
+cheap time series to eyeball for drift.
+
+Points are deliberately tiny (a handful of scalars per worker count) so a
+long history stays a few kilobytes; the list is capped at
+:data:`TRAJECTORY_LIMIT` points, dropping the oldest first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+#: Bump when a trajectory point's shape changes.
+TRAJECTORY_SCHEMA = 1
+
+#: Oldest points are dropped beyond this many.
+TRAJECTORY_LIMIT = 200
+
+
+def distill_point(report: dict, ts_s: float | None = None) -> dict:
+    """Compress one ``run_loadtest`` report into a single trajectory point."""
+    per_workers = {}
+    for point in report.get("sweep", []):
+        per_workers[str(point["workers"])] = {
+            "throughput_rps": point["throughput_rps"],
+            "wall_s": point["wall_s"],
+            "p50_s": point["latency_s"]["p50"],
+            "p99_s": point["latency_s"]["p99"],
+            "epoch_ok": point.get("epoch_ok"),
+        }
+    distilled = {
+        "schema": TRAJECTORY_SCHEMA,
+        "ts_s": time.time() if ts_s is None else ts_s,
+        "requests_per_point": report.get("requests_per_point"),
+        "execution_backend": report.get("execution_backend"),
+        "engine": report.get("engine"),
+        "pool": report.get("pool"),
+        "cores_available": report.get("cores_available"),
+        "by_workers": per_workers,
+    }
+    if "speedup_4_over_1" in report:
+        distilled["speedup_4_over_1"] = report["speedup_4_over_1"]
+    if "serial_totals_match" in report:
+        distilled["serial_totals_match"] = report["serial_totals_match"]
+    return distilled
+
+
+def append_point(path: str, point: dict, limit: int = TRAJECTORY_LIMIT) -> dict:
+    """Append one distilled point to the trajectory inside a bench file.
+
+    Creates the file if missing; preserves every other key it already holds
+    (the latest full report lives alongside the history).  Returns the full
+    document as written.
+    """
+    doc: dict = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            doc = json.load(handle)
+    trajectory = doc.get("trajectory", [])
+    trajectory.append(point)
+    doc["trajectory"] = trajectory[-limit:]
+    doc["trajectory_schema"] = TRAJECTORY_SCHEMA
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return doc

@@ -104,6 +104,25 @@ CACHE_EVICTIONS = REGISTRY.counter(
     "LRU evictions from the instrumented-module cache.",
 )
 
+# -- telemetry pipeline (event log, SLO engine, drift auditor) -----------------
+
+EVENTS_EMITTED = REGISTRY.counter(
+    "acctee_events_emitted",
+    "Structured telemetry events emitted, by kind.",
+)
+EVENTS_DROPPED = REGISTRY.counter(
+    "acctee_events_dropped",
+    "Events the bounded event-log buffer refused (backpressure drops).",
+)
+SLO_ALERTS = REGISTRY.counter(
+    "acctee_slo_alerts",
+    "SLO rule firings, by rule name and severity.",
+)
+DRIFT_FINDINGS = REGISTRY.counter(
+    "acctee_billing_drift_findings",
+    "Billing-drift audit findings, by finding code.",
+)
+
 # -- sandbox / accounting enclave ----------------------------------------------
 
 SANDBOX_RUNS = REGISTRY.counter(
@@ -136,12 +155,24 @@ def contract_names() -> list[str]:
 
 
 def check_contract() -> list[str]:
-    """Return drift messages (empty = registry matches the contract file)."""
+    """Return drift messages (empty = registry matches the contract file).
+
+    Both directions are hard errors: a *registered* name the file lacks
+    breaks the promise that dashboards can rely on the file, and an *extra*
+    (unregistered) name in the file is a dashboard pointed at a metric that
+    no longer exists — historically the easier drift to ship, because
+    nothing at runtime ever touches it.
+    """
     expected = set(contract_names())
     actual = set(REGISTRY.names())
     problems = []
     for name in sorted(actual - expected):
-        problems.append(f"metric {name!r} is registered but missing from metric_names.txt")
+        problems.append(
+            f"missing: metric {name!r} is registered but missing from metric_names.txt"
+        )
     for name in sorted(expected - actual):
-        problems.append(f"metric {name!r} is in metric_names.txt but not registered")
+        problems.append(
+            f"extra: metric {name!r} is in metric_names.txt but not registered "
+            "(stale contract entry)"
+        )
     return problems

@@ -36,6 +36,19 @@ LATENCY_BUCKETS: tuple[float, ...] = tuple(1e-6 * 4**i for i in range(14))
 BYTES_BUCKETS: tuple[float, ...] = tuple(float(4**i) for i in range(16))
 
 
+def bucket_index(buckets: tuple[float, ...], value: float) -> int:
+    """The bucket an observation lands in: the first bound ``>= value``.
+
+    Deterministic at the edges — a value exactly on a bound belongs to that
+    bound's ``le`` bucket, and anything at or below the first bound
+    (including zero and negative observations) lands in bucket 0.  Index
+    ``len(buckets)`` is the implicit ``+Inf`` overflow bucket.  Shared by
+    :class:`Histogram` and the rolling-window aggregator so both count the
+    same observation into the same bucket.
+    """
+    return bisect_left(buckets, value)
+
+
 class _State:
     """Shared on/off switch read by every instrument mutator."""
 
@@ -210,7 +223,7 @@ class Histogram(Metric):
         if not _STATE.enabled:
             return
         key = _label_key(labels)
-        index = bisect_left(self.buckets, value)
+        index = bucket_index(self.buckets, value)
         with self._lock:
             series = self._series.get(key)
             if series is None:
@@ -261,6 +274,35 @@ class Histogram(Metric):
                 }
                 for key, series in sorted(self._series.items())
             }
+
+    def snapshot(self, **labels) -> dict:
+        """One labelset's state as a mergeable value snapshot.
+
+        ``counts`` has ``len(buckets) + 1`` entries (the last is the
+        ``+Inf`` overflow); ``buckets`` records the bounds so two snapshots
+        can only merge when their layouts agree.
+        """
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            counts = list(series[0]) if series else [0] * (len(self.buckets) + 1)
+            return {
+                "buckets": list(self.buckets),
+                "counts": counts,
+                "sum": series[1] if series else 0.0,
+                "count": series[2] if series else 0,
+            }
+
+    @staticmethod
+    def merge_snapshots(a: dict, b: dict) -> dict:
+        """Combine two :meth:`snapshot` values (same bucket layout required)."""
+        if a["buckets"] != b["buckets"]:
+            raise ValueError("cannot merge histogram snapshots with different buckets")
+        return {
+            "buckets": list(a["buckets"]),
+            "counts": [x + y for x, y in zip(a["counts"], b["counts"])],
+            "sum": a["sum"] + b["sum"],
+            "count": a["count"] + b["count"],
+        }
 
 
 def _format_number(value: float) -> str:

@@ -1,0 +1,303 @@
+"""Declarative SLO rules evaluated over rolling telemetry windows.
+
+Rules are plain JSON (see ``examples/slo_rules.json``) so the same file drives
+live evaluation during a load test (``repro loadtest --slo``), offline replay
+against a recorded event stream (``repro alerts --rules R --replay E``), and
+the CI fault-injection gate.  Two rule kinds:
+
+``threshold``
+    Fires when a *signal* read over one trailing window crosses an operator
+    bound — e.g. ``latency_p99_s > 0.5 over 30s``.
+
+``burn_rate``
+    Google-SRE-style multi-window burn-rate alert on a bad-event ratio.
+    Given an error budget (``budget``, the tolerated bad fraction), it fires
+    only when the ratio is burning at ≥ ``fast_burn``× budget over the short
+    window **and** ≥ ``slow_burn``× budget over the long window — the short
+    window gives fast detection, the long window keeps one spike from paging.
+
+Signals (the vocabulary both rule kinds share)::
+
+    latency_p50_s | latency_p95_s | latency_p99_s | latency_mean_s
+    count:<kind>[:<sub>]      e.g. count:retry, count:settled:deadline-exceeded
+    rate:<kind>[:<sub>]       events per second over the window
+    rejection_ratio           reject / (admit + reject)
+    failure_ratio             non-ok settlements / all settlements
+
+Alerts are **edge-triggered**: a rule that stays breached across consecutive
+evaluations produces one :class:`Alert` when it starts firing (and the engine
+tracks when it clears), not one per tick — the count of alerts then means
+"incidents", not "evaluation cycles spent in breach".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.obs.events import emit as emit_event
+from repro.obs.instruments import SLO_ALERTS
+from repro.obs.rollup import RollingAggregator
+
+#: Severities in escalation order; ``page`` and above fail a gated run.
+SEVERITIES = ("info", "warn", "page", "critical")
+
+#: Minimum severity that makes ``repro loadtest --slo`` / ``repro alerts``
+#: exit non-zero.
+GATING_SEVERITY = "page"
+
+_OPS = {
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+}
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One rule firing: which rule, how bad, and the value that tripped it."""
+
+    rule: str
+    severity: str
+    signal: str
+    value: float
+    threshold: float
+    window_s: float
+    at_s: float
+    detail: str = ""
+
+    def to_json(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "signal": self.signal,
+            "value": self.value,
+            "threshold": self.threshold,
+            "window_s": self.window_s,
+            "at_s": self.at_s,
+            "detail": self.detail,
+        }
+
+    @property
+    def gating(self) -> bool:
+        return SEVERITIES.index(self.severity) >= SEVERITIES.index(GATING_SEVERITY)
+
+
+def resolve_signal(agg: RollingAggregator, signal: str, window_s: float, now=None) -> float:
+    """Read one named signal off the aggregator over a trailing window."""
+    if signal == "latency_p50_s":
+        return agg.quantile(0.50, window_s, now)
+    if signal == "latency_p95_s":
+        return agg.quantile(0.95, window_s, now)
+    if signal == "latency_p99_s":
+        return agg.quantile(0.99, window_s, now)
+    if signal == "latency_mean_s":
+        return agg.mean_latency(window_s, now)
+    if signal == "rejection_ratio":
+        return agg.ratio(("reject",), [("admit",), ("reject",)], window_s, now)
+    if signal == "failure_ratio":
+        settled = agg.count(("settled",), window_s, now)
+        ok = agg.count(("settled", "ok"), window_s, now)
+        return (settled - ok) / settled if settled else 0.0
+    if signal.startswith("count:"):
+        return float(agg.count(tuple(signal.split(":")[1:]), window_s, now))
+    if signal.startswith("rate:"):
+        return agg.rate(tuple(signal.split(":")[1:]), window_s, now)
+    raise ValueError(f"unknown SLO signal {signal!r}")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One parsed rule; ``evaluate`` returns an :class:`Alert` or ``None``."""
+
+    name: str
+    kind: str  # "threshold" | "burn_rate"
+    severity: str
+    signal: str
+    op: str = ">"
+    threshold: float = 0.0
+    window_s: float = 30.0
+    # burn_rate-only knobs:
+    budget: float = 0.0
+    fast_window_s: float = 10.0
+    slow_window_s: float = 60.0
+    fast_burn: float = 10.0
+    slow_burn: float = 2.0
+
+    @classmethod
+    def from_json(cls, obj: dict) -> "Rule":
+        kind = obj.get("kind", "threshold")
+        if kind not in ("threshold", "burn_rate"):
+            raise ValueError(f"rule {obj.get('name')!r}: unknown kind {kind!r}")
+        severity = obj.get("severity", "warn")
+        if severity not in SEVERITIES:
+            raise ValueError(
+                f"rule {obj.get('name')!r}: severity must be one of {SEVERITIES}"
+            )
+        if "name" not in obj or "signal" not in obj:
+            raise ValueError("every rule needs 'name' and 'signal'")
+        if kind == "threshold":
+            op = obj.get("op", ">")
+            if op not in _OPS:
+                raise ValueError(f"rule {obj['name']!r}: unknown op {op!r}")
+            return cls(
+                name=obj["name"],
+                kind=kind,
+                severity=severity,
+                signal=obj["signal"],
+                op=op,
+                threshold=float(obj["threshold"]),
+                window_s=float(obj.get("window_s", 30.0)),
+            )
+        budget = float(obj.get("budget", 0.0))
+        if budget <= 0:
+            raise ValueError(f"rule {obj['name']!r}: burn_rate needs budget > 0")
+        return cls(
+            name=obj["name"],
+            kind=kind,
+            severity=severity,
+            signal=obj["signal"],
+            budget=budget,
+            fast_window_s=float(obj.get("fast_window_s", 10.0)),
+            slow_window_s=float(obj.get("slow_window_s", 60.0)),
+            fast_burn=float(obj.get("fast_burn", 10.0)),
+            slow_burn=float(obj.get("slow_burn", 2.0)),
+        )
+
+    def evaluate(self, agg: RollingAggregator, now: float | None = None) -> Alert | None:
+        at = agg.now if now is None else now
+        if self.kind == "threshold":
+            value = resolve_signal(agg, self.signal, self.window_s, now)
+            if _OPS[self.op](value, self.threshold):
+                return Alert(
+                    rule=self.name,
+                    severity=self.severity,
+                    signal=self.signal,
+                    value=value,
+                    threshold=self.threshold,
+                    window_s=self.window_s,
+                    at_s=at,
+                    detail=f"{self.signal} {self.op} {self.threshold:g} over {self.window_s:g}s",
+                )
+            return None
+        # burn_rate: both windows must be burning budget too fast
+        fast = resolve_signal(agg, self.signal, self.fast_window_s, now)
+        slow = resolve_signal(agg, self.signal, self.slow_window_s, now)
+        fast_limit = self.budget * self.fast_burn
+        slow_limit = self.budget * self.slow_burn
+        if fast >= fast_limit and slow >= slow_limit:
+            return Alert(
+                rule=self.name,
+                severity=self.severity,
+                signal=self.signal,
+                value=fast,
+                threshold=fast_limit,
+                window_s=self.fast_window_s,
+                at_s=at,
+                detail=(
+                    f"burn-rate: {self.signal}={fast:.4f} over {self.fast_window_s:g}s "
+                    f"(≥{fast_limit:.4f}) and {slow:.4f} over {self.slow_window_s:g}s "
+                    f"(≥{slow_limit:.4f}), budget={self.budget:g}"
+                ),
+            )
+        return None
+
+
+def load_rules(path: str) -> list[Rule]:
+    """Parse a JSON rule file: ``{"rules": [...]}`` or a bare list."""
+    with open(path) as handle:
+        obj = json.load(handle)
+    raw = obj["rules"] if isinstance(obj, dict) else obj
+    rules = [Rule.from_json(r) for r in raw]
+    names = [r.name for r in rules]
+    if len(set(names)) != len(names):
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        raise ValueError(f"duplicate rule names: {dupes}")
+    return rules
+
+
+class SLOEngine:
+    """Evaluates a rule set against an aggregator with edge-triggered firing."""
+
+    def __init__(self, rules: list[Rule]):
+        self.rules = list(rules)
+        self.alerts: list[Alert] = []
+        self._firing: dict[str, Alert] = {}
+        self._cleared: list[dict] = []
+
+    def evaluate(self, agg: RollingAggregator, now: float | None = None) -> list[Alert]:
+        """One evaluation tick; returns only *newly fired* alerts."""
+        new: list[Alert] = []
+        for rule in self.rules:
+            alert = rule.evaluate(agg, now)
+            if alert is not None:
+                if rule.name not in self._firing:  # rising edge
+                    self._firing[rule.name] = alert
+                    self.alerts.append(alert)
+                    new.append(alert)
+                    SLO_ALERTS.inc(rule=rule.name, severity=rule.severity)
+                    emit_event(
+                        "alert",
+                        rule=rule.name,
+                        severity=rule.severity,
+                        value=alert.value,
+                        threshold=alert.threshold,
+                    )
+            elif rule.name in self._firing:  # falling edge
+                started = self._firing.pop(rule.name)
+                at = agg.now if now is None else now
+                self._cleared.append(
+                    {"rule": rule.name, "fired_at_s": started.at_s, "cleared_at_s": at}
+                )
+        return new
+
+    @property
+    def firing(self) -> list[Alert]:
+        return list(self._firing.values())
+
+    def worst_severity(self) -> str | None:
+        if not self.alerts:
+            return None
+        return max(self.alerts, key=lambda a: SEVERITIES.index(a.severity)).severity
+
+    def gating_alerts(self) -> list[Alert]:
+        """Alerts severe enough to fail a gated run (``page``/``critical``)."""
+        return [a for a in self.alerts if a.gating]
+
+    def report(self) -> dict:
+        return {
+            "rules": len(self.rules),
+            "alerts": [a.to_json() for a in self.alerts],
+            "cleared": list(self._cleared),
+            "still_firing": [a.rule for a in self.firing],
+            "worst_severity": self.worst_severity(),
+            "gating": bool(self.gating_alerts()),
+        }
+
+
+def replay(
+    events,
+    rules: list[Rule],
+    slice_s: float = 1.0,
+    slices: int = 600,
+    eval_every_s: float = 1.0,
+) -> tuple[SLOEngine, RollingAggregator]:
+    """Run a recorded event stream through a fresh aggregator + engine.
+
+    Evaluation happens on replayed time — after each ``eval_every_s`` of
+    *event* timestamps, plus once at the end — so offline answers match what
+    live evaluation at the same cadence would have produced.
+    """
+    agg = RollingAggregator(slice_s=slice_s, slices=slices)
+    engine = SLOEngine(rules)
+    next_eval: float | None = None
+    for event in events:
+        agg.observe(event)
+        if next_eval is None:
+            next_eval = event.ts_s + eval_every_s
+        while event.ts_s >= next_eval:
+            engine.evaluate(agg, now=next_eval)
+            next_eval += eval_every_s
+    engine.evaluate(agg)
+    return engine, agg

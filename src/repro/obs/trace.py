@@ -47,6 +47,7 @@ class Span:
     end_ns: int | None = None
     attributes: dict = field(default_factory=dict)
     thread_id: int = 0
+    detached: bool = False
     _tracer: "Tracer | None" = field(default=None, repr=False)
 
     @property
@@ -122,6 +123,7 @@ class Tracer:
         self.service = service
         self._lock = threading.Lock()
         self._spans: list[Span] = []
+        self._open: dict[int, Span] = {}
         self._next_id = 1
         self._local = threading.local()
 
@@ -152,31 +154,62 @@ class Tracer:
             parent = stack[-1]
         if not isinstance(parent, Span):
             parent = None  # e.g. NULL_SPAN captured before tracing was enabled
-        with self._lock:
-            span_id = self._next_id
-            self._next_id += 1
         s = Span(
             name=name,
-            span_id=span_id,
+            span_id=0,
             parent_id=parent.span_id if parent is not None else None,
             start_ns=time.perf_counter_ns(),
             attributes={k: _json_safe(v) for k, v in attributes.items()},
             thread_id=threading.get_ident(),
+            detached=detached,
             _tracer=self,
         )
+        with self._lock:
+            s.span_id = self._next_id
+            self._next_id += 1
+            self._open[s.span_id] = s
         if not detached:
             stack.append(s)
         return s
 
     def _finish(self, span: Span) -> None:
-        span.end_ns = time.perf_counter_ns()
+        end_ns = time.perf_counter_ns()
+        with self._lock:
+            # the open-set is the single finish arbiter: a span ended twice,
+            # or ended concurrently with a truncating flush, records once
+            if self._open.pop(span.span_id, None) is None:
+                return
+            span.end_ns = end_ns
+            self._spans.append(span)
         stack = self._stack()
         if span in stack:
             # pop this span and anything opened after it on this thread
             # (abandoned children of an errored operation)
             del stack[stack.index(span) :]
+
+    def flush_truncated(self) -> list[Span]:
+        """Force-finish open *detached* spans, marking them ``truncated``.
+
+        Detached spans end on whatever thread settles them; if the collector
+        closes first (``disable_tracing``, end of a load test) they would
+        otherwise vanish from the export with their timing silently lost.
+        Flushing stamps ``truncated: true`` so consumers can tell a span cut
+        short at collection from one that really finished.  Attached spans
+        are left alone — they live on a thread's stack mid-operation and
+        their owner will still end them.
+        """
+        end_ns = time.perf_counter_ns()
+        flushed = []
         with self._lock:
-            self._spans.append(span)
+            for span_id, span in list(self._open.items()):
+                if not span.detached:
+                    continue
+                del self._open[span_id]
+                span.attributes["truncated"] = True
+                span.end_ns = end_ns
+                self._spans.append(span)
+                flushed.append(span)
+        return flushed
 
     def current_span(self) -> Span | None:
         stack = self._stack()
@@ -243,8 +276,16 @@ def enable_tracing(tracer: Tracer | None = None) -> Tracer:
 
 
 def disable_tracing() -> None:
+    """Uninstall the process-wide tracer (closing the collector).
+
+    Detached spans still open at close — e.g. ``gateway.request`` spans whose
+    settling callback never ran — are flushed as explicitly-truncated spans
+    rather than silently dropped, so the export stays complete.
+    """
     global _tracer
-    _tracer = None
+    t, _tracer = _tracer, None
+    if t is not None:
+        t.flush_truncated()
 
 
 def tracing_enabled() -> bool:

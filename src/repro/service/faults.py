@@ -31,6 +31,7 @@ import os
 import time
 from dataclasses import dataclass, replace
 
+from repro.obs.events import emit as emit_event
 from repro.tcrypto.hashing import sha256
 from repro.wasm.memory import PAGE_SIZE
 
@@ -109,6 +110,11 @@ class ResiliencePolicy:
     backoff_base_s: float = 0.05
     backoff_cap_s: float = 2.0
     jitter_seed: int = 0
+    #: Sanity-validate worker meter readings before the AE signs them.  Only
+    #: ever disable this to *demonstrate* what validation prevents — the
+    #: billing-drift auditor must then catch the implausible signed receipt
+    #: (``repro loadtest --faults corrupt:… --no-validate --slo``).
+    validate_results: bool = True
 
     def backoff_s(self, request_id: int, attempt: int) -> float:
         """Exponential backoff with deterministic jitter in [0.5x, 1.0x].
@@ -171,6 +177,8 @@ def validate_raw(raw, max_instructions: int | None = None) -> list[str]:
             f"peak memory {raw.peak_memory_bytes} B below the final grown "
             f"size of {last_pages} pages"
         )
+    if problems:
+        emit_event("meter_invalid", problems=problems, counter=raw.counter_value)
     return problems
 
 

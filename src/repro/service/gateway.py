@@ -26,6 +26,13 @@ from repro.core.cache import InstrumentationCache
 from repro.core.instrumentation_enclave import InstrumentationEnclave
 from repro.core.resource_log import ResourceUsageLog, ResourceVector
 from repro.core.sandbox import SandboxConfig
+from repro.obs.events import (
+    EventLog,
+    disable_events,
+    enable_events,
+    get_event_log,
+)
+from repro.obs.events import emit as emit_event
 from repro.obs.instruments import (
     GATEWAY_DEADLINE_EXCEEDED,
     GATEWAY_REQUEST_LATENCY,
@@ -130,6 +137,17 @@ class _RequestState:
             self.watchdog.cancel()
 
 
+_GATEWAY_SEQ = 0
+_GATEWAY_SEQ_LOCK = threading.Lock()
+
+
+def _next_gateway_id() -> str:
+    global _GATEWAY_SEQ
+    with _GATEWAY_SEQ_LOCK:
+        _GATEWAY_SEQ += 1
+        return f"gw-{_GATEWAY_SEQ}"
+
+
 class MeteringGateway:
     """A live multi-tenant metering service over the two-way sandbox."""
 
@@ -144,6 +162,11 @@ class MeteringGateway:
         fault_plan: FaultPlan | None = None,
     ):
         self.config = config or SandboxConfig()
+        #: Process-unique telemetry identity: every event this gateway (and
+        #: its ledger) emits is stamped ``gateway=<id>``, so a shared event
+        #: log can be sliced per gateway — e.g. one drift audit per sweep
+        #: point of a multi-gateway load test.
+        self.gateway_id = _next_gateway_id()
         #: Failure-handling policy.  The default retries transient worker
         #: crashes a couple of times and enforces no deadline — fault-free
         #: behaviour (and its signed vectors) is byte-identical to a gateway
@@ -170,7 +193,7 @@ class MeteringGateway:
             WorkerPool(workers=workers, kind=pool)
         )
         self.admission = AdmissionController()
-        self.ledger = BillingLedger()
+        self.ledger = BillingLedger(owner=self.gateway_id)
         self._tenants: dict[str, _Tenant] = {}
         self._requests = 0
         self._requests_lock = threading.Lock()
@@ -293,6 +316,9 @@ class MeteringGateway:
                 self.admission.admit(tenant_id, tenant.memory_required_bytes)
         except AdmissionError as exc:
             GATEWAY_REQUESTS.inc(tenant=tenant_id, outcome=f"rejected:{exc.code}")
+            emit_event(
+                "reject", gateway=self.gateway_id, tenant=tenant_id, code=exc.code
+            )
             req_span.set_attribute("outcome", f"rejected:{exc.code}")
             req_span.end()
             raise
@@ -303,6 +329,9 @@ class MeteringGateway:
             self._requests += 1
             request_id = self._requests
         req_span.set_attribute("request_id", request_id)
+        emit_event(
+            "admit", gateway=self.gateway_id, tenant=tenant_id, request_id=request_id
+        )
         task = ExecutionTask(
             module_bytes=tenant.module_bytes,
             module_hash=tenant.module_hash,
@@ -324,6 +353,13 @@ class MeteringGateway:
                     self._faults_injected[fault] = (
                         self._faults_injected.get(fault, 0) + 1
                     )
+                emit_event(
+                    "fault_injected",
+                    gateway=self.gateway_id,
+                    tenant=tenant_id,
+                    request_id=request_id,
+                    fault=fault,
+                )
         response: Future[GatewayResponse] = Future()
         state = _RequestState(
             request_id=request_id,
@@ -382,6 +418,13 @@ class MeteringGateway:
             GATEWAY_RETRIES.inc(tenant=tenant_id)
             with self._resilience_lock:
                 self._retries += 1
+            emit_event(
+                "retry",
+                gateway=self.gateway_id,
+                tenant=tenant_id,
+                request_id=state.request_id,
+                attempt=attempt + 1,
+            )
             state.span.set_attribute("attempts", attempt + 2)
             # retries reuse the request id (exactly-once billing) but never
             # re-inject the fault: the crash already happened
@@ -403,7 +446,11 @@ class MeteringGateway:
 
     def _account(self, state: _RequestState, worker_result: WorkerResult) -> None:
         tenant = state.tenant
-        problems = validate_raw(worker_result.raw, self.config.max_instructions)
+        problems = (
+            validate_raw(worker_result.raw, self.config.max_instructions)
+            if self.resilience.validate_results
+            else []
+        )
         if problems:
             # a lying worker, not a failing one: reject, never sign, no retry
             GATEWAY_RESULTS_REJECTED.inc(tenant=tenant.tenant_id)
@@ -434,6 +481,14 @@ class MeteringGateway:
         latency_s = time.perf_counter() - state.submitted
         GATEWAY_REQUESTS.inc(tenant=tenant.tenant_id, outcome="ok")
         GATEWAY_REQUEST_LATENCY.observe(latency_s, tenant=tenant.tenant_id)
+        emit_event(
+            "settled",
+            gateway=self.gateway_id,
+            tenant=tenant.tenant_id,
+            request_id=state.request_id,
+            outcome="ok",
+            latency_s=latency_s,
+        )
         state.span.set_attribute("outcome", "ok")
         state.span.end()
         state.response.set_result(
@@ -474,6 +529,14 @@ class MeteringGateway:
         self.admission.settle(state.tenant.tenant_id, 0)
         outcome = exc.code if isinstance(exc, GatewayFailure) else "error"
         GATEWAY_REQUESTS.inc(tenant=state.tenant.tenant_id, outcome=outcome)
+        emit_event(
+            "settled",
+            gateway=self.gateway_id,
+            tenant=state.tenant.tenant_id,
+            request_id=state.request_id,
+            outcome=outcome,
+            latency_s=time.perf_counter() - state.submitted,
+        )
         state.span.set_attribute("outcome", outcome)
         state.span.end()
         state.response.set_exception(exc)
@@ -526,9 +589,18 @@ class MeteringGateway:
         }
         keys = {span.tenant_id: self.ledger.ae_key(span.tenant_id) for span in seal.spans}
         previous = self.ledger.seals[seal.epoch - 1] if seal.epoch > 0 else None
-        return verify_epoch(
+        verdict = verify_epoch(
             seal, receipts, keys, self.ledger.public_key, previous_seal=previous
         )
+        emit_event(
+            "epoch_audit",
+            gateway=self.gateway_id,
+            epoch=verdict.epoch,
+            outcome="ok" if verdict.ok else "failed",
+            receipts_checked=verdict.receipts_checked,
+            errors=len(verdict.errors),
+        )
+        return verdict
 
     def totals(self, tenant_id: str | None = None) -> ResourceVector:
         """Aggregate usage — one tenant's, or across the whole gateway."""
@@ -641,6 +713,10 @@ def run_loadtest(
     deadline_s: float | None = None,
     hang_s: float = 3.0,
     max_retries: int | None = None,
+    events_out: str | None = None,
+    slo_rules: str | None = None,
+    validate_results: bool = True,
+    pipeline: bool | None = None,
 ) -> dict:
     """Drive the gateway at each worker count and report wall-clock numbers.
 
@@ -659,6 +735,21 @@ def run_loadtest(
     (:class:`~repro.service.backends.SimulatedFaaSBackend`), which measures
     the gateway/ledger serving overhead itself and scales with workers even
     on a single core (modeled service time is waiting, not CPU).
+
+    The telemetry pipeline rides along when asked: ``events_out`` records
+    the structured event stream to JSONL, ``slo_rules`` evaluates a
+    declarative rule file over it (via the same replay path ``repro alerts``
+    uses offline), and either one also runs the per-tenant billing-drift
+    audit after each sweep point's epoch seals.  ``pipeline`` forces the
+    event log on (or off) independently of the two outputs — the overhead
+    benchmark uses it to measure the pipeline's cost without touching disk.
+    The gate verdict lands in ``result["telemetry"]["ok"]``:
+    ``repro loadtest --slo`` exits non-zero when it is false.
+
+    ``validate_results=False`` disables worker meter-reading validation —
+    only useful to demonstrate that the drift auditor catches what
+    validation normally prevents (a ``corrupt`` fault's implausible reading
+    signed into a receipt).
 
     ``faults`` turns the run into a *chaos loadtest*: a
     :class:`~repro.service.faults.FaultPlan` (or spec string like
@@ -689,6 +780,7 @@ def run_loadtest(
         backoff_base_s=0.05,
         backoff_cap_s=0.5,
         jitter_seed=fault_seed,
+        validate_results=validate_results,
     )
     probe_spec = None
     if quota_probe:
@@ -696,106 +788,41 @@ def run_loadtest(
 
         probe_spec = POLYBENCH_KERNELS[_PROBE_KERNEL]
 
+    pipeline_on = (
+        pipeline
+        if pipeline is not None
+        else (events_out is not None or slo_rules is not None)
+    )
+    previous_log = get_event_log()
+    event_log: EventLog | None = None
+    if pipeline_on:
+        event_log = enable_events(EventLog())
+
     sweep = []
-    for workers in worker_counts:
-        config = SandboxConfig(engine=engine)
-        if backend == "modeled":
-            from repro.service.backends import SimulatedFaaSBackend
-
-            gw_backend: ExecutionBackend | None = SimulatedFaaSBackend(
-                workers=workers, time_scale=time_scale
+    try:
+        sweep.extend(
+            _run_sweep_point(
+                workers=workers,
+                pool=pool,
+                engine=engine,
+                backend=backend,
+                time_scale=time_scale,
+                mix=mix,
+                schedule=schedule,
+                policy=policy,
+                plan=plan,
+                probe_spec=probe_spec,
+                verify_serial=verify_serial,
+                event_log=event_log,
             )
-        elif backend == "wasm":
-            gw_backend = None
-        else:
-            raise ValueError(f"unknown loadtest backend {backend!r}")
-        with MeteringGateway(
-            workers=workers,
-            pool=pool,
-            config=config,
-            backend=gw_backend,
-            resilience=policy,
-            fault_plan=plan,
-        ) as gw:
-            for tenant_id, module, _run in mix:
-                gw.register_tenant(tenant_id, module=module.clone())
-            rejection = None
-            if probe_spec is not None:
-                gw.register_tenant(
-                    "tenant-overquota",
-                    module=probe_spec.compile().clone(),
-                    quota=TenantQuota(instruction_budget=_PROBE_BUDGET),
-                )
-                export, args = probe_spec.run
-                gw.execute("tenant-overquota", export, *args)  # spends the budget
-                try:
-                    gw.execute("tenant-overquota", export, *args)
-                except AdmissionError as exc:
-                    rejection = exc.to_json()
-                    rejection["tenant"] = "tenant-overquota"
-
-            started = time.perf_counter()
-            futures = [
-                gw.submit(tenant_id, export, *args)
-                for tenant_id, export, args in schedule
-            ]
-            responses = []
-            failures: dict[str, int] = {}
-            for future in futures:
-                try:
-                    responses.append(future.result())
-                except GatewayFailure as exc:
-                    failures[exc.code] = failures.get(exc.code, 0) + 1
-            wall_s = time.perf_counter() - started
-            seal = gw.seal_epoch()
-            verdict = gw.verify_epoch(seal)
-            latencies = sorted(r.latency_s for r in responses) or [0.0]
-
-            def pct(q: float) -> float:
-                return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
-
-            point = {
-                "workers": workers,
-                "backend": gw.backend.kind,
-                "requests": len(responses),
-                "wall_s": wall_s,
-                "throughput_rps": len(responses) / wall_s,
-                "latency_s": {
-                    "p50": pct(0.50),
-                    "p95": pct(0.95),
-                    "p99": pct(0.99),
-                    "mean": sum(latencies) / len(latencies),
-                },
-                "epoch_ok": verdict.ok,
-                "epoch_errors": list(verdict.errors),
-                "receipts_checked": verdict.receipts_checked,
-                "quota_rejection": rejection,
-                "cache": gw.cache.stats(),
-            }
-            if plan is not None:
-                receipts_total = sum(
-                    len(gw.ledger.receipts(tenant_id))
-                    for tenant_id, _module, _run in mix
-                )
-                billed = gw.ledger.billed_requests()
-                point["faults"] = dict(gw.resilience_stats(), failures=failures)
-                point["billing"] = {
-                    "receipts": receipts_total,
-                    "distinct_requests_billed": billed,
-                    "ok_responses": len(responses),
-                    "exactly_once": receipts_total == billed == len(responses),
-                }
-            if verify_serial:
-                # totals over the scheduled mix only — the probe tenant's
-                # served request is not part of the serial baseline
-                mix_totals = ResourceUsageLog(signing_key=None)
-                mix_totals.entries = [
-                    receipt.entry
-                    for tenant_id, _module, _run in mix
-                    for receipt in gw.ledger.receipts(tenant_id)
-                ]
-                point["gateway_totals"] = mix_totals.totals().to_json()
-            sweep.append(point)
+            for workers in worker_counts
+        )
+    finally:
+        if pipeline_on:
+            if previous_log is not None:
+                enable_events(previous_log)
+            else:
+                disable_events()
     result = {
         "benchmark": "metering-gateway-loadtest",
         "mix": [tenant_id for tenant_id, _m, _r in mix],
@@ -820,7 +847,148 @@ def run_loadtest(
         result["speedup_4_over_1"] = (
             by_workers[4]["throughput_rps"] / by_workers[1]["throughput_rps"]
         )
+    if event_log is not None:
+        telemetry: dict = {"events": event_log.stats(), "events_path": events_out}
+        if events_out is not None:
+            telemetry["events_meta"] = event_log.write_jsonl(events_out)
+        drift_ok = all(point.get("drift", {}).get("ok", True) for point in sweep)
+        telemetry["drift_ok"] = drift_ok
+        engine = None
+        if slo_rules is not None:
+            from repro.obs.slo import load_rules
+            from repro.obs.slo import replay as replay_slo
+
+            engine, _agg = replay_slo(event_log.events(), load_rules(slo_rules))
+            telemetry["slo_rules"] = slo_rules
+            telemetry["slo"] = engine.report()
+        telemetry["ok"] = drift_ok and (engine is None or not engine.gating_alerts())
+        result["telemetry"] = telemetry
     return result
+
+
+def _run_sweep_point(
+    workers: int,
+    pool: str,
+    engine: str | None,
+    backend: str,
+    time_scale: float,
+    mix: list,
+    schedule: list,
+    policy: ResiliencePolicy,
+    plan: "FaultPlan | None",
+    probe_spec,
+    verify_serial: bool,
+    event_log: "EventLog | None",
+) -> dict:
+    """One worker-count sweep point of :func:`run_loadtest`."""
+    config = SandboxConfig(engine=engine)
+    if backend == "modeled":
+        from repro.service.backends import SimulatedFaaSBackend
+
+        gw_backend: ExecutionBackend | None = SimulatedFaaSBackend(
+            workers=workers, time_scale=time_scale
+        )
+    elif backend == "wasm":
+        gw_backend = None
+    else:
+        raise ValueError(f"unknown loadtest backend {backend!r}")
+    with MeteringGateway(
+        workers=workers,
+        pool=pool,
+        config=config,
+        backend=gw_backend,
+        resilience=policy,
+        fault_plan=plan,
+    ) as gw:
+        for tenant_id, module, _run in mix:
+            gw.register_tenant(tenant_id, module=module.clone())
+        rejection = None
+        if probe_spec is not None:
+            gw.register_tenant(
+                "tenant-overquota",
+                module=probe_spec.compile().clone(),
+                quota=TenantQuota(instruction_budget=_PROBE_BUDGET),
+            )
+            export, args = probe_spec.run
+            gw.execute("tenant-overquota", export, *args)  # spends the budget
+            try:
+                gw.execute("tenant-overquota", export, *args)
+            except AdmissionError as exc:
+                rejection = exc.to_json()
+                rejection["tenant"] = "tenant-overquota"
+
+        started = time.perf_counter()
+        futures = [
+            gw.submit(tenant_id, export, *args)
+            for tenant_id, export, args in schedule
+        ]
+        responses = []
+        failures: dict[str, int] = {}
+        for future in futures:
+            try:
+                responses.append(future.result())
+            except GatewayFailure as exc:
+                failures[exc.code] = failures.get(exc.code, 0) + 1
+        wall_s = time.perf_counter() - started
+        seal = gw.seal_epoch()
+        verdict = gw.verify_epoch(seal)
+        latencies = sorted(r.latency_s for r in responses) or [0.0]
+
+        def pct(q: float) -> float:
+            return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+        point = {
+            "workers": workers,
+            "backend": gw.backend.kind,
+            "requests": len(responses),
+            "wall_s": wall_s,
+            "throughput_rps": len(responses) / wall_s,
+            "latency_s": {
+                "p50": pct(0.50),
+                "p95": pct(0.95),
+                "p99": pct(0.99),
+                "mean": sum(latencies) / len(latencies),
+            },
+            "epoch_ok": verdict.ok,
+            "epoch_errors": list(verdict.errors),
+            "receipts_checked": verdict.receipts_checked,
+            "quota_rejection": rejection,
+            "cache": gw.cache.stats(),
+        }
+        if plan is not None:
+            receipts_total = sum(
+                len(gw.ledger.receipts(tenant_id))
+                for tenant_id, _module, _run in mix
+            )
+            billed = gw.ledger.billed_requests()
+            point["faults"] = dict(gw.resilience_stats(), failures=failures)
+            point["billing"] = {
+                "receipts": receipts_total,
+                "distinct_requests_billed": billed,
+                "ok_responses": len(responses),
+                "exactly_once": receipts_total == billed == len(responses),
+            }
+        if event_log is not None:
+            from repro.obs.audit import audit_billing
+
+            drift = audit_billing(
+                gw.ledger,
+                gw.admission,
+                events=event_log.events(),
+                gateway_id=gw.gateway_id,
+            )
+            point["drift"] = drift.to_json()
+        if verify_serial:
+            # totals over the scheduled mix only — the probe tenant's
+            # served request is not part of the serial baseline
+            mix_totals = ResourceUsageLog(signing_key=None)
+            mix_totals.entries = [
+                receipt.entry
+                for tenant_id, _module, _run in mix
+                for receipt in gw.ledger.receipts(tenant_id)
+            ]
+            point["gateway_totals"] = mix_totals.totals().to_json()
+        return point
 
 
 def _cores_available() -> int:

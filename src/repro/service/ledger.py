@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.core.resource_log import LogEntry, ResourceUsageLog, ResourceVector
+from repro.obs.events import emit as emit_event
 from repro.obs.instruments import LEDGER_RECEIPTS, LEDGER_SEAL_DURATION
 from repro.obs.trace import span as obs_span
 from repro.tcrypto.hashing import sha256
@@ -122,8 +123,12 @@ class BillingLedger:
 
     GENESIS = ResourceUsageLog.GENESIS
 
-    def __init__(self, signing_key: RSAKeyPair | None = None):
+    def __init__(self, signing_key: RSAKeyPair | None = None, owner: str = ""):
         self._signing_key = signing_key or rsa_generate(512, seed=0x1ED6E5)
+        #: Telemetry stamp: which gateway this ledger serves.  Events the
+        #: ledger emits carry it, so a shared event log can be audited per
+        #: gateway (``audit_billing(..., gateway_id=...)``).
+        self.owner = owner
         self._lock = threading.Lock()
         self._receipts: dict[str, list[Receipt]] = {}
         self._ae_keys: dict[str, RSAPublicKey] = {}
@@ -167,6 +172,15 @@ class BillingLedger:
             if request_id is not None:
                 self._billed_requests[tenant_id].add(request_id)
         LEDGER_RECEIPTS.inc(tenant=tenant_id)
+        emit_event(
+            "receipt",
+            gateway=self.owner,
+            tenant=tenant_id,
+            request_id=request_id,
+            sequence=entry.sequence,
+            weighted_instructions=entry.vector.weighted_instructions,
+            entry_hash=entry.entry_hash(),
+        )
         return receipt
 
     def billed_requests(self, tenant_id: str | None = None) -> int:
@@ -183,6 +197,16 @@ class BillingLedger:
     def receipts(self, tenant_id: str) -> list[Receipt]:
         with self._lock:
             return list(self._receipts[tenant_id])
+
+    def tenants(self) -> list[str]:
+        """Registered tenant ids, sorted (the drift auditor's iteration order)."""
+        with self._lock:
+            return sorted(self._receipts)
+
+    def sealed_upto(self, tenant_id: str) -> int:
+        """How many of a tenant's receipts are already inside a sealed epoch."""
+        with self._lock:
+            return self._sealed_upto.get(tenant_id, 0)
 
     def ae_key(self, tenant_id: str) -> RSAPublicKey:
         return self._ae_keys[tenant_id]
@@ -241,7 +265,16 @@ class BillingLedger:
                 signature=rsa_sign(self._signing_key, unsigned.body()),
             )
             self.seals.append(seal)
-            LEDGER_SEAL_DURATION.observe(time.perf_counter() - sealed_at)
+            duration_s = time.perf_counter() - sealed_at
+            LEDGER_SEAL_DURATION.observe(duration_s)
+            emit_event(
+                "seal",
+                gateway=self.owner,
+                epoch=seal.epoch,
+                spans=len(spans),
+                receipts=sum(s.end_sequence - s.start_sequence for s in spans),
+                duration_s=duration_s,
+            )
             return seal
 
     def epoch_receipts(self, seal: EpochSeal, tenant_id: str) -> list[Receipt]:

@@ -44,6 +44,7 @@ from concurrent.futures import (
 from dataclasses import dataclass
 
 from repro.core.accounting_enclave import RawExecution
+from repro.obs.events import emit as emit_event
 from repro.obs.instruments import (
     POOL_EXEC_WALL,
     POOL_REBUILDS,
@@ -313,6 +314,7 @@ class WorkerPool:
                     max_workers=self.workers, thread_name_prefix="metering-worker"
                 )
                 self.kind = "thread"
+            emit_event("pool_rebuild", rebuilds=self.rebuilds, pool_kind=self.kind)
         broken.shutdown(wait=False)
 
     # -- bookkeeping -------------------------------------------------------------

@@ -1,0 +1,142 @@
+"""Log-bucket histogram edge semantics: zero/negative observations, exact
+boundary determinism, and snapshot merging across processes."""
+
+import pytest
+
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    LATENCY_BUCKETS,
+    Histogram,
+    bucket_index,
+    disable_metrics,
+    enable_metrics,
+)
+
+
+@pytest.fixture(autouse=True)
+def _metrics_on():
+    enable_metrics()
+    yield
+    disable_metrics()
+
+
+# -- bucket_index edges --------------------------------------------------------
+
+
+def test_zero_and_negative_observations_land_in_bucket_zero():
+    for value in (0.0, -0.0, -1.0, -1e18, float(LATENCY_BUCKETS[0])):
+        assert bucket_index(LATENCY_BUCKETS, value) == 0, value
+
+
+def test_values_exactly_on_a_bound_belong_to_that_bound():
+    # `le`-style buckets: an observation equal to a bound counts under it
+    for layout in (LATENCY_BUCKETS, BYTES_BUCKETS):
+        for i, bound in enumerate(layout):
+            assert bucket_index(layout, bound) == i
+
+
+def test_values_just_past_a_bound_move_to_the_next_bucket():
+    for i, bound in enumerate(LATENCY_BUCKETS):
+        nudged = bound * (1 + 1e-9)
+        assert bucket_index(LATENCY_BUCKETS, nudged) == i + 1
+
+
+def test_values_beyond_the_last_bound_overflow():
+    assert bucket_index(LATENCY_BUCKETS, LATENCY_BUCKETS[-1] * 2) == len(
+        LATENCY_BUCKETS
+    )
+    assert bucket_index(LATENCY_BUCKETS, float("inf")) == len(LATENCY_BUCKETS)
+
+
+def test_boundary_assignment_is_deterministic_across_repeats():
+    values = [0.0, -3.0, LATENCY_BUCKETS[4], LATENCY_BUCKETS[4] * 1.5, 1e9]
+    first = [bucket_index(LATENCY_BUCKETS, v) for v in values]
+    for _ in range(100):
+        assert [bucket_index(LATENCY_BUCKETS, v) for v in values] == first
+
+
+# -- Histogram behaviour at the edges ------------------------------------------
+
+
+def test_histogram_counts_zero_and_negative_in_first_bucket():
+    hist = Histogram("edge_probe", "probe")
+    hist.observe(0.0)
+    hist.observe(-5.0)
+    snap = hist.snapshot()
+    assert snap["counts"][0] == 2
+    assert sum(snap["counts"]) == 2
+    assert snap["count"] == 2
+    assert snap["sum"] == -5.0  # the sum is exact even when buckets clamp
+
+
+def test_histogram_overflow_bucket():
+    hist = Histogram("edge_probe_overflow", "probe", buckets=(1.0, 4.0))
+    hist.observe(4.0)  # on the last bound: not overflow
+    hist.observe(4.000001)  # past it: overflow
+    snap = hist.snapshot()
+    assert snap["counts"] == [0, 1, 1]
+
+
+def test_histogram_rejects_bad_bucket_layouts():
+    with pytest.raises(ValueError):
+        Histogram("bad", "probe", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("bad", "probe", buckets=(4.0, 1.0))
+
+
+def test_openmetrics_cumulative_rendering_at_edges():
+    hist = Histogram("edge_probe_render", "probe", buckets=(1.0, 4.0))
+    for value in (-1.0, 1.0, 2.0, 100.0):
+        hist.observe(value)
+    lines = hist.samples()
+    assert 'edge_probe_render_bucket{le="1"} 2' in lines  # -1 and the 1.0 bound
+    assert 'edge_probe_render_bucket{le="4"} 3' in lines
+    assert 'edge_probe_render_bucket{le="+Inf"} 4' in lines
+    assert "edge_probe_render_count 4" in lines
+
+
+# -- snapshot merging ----------------------------------------------------------
+
+
+def test_snapshot_merge_sums_counts_and_totals():
+    a = Histogram("merge_a", "probe", buckets=(1.0, 4.0))
+    b = Histogram("merge_b", "probe", buckets=(1.0, 4.0))
+    a.observe(0.5)
+    a.observe(100.0)
+    b.observe(2.0)
+    merged = Histogram.merge_snapshots(a.snapshot(), b.snapshot())
+    assert merged["counts"] == [1, 1, 1]
+    assert merged["count"] == 3
+    assert merged["sum"] == pytest.approx(102.5)
+    assert merged["buckets"] == [1.0, 4.0]
+
+
+def test_snapshot_merge_is_associative_and_empty_is_identity():
+    a = Histogram("merge_c", "probe", buckets=(1.0, 4.0))
+    a.observe(2.0)
+    empty = Histogram("merge_d", "probe", buckets=(1.0, 4.0)).snapshot()
+    merged = Histogram.merge_snapshots(a.snapshot(), empty)
+    assert merged == {**a.snapshot(), "buckets": [1.0, 4.0]}
+
+
+def test_snapshot_merge_rejects_mismatched_layouts():
+    a = Histogram("merge_e", "probe", buckets=(1.0, 4.0)).snapshot()
+    b = Histogram("merge_f", "probe", buckets=(1.0, 8.0)).snapshot()
+    with pytest.raises(ValueError, match="different buckets"):
+        Histogram.merge_snapshots(a, b)
+
+
+def test_rolling_aggregator_shares_the_same_edge_semantics():
+    """The rollup latency histogram must bucket exactly like Histogram."""
+    from repro.obs.events import Event
+    from repro.obs.rollup import RollingAggregator
+
+    agg = RollingAggregator()
+    hist = Histogram("edge_probe_shared", "probe", buckets=LATENCY_BUCKETS)
+    for i, value in enumerate((0.0, -1.0, LATENCY_BUCKETS[3], 1e9)):
+        hist.observe(value)
+        agg.observe(Event(seq=i + 1, ts_s=1.0, kind="settled",
+                          fields={"outcome": "ok", "latency_s": value}))
+    counts, _total, n = agg.latency_stats(window_s=30)
+    assert n == 4
+    assert counts == hist.snapshot()["counts"]

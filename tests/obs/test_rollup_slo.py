@@ -1,0 +1,390 @@
+"""Rolling-window aggregation and the SLO rules engine (live + replay)."""
+
+import math
+
+import pytest
+
+from repro.obs.events import Event, EventLog, disable_events
+from repro.obs.metrics import LATENCY_BUCKETS
+from repro.obs.rollup import RollingAggregator
+from repro.obs.slo import (
+    GATING_SEVERITY,
+    SEVERITIES,
+    Alert,
+    Rule,
+    SLOEngine,
+    load_rules,
+    replay,
+    resolve_signal,
+)
+
+
+@pytest.fixture(autouse=True)
+def _events_off():
+    disable_events()
+    yield
+    disable_events()
+
+
+_SEQ = 0
+
+
+def ev(ts: float, kind: str, **fields) -> Event:
+    global _SEQ
+    _SEQ += 1
+    return Event(seq=_SEQ, ts_s=ts, kind=kind, fields=fields)
+
+
+# -- aggregator counting -------------------------------------------------------
+
+
+def test_counts_by_kind_subkey_and_tenant():
+    agg = RollingAggregator()
+    agg.observe(ev(10.0, "admit", tenant="t0"))
+    agg.observe(ev(10.2, "admit", tenant="t1"))
+    agg.observe(ev(10.4, "reject", tenant="t0", code="queue-full"))
+    assert agg.count("admit", window_s=30) == 2
+    assert agg.count(("admit", "tenant", "t0"), window_s=30) == 1
+    assert agg.count(("reject", "queue-full"), window_s=30) == 1
+    assert agg.count(("reject", "rate-limited"), window_s=30) == 0
+    assert agg.now == 10.4
+    assert agg.events_seen == 3
+
+
+def test_window_is_trailing_and_excludes_older_slices():
+    agg = RollingAggregator(slice_s=1.0, slices=120)
+    agg.observe(ev(10.0, "admit"))
+    agg.observe(ev(100.0, "admit"))
+    assert agg.count("admit", window_s=5) == 1  # trailing from now=100
+    assert agg.count("admit", window_s=120) == 2
+    # an explicit now re-anchors the window
+    assert agg.count("admit", window_s=5, now=10.0) == 1
+
+
+def test_events_older_than_the_ring_horizon_are_ignored():
+    agg = RollingAggregator(slice_s=1.0, slices=4)
+    agg.observe(ev(100.0, "fresh"))
+    agg.observe(ev(10.0, "stale"))  # horizon is now-4s: nothing to fold into
+    assert agg.events_seen == 2
+    assert agg.count("stale", window_s=120, now=10.0) == 0
+    assert agg.count("fresh", window_s=4) == 1
+
+
+def test_ring_slices_are_recycled_not_accumulated():
+    agg = RollingAggregator(slice_s=1.0, slices=4)
+    for t in range(20):
+        agg.observe(ev(float(t), "admit"))
+    # only the last `slices` seconds can ever be counted
+    assert agg.count("admit", window_s=1000) == 4
+
+
+def test_rate_divides_by_window():
+    agg = RollingAggregator()
+    for t in range(10):
+        agg.observe(ev(float(t), "settled", outcome="ok"))
+    assert agg.rate(("settled", "ok"), window_s=10, now=9.0) == pytest.approx(1.0)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        RollingAggregator(slice_s=0.0)
+    with pytest.raises(ValueError):
+        RollingAggregator(slices=1)
+
+
+# -- latency quantiles ---------------------------------------------------------
+
+
+def test_quantile_returns_conservative_bucket_bound():
+    agg = RollingAggregator()
+    for t in range(10):
+        agg.observe(ev(float(t), "settled", outcome="ok", latency_s=0.001))
+    bound = agg.quantile(0.50, window_s=30)
+    # smallest bucket bound covering the observation: never under-reports
+    assert bound == LATENCY_BUCKETS[5]  # 1.024 ms, the first bound >= 1 ms
+    assert bound >= 0.001
+    assert agg.quantile(0.99, window_s=30) == bound
+
+
+def test_quantile_overflow_and_empty():
+    agg = RollingAggregator()
+    assert agg.quantile(0.99, window_s=30) == 0.0  # no observations yet
+    for t in range(9):
+        agg.observe(ev(float(t), "settled", outcome="ok", latency_s=0.001))
+    agg.observe(ev(9.0, "settled", outcome="ok", latency_s=1e9))
+    assert agg.quantile(0.50, window_s=30) == LATENCY_BUCKETS[5]
+    assert math.isinf(agg.quantile(0.99, window_s=30))  # tail in overflow bucket
+
+
+def test_quantile_validates_q():
+    agg = RollingAggregator()
+    with pytest.raises(ValueError):
+        agg.quantile(0.0, window_s=30)
+    with pytest.raises(ValueError):
+        agg.quantile(1.5, window_s=30)
+
+
+def test_latency_only_from_ok_settlements():
+    agg = RollingAggregator()
+    agg.observe(ev(1.0, "settled", outcome="crashed", latency_s=50.0))
+    agg.observe(ev(1.5, "settled", outcome="ok", latency_s=0.001))
+    _counts, total, n = agg.latency_stats(window_s=30)
+    assert n == 1
+    assert total == pytest.approx(0.001)
+    assert agg.mean_latency(window_s=30) == pytest.approx(0.001)
+
+
+def test_snapshot_shape():
+    agg = RollingAggregator()
+    agg.observe(ev(5.0, "admit", tenant="t0"))
+    agg.observe(ev(5.5, "settled", tenant="t0", outcome="ok", latency_s=0.01))
+    snap = agg.snapshot(window_s=30)
+    assert snap["counts"]["admit"] == 1
+    assert snap["counts"]["settled:ok"] == 1
+    assert snap["counts"]["admit:tenant:t0"] == 1
+    assert set(snap["latency_s"]) == {"p50", "p95", "p99", "mean"}
+    assert snap["throughput_rps"] == pytest.approx(1 / 30)
+
+
+# -- signals -------------------------------------------------------------------
+
+
+def test_rejection_and_failure_ratios():
+    agg = RollingAggregator()
+    for t in range(8):
+        agg.observe(ev(float(t), "admit"))
+        agg.observe(ev(float(t) + 0.1, "settled", outcome="ok" if t < 6 else "crashed"))
+    agg.observe(ev(8.0, "reject", code="queue-full"))
+    agg.observe(ev(8.1, "reject", code="queue-full"))
+    assert resolve_signal(agg, "rejection_ratio", 30) == pytest.approx(2 / 10)
+    assert resolve_signal(agg, "failure_ratio", 30) == pytest.approx(2 / 8)
+    assert resolve_signal(agg, "count:reject:queue-full", 30) == 2.0
+    assert resolve_signal(agg, "rate:admit", 10, now=8.1) == pytest.approx(0.8)
+
+
+def test_unknown_signal_rejected():
+    with pytest.raises(ValueError, match="unknown SLO signal"):
+        resolve_signal(RollingAggregator(), "bogus_signal", 30)
+
+
+# -- rules ---------------------------------------------------------------------
+
+
+def test_threshold_rule_fires_and_carries_detail():
+    rule = Rule.from_json({
+        "name": "retries", "kind": "threshold", "signal": "count:retry",
+        "op": ">=", "threshold": 3, "window_s": 60, "severity": "warn",
+    })
+    agg = RollingAggregator()
+    for t in range(3):
+        agg.observe(ev(50.0 + t, "retry"))
+    alert = rule.evaluate(agg)
+    assert alert is not None
+    assert alert.rule == "retries" and alert.severity == "warn"
+    assert alert.value == 3.0 and alert.threshold == 3.0
+    assert "count:retry >= 3" in alert.detail
+    # below threshold: no alert
+    assert rule.evaluate(agg, now=500.0) is None
+
+
+def test_rule_parsing_rejects_bad_inputs():
+    base = {"name": "r", "signal": "count:retry", "threshold": 1}
+    with pytest.raises(ValueError, match="unknown kind"):
+        Rule.from_json({**base, "kind": "gauge"})
+    with pytest.raises(ValueError, match="severity"):
+        Rule.from_json({**base, "severity": "apocalyptic"})
+    with pytest.raises(ValueError, match="unknown op"):
+        Rule.from_json({**base, "op": "!="})
+    with pytest.raises(ValueError, match="'name' and 'signal'"):
+        Rule.from_json({"kind": "threshold", "threshold": 1})
+    with pytest.raises(ValueError, match="budget"):
+        Rule.from_json({"name": "b", "kind": "burn_rate", "signal": "failure_ratio"})
+
+
+BURN_RULE = Rule.from_json({
+    "name": "burn", "kind": "burn_rate", "signal": "failure_ratio",
+    "budget": 0.1, "fast_window_s": 10, "slow_window_s": 60,
+    "fast_burn": 2.0, "slow_burn": 1.5, "severity": "page",
+})
+
+
+def test_burn_rate_fires_when_both_windows_burn():
+    agg = RollingAggregator()
+    for t in range(60):  # sustained 50% failures: burns budget in both windows
+        outcome = "ok" if t % 2 else "crashed"
+        agg.observe(ev(t + 0.5, "settled", outcome=outcome))
+    alert = BURN_RULE.evaluate(agg)
+    assert alert is not None
+    assert alert.severity == "page"
+    assert "burn-rate" in alert.detail
+
+
+def test_burn_rate_ignores_a_short_spike_the_slow_window_absorbs():
+    agg = RollingAggregator()
+    for i in range(100):  # 50 s of clean traffic...
+        agg.observe(ev(i * 0.5, "settled", outcome="ok"))
+    for i in range(10):  # ...then a 10 s spike at 50% failures
+        outcome = "crashed" if i < 5 else "ok"
+        agg.observe(ev(50.0 + i, "settled", outcome=outcome))
+    # fast window burns (0.5 >= 0.2) but the slow window stays inside budget
+    assert resolve_signal(agg, "failure_ratio", 10) >= 0.2
+    assert resolve_signal(agg, "failure_ratio", 60) < 0.15
+    assert BURN_RULE.evaluate(agg) is None
+
+
+# -- the engine: edge-triggered firing -----------------------------------------
+
+
+RETRY_RULE = Rule.from_json({
+    "name": "retries", "kind": "threshold", "signal": "count:retry",
+    "op": ">=", "threshold": 1, "window_s": 30, "severity": "page",
+})
+
+
+def test_alerts_are_edge_triggered_incidents_not_ticks():
+    agg = RollingAggregator()
+    agg.observe(ev(50.0, "retry"))
+    engine = SLOEngine([RETRY_RULE])
+    assert len(engine.evaluate(agg, now=50.0)) == 1  # rising edge
+    assert engine.evaluate(agg, now=51.0) == []  # still breached: no new alert
+    assert engine.evaluate(agg, now=52.0) == []
+    assert len(engine.alerts) == 1
+    assert [a.rule for a in engine.firing] == ["retries"]
+
+    # the window drains: falling edge is recorded, not alerted
+    assert engine.evaluate(agg, now=500.0) == []
+    assert engine.firing == []
+    [cleared] = engine.report()["cleared"]
+    assert cleared == {"rule": "retries", "fired_at_s": 50.0, "cleared_at_s": 500.0}
+
+    # a second breach is a second incident
+    agg.observe(ev(600.0, "retry"))
+    assert len(engine.evaluate(agg, now=600.0)) == 1
+    assert len(engine.alerts) == 2
+
+
+def test_firing_emits_an_alert_event_on_the_active_log():
+    from repro.obs.events import enable_events
+
+    log = enable_events(EventLog())
+    agg = RollingAggregator()
+    agg.observe(ev(10.0, "retry"))
+    engine = SLOEngine([RETRY_RULE])
+    engine.evaluate(agg)
+    engine.evaluate(agg)  # no second event: edge-triggered
+    alert_events = [e for e in log.events() if e.kind == "alert"]
+    assert len(alert_events) == 1
+    assert alert_events[0].fields["rule"] == "retries"
+
+
+def test_severity_ordering_and_gating():
+    assert SEVERITIES.index(GATING_SEVERITY) == 2
+    info = Alert(rule="r", severity="info", signal="s", value=1, threshold=1,
+                 window_s=30, at_s=0)
+    page = Alert(rule="r", severity="page", signal="s", value=1, threshold=1,
+                 window_s=30, at_s=0)
+    assert not info.gating
+    assert page.gating
+
+    engine = SLOEngine([])
+    engine.alerts = [info, page]
+    assert engine.worst_severity() == "page"
+    assert [a.severity for a in engine.gating_alerts()] == ["page"]
+    assert engine.report()["gating"] is True
+
+
+# -- rule files ----------------------------------------------------------------
+
+
+def test_load_rules_accepts_wrapped_and_bare_lists(tmp_path):
+    import json
+
+    rules = [{"name": "a", "signal": "count:retry", "threshold": 1}]
+    wrapped = tmp_path / "wrapped.json"
+    wrapped.write_text(json.dumps({"rules": rules, "_doc": "ignored"}))
+    bare = tmp_path / "bare.json"
+    bare.write_text(json.dumps(rules))
+    assert [r.name for r in load_rules(str(wrapped))] == ["a"]
+    assert [r.name for r in load_rules(str(bare))] == ["a"]
+
+
+def test_load_rules_rejects_duplicate_names(tmp_path):
+    import json
+
+    rules = [
+        {"name": "a", "signal": "count:retry", "threshold": 1},
+        {"name": "a", "signal": "count:admit", "threshold": 2},
+    ]
+    path = tmp_path / "dupes.json"
+    path.write_text(json.dumps(rules))
+    with pytest.raises(ValueError, match="duplicate"):
+        load_rules(str(path))
+
+
+def test_shipped_example_rules_parse():
+    import pathlib
+
+    path = pathlib.Path(__file__).parents[2] / "examples" / "slo_rules.json"
+    rules = load_rules(str(path))
+    assert len(rules) >= 5
+    kinds = {r.kind for r in rules}
+    assert kinds == {"threshold", "burn_rate"}
+    severities = {r.severity for r in rules}
+    assert "page" in severities and "info" in severities
+
+
+# -- offline replay ------------------------------------------------------------
+
+
+def _retry_stream() -> list[Event]:
+    events = []
+    for t in range(20):
+        events.append(ev(float(t), "admit", tenant="t0"))
+        events.append(ev(t + 0.4, "settled", tenant="t0", outcome="ok",
+                         latency_s=0.01))
+    events.append(ev(12.0, "retry", tenant="t0", attempt=1))
+    return sorted(events, key=lambda e: e.ts_s)  # replay expects time order
+
+
+def test_replay_is_deterministic():
+    events = _retry_stream()
+    first, _ = replay(events, [RETRY_RULE])
+    second, _ = replay(events, [RETRY_RULE])
+    assert first.report() == second.report()
+    [alert] = first.alerts
+    assert alert.rule == "retries"
+
+
+def test_replay_matches_a_jsonl_roundtrip(tmp_path):
+    """The offline `repro alerts` path must agree with in-memory evaluation."""
+
+    class _Clock:
+        now = 0.0
+
+        def __call__(self):
+            return self.now
+
+    clock = _Clock()
+    log = EventLog(clock=clock)
+    for event in _retry_stream():
+        clock.now = event.ts_s
+        log.emit(event.kind, **event.fields)
+    path = tmp_path / "events.jsonl"
+    log.write_jsonl(str(path))
+
+    from repro.obs.events import read_jsonl
+
+    _meta, from_file = read_jsonl(str(path))
+    live, _ = replay(log.events(), [RETRY_RULE])
+    offline, _ = replay(from_file, [RETRY_RULE])
+    assert offline.report() == live.report()
+
+
+def test_replay_evaluates_on_event_time_at_the_requested_cadence():
+    events = _retry_stream()
+    engine, agg = replay(events, [RETRY_RULE], eval_every_s=1.0)
+    [alert] = engine.alerts
+    # fired at an evaluation tick shortly after the retry's event time,
+    # regardless of wall-clock replay speed
+    assert 12.0 <= alert.at_s <= 14.0
+    assert agg.now == events[-1].ts_s

@@ -159,3 +159,57 @@ def test_independent_tracer_instances_do_not_share_spans():
         pass
     assert [s.name for s in t1.finished()] == ["one"]
     assert t2.finished() == []
+
+
+# -- collector shutdown: open detached spans flush as truncated ----------------
+
+
+def test_disable_tracing_flushes_open_detached_spans_as_truncated():
+    tracer = enable_tracing()
+    request = tracer.span("gateway.request", detached=True, tenant="t0")
+    disable_tracing()  # collector closes before the settling callback ran
+    [flushed] = tracer.finished()
+    assert flushed is request
+    assert flushed.attributes["truncated"] is True
+    assert flushed.attributes["tenant"] == "t0"
+    assert flushed.end_ns is not None and flushed.end_ns >= flushed.start_ns
+
+
+def test_flush_leaves_attached_spans_to_their_owners():
+    tracer = enable_tracing()
+    attached = tracer.span("still.running")
+    detached = tracer.span("request", detached=True)
+    flushed = tracer.flush_truncated()
+    assert flushed == [detached]
+    # the attached span is still open and its owner can finish it normally
+    assert attached.end_ns is None
+    attached.end()
+    names = {s.name: s for s in tracer.finished()}
+    assert set(names) == {"request", "still.running"}
+    assert "truncated" not in names["still.running"].attributes
+
+
+def test_end_after_flush_does_not_double_record():
+    tracer = enable_tracing()
+    detached = tracer.span("request", detached=True)
+    tracer.flush_truncated()
+    first_end = detached.end_ns
+    detached.end()  # the settling thread races the shutdown flush and loses
+    assert detached.end_ns == first_end
+    assert len(tracer.finished()) == 1
+
+
+def test_truncated_spans_survive_into_the_chrome_export():
+    tracer = enable_tracing()
+    tracer.span("request", detached=True)
+    disable_tracing()
+    [event] = tracer.to_chrome_trace()["traceEvents"]
+    assert event["args"]["truncated"] is True
+
+
+def test_flush_with_nothing_open_is_a_noop():
+    tracer = enable_tracing()
+    with span("done"):
+        pass
+    assert tracer.flush_truncated() == []
+    assert len(tracer.finished()) == 1
