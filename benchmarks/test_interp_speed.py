@@ -1,15 +1,19 @@
-"""Interpreter throughput — legacy per-instruction loop vs. pre-decoded engine.
+"""Interpreter throughput — legacy loop vs. pre-decoded vs. compiled engine.
 
-Times both engines on a set of PolyBench kernels and reports wall-clock
-instructions/second plus the speedup ratio.  The pre-decoded threaded
-dispatcher (``repro.wasm.predecode``) must deliver >= 3x on at least two
-kernels — that is the acceptance bar for shipping it as the default engine.
+Times all three engines on a set of PolyBench kernels and reports wall-clock
+instructions/second plus the speedup ratios.  The pre-decoded threaded
+dispatcher (``repro.wasm.predecode``) must deliver >= 3x over the legacy
+loop on at least two kernels, and the Wasm→Python compilation engine
+(``repro.wasm.compile_engine``) must deliver >= 3x geomean over predecode —
+those are the acceptance bars for shipping each as a selectable engine.
 
 Artefacts:
 
 * ``benchmarks/results/interp_speed.txt`` — the human-readable table;
 * ``BENCH_interp.json`` (repo root) — machine-readable per-kernel numbers
-  for CI/regression tracking.
+  for CI/regression tracking, plus a capped timestamped ``trajectory`` of
+  distilled points (one per run) appended via the ``repro.obs.bench``
+  helpers so throughput drift is visible across runs.
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/test_interp_speed.py -q -s``.
 """
@@ -17,12 +21,14 @@ Run with ``PYTHONPATH=src python -m pytest benchmarks/test_interp_speed.py -q -s
 from __future__ import annotations
 
 import json
+import math
 import pathlib
 import time
 
 import pytest
 
 from benchmarks.conftest import emit_table, record
+from repro.obs.bench import TRAJECTORY_LIMIT, append_point
 from repro.wasm.interpreter import Instance
 from repro.workloads import POLYBENCH_KERNELS
 
@@ -31,6 +37,8 @@ REPO_ROOT = pathlib.Path(__file__).parent.parent
 #: A spread of kernel shapes: dense linalg (gemm, 2mm), stencils (jacobi-1d,
 #: jacobi-2d), triangular solve (trisolv) and a reduction-heavy one (atax).
 KERNELS = ["gemm", "2mm", "jacobi-1d", "jacobi-2d", "trisolv", "atax"]
+
+ENGINES = ["legacy", "predecode", "compile"]
 
 
 def _time_engine(name: str, engine: str) -> tuple[float, int]:
@@ -45,55 +53,110 @@ def _time_engine(name: str, engine: str) -> tuple[float, int]:
     return elapsed, instance.stats.executed
 
 
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
 @pytest.fixture(scope="module")
 def speed_rows():
     rows = []
     results = {}
     for name in KERNELS:
-        legacy_s, executed = _time_engine(name, "legacy")
-        pre_s, executed_pre = _time_engine(name, "predecode")
-        assert executed_pre == executed, "engines disagree on instruction count"
-        legacy_ips = executed / legacy_s
-        pre_ips = executed / pre_s
-        speedup = pre_ips / legacy_ips
+        seconds = {}
+        executed = None
+        for engine in ENGINES:
+            elapsed, count = _time_engine(name, engine)
+            seconds[engine] = elapsed
+            if executed is None:
+                executed = count
+            else:
+                assert count == executed, "engines disagree on instruction count"
+        ips = {engine: executed / seconds[engine] for engine in ENGINES}
+        speedup = ips["predecode"] / ips["legacy"]
+        compile_speedup = ips["compile"] / ips["predecode"]
         rows.append(
             [
                 name,
                 executed,
-                f"{legacy_ips / 1e6:.2f}",
-                f"{pre_ips / 1e6:.2f}",
+                f"{ips['legacy'] / 1e6:.2f}",
+                f"{ips['predecode'] / 1e6:.2f}",
+                f"{ips['compile'] / 1e6:.2f}",
                 f"{speedup:.2f}x",
+                f"{compile_speedup:.2f}x",
             ]
         )
         results[name] = {
             "executed": executed,
-            "legacy_seconds": round(legacy_s, 6),
-            "predecode_seconds": round(pre_s, 6),
-            "legacy_ips": round(legacy_ips),
-            "predecode_ips": round(pre_ips),
+            "legacy_seconds": round(seconds["legacy"], 6),
+            "predecode_seconds": round(seconds["predecode"], 6),
+            "compile_seconds": round(seconds["compile"], 6),
+            "legacy_ips": round(ips["legacy"]),
+            "predecode_ips": round(ips["predecode"]),
+            "compile_ips": round(ips["compile"]),
             "speedup": round(speedup, 3),
+            "compile_speedup": round(compile_speedup, 3),
         }
-    (REPO_ROOT / "BENCH_interp.json").write_text(
-        json.dumps({"kernels": results}, indent=2) + "\n"
-    )
+
+    path = REPO_ROOT / "BENCH_interp.json"
+    doc: dict = {}
+    if path.exists():
+        doc = json.loads(path.read_text())
+    doc["kernels"] = results
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    # one distilled, timestamped point per run; the helper caps the history
+    # and preserves the full per-kernel snapshot written above
+    point = {
+        "ts_s": time.time(),
+        "geomean_predecode_over_legacy": round(
+            _geomean([r["speedup"] for r in results.values()]), 3
+        ),
+        "geomean_compile_over_predecode": round(
+            _geomean([r["compile_speedup"] for r in results.values()]), 3
+        ),
+        "by_kernel": {
+            name: {
+                "legacy_ips": r["legacy_ips"],
+                "predecode_ips": r["predecode_ips"],
+                "compile_ips": r["compile_ips"],
+            }
+            for name, r in results.items()
+        },
+    }
+    append_point(str(path), point)
     return rows
 
 
 def test_interp_speed_table(speed_rows, benchmark):
     emit_table(
         "interp_speed",
-        "Interpreter throughput: legacy loop vs. pre-decoded engine "
-        "(Minstr/s, wall clock)",
-        ["kernel", "instructions", "legacy Mi/s", "predecode Mi/s", "speedup"],
+        "Interpreter throughput: legacy loop vs. pre-decoded vs. compiled "
+        "engine (Minstr/s, wall clock)",
+        [
+            "kernel",
+            "instructions",
+            "legacy Mi/s",
+            "predecode Mi/s",
+            "compile Mi/s",
+            "pre/legacy",
+            "cmp/pre",
+        ],
         speed_rows,
     )
     record(benchmark)
 
 
 def test_predecode_speedup_at_least_3x_on_two_kernels(speed_rows, benchmark):
-    speedups = {row[0]: float(row[4].rstrip("x")) for row in speed_rows}
+    speedups = {row[0]: float(row[5].rstrip("x")) for row in speed_rows}
     fast_enough = [k for k, s in speedups.items() if s >= 3.0]
     assert len(fast_enough) >= 2, f"speedups too low: {speedups}"
+    record(benchmark)
+
+
+def test_compile_speedup_geomean_at_least_3x(speed_rows, benchmark):
+    """The compile engine's acceptance bar: >= 3x geomean over predecode."""
+    speedups = [float(row[6].rstrip("x")) for row in speed_rows]
+    geomean = _geomean(speedups)
+    assert geomean >= 3.0, f"compile/predecode geomean too low: {geomean:.2f}"
     record(benchmark)
 
 
@@ -101,5 +164,16 @@ def test_bench_json_written(speed_rows, benchmark):
     data = json.loads((REPO_ROOT / "BENCH_interp.json").read_text())
     assert set(data["kernels"]) == set(KERNELS)
     for entry in data["kernels"].values():
-        assert entry["predecode_ips"] > 0 and entry["legacy_ips"] > 0
+        for column in ("legacy_ips", "predecode_ips", "compile_ips"):
+            assert entry[column] > 0
+    record(benchmark)
+
+
+def test_bench_trajectory_appended(speed_rows, benchmark):
+    data = json.loads((REPO_ROOT / "BENCH_interp.json").read_text())
+    trajectory = data["trajectory"]
+    assert 1 <= len(trajectory) <= TRAJECTORY_LIMIT
+    latest = trajectory[-1]
+    assert latest["geomean_compile_over_predecode"] > 0
+    assert set(latest["by_kernel"]) == set(KERNELS)
     record(benchmark)

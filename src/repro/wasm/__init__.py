@@ -32,6 +32,13 @@ from repro.wasm.binary import encode_module, decode_module, BinaryFormatError
 from repro.wasm.validate import validate, ValidationError
 from repro.wasm.memory import LinearMemory, PAGE_SIZE
 from repro.wasm.interpreter import Instance, Trap, ExecutionStats, HostFunction, ExecutionLimits
+from repro.wasm.engines import (
+    ENGINE_ENV_VAR,
+    ENGINE_NAMES,
+    UnknownEngineError,
+    default_engine,
+    resolve_engine,
+)
 
 __all__ = [
     "ValType",
@@ -66,4 +73,9 @@ __all__ = [
     "ExecutionStats",
     "ExecutionLimits",
     "HostFunction",
+    "ENGINE_ENV_VAR",
+    "ENGINE_NAMES",
+    "UnknownEngineError",
+    "default_engine",
+    "resolve_engine",
 ]

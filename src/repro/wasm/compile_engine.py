@@ -1,0 +1,1508 @@
+"""Wasm -> Python compilation engine with folded meter counters.
+
+The predecode engine (:mod:`repro.wasm.predecode`) removed per-instruction
+*dispatch* from the hot path but still pays one Python closure call per
+instruction.  This module removes the calls too, the way AccTEE folds its
+accounting into the instrumented module itself (paper §3.2): each validated
+function body is translated once into Python **source** —
+
+* straight-line basic blocks become sequences of native Python statements
+  over a *registerised* operand stack (``s0``, ``s1``, ...; the wasm operand
+  depth at every instruction is static, so stack slots compile to Python
+  locals and pushes/pops vanish);
+* structured control flow becomes real Python ``while``/``if`` statements.
+  Only constructs that are branch *targets* get a ``while True:`` wrapper;
+  multi-level ``br`` is compiled to a small ``_br`` cascade that unwinds one
+  wrapper per level, so irreducible dispatch loops are never needed for
+  valid wasm structured control;
+* the per-basic-block meter increments (``visits``/``executed``/``cycles``)
+  are folded into the generated code as constant-amount updates, with the
+  same budget/progress boundary check as the predecode engine and the same
+  per-instruction step-mode fallback when a boundary lands inside a block;
+* trap attribution mirrors predecode exactly: blocks that may trap run under
+  ``try``, record the trapping position in ``_tp``, and roll back the
+  not-executed suffix so :class:`ExecutionStats` stay byte-identical.
+
+Generated code objects are cached per ``(module fingerprint, cost
+signature)`` — the same keying discipline as
+:class:`repro.core.cache.InstrumentationCache` — so instantiating the same
+module repeatedly (worker pools, the gateway) compiles once.  Any function
+the translator cannot handle (deeper nesting than Python's indentation
+limit, multi-result functions, ...) falls back *per function* to the
+predecode engine, which is itself stats-identical, so coverage is never a
+correctness risk.  ``CompiledEngine.fallback_functions`` reports which
+functions (if any) took that path.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import struct
+import threading
+from collections import OrderedDict
+
+from repro.wasm.instructions import SEGMENT_BARRIERS, TRAPPING_INSTRUCTIONS, Instr
+from repro.wasm.interpreter import (
+    Trap,
+    _clz,
+    _ctz,
+    _f32,
+    _float_max,
+    _float_min,
+    _nearest,
+    _rotl,
+    _rotr,
+    _signed,
+    _trunc_div,
+    _trunc_rem,
+    _trunc_to_int,
+    build_structure_map,
+)
+from repro.wasm.memory import MemoryAccessError
+from repro.wasm.predecode import PredecodedEngine, _compile_simple, _Segment
+
+#: Python's tokenizer rejects indentation deeper than 100 levels; leave slack.
+_MAX_INDENT = 90
+
+
+class CompileError(Exception):
+    """A function body the translator cannot handle (falls back, per function)."""
+
+
+# ---------------------------------------------------------------------------
+# Compiled-code cache, keyed like the InstrumentationCache
+# ---------------------------------------------------------------------------
+
+
+class _FuncCode:
+    """Translation result for one defined function (or a fallback marker)."""
+
+    __slots__ = ("code", "consts", "segs", "error")
+
+    def __init__(self, code, consts, segs, error=None):
+        self.code = code        # code object, or None -> predecode fallback
+        self.consts = consts    # tuple referenced as _K{i}[j] in generated code
+        self.segs = segs        # tuple of (start_pc, count) per basic block
+        self.error = error      # why translation fell back, for diagnostics
+
+
+class _ModuleCode:
+    __slots__ = ("funcs",)
+
+    def __init__(self, funcs):
+        self.funcs = funcs
+
+
+class _CodeCache:
+    """LRU cache of :class:`_ModuleCode` per (module digest, cost signature).
+
+    Same shape as :class:`repro.core.cache.InstrumentationCache`: bounded,
+    thread-safe, with hit/miss/eviction counters surfaced via
+    :func:`code_cache_stats`.
+    """
+
+    def __init__(self, capacity: int = 64):
+        self.capacity = capacity
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key):
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+_CODE_CACHE = _CodeCache()
+
+
+def code_cache_stats() -> dict:
+    """Hit/miss/eviction counters of the process-wide compiled-code cache."""
+    return _CODE_CACHE.stats()
+
+
+def clear_code_cache() -> None:
+    """Drop every cached translation (tests / memory pressure)."""
+    _CODE_CACHE.clear()
+
+
+def _cost_signature(cost_model):
+    if cost_model is None:
+        return None
+    return tuple(sorted(cost_model.cycle_weights.items()))
+
+
+def _module_key(module, cost_model):
+    try:
+        from repro.tcrypto.hashing import sha256
+        from repro.wasm.binary import encode_module
+
+        return (sha256(encode_module(module)), _cost_signature(cost_model))
+    except Exception:
+        return None  # unencodable module: compile uncached
+
+
+# ---------------------------------------------------------------------------
+# Translation: one defined function body -> Python source
+# ---------------------------------------------------------------------------
+
+_I_CMP_U = {"eq": "==", "ne": "!=", "lt_u": "<", "gt_u": ">", "le_u": "<=", "ge_u": ">="}
+_I_CMP_S = {"lt_s": "<", "gt_s": ">", "le_s": "<=", "ge_s": ">="}
+_F_CMP = {"eq": "==", "ne": "!=", "lt": "<", "gt": ">", "le": "<=", "ge": ">="}
+# masked wrap-around arithmetic vs. bitwise ops the legacy engine leaves
+# unmasked (operand values are already canonical, results stay canonical)
+_I_BIN = {"add": "+", "sub": "-", "mul": "*"}
+_I_BIT = {"and": "&", "or": "|", "xor": "^"}
+
+#: operands cheap enough to re-evaluate or leave pending: names, int literals
+_SIMPLE_EXPR = re.compile(r"-?\d+|[A-Za-z_][A-Za-z0-9_]*")
+
+
+def _as_int(expr: str) -> int | None:
+    """The integer value of a literal operand expression, else ``None``."""
+    try:
+        return int(expr)
+    except ValueError:
+        return None
+
+
+def _sg32(v: int) -> int:
+    return v - 0x100000000 if v >= 0x80000000 else v
+
+
+def _sg64(v: int) -> int:
+    return v - 0x10000000000000000 if v >= 0x8000000000000000 else v
+
+
+def _flush_visits(S, V, vp, sv) -> None:
+    """Apply deferred per-batch accounting deltas to the live stats.
+
+    ``vp[i]`` counts fast-path executions of batch ``i`` since the last
+    flush; ``sv[i]`` is that batch's constant delta ``(cycles, visit_pairs,
+    loads, stores, bytes_loaded, bytes_stored)``.  Between observation
+    points (budget traps, progress callbacks, calls, returns, step-mode)
+    the drift is unobservable, so the hot path pays one list increment per
+    block instead of one Counter update per opcode.  ``cycles * n`` is
+    exact: cycle weights are dyadic and counts are integers.
+    """
+    for i, n in enumerate(vp):
+        if n:
+            vp[i] = 0
+            cyc, pairs, ld, st, bl, bs = sv[i]
+            if cyc:
+                S.cycles += cyc * n
+            if ld:
+                S.loads += ld * n
+                S.bytes_loaded += bl * n
+            if st:
+                S.stores += st * n
+                S.bytes_stored += bs * n
+            for nm, c in pairs:
+                V[nm] += c * n
+
+
+class _Frame:
+    __slots__ = (
+        "kind", "h", "arity", "results", "wrapped", "escapes",
+        "in_else", "end_reachable", "marker", "has_else",
+    )
+
+    def __init__(self, kind, h, arity, results, wrapped, escapes, has_else):
+        self.kind = kind
+        self.h = h                  # operand depth at entry (after if-cond pop)
+        self.arity = arity          # branch label arity (0 for loop)
+        self.results = results      # values left by the construct's end
+        self.wrapped = wrapped      # emitted a `while True:` (branch target)
+        self.escapes = escapes      # some branch passes through this construct
+        self.has_else = has_else
+        self.in_else = False
+        self.end_reachable = False
+        self.marker = 0             # start-of-suite line index (for `pass`)
+
+
+class _Translator:
+    """Translates one function body; raises :class:`CompileError` to decline."""
+
+    def __init__(self, module, defined_index: int, cost_model, has_memory: bool):
+        self.module = module
+        self.fidx = defined_index
+        self.func = module.funcs[defined_index]
+        self.body = self.func.body
+        self.functype = module.types[self.func.type_index]
+        self.cost = cost_model
+        self.cost_on = cost_model is not None
+        self.has_memory = has_memory
+        self.lines: list[str] = []
+        self.ind = 0
+        # consts[0] is reserved for the per-batch accounting-delta tuple
+        # (filled in at the end of translate(); referenced as _SV)
+        self.consts: list = [None]
+        self.batches: list = []
+        self.segs: list[tuple[int, int]] = []
+        # pending charge batch: control charges and at most one basic block
+        # whose meter updates are folded into a single boundary check
+        self.lead: list[tuple[str, float]] = []
+        self.seg: dict | None = None
+        self.trail: list[tuple[str, float]] = []
+        # symbolic operand stack for the block under translation
+        self.tctr = 0
+        self._sym: list[str] = []
+        self._deps: list[set] = []
+
+    # -- emission helpers ----------------------------------------------------
+
+    def emit(self, line: str) -> None:
+        if self.ind > _MAX_INDENT:
+            raise CompileError("nesting exceeds Python indentation limit")
+        self.lines.append("    " * self.ind + line)
+
+    def _cycles_of(self, name: str) -> float:
+        return self.cost.instruction_cycles(name) if self.cost_on else 0.0
+
+    def const(self, value) -> str:
+        self.consts.append(value)
+        return f"_K{self.fidx}[{len(self.consts) - 1}]"
+
+    def _float_literal(self, value: float) -> str:
+        if value != value:
+            return "_NAN"
+        if value == math.inf:
+            return "_INF"
+        if value == -math.inf:
+            return "-_INF"
+        return repr(value)
+
+    def emit_charge(self, name: str) -> None:
+        """Queue the meter charge for one control instruction.
+
+        Charges are not emitted where they occur: between two observation
+        points (traps, callbacks, calls, returns, branch decisions) the
+        accounting is unobservable, so consecutive charges are batched into
+        the adjacent basic block's single boundary check — the compile-time
+        equivalent of AccTEE folding per-block counter increments into the
+        instrumented code.  ``flush()`` materialises the batch; callers
+        flush before emitting anything the meter state can influence.
+        """
+        entry = (name, self._cycles_of(name))
+        (self.trail if self.seg is not None else self.lead).append(entry)
+
+    def _emit_charge_now(self, name: str, cyc: float) -> None:
+        """The exact legacy-order charge (batch slow path / single charges).
+
+        ``executed`` lives in the local ``_ex`` (the folded meter register);
+        it is flushed to ``S.executed`` at every point the stats become
+        observable — budget traps, progress callbacks, calls, returns.
+        """
+        line = f'V["{name}"] += 1; _ex += 1'
+        if self.cost_on and cyc != 0.0:
+            line += f"; S.cycles += {cyc!r}"
+        self.emit(line)
+        self.emit(
+            "if _ex > mi: S.executed = _ex; _fv(S, V, _vp, _SV); "
+            'raise Trap("instruction budget exhausted")'
+        )
+        self.emit(
+            "if _pb and _ex % pi == 0: "
+            "S.executed = _ex; _fv(S, V, _vp, _SV); cb(S); _ex = S.executed"
+        )
+
+    def _emit_visit_updates(self, charges, seg_names) -> None:
+        """Merged ``V[...] += c`` lines for a whole batch."""
+        delta: dict[str, int] = {}
+        for name, _cyc in charges:
+            delta[name] = delta.get(name, 0) + 1
+        for name in seg_names:
+            delta[name] = delta.get(name, 0) + 1
+        for name, c in delta.items():
+            self.emit(f'V["{name}"] += {c}')
+
+    def _register_batch(self, charges, seg) -> int:
+        """Record a fast-path batch's constant accounting delta; returns id."""
+        delta: dict[str, int] = {}
+        for name, _cyc in charges:
+            delta[name] = delta.get(name, 0) + 1
+        for name in seg["names"] if seg else ():
+            delta[name] = delta.get(name, 0) + 1
+        cyc = 0.0
+        if self.cost_on:
+            cyc = sum(c for _nm, c in charges)
+            if seg:
+                cyc += sum(seg["op_cycles"])
+        ld, st, bl, bs = seg["mem"] if seg else (0, 0, 0, 0)
+        self.batches.append((cyc, tuple(delta.items()), ld, st, bl, bs))
+        return len(self.batches) - 1
+
+    def flush(self) -> None:
+        """Emit the pending charge batch under one budget/progress check."""
+        lead, seg, trail = self.lead, self.seg, self.trail
+        if seg is None and not lead:
+            return
+        self.lead, self.seg, self.trail = [], None, []
+        if seg is None:
+            total = len(lead)
+            cycles_sum = sum(cyc for _nm, cyc in lead)
+            self.emit(
+                f"if _ex + {total} > mi or "
+                f"(_pb and (_ex + {total}) // pi != _ex // pi):"
+            )
+            self.ind += 1
+            for name, cyc in lead:
+                self._emit_charge_now(name, cyc)
+            self.ind -= 1
+            self.emit("else:")
+            self.ind += 1
+            bid = self._register_batch(lead, None)
+            self.emit(f"_ex += {total}")
+            self.emit(f"_vp[{bid}] += 1")
+            self.ind -= 1
+            return
+        self._flush_with_segment(lead, seg, trail)
+
+    def _flush_with_segment(self, lead, seg, trail) -> None:
+        start, count = seg["start"], seg["count"]
+        total = len(lead) + count + len(trail)
+        cycles_sum = (
+            sum(cyc for _nm, cyc in lead)
+            + sum(seg["op_cycles"])
+            + sum(cyc for _nm, cyc in trail)
+        )
+        n_locals = len(self.functype.params) + len(self.func.locals)
+        self.emit(f"if P is not None: P.record_segment(_lbl, {start}, {count})")
+        self.emit(
+            f"if _ex + {total} > mi or "
+            f"(_pb and (_ex + {total}) // pi != _ex // pi):"
+        )
+        self.ind += 1
+        for name, cyc in lead:
+            self._emit_charge_now(name, cyc)
+        self.emit("S.executed = _ex; _fv(S, V, _vp, _SV)")
+        loc = ", ".join(f"l{i}" for i in range(n_locals))
+        self.emit(f"_loc = [{loc}]" if n_locals else "_loc = []")
+        stk = ", ".join(f"s{i}" for i in range(seg["d0"]))
+        self.emit(f"_stk = [{stk}]" if seg["d0"] else "_stk = []")
+        self.emit(f"_E._step({self.fidx}, {seg['index']}, _stk, _loc)")
+        self.emit("_ex = S.executed")
+        for i in seg["written_locals"]:
+            self.emit(f"l{i} = _loc[{i}]")
+        d1 = seg["d1"]
+        if d1 == 1:
+            self.emit("s0, = _stk")
+        elif d1 > 1:
+            self.emit(", ".join(f"s{i}" for i in range(d1)) + " = _stk")
+        for name, cyc in trail:
+            self._emit_charge_now(name, cyc)
+        self.ind -= 1
+        self.emit("else:")
+        self.ind += 1
+        bid = self._register_batch(lead + trail, seg)
+        self.emit(f"_ex += {total}")
+        self.emit(f"_vp[{bid}] += 1")
+        buf = seg["buf"]
+        if seg["can_trap"]:
+            self.emit("_tp = -1")
+            self.emit("try:")
+            self.ind += 1
+            for line in buf:
+                self.emit(line)
+            if not buf:
+                self.emit("pass")
+            self.ind -= 1
+            self.emit("except BaseException as _e:")
+            self.ind += 1
+            # a mid-block trap: retract this batch's pending delta, settle
+            # everything else, then re-apply the lead + block charges exactly
+            # and let _unwind subtract the unexecuted op suffix.  Trailing
+            # control charges never happened; memory-op stats for the
+            # executed prefix come from the compile-time table keyed by the
+            # failing op's position.
+            self.emit(f"_vp[{bid}] -= 1")
+            self.emit("_fv(S, V, _vp, _SV)")
+            self._emit_visit_updates(lead, seg["names"])
+            leadseg_cycles = sum(cyc for _nm, cyc in lead) + sum(seg["op_cycles"])
+            if self.cost_on and leadseg_cycles != 0.0:
+                self.emit(f"S.cycles += {leadseg_cycles!r}")
+            if any(seg["mem"]):
+                mp = self.const(seg["mp"])
+                self.emit(f"_l, _s, _bl, _bs = {mp}[_tp]")
+                self.emit("S.loads += _l; S.bytes_loaded += _bl")
+                self.emit("S.stores += _s; S.bytes_stored += _bs")
+            if trail:
+                self.emit(f"_ex -= {len(trail)}")
+            self.emit("S.executed = _ex; _fv(S, V, _vp, _SV)")
+            self.emit(f"_E._unwind({self.fidx}, {seg['index']}, _tp)")
+            self.emit("if isinstance(_e, MemoryAccessError): raise Trap(str(_e)) from _e")
+            self.emit("raise")
+            self.ind -= 1
+        else:
+            for line in buf:
+                self.emit(line)
+            if not buf:
+                self.emit("pass")
+        self.ind -= 1
+
+    def emit_return(self, d: int) -> None:
+        self.flush()
+        nres = len(self.functype.results)
+        self.emit("S.executed = _ex; _fv(S, V, _vp, _SV)")
+        if nres == 0:
+            self.emit("return []")
+            return
+        if d < nres:
+            raise CompileError("return with understacked operands")
+        vals = ", ".join(f"s{d - nres + i}" for i in range(nres))
+        self.emit(f"return [{vals}]")
+
+    def emit_branch(self, depth: int, d: int, frames: list) -> None:
+        """Emit the code for a taken branch of ``depth`` labels."""
+        if depth >= len(frames):
+            self.emit_return(d)
+            return
+        target = frames[-1 - depth]
+        a = target.arity
+        src = d - a
+        if a and target.h != src:
+            for i in range(a):
+                self.emit(f"s{target.h + i} = s{src + i}")
+        k = sum(1 for f in frames[len(frames) - depth:] if f.wrapped)
+        if k == 0:
+            self.emit("continue" if target.kind == "loop" else "break")
+        else:
+            self.emit(f"_br = {k}")
+            self.emit("break")
+
+    def _close_suite(self, marker: int) -> None:
+        if len(self.lines) == marker:
+            self.emit("pass")
+        self.ind -= 1
+
+    def _cascade(self, frame: _Frame, frames_below: list) -> None:
+        """After a wrapped construct's ``while``: route pass-through branches."""
+        if not frame.escapes:
+            return
+        parent = next((f for f in reversed(frames_below) if f.wrapped), None)
+        if parent is None:  # no branch can pass through the outermost wrapper
+            return
+        self.emit("if _br:")
+        self.ind += 1
+        self.emit("_br -= 1")
+        if parent.kind == "loop":
+            self.emit("if _br: break")
+            self.emit("continue")
+        else:
+            self.emit("break")
+        self.ind -= 1
+
+    # -- branch-target pre-scan ----------------------------------------------
+
+    def _scan_targets(self) -> tuple[set, set]:
+        targeted: set[int] = set()
+        escaped: set[int] = set()
+        stack: list[int] = []
+
+        def mark(depth: int) -> None:
+            if depth < len(stack):
+                targeted.add(stack[-1 - depth])
+                if depth:
+                    escaped.update(stack[len(stack) - depth:])
+
+        for i, instr in enumerate(self.body):
+            name = instr.name
+            if name in ("block", "loop", "if"):
+                stack.append(i)
+            elif name == "end":
+                if stack:
+                    stack.pop()
+            elif name in ("br", "br_if"):
+                mark(instr.args[0])
+            elif name == "br_table":
+                depths, default = instr.args
+                for depth in set(depths) | {default}:
+                    mark(depth)
+        return targeted, escaped
+
+    # -- straight-line blocks -------------------------------------------------
+
+    def _queue_segment(self, start: int, stop: int, d: int) -> int:
+        """Translate one basic block and queue it in the pending batch.
+
+        Translation runs over a *symbolic* operand stack: each slot holds a
+        pure Python expression (a register, local, literal, or folded
+        arithmetic).  Pure expressions stay pending and fold into their
+        consumers — `local.get x; i32.const 1; i32.add; local.set x` becomes
+        one statement — and are only materialised (into fresh single-use
+        temporaries ``t{n}``) at hazards: a write to a local they read, a
+        multi-use operand, an oversized expression, or the end of the block,
+        where surviving slots land in the canonical registers ``s{i}`` that
+        the control-flow code and the step-mode fallback both use.
+        """
+        if self.seg is not None:
+            self.flush()
+        members = self.body[start:stop]
+        names = tuple(m.name for m in members)
+        op_cycles = [self._cycles_of(nm) for nm in names]
+
+        buf: list[str] = []
+        d0 = d
+        self._sym = [f"s{i}" for i in range(d0)]
+        self._deps: list[set] = [set() for _ in range(d0)]
+        # memory-op stat totals for the block, plus the prefix table keyed by
+        # trap position (what had completed before the op at index j ran)
+        self._seg_mem = [0, 0, 0, 0]
+        self._seg_mp: dict[int, tuple] = {-1: (0, 0, 0, 0)}
+        for j, m in enumerate(members):
+            self._emit_op(m, j, buf)
+        d1 = len(self._sym)
+        # land surviving slots in their canonical registers, ascending: an
+        # expression at slot i only references registers s{j} with j >= i,
+        # so each write happens after every read of the old value
+        for k in range(d1):
+            if self._sym[k] != f"s{k}":
+                buf.append(f"s{k} = {self._sym[k]}")
+
+        seg_index = len(self.segs)
+        self.segs.append((start, stop - start))
+        self.seg = {
+            "start": start,
+            "count": stop - start,
+            "index": seg_index,
+            "names": names,
+            "op_cycles": op_cycles,
+            "can_trap": any(nm in TRAPPING_INSTRUCTIONS for nm in names),
+            "written_locals": sorted(
+                {m.args[0] for m in members if m.name in ("local.set", "local.tee")}
+            ),
+            "buf": buf,
+            "d0": d0,
+            "d1": d1,
+            "mem": tuple(self._seg_mem),
+            "mp": dict(self._seg_mp),
+        }
+        return d1
+
+    # -- symbolic-stack helpers ------------------------------------------------
+
+    def _temp(self) -> str:
+        self.tctr += 1
+        return f"t{self.tctr}"
+
+    def _push(self, expr: str, deps: set, out: list[str]) -> None:
+        if len(expr) > 100:  # cap folded-expression size
+            t = self._temp()
+            out.append(f"{t} = {expr}")
+            expr, deps = t, set()
+        self._sym.append(expr)
+        self._deps.append(deps)
+
+    def _pop(self) -> tuple[str, set]:
+        if not self._sym:
+            raise CompileError("operand stack underflow")
+        return self._sym.pop(), self._deps.pop()
+
+    def _materialize(self, k: int, out: list[str], force: bool = False) -> None:
+        """Pin slot ``k``'s pending expression into a fresh temporary."""
+        if not force and _SIMPLE_EXPR.fullmatch(self._sym[k]):
+            return
+        t = self._temp()
+        out.append(f"{t} = {self._sym[k]}")
+        self._sym[k] = t
+        self._deps[k] = set()
+
+    def _barrier_local(self, index: int, out: list[str]) -> None:
+        """A local is about to be written: pin every expression reading it.
+
+        ``force=True`` because a bare ``l{index}`` slot — simple, but about to
+        change value — must be copied out before the write.
+        """
+        for k in range(len(self._sym)):
+            if index in self._deps[k]:
+                self._materialize(k, out, force=True)
+
+    def _pop_simple(self, out: list[str]) -> tuple[str, set]:
+        """Pop an operand that the consumer will evaluate more than once."""
+        if self._sym and not _SIMPLE_EXPR.fullmatch(self._sym[-1]):
+            self._materialize(len(self._sym) - 1, out)
+        return self._pop()
+
+    # -- one non-control instruction over the symbolic stack -------------------
+
+    def _emit_op(self, instr: Instr, j: int, out: list[str]) -> None:
+        name = instr.name
+        if name == "nop":
+            return
+        if name == "drop":
+            self._pop()
+            return
+        if name == "select":
+            c, cd = self._pop()
+            b, bd = self._pop()
+            a, ad = self._pop()
+            self._push(f"({a} if {c} else {b})", ad | bd | cd, out)
+            return
+        if name == "local.get":
+            idx = instr.args[0]
+            self._push(f"l{idx}", {idx}, out)
+            return
+        if name == "local.set":
+            idx = instr.args[0]
+            e, _deps = self._pop()
+            self._barrier_local(idx, out)
+            out.append(f"l{idx} = {e}")
+            return
+        if name == "local.tee":
+            idx = instr.args[0]
+            e, _deps = self._pop()
+            self._barrier_local(idx, out)
+            out.append(f"l{idx} = {e}")
+            self._push(f"l{idx}", {idx}, out)
+            return
+        if name == "global.get":
+            t = self._temp()
+            out.append(f"{t} = _G[{instr.args[0]}].value")
+            self._push(t, set(), out)
+            return
+        if name == "global.set":
+            e, _deps = self._pop()
+            out.append(f"_G[{instr.args[0]}].value = {e}")
+            return
+        if name.endswith(".const"):
+            value = instr.args[0]
+            lit = self._float_literal(value) if isinstance(value, float) else repr(value)
+            self._push(lit, set(), out)
+            return
+        if name == "memory.size":
+            if not self.has_memory:
+                out.append('raise Trap("no memory")')
+                self._push("0", set(), out)  # unreachable; keep depth consistent
+                return
+            t = self._temp()
+            out.append(f"{t} = M.pages")
+            self._push(t, set(), out)
+            return
+
+        prefix, _, suffix = name.partition(".")
+        if "load" in suffix or "store" in suffix:
+            self._emit_memory_access(instr, name, prefix, suffix, j, out)
+        elif prefix in ("i32", "i64"):
+            self._emit_int(name, suffix, prefix, j, out)
+        else:
+            self._emit_float(name, suffix, prefix, out)
+
+    def _emit_memory_access(self, instr, name, prefix, suffix, j, out) -> None:
+        is_store = "store" in suffix
+        if not self.has_memory:
+            out.append('raise Trap("no memory")')
+            # keep static depth bookkeeping consistent (code is unreachable)
+            if is_store:
+                self._pop()
+                self._pop()
+            else:
+                self._pop()
+                self._push("0", set(), out)
+            return
+        _align, offset = instr.args
+        vt_bits = 32 if prefix in ("i32", "f32") else 64
+        width = vt_bits // 8
+        for marker, w in (("8", 1), ("16", 2), ("32", 4)):
+            if suffix.endswith((f"load{marker}_s", f"load{marker}_u", f"store{marker}")):
+                width = w
+                break
+        if is_store:
+            val, _vd = (self._pop_simple(out) if prefix == "f32" else self._pop())
+            base, _bd = self._pop()
+        else:
+            base, _bd = self._pop()
+        addr = f"({base} + {offset})" if offset else f"({base})"
+        a = self._temp()
+        self._seg_mp[j] = tuple(self._seg_mem)
+        out.append(f"_tp = {j}")
+        out.append(f"{a} = {addr} & 0xffffffffffffffff")
+        # inline bounds check + Struct access: same MemoryAccessError text as
+        # LinearMemory.read/write, minus the byte copy and two call layers
+        kind = "write" if is_store else "read"
+        out.append(
+            f"if {a} + {width} > len(_mb): raise MemoryAccessError("
+            f'f"{kind} of {width} bytes at {{{a}}} out of bounds ({{len(_mb)}})")'
+        )
+        if is_store:
+            if prefix == "f32":
+                # mirror LinearMemory.store_f32's out-of-range clamp to inf
+                out.append(f"try: _Sf4(_mb, {a}, {val})")
+                out.append(
+                    f"except OverflowError: "
+                    f"_Sf4(_mb, {a}, _INF if {val} > 0 else -_INF)"
+                )
+            elif prefix == "f64":
+                out.append(f"_Sf8(_mb, {a}, {val})")
+            else:
+                mask = hex((1 << (width * 8)) - 1)
+                out.append(f"_S{width}(_mb, {a}, {val} & {mask})")
+            self._seg_mem[1] += 1
+            self._seg_mem[3] += width
+            if self.cost_on:
+                out.append(f"S.cycles += C.memory_access_cycles({a}, {width}, True)")
+        else:
+            t = self._temp()
+            if prefix == "f32":
+                out.append(f"{t} = _Lf4(_mb, {a})[0]")
+            elif prefix == "f64":
+                out.append(f"{t} = _Lf8(_mb, {a})[0]")
+            else:
+                signed = suffix.endswith("_s")
+                expr = f"_L{width}{'s' if signed else 'u'}(_mb, {a})[0]"
+                if signed:
+                    expr += f" & {hex((1 << vt_bits) - 1)}"
+                out.append(f"{t} = {expr}")
+            self._seg_mem[0] += 1
+            self._seg_mem[2] += width
+            if self.cost_on:
+                out.append(f"S.cycles += C.memory_access_cycles({a}, {width}, False)")
+            self._push(t, set(), out)
+
+    def _signed_expr(self, expr: str, bits: int) -> str:
+        """Compile-time sign conversion for literals, helper call otherwise."""
+        lit = _as_int(expr)
+        if lit is not None:
+            return repr(lit - (1 << bits) if lit >= (1 << (bits - 1)) else lit)
+        return f"_sg{bits}({expr})"
+
+    def _emit_int(self, name, suffix, prefix, j, out) -> None:
+        bits = 32 if prefix == "i32" else 64
+        mask = hex((1 << bits) - 1)
+
+        if suffix in _I_BIN:
+            b, bd = self._pop()
+            a, ad = self._pop()
+            self._push(f"(({a} {_I_BIN[suffix]} {b}) & {mask})", ad | bd, out)
+            return
+        if suffix in _I_BIT:
+            b, bd = self._pop()
+            a, ad = self._pop()
+            self._push(f"({a} {_I_BIT[suffix]} {b})", ad | bd, out)
+            return
+        if suffix == "shl":
+            b, bd = self._pop()
+            a, ad = self._pop()
+            blit = _as_int(b)
+            shift = repr(blit % bits) if blit is not None else f"({b} % {bits})"
+            self._push(f"(({a} << {shift}) & {mask})", ad | bd, out)
+            return
+        if suffix == "shr_u":
+            b, bd = self._pop()
+            a, ad = self._pop()
+            blit = _as_int(b)
+            shift = repr(blit % bits) if blit is not None else f"({b} % {bits})"
+            self._push(f"({a} >> {shift})", ad | bd, out)
+            return
+        if suffix == "shr_s":
+            b, bd = self._pop()
+            a, ad = self._pop()
+            blit = _as_int(b)
+            shift = repr(blit % bits) if blit is not None else f"({b} % {bits})"
+            sa = self._signed_expr(a, bits)
+            self._push(f"(({sa} >> {shift}) & {mask})", ad | bd, out)
+            return
+        if suffix in ("rotl", "rotr"):
+            b, bd = self._pop()
+            a, ad = self._pop()
+            self._push(f"_{suffix}({a}, {b}, {bits})", ad | bd, out)
+            return
+        if suffix in _I_CMP_U:
+            b, bd = self._pop()
+            a, ad = self._pop()
+            self._push(f"(1 if {a} {_I_CMP_U[suffix]} {b} else 0)", ad | bd, out)
+            return
+        if suffix in _I_CMP_S:
+            b, bd = self._pop()
+            a, ad = self._pop()
+            sa = self._signed_expr(a, bits)
+            sb = self._signed_expr(b, bits)
+            self._push(f"(1 if {sa} {_I_CMP_S[suffix]} {sb} else 0)", ad | bd, out)
+            return
+        if suffix == "eqz":
+            a, ad = self._pop()
+            self._push(f"(1 if {a} == 0 else 0)", ad, out)
+            return
+        if suffix in ("clz", "ctz"):
+            a, ad = self._pop()
+            self._push(f"_{suffix}({a}, {bits})", ad, out)
+            return
+        if suffix == "popcnt":
+            a, ad = self._pop()
+            self._push(f'bin({a}).count("1")', ad, out)
+            return
+        if suffix in ("div_u", "rem_u"):
+            op = "//" if suffix == "div_u" else "%"
+            b, _bd = self._pop()
+            a, _ad = self._pop()
+            blit = _as_int(b)
+            t = self._temp()
+            self._seg_mp[j] = tuple(self._seg_mem)
+            out.append(f"_tp = {j}")
+            if blit is None:
+                tb = self._temp()
+                out.append(f"{tb} = {b}")
+                out.append(f'if {tb} == 0: raise Trap("integer divide by zero")')
+                b = tb
+            elif blit == 0:
+                out.append('raise Trap("integer divide by zero")')
+            out.append(f"{t} = ({a} {op} {b}) & {mask}")
+            self._push(t, set(), out)
+            return
+        if suffix in ("div_s", "rem_s"):
+            b, _bd = self._pop()
+            a, _ad = self._pop()
+            t = self._temp()
+            self._seg_mp[j] = tuple(self._seg_mem)
+            out.append(f"_tp = {j}")
+            blit = _as_int(b)
+            if blit is None:
+                tb = self._temp()
+                out.append(f"{tb} = {self._signed_expr(b, bits)}")
+                out.append(f'if {tb} == 0: raise Trap("integer divide by zero")')
+                sb = tb
+            elif blit % (1 << bits) == 0:
+                out.append('raise Trap("integer divide by zero")')
+                sb = "0"
+            else:
+                sb = self._signed_expr(b, bits)
+            ta = self._temp()
+            out.append(f"{ta} = {self._signed_expr(a, bits)}")
+            if suffix == "div_s":
+                sign_bit = hex(1 << (bits - 1))
+                out.append(
+                    f"if {ta} == -{sign_bit} and {sb} == -1: "
+                    'raise Trap("integer overflow")'
+                )
+                out.append(f"{t} = _trunc_div({ta}, {sb}) & {mask}")
+            else:
+                out.append(f"{t} = _trunc_rem({ta}, {sb}) & {mask}")
+            self._push(t, set(), out)
+            return
+        if suffix.startswith("trunc_f"):
+            a, _ad = self._pop()
+            t = self._temp()
+            self._seg_mp[j] = tuple(self._seg_mem)
+            out.append(f"_tp = {j}")
+            out.append(f"{t} = _trunc_to_int({a}, {bits}, {suffix.endswith('_s')})")
+            self._push(t, set(), out)
+            return
+        if suffix == "wrap_i64":
+            a, ad = self._pop()
+            self._push(f"({a} & 0xffffffff)", ad, out)
+            return
+        if suffix == "extend_i32_s":
+            a, ad = self._pop()
+            self._push(
+                f"({self._signed_expr(a, 32)} & 0xffffffffffffffff)", ad, out
+            )
+            return
+        if suffix == "extend_i32_u":
+            a, ad = self._pop()
+            self._push(f"({a} & 0xffffffff)", ad, out)
+            return
+        if suffix == "reinterpret_f32":
+            a, ad = self._pop()
+            self._push(f'_up("<I", _pk("<f", _f32({a})))[0]', ad, out)
+            return
+        if suffix == "reinterpret_f64":
+            a, ad = self._pop()
+            self._push(f'_up("<Q", _pk("<d", {a}))[0]', ad, out)
+            return
+        raise CompileError(f"no translation for {name}")
+
+    def _emit_float(self, name, suffix, prefix, out) -> None:
+        narrow = prefix == "f32"
+
+        def wrap(expr: str) -> str:
+            return f"_f32({expr})" if narrow else expr
+
+        if suffix in ("add", "sub", "mul"):
+            b, bd = self._pop()
+            a, ad = self._pop()
+            op = {"add": "+", "sub": "-", "mul": "*"}[suffix]
+            self._push(wrap(f"({a} {op} {b})"), ad | bd, out)
+            return
+        if suffix == "div":
+            b, bd = self._pop_simple(out)
+            a, ad = self._pop_simple(out)
+            # wasm float division: 0-divisor produces nan or signed infinity
+            self._push(
+                wrap(
+                    f"(({a} / {b}) if {b} != 0.0 else "
+                    f"(_NAN if ({a} == 0.0 or {a} != {a}) "
+                    f"else _cps(_INF, {a}) * _cps(1.0, {b})))"
+                ),
+                ad | bd,
+                out,
+            )
+            return
+        if suffix in ("min", "max"):
+            b, bd = self._pop()
+            a, ad = self._pop()
+            fn = "_fmin" if suffix == "min" else "_fmax"
+            self._push(wrap(f"{fn}({a}, {b})"), ad | bd, out)
+            return
+        if suffix == "copysign":
+            b, bd = self._pop()
+            a, ad = self._pop()
+            self._push(wrap(f"_cps({a}, {b})"), ad | bd, out)
+            return
+        if suffix in _F_CMP:
+            b, bd = self._pop()
+            a, ad = self._pop()
+            self._push(f"(1 if {a} {_F_CMP[suffix]} {b} else 0)", ad | bd, out)
+            return
+        if suffix == "abs":
+            a, ad = self._pop()
+            self._push(wrap(f"abs({a})"), ad, out)
+            return
+        if suffix == "neg":
+            a, ad = self._pop()
+            self._push(wrap(f"(-{a})"), ad, out)
+            return
+        if suffix == "sqrt":
+            a, ad = self._pop_simple(out)
+            self._push(wrap(f"(_sqrt({a}) if {a} >= 0 else _NAN)"), ad, out)
+            return
+        if suffix in ("ceil", "floor", "trunc"):
+            fn = {"ceil": "_mceil", "floor": "_mfloor", "trunc": "_mtrunc"}[suffix]
+            a, ad = self._pop_simple(out)
+            self._push(
+                wrap(f"({a} if {a} != {a} or _isinf({a}) else float({fn}({a})))"),
+                ad,
+                out,
+            )
+            return
+        if suffix == "nearest":
+            a, ad = self._pop()
+            self._push(wrap(f"_nearest({a})"), ad, out)
+            return
+        if suffix.startswith("convert_i"):
+            cbits = 32 if "i32" in suffix else 64
+            a, ad = self._pop()
+            if suffix.endswith("_s"):
+                self._push(wrap(f"float({self._signed_expr(a, cbits)})"), ad, out)
+            else:
+                self._push(wrap(f"float({a})"), ad, out)
+            return
+        if suffix == "demote_f64":
+            a, ad = self._pop()
+            self._push(f"_f32({a})", ad, out)
+            return
+        if suffix == "promote_f32":
+            a, ad = self._pop()
+            self._push(f"float({a})", ad, out)
+            return
+        if suffix == "reinterpret_i32":
+            a, ad = self._pop()
+            self._push(f'_up("<f", _pk("<I", {a} & 0xffffffff))[0]', ad, out)
+            return
+        if suffix == "reinterpret_i64":
+            a, ad = self._pop()
+            self._push(f'_up("<d", _pk("<Q", {a} & 0xffffffffffffffff))[0]', ad, out)
+            return
+        raise CompileError(f"no translation for {name}")
+
+
+    def translate(self) -> tuple[str, tuple, tuple]:
+        module = self.module
+        body = self.body
+        n = len(body)
+        if len(self.functype.results) > 1:
+            raise CompileError("multi-result function")
+        n_params = len(self.functype.params)
+        n_locals = n_params + len(self.func.locals)
+        structs = build_structure_map(body)
+        targeted, escaped = self._scan_targets()
+
+        self.emit(f"def _f{self.fidx}(_args):")
+        self.ind += 1
+        if n_params == 1:
+            self.emit("l0, = _args")
+        elif n_params > 1:
+            self.emit(", ".join(f"l{i}" for i in range(n_params)) + " = _args")
+        for i, vt in enumerate(self.func.locals):
+            self.emit(f"l{n_params + i} = {'0' if vt.is_int else '0.0'}")
+        self.emit("S = _I.stats; V = S.visits; L = _I.limits")
+        self.emit("mi = L.max_instructions")
+        self.emit("if mi is None: mi = _BIG")
+        self.emit("pi = L.progress_interval; cb = L.progress_callback")
+        self.emit("_pb = pi is not None and cb is not None")
+        self.emit("P = _I._profiler")
+        self.emit(f'_lbl = _I._func_labels[{self.fidx}] if P is not None else ""')
+        self.emit("_ex = S.executed")
+        self.emit("_br = 0")
+        self.emit(f"_SV = _K{self.fidx}[0]")
+        self.emit("_vp = [0] * len(_SV)")
+        if self.has_memory:
+            self.emit("M = _M")
+            self.emit("_mb = M._data")  # bytearray grows in place: stays valid
+            if self.cost_on:
+                self.emit("C = _C")
+
+        frames: list[_Frame] = []
+        reachable = True
+        dead_depth = 0
+        d = 0
+        i = 0
+        while i < n:
+            instr = body[i]
+            name = instr.name
+
+            if not reachable:
+                if name in ("block", "loop", "if"):
+                    dead_depth += 1
+                    i += 1
+                    continue
+                if name == "else" and dead_depth == 0:
+                    frame = frames[-1]
+                    self._close_suite(frame.marker)
+                    self.emit("else:")
+                    self.ind += 1
+                    frame.marker = len(self.lines)
+                    frame.in_else = True
+                    reachable = True
+                    d = frame.h
+                    i += 1
+                    continue
+                if name == "end":
+                    if dead_depth:
+                        dead_depth -= 1
+                        i += 1
+                        continue
+                    if frames:
+                        reachable, d = self._close_frame(frames, reachable=False)
+                        i += 1
+                        continue
+                i += 1
+                continue
+
+            if name not in SEGMENT_BARRIERS:
+                start = i
+                while i < n and body[i].name not in SEGMENT_BARRIERS:
+                    i += 1
+                d = self._queue_segment(start, i, d)
+                continue
+
+            if name == "block":
+                self.emit_charge(name)
+                wrapped = i in targeted
+                results = len(instr.args[0])
+                frames.append(
+                    _Frame("block", d, results, results, wrapped, i in escaped, False)
+                )
+                if wrapped:
+                    self.flush()
+                    self.emit("while True:")
+                    self.ind += 1
+            elif name == "loop":
+                wrapped = i in targeted
+                results = len(instr.args[0])
+                if wrapped:
+                    self.flush()
+                    self.emit("while True:")
+                    self.ind += 1
+                self.emit_charge(name)
+                frames.append(
+                    _Frame("loop", d, 0, results, wrapped, i in escaped, False)
+                )
+            elif name == "if":
+                self.emit_charge(name)
+                d -= 1
+                wrapped = i in targeted
+                results = len(instr.args[0])
+                info = structs[i]
+                frame = _Frame(
+                    "if", d, results, results, wrapped, i in escaped,
+                    info.else_ is not None,
+                )
+                self.flush()
+                if wrapped:
+                    self.emit("while True:")
+                    self.ind += 1
+                self.emit(f"if s{d}:")
+                self.ind += 1
+                frame.marker = len(self.lines)
+                frames.append(frame)
+            elif name == "else":
+                frame = frames[-1]
+                self.emit_charge(name)  # charged when the true arm falls through
+                frame.end_reachable = True
+                self.flush()
+                self._close_suite(frame.marker)
+                self.emit("else:")
+                self.ind += 1
+                frame.marker = len(self.lines)
+                frame.in_else = True
+                d = frame.h
+            elif name == "end":
+                if frames:
+                    if reachable:
+                        frames[-1].end_reachable = True
+                    reachable, d = self._close_frame(frames, reachable=reachable)
+                else:
+                    # function-level end (binary-decoded bodies keep it)
+                    self.emit_charge(name)
+            elif name == "br":
+                self.emit_charge(name)
+                self.flush()
+                self.emit_branch(instr.args[0], d, frames)
+                reachable = False
+            elif name == "br_if":
+                self.emit_charge(name)
+                self.flush()
+                d -= 1
+                self.emit(f"if s{d}:")
+                self.ind += 1
+                self.emit_branch(instr.args[0], d, frames)
+                self.ind -= 1
+            elif name == "br_table":
+                self.emit_charge(name)
+                self.flush()
+                d -= 1
+                depths, default = instr.args
+                if depths:
+                    tbl = self.const(tuple(depths))
+                    self.emit(f"_x = s{d}")
+                    self.emit(
+                        f"_t = {tbl}[_x] if _x < {len(depths)} else {default}"
+                    )
+                else:
+                    self.emit(f"_t = {default}")
+                unique = sorted(set(depths) | {default})
+                if len(unique) == 1:
+                    self.emit_branch(unique[0], d, frames)
+                else:
+                    for pos, depth in enumerate(unique):
+                        if pos < len(unique) - 1:
+                            kw = "if" if pos == 0 else "elif"
+                            self.emit(f"{kw} _t == {depth}:")
+                        else:
+                            self.emit("else:")
+                        self.ind += 1
+                        self.emit_branch(depth, d, frames)
+                        self.ind -= 1
+                reachable = False
+            elif name == "return":
+                self.emit_charge(name)
+                self.emit_return(d)
+                reachable = False
+            elif name == "unreachable":
+                self.emit_charge(name)
+                self.flush()
+                self.emit("S.executed = _ex; _fv(S, V, _vp, _SV)")
+                self.emit('raise Trap("unreachable executed")')
+                reachable = False
+            elif name == "call":
+                target = instr.args[0]
+                ftype = module.func_type(target)
+                np_, nres = len(ftype.params), len(ftype.results)
+                if nres > 1:
+                    raise CompileError("multi-result callee")
+                self.emit_charge(name)
+                self.flush()
+                self.emit("S.executed = _ex; _fv(S, V, _vp, _SV)")
+                args = ", ".join(f"s{d - np_ + k}" for k in range(np_))
+                if nres:
+                    self.emit(f"_r = _CALL({target}, [{args}])")
+                    self.emit(f"s{d - np_} = _r[0]")
+                else:
+                    self.emit(f"_CALL({target}, [{args}])")
+                self.emit("S.calls += 1")
+                self.emit("_ex = S.executed")
+                d = d - np_ + nres
+            elif name == "call_indirect":
+                expected = module.types[instr.args[0]]
+                np_, nres = len(expected.params), len(expected.results)
+                if nres > 1:
+                    raise CompileError("multi-result callee")
+                self.emit_charge(name)
+                self.flush()
+                self.emit("S.executed = _ex; _fv(S, V, _vp, _SV)")
+                tk = self.const(expected)
+                self.emit(f"_x = s{d - 1}")
+                self.emit(
+                    "if _T is None or _x >= len(_T.elements): "
+                    'raise Trap("undefined table element")'
+                )
+                self.emit("_g = _T.elements[_x]")
+                self.emit('if _g is None: raise Trap("uninitialized table element")')
+                self.emit(
+                    f"if _FT(_g) != {tk}: "
+                    'raise Trap("indirect call type mismatch")'
+                )
+                args = ", ".join(f"s{d - 1 - np_ + k}" for k in range(np_))
+                if nres:
+                    self.emit(f"_r = _CALL(_g, [{args}])")
+                    self.emit(f"s{d - 1 - np_} = _r[0]")
+                else:
+                    self.emit(f"_CALL(_g, [{args}])")
+                self.emit("S.calls += 1")
+                self.emit("_ex = S.executed")
+                d = d - 1 - np_ + nres
+            elif name == "memory.grow":
+                self.emit_charge(name)
+                self.flush()
+                if not self.has_memory:
+                    self.emit("S.executed = _ex; _fv(S, V, _vp, _SV)")
+                    self.emit('raise Trap("no memory")')
+                else:
+                    self.emit(f"_r = M.grow(s{d - 1})")
+                    self.emit(
+                        "if _r >= 0: S.grow_history.append((_ex, M.pages))"
+                    )
+                    self.emit(f"s{d - 1} = _r & 0xffffffff")
+            else:  # pragma: no cover - barrier set is closed
+                raise CompileError(f"unhandled control instruction {name}")
+            i += 1
+
+        if reachable:
+            self.emit_return(d)
+        if frames:
+            raise CompileError("unbalanced control structure")
+
+        self.consts[0] = tuple(self.batches)
+        return "\n".join(self.lines) + "\n", tuple(self.consts), tuple(self.segs)
+
+    def _close_frame(self, frames: list, reachable: bool) -> tuple[bool, int]:
+        """Emit the close of the innermost construct; returns (reachable, d)."""
+        frame = frames.pop()
+        if frame.kind == "if":
+            if not frame.in_else and not frame.has_else:
+                # the false path jumps straight to end: end is always live
+                frame.end_reachable = True
+            self.flush()  # pending batch belongs inside the open arm
+            self._close_suite(frame.marker)  # close the open arm
+            if frame.wrapped:
+                self.emit("break")
+                self.ind -= 1  # close while
+                self._cascade(frame, frames)
+            end_live = frame.end_reachable or frame.wrapped
+        elif frame.kind == "block":
+            if frame.wrapped:
+                self.flush()  # pending batch belongs inside the while body
+                self.emit("break")
+                self.ind -= 1
+                self._cascade(frame, frames)
+            end_live = frame.end_reachable or frame.wrapped
+        else:  # loop
+            if frame.wrapped:
+                self.flush()  # pending batch belongs inside the while body
+                if frame.end_reachable:
+                    self.emit("break")
+                self.ind -= 1
+                self._cascade(frame, frames)
+            end_live = frame.end_reachable
+        if end_live:
+            self.emit_charge("end")
+        return end_live, frame.h + frame.results
+
+
+# ---------------------------------------------------------------------------
+# Module translation + caching
+# ---------------------------------------------------------------------------
+
+
+def _module_has_memory(module) -> bool:
+    if module.memories:
+        return True
+    return any(imp.kind == "memory" for imp in module.imports)
+
+
+def _translate_module(module, cost_model) -> _ModuleCode:
+    has_memory = _module_has_memory(module)
+    funcs = []
+    for index in range(len(module.funcs)):
+        try:
+            translator = _Translator(module, index, cost_model, has_memory)
+            source, consts, segs = translator.translate()
+            code = compile(source, f"<wasm-compile:{index}>", "exec")
+        except CompileError as exc:
+            funcs.append(_FuncCode(None, (), (), error=str(exc)))
+        except (SyntaxError, RecursionError, MemoryError) as exc:
+            funcs.append(_FuncCode(None, (), (), error=repr(exc)))
+        else:
+            funcs.append(_FuncCode(code, consts, segs))
+    return _ModuleCode(funcs)
+
+
+def _module_code(module, cost_model) -> _ModuleCode:
+    key = _module_key(module, cost_model)
+    if key is None:
+        return _translate_module(module, cost_model)
+    cached = _CODE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    mc = _translate_module(module, cost_model)
+    _CODE_CACHE.put(key, mc)
+    return mc
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+
+class CompiledEngine:
+    """Executes an :class:`~repro.wasm.interpreter.Instance`'s functions from
+    generated Python code.  Created by ``Instance(..., engine="compile")``."""
+
+    def __init__(self, instance):
+        self.instance = instance
+        #: per-function fallback: compiles lazily, only for functions the
+        #: translator declined (PredecodedEngine without compile_all)
+        self._fallback = PredecodedEngine(instance)
+        mc = _module_code(instance.module, instance.cost_model)
+        self._module_code = mc
+        ns = self._make_namespace()
+        self._namespace = ns
+        fns: list = []
+        for index, fc in enumerate(mc.funcs):
+            if fc.code is None:
+                fns.append(None)
+            else:
+                ns[f"_K{index}"] = fc.consts
+                exec(fc.code, ns)
+                fns.append(ns[f"_f{index}"])
+        self._fns = fns
+        #: lazily built predecode segments for the step/unwind slow paths
+        self._step_segs: dict[tuple[int, int], _Segment] = {}
+        #: defined-function indices running on the predecode fallback
+        self.fallback_functions = tuple(
+            index for index, fc in enumerate(mc.funcs) if fc.code is None
+        )
+
+    def _make_namespace(self) -> dict:
+        instance = self.instance
+        return {
+            "__builtins__": __builtins__,
+            "_I": instance,
+            "_E": self,
+            "_M": instance.memory,
+            "_G": instance.globals,
+            "_T": instance.table,
+            "_C": instance.cost_model,
+            "_CALL": instance.call_function,
+            "_FT": instance.module.func_type,
+            "Trap": Trap,
+            "MemoryAccessError": MemoryAccessError,
+            "_f32": _f32,
+            "_signed": _signed,
+            "_sg32": _sg32,
+            "_sg64": _sg64,
+            "_fv": _flush_visits,
+            "_trunc_div": _trunc_div,
+            "_trunc_rem": _trunc_rem,
+            "_trunc_to_int": _trunc_to_int,
+            "_clz": _clz,
+            "_ctz": _ctz,
+            "_rotl": _rotl,
+            "_rotr": _rotr,
+            "_fmin": _float_min,
+            "_fmax": _float_max,
+            "_nearest": _nearest,
+            "_cps": math.copysign,
+            "_sqrt": math.sqrt,
+            "_isinf": math.isinf,
+            "_mceil": math.ceil,
+            "_mfloor": math.floor,
+            "_mtrunc": math.trunc,
+            "_pk": struct.pack,
+            "_up": struct.unpack,
+            "_INF": math.inf,
+            "_NAN": math.nan,
+            "_BIG": float("inf"),
+            # prebound Struct methods for inline linear-memory access
+            "_L1s": struct.Struct("<b").unpack_from,
+            "_L1u": struct.Struct("<B").unpack_from,
+            "_L2s": struct.Struct("<h").unpack_from,
+            "_L2u": struct.Struct("<H").unpack_from,
+            "_L4s": struct.Struct("<i").unpack_from,
+            "_L4u": struct.Struct("<I").unpack_from,
+            "_L8u": struct.Struct("<Q").unpack_from,
+            "_S1": struct.Struct("<B").pack_into,
+            "_S2": struct.Struct("<H").pack_into,
+            "_S4": struct.Struct("<I").pack_into,
+            "_S8": struct.Struct("<Q").pack_into,
+            "_Lf4": struct.Struct("<f").unpack_from,
+            "_Lf8": struct.Struct("<d").unpack_from,
+            "_Sf4": struct.Struct("<f").pack_into,
+            "_Sf8": struct.Struct("<d").pack_into,
+        }
+
+    def exec_function(self, defined_index: int, args: list) -> list:
+        fn = self._fns[defined_index]
+        if fn is None:
+            return self._fallback.exec_function(defined_index, args)
+        return fn(args)
+
+    # -- slow paths shared with predecode ---------------------------------------
+
+    def _segment(self, defined_index: int, seg_index: int) -> _Segment:
+        key = (defined_index, seg_index)
+        seg = self._step_segs.get(key)
+        if seg is not None:
+            return seg
+        start, count = self._module_code.funcs[defined_index].segs[seg_index]
+        members = self.instance.module.funcs[defined_index].body[start : start + count]
+        cost = self.instance.cost_model
+        cycles_of = cost.instruction_cycles if cost is not None else (lambda name: 0.0)
+        names = tuple(m.name for m in members)
+        ops = tuple(
+            _compile_simple(m, self.instance, self._fallback.cell, j)
+            for j, m in enumerate(members)
+        )
+        op_cycles = tuple(cycles_of(nm) for nm in names)
+        visit_delta: dict[str, int] = {}
+        for nm in names:
+            visit_delta[nm] = visit_delta.get(nm, 0) + 1
+        can_trap = any(nm in TRAPPING_INSTRUCTIONS for nm in names)
+        seg = _Segment(ops, names, op_cycles, visit_delta, can_trap, start + count)
+        self._step_segs[key] = seg
+        return seg
+
+    def _step(self, defined_index: int, seg_index: int, stack: list, locals_: list) -> None:
+        """Per-instruction execution of one basic block (budget/progress
+        boundary inside the block) — identical to predecode step mode."""
+        seg = self._segment(defined_index, seg_index)
+        self._fallback._step_segment(
+            seg, stack, locals_, self.instance.cost_model is not None
+        )
+
+    def _unwind(self, defined_index: int, seg_index: int, failed_index: int) -> None:
+        """Roll back the uncharged suffix after a mid-block trap."""
+        seg = self._segment(defined_index, seg_index)
+        self._fallback._unwind_segment(
+            seg, failed_index, self.instance.cost_model is not None
+        )

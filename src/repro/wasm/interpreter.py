@@ -22,7 +22,6 @@ The CFG builder in :mod:`repro.instrument.cfg` mirrors exactly these rules.
 from __future__ import annotations
 
 import math
-import os
 import struct
 from collections import Counter
 from dataclasses import dataclass, field
@@ -30,6 +29,12 @@ from typing import Callable, Sequence
 
 from repro.obs.profiler import active_profiler
 from repro.wasm.costmodel import CostModel
+from repro.wasm.engines import (
+    ENGINE_NAMES,
+    FALLBACK_ENGINE,
+    UnknownEngineError,
+    resolve_engine,
+)
 from repro.wasm.instructions import Instr
 from repro.wasm.memory import LinearMemory, MemoryAccessError
 from repro.wasm.module import Module
@@ -40,13 +45,15 @@ class Trap(Exception):
     """A WebAssembly trap: execution aborts, no result is produced."""
 
 
-#: Engine used when ``Instance(engine=None)``: the pre-decoded
-#: threaded-dispatch engine (:mod:`repro.wasm.predecode`) unless overridden
-#: via the ``REPRO_WASM_ENGINE`` environment variable.
-DEFAULT_ENGINE = os.environ.get("REPRO_WASM_ENGINE", "predecode")
+#: Engine used when ``Instance(engine=None)`` and ``REPRO_WASM_ENGINE`` is
+#: unset.  Kept for backwards compatibility; the registry in
+#: :mod:`repro.wasm.engines` is the authoritative source (it reads the
+#: environment variable at instantiation time, not import time).
+DEFAULT_ENGINE = FALLBACK_ENGINE
 
-#: Recognised values for ``Instance(engine=...)``.
-ENGINES = ("predecode", "legacy")
+#: Recognised values for ``Instance(engine=...)`` (re-exported from
+#: :mod:`repro.wasm.engines` for backwards compatibility).
+ENGINES = ENGINE_NAMES
 
 
 class LinkError(Exception):
@@ -290,11 +297,13 @@ class Instance:
     :class:`HostFunction`, :class:`LinearMemory`, :class:`GlobalInstance`
     or :class:`TableInstance`.
 
-    ``engine`` selects the execution engine: ``"predecode"`` (the default;
-    see :mod:`repro.wasm.predecode`) compiles every function body once at
+    ``engine`` selects the execution engine (see :mod:`repro.wasm.engines`):
+    ``"predecode"`` (the default) compiles every function body once at
     instantiation into a flat handler array with per-basic-block visit
-    batching, ``"legacy"`` keeps the original per-instruction string-dispatch
-    loop.  Both produce identical :class:`ExecutionStats`.
+    batching, ``"compile"`` translates function bodies to Python source with
+    folded meter counters (:mod:`repro.wasm.compile_engine`), and
+    ``"legacy"`` keeps the original per-instruction string-dispatch loop.
+    All three produce identical :class:`ExecutionStats`.
     """
 
     def __init__(
@@ -393,15 +402,17 @@ class Instance:
         self._func_labels: tuple[str, ...] | None = None
 
         # -- execution engine
-        engine = engine or DEFAULT_ENGINE
-        if engine not in ENGINES:
-            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        engine = resolve_engine(engine)
         self.engine = engine
         if engine == "predecode":
             from repro.wasm.predecode import PredecodedEngine
 
             self._engine = PredecodedEngine(self)
             self._engine.compile_all()
+        elif engine == "compile":
+            from repro.wasm.compile_engine import CompiledEngine
+
+            self._engine = CompiledEngine(self)
         else:
             self._engine = None
 

@@ -61,6 +61,8 @@ across every workload in :mod:`repro.workloads`.
 from __future__ import annotations
 
 import math
+import operator as _operator
+import os
 import struct
 from typing import Callable
 
@@ -118,9 +120,12 @@ class _Segment:
         "cycles",       # sum(op_cycles)
         "can_trap",     # any op may raise a Trap mid-segment
         "next_pc",      # pc of the instruction after the segment
+        "run_ops",      # fast-path closures: ops with superinstruction fusion
     )
 
-    def __init__(self, ops, names, op_cycles, visit_delta, can_trap, next_pc):
+    def __init__(
+        self, ops, names, op_cycles, visit_delta, can_trap, next_pc, run_ops=None
+    ):
         self.ops = ops
         self.names = names
         self.op_cycles = op_cycles
@@ -129,6 +134,7 @@ class _Segment:
         self.cycles = sum(op_cycles)
         self.can_trap = can_trap
         self.next_pc = next_pc
+        self.run_ops = ops if run_ops is None else run_ops
 
 
 class CompiledFunction:
@@ -718,6 +724,155 @@ def _compile_memory_access(instr, name, prefix, suffix, instance, cell, idx) -> 
 # ---------------------------------------------------------------------------
 
 
+#: Environment variable gating superinstruction fusion (default: enabled).
+FUSION_ENV_VAR = "REPRO_WASM_FUSION"
+
+#: comparison suffix -> (python operator, signed?)
+_FUSE_CMP = {
+    "eq": ("==", False),
+    "ne": ("!=", False),
+    "lt_u": ("<", False),
+    "gt_u": (">", False),
+    "le_u": ("<=", False),
+    "ge_u": (">=", False),
+    "lt_s": ("<", True),
+    "gt_s": (">", True),
+    "le_s": ("<=", True),
+    "ge_s": (">=", True),
+}
+
+_FUSE_CMP_FN = {
+    "==": _operator.eq,
+    "!=": _operator.ne,
+    "<": _operator.lt,
+    ">": _operator.gt,
+    "<=": _operator.le,
+    ">=": _operator.ge,
+}
+
+
+def fusion_enabled() -> bool:
+    """Whether predecode superinstruction fusion is on (consulted at
+    function-compile time, so tests can flip it per case)."""
+    value = os.environ.get(FUSION_ENV_VAR)
+    if value is None:
+        return True
+    return value.strip().lower() not in ("0", "off", "false", "no")
+
+
+def _match_superinstruction(members, j):
+    """Try to fuse a run of non-trapping instructions starting at ``j``.
+
+    Returns ``(closure, run_length)`` or ``None``.  Fused closures replicate
+    the exact composed value semantics of the individual legacy closures
+    (masking for wrap-around arithmetic, raw bitwise results, signed
+    comparison views), so per-segment accounting — which is driven by the
+    instruction *names*, not the closures — is unchanged and the
+    differential suite gates every pattern.
+    """
+    n = len(members)
+    if members[j].name != "local.get" or j + 1 >= n:
+        return None
+    i = members[j].args[0]
+    nxt = members[j + 1]
+
+    # local.get i; local.set/tee x  ->  register move
+    if nxt.name == "local.set":
+        def move_local(stack, locals_, i=i, x=nxt.args[0]):
+            locals_[x] = locals_[i]
+        return move_local, 2
+
+    # local.get i; <iNN>.const k; <op> [; local.set x] / [; i32.eqz]
+    if nxt.name in ("i32.const", "i64.const") and j + 2 < n:
+        prefix = nxt.name[:3]
+        bits = 32 if prefix == "i32" else 64
+        mask = (1 << bits) - 1
+        k = nxt.args[0]
+        op = members[j + 2].name
+        if not op.startswith(prefix + "."):
+            return None
+        suffix = op[4:]
+        if suffix in ("add", "sub"):
+            delta = k if suffix == "add" else -k
+            if j + 3 < n and members[j + 3].name == "local.set":
+                def arith_imm_set(stack, locals_, i=i, d=delta, x=members[j + 3].args[0], m=mask):
+                    locals_[x] = (locals_[i] + d) & m
+                return arith_imm_set, 4
+            def arith_imm(stack, locals_, i=i, d=delta, m=mask):
+                stack.append((locals_[i] + d) & m)
+            return arith_imm, 3
+        if suffix == "mul":
+            if j + 3 < n and members[j + 3].name == "local.set":
+                def mul_imm_set(stack, locals_, i=i, k=k, x=members[j + 3].args[0], m=mask):
+                    locals_[x] = (locals_[i] * k) & m
+                return mul_imm_set, 4
+            def mul_imm(stack, locals_, i=i, k=k, m=mask):
+                stack.append((locals_[i] * k) & m)
+            return mul_imm, 3
+        if suffix in ("and", "or", "xor"):
+            # legacy leaves bitwise results unmasked
+            fn = {"and": _operator.and_, "or": _operator.or_, "xor": _operator.xor}[suffix]
+            def bit_imm(stack, locals_, i=i, k=k, fn=fn):
+                stack.append(fn(locals_[i], k))
+            return bit_imm, 3
+        if suffix in _FUSE_CMP:
+            sym, is_signed = _FUSE_CMP[suffix]
+            cmp_fn = _FUSE_CMP_FN[sym]
+            rhs = _signed(k, bits) if is_signed else k
+            # an immediately following eqz folds into an inverted compare
+            inv = j + 3 < n and members[j + 3].name == f"{prefix}.eqz"
+            if is_signed:
+                def cmp_imm_s(stack, locals_, i=i, rhs=rhs, fn=cmp_fn, b=bits, inv=inv):
+                    hit = fn(_signed(locals_[i], b), rhs)
+                    stack.append((0 if hit else 1) if inv else (1 if hit else 0))
+                return cmp_imm_s, 4 if inv else 3
+            def cmp_imm_u(stack, locals_, i=i, rhs=rhs, fn=cmp_fn, inv=inv):
+                hit = fn(locals_[i], rhs)
+                stack.append((0 if hit else 1) if inv else (1 if hit else 0))
+            return cmp_imm_u, 4 if inv else 3
+        return None
+
+    # local.get a; local.get b [; <iNN binop>]  ->  paired push / local binop
+    if nxt.name == "local.get":
+        b = nxt.args[0]
+        if j + 2 < n:
+            op = members[j + 2].name
+            pfx = op[:3]
+            if pfx in ("i32", "i64") and op[4:] in ("add", "sub", "mul"):
+                bits = 32 if pfx == "i32" else 64
+                mask = (1 << bits) - 1
+                fn = {"add": _operator.add, "sub": _operator.sub, "mul": _operator.mul}[op[4:]]
+                if j + 3 < n and members[j + 3].name == "local.set":
+                    def binop_ll_set(stack, locals_, a=i, b=b, fn=fn, x=members[j + 3].args[0], m=mask):
+                        locals_[x] = fn(locals_[a], locals_[b]) & m
+                    return binop_ll_set, 4
+                def binop_ll(stack, locals_, a=i, b=b, fn=fn, m=mask):
+                    stack.append(fn(locals_[a], locals_[b]) & m)
+                return binop_ll, 3
+        def get_get(stack, locals_, a=i, b=b):
+            stack.append(locals_[a])
+            stack.append(locals_[b])
+        return get_get, 2
+    return None
+
+
+def _fuse_segment_ops(members, ops):
+    """Peephole superinstruction pass over one segment's closure tuple."""
+    fused = []
+    j = 0
+    n = len(members)
+    while j < n:
+        match = _match_superinstruction(members, j)
+        if match is not None:
+            closure, length = match
+            fused.append(closure)
+            j += length
+        else:
+            fused.append(ops[j])
+            j += 1
+    return tuple(fused)
+
+
 def compile_function(instance, defined_index: int, cell: list) -> CompiledFunction:
     """Pre-decode one defined function into a flat code array."""
     module = instance.module
@@ -727,6 +882,7 @@ def compile_function(instance, defined_index: int, cell: list) -> CompiledFuncti
     structs = instance._structs[defined_index]
     cost = instance.cost_model
     cycles_of = cost.instruction_cycles if cost is not None else (lambda name: 0.0)
+    fuse = fusion_enabled()
 
     # end index -> owning if's end (for the static `else` jump target)
     else_end: dict[int, int] = {
@@ -747,6 +903,7 @@ def compile_function(instance, defined_index: int, cell: list) -> CompiledFuncti
             ops = tuple(
                 _compile_simple(m, instance, cell, j) for j, m in enumerate(members)
             )
+            run_ops = _fuse_segment_ops(members, ops) if fuse else None
             op_cycles = tuple(cycles_of(m) for m in names)
             visit_delta: dict[str, int] = {}
             for m in names:
@@ -754,7 +911,7 @@ def compile_function(instance, defined_index: int, cell: list) -> CompiledFuncti
             can_trap = any(m in TRAPPING_INSTRUCTIONS for m in names)
             code[start] = (
                 K_SEG,
-                _Segment(ops, names, op_cycles, visit_delta, can_trap, i),
+                _Segment(ops, names, op_cycles, visit_delta, can_trap, i, run_ops),
             )
             continue
 
@@ -877,13 +1034,13 @@ class PredecodedEngine:
                 if seg.can_trap:
                     cell[0] = -1
                     try:
-                        for op in seg.ops:
+                        for op in seg.run_ops:
                             op(stack, locals_)
                     except BaseException:
                         self._unwind_segment(seg, cell[0], cost_on)
                         raise
                 else:
-                    for op in seg.ops:
+                    for op in seg.run_ops:
                         op(stack, locals_)
                 pc = seg.next_pc
                 continue

@@ -1,0 +1,251 @@
+"""Compile-engine specifics: fallback, code cache, and hard accounting edges.
+
+The broad byte-identical contract lives in
+``tests/wasm/test_engine_differential.py`` (full workloads) and
+``tests/wasm/test_limits_edges.py`` (budget/progress boundaries).  This file
+pins the behaviours unique to :mod:`repro.wasm.compile_engine`:
+
+* graceful per-function fallback to the pre-decoded engine for bodies the
+  translator declines (nesting beyond Python's indentation budget,
+  multi-value results), with stats still byte-identical;
+* the process-wide code cache keyed on (module fingerprint, cost
+  signature) — hits, misses, evictions;
+* ``memory.grow`` inside compiled loops, where deferred visit batching must
+  still stamp ``grow_history`` with exact visit totals;
+* budget traps landing on memory instructions mid-segment, exercising the
+  rollback of the deferred load/store counters.
+"""
+
+import pytest
+
+from repro.wasm import compile_engine
+from repro.wasm.compile_engine import (
+    CompiledEngine,
+    clear_code_cache,
+    code_cache_stats,
+)
+from repro.wasm.costmodel import CostModel
+from repro.wasm.interpreter import ENGINES, ExecutionLimits, Instance, Trap
+from repro.wasm.wat_parser import parse_wat
+
+
+def _stats_record(stats) -> dict:
+    return {
+        "visits": stats.visits,
+        "executed": stats.executed,
+        "cycles": stats.cycles,
+        "loads": stats.loads,
+        "stores": stats.stores,
+        "bytes_loaded": stats.bytes_loaded,
+        "bytes_stored": stats.bytes_stored,
+        "calls": stats.calls,
+        "host_calls": stats.host_calls,
+        "grow_history": stats.grow_history,
+    }
+
+
+# Grows memory by one page per iteration from inside a loop, touching the
+# newly grown page each time so load/store accounting rides along.
+GROW_LOOP = """
+(module
+  (memory 1)
+  (func (export "grow_n") (param i32) (result i32)
+    (local i32)
+    (loop $top
+      (drop (memory.grow (i32.const 1)))
+      (i32.store (i32.const 8) (local.get 1))
+      (local.set 1 (i32.add (local.get 1) (i32.const 1)))
+      (br_if $top (i32.lt_u (local.get 1) (local.get 0))))
+    (memory.size)))
+"""
+
+# A tight store/load loop: budget traps land on the memory instructions
+# inside a batched block, forcing the deferred-counter rollback path.
+MEM_LOOP = """
+(module
+  (memory 1)
+  (func (export "churn") (param i32) (result i32)
+    (local i32 i32)
+    (loop $top
+      (i32.store (i32.const 16) (local.get 1))
+      (local.set 2 (i32.add (local.get 2) (i32.load (i32.const 16))))
+      (i64.store (i32.const 32) (i64.extend_i32_u (local.get 2)))
+      (local.set 1 (i32.add (local.get 1) (i32.const 1)))
+      (br_if $top (i32.lt_u (local.get 1) (local.get 0))))
+    (local.get 2)))
+"""
+
+
+def _deeply_nested_wat(depth: int) -> str:
+    """A function body with ``depth`` nested ifs — each conditional adds one
+    level of generated-Python indentation, so past the translator's budget it
+    declines the function and falls back."""
+    body = "(local.set 1 (i32.add (local.get 1) (i32.const 1)))"
+    for _ in range(depth):
+        body = f"(if (i32.lt_u (local.get 1) (local.get 0)) (then {body}))"
+    return f"""
+(module
+  (func (export "deep") (param i32) (result i32)
+    (local i32)
+    (loop $top
+      {body}
+      (br_if $top (i32.lt_u (local.get 1) (local.get 0))))
+    (local.get 1))
+  (func (export "shallow") (result i32) (i32.const 7)))
+"""
+
+
+class TestGrowInCompiledLoops:
+    @pytest.mark.parametrize("pages", [1, 3, 7])
+    def test_grow_history_identical_across_engines(self, pages):
+        records = {}
+        for engine in ENGINES:
+            inst = Instance(parse_wat(GROW_LOOP), engine=engine)
+            assert inst.invoke("grow_n", pages) == 1 + pages
+            records[engine] = _stats_record(inst.stats)
+        assert records["compile"] == records["legacy"]
+        assert records["predecode"] == records["legacy"]
+        assert len(records["compile"]["grow_history"]) == pages
+
+    def test_grow_with_cost_model_identical(self):
+        records = {}
+        for engine in ENGINES:
+            inst = Instance(
+                parse_wat(GROW_LOOP), engine=engine, cost_model=CostModel()
+            )
+            inst.invoke("grow_n", 4)
+            records[engine] = _stats_record(inst.stats)
+        assert records["compile"] == records["legacy"]
+        assert records["predecode"] == records["legacy"]
+
+
+class TestMidSegmentMemoryTrap:
+    @pytest.mark.parametrize("budget", list(range(1, 40)))
+    def test_budget_trap_on_memory_ops_identical(self, budget):
+        """Sweep the trap position across the whole loop body so it lands on
+        every store/load at least once; deferred counters must roll back to
+        the legacy loop's exact prefix."""
+        records = {}
+        for engine in ENGINES:
+            inst = Instance(
+                parse_wat(MEM_LOOP),
+                engine=engine,
+                limits=ExecutionLimits(max_instructions=budget),
+            )
+            with pytest.raises(Trap, match="instruction budget exhausted"):
+                inst.invoke("churn", 1_000_000)
+            records[engine] = _stats_record(inst.stats)
+        assert records["compile"] == records["legacy"]
+        assert records["predecode"] == records["legacy"]
+
+    def test_progress_callback_sees_flushed_memory_stats(self):
+        """At every callback the deferred load/store batches must already be
+        applied — the callback's snapshot is an observation point."""
+        snapshots = {}
+        for engine in ENGINES:
+            seen = []
+            inst = Instance(
+                parse_wat(MEM_LOOP),
+                engine=engine,
+                limits=ExecutionLimits(
+                    progress_interval=5,
+                    progress_callback=lambda s: seen.append(
+                        (s.executed, s.loads, s.stores, s.bytes_stored)
+                    ),
+                ),
+            )
+            inst.invoke("churn", 30)
+            snapshots[engine] = seen
+        assert snapshots["compile"] == snapshots["legacy"]
+        assert snapshots["predecode"] == snapshots["legacy"]
+
+
+class TestFallback:
+    def test_deep_nesting_falls_back_per_function(self):
+        module = parse_wat(_deeply_nested_wat(120))
+        inst = Instance(module, engine="compile")
+        engine = inst._engine
+        assert isinstance(engine, CompiledEngine)
+        assert len(engine.fallback_functions) == 1
+        # the shallow sibling still runs compiled
+        assert len(engine.fallback_functions) < len(module.funcs)
+
+    def test_fallback_function_stats_identical(self):
+        records = {}
+        for engine in ENGINES:
+            inst = Instance(parse_wat(_deeply_nested_wat(120)), engine=engine)
+            assert inst.invoke("deep", 5) == 5
+            assert inst.invoke("shallow") == 7
+            records[engine] = _stats_record(inst.stats)
+        assert records["compile"] == records["legacy"]
+        assert records["predecode"] == records["legacy"]
+
+    def test_fallback_respects_budget(self):
+        inst = Instance(
+            parse_wat(_deeply_nested_wat(120)),
+            engine="compile",
+            limits=ExecutionLimits(max_instructions=50),
+        )
+        with pytest.raises(Trap, match="instruction budget exhausted"):
+            inst.invoke("deep", 1_000_000)
+        assert inst.stats.executed == 51
+
+    def test_shallow_nesting_compiles_everything(self):
+        inst = Instance(parse_wat(_deeply_nested_wat(10)), engine="compile")
+        assert inst._engine.fallback_functions == ()
+        assert inst.invoke("deep", 3) == 3
+
+
+class TestCodeCache:
+    def test_second_instance_hits_the_cache(self):
+        clear_code_cache()
+        module = parse_wat(MEM_LOOP)
+        Instance(module.clone(), engine="compile")
+        after_first = code_cache_stats()
+        assert after_first["misses"] >= 1
+        assert after_first["entries"] >= 1
+        hits_before = after_first["hits"]
+        Instance(module.clone(), engine="compile")
+        after_second = code_cache_stats()
+        assert after_second["hits"] == hits_before + 1
+        assert after_second["misses"] == after_first["misses"]
+
+    def test_cost_model_is_part_of_the_key(self):
+        clear_code_cache()
+        module = parse_wat(MEM_LOOP)
+        Instance(module.clone(), engine="compile")
+        Instance(module.clone(), engine="compile", cost_model=CostModel())
+        stats = code_cache_stats()
+        assert stats["misses"] == 2
+        assert stats["entries"] == 2
+        # same cost signature → hit, not a third entry
+        Instance(module.clone(), engine="compile", cost_model=CostModel())
+        stats = code_cache_stats()
+        assert stats["hits"] == 1
+        assert stats["entries"] == 2
+
+    def test_clear_resets_counters_and_entries(self):
+        module = parse_wat(MEM_LOOP)
+        Instance(module.clone(), engine="compile")
+        clear_code_cache()
+        stats = code_cache_stats()
+        assert stats["entries"] == 0
+        assert stats["hits"] == stats["misses"] == stats["evictions"] == 0
+
+    def test_eviction_counts_when_capacity_overflows(self, monkeypatch):
+        clear_code_cache()
+        monkeypatch.setattr(compile_engine._CODE_CACHE, "capacity", 1)
+        Instance(parse_wat(MEM_LOOP), engine="compile")
+        Instance(parse_wat(GROW_LOOP), engine="compile")
+        stats = code_cache_stats()
+        assert stats["evictions"] >= 1
+        assert stats["entries"] == 1
+        clear_code_cache()
+
+    def test_cached_code_still_executes_correctly(self):
+        clear_code_cache()
+        module = parse_wat(MEM_LOOP)
+        first = Instance(module.clone(), engine="compile")
+        second = Instance(module.clone(), engine="compile")
+        assert first.invoke("churn", 10) == second.invoke("churn", 10)
+        assert _stats_record(first.stats) == _stats_record(second.stats)

@@ -86,47 +86,51 @@ def _run(spec, engine: str, level: str | None = None, cost_model=None):
     return value, instance
 
 
+@pytest.mark.parametrize("engine", ["predecode", "compile"])
 @pytest.mark.parametrize("name", sorted(ALL_WORKLOADS))
-def test_raw_stats_identical(name):
+def test_raw_stats_identical(name, engine):
     spec = ALL_WORKLOADS[name]
     value_legacy, inst_legacy = _run(spec, "legacy")
-    value_pre, inst_pre = _run(spec, "predecode")
-    assert value_pre == value_legacy
-    assert _stats_record(inst_pre.stats) == _stats_record(inst_legacy.stats)
+    value_eng, inst_eng = _run(spec, engine)
+    assert value_eng == value_legacy
+    assert _stats_record(inst_eng.stats) == _stats_record(inst_legacy.stats)
 
 
+@pytest.mark.parametrize("engine", ["predecode", "compile"])
 @pytest.mark.parametrize("level", LEVELS)
 @pytest.mark.parametrize("name", REPRESENTATIVE)
-def test_instrumented_stats_identical(name, level):
-    """Both engines agree on every instrumentation level's injected counters
+def test_instrumented_stats_identical(name, level, engine):
+    """All engines agree on every instrumentation level's injected counters
     *and* on the visit counts of the instrumented module itself."""
     spec = ALL_WORKLOADS[name]
     value_legacy, inst_legacy = _run(spec, "legacy", level=level)
-    value_pre, inst_pre = _run(spec, "predecode", level=level)
-    assert value_pre == value_legacy
-    assert _stats_record(inst_pre.stats) == _stats_record(inst_legacy.stats)
+    value_eng, inst_eng = _run(spec, engine, level=level)
+    assert value_eng == value_legacy
+    assert _stats_record(inst_eng.stats) == _stats_record(inst_legacy.stats)
     # the injected counter (an exported global) must also agree
     counters_legacy = [g.value for g in inst_legacy.globals]
-    counters_pre = [g.value for g in inst_pre.globals]
-    assert counters_pre == counters_legacy
+    counters_eng = [g.value for g in inst_eng.globals]
+    assert counters_eng == counters_legacy
 
 
+@pytest.mark.parametrize("engine", ["predecode", "compile"])
 @pytest.mark.parametrize("name", REPRESENTATIVE)
-def test_cycle_accounting_identical(name):
+def test_cycle_accounting_identical(name, engine):
     """With the (dyadic) cycle table charged, cycles are byte-identical."""
     spec = ALL_WORKLOADS[name]
     _, inst_legacy = _run(spec, "legacy", cost_model=CostModel())
-    _, inst_pre = _run(spec, "predecode", cost_model=CostModel())
-    assert _stats_record(inst_pre.stats) == _stats_record(inst_legacy.stats)
-    assert inst_pre.stats.cycles > 0
+    _, inst_eng = _run(spec, engine, cost_model=CostModel())
+    assert _stats_record(inst_eng.stats) == _stats_record(inst_legacy.stats)
+    assert inst_eng.stats.cycles > 0
 
 
-def test_cache_hierarchy_accounting_agrees():
+@pytest.mark.parametrize("engine", ["predecode", "compile"])
+def test_cache_hierarchy_accounting_agrees(engine):
     """With the full memory hierarchy, per-level hit/miss counts are exact
     and cycle totals agree to float-accumulation tolerance."""
     spec = ALL_WORKLOADS["gemm"]
     _, inst_legacy = _run(spec, "legacy", cost_model=CostModel(hierarchy=MemoryHierarchy()))
-    _, inst_pre = _run(spec, "predecode", cost_model=CostModel(hierarchy=MemoryHierarchy()))
+    _, inst_pre = _run(spec, engine, cost_model=CostModel(hierarchy=MemoryHierarchy()))
     legacy_record = _stats_record(inst_legacy.stats)
     pre_record = _stats_record(inst_pre.stats)
     legacy_cycles = legacy_record.pop("cycles")
@@ -153,11 +157,12 @@ def test_mid_segment_trap_stats_identical():
       (local.get 1)))
     """
     records = {}
-    for engine in ("legacy", "predecode"):
+    for engine in ("legacy", "predecode", "compile"):
         inst = Instance(parse_wat(wat), engine=engine)
         with pytest.raises(Trap, match="divide by zero"):
             inst.invoke("boom", 0)
         records[engine] = _stats_record(inst.stats)
     assert records["predecode"] == records["legacy"]
+    assert records["compile"] == records["legacy"]
     # the instructions after the division were never visited
     assert "i32.mul" not in records["predecode"]["visits"]
