@@ -1,0 +1,198 @@
+"""Warm-start pools vs. cold instantiation, and snapshot round-trip cost.
+
+Per-request setup for an instrumented module is instantiation-dominated:
+the predecode engine translates every function body, the compile engine
+builds its template at ``Instance()`` time.  A warm pool pays that once —
+each subsequent request resets a pooled instance to the captured warm
+image in place.  The acceptance bar: warm per-request setup must be at
+least **5x** cheaper than cold setup (instantiate + bind) on the PolyBench
+kernels, per engine.
+
+Artefacts:
+
+* ``benchmarks/results/snapshot_warm_start.txt`` — human-readable table;
+* ``BENCH_snapshot.json`` (repo root) — machine-readable numbers plus a
+  capped timestamped ``trajectory`` (via :mod:`repro.obs.bench`).
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_snapshot.py -q -s``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+import time
+
+import pytest
+
+from benchmarks.conftest import emit_table, record
+from repro.core.instrumentation_enclave import InstrumentationEnclave
+from repro.obs.bench import append_point
+from repro.service.warmpool import WarmPool
+from repro.wasm.interpreter import ExecutionLimits, Instance
+from repro.wasm.runtime import HostEnvironment, IOChannel
+from repro.wasm.snapshot import (
+    SnapshotCaptured,
+    capture_instance,
+    decode_snapshot,
+    encode_snapshot,
+)
+from repro.workloads import POLYBENCH_KERNELS
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+KERNELS = ["trisolv", "atax", "jacobi-1d"]
+ENGINES = ["predecode", "compile"]
+ROUNDS = 30
+REQUIRED_SPEEDUP = 5.0
+
+
+def _instrumented(name: str):
+    ie = InstrumentationEnclave()
+    result, _evidence = ie.instrument(POLYBENCH_KERNELS[name].compile().clone())
+    return result.module
+
+
+def _cold_setup_s(module, engine: str) -> float:
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        channel = IOChannel()
+        env = HostEnvironment(channel=channel, account_io=True)
+        env.instantiate(module, limits=ExecutionLimits(), engine=engine)
+    return (time.perf_counter() - start) / ROUNDS
+
+
+def _warm_setup_s(module, engine: str) -> float:
+    pool = WarmPool(module=module, engine=engine, max_size=1)
+    pool.release(pool.acquire())  # pay the single build up front
+    start = time.perf_counter()
+    for _ in range(ROUNDS):
+        handle = pool.acquire()
+        pool.release(handle)
+    elapsed = (time.perf_counter() - start) / ROUNDS
+    assert pool.stats()["builds"] == 1
+    return elapsed
+
+
+def _geomean(values: list[float]) -> float:
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@pytest.fixture(scope="module")
+def warm_rows():
+    rows = []
+    results: dict = {}
+    for name in KERNELS:
+        module = _instrumented(name)
+        per_engine = {}
+        for engine in ENGINES:
+            cold_s = _cold_setup_s(module, engine)
+            warm_s = _warm_setup_s(module, engine)
+            speedup = cold_s / warm_s
+            per_engine[engine] = {
+                "cold_setup_us": round(cold_s * 1e6, 2),
+                "warm_setup_us": round(warm_s * 1e6, 2),
+                "speedup": round(speedup, 2),
+            }
+            rows.append(
+                [
+                    name,
+                    engine,
+                    f"{cold_s * 1e6:.1f}",
+                    f"{warm_s * 1e6:.1f}",
+                    f"{speedup:.1f}x",
+                ]
+            )
+        results[name] = per_engine
+
+    # snapshot round-trip cost on a mid-flight suspension, for context
+    spin = _instrumented("trisolv")
+    inst = Instance(spin, limits=ExecutionLimits())
+    spec = POLYBENCH_KERNELS["trisolv"]
+    for fn, args in spec.setup:
+        inst.invoke(fn, *args)
+    inst.limits = ExecutionLimits(snapshot_at=inst.stats.executed + 2000)
+    snapshot_bytes = None
+    try:
+        inst.invoke(spec.run[0], *spec.run[1])
+    except SnapshotCaptured as exc:
+        start = time.perf_counter()
+        for _ in range(ROUNDS):
+            blob = encode_snapshot(exc.snapshot)
+            decode_snapshot(blob)
+        roundtrip_s = (time.perf_counter() - start) / ROUNDS
+        snapshot_bytes = len(encode_snapshot(exc.snapshot))
+        results["snapshot_roundtrip"] = {
+            "bytes": snapshot_bytes,
+            "encode_decode_us": round(roundtrip_s * 1e6, 2),
+        }
+
+    speedups = [
+        results[name][engine]["speedup"] for name in KERNELS for engine in ENGINES
+    ]
+    summary = {
+        "kernels": results,
+        "geomean_speedup": round(_geomean(speedups), 2),
+        "min_speedup": round(min(speedups), 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+        "rounds": ROUNDS,
+    }
+
+    path = REPO_ROOT / "BENCH_snapshot.json"
+    doc: dict = {}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError:
+            doc = {}
+    doc.update(summary)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    append_point(
+        str(path),
+        {
+            "ts_s": time.time(),
+            "geomean_speedup": summary["geomean_speedup"],
+            "min_speedup": summary["min_speedup"],
+            "snapshot_bytes": snapshot_bytes,
+        },
+    )
+    return rows, summary
+
+
+def test_warm_start_table(warm_rows, benchmark):
+    rows, _summary = warm_rows
+    emit_table(
+        "snapshot_warm_start",
+        "Warm-pool request setup vs. cold instantiation (microseconds)",
+        ["kernel", "engine", "cold us", "warm us", "speedup"],
+        rows,
+    )
+    record(benchmark)
+
+
+def test_warm_start_at_least_5x(warm_rows, benchmark):
+    """The warm-pool acceptance bar: >= 5x cheaper setup, every cell."""
+    _rows, summary = warm_rows
+    assert summary["min_speedup"] >= REQUIRED_SPEEDUP, (
+        f"warm-start speedup below bar: {summary}"
+    )
+    record(benchmark)
+
+
+def test_warm_clone_runs_match_cold_runs(warm_rows, benchmark):
+    """A pooled instance must compute exactly what a cold one does."""
+    module = _instrumented("trisolv")
+    spec = POLYBENCH_KERNELS["trisolv"]
+    pool = WarmPool(module=module, max_size=1)
+
+    def run(instance) -> tuple:
+        for fn, args in spec.setup:
+            instance.invoke(fn, *args)
+        value = instance.invoke(spec.run[0], *spec.run[1])
+        return value, instance.stats.executed
+
+    cold = Instance(module, limits=ExecutionLimits())
+    handle = pool.acquire()
+    assert run(handle.instance) == run(cold)
+    record(benchmark)

@@ -4,6 +4,8 @@ Usage (also via ``python -m repro``)::
 
     repro instrument module.wat --level loop-based -o instrumented.wat
     repro run module.wat --invoke fib --args 20
+    repro snapshot module.wat --invoke fib --args 30 --at 100000 --out fib.snap
+    repro resume fib.snap module.wat --engine compile
     repro meter module.wat --invoke kernel --deployments
     repro sandbox module.mc --invoke work --args 5
     repro serve --workers 4 --requests 60
@@ -47,7 +49,7 @@ from repro.instrument import instrument_module
 from repro.instrument.weights import UNIT_WEIGHTS, cycle_weight_table
 from repro.perf.model import Deployment, PerformanceModel, WorkloadRun
 from repro.wasm.binary import encode_module
-from repro.wasm.interpreter import ENGINES, Instance
+from repro.wasm.interpreter import ENGINES, ExecutionLimits, Instance
 from repro.wasm.validate import validate
 from repro.wasm.wat_parser import parse_wat
 from repro.wasm.wat_printer import print_wat
@@ -139,6 +141,74 @@ def cmd_run(args: argparse.Namespace) -> int:
             print(f"  {name:<20} {count}")
     if prof is not None:
         _emit_profile(prof, args)
+    return 0
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Run an export, suspending into a portable snapshot file."""
+    from repro.wasm.snapshot import SnapshotCaptured, encode_snapshot
+
+    module = _load_module(args.module)
+    instance = Instance(
+        module,
+        engine=args.engine,
+        limits=ExecutionLimits(snapshot_at=args.at),
+    )
+    try:
+        value = instance.invoke(args.invoke, *_parse_args_list(args.args))
+    except SnapshotCaptured as exc:
+        snap = exc.snapshot
+        blob = encode_snapshot(snap)
+        pathlib.Path(args.out).write_bytes(blob)
+        print(
+            f"captured at {snap.executed} executed instructions "
+            f"({len(snap.frames)} frame(s), {len(blob)} bytes) -> {args.out}"
+        )
+        print(f"snapshot hash: {snap.hash().hex()}")
+        print(f"resume with: repro resume {args.out} {args.module}")
+        return 0
+    print(f"run finished before instruction {args.at}: result {value}")
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Resume a snapshot file under any engine; optionally re-snapshot."""
+    from repro.wasm.snapshot import (
+        SnapshotCaptured,
+        decode_snapshot,
+        encode_snapshot,
+        restore_instance,
+        resume_invoke,
+    )
+
+    snap = decode_snapshot(pathlib.Path(args.snapshot).read_bytes())
+    module = _load_module(args.module)
+    limits = ExecutionLimits(
+        snapshot_at=snap.executed + args.at if args.at is not None else None
+    )
+    instance = restore_instance(snap, module, engine=args.engine, limits=limits)
+    print(
+        f"resuming at {snap.executed} executed instructions "
+        f"({len(snap.frames)} frame(s), engine snapshotted under "
+        f"{snap.engine or 'default'})"
+    )
+    try:
+        value = resume_invoke(instance, snap)
+    except SnapshotCaptured as exc:
+        out = args.out or args.snapshot
+        blob = encode_snapshot(exc.snapshot)
+        pathlib.Path(out).write_bytes(blob)
+        print(
+            f"re-captured at {exc.snapshot.executed} executed instructions "
+            f"({len(blob)} bytes) -> {out}"
+        )
+        return 0
+    stats = instance.stats
+    print(f"result: {value}")
+    print(f"instructions executed: {stats.total_visits}")
+    print(f"loads/stores: {stats.loads}/{stats.stores}")
+    if instance.memory is not None:
+        print(f"linear memory: {instance.memory.pages} pages")
     return 0
 
 
@@ -271,6 +341,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     worker_counts = tuple(int(w) for w in args.workers.split(","))
     kernels = tuple(args.kernels.split(",")) if args.kernels else ()
     backends = ("wasm", "modeled") if args.backend == "both" else (args.backend,)
+    if args.preempt or args.warm:
+        # preemption/warm pools execute for real; the modeled backend cannot
+        backends = tuple(b for b in backends if b != "modeled") or ("wasm",)
     registry = None
     if args.metrics_out:
         from repro.obs import enable_metrics, get_registry
@@ -303,6 +376,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             events_out=events_out,
             slo_rules=args.slo,
             validate_results=not args.no_validate,
+            preempt_after=args.preempt or None,
+            warm_pool=args.warm,
         )
         sweeps[backend] = result
         for point in result["sweep"]:
@@ -319,6 +394,14 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             if point["quota_rejection"]:
                 print(f"         over-quota probe rejected: "
                       f"[{point['quota_rejection']['code']}]")
+            if "preemption" in point:
+                pre = point["preemption"]
+                detail = f"every {pre['preempt_after']} instructions" \
+                    if pre["preempt_after"] else "off"
+                if pre["warm_pool"]:
+                    detail += ", warm pool"
+                print(f"         preemption: {pre['preemptions']} slices "
+                      f"({detail})")
             if chaos:
                 faults = point["faults"]
                 billing = point["billing"]
@@ -421,7 +504,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
-def _render_top_frame(agg, engine, log, window_s: float, plain: bool) -> None:
+def _render_top_frame(
+    agg, engine, log, window_s: float, plain: bool, failures: dict | None = None
+) -> None:
     snapshot = agg.snapshot(window_s)
     stats = log.stats()
     lines = []
@@ -435,6 +520,15 @@ def _render_top_frame(agg, engine, log, window_s: float, plain: bool) -> None:
         f"p50 {latency['p50'] * 1000:7.1f}ms  p95 {latency['p95'] * 1000:7.1f}ms  "
         f"p99 {latency['p99'] * 1000:7.1f}ms"
     )
+    if failures is not None:
+        total = sum(failures.values())
+        if total:
+            detail = "  ".join(
+                f"{code}={count}" for code, count in sorted(failures.items())
+            )
+            lines.append(f"  failures: {total} ({detail})")
+        else:
+            lines.append("  failures: none")
     lines.append("  events in window:")
     for key, count in snapshot["counts"].items():
         lines.append(f"    {key:<40} {count:>8}")
@@ -473,6 +567,15 @@ def cmd_top(args: argparse.Namespace) -> int:
     kernels = tuple(args.kernels.split(",")) if args.kernels else ()
     mix = polybench_tenant_mix(kernels)
     stop = threading.Event()
+    # submit failures must not vanish: the driver counts them by failure
+    # code and the dashboard surfaces the tally every frame
+    failures: dict[str, int] = {}
+    failures_lock = threading.Lock()
+
+    def note_failure(exc: BaseException) -> None:
+        code = getattr(exc, "code", None) or type(exc).__name__
+        with failures_lock:
+            failures[code] = failures.get(code, 0) + 1
 
     def drive() -> None:
         backend = None
@@ -492,19 +595,22 @@ def cmd_top(args: argparse.Namespace) -> int:
             i = 0
             while not stop.is_set():
                 tenant_id, _module, (export, fn_args) = mix[i % len(mix)]
-                outstanding.append(gw.submit(tenant_id, export, *fn_args))
+                try:
+                    outstanding.append(gw.submit(tenant_id, export, *fn_args))
+                except Exception as exc:  # over quota, unknown tenant, ...
+                    note_failure(exc)
                 i += 1
                 while len(outstanding) >= max(2, args.workers * 4):
                     done = outstanding.pop(0)
                     try:
                         done.result()
-                    except Exception:
-                        pass
+                    except Exception as exc:
+                        note_failure(exc)
             for future in outstanding:
                 try:
                     future.result(timeout=30)
-                except Exception:
-                    pass
+                except Exception as exc:
+                    note_failure(exc)
             gw.seal_epoch()
             gw.verify_epoch()
 
@@ -516,14 +622,22 @@ def cmd_top(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
             if engine is not None:
                 engine.evaluate(agg)
-            _render_top_frame(agg, engine, log, args.window, args.plain)
+            with failures_lock:
+                frame_failures = dict(failures)
+            _render_top_frame(
+                agg, engine, log, args.window, args.plain, failures=frame_failures
+            )
     finally:
         stop.set()
         driver.join(timeout=60)
         disable_events()
     if engine is not None:
         engine.evaluate(agg)
-    _render_top_frame(agg, engine, log, args.window, plain=True)
+    with failures_lock:
+        frame_failures = dict(failures)
+    _render_top_frame(
+        agg, engine, log, args.window, plain=True, failures=frame_failures
+    )
     if args.events_out:
         meta = log.write_jsonl(args.events_out)
         print(f"{meta['buffered']} events written to {args.events_out}")
@@ -677,6 +791,32 @@ def build_parser() -> argparse.ArgumentParser:
     _add_profile_args(p)
     p.set_defaults(fn=cmd_run)
 
+    p = sub.add_parser("snapshot",
+                       help="run an export, suspend into a snapshot file")
+    p.add_argument("module", help="a .wat file (or .mc MiniC source)")
+    p.add_argument("--invoke", required=True)
+    p.add_argument("--args", nargs="*", default=[])
+    p.add_argument("--at", type=int, required=True,
+                   help="suspend at the first observation point at or after "
+                        "this many executed instructions")
+    p.add_argument("--out", default="repro.snap", help="snapshot output path")
+    p.add_argument("--engine", choices=ENGINES, default=None)
+    p.set_defaults(fn=cmd_snapshot)
+
+    p = sub.add_parser("resume",
+                       help="resume a snapshot file under any engine")
+    p.add_argument("snapshot", help="file written by 'repro snapshot'")
+    p.add_argument("module", help="the same module the snapshot was taken from")
+    p.add_argument("--at", type=int, default=None,
+                   help="re-suspend after this many further executed "
+                        "instructions (chained snapshots)")
+    p.add_argument("--out", default=None,
+                   help="re-captured snapshot path (default: overwrite input)")
+    p.add_argument("--engine", choices=ENGINES, default=None,
+                   help="engine to resume under — need not match the one "
+                        "the snapshot was captured under")
+    p.set_defaults(fn=cmd_resume)
+
     p = sub.add_parser("meter", help="price a run across the deployment ladder")
     p.add_argument("module")
     p.add_argument("--invoke", required=True)
@@ -759,6 +899,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--bench-append", default=None, metavar="BENCH_JSON",
                    help="append a timestamped distilled perf point to the "
                         "'trajectory' list inside this bench JSON file")
+    p.add_argument("--preempt", type=int, default=0, metavar="N",
+                   help="preempt every request after N executed instructions "
+                        "per slice, checkpoint-bill and re-dispatch the "
+                        "snapshot (implies --backend wasm)")
+    p.add_argument("--warm", action="store_true",
+                   help="serve requests from per-worker warm pools instead "
+                        "of instantiating per request (implies --backend wasm)")
     p.set_defaults(fn=cmd_loadtest)
 
     p = sub.add_parser("top",

@@ -27,7 +27,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.core.accounting_enclave import AccountingEnclave, WorkloadResult
+from repro.core.accounting_enclave import (
+    AccountingEnclave,
+    WorkloadCheckpoint,
+    WorkloadResult,
+)
 from repro.core.cache import InstrumentationCache
 from repro.core.instrumentation_enclave import InstrumentationEnclave, InstrumentationEvidence
 from repro.core.policy import MemoryPolicy, PricingPolicy
@@ -74,6 +78,23 @@ class Workload:
 
     def invoke(self, export: str, *args, input_data: bytes = b"", label: str = "") -> WorkloadResult:
         return self.sandbox.ae.invoke(export, *args, input_data=input_data, label=label)
+
+    def snapshot(
+        self, export: str, *args, snapshot_at: int, input_data: bytes = b"", label: str = ""
+    ) -> WorkloadResult | WorkloadCheckpoint:
+        """Invoke, suspending at the first observation point >= ``snapshot_at``.
+
+        Returns a :class:`WorkloadCheckpoint` (consumed resources already
+        checkpoint-billed into the log) if the run was captured, or a plain
+        :class:`WorkloadResult` if it finished first.
+        """
+        return self.sandbox.ae.invoke(
+            export,
+            *args,
+            input_data=input_data,
+            label=label,
+            snapshot_at=snapshot_at,
+        )
 
 
 class TwoWaySandbox:
@@ -181,6 +202,27 @@ class TwoWaySandbox:
         from repro.minic import compile_source
 
         return self.submit_module(compile_source(source))
+
+    # -- snapshot / resume --------------------------------------------------------------
+
+    def snapshot(
+        self,
+        export: str,
+        *args,
+        snapshot_at: int,
+        input_data: bytes = b"",
+        label: str = "",
+    ) -> WorkloadResult | WorkloadCheckpoint:
+        """Run the loaded workload, suspending at ``snapshot_at`` (see AE docs)."""
+        return self.ae.invoke(
+            export, *args, input_data=input_data, label=label, snapshot_at=snapshot_at
+        )
+
+    def resume(
+        self, checkpoint: WorkloadCheckpoint, snapshot_at: int | None = None
+    ) -> WorkloadResult | WorkloadCheckpoint:
+        """Resume a checkpointed workload (possibly under a different engine)."""
+        return self.ae.resume(checkpoint, snapshot_at=snapshot_at)
 
     # -- accounting ---------------------------------------------------------------------
 

@@ -143,6 +143,30 @@ SANDBOX_IO_BYTES = REGISTRY.counter(
     "Bytes crossing the module boundary via accounted I/O, by direction.",
 )
 
+# -- snapshot / warm pools / preemption ----------------------------------------
+
+SNAPSHOTS_TAKEN = REGISTRY.counter(
+    "acctee_snapshots_taken",
+    "Execution-state snapshots captured, by kind (warm image vs suspend).",
+)
+SNAPSHOT_BYTES = REGISTRY.histogram(
+    "acctee_snapshot_bytes",
+    "Encoded snapshot size on the wire (RWSN blob).",
+    buckets=BYTES_BUCKETS,
+)
+WARM_POOL_HITS = REGISTRY.counter(
+    "acctee_warm_pool_hits",
+    "Requests served from a warm-pool instance (setup cost skipped).",
+)
+RESUMES_TOTAL = REGISTRY.counter(
+    "acctee_resumes_total",
+    "Suspended call stacks resumed from a snapshot.",
+)
+CHECKPOINT_RECEIPTS = REGISTRY.counter(
+    "acctee_checkpoint_receipts",
+    "Incremental (non-final) checkpoint receipts signed by an AE, by tenant.",
+)
+
 # -- the name contract ---------------------------------------------------------
 
 CONTRACT_PATH = pathlib.Path(__file__).with_name("metric_names.txt")

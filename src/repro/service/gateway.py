@@ -124,6 +124,12 @@ class _RequestState:
     lock: threading.Lock = field(default_factory=threading.Lock)
     finalized: bool = False
     watchdog: threading.Timer | None = None
+    #: preemption bookkeeping: checkpoint receipts signed so far, and the
+    #: (counter, io_in, io_out) totals they billed — the final receipt
+    #: bills only the delta past this baseline (both mutated under the
+    #: tenant lock, alongside the checkpoint signing they describe)
+    checkpoints: int = 0
+    billed: tuple = (0, 0, 0)
 
     def claim(self) -> bool:
         with self.lock:
@@ -160,8 +166,19 @@ class MeteringGateway:
         cache_entries: int | None = 256,
         resilience: ResiliencePolicy | None = None,
         fault_plan: FaultPlan | None = None,
+        preempt_after: int | None = None,
+        warm_pool: bool = False,
     ):
         self.config = config or SandboxConfig()
+        #: Budget-boundary preemption: when set, every dispatched slice
+        #: suspends after this many further executed instructions; the
+        #: gateway signs a checkpoint receipt for the consumed delta and
+        #: re-dispatches the snapshot (possibly onto another worker).
+        self.preempt_after = preempt_after
+        #: Serve requests from per-worker warm pools (instantiate once,
+        #: reset a pooled instance per request) instead of instantiating
+        #: per request.
+        self.warm_pool = warm_pool
         #: Process-unique telemetry identity: every event this gateway (and
         #: its ledger) emits is stamped ``gateway=<id>``, so a shared event
         #: log can be sliced per gateway — e.g. one drift audit per sweep
@@ -179,6 +196,7 @@ class MeteringGateway:
         self._retries = 0
         self._deadline_exceeded = 0
         self._results_rejected = 0
+        self._preemptions = 0
         self._faults_injected: dict[str, int] = {}
         self.platform = SGXPlatform(platform_id="gateway-0")
         self.attestation_service = AttestationService()
@@ -341,6 +359,8 @@ class MeteringGateway:
             input_data=input_data,
             engine=self.config.engine,
             max_instructions=self.config.max_instructions,
+            snapshot_at=self.preempt_after,
+            warm=self.warm_pool,
         )
         if self.fault_plan is not None:
             fault = self.fault_plan.fault_for(request_id)
@@ -399,7 +419,11 @@ class MeteringGateway:
     ) -> None:
         exc = done.exception()
         if exc is None:
-            self._account(state, done.result())
+            worker_result = done.result()
+            if worker_result.snapshot is not None:
+                self._checkpoint_and_resume(state, task, worker_result)
+            else:
+                self._account(state, worker_result)
         else:
             self._task_failed(state, task, attempt, exc)
 
@@ -444,6 +468,79 @@ class MeteringGateway:
             )
         self._finalize_failure(state, exc)
 
+    def _checkpoint_and_resume(
+        self, state: _RequestState, task: ExecutionTask, worker_result: WorkerResult
+    ) -> None:
+        """Bill a preempted slice with a checkpoint receipt and re-dispatch.
+
+        The worker suspended at the slice budget and shipped a snapshot back.
+        The tenant's AE signs a checkpoint receipt for the *delta* consumed
+        since the last checkpoint (so the sum of a request's receipts equals
+        the uninterrupted vector componentwise) under a derived request id
+        ``<id>#cpN`` — the ledger's exactly-once layer still dedups each
+        checkpoint individually, and the final receipt keeps the bare id.
+        The snapshot then re-enters the dispatch path as a fresh attempt,
+        free to land on any worker.
+        """
+        tenant = state.tenant
+        problems = (
+            validate_raw(worker_result.raw, self.config.max_instructions)
+            if self.resilience.validate_results
+            else []
+        )
+        if problems:
+            GATEWAY_RESULTS_REJECTED.inc(tenant=tenant.tenant_id)
+            with self._resilience_lock:
+                self._results_rejected += 1
+            self._finalize_failure(
+                state, ResultRejected("implausible meter readings: " + "; ".join(problems))
+            )
+            return
+        with state.lock:
+            if state.finalized:
+                # the deadline watchdog already settled this request: abandon
+                # the snapshot; prior checkpoint receipts stay sealed (the
+                # work they bill was really consumed)
+                return
+        try:
+            with tenant.lock:
+                tenant.ae.account_span(
+                    worker_result.raw,
+                    label=state.label,
+                    baseline=state.billed,
+                    final=False,
+                )
+                self.ledger.record(
+                    tenant.tenant_id,
+                    tenant.ae.log.entries[-1],
+                    request_id=f"{state.request_id}#cp{state.checkpoints + 1}",
+                )
+                state.checkpoints += 1
+                state.billed = (
+                    worker_result.raw.counter_value,
+                    worker_result.raw.io_bytes_in,
+                    worker_result.raw.io_bytes_out,
+                )
+        except BaseException as exc:  # noqa: BLE001 - relayed to the caller
+            self._finalize_failure(state, exc)
+            return
+        with self._resilience_lock:
+            self._preemptions += 1
+        emit_event(
+            "checkpoint",
+            gateway=self.gateway_id,
+            tenant=tenant.tenant_id,
+            request_id=state.request_id,
+            checkpoint=state.checkpoints,
+            snapshot_bytes=len(worker_result.snapshot),
+        )
+        state.span.set_attribute("checkpoints", state.checkpoints)
+        # the resumed slice carries the snapshot; never re-inject the fault
+        resumed = replace(
+            task, snapshot=worker_result.snapshot, fault=None, fault_arg=0.0
+        )
+        self._dispatch(state, resumed, attempt=0)
+
     def _account(self, state: _RequestState, worker_result: WorkerResult) -> None:
         tenant = state.tenant
         problems = (
@@ -467,7 +564,17 @@ class MeteringGateway:
                 "gateway.account", parent=state.span, tenant=tenant.tenant_id
             ):
                 with tenant.lock:
-                    result = tenant.ae.account(worker_result.raw, label=state.label)
+                    if state.checkpoints:
+                        # preempted request: the final receipt bills only the
+                        # delta past the checkpoints already sealed
+                        result = tenant.ae.account_span(
+                            worker_result.raw,
+                            label=state.label,
+                            baseline=state.billed,
+                            final=True,
+                        )
+                    else:
+                        result = tenant.ae.account(worker_result.raw, label=state.label)
                     receipt = self.ledger.record(
                         tenant.tenant_id,
                         tenant.ae.log.entries[-1],
@@ -476,7 +583,12 @@ class MeteringGateway:
         except BaseException as exc:  # noqa: BLE001 - relayed to the caller
             self._fail_finalized(state, exc)
             return
-        self.admission.settle(tenant.tenant_id, result.vector.weighted_instructions)
+        # settle the slot for the request's full consumption: the final
+        # receipt's delta plus everything the checkpoint receipts billed
+        self.admission.settle(
+            tenant.tenant_id,
+            result.vector.weighted_instructions + state.billed[0],
+        )
         state.cancel_watchdog()
         latency_s = time.perf_counter() - state.submitted
         GATEWAY_REQUESTS.inc(tenant=tenant.tenant_id, outcome="ok")
@@ -548,6 +660,7 @@ class MeteringGateway:
                 "retries": self._retries,
                 "deadline_exceeded": self._deadline_exceeded,
                 "results_rejected": self._results_rejected,
+                "preemptions": self._preemptions,
                 "faults_injected": dict(self._faults_injected),
             }
         pool = getattr(self.backend, "pool", None)
@@ -717,6 +830,8 @@ def run_loadtest(
     slo_rules: str | None = None,
     validate_results: bool = True,
     pipeline: bool | None = None,
+    preempt_after: int | None = None,
+    warm_pool: bool = False,
 ) -> dict:
     """Drive the gateway at each worker count and report wall-clock numbers.
 
@@ -760,7 +875,21 @@ def run_loadtest(
     instead report the failure-containment invariants: the epoch still
     audits clean, and billing is exactly-once — receipt count == distinct
     billed request ids == successful responses.
+
+    ``preempt_after`` turns on budget-boundary preemption: every request is
+    suspended after that many executed instructions per slice, checkpoint-
+    billed, and re-dispatched from its snapshot.  Aggregate billing must be
+    unaffected — the serial-equivalence gate stays on, comparing the *sum*
+    of each request's receipts.  ``warm_pool`` serves requests from the
+    workers' per-module warm pools instead of instantiating per request.
+    Both require the real ``wasm`` backend (the modeled backend never
+    executes, so it can neither suspend nor clone).
     """
+    if backend == "modeled" and (preempt_after is not None or warm_pool):
+        raise ValueError(
+            "preemption and warm pools need backend='wasm': the modeled "
+            "backend does not execute requests"
+        )
     mix = polybench_tenant_mix(kernels)
     schedule = _request_schedule(mix, requests)
     plan: FaultPlan | None = None
@@ -814,6 +943,8 @@ def run_loadtest(
                 probe_spec=probe_spec,
                 verify_serial=verify_serial,
                 event_log=event_log,
+                preempt_after=preempt_after,
+                warm_pool=warm_pool,
             )
             for workers in worker_counts
         )
@@ -833,6 +964,10 @@ def run_loadtest(
         "cores_available": _cores_available(),
         "sweep": sweep,
     }
+    if preempt_after is not None:
+        result["preempt_after"] = preempt_after
+    if warm_pool:
+        result["warm_pool"] = True
     if plan is not None:
         result["fault_plan"] = plan.describe()
         result["deadline_s"] = deadline_s
@@ -879,6 +1014,8 @@ def _run_sweep_point(
     probe_spec,
     verify_serial: bool,
     event_log: "EventLog | None",
+    preempt_after: int | None = None,
+    warm_pool: bool = False,
 ) -> dict:
     """One worker-count sweep point of :func:`run_loadtest`."""
     config = SandboxConfig(engine=engine)
@@ -899,6 +1036,8 @@ def _run_sweep_point(
         backend=gw_backend,
         resilience=policy,
         fault_plan=plan,
+        preempt_after=preempt_after,
+        warm_pool=warm_pool,
     ) as gw:
         for tenant_id, module, _run in mix:
             gw.register_tenant(tenant_id, module=module.clone())
@@ -955,18 +1094,34 @@ def _run_sweep_point(
             "quota_rejection": rejection,
             "cache": gw.cache.stats(),
         }
+        if preempt_after is not None or warm_pool:
+            point["preemption"] = {
+                "preempt_after": preempt_after,
+                "warm_pool": warm_pool,
+                "preemptions": gw.resilience_stats()["preemptions"],
+            }
         if plan is not None:
-            receipts_total = sum(
-                len(gw.ledger.receipts(tenant_id))
+            all_receipts = [
+                receipt
                 for tenant_id, _module, _run in mix
+                for receipt in gw.ledger.receipts(tenant_id)
+            ]
+            # checkpoint receipts bill under derived ids ("<id>#cpN"); each
+            # request still gets exactly one *final* receipt under its bare id
+            final_receipts = sum(
+                1 for receipt in all_receipts if isinstance(receipt.request_id, int)
             )
             billed = gw.ledger.billed_requests()
             point["faults"] = dict(gw.resilience_stats(), failures=failures)
             point["billing"] = {
-                "receipts": receipts_total,
+                "receipts": len(all_receipts),
+                "final_receipts": final_receipts,
                 "distinct_requests_billed": billed,
                 "ok_responses": len(responses),
-                "exactly_once": receipts_total == billed == len(responses),
+                "exactly_once": (
+                    len(all_receipts) == billed
+                    and final_receipts == len(responses)
+                ),
             }
         if event_log is not None:
             from repro.obs.audit import audit_billing

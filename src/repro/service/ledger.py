@@ -48,11 +48,14 @@ class Receipt:
     ``request_id`` ties the receipt to the gateway request it bills
     (retries reuse the id, so at most one receipt ever carries it);
     ``None`` for receipts recorded outside a gateway request path.
+    Checkpoint receipts for a preempted request bill under the derived
+    string id ``"<id>#cpN"`` — the bare integer id stays reserved for the
+    request's single final receipt.
     """
 
     tenant_id: str
     entry: LogEntry
-    request_id: int | None = None
+    request_id: int | str | None = None
 
 
 @dataclass(frozen=True)
@@ -133,7 +136,7 @@ class BillingLedger:
         self._receipts: dict[str, list[Receipt]] = {}
         self._ae_keys: dict[str, RSAPublicKey] = {}
         self._sealed_upto: dict[str, int] = {}  # sequence already in an epoch
-        self._billed_requests: dict[str, set[int]] = {}  # request ids receipted
+        self._billed_requests: dict[str, set[int | str]] = {}  # request ids receipted
         self.seals: list[EpochSeal] = []
 
     @property
@@ -148,7 +151,7 @@ class BillingLedger:
             self._billed_requests.setdefault(tenant_id, set())
 
     def record(
-        self, tenant_id: str, entry: LogEntry, request_id: int | None = None
+        self, tenant_id: str, entry: LogEntry, request_id: int | str | None = None
     ) -> Receipt:
         """Append one signed receipt to a tenant's chain (arrival order).
 

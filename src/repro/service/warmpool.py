@@ -1,0 +1,128 @@
+"""Warm-start pools: instantiate + instrument once, snapshot, clone per request.
+
+Per-request setup cost for an instrumented module is dominated by
+instantiation — the predecode engine translates every function body at
+``Instance()`` time, the compile engine parses and wires its template.  A
+:class:`WarmPool` pays that cost once per pooled slot: it builds a template
+instance, captures its pristine post-instantiation state as a warm-image
+:class:`~repro.wasm.snapshot.Snapshot` (frames empty), and serves each
+request by resetting a pooled live instance back to that image with
+:func:`~repro.wasm.snapshot.apply_state` — an in-place memory/globals/
+stats overwrite that is orders of magnitude cheaper than instantiating.
+Requests then run at full engine speed; nothing about the warm path touches
+the capture interpreter.
+
+When constructed with an :class:`~repro.core.cache.InstrumentationCache`
+and a *source* (uninstrumented) module, every slot build fetches the
+instrumented module through the cache, so clone storms across pools and
+threads share one IE pass and the cache's hit/miss/eviction counters stay
+meaningful.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.obs.instruments import WARM_POOL_HITS
+from repro.wasm.interpreter import ExecutionLimits, Instance
+from repro.wasm.module import Module
+from repro.wasm.runtime import HostEnvironment, IOAccount, IOChannel
+from repro.wasm.snapshot import Snapshot, apply_state, capture_instance
+
+
+@dataclass
+class WarmHandle:
+    """One pooled live instance, leased to exactly one request at a time."""
+
+    instance: Instance
+    env: HostEnvironment
+    channel: IOChannel
+
+
+@dataclass
+class WarmPool:
+    """A bounded pool of pre-instantiated instances of one module.
+
+    Exactly one of ``module`` or (``cache`` + ``source``) must be provided:
+    with a cache, each slot build runs the source module through it and
+    instantiates the (shared, cached) instrumented result.
+    """
+
+    module: Module | None = None
+    source: Module | None = None
+    cache: object | None = None  # InstrumentationCache, kept untyped to avoid a cycle
+    engine: str | None = None
+    cost_model: object | None = None
+    max_size: int = 4
+    hits: int = 0
+    builds: int = 0
+    _idle: list[WarmHandle] = field(default_factory=list)
+    _image: Snapshot | None = None
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+
+    def __post_init__(self) -> None:
+        if self.module is None and (self.cache is None or self.source is None):
+            raise ValueError("WarmPool needs a module, or a cache plus a source module")
+        if self.max_size < 1:
+            raise ValueError("max_size must be >= 1")
+
+    # -- building ----------------------------------------------------------------
+
+    def _fetch_module(self) -> Module:
+        if self.cache is not None and self.source is not None:
+            instrumented, _evidence, _counter = self.cache.instrument(self.source)
+            return instrumented
+        return self.module
+
+    def _build(self) -> WarmHandle:
+        channel = IOChannel()
+        env = HostEnvironment(channel=channel, account_io=True)
+        instance = env.instantiate(
+            self._fetch_module(),
+            limits=ExecutionLimits(),
+            cost_model=self.cost_model,
+            engine=self.engine,
+        )
+        with self._lock:
+            self.builds += 1
+            if self._image is None:
+                # the pristine post-instantiation state (start function
+                # included) — every acquire resets a pooled instance to this
+                self._image = capture_instance(instance)
+        return WarmHandle(instance=instance, env=env, channel=channel)
+
+    # -- leasing -----------------------------------------------------------------
+
+    def acquire(
+        self, input_data: bytes = b"", limits: ExecutionLimits | None = None
+    ) -> WarmHandle:
+        """Lease an instance reset to the warm image, ready to invoke."""
+        with self._lock:
+            handle = self._idle.pop() if self._idle else None
+        if handle is None:
+            handle = self._build()
+        else:
+            with self._lock:
+                self.hits += 1
+            WARM_POOL_HITS.inc()
+        apply_state(handle.instance, self._image)
+        handle.channel.reset(input_data)
+        handle.env.account = IOAccount()
+        handle.instance.limits = limits or ExecutionLimits()
+        return handle
+
+    def release(self, handle: WarmHandle) -> None:
+        """Return a leased instance; surplus handles beyond ``max_size`` drop."""
+        with self._lock:
+            if len(self._idle) < self.max_size:
+                self._idle.append(handle)
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "builds": self.builds,
+                "idle": len(self._idle),
+                "max_size": self.max_size,
+            }

@@ -53,10 +53,19 @@ from repro.obs.instruments import (
     POOL_UTILISATION,
 )
 from repro.service.faults import WorkerCrashed, corrupt_raw, perform_pre_fault
+from repro.service.warmpool import WarmPool
 from repro.wasm.binary import decode_module
-from repro.wasm.interpreter import ExecutionLimits, Trap
+from repro.wasm.interpreter import ExecutionLimits, SnapshotCaptured, Trap
 from repro.wasm.module import Module
 from repro.wasm.runtime import HostEnvironment, IOChannel
+from repro.wasm.snapshot import (
+    IOState,
+    decode_snapshot,
+    encode_snapshot,
+    restore_instance,
+    resume_invoke,
+    with_io,
+)
 
 #: Worker-side decoded-module cache (per process; in the threaded pool all
 #: workers share it, so every access goes through ``_MODULE_CACHE_LOCK`` —
@@ -90,14 +99,30 @@ class ExecutionTask:
     max_instructions: int | None = None
     fault: str | None = None
     fault_arg: float = 0.0
+    #: preemption slice: suspend after this many *further* executed
+    #: instructions (relative, so the gateway passes the same slice when
+    #: re-dispatching a snapshot) and return the encoded snapshot
+    snapshot_at: int | None = None
+    #: resume payload: an encoded snapshot to restore and continue instead
+    #: of invoking ``export`` fresh
+    snapshot: bytes | None = None
+    #: serve from this worker's warm pool (instantiate once per process,
+    #: reset a pooled instance per request)
+    warm: bool = False
 
 
 @dataclass(frozen=True)
 class WorkerResult:
-    """A finished task: raw meter readings plus the worker's own wall time."""
+    """A finished task: raw meter readings plus the worker's own wall time.
+
+    ``snapshot`` set means the task was *preempted*, not completed: ``raw``
+    carries the meters as of the capture (for checkpoint billing) and the
+    gateway re-dispatches the snapshot to continue the job.
+    """
 
     raw: RawExecution
     exec_wall_s: float
+    snapshot: bytes | None = None
 
 
 def _cached_module(task: ExecutionTask) -> Module:
@@ -119,34 +144,36 @@ def _cached_module(task: ExecutionTask) -> Module:
         return _MODULE_CACHE[task.module_hash]
 
 
-def execute_task(task: ExecutionTask) -> WorkerResult:
-    """Run one request in this process and return its raw meter readings.
+#: Per-process warm pools keyed by (module hash, engine) — in the threaded
+#: pool all workers share them (WarmPool itself is lock-protected).
+_WARM_POOLS: "dict[tuple[bytes, str | None], WarmPool]" = {}
+_WARM_POOLS_LOCK = threading.Lock()
 
-    Mirrors :meth:`AccountingEnclave.invoke`'s execution half exactly — a
-    fresh instance per request, counter starting at zero — so that a
-    gateway run and a serial in-enclave run of the same requests produce
-    byte-identical resource vectors.
-    """
-    started = time.perf_counter()
-    if task.fault is not None:
-        perform_pre_fault(task.fault, task.fault_arg)
-    module = _cached_module(task)
-    channel = IOChannel(input_data=task.input_data)
-    env = HostEnvironment(channel=channel, account_io=True)
-    limits = ExecutionLimits(max_instructions=task.max_instructions)
-    instance = env.instantiate(module, limits=limits, engine=task.engine)
 
-    trapped = False
-    trap_message = ""
-    value: object = None
-    try:
-        value = instance.invoke(task.export, *task.args)
-    except Trap as exc:
-        trapped = True
-        trap_message = str(exc)
+def _warm_pool(task: ExecutionTask) -> WarmPool:
+    key = (task.module_hash, task.engine)
+    with _WARM_POOLS_LOCK:
+        pool = _WARM_POOLS.get(key)
+        if pool is None:
+            pool = WarmPool(
+                module=_cached_module(task), engine=task.engine, max_size=8
+            )
+            _WARM_POOLS[key] = pool
+    return pool
 
+
+def _raw_reading(
+    task: ExecutionTask,
+    module: Module,
+    instance,
+    env: HostEnvironment,
+    channel: IOChannel,
+    value,
+    trapped: bool,
+    trap_message: str,
+) -> RawExecution:
     memory = instance.memory
-    raw = RawExecution(
+    return RawExecution(
         workload_hash=task.module_hash,
         counter_value=int(instance.globals[task.counter_global_index].value),
         peak_memory_bytes=memory.peak_bytes if memory is not None else 0,
@@ -159,9 +186,110 @@ def execute_task(task: ExecutionTask) -> WorkerResult:
         trap_message=trap_message,
         output=bytes(channel.output),
     )
+
+
+def execute_task(task: ExecutionTask) -> WorkerResult:
+    """Run one request in this process and return its raw meter readings.
+
+    Mirrors :meth:`AccountingEnclave.invoke`'s execution half exactly — a
+    fresh instance per request, counter starting at zero — so that a
+    gateway run and a serial in-enclave run of the same requests produce
+    byte-identical resource vectors.
+
+    Three variants share this entry point: a fresh invocation (the default),
+    a warm-pool invocation (``task.warm`` — reset a pooled instance instead
+    of instantiating), and a resume (``task.snapshot`` — restore a snapshot
+    and continue the suspended call stack).  With ``task.snapshot_at`` set,
+    any variant may *preempt* instead of completing: the result then carries
+    the encoded snapshot and meters-as-of-capture for checkpoint billing.
+    """
+    started = time.perf_counter()
+    if task.fault is not None:
+        perform_pre_fault(task.fault, task.fault_arg)
+    if task.snapshot is not None:
+        return _execute_resume(task, started)
+    module = _cached_module(task)
+    limits = ExecutionLimits(
+        max_instructions=task.max_instructions, snapshot_at=task.snapshot_at
+    )
+    handle = None
+    if task.warm:
+        pool = _warm_pool(task)
+        handle = pool.acquire(task.input_data, limits=limits)
+        instance, env, channel = handle.instance, handle.env, handle.channel
+    else:
+        channel = IOChannel(input_data=task.input_data)
+        env = HostEnvironment(channel=channel, account_io=True)
+        instance = env.instantiate(module, limits=limits, engine=task.engine)
+
+    trapped = False
+    trap_message = ""
+    value: object = None
+    snapshot_blob: bytes | None = None
+    try:
+        value = instance.invoke(task.export, *task.args)
+    except SnapshotCaptured as exc:
+        snapshot_blob = encode_snapshot(with_io(exc.snapshot, env, channel))
+    except Trap as exc:
+        trapped = True
+        trap_message = str(exc)
+
+    raw = _raw_reading(task, module, instance, env, channel, value, trapped, trap_message)
     if task.fault == "corrupt":
         raw = corrupt_raw(raw)
-    return WorkerResult(raw=raw, exec_wall_s=time.perf_counter() - started)
+    if handle is not None:
+        pool.release(handle)
+    return WorkerResult(
+        raw=raw, exec_wall_s=time.perf_counter() - started, snapshot=snapshot_blob
+    )
+
+
+def _execute_resume(task: ExecutionTask, started: float) -> WorkerResult:
+    """Restore ``task.snapshot`` and continue where the capture left off.
+
+    ``task.snapshot_at`` is interpreted *relative* to the snapshot's
+    position, so a preempting gateway dispatches the same slice size on
+    every hop of a job.
+    """
+    module = _cached_module(task)
+    snap = decode_snapshot(task.snapshot)
+    io = snap.io or IOState()
+    channel = IOChannel(input_data=task.input_data)
+    channel._read_pos = io.read_pos
+    channel.output[:] = io.output
+    env = HostEnvironment(channel=channel, account_io=True)
+    env.account.bytes_in = io.bytes_in
+    env.account.bytes_out = io.bytes_out
+    env.account.calls = io.calls
+    limits = ExecutionLimits(
+        max_instructions=task.max_instructions,
+        snapshot_at=(
+            snap.executed + task.snapshot_at if task.snapshot_at is not None else None
+        ),
+    )
+    instance = restore_instance(
+        snap, module, imports=env.imports(), limits=limits, engine=task.engine
+    )
+    env.bind(instance)
+
+    trapped = False
+    trap_message = ""
+    value: object = None
+    snapshot_blob: bytes | None = None
+    try:
+        value = resume_invoke(instance, snap)
+    except SnapshotCaptured as exc:
+        snapshot_blob = encode_snapshot(with_io(exc.snapshot, env, channel))
+    except Trap as exc:
+        trapped = True
+        trap_message = str(exc)
+
+    raw = _raw_reading(task, module, instance, env, channel, value, trapped, trap_message)
+    if task.fault == "corrupt":
+        raw = corrupt_raw(raw)
+    return WorkerResult(
+        raw=raw, exec_wall_s=time.perf_counter() - started, snapshot=snapshot_blob
+    )
 
 
 class WorkerPool:

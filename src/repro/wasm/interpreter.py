@@ -45,6 +45,54 @@ class Trap(Exception):
     """A WebAssembly trap: execution aborts, no result is produced."""
 
 
+@dataclass(frozen=True)
+class CapturedFrame:
+    """One suspended interpreter frame inside a snapshot.
+
+    ``kind`` records how the frame suspended: ``"at_current"`` — the frame
+    that hit the snapshot threshold; its ``pc`` instruction has not been
+    charged or executed yet.  ``"at_call"`` — an ancestor frame suspended
+    inside a ``call``/``call_indirect`` at ``pc``; its arguments are already
+    popped, and resuming pushes the callee's results, counts the call and
+    continues at ``pc + 1``.
+    """
+
+    func_index: int  # combined function index space (imports first)
+    pc: int
+    stack: tuple
+    locals: tuple
+    #: (opcode, start, end, stack_height, arity) per open control frame
+    control: tuple
+    kind: str  # "at_current" | "at_call"
+
+
+class CaptureUnwind(BaseException):
+    """Internal stack-unwind signal used while capturing a snapshot.
+
+    A ``BaseException`` so generic ``except Exception`` handlers between the
+    capture point and the top-level ``invoke`` cannot swallow it.  Each
+    interpreter frame it passes through appends its :class:`CapturedFrame`
+    (innermost first); ``invoke`` converts the finished unwind into a
+    :class:`SnapshotCaptured`.
+    """
+
+    def __init__(self):
+        self.frames: list[CapturedFrame] = []
+
+
+class SnapshotCaptured(Exception):
+    """Execution suspended at ``ExecutionLimits.snapshot_at``.
+
+    Raised by :meth:`Instance.invoke` (and the snapshot package's resume
+    helpers) instead of returning a value; ``.snapshot`` holds the full
+    serializable execution state (:class:`repro.wasm.snapshot.Snapshot`).
+    """
+
+    def __init__(self, snapshot):
+        super().__init__("execution state captured at observation point")
+        self.snapshot = snapshot
+
+
 #: Engine used when ``Instance(engine=None)`` and ``REPRO_WASM_ENGINE`` is
 #: unset.  Kept for backwards compatibility; the registry in
 #: :mod:`repro.wasm.engines` is the authoritative source (it reads the
@@ -70,6 +118,14 @@ class ExecutionLimits:
     #: instructions — the hook behind AccTEE's periodic accounting reports
     progress_interval: int | None = None
     progress_callback: Callable[["ExecutionStats"], None] | None = None
+    #: arm state capture: suspend at the first observation point where
+    #: ``stats.executed >= snapshot_at`` and raise :class:`SnapshotCaptured`
+    #: from ``invoke`` carrying a :class:`repro.wasm.snapshot.Snapshot`.
+    #: Armed runs execute on the capture interpreter regardless of engine —
+    #: one canonical capture path keeps the serialized state (and therefore
+    #: the snapshot format) engine-independent by construction, while the
+    #: engine-differential contract keeps the metered stats byte-identical.
+    snapshot_at: int | None = None
 
 
 @dataclass
@@ -452,7 +508,12 @@ class Instance:
                 f"{export_name} expects {len(functype.params)} arguments, got {len(args)}"
             )
         values = [self._to_wasm(arg, vt) for arg, vt in zip(args, functype.params)]
-        results = self.call_function(func_index, values)
+        try:
+            results = self.call_function(func_index, values)
+        except CaptureUnwind as unwind:
+            from repro.wasm.snapshot.format import snapshot_from_unwind
+
+            raise SnapshotCaptured(snapshot_from_unwind(self, unwind)) from None
         if not functype.results:
             return None
         result = results[0]
@@ -506,12 +567,17 @@ class Instance:
                     self._func_labels[defined], self.stats.executed, self.stats.cycles
                 )
                 try:
-                    if self._engine is not None:
+                    if self._engine is not None and self.limits.snapshot_at is None:
                         return self._engine.exec_function(defined, args)
                     return self._exec_function(defined, args)
                 finally:
                     prof.exit_function(self.stats.executed, self.stats.cycles)
-            if self._engine is not None:
+            # snapshot-armed runs always execute on the capture interpreter —
+            # the single code path that can suspend with engine-independent
+            # frame state (stats stay byte-identical per the differential
+            # contract, so capture position and contents do not depend on
+            # which engine the instance was configured with)
+            if self._engine is not None and self.limits.snapshot_at is None:
                 return self._engine.exec_function(defined, args)
             return self._exec_function(defined, args)
         finally:
@@ -519,7 +585,9 @@ class Instance:
 
     # -- the main loop -----------------------------------------------------------
 
-    def _exec_function(self, defined_index: int, args: list) -> list:
+    def _exec_function(
+        self, defined_index: int, args: list, resume: tuple | None = None
+    ) -> list:
         module = self.module
         func = module.funcs[defined_index]
         functype = module.types[func.type_index]
@@ -528,23 +596,39 @@ class Instance:
         stats = self.stats
         cost = self.cost_model
         limits = self.limits
+        snapshot_at = limits.snapshot_at
         prof = self._profiler
         prof_label = (
             self._func_labels[defined_index] if prof is not None else ""
         )
 
-        locals_: list = list(args)
-        for vt in func.locals:
-            locals_.append(0 if vt.is_int else 0.0)
-
-        stack: list = []
-        control: list[_ControlEntry] = []
-        pc = 0
+        if resume is not None:
+            # re-enter a suspended frame exactly where its snapshot left it
+            pc, stack, locals_, control = resume
+        else:
+            locals_ = list(args)
+            for vt in func.locals:
+                locals_.append(0 if vt.is_int else 0.0)
+            stack = []
+            control = []
+            pc = 0
         n = len(body)
 
         while pc < n:
             instr = body[pc]
             name = instr.name
+
+            # capture BEFORE charging: the pc instruction has not executed,
+            # so a resumed run re-charges and re-runs it — final stats are
+            # byte-identical to the uninterrupted run
+            if snapshot_at is not None and stats.executed >= snapshot_at:
+                unwind = CaptureUnwind()
+                unwind.frames.append(
+                    self._captured_frame(
+                        defined_index, pc, stack, locals_, control, "at_current"
+                    )
+                )
+                raise unwind
 
             stats.visits[name] += 1
             stats.executed += 1
@@ -612,7 +696,16 @@ class Instance:
             if name == "return":
                 break
             if name == "call":
-                results = self.call_function(instr.args[0], self._pop_args(stack, instr.args[0]))
+                call_args = self._pop_args(stack, instr.args[0])
+                try:
+                    results = self.call_function(instr.args[0], call_args)
+                except CaptureUnwind as unwind:
+                    unwind.frames.append(
+                        self._captured_frame(
+                            defined_index, pc, stack, locals_, control, "at_call"
+                        )
+                    )
+                    raise
                 stack.extend(results)
                 stats.calls += 1
                 pc += 1
@@ -629,7 +722,16 @@ class Instance:
                 if target_type != module.types[type_index]:
                     raise Trap("indirect call type mismatch")
                 call_args = [stack.pop() for _ in target_type.params][::-1]
-                stack.extend(self.call_function(target, call_args))
+                try:
+                    results = self.call_function(target, call_args)
+                except CaptureUnwind as unwind:
+                    unwind.frames.append(
+                        self._captured_frame(
+                            defined_index, pc, stack, locals_, control, "at_call"
+                        )
+                    )
+                    raise
+                stack.extend(results)
                 stats.calls += 1
                 pc += 1
                 continue
@@ -650,6 +752,26 @@ class Instance:
         if len(stack) < n_results:
             raise Trap("function returned with empty stack")
         return stack[-n_results:]
+
+    def _captured_frame(
+        self,
+        defined_index: int,
+        pc: int,
+        stack: list,
+        locals_: list,
+        control: list[_ControlEntry],
+        kind: str,
+    ) -> CapturedFrame:
+        return CapturedFrame(
+            func_index=self.module.num_imported_funcs + defined_index,
+            pc=pc,
+            stack=tuple(stack),
+            locals=tuple(locals_),
+            control=tuple(
+                (c.opcode, c.start, c.end, c.stack_height, c.arity) for c in control
+            ),
+            kind=kind,
+        )
 
     def _pop_args(self, stack: list, func_index: int) -> list:
         functype = self.module.func_type(func_index)

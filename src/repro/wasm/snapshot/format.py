@@ -1,0 +1,363 @@
+"""Snapshot format v1: versioned, engine-independent execution state.
+
+A :class:`Snapshot` serializes everything a suspended (or freshly
+instantiated) sandbox needs to continue somewhere else: the exact meter
+counters (:class:`~repro.wasm.interpreter.ExecutionStats`), globals, the
+funcref table, linear memory — stored as a page-level delta against a
+deterministic *base image* (the module's fresh memory with its data
+segments applied), so warm-pool images and early-execution snapshots stay
+small — plus one :class:`~repro.wasm.interpreter.CapturedFrame` per
+suspended interpreter frame and, optionally, the host I/O channel position.
+
+Capture happens at *observation points* only — the per-instruction
+boundary where the capture interpreter checks budgets and progress — and
+always **before** the pending instruction is charged, so a resumed run
+re-charges and re-executes it and finishes with byte-identical stats.
+Snapshots are engine-independent by construction: every snapshot-armed run
+executes on the single capture interpreter, and the engine-differential
+contract pins that interpreter's stats byte-identical to ``predecode`` and
+``compile``, so a snapshot taken under any configured engine restores into
+any other.
+
+The wire encoding is ``b"RWSN"`` + a little-endian ``u32`` format version +
+a canonical JSON document (sorted keys, floats carried as bit-exact hex of
+their IEEE-754 representation, page contents base64).  The encoding is
+deterministic: encoding the same state twice yields the same bytes, so
+``sha256(encode_snapshot(s))`` is a stable identity usable in checkpoint
+receipts.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import struct
+from dataclasses import dataclass, replace
+
+from repro.obs.instruments import SNAPSHOT_BYTES, SNAPSHOTS_TAKEN
+from repro.tcrypto.hashing import sha256
+from repro.wasm.binary import encode_module
+from repro.wasm.interpreter import CapturedFrame, CaptureUnwind, Instance
+from repro.wasm.memory import PAGE_SIZE
+from repro.wasm.module import Module
+
+MAGIC = b"RWSN"
+FORMAT_VERSION = 1
+
+
+class SnapshotError(Exception):
+    """A snapshot cannot be encoded, decoded or applied."""
+
+
+@dataclass(frozen=True)
+class IOState:
+    """Host I/O channel position at capture time.
+
+    The channel's *input* bytes are not stored — the dispatcher that owns
+    the request already has them (they travel with the task) — only the
+    read cursor, the output produced so far and the accounted byte totals.
+    """
+
+    read_pos: int = 0
+    output: bytes = b""
+    bytes_in: int = 0
+    bytes_out: int = 0
+    calls: int = 0
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Full serialized execution state of one sandbox instance.
+
+    ``frames`` is outermost-first; empty frames mean a *warm image* — the
+    state right after instantiation (start function included), used by warm
+    pools to reset a live instance to pristine per request.
+    """
+
+    version: int
+    module_hash: bytes
+    engine: str  # engine the capturing instance was configured with
+    stats: dict  # plain-value ExecutionStats fields (visits as a dict)
+    globals: tuple
+    memory_pages: int | None  # None: module has no memory
+    memory_delta: tuple  # ((page_index, page_bytes), ...) vs the base image
+    grow_events: tuple
+    table: tuple | None  # funcref elements, None when no table
+    frames: tuple  # CapturedFrame, outermost-first
+    io: IOState | None = None
+
+    @property
+    def executed(self) -> int:
+        return self.stats["executed"]
+
+    def hash(self) -> bytes:
+        return sha256(encode_snapshot(self, _observe=False))
+
+
+# -- value encoding (floats bit-exact) -----------------------------------------
+
+
+def _enc_val(value):
+    if isinstance(value, float):
+        return {"f": struct.pack("<d", value).hex()}
+    return value
+
+
+def _dec_val(value):
+    if isinstance(value, dict):
+        return struct.unpack("<d", bytes.fromhex(value["f"]))[0]
+    return value
+
+
+def _enc_vals(values) -> list:
+    return [_enc_val(v) for v in values]
+
+
+def _dec_vals(values) -> tuple:
+    return tuple(_dec_val(v) for v in values)
+
+
+# -- base memory image ---------------------------------------------------------
+
+
+def _segment_offset(module: Module, expr) -> int:
+    """Deterministic best-effort const-eval of a data-segment offset.
+
+    Both the capturing and the restoring side run this same function, so
+    the page delta is exact even where the best effort diverges from the
+    instance's actual initial memory (e.g. imported-global offsets).
+    """
+    instr = expr[0]
+    if instr.name in ("i32.const", "i64.const"):
+        return int(instr.args[0])
+    if instr.name == "global.get":
+        index = instr.args[0]
+        defined = index - module.num_imported_globals
+        if 0 <= defined < len(module.globals):
+            init = module.globals[defined].init[0]
+            if init.name in ("i32.const", "i64.const"):
+                return int(init.args[0])
+    return 0
+
+
+def base_memory_image(module: Module) -> bytearray:
+    """The module's fresh linear memory: minimum pages + data segments."""
+    if not module.memories:
+        return bytearray()
+    image = bytearray(module.memories[0].limits.minimum * PAGE_SIZE)
+    for seg in module.data:
+        offset = _segment_offset(module, seg.offset)
+        if 0 <= offset and offset + len(seg.data) <= len(image):
+            image[offset : offset + len(seg.data)] = seg.data
+    return image
+
+
+_ZERO_PAGE = bytes(PAGE_SIZE)
+
+
+def _memory_state(instance: Instance):
+    memory = instance.memory
+    if memory is None:
+        return None, (), ()
+    base = bytes(base_memory_image(instance.module))
+    data = memory._data
+    pages = len(data) // PAGE_SIZE
+    delta = []
+    for i in range(pages):
+        lo = i * PAGE_SIZE
+        page = bytes(data[lo : lo + PAGE_SIZE])
+        ref = base[lo : lo + PAGE_SIZE]
+        if len(ref) < PAGE_SIZE:
+            ref = ref + _ZERO_PAGE[len(ref) :]
+        if page != ref:
+            delta.append((i, page))
+    return pages, tuple(delta), tuple(memory.grow_events)
+
+
+# -- capture -------------------------------------------------------------------
+
+
+def _stats_state(instance: Instance) -> dict:
+    stats = instance.stats
+    return {
+        "visits": dict(stats.visits),
+        "executed": stats.executed,
+        "cycles": stats.cycles,
+        "loads": stats.loads,
+        "stores": stats.stores,
+        "bytes_loaded": stats.bytes_loaded,
+        "bytes_stored": stats.bytes_stored,
+        "calls": stats.calls,
+        "host_calls": stats.host_calls,
+        "grow_history": [tuple(e) for e in stats.grow_history],
+    }
+
+
+def capture_instance(
+    instance: Instance, frames=(), io: IOState | None = None
+) -> Snapshot:
+    """Snapshot an instance's full state (with ``frames=()``: a warm image)."""
+    pages, delta, grow_events = _memory_state(instance)
+    snapshot = Snapshot(
+        version=FORMAT_VERSION,
+        module_hash=sha256(encode_module(instance.module)),
+        engine=instance.engine,
+        stats=_stats_state(instance),
+        globals=tuple(g.value for g in instance.globals),
+        memory_pages=pages,
+        memory_delta=delta,
+        grow_events=grow_events,
+        table=tuple(instance.table.elements) if instance.table is not None else None,
+        frames=tuple(frames),
+        io=io,
+    )
+    SNAPSHOTS_TAKEN.inc(kind="warm" if not frames else "suspend")
+    return snapshot
+
+
+def snapshot_from_unwind(
+    instance: Instance, unwind: CaptureUnwind, io: IOState | None = None
+) -> Snapshot:
+    """Finish a capture: unwound frames arrive innermost-first."""
+    return capture_instance(instance, frames=tuple(reversed(unwind.frames)), io=io)
+
+
+def with_io(snapshot: Snapshot, env, channel) -> Snapshot:
+    """Attach a :class:`~repro.wasm.runtime.HostEnvironment`'s I/O position."""
+    return replace(
+        snapshot,
+        io=IOState(
+            read_pos=channel._read_pos,
+            output=bytes(channel.output),
+            bytes_in=env.account.bytes_in,
+            bytes_out=env.account.bytes_out,
+            calls=env.account.calls,
+        ),
+    )
+
+
+# -- wire encoding -------------------------------------------------------------
+
+
+def _frame_to_json(frame: CapturedFrame) -> dict:
+    return {
+        "func_index": frame.func_index,
+        "pc": frame.pc,
+        "stack": _enc_vals(frame.stack),
+        "locals": _enc_vals(frame.locals),
+        "control": [list(entry) for entry in frame.control],
+        "kind": frame.kind,
+    }
+
+
+def _frame_from_json(payload: dict) -> CapturedFrame:
+    return CapturedFrame(
+        func_index=payload["func_index"],
+        pc=payload["pc"],
+        stack=_dec_vals(payload["stack"]),
+        locals=_dec_vals(payload["locals"]),
+        control=tuple(
+            (op, start, end, height, arity)
+            for op, start, end, height, arity in payload["control"]
+        ),
+        kind=payload["kind"],
+    )
+
+
+def encode_snapshot(snapshot: Snapshot, _observe: bool = True) -> bytes:
+    payload = {
+        "module_hash": snapshot.module_hash.hex(),
+        "engine": snapshot.engine,
+        "stats": {
+            key: (
+                {name: count for name, count in sorted(value.items())}
+                if key == "visits"
+                else _enc_val(value)
+                if key == "cycles"
+                else [list(e) for e in value]
+                if key == "grow_history"
+                else value
+            )
+            for key, value in snapshot.stats.items()
+        },
+        "globals": _enc_vals(snapshot.globals),
+        "memory": (
+            None
+            if snapshot.memory_pages is None
+            else {
+                "pages": snapshot.memory_pages,
+                "delta": [
+                    [index, base64.b64encode(page).decode("ascii")]
+                    for index, page in snapshot.memory_delta
+                ],
+                "grow_events": list(snapshot.grow_events),
+            }
+        ),
+        "table": list(snapshot.table) if snapshot.table is not None else None,
+        "frames": [_frame_to_json(f) for f in snapshot.frames],
+        "io": (
+            None
+            if snapshot.io is None
+            else {
+                "read_pos": snapshot.io.read_pos,
+                "output": base64.b64encode(snapshot.io.output).decode("ascii"),
+                "bytes_in": snapshot.io.bytes_in,
+                "bytes_out": snapshot.io.bytes_out,
+                "calls": snapshot.io.calls,
+            }
+        ),
+    }
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    blob = MAGIC + struct.pack("<I", snapshot.version) + body
+    if _observe:
+        SNAPSHOT_BYTES.observe(float(len(blob)))
+    return blob
+
+
+def decode_snapshot(blob: bytes) -> Snapshot:
+    if blob[:4] != MAGIC:
+        raise SnapshotError("not a snapshot: bad magic")
+    if len(blob) < 8:
+        raise SnapshotError("not a snapshot: truncated header")
+    (version,) = struct.unpack("<I", blob[4:8])
+    if version != FORMAT_VERSION:
+        raise SnapshotError(f"unsupported snapshot format version {version}")
+    try:
+        payload = json.loads(blob[8:].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise SnapshotError(f"corrupt snapshot body: {exc}") from None
+    stats = dict(payload["stats"])
+    stats["visits"] = dict(stats["visits"])
+    stats["cycles"] = _dec_val(stats["cycles"])
+    stats["grow_history"] = [tuple(e) for e in stats["grow_history"]]
+    memory = payload["memory"]
+    io = payload["io"]
+    return Snapshot(
+        version=version,
+        module_hash=bytes.fromhex(payload["module_hash"]),
+        engine=payload["engine"],
+        stats=stats,
+        globals=_dec_vals(payload["globals"]),
+        memory_pages=None if memory is None else memory["pages"],
+        memory_delta=(
+            ()
+            if memory is None
+            else tuple(
+                (index, base64.b64decode(page)) for index, page in memory["delta"]
+            )
+        ),
+        grow_events=() if memory is None else tuple(memory["grow_events"]),
+        table=None if payload["table"] is None else tuple(payload["table"]),
+        frames=tuple(_frame_from_json(f) for f in payload["frames"]),
+        io=(
+            None
+            if io is None
+            else IOState(
+                read_pos=io["read_pos"],
+                output=base64.b64decode(io["output"]),
+                bytes_in=io["bytes_in"],
+                bytes_out=io["bytes_out"],
+                calls=io["calls"],
+            )
+        ),
+    )

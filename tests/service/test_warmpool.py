@@ -1,0 +1,143 @@
+"""Warm pools: correct per-request isolation, one shared IE pass per module.
+
+The pool's contract: an acquired instance is indistinguishable from a
+freshly instantiated one (state reset to the warm image, fresh I/O
+accounting, per-request limits), and when the pool instruments through a
+shared :class:`InstrumentationCache`, clone storms cost exactly one cache
+miss however many slots get built — concurrently or not.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.cache import InstrumentationCache
+from repro.core.instrumentation_enclave import InstrumentationEnclave
+from repro.service.warmpool import WarmPool
+from repro.wasm.interpreter import ExecutionLimits, Instance, Trap
+from repro.wasm.wat_parser import parse_wat
+
+WORK = """
+(module
+  (memory (export "mem") 1)
+  (global $calls (mut i32) (i32.const 0))
+  (func (export "work") (param i32) (result i32)
+    (local i32)
+    (global.set $calls (i32.add (global.get $calls) (i32.const 1)))
+    (i32.store (i32.const 0) (local.get 0))
+    (loop $top
+      (local.set 1 (i32.add (local.get 1) (i32.const 1)))
+      (br_if $top (i32.lt_u (local.get 1) (local.get 0))))
+    (i32.add (i32.load (i32.const 0)) (global.get $calls))))
+"""
+
+
+def make_pool(**kwargs) -> WarmPool:
+    return WarmPool(module=parse_wat(WORK), **kwargs)
+
+
+class TestReuseCorrectness:
+    def test_acquired_instance_matches_fresh_instantiation(self):
+        pool = make_pool()
+        for arg in (5, 9, 5):
+            handle = pool.acquire()
+            value = handle.instance.invoke("work", arg)
+            fresh = Instance(parse_wat(WORK))
+            assert value == fresh.invoke("work", arg)
+            assert handle.instance.stats.executed == fresh.stats.executed
+            pool.release(handle)
+        # three requests, first build then two warm hits
+        assert pool.stats()["builds"] == 1
+        assert pool.stats()["hits"] == 2
+
+    def test_state_never_leaks_between_leases(self):
+        pool = make_pool()
+        first = pool.acquire()
+        first.instance.invoke("work", 7)  # dirties memory, global, stats
+        pool.release(first)
+        second = pool.acquire()
+        # the $calls global and linear memory were reset by the warm image
+        assert second.instance.globals[0].value == 0
+        assert second.instance.stats.executed == 0
+        assert bytes(second.instance.memory._data[:4]) == b"\x00\x00\x00\x00"
+
+    def test_per_request_limits_swap(self):
+        pool = make_pool()
+        handle = pool.acquire(limits=ExecutionLimits(max_instructions=10))
+        with pytest.raises(Trap, match="budget"):
+            handle.instance.invoke("work", 1000)
+        pool.release(handle)
+        # next lease runs unbounded again
+        handle = pool.acquire()
+        assert handle.instance.invoke("work", 1000) > 0
+
+    def test_io_accounting_is_per_lease(self):
+        pool = make_pool()
+        handle = pool.acquire(input_data=b"abc")
+        handle.env.account.bytes_in = 3
+        pool.release(handle)
+        handle = pool.acquire()
+        assert handle.env.account.bytes_in == 0
+
+    def test_release_beyond_capacity_drops(self):
+        pool = make_pool(max_size=1)
+        first, second = pool.acquire(), pool.acquire()
+        pool.release(first)
+        pool.release(second)
+        assert pool.stats()["idle"] == 1
+
+
+class TestInstrumentationCacheSharing:
+    def test_all_slots_share_one_cached_instrumented_module(self):
+        ie = InstrumentationEnclave()
+        cache = InstrumentationCache(ie)
+        source = parse_wat(WORK)
+        pool = WarmPool(cache=cache, source=source, max_size=8)
+        handles = [pool.acquire() for _ in range(5)]
+        assert pool.stats()["builds"] == 5
+        assert cache.misses == 1
+        assert cache.hits == 4
+        for handle in handles:
+            pool.release(handle)
+
+    def test_concurrent_clone_storm_is_one_miss(self):
+        ie = InstrumentationEnclave()
+        cache = InstrumentationCache(ie)
+        pool = WarmPool(cache=cache, source=parse_wat(WORK), max_size=16)
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(8)
+
+        def storm() -> None:
+            try:
+                barrier.wait()
+                for _ in range(3):
+                    handle = pool.acquire()
+                    assert handle.instance.invoke("work", 20) == 21
+                    pool.release(handle)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=storm) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == pool.stats()["builds"] - 1
+        assert stats["evictions"] == 0
+        assert pool.stats()["hits"] + pool.stats()["builds"] == 24
+
+    def test_eviction_stats_stay_correct_under_pool_builds(self):
+        ie = InstrumentationEnclave()
+        cache = InstrumentationCache(ie, max_entries=1)
+        other = parse_wat('(module (func (export "f") (result i32) (i32.const 3)))')
+        pool = WarmPool(cache=cache, source=parse_wat(WORK), max_size=4)
+        pool.acquire()  # miss: WORK enters the cache
+        cache.instrument(other)  # miss: evicts WORK (capacity 1)
+        pool.acquire()  # miss again: WORK re-enters
+        stats = cache.stats()
+        assert stats["misses"] == 3
+        assert stats["evictions"] == 2
+        assert pool.stats()["builds"] == 2

@@ -14,6 +14,13 @@ contains a budget or progress crossing):
 import pytest
 
 from repro.wasm.interpreter import ENGINES, ExecutionLimits, Instance, Trap
+from repro.wasm.snapshot import (
+    SnapshotCaptured,
+    decode_snapshot,
+    encode_snapshot,
+    restore_instance,
+    resume_invoke,
+)
 from repro.wasm.wat_parser import parse_wat
 
 # A straight-line-heavy spinner: the loop body is one long segment of simple
@@ -113,3 +120,76 @@ class TestProgressEdge:
         # every multiple up to the budget was reported; the trapping
         # instruction (101) is past the last multiple
         assert seen == list(range(10, 101, 10))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("resume_engine", ENGINES)
+class TestSnapshotEdges:
+    """Snapshots taken exactly on the budget/progress boundaries must
+    restore and then trap/continue identically — under every engine pair."""
+
+    def test_snapshot_exactly_at_budget_exhaustion_then_trap(
+        self, engine, resume_engine
+    ):
+        # arm capture at executed == budget: the snapshot lands on the last
+        # legal instruction; the resumed run must charge the (N+1)-th and
+        # trap exactly like an uninterrupted run
+        budget = 120
+        inst = make(engine, max_instructions=budget, snapshot_at=budget)
+        with pytest.raises(SnapshotCaptured) as captured:
+            inst.invoke("spin", 1_000_000)
+        snap = decode_snapshot(encode_snapshot(captured.value.snapshot))
+        assert snap.executed == budget
+
+        resumed = restore_instance(
+            snap,
+            parse_wat(SPIN),
+            limits=ExecutionLimits(max_instructions=budget),
+            engine=resume_engine,
+        )
+        with pytest.raises(Trap, match="instruction budget exhausted"):
+            resume_invoke(resumed, snap)
+        assert resumed.stats.executed == budget + 1
+
+    def test_snapshot_exactly_on_progress_boundary_continues_identically(
+        self, engine, resume_engine
+    ):
+        # capture on a progress multiple: the callback for that multiple
+        # fired before capture; the resumed run must fire the later
+        # multiples only — across both halves, every multiple exactly once
+        interval, at = 10, 30
+        seen: list[int] = []
+        inst = make(
+            engine,
+            progress_interval=interval,
+            progress_callback=lambda stats: seen.append(stats.executed),
+            snapshot_at=at,
+        )
+        with pytest.raises(SnapshotCaptured) as captured:
+            inst.invoke("spin", 40)
+        snap = decode_snapshot(encode_snapshot(captured.value.snapshot))
+        assert snap.executed == at
+        assert seen == [10, 20, 30]
+
+        resumed = restore_instance(
+            snap,
+            parse_wat(SPIN),
+            limits=ExecutionLimits(
+                progress_interval=interval,
+                progress_callback=lambda stats: seen.append(stats.executed),
+            ),
+            engine=resume_engine,
+        )
+        value = resume_invoke(resumed, snap)
+
+        base_seen: list[int] = []
+        base = make(
+            "legacy",
+            progress_interval=interval,
+            progress_callback=lambda stats: base_seen.append(stats.executed),
+        )
+        base_value = base.invoke("spin", 40)
+        assert value == base_value
+        assert seen == base_seen
+        assert resumed.stats.executed == base.stats.executed
+        assert resumed.stats.visits == base.stats.visits

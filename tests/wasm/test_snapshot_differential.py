@@ -1,0 +1,185 @@
+"""Differential gate: snapshot -> restore -> run == uninterrupted, always.
+
+For every (capture engine, resume engine) pair — nine combinations — a
+run suspended mid-flight and resumed elsewhere must finish with the byte-
+identical result, ``ExecutionStats``, linear memory and globals of the
+same run left alone.  The accounting layer inherits the guarantee: the
+componentwise sum of a preempted workload's checkpoint + final vectors
+equals the uninterrupted signed vector.
+"""
+
+import pytest
+
+from repro.core.sandbox import SandboxConfig, TwoWaySandbox
+from repro.wasm.interpreter import ENGINES, ExecutionLimits, Instance
+from repro.wasm.snapshot import (
+    SnapshotCaptured,
+    decode_snapshot,
+    encode_snapshot,
+    restore_instance,
+    resume_invoke,
+)
+from repro.wasm.wat_parser import parse_wat
+
+# nested calls, loads/stores, memory.grow — every meter moves
+WORK = """
+(module
+  (memory (export "mem") 1 4)
+  (func $mix (param i32) (result i32)
+    (i32.store (i32.mul (local.get 0) (i32.const 4)) (local.get 0))
+    (i32.add
+      (i32.load (i32.mul (local.get 0) (i32.const 4)))
+      (i32.const 1)))
+  (func $accum (param i32) (result i32)
+    (local i32 i32)
+    (loop $top
+      (local.set 1 (i32.add (local.get 1) (i32.const 1)))
+      (local.set 2 (i32.add (local.get 2) (call $mix (local.get 1))))
+      (br_if $top (i32.lt_u (local.get 1) (local.get 0))))
+    (local.get 2))
+  (func (export "work") (param i32) (result i32)
+    (drop (memory.grow (i32.const 1)))
+    (call $accum (local.get 0))))
+"""
+
+ARG = 120
+
+
+def stats_tuple(instance: Instance) -> tuple:
+    s = instance.stats
+    return (
+        dict(s.visits),
+        s.executed,
+        s.cycles,
+        s.loads,
+        s.stores,
+        s.bytes_loaded,
+        s.bytes_stored,
+        s.calls,
+        s.host_calls,
+        tuple(s.grow_history),
+        instance.memory.pages,
+        bytes(instance.memory._data),
+        tuple(g.value for g in instance.globals),
+    )
+
+
+def baseline(engine: str) -> tuple:
+    inst = Instance(parse_wat(WORK), engine=engine)
+    value = inst.invoke("work", ARG)
+    return value, stats_tuple(inst)
+
+
+@pytest.mark.parametrize("capture_engine", ENGINES)
+@pytest.mark.parametrize("resume_engine", ENGINES)
+class TestEnginePairs:
+    def test_suspend_resume_matches_uninterrupted(
+        self, capture_engine, resume_engine
+    ):
+        inst = Instance(
+            parse_wat(WORK),
+            limits=ExecutionLimits(snapshot_at=700),
+            engine=capture_engine,
+        )
+        with pytest.raises(SnapshotCaptured) as captured:
+            inst.invoke("work", ARG)
+        snap = decode_snapshot(encode_snapshot(captured.value.snapshot))
+        assert snap.executed == 700
+        assert snap.engine == capture_engine
+
+        resumed = restore_instance(snap, parse_wat(WORK), engine=resume_engine)
+        value = resume_invoke(resumed, snap)
+
+        base_value, base_stats = baseline(resume_engine)
+        assert value == base_value
+        assert stats_tuple(resumed) == base_stats
+
+
+def test_chained_hops_rotate_all_engines():
+    # suspend every 373 instructions, resuming under a rotating engine —
+    # many hops, one final answer, stats identical to one straight run
+    hop = 373
+    inst = Instance(
+        parse_wat(WORK), limits=ExecutionLimits(snapshot_at=hop), engine="legacy"
+    )
+    blob = None
+    try:
+        inst.invoke("work", ARG)
+    except SnapshotCaptured as exc:
+        blob = encode_snapshot(exc.snapshot)
+    assert blob is not None
+
+    hops = 1
+    value = None
+    while value is None:
+        snap = decode_snapshot(blob)
+        engine = ENGINES[hops % len(ENGINES)]
+        inst = restore_instance(
+            snap,
+            parse_wat(WORK),
+            limits=ExecutionLimits(snapshot_at=snap.executed + hop),
+            engine=engine,
+        )
+        try:
+            value = resume_invoke(inst, snap)
+        except SnapshotCaptured as exc:
+            blob = encode_snapshot(exc.snapshot)
+            hops += 1
+
+    assert hops > 3
+    base_value, base_stats = baseline("legacy")
+    assert value == base_value
+    assert stats_tuple(inst) == base_stats
+
+
+MINIC = """
+int work(int n) {
+  int i; int acc;
+  acc = 0;
+  for (i = 1; i <= n; i = i + 1) {
+    acc = acc + i * i;
+  }
+  return acc;
+}
+"""
+
+
+def vector_tuple(v) -> tuple:
+    return (
+        v.weighted_instructions,
+        v.peak_memory_bytes,
+        v.memory_integral_page_instructions,
+        v.io_bytes_in,
+        v.io_bytes_out,
+    )
+
+
+def test_checkpoint_receipts_sum_to_uninterrupted_vector():
+    # preempted-and-resumed under rotating engines: the sum of the signed
+    # checkpoint + final vectors must equal the single uninterrupted vector
+    plain = TwoWaySandbox.deploy(SandboxConfig(engine="predecode"))
+    plain.submit_minic(MINIC)
+    expected = plain.ae.invoke("work", 40, label="work")
+
+    sandbox = TwoWaySandbox.deploy(SandboxConfig(engine="predecode"))
+    sandbox.submit_minic(MINIC)
+    outcome = sandbox.snapshot("work", 40, snapshot_at=150, label="work")
+    hops = 0
+    engines = ("compile", "legacy", "predecode")
+    from repro.core.accounting_enclave import WorkloadCheckpoint
+
+    while isinstance(outcome, WorkloadCheckpoint):
+        sandbox.ae.engine = engines[hops % len(engines)]
+        outcome = sandbox.resume(outcome, snapshot_at=150)
+        hops += 1
+    assert hops >= 2
+
+    assert outcome.value == expected.value
+    entries = sandbox.log.entries
+    assert len(entries) == hops + 1  # one checkpoint per hop except the last
+    summed = tuple(
+        sum(vector_tuple(e.vector)[i] for e in entries) for i in range(5)
+    )
+    assert summed == vector_tuple(expected.vector)
+    assert sandbox.verify_log()
+    assert plain.verify_log()
