@@ -331,6 +331,78 @@ def test_pipeline_overhead_under_gate(pipeline_numbers, benchmark):
     record(benchmark)
 
 
+# -- distributed tracing: context propagation + worker telemetry backhaul ------
+
+TRACE_ROUNDS = 5
+TRACE_CEILING = 0.05  # the CI gate for tracing + backhaul + stitching
+
+
+def _traced_loadtest(trace_out: str | None) -> dict:
+    from repro.service.gateway import run_loadtest
+
+    # preemption in both arms: every checkpoint re-dispatch is an extra hop
+    # whose capture must ship home, so the traced arm pays the backhaul at
+    # its worst while the untraced arm pays the same preemption cost
+    return run_loadtest(
+        worker_counts=(2,), requests=12, pool="thread", backend="wasm",
+        kernels=("trisolv",), verify_serial=False, quota_probe=False,
+        preempt_after=400, trace_out=trace_out,
+    )
+
+
+@pytest.fixture(scope="module")
+def trace_numbers(tmp_path_factory):
+    """Paired rounds of a preempting loadtest, untraced vs fully traced.
+
+    The traced arm mints a context per request, activates the worker-side
+    capture on every hop, ships spans/events/metric deltas back inside each
+    ``WorkerResult``, merges them into the gateway tracer and verifies the
+    per-request stitch — the complete distributed-tracing path.
+    """
+    disable_all()
+    trace_out = str(tmp_path_factory.mktemp("trace") / "trace.json")
+    _traced_loadtest(None)  # warm module/compile caches
+    ratios = []
+    best_off = float("inf")
+    stitched = True
+    for _ in range(TRACE_ROUNDS):
+        off = _traced_loadtest(None)["sweep"][0]["wall_s"]
+        traced_result = _traced_loadtest(trace_out)
+        stitched = stitched and traced_result["trace_ok"]
+        best_off = min(best_off, off)
+        ratios.append(traced_result["sweep"][0]["wall_s"] / off)
+    overhead = statistics.median(ratios) - 1.0
+    results = {
+        "rounds": TRACE_ROUNDS,
+        "best_off_s": best_off,
+        "overhead": overhead,
+        "ratios": ratios,
+        "stitched_every_round": stitched,
+    }
+    emit_table(
+        "trace_backhaul_overhead",
+        "Distributed tracing overhead on a preempting loadtest (paired rounds)",
+        ["probe", "cost", "overhead"],
+        [["loadtest 12 req x 2 workers, preempted", f"{best_off * 1e3:.1f} ms off",
+          f"{overhead * 100:+.1f}% with propagation+backhaul+stitch"]],
+    )
+    _merge_bench({"trace_backhaul_overhead": results})
+    return results
+
+
+def test_trace_backhaul_overhead_under_gate(trace_numbers, benchmark):
+    assert trace_numbers["overhead"] < TRACE_CEILING, (
+        f"distributed tracing costs {trace_numbers['overhead']:.1%} of a "
+        f"preempting loadtest (gate {TRACE_CEILING:.0%})"
+    )
+    record(benchmark)
+
+
+def test_trace_backhaul_stitches_while_measured(trace_numbers, benchmark):
+    assert trace_numbers["stitched_every_round"] is True
+    record(benchmark)
+
+
 def test_pipeline_off_keeps_signed_totals_byte_identical(benchmark):
     """Differential pin: the pipeline must be an observer, never a participant.
 

@@ -360,6 +360,10 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             # one stream per backend rather than the second overwriting the first
             stem = pathlib.Path(events_out)
             events_out = str(stem.with_name(f"{stem.stem}.{backend}{stem.suffix}"))
+        trace_out = args.trace_out
+        if trace_out and len(backends) > 1:
+            stem = pathlib.Path(trace_out)
+            trace_out = str(stem.with_name(f"{stem.stem}.{backend}{stem.suffix}"))
         result = run_loadtest(
             worker_counts=worker_counts,
             requests=args.requests,
@@ -378,6 +382,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             validate_results=not args.no_validate,
             preempt_after=args.preempt or None,
             warm_pool=args.warm,
+            trace_out=trace_out,
         )
         sweeps[backend] = result
         for point in result["sweep"]:
@@ -451,6 +456,18 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                       f"written to {telemetry['events_path']}"
                       + (f" ({dropped} dropped)" if dropped else ""))
             ok = ok and telemetry["ok"]
+        if "trace_ok" in result:
+            for point in result["sweep"]:
+                stitch = point.get("trace")
+                if stitch is None:
+                    continue
+                pids = ",".join(str(p) for p in stitch["worker_pids"]) or "-"
+                print(f"[{backend}] workers={point['workers']}: stitched traces "
+                      f"{stitch['stitched']}/{stitch['requests_checked']} "
+                      f"(worker pids: {pids})")
+            print(f"[{backend}] stitched trace written to {result['trace_out']}  "
+                  f"trace_ok={result['trace_ok']}")
+            ok = ok and result["trace_ok"]
     report = {
         "benchmark": "metering-gateway-loadtest",
         "cores_available": sweeps[backends[0]]["cores_available"],
@@ -672,6 +689,32 @@ def cmd_alerts(args: argparse.Namespace) -> int:
     print(f"worst severity: {report['worst_severity']}   "
           f"gate: {'FAIL' if report['gating'] else 'pass'}")
     return 1 if report["gating"] else 0
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Reconstruct one request's causal story from a recorded event stream."""
+    import json
+
+    from repro.obs.context import explain_request
+    from repro.obs.events import read_jsonl
+
+    _meta, events = read_jsonl(args.events)
+    report = explain_request(events, args.request_id, gateway=args.gateway)
+    if args.json:
+        print(json.dumps(report, indent=2, default=str))
+        return 0 if report["found"] else 1
+    for line in report["story"]:
+        print(line)
+    if report["found"]:
+        trace_id = report.get("trace_id")
+        if trace_id:
+            print(f"trace_id: {trace_id}")
+        receipts = report["receipts"]
+        linked = [r for r in receipts if r.get("trace_id") == trace_id]
+        print(f"receipts: {len(receipts)} "
+              f"({len(linked)} carrying the trace id, "
+              f"{len(report['checkpoints'])} checkpoint(s))")
+    return 0 if report["found"] else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -906,6 +949,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--warm", action="store_true",
                    help="serve requests from per-worker warm pools instead "
                         "of instantiating per request (implies --backend wasm)")
+    p.add_argument("--trace-out", default=None, metavar="TRACE_JSON",
+                   help="run with distributed tracing on and write the "
+                        "stitched Chrome/Perfetto trace here; exit non-zero "
+                        "if any completed request's trace failed to stitch "
+                        "or its receipts lack the trace id")
     p.set_defaults(fn=cmd_loadtest)
 
     p = sub.add_parser("top",
@@ -942,6 +990,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable report instead of prose")
     p.set_defaults(fn=cmd_alerts)
+
+    p = sub.add_parser("explain",
+                       help="reconstruct one request's causal story from a "
+                            "recorded event stream")
+    p.add_argument("request_id", type=int,
+                   help="the gateway request id to explain")
+    p.add_argument("--events", required=True,
+                   help="events JSONL recorded by 'loadtest --events-out'")
+    p.add_argument("--gateway", default=None,
+                   help="restrict to one gateway id (e.g. gw-3) when the "
+                        "stream interleaves several sweep points")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report instead of prose")
+    p.set_defaults(fn=cmd_explain)
 
     p = sub.add_parser("trace", help="traced workload run -> Chrome trace JSON")
     p.add_argument("workload",

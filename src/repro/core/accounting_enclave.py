@@ -282,7 +282,9 @@ class AccountingEnclave(Enclave):
             self.lkl.request_io_cycles(len(input_data), len(channel.output))
             return result
 
-    def account(self, raw: RawExecution, label: str = "") -> WorkloadResult:
+    def account(
+        self, raw: RawExecution, label: str = "", trace_id: str | None = None
+    ) -> WorkloadResult:
         """Turn raw measurements into a signed log entry (the receipt).
 
         This is the AE's accounting half, split out so a metering gateway
@@ -290,7 +292,7 @@ class AccountingEnclave(Enclave):
         enclave — the one the tenant attested — sign every receipt.  The
         raw measurements must be for the workload this AE admitted.
         """
-        return self.account_span(raw, label=label)
+        return self.account_span(raw, label=label, trace_id=trace_id)
 
     def account_span(
         self,
@@ -298,6 +300,7 @@ class AccountingEnclave(Enclave):
         label: str = "",
         baseline: tuple[int, int, int] = (0, 0, 0),
         final: bool = True,
+        trace_id: str | None = None,
     ) -> WorkloadResult:
         """Sign a receipt for the span since ``baseline``.
 
@@ -308,6 +311,11 @@ class AccountingEnclave(Enclave):
         final counter), so they appear only on the ``final`` receipt — with
         that convention, the componentwise sum over a job's checkpoint +
         final receipts equals the single receipt of an uninterrupted run.
+
+        ``trace_id`` tags the signing span with the distributed-trace
+        identity of the execution that produced ``raw`` — provenance only,
+        never part of the signed vector, so signed bytes stay identical
+        with tracing on or off.
         """
         if self._workload_hash == b"":
             raise WorkloadRejected("no workload loaded")
@@ -325,7 +333,10 @@ class AccountingEnclave(Enclave):
             delta_instr < 0 or delta_in < 0 or delta_out < 0
         ):
             raise WorkloadRejected("span baseline exceeds measured totals")
-        with span("account", label=label, module_hash=self._workload_hash):
+        attrs = {"label": label, "module_hash": self._workload_hash}
+        if trace_id is not None:
+            attrs["trace_id"] = trace_id
+        with span("account", **attrs):
             if final:
                 integral = memory_integral(
                     list(raw.grow_history), raw.initial_pages, raw.counter_value

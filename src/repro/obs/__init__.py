@@ -30,6 +30,18 @@ CLI surface: ``repro trace <workload>``, ``repro metrics``, ``repro top``,
 """
 
 from repro.obs.audit import DriftFinding, DriftReport, audit_billing
+from repro.obs.context import (
+    TelemetryCapture,
+    TraceContext,
+    activate,
+    current_capture,
+    env_sample_rate,
+    explain_request,
+    record_metric,
+    trace_id_for,
+    worker_event,
+    worker_span,
+)
 from repro.obs.events import (
     Event,
     EventLog,
@@ -90,9 +102,13 @@ __all__ = [
     "Rule",
     "SLOEngine",
     "Span",
+    "TelemetryCapture",
+    "TraceContext",
     "Tracer",
+    "activate",
     "active_profiler",
     "audit_billing",
+    "current_capture",
     "disable_events",
     "disable_metrics",
     "disable_profiling",
@@ -102,7 +118,9 @@ __all__ = [
     "enable_metrics",
     "enable_profiling",
     "enable_tracing",
+    "env_sample_rate",
     "events_enabled",
+    "explain_request",
     "get_event_log",
     "get_registry",
     "get_tracer",
@@ -110,9 +128,13 @@ __all__ = [
     "metrics_enabled",
     "profile",
     "read_jsonl",
+    "record_metric",
     "replay",
     "span",
+    "trace_id_for",
     "tracing_enabled",
+    "worker_event",
+    "worker_span",
 ]
 
 

@@ -1,0 +1,496 @@
+"""Distributed trace context and the worker telemetry backhaul.
+
+The gateway's observability used to stop at the process boundary: worker
+processes (the stand-ins for the paper's per-request enclave instances,
+§4.3) emitted spans, events and metrics into *their own* process-local
+registries, which evaporated when the result pickled back.  This module
+carries telemetry across that boundary in both directions:
+
+* a :class:`TraceContext` — 128-bit ``trace_id``, parent span id, sampled
+  flag and a hop counter — is minted at gateway admission, serialized into
+  the :class:`~repro.service.worker.ExecutionTask` wire format, and
+  re-activated inside ``execute_task``;
+* a :class:`TelemetryCapture` — a bounded, process-local buffer of spans,
+  structured events and metric deltas — records everything the worker-side
+  call sites observe while the context is active, and ships home inside
+  :class:`~repro.service.worker.WorkerResult`;
+* the gateway merges the capture into its own tracer / event log / metrics
+  registry with origin-pid tagging, so one request preempted across three
+  workers still renders as **one stitched Perfetto timeline**.
+
+Identity is deterministic: ``trace_id = sha256("trace:<gateway>:<request>")``
+truncated to 128 bits, so offline consumers (the drift auditor, ``repro
+explain``, CI's stitch checker) can recompute the id for any request without
+carrying extra state.  Head sampling is deterministic too — the decision is
+a pure function of the trace id and the rate (``REPRO_TRACE_SAMPLE``), so
+every process agrees on whether a given request is sampled.
+
+Worker-side call sites use :func:`worker_span` / :func:`worker_event` /
+:func:`record_metric` instead of the process-global tracer: activation is
+**thread-local**, so in the threaded pool two concurrent tasks never write
+into each other's capture, and when no capture is active (the serial
+sandbox path, obs-off runs) every helper is a no-op costing one
+thread-local read.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+
+from repro.tcrypto.hashing import sha256
+
+#: Environment knob for head sampling: a rate in [0, 1], default 1.0
+#: (every traced request is backhauled).  Read once per gateway.
+SAMPLE_ENV = "REPRO_TRACE_SAMPLE"
+
+#: Capture bounds — a preempted slice records a handful of spans and
+#: events, so these are generous; beyond them the capture *counts* drops
+#: (shipped home and surfaced as ``acctee_trace_spans_dropped``) rather
+#: than growing without bound inside a worker.
+MAX_SPANS = 256
+MAX_EVENTS = 256
+
+
+def env_sample_rate(default: float = 1.0) -> float:
+    """The head-sampling rate from ``REPRO_TRACE_SAMPLE``, clamped to [0, 1]."""
+    raw = os.environ.get(SAMPLE_ENV)
+    if raw is None:
+        return default
+    try:
+        rate = float(raw)
+    except ValueError:
+        return default
+    return min(1.0, max(0.0, rate))
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One request's distributed-trace identity, minted at admission.
+
+    ``trace_id`` is 32 hex chars (128 bits), deterministic in the gateway id
+    and request id.  ``parent_span_id`` is the gateway-side span the
+    worker's spans should hang under.  ``hop`` counts re-dispatches — a
+    fresh request is hop 0, each snapshot re-dispatch or retry increments
+    it, so a preempted job's worker spans are ordered even when wall clocks
+    disagree.  ``sampled`` gates the *backhaul* (span/event/metric capture
+    in the worker); the id itself always exists once minted, so receipts
+    and ledger events carry provenance even for unsampled requests.
+    """
+
+    trace_id: str
+    parent_span_id: int = 0
+    sampled: bool = True
+    hop: int = 0
+
+    @classmethod
+    def mint(
+        cls,
+        gateway_id: str,
+        request_id: int,
+        sample_rate: float = 1.0,
+        parent_span_id: int = 0,
+    ) -> "TraceContext":
+        trace_id = trace_id_for(gateway_id, request_id)
+        return cls(
+            trace_id=trace_id,
+            parent_span_id=parent_span_id,
+            sampled=sampling_decision(trace_id, sample_rate),
+            hop=0,
+        )
+
+    def next_hop(self, parent_span_id: int | None = None) -> "TraceContext":
+        """The context for a re-dispatch (snapshot resume, retry)."""
+        return replace(
+            self,
+            hop=self.hop + 1,
+            parent_span_id=(
+                self.parent_span_id if parent_span_id is None else parent_span_id
+            ),
+        )
+
+    # -- wire format (rides inside ExecutionTask, so: plain tuple) ---------------
+
+    def to_wire(self) -> tuple:
+        return (self.trace_id, self.parent_span_id, self.sampled, self.hop)
+
+    @classmethod
+    def from_wire(cls, wire: tuple) -> "TraceContext":
+        trace_id, parent_span_id, sampled, hop = wire
+        return cls(
+            trace_id=str(trace_id),
+            parent_span_id=int(parent_span_id),
+            sampled=bool(sampled),
+            hop=int(hop),
+        )
+
+
+def trace_id_for(gateway_id: str, request_id: int | str) -> str:
+    """The deterministic 128-bit trace id of one gateway request.
+
+    Pure function of (gateway, request) so any consumer — the CI stitch
+    checker, ``repro explain`` — can recompute it offline.
+    """
+    return sha256(f"trace:{gateway_id}:{request_id}".encode())[:16].hex()
+
+
+def sampling_decision(trace_id: str, rate: float) -> bool:
+    """Deterministic head-sampling: the same trace id always decides the same
+    way, in every process, for a given rate."""
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    fraction = int.from_bytes(bytes.fromhex(trace_id)[:8], "big") / 2**64
+    return fraction < rate
+
+
+# ---------------------------------------------------------------------------
+# Worker-side capture
+# ---------------------------------------------------------------------------
+
+
+class _CaptureSpan:
+    """A span recorded into a capture; context-manager like a real Span."""
+
+    __slots__ = ("_capture", "_record")
+
+    def __init__(self, capture: "TelemetryCapture", record: dict | None):
+        self._capture = capture
+        self._record = record  # None = dropped by the bound
+
+    def set_attribute(self, key: str, value) -> None:
+        if self._record is not None:
+            self._record["attrs"][key] = _wire_safe(value)
+
+    def set_attributes(self, **attributes) -> None:
+        for key, value in attributes.items():
+            self.set_attribute(key, value)
+
+    def end(self) -> None:
+        if self._record is not None and self._record["end_ns"] is None:
+            self._record["end_ns"] = time.perf_counter_ns()
+        self._capture._pop(self._record)
+
+    def __enter__(self) -> "_CaptureSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.end()
+        return False
+
+
+def _wire_safe(value):
+    if isinstance(value, (bytes, bytearray)):
+        return value.hex()
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+class TelemetryCapture:
+    """A bounded process-local buffer of worker-side telemetry.
+
+    One capture per task execution, activated thread-locally for the task's
+    duration.  Spans use ``time.perf_counter_ns()`` — CLOCK_MONOTONIC on
+    Linux, whose epoch is boot time and therefore *shared* across processes
+    on the same host — so worker timestamps land directly on the gateway's
+    timeline when merged.  Everything is plain dicts/lists/tuples, so the
+    capture pickles across the process boundary without custom reducers.
+    """
+
+    def __init__(self, ctx: TraceContext, max_spans: int = MAX_SPANS,
+                 max_events: int = MAX_EVENTS):
+        self.ctx = ctx
+        self.pid = os.getpid()
+        self.max_spans = max_spans
+        self.max_events = max_events
+        self.spans: list[dict] = []
+        self.events: list[dict] = []
+        self.metrics: list[tuple] = []
+        self.spans_dropped = 0
+        self.events_dropped = 0
+        self._next_id = 1
+        self._stack: list[dict] = []
+
+    # -- recording ---------------------------------------------------------------
+
+    def span(self, name: str, **attributes) -> _CaptureSpan:
+        if len(self.spans) >= self.max_spans:
+            self.spans_dropped += 1
+            return _CaptureSpan(self, None)
+        record = {
+            "name": name,
+            "id": self._next_id,
+            "parent": self._stack[-1]["id"] if self._stack else None,
+            "start_ns": time.perf_counter_ns(),
+            "end_ns": None,
+            "thread_id": threading.get_ident(),
+            "attrs": {k: _wire_safe(v) for k, v in attributes.items()},
+        }
+        self._next_id += 1
+        self.spans.append(record)
+        self._stack.append(record)
+        return _CaptureSpan(self, record)
+
+    def _pop(self, record: dict | None) -> None:
+        if record is not None and self._stack and self._stack[-1] is record:
+            self._stack.pop()
+
+    def event(self, kind: str, **fields) -> None:
+        if len(self.events) >= self.max_events:
+            self.events_dropped += 1
+            return
+        self.events.append(
+            {
+                "kind": kind,
+                "ts_s": time.time(),
+                "fields": {k: _wire_safe(v) for k, v in fields.items()},
+            }
+        )
+
+    def metric(self, name: str, value: float = 1.0, kind: str = "counter",
+               **labels) -> None:
+        """Record a metric delta to replay into the gateway registry.
+
+        Worker-side ``Counter.inc`` / ``Histogram.observe`` calls mutate the
+        *worker process's* registry, which is discarded with the process —
+        this is the copy that survives.  The gateway applies deltas only
+        when the capture's origin pid differs from its own (a process-pool
+        worker); in the threaded pool the direct calls already landed in
+        the shared registry and replaying them would double-count.
+        """
+        self.metrics.append((name, kind, float(value), tuple(sorted(labels.items()))))
+
+    # -- wire format -------------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        now = time.perf_counter_ns()
+        spans = []
+        for record in self.spans:
+            wire = dict(record)
+            if wire["end_ns"] is None:  # left open (e.g. a fault unwound it)
+                wire["end_ns"] = now
+                wire["attrs"] = dict(wire["attrs"], truncated=True)
+            spans.append(wire)
+        return {
+            "trace_id": self.ctx.trace_id,
+            "hop": self.ctx.hop,
+            "pid": self.pid,
+            "spans": spans,
+            "spans_dropped": self.spans_dropped,
+            "events": list(self.events),
+            "events_dropped": self.events_dropped,
+            "metrics": [list(m) for m in self.metrics],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Thread-local activation: the worker-side analogue of the global switches
+# ---------------------------------------------------------------------------
+
+_ACTIVE = threading.local()
+
+
+@contextmanager
+def activate(capture: TelemetryCapture):
+    """Make ``capture`` the calling thread's telemetry sink for the block."""
+    previous = getattr(_ACTIVE, "capture", None)
+    _ACTIVE.capture = capture
+    try:
+        yield capture
+    finally:
+        _ACTIVE.capture = previous
+
+
+def current_capture() -> TelemetryCapture | None:
+    return getattr(_ACTIVE, "capture", None)
+
+
+class _NullCaptureSpan:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set_attribute(self, key: str, value) -> None:
+        pass
+
+    def set_attributes(self, **attributes) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+
+_NULL_CAPTURE_SPAN = _NullCaptureSpan()
+
+
+def worker_span(name: str, **attributes):
+    """Open a span on the active capture; a shared no-op when inactive."""
+    capture = getattr(_ACTIVE, "capture", None)
+    if capture is None:
+        return _NULL_CAPTURE_SPAN
+    return capture.span(name, **attributes)
+
+
+def worker_event(kind: str, **fields) -> None:
+    """Record a structured event on the active capture; no-op when inactive."""
+    capture = getattr(_ACTIVE, "capture", None)
+    if capture is not None:
+        capture.event(kind, **fields)
+
+
+def record_metric(name: str, value: float = 1.0, kind: str = "counter",
+                  **labels) -> None:
+    """Record a metric delta on the active capture; no-op when inactive."""
+    capture = getattr(_ACTIVE, "capture", None)
+    if capture is not None:
+        capture.metric(name, value, kind=kind, **labels)
+
+
+# ---------------------------------------------------------------------------
+# repro explain — reconstruct one request's causal story from the event log
+# ---------------------------------------------------------------------------
+
+#: Event kinds whose ``request_id`` field ties them to one request.
+_REQUEST_KINDS = (
+    "admit",
+    "fault_injected",
+    "retry",
+    "checkpoint",
+    "receipt",
+    "settled",
+)
+
+
+def _belongs(event_request_id, request_id: int) -> bool:
+    if event_request_id == request_id:
+        return True
+    return isinstance(event_request_id, str) and event_request_id.startswith(
+        f"{request_id}#cp"
+    )
+
+
+def explain_request(events, request_id: int, gateway: str | None = None) -> dict:
+    """Reconstruct one request's causal chain from a recorded event stream.
+
+    ``events`` is a list of :class:`~repro.obs.events.Event` records (live
+    from an :class:`~repro.obs.events.EventLog` or replayed from JSONL).
+    Returns a structured report — admission, injected faults, retries,
+    worker origin pids (from backhauled worker events), checkpoint and
+    final receipts, settlement, and the epoch seal that committed the final
+    receipt — plus human-readable ``story`` lines for the CLI.
+    """
+    matched = []
+    for event in events:
+        fields = event.fields
+        if gateway is not None and fields.get("gateway") not in (None, gateway):
+            continue
+        if event.kind in _REQUEST_KINDS and _belongs(
+            fields.get("request_id"), request_id
+        ):
+            matched.append(event)
+    if not matched:
+        return {
+            "request_id": request_id,
+            "found": False,
+            "story": [f"request {request_id}: no events found"],
+        }
+
+    gateway_id = next(
+        (e.fields["gateway"] for e in matched if "gateway" in e.fields), gateway
+    )
+    trace_id = next(
+        (e.fields["trace_id"] for e in matched if e.fields.get("trace_id")), None
+    )
+    origin_pids = sorted(
+        {e.fields["origin_pid"] for e in events
+         if e.fields.get("origin_pid") is not None
+         and e.fields.get("trace_id") == trace_id and trace_id is not None}
+    )
+    t0 = matched[0].ts_s
+    story: list[str] = []
+    checkpoints = []
+    receipts = []
+    settled = None
+    for event in matched:
+        fields = event.fields
+        dt = event.ts_s - t0
+        if event.kind == "admit":
+            story.append(
+                f"+{dt:7.3f}s  admitted at {gateway_id} as request {request_id}"
+                + (f"  trace={trace_id}" if trace_id else "")
+            )
+        elif event.kind == "fault_injected":
+            story.append(f"+{dt:7.3f}s  chaos plan injected fault {fields['fault']!r}")
+        elif event.kind == "retry":
+            story.append(
+                f"+{dt:7.3f}s  transient failure; re-dispatched "
+                f"(attempt {fields.get('attempt')})"
+            )
+        elif event.kind == "checkpoint":
+            checkpoints.append(fields.get("checkpoint"))
+            story.append(
+                f"+{dt:7.3f}s  preempted: checkpoint #{fields.get('checkpoint')} "
+                f"({fields.get('snapshot_bytes')} B snapshot) re-dispatched"
+            )
+        elif event.kind == "receipt":
+            receipts.append(
+                {
+                    "request_id": fields.get("request_id"),
+                    "sequence": fields.get("sequence"),
+                    "trace_id": fields.get("trace_id"),
+                    "seq": event.seq,
+                }
+            )
+            rid = fields.get("request_id")
+            kind = "checkpoint receipt" if isinstance(rid, str) else "final receipt"
+            story.append(
+                f"+{dt:7.3f}s  AE signed {kind} [{rid}] "
+                f"(chain sequence {fields.get('sequence')})"
+            )
+        elif event.kind == "settled":
+            settled = fields
+            story.append(
+                f"+{dt:7.3f}s  settled: outcome={fields.get('outcome')} "
+                f"latency={fields.get('latency_s', 0.0):.3f}s"
+            )
+    # worker-side provenance: backhauled events carry origin_pid
+    if origin_pids:
+        story.append(f"          executed on worker pid(s): "
+                     f"{', '.join(str(p) for p in origin_pids)}")
+    # the seal that committed the final receipt: first seal after it
+    sealed_epoch = None
+    if receipts:
+        last_receipt_seq = max(r["seq"] for r in receipts)
+        for event in events:
+            if (
+                event.kind == "seal"
+                and event.seq > last_receipt_seq
+                and (gateway_id is None or event.fields.get("gateway") == gateway_id)
+            ):
+                sealed_epoch = event.fields.get("epoch")
+                story.append(
+                    f"+{event.ts_s - t0:7.3f}s  epoch {sealed_epoch} sealed "
+                    f"({event.fields.get('receipts')} receipts under one Merkle root)"
+                )
+                break
+    return {
+        "request_id": request_id,
+        "found": True,
+        "gateway": gateway_id,
+        "trace_id": trace_id,
+        "origin_pids": origin_pids,
+        "checkpoints": [c for c in checkpoints if c is not None],
+        "receipts": receipts,
+        "settled": settled,
+        "sealed_epoch": sealed_epoch,
+        "story": story,
+    }

@@ -167,6 +167,22 @@ CHECKPOINT_RECEIPTS = REGISTRY.counter(
     "Incremental (non-final) checkpoint receipts signed by an AE, by tenant.",
 )
 
+# -- distributed tracing (context propagation + worker backhaul) ---------------
+
+TRACES_SAMPLED_TOTAL = REGISTRY.counter(
+    "acctee_traces_sampled_total",
+    "Trace contexts minted at gateway admission, by sampling decision.",
+)
+TRACE_SPANS_DROPPED = REGISTRY.counter(
+    "acctee_trace_spans_dropped",
+    "Worker-side spans/events dropped by the bounded telemetry capture.",
+)
+TRACE_BACKHAUL_BYTES = REGISTRY.histogram(
+    "acctee_trace_backhaul_bytes",
+    "Serialized worker telemetry shipped back per task result.",
+    buckets=BYTES_BUCKETS,
+)
+
 # -- the name contract ---------------------------------------------------------
 
 CONTRACT_PATH = pathlib.Path(__file__).with_name("metric_names.txt")

@@ -218,8 +218,12 @@ class Histogram(Metric):
             raise ValueError("buckets must be a non-empty ascending sequence")
         self.buckets = tuple(float(b) for b in buckets)
         self._series: dict[tuple, list] = {}  # key -> [counts, sum, count]
+        # key -> bucket index -> (trace_id, value): the last sampled
+        # observation that landed in each bucket, OpenMetrics-exemplar style,
+        # so a latency bucket links straight to a concrete stitched trace
+        self._exemplars: dict[tuple, dict[int, tuple[str, float]]] = {}
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, exemplar: str | None = None, **labels) -> None:
         if not _STATE.enabled:
             return
         key = _label_key(labels)
@@ -231,6 +235,15 @@ class Histogram(Metric):
             series[0][index] += 1
             series[1] += value
             series[2] += 1
+            if exemplar is not None:
+                # last-write-wins per bucket: the freshest trace is the one
+                # an operator drilling into a bucket wants to open
+                self._exemplars.setdefault(key, {})[index] = (exemplar, value)
+
+    def exemplar(self, bucket: int, **labels) -> tuple[str, float] | None:
+        """The (trace_id, value) exemplar recorded for one bucket index."""
+        with self._lock:
+            return self._exemplars.get(_label_key(labels), {}).get(bucket)
 
     def count(self, **labels) -> int:
         with self._lock:
@@ -245,20 +258,30 @@ class Histogram(Metric):
     def reset(self) -> None:
         with self._lock:
             self._series.clear()
+            self._exemplars.clear()
 
     def samples(self) -> list[str]:
         with self._lock:
             items = sorted((k, (list(v[0]), v[1], v[2])) for k, v in self._series.items())
+            exemplars = {k: dict(v) for k, v in self._exemplars.items()}
         lines = []
         for key, (counts, total, count) in items:
             cumulative = 0
-            for bound, n in zip(self.buckets, counts):
+            for index, (bound, n) in enumerate(zip(self.buckets, counts)):
                 cumulative += n
                 le_key = key + (("le", _format_number(bound)),)
-                lines.append(f"{self.name}_bucket{_render_labels(le_key)} {cumulative}")
+                line = f"{self.name}_bucket{_render_labels(le_key)} {cumulative}"
+                ex = exemplars.get(key, {}).get(index)
+                if ex is not None:
+                    line += f' # {{trace_id="{ex[0]}"}} {_format_number(ex[1])}'
+                lines.append(line)
             cumulative += counts[-1]
             inf_key = key + (("le", "+Inf"),)
-            lines.append(f"{self.name}_bucket{_render_labels(inf_key)} {cumulative}")
+            line = f"{self.name}_bucket{_render_labels(inf_key)} {cumulative}"
+            ex = exemplars.get(key, {}).get(len(self.buckets))
+            if ex is not None:
+                line += f' # {{trace_id="{ex[0]}"}} {_format_number(ex[1])}'
+            lines.append(line)
             lines.append(f"{self.name}_sum{_render_labels(key)} {_format_number(total)}")
             lines.append(f"{self.name}_count{_render_labels(key)} {count}")
         return lines
@@ -271,6 +294,18 @@ class Histogram(Metric):
                     "overflow": series[0][-1],
                     "sum": series[1],
                     "count": series[2],
+                    **(
+                        {
+                            "exemplars": {
+                                str(index): {"trace_id": ex[0], "value": ex[1]}
+                                for index, ex in sorted(
+                                    self._exemplars[key].items()
+                                )
+                            }
+                        }
+                        if key in self._exemplars
+                        else {}
+                    ),
                 }
                 for key, series in sorted(self._series.items())
             }

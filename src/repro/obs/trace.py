@@ -47,6 +47,11 @@ class Span:
     end_ns: int | None = None
     attributes: dict = field(default_factory=dict)
     thread_id: int = 0
+    #: The process that recorded the span.  Looked up at creation time (not
+    #: module import — worker processes fork after import), so spans merged
+    #: from a worker keep their origin pid and render on their own Perfetto
+    #: process row instead of collapsing onto the gateway's.
+    pid: int = 0
     detached: bool = False
     _tracer: "Tracer | None" = field(default=None, repr=False)
 
@@ -83,6 +88,7 @@ class Span:
             "start_ns": self.start_ns,
             "duration_ns": self.duration_ns,
             "thread_id": self.thread_id,
+            "pid": self.pid,
             "attributes": dict(self.attributes),
         }
 
@@ -161,6 +167,7 @@ class Tracer:
             start_ns=time.perf_counter_ns(),
             attributes={k: _json_safe(v) for k, v in attributes.items()},
             thread_id=threading.get_ident(),
+            pid=os.getpid(),
             detached=detached,
             _tracer=self,
         )
@@ -215,6 +222,50 @@ class Tracer:
         stack = self._stack()
         return stack[-1] if stack else None
 
+    # -- cross-process merge -----------------------------------------------------
+
+    def ingest(
+        self,
+        spans: list[dict],
+        parent: Span | None = None,
+        pid: int = 0,
+        trace_id: str | None = None,
+    ) -> list[Span]:
+        """Merge already-finished foreign spans (a worker's telemetry backhaul).
+
+        Each wire record carries capture-local ``id``/``parent`` links; ids
+        are remapped into this tracer's id space, intra-capture parent links
+        are preserved, and capture roots are re-parented under ``parent``
+        (the gateway-side request span) so the merged tree renders as one
+        connected trace.  Spans keep their origin ``pid`` and thread id —
+        Perfetto then shows one process row per worker.
+        """
+        id_map: dict[int, int] = {}
+        merged: list[Span] = []
+        parent_id = parent.span_id if isinstance(parent, Span) else None
+        with self._lock:
+            for record in spans:
+                attributes = dict(record.get("attrs", ()))
+                if trace_id is not None:
+                    attributes.setdefault("trace_id", trace_id)
+                local_parent = record.get("parent")
+                s = Span(
+                    name=record["name"],
+                    span_id=self._next_id,
+                    parent_id=id_map.get(local_parent, parent_id),
+                    start_ns=int(record["start_ns"]),
+                    end_ns=int(record["end_ns"]),
+                    attributes=attributes,
+                    thread_id=int(record.get("thread_id", 0)),
+                    pid=int(record.get("pid", pid) or pid),
+                    _tracer=self,
+                )
+                id_map[record["id"]] = self._next_id
+                self._next_id += 1
+                self._spans.append(s)
+                merged.append(s)
+        return merged
+
     # -- export ------------------------------------------------------------------
 
     def finished(self) -> list[Span]:
@@ -229,14 +280,22 @@ class Tracer:
         return [s.to_json() for s in self.finished()]
 
     def to_chrome_trace(self) -> dict:
-        """Chrome ``trace_event`` JSON object format (Perfetto-loadable)."""
-        pid = os.getpid()
+        """Chrome ``trace_event`` JSON object format (Perfetto-loadable).
+
+        Each span renders under its *own* origin pid (merged worker spans
+        get their worker's process row); spans recorded before pids were
+        stamped fall back to the exporting process.
+        """
+        own_pid = os.getpid()
         events = []
+        pids = set()
         for s in self.finished():
             args = dict(s.attributes)
             args["span_id"] = s.span_id
             if s.parent_id is not None:
                 args["parent_id"] = s.parent_id
+            pid = s.pid or own_pid
+            pids.add(pid)
             events.append(
                 {
                     "name": s.name,
@@ -247,6 +306,24 @@ class Tracer:
                     "pid": pid,
                     "tid": s.thread_id % 2**31,
                     "args": args,
+                }
+            )
+        # name the process rows so Perfetto labels gateway vs worker pids
+        # (only when spans actually span processes — single-process traces
+        # stay a plain list of X events)
+        for pid in sorted(pids) if len(pids) > 1 else ():
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "args": {
+                        "name": (
+                            f"{self.service} gateway ({pid})"
+                            if pid == own_pid
+                            else f"{self.service} worker ({pid})"
+                        )
+                    },
                 }
             )
         return {

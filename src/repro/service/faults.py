@@ -31,6 +31,7 @@ import os
 import time
 from dataclasses import dataclass, replace
 
+from repro.obs.context import worker_event
 from repro.obs.events import emit as emit_event
 from repro.tcrypto.hashing import sha256
 from repro.wasm.memory import PAGE_SIZE
@@ -287,6 +288,7 @@ def perform_pre_fault(kind: str | None, arg: float) -> None:
     process.  ``hang`` and ``slow`` sleep for the shipped duration —
     distinguished only by whether the gateway's deadline outlasts them.
     """
+    worker_event("fault_performed", fault=kind, arg=arg)
     if kind == "crash":
         if multiprocessing.parent_process() is not None:
             os._exit(13)

@@ -16,6 +16,8 @@ experiment, measured for real instead of simulated.
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
 from concurrent.futures import Future
@@ -26,10 +28,12 @@ from repro.core.cache import InstrumentationCache
 from repro.core.instrumentation_enclave import InstrumentationEnclave
 from repro.core.resource_log import ResourceUsageLog, ResourceVector
 from repro.core.sandbox import SandboxConfig
+from repro.obs.context import TraceContext, env_sample_rate, trace_id_for
 from repro.obs.events import (
     EventLog,
     disable_events,
     enable_events,
+    events_enabled,
     get_event_log,
 )
 from repro.obs.events import emit as emit_event
@@ -39,6 +43,18 @@ from repro.obs.instruments import (
     GATEWAY_REQUESTS,
     GATEWAY_RESULTS_REJECTED,
     GATEWAY_RETRIES,
+    TRACE_BACKHAUL_BYTES,
+    TRACE_SPANS_DROPPED,
+    TRACES_SAMPLED_TOTAL,
+)
+from repro.obs.metrics import get_registry
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    tracing_enabled,
 )
 from repro.obs.trace import span as obs_span
 from repro.service.backends import ExecutionBackend, WasmBackend
@@ -130,6 +146,11 @@ class _RequestState:
     #: tenant lock, alongside the checkpoint signing they describe)
     checkpoints: int = 0
     billed: tuple = (0, 0, 0)
+    #: distributed-trace context for this request (``None`` when neither
+    #: tracing nor events are on); re-minted to the next hop on every
+    #: checkpoint re-dispatch and retry, always on the single dispatch path
+    #: for the request, so no extra locking is needed
+    trace: "TraceContext | None" = None
 
     def claim(self) -> bool:
         with self.lock:
@@ -168,8 +189,18 @@ class MeteringGateway:
         fault_plan: FaultPlan | None = None,
         preempt_after: int | None = None,
         warm_pool: bool = False,
+        trace_sample: float | None = None,
     ):
         self.config = config or SandboxConfig()
+        #: Head-sampling rate for the worker telemetry backhaul, in [0, 1].
+        #: Defaults to ``REPRO_TRACE_SAMPLE`` (1.0 when unset).  Sampling
+        #: gates only the backhaul: trace ids are minted (and stamped onto
+        #: receipts/events) for every request once tracing or events are on.
+        self.trace_sample = (
+            env_sample_rate()
+            if trace_sample is None
+            else min(1.0, max(0.0, trace_sample))
+        )
         #: Budget-boundary preemption: when set, every dispatched slice
         #: suspends after this many further executed instructions; the
         #: gateway signs a checkpoint receipt for the consumed delta and
@@ -347,8 +378,26 @@ class MeteringGateway:
             self._requests += 1
             request_id = self._requests
         req_span.set_attribute("request_id", request_id)
+        # trace identity: minted once per admitted request whenever anyone
+        # is watching (tracer or event log); obs-off runs skip it entirely
+        ctx: TraceContext | None = None
+        if tracing_enabled() or events_enabled():
+            ctx = TraceContext.mint(
+                self.gateway_id,
+                request_id,
+                sample_rate=self.trace_sample,
+                parent_span_id=getattr(req_span, "span_id", 0),
+            )
+            TRACES_SAMPLED_TOTAL.inc(
+                decision="sampled" if ctx.sampled else "unsampled"
+            )
+            req_span.set_attribute("trace_id", ctx.trace_id)
         emit_event(
-            "admit", gateway=self.gateway_id, tenant=tenant_id, request_id=request_id
+            "admit",
+            gateway=self.gateway_id,
+            tenant=tenant_id,
+            request_id=request_id,
+            trace_id=ctx.trace_id if ctx is not None else None,
         )
         task = ExecutionTask(
             module_bytes=tenant.module_bytes,
@@ -361,6 +410,7 @@ class MeteringGateway:
             max_instructions=self.config.max_instructions,
             snapshot_at=self.preempt_after,
             warm=self.warm_pool,
+            trace=ctx.to_wire() if ctx is not None and ctx.sampled else None,
         )
         if self.fault_plan is not None:
             fault = self.fault_plan.fault_for(request_id)
@@ -379,6 +429,7 @@ class MeteringGateway:
                     tenant=tenant_id,
                     request_id=request_id,
                     fault=fault,
+                    trace_id=ctx.trace_id if ctx is not None else None,
                 )
         response: Future[GatewayResponse] = Future()
         state = _RequestState(
@@ -388,6 +439,7 @@ class MeteringGateway:
             response=response,
             span=req_span,
             submitted=time.perf_counter(),
+            trace=ctx,
         )
         if self.resilience.deadline_s is not None:
             watchdog = threading.Timer(
@@ -420,12 +472,62 @@ class MeteringGateway:
         exc = done.exception()
         if exc is None:
             worker_result = done.result()
+            if worker_result.telemetry:
+                self._merge_telemetry(state, worker_result.telemetry)
             if worker_result.snapshot is not None:
                 self._checkpoint_and_resume(state, task, worker_result)
             else:
                 self._account(state, worker_result)
         else:
             self._task_failed(state, task, attempt, exc)
+
+    def _merge_telemetry(self, state: _RequestState, telemetry: dict) -> None:
+        """Fold one worker capture into the gateway's tracer/log/registry.
+
+        Spans keep their origin pid and land re-parented under the request
+        span (one stitched trace per request, however many workers served
+        its hops).  Worker events re-emit through the gateway log — fresh,
+        strictly monotonic ``seq``; the worker's own clock and pid ride
+        along as fields — so JSONL replay order stays deterministic.
+        Metric deltas are applied only when the capture crossed a process
+        boundary: a thread-pool worker's direct increments already landed
+        in the shared registry, and replaying them would double-count.
+        """
+        trace_id = telemetry.get("trace_id")
+        origin_pid = int(telemetry.get("pid", 0))
+        TRACE_BACKHAUL_BYTES.observe(float(len(json.dumps(telemetry, default=str))))
+        dropped = int(telemetry.get("spans_dropped", 0)) + int(
+            telemetry.get("events_dropped", 0)
+        )
+        if dropped:
+            TRACE_SPANS_DROPPED.inc(dropped)
+        tracer = get_tracer()
+        if tracer is not None and telemetry.get("spans"):
+            parent = state.span if isinstance(state.span, Span) else None
+            tracer.ingest(
+                telemetry["spans"], parent=parent, pid=origin_pid, trace_id=trace_id
+            )
+        for record in telemetry.get("events", ()):
+            fields = dict(record.get("fields", ()))
+            fields.update(
+                gateway=self.gateway_id,
+                request_id=state.request_id,
+                trace_id=trace_id,
+                origin_pid=origin_pid,
+                worker_ts_s=record.get("ts_s"),
+            )
+            emit_event(record["kind"], **fields)
+        if origin_pid != os.getpid():
+            registry = get_registry()
+            for delta in telemetry.get("metrics", ()):
+                name, kind, value, labels = delta
+                metric = registry.get(name)
+                if metric is None:
+                    continue
+                if kind == "histogram":
+                    metric.observe(value, **dict(labels))
+                else:
+                    metric.inc(value, **dict(labels))
 
     def _task_failed(
         self,
@@ -448,11 +550,16 @@ class MeteringGateway:
                 tenant=tenant_id,
                 request_id=state.request_id,
                 attempt=attempt + 1,
+                trace_id=state.trace.trace_id if state.trace is not None else None,
             )
             state.span.set_attribute("attempts", attempt + 2)
             # retries reuse the request id (exactly-once billing) but never
             # re-inject the fault: the crash already happened
             clean = replace(task, fault=None, fault_arg=0.0)
+            if state.trace is not None:
+                state.trace = state.trace.next_hop()
+                if state.trace.sampled:
+                    clean = replace(clean, trace=state.trace.to_wire())
             timer = threading.Timer(
                 self.resilience.backoff_s(state.request_id, attempt),
                 self._dispatch,
@@ -502,25 +609,35 @@ class MeteringGateway:
                 # the snapshot; prior checkpoint receipts stay sealed (the
                 # work they bill was really consumed)
                 return
+        trace_id = state.trace.trace_id if state.trace is not None else None
         try:
-            with tenant.lock:
-                tenant.ae.account_span(
-                    worker_result.raw,
-                    label=state.label,
-                    baseline=state.billed,
-                    final=False,
-                )
-                self.ledger.record(
-                    tenant.tenant_id,
-                    tenant.ae.log.entries[-1],
-                    request_id=f"{state.request_id}#cp{state.checkpoints + 1}",
-                )
-                state.checkpoints += 1
-                state.billed = (
-                    worker_result.raw.counter_value,
-                    worker_result.raw.io_bytes_in,
-                    worker_result.raw.io_bytes_out,
-                )
+            with obs_span(
+                "gateway.checkpoint",
+                parent=state.span,
+                tenant=tenant.tenant_id,
+                checkpoint=state.checkpoints + 1,
+                trace_id=trace_id,
+            ):
+                with tenant.lock:
+                    tenant.ae.account_span(
+                        worker_result.raw,
+                        label=state.label,
+                        baseline=state.billed,
+                        final=False,
+                        trace_id=trace_id,
+                    )
+                    self.ledger.record(
+                        tenant.tenant_id,
+                        tenant.ae.log.entries[-1],
+                        request_id=f"{state.request_id}#cp{state.checkpoints + 1}",
+                        trace_id=trace_id,
+                    )
+                    state.checkpoints += 1
+                    state.billed = (
+                        worker_result.raw.counter_value,
+                        worker_result.raw.io_bytes_in,
+                        worker_result.raw.io_bytes_out,
+                    )
         except BaseException as exc:  # noqa: BLE001 - relayed to the caller
             self._finalize_failure(state, exc)
             return
@@ -533,12 +650,17 @@ class MeteringGateway:
             request_id=state.request_id,
             checkpoint=state.checkpoints,
             snapshot_bytes=len(worker_result.snapshot),
+            trace_id=trace_id,
         )
         state.span.set_attribute("checkpoints", state.checkpoints)
         # the resumed slice carries the snapshot; never re-inject the fault
         resumed = replace(
             task, snapshot=worker_result.snapshot, fault=None, fault_arg=0.0
         )
+        if state.trace is not None:
+            state.trace = state.trace.next_hop()
+            if state.trace.sampled:
+                resumed = replace(resumed, trace=state.trace.to_wire())
         self._dispatch(state, resumed, attempt=0)
 
     def _account(self, state: _RequestState, worker_result: WorkerResult) -> None:
@@ -559,6 +681,7 @@ class MeteringGateway:
             return
         if not state.claim():
             return  # the deadline watchdog won the race: drop, unbilled
+        trace_id = state.trace.trace_id if state.trace is not None else None
         try:
             with obs_span(
                 "gateway.account", parent=state.span, tenant=tenant.tenant_id
@@ -572,13 +695,17 @@ class MeteringGateway:
                             label=state.label,
                             baseline=state.billed,
                             final=True,
+                            trace_id=trace_id,
                         )
                     else:
-                        result = tenant.ae.account(worker_result.raw, label=state.label)
+                        result = tenant.ae.account(
+                            worker_result.raw, label=state.label, trace_id=trace_id
+                        )
                     receipt = self.ledger.record(
                         tenant.tenant_id,
                         tenant.ae.log.entries[-1],
                         request_id=state.request_id,
+                        trace_id=trace_id,
                     )
         except BaseException as exc:  # noqa: BLE001 - relayed to the caller
             self._fail_finalized(state, exc)
@@ -592,7 +719,10 @@ class MeteringGateway:
         state.cancel_watchdog()
         latency_s = time.perf_counter() - state.submitted
         GATEWAY_REQUESTS.inc(tenant=tenant.tenant_id, outcome="ok")
-        GATEWAY_REQUEST_LATENCY.observe(latency_s, tenant=tenant.tenant_id)
+        # the exemplar links this latency bucket to the request's trace
+        GATEWAY_REQUEST_LATENCY.observe(
+            latency_s, exemplar=trace_id, tenant=tenant.tenant_id
+        )
         emit_event(
             "settled",
             gateway=self.gateway_id,
@@ -600,6 +730,7 @@ class MeteringGateway:
             request_id=state.request_id,
             outcome="ok",
             latency_s=latency_s,
+            trace_id=trace_id,
         )
         state.span.set_attribute("outcome", "ok")
         state.span.end()
@@ -648,6 +779,7 @@ class MeteringGateway:
             request_id=state.request_id,
             outcome=outcome,
             latency_s=time.perf_counter() - state.submitted,
+            trace_id=state.trace.trace_id if state.trace is not None else None,
         )
         state.span.set_attribute("outcome", outcome)
         state.span.end()
@@ -832,6 +964,7 @@ def run_loadtest(
     pipeline: bool | None = None,
     preempt_after: int | None = None,
     warm_pool: bool = False,
+    trace_out: str | None = None,
 ) -> dict:
     """Drive the gateway at each worker count and report wall-clock numbers.
 
@@ -875,6 +1008,14 @@ def run_loadtest(
     instead report the failure-containment invariants: the epoch still
     audits clean, and billing is exactly-once — receipt count == distinct
     billed request ids == successful responses.
+
+    ``trace_out`` turns on distributed tracing for the run and writes the
+    stitched Chrome/Perfetto trace there: every request's gateway-side
+    spans, backhauled worker spans (origin pids intact) and AE signing
+    spans render as one connected timeline, and each sweep point gains a
+    ``trace`` stitch report — per completed request, the span tree must be
+    connected and every one of its receipts must carry the recomputable
+    ``trace_id``.  The aggregate verdict lands in ``result["trace_ok"]``.
 
     ``preempt_after`` turns on budget-boundary preemption: every request is
     suspended after that many executed instructions per slice, checkpoint-
@@ -926,6 +1067,10 @@ def run_loadtest(
     event_log: EventLog | None = None
     if pipeline_on:
         event_log = enable_events(EventLog())
+    previous_tracer = get_tracer()
+    tracer: Tracer | None = None
+    if trace_out is not None:
+        tracer = enable_tracing(Tracer())
 
     sweep = []
     try:
@@ -954,6 +1099,14 @@ def run_loadtest(
                 enable_events(previous_log)
             else:
                 disable_events()
+        if trace_out is not None:
+            if tracer is not None:
+                tracer.flush_truncated()
+                tracer.write_chrome_trace(trace_out)
+            if previous_tracer is not None:
+                enable_tracing(previous_tracer)
+            else:
+                disable_tracing()
     result = {
         "benchmark": "metering-gateway-loadtest",
         "mix": [tenant_id for tenant_id, _m, _r in mix],
@@ -968,6 +1121,11 @@ def run_loadtest(
         result["preempt_after"] = preempt_after
     if warm_pool:
         result["warm_pool"] = True
+    if trace_out is not None:
+        result["trace_out"] = trace_out
+        result["trace_ok"] = all(
+            point.get("trace", {}).get("ok", True) for point in sweep
+        )
     if plan is not None:
         result["fault_plan"] = plan.describe()
         result["deadline_s"] = deadline_s
@@ -1133,6 +1291,9 @@ def _run_sweep_point(
                 gateway_id=gw.gateway_id,
             )
             point["drift"] = drift.to_json()
+        tracer = get_tracer()
+        if tracer is not None:
+            point["trace"] = _stitch_report(gw, tracer, responses)
         if verify_serial:
             # totals over the scheduled mix only — the probe tenant's
             # served request is not part of the serial baseline
@@ -1144,6 +1305,86 @@ def _run_sweep_point(
             ]
             point["gateway_totals"] = mix_totals.totals().to_json()
         return point
+
+
+def _stitch_report(
+    gw: MeteringGateway, tracer: Tracer, responses: list[GatewayResponse]
+) -> dict:
+    """Verify, per completed request, that its trace stitched end to end.
+
+    Three properties, all recomputable offline because trace ids are a pure
+    function of (gateway id, request id):
+
+    * **connected** — every span carrying the request's trace id reaches
+      the ``gateway.request`` root by walking parent links (worker spans
+      were re-parented at merge; checkpoint hops all hang under one root);
+    * **origin pids** — merged worker spans keep the pid of the process
+      that recorded them (distinct from the gateway's on a process pool);
+    * **receipt linkage** — every AE receipt the request produced (final
+      and every ``#cpN`` checkpoint) carries the same trace id.
+    """
+    spans = tracer.finished()
+    by_id = {s.span_id: s for s in spans}
+    own_pid = os.getpid()
+    worker_pids: set[int] = set()
+    stitched = 0
+    unlinked_receipts = 0
+
+    def _reaches(span: Span, root: Span) -> bool:
+        seen: set[int] = set()
+        current: Span | None = span
+        while current is not None and current.span_id not in seen:
+            if current.span_id == root.span_id:
+                return True
+            seen.add(current.span_id)
+            current = (
+                by_id.get(current.parent_id)
+                if current.parent_id is not None
+                else None
+            )
+        return False
+
+    for response in responses:
+        tid = trace_id_for(gw.gateway_id, response.request_id)
+        root = next(
+            (
+                s
+                for s in spans
+                if s.name == "gateway.request"
+                and s.attributes.get("trace_id") == tid
+            ),
+            None,
+        )
+        members = [
+            s
+            for s in spans
+            if s.attributes.get("trace_id") == tid and s is not root
+        ]
+        connected = root is not None and all(_reaches(s, root) for s in members)
+        worker_pids |= {
+            s.pid for s in members if s.pid and s.pid != own_pid
+        }
+        receipts = [
+            r
+            for r in gw.ledger.receipts(response.tenant_id)
+            if r.request_id == response.request_id
+            or (
+                isinstance(r.request_id, str)
+                and r.request_id.startswith(f"{response.request_id}#cp")
+            )
+        ]
+        linked = bool(receipts) and all(r.trace_id == tid for r in receipts)
+        if not linked:
+            unlinked_receipts += 1
+        if connected and linked:
+            stitched += 1
+    return {
+        "requests_checked": len(responses),
+        "stitched": stitched,
+        "unlinked_receipts": unlinked_receipts,
+        "worker_pids": sorted(worker_pids),
+        "ok": stitched == len(responses),
+    }
 
 
 def _cores_available() -> int:

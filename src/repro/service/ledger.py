@@ -51,11 +51,18 @@ class Receipt:
     Checkpoint receipts for a preempted request bill under the derived
     string id ``"<id>#cpN"`` — the bare integer id stays reserved for the
     request's single final receipt.
+
+    ``trace_id`` is billing provenance, *outside* the signed body: it links
+    the receipt to the distributed trace of the execution that produced it
+    (every ``#cpN`` checkpoint of a preempted request carries the same id).
+    Keeping it off :class:`~repro.core.resource_log.LogEntry` preserves the
+    obs-on/off byte-identical signed-vector guarantee.
     """
 
     tenant_id: str
     entry: LogEntry
     request_id: int | str | None = None
+    trace_id: str | None = None
 
 
 @dataclass(frozen=True)
@@ -151,7 +158,11 @@ class BillingLedger:
             self._billed_requests.setdefault(tenant_id, set())
 
     def record(
-        self, tenant_id: str, entry: LogEntry, request_id: int | str | None = None
+        self,
+        tenant_id: str,
+        entry: LogEntry,
+        request_id: int | str | None = None,
+        trace_id: str | None = None,
     ) -> Receipt:
         """Append one signed receipt to a tenant's chain (arrival order).
 
@@ -159,7 +170,12 @@ class BillingLedger:
         receipt for an id already on the chain raises
         :class:`DuplicateReceipt` *before* anything is appended.
         """
-        receipt = Receipt(tenant_id=tenant_id, entry=entry, request_id=request_id)
+        receipt = Receipt(
+            tenant_id=tenant_id,
+            entry=entry,
+            request_id=request_id,
+            trace_id=trace_id,
+        )
         with self._lock:
             chain = self._receipts[tenant_id]
             if request_id is not None and request_id in self._billed_requests[tenant_id]:
@@ -183,6 +199,7 @@ class BillingLedger:
             sequence=entry.sequence,
             weighted_instructions=entry.vector.weighted_instructions,
             entry_hash=entry.entry_hash(),
+            trace_id=trace_id,
         )
         return receipt
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.obs.context import record_metric, worker_event, worker_span
 from repro.obs.instruments import WARM_POOL_HITS
 from repro.wasm.interpreter import ExecutionLimits, Instance
 from repro.wasm.module import Module
@@ -101,11 +102,16 @@ class WarmPool:
         with self._lock:
             handle = self._idle.pop() if self._idle else None
         if handle is None:
-            handle = self._build()
+            with worker_span("warmpool.build"):
+                handle = self._build()
+            worker_event("warm_acquire", outcome="build")
         else:
             with self._lock:
                 self.hits += 1
             WARM_POOL_HITS.inc()
+            # backhaul copy: a process-pool worker's registry dies with it
+            record_metric("acctee_warm_pool_hits", 1)
+            worker_event("warm_acquire", outcome="hit")
         apply_state(handle.instance, self._image)
         handle.channel.reset(input_data)
         handle.env.account = IOAccount()

@@ -41,9 +41,16 @@ from concurrent.futures import (
     ProcessPoolExecutor,
     ThreadPoolExecutor,
 )
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.accounting_enclave import RawExecution
+from repro.obs.context import (
+    TelemetryCapture,
+    TraceContext,
+    activate,
+    worker_event,
+    worker_span,
+)
 from repro.obs.events import emit as emit_event
 from repro.obs.instruments import (
     POOL_EXEC_WALL,
@@ -109,6 +116,10 @@ class ExecutionTask:
     #: serve from this worker's warm pool (instantiate once per process,
     #: reset a pooled instance per request)
     warm: bool = False
+    #: distributed-trace context (``TraceContext.to_wire()`` tuple), set by
+    #: the gateway only when the request is head-sampled — its presence is
+    #: what arms the worker-side telemetry capture
+    trace: tuple | None = None
 
 
 @dataclass(frozen=True)
@@ -123,6 +134,10 @@ class WorkerResult:
     raw: RawExecution
     exec_wall_s: float
     snapshot: bytes | None = None
+    #: backhauled worker telemetry (``TelemetryCapture.to_wire()`` dict):
+    #: spans, events and metric deltas recorded while the task's trace
+    #: context was active, merged by the gateway with origin-pid tagging
+    telemetry: dict | None = None
 
 
 def _cached_module(task: ExecutionTask) -> Module:
@@ -130,9 +145,11 @@ def _cached_module(task: ExecutionTask) -> Module:
         module = _MODULE_CACHE.get(task.module_hash)
         if module is not None:
             _MODULE_CACHE.move_to_end(task.module_hash)
+            worker_event("module_cache", outcome="hit")
             return module
     # decode outside the lock — it is the expensive part, and two threads
     # decoding the same module concurrently is wasteful but harmless
+    worker_event("module_cache", outcome="decode")
     module = decode_module(task.module_bytes)
     with _MODULE_CACHE_LOCK:
         if task.module_hash not in _MODULE_CACHE:
@@ -202,8 +219,33 @@ def execute_task(task: ExecutionTask) -> WorkerResult:
     and continue the suspended call stack).  With ``task.snapshot_at`` set,
     any variant may *preempt* instead of completing: the result then carries
     the encoded snapshot and meters-as-of-capture for checkpoint billing.
+
+    When the task carries a trace context (``task.trace``, set only for
+    head-sampled requests), a :class:`~repro.obs.context.TelemetryCapture`
+    is activated thread-locally for the task's duration: worker-side spans,
+    events and metric deltas record into it and ship home on the result.
+    A worker that crashes mid-task loses its capture with the process —
+    which is the truthful telemetry for that hop.
     """
     started = time.perf_counter()
+    if task.trace is None:
+        return _execute_any(task, started)
+    ctx = TraceContext.from_wire(task.trace)
+    capture = TelemetryCapture(ctx)
+    with activate(capture):
+        with capture.span(
+            "worker.task",
+            hop=ctx.hop,
+            resume=task.snapshot is not None,
+            warm=task.warm,
+        ) as root:
+            result = _execute_any(task, started)
+            root.set_attribute("preempted", result.snapshot is not None)
+    return replace(result, telemetry=capture.to_wire())
+
+
+def _execute_any(task: ExecutionTask, started: float) -> WorkerResult:
+    """Dispatch one task to its variant (fault act-out happens first)."""
     if task.fault is not None:
         perform_pre_fault(task.fault, task.fault_arg)
     if task.snapshot is not None:
@@ -213,26 +255,30 @@ def execute_task(task: ExecutionTask) -> WorkerResult:
         max_instructions=task.max_instructions, snapshot_at=task.snapshot_at
     )
     handle = None
-    if task.warm:
-        pool = _warm_pool(task)
-        handle = pool.acquire(task.input_data, limits=limits)
-        instance, env, channel = handle.instance, handle.env, handle.channel
-    else:
-        channel = IOChannel(input_data=task.input_data)
-        env = HostEnvironment(channel=channel, account_io=True)
-        instance = env.instantiate(module, limits=limits, engine=task.engine)
+    with worker_span("worker.instantiate", warm=task.warm, engine=task.engine or ""):
+        if task.warm:
+            pool = _warm_pool(task)
+            handle = pool.acquire(task.input_data, limits=limits)
+            instance, env, channel = handle.instance, handle.env, handle.channel
+        else:
+            channel = IOChannel(input_data=task.input_data)
+            env = HostEnvironment(channel=channel, account_io=True)
+            instance = env.instantiate(module, limits=limits, engine=task.engine)
 
     trapped = False
     trap_message = ""
     value: object = None
     snapshot_blob: bytes | None = None
-    try:
-        value = instance.invoke(task.export, *task.args)
-    except SnapshotCaptured as exc:
-        snapshot_blob = encode_snapshot(with_io(exc.snapshot, env, channel))
-    except Trap as exc:
-        trapped = True
-        trap_message = str(exc)
+    with worker_span("worker.invoke", export=task.export) as invoke_span:
+        try:
+            value = instance.invoke(task.export, *task.args)
+        except SnapshotCaptured as exc:
+            snapshot_blob = encode_snapshot(with_io(exc.snapshot, env, channel))
+            invoke_span.set_attribute("preempted", True)
+        except Trap as exc:
+            trapped = True
+            trap_message = str(exc)
+            invoke_span.set_attribute("trapped", True)
 
     raw = _raw_reading(task, module, instance, env, channel, value, trapped, trap_message)
     if task.fault == "corrupt":
@@ -251,38 +297,46 @@ def _execute_resume(task: ExecutionTask, started: float) -> WorkerResult:
     position, so a preempting gateway dispatches the same slice size on
     every hop of a job.
     """
-    module = _cached_module(task)
-    snap = decode_snapshot(task.snapshot)
-    io = snap.io or IOState()
-    channel = IOChannel(input_data=task.input_data)
-    channel._read_pos = io.read_pos
-    channel.output[:] = io.output
-    env = HostEnvironment(channel=channel, account_io=True)
-    env.account.bytes_in = io.bytes_in
-    env.account.bytes_out = io.bytes_out
-    env.account.calls = io.calls
-    limits = ExecutionLimits(
-        max_instructions=task.max_instructions,
-        snapshot_at=(
-            snap.executed + task.snapshot_at if task.snapshot_at is not None else None
-        ),
-    )
-    instance = restore_instance(
-        snap, module, imports=env.imports(), limits=limits, engine=task.engine
-    )
-    env.bind(instance)
+    with worker_span(
+        "worker.restore", snapshot_bytes=len(task.snapshot), engine=task.engine or ""
+    ):
+        module = _cached_module(task)
+        snap = decode_snapshot(task.snapshot)
+        io = snap.io or IOState()
+        channel = IOChannel(input_data=task.input_data)
+        channel._read_pos = io.read_pos
+        channel.output[:] = io.output
+        env = HostEnvironment(channel=channel, account_io=True)
+        env.account.bytes_in = io.bytes_in
+        env.account.bytes_out = io.bytes_out
+        env.account.calls = io.calls
+        limits = ExecutionLimits(
+            max_instructions=task.max_instructions,
+            snapshot_at=(
+                snap.executed + task.snapshot_at
+                if task.snapshot_at is not None
+                else None
+            ),
+        )
+        instance = restore_instance(
+            snap, module, imports=env.imports(), limits=limits, engine=task.engine
+        )
+        env.bind(instance)
 
     trapped = False
     trap_message = ""
     value: object = None
     snapshot_blob: bytes | None = None
-    try:
-        value = resume_invoke(instance, snap)
-    except SnapshotCaptured as exc:
-        snapshot_blob = encode_snapshot(with_io(exc.snapshot, env, channel))
-    except Trap as exc:
-        trapped = True
-        trap_message = str(exc)
+    with worker_span("worker.resume_invoke", export=task.export) as invoke_span:
+        try:
+            value = resume_invoke(instance, snap)
+        except SnapshotCaptured as exc:
+            snapshot_blob = encode_snapshot(with_io(exc.snapshot, env, channel))
+            invoke_span.set_attribute("preempted", True)
+        except Trap as exc:
+            trapped = True
+            trap_message = str(exc)
+            invoke_span.set_attribute("trapped", True)
 
     raw = _raw_reading(task, module, instance, env, channel, value, trapped, trap_message)
     if task.fault == "corrupt":

@@ -34,6 +34,7 @@ import json
 import struct
 from dataclasses import dataclass, replace
 
+from repro.obs.context import record_metric
 from repro.obs.instruments import SNAPSHOT_BYTES, SNAPSHOTS_TAKEN
 from repro.tcrypto.hashing import sha256
 from repro.wasm.binary import encode_module
@@ -211,7 +212,9 @@ def capture_instance(
         frames=tuple(frames),
         io=io,
     )
-    SNAPSHOTS_TAKEN.inc(kind="warm" if not frames else "suspend")
+    kind = "warm" if not frames else "suspend"
+    SNAPSHOTS_TAKEN.inc(kind=kind)
+    record_metric("acctee_snapshots_taken", 1, kind=kind)
     return snapshot
 
 
@@ -311,6 +314,7 @@ def encode_snapshot(snapshot: Snapshot, _observe: bool = True) -> bytes:
     blob = MAGIC + struct.pack("<I", snapshot.version) + body
     if _observe:
         SNAPSHOT_BYTES.observe(float(len(blob)))
+        record_metric("acctee_snapshot_bytes", float(len(blob)), kind="histogram")
     return blob
 
 

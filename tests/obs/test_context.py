@@ -1,0 +1,422 @@
+"""Trace context, worker telemetry capture, and the cross-process merge.
+
+Unit coverage for :mod:`repro.obs.context`: deterministic trace identity
+and head sampling, the bounded worker-side capture (wire format, drop
+counting, thread-local activation), the tracer's foreign-span ingest, the
+per-span pid in the Chrome export, histogram exemplars, and the
+``explain_request`` event reconstruction.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.context import (
+    MAX_EVENTS,
+    MAX_SPANS,
+    SAMPLE_ENV,
+    TelemetryCapture,
+    TraceContext,
+    activate,
+    current_capture,
+    env_sample_rate,
+    explain_request,
+    record_metric,
+    sampling_decision,
+    trace_id_for,
+    worker_event,
+    worker_span,
+)
+from repro.obs.events import Event
+from repro.obs.metrics import Histogram, disable_metrics, enable_metrics
+from repro.obs.trace import Tracer
+
+
+CTX = TraceContext(trace_id=trace_id_for("gw-test", 1))
+
+
+# ---------------------------------------------------------------------------
+# TraceContext: identity, sampling, wire format
+# ---------------------------------------------------------------------------
+
+
+class TestTraceContext:
+    def test_trace_id_is_deterministic_and_128_bit(self):
+        a = trace_id_for("gw-1", 7)
+        assert a == trace_id_for("gw-1", 7)
+        assert len(a) == 32  # 128 bits as hex
+        int(a, 16)  # valid hex
+        assert a != trace_id_for("gw-1", 8)
+        assert a != trace_id_for("gw-2", 7)
+
+    def test_mint_recomputable_offline(self):
+        ctx = TraceContext.mint("gw-1", 42, parent_span_id=9)
+        assert ctx.trace_id == trace_id_for("gw-1", 42)
+        assert ctx.parent_span_id == 9
+        assert ctx.hop == 0
+        assert ctx.sampled is True  # default rate 1.0
+
+    def test_next_hop_increments_and_can_reparent(self):
+        ctx = TraceContext.mint("gw-1", 1, parent_span_id=3)
+        resumed = ctx.next_hop()
+        assert resumed.hop == 1
+        assert resumed.trace_id == ctx.trace_id
+        assert resumed.parent_span_id == 3  # kept by default
+        again = resumed.next_hop(parent_span_id=17)
+        assert again.hop == 2
+        assert again.parent_span_id == 17
+
+    def test_wire_roundtrip(self):
+        ctx = TraceContext(trace_id="ab" * 16, parent_span_id=5, sampled=False, hop=2)
+        wire = ctx.to_wire()
+        assert isinstance(wire, tuple)  # pickles inside ExecutionTask
+        assert TraceContext.from_wire(wire) == ctx
+
+    def test_sampling_decision_is_deterministic_per_trace(self):
+        tid = trace_id_for("gw-1", 99)
+        assert sampling_decision(tid, 1.0) is True
+        assert sampling_decision(tid, 0.0) is False
+        # the same id decides the same way every time at a mid rate
+        first = sampling_decision(tid, 0.5)
+        assert all(sampling_decision(tid, 0.5) == first for _ in range(10))
+
+    def test_sampling_rate_orders_monotonically(self):
+        # a trace sampled at rate r is sampled at every rate > r
+        ids = [trace_id_for("gw-1", i) for i in range(64)]
+        for tid in ids:
+            decisions = [sampling_decision(tid, r) for r in (0.1, 0.5, 0.9)]
+            assert decisions == sorted(decisions)
+
+    def test_mid_rate_splits_the_population(self):
+        ids = [trace_id_for("gw-1", i) for i in range(200)]
+        sampled = sum(sampling_decision(t, 0.5) for t in ids)
+        assert 0 < sampled < len(ids)
+
+    def test_env_sample_rate_parsing_and_clamping(self, monkeypatch):
+        monkeypatch.delenv(SAMPLE_ENV, raising=False)
+        assert env_sample_rate() == 1.0
+        assert env_sample_rate(default=0.25) == 0.25
+        monkeypatch.setenv(SAMPLE_ENV, "0.5")
+        assert env_sample_rate() == 0.5
+        monkeypatch.setenv(SAMPLE_ENV, "7")
+        assert env_sample_rate() == 1.0  # clamped high
+        monkeypatch.setenv(SAMPLE_ENV, "-1")
+        assert env_sample_rate() == 0.0  # clamped low
+        monkeypatch.setenv(SAMPLE_ENV, "banana")
+        assert env_sample_rate() == 1.0  # unparseable falls back
+
+
+# ---------------------------------------------------------------------------
+# TelemetryCapture: recording, bounds, wire format
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryCapture:
+    def test_span_nesting_records_parent_links(self):
+        capture = TelemetryCapture(CTX)
+        with capture.span("outer") as outer:
+            outer.set_attribute("k", "v")
+            with capture.span("inner"):
+                pass
+        with capture.span("sibling"):
+            pass
+        by_name = {s["name"]: s for s in capture.spans}
+        assert by_name["outer"]["parent"] is None
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["sibling"]["parent"] is None
+        assert by_name["outer"]["attrs"] == {"k": "v"}
+        for record in capture.spans:
+            assert record["end_ns"] is not None
+            assert record["end_ns"] >= record["start_ns"]
+
+    def test_span_bound_counts_drops_instead_of_growing(self):
+        capture = TelemetryCapture(CTX, max_spans=2)
+        for i in range(5):
+            with capture.span(f"s{i}") as s:
+                s.set_attribute("i", i)  # safe even on a dropped span
+        assert len(capture.spans) == 2
+        assert capture.spans_dropped == 3
+
+    def test_event_bound_counts_drops(self):
+        capture = TelemetryCapture(CTX, max_events=3)
+        for i in range(5):
+            capture.event("k", i=i)
+        assert len(capture.events) == 3
+        assert capture.events_dropped == 2
+
+    def test_default_bounds(self):
+        capture = TelemetryCapture(CTX)
+        assert capture.max_spans == MAX_SPANS
+        assert capture.max_events == MAX_EVENTS
+
+    def test_attributes_are_wire_safe(self):
+        capture = TelemetryCapture(CTX)
+        with capture.span("s", blob=b"\x01\x02", n=3, f=1.5, flag=True, none=None):
+            pass
+        capture.event("e", blob=b"\xff", obj=object())
+        attrs = capture.spans[0]["attrs"]
+        assert attrs["blob"] == "0102"  # bytes hex-encode
+        assert attrs["n"] == 3 and attrs["f"] == 1.5 and attrs["flag"] is True
+        assert attrs["none"] is None
+        fields = capture.events[0]["fields"]
+        assert fields["blob"] == "ff"
+        assert isinstance(fields["obj"], str)  # arbitrary objects stringify
+
+    def test_metric_deltas_record_sorted_label_tuples(self):
+        capture = TelemetryCapture(CTX)
+        capture.metric("acctee_warm_pool_hits", 1)
+        capture.metric("acctee_snapshot_bytes", 512.0, kind="histogram", b="2", a="1")
+        assert capture.metrics[0] == ("acctee_warm_pool_hits", "counter", 1.0, ())
+        name, kind, value, labels = capture.metrics[1]
+        assert (name, kind, value) == ("acctee_snapshot_bytes", "histogram", 512.0)
+        assert labels == (("a", "1"), ("b", "2"))  # sorted, hashable
+
+    def test_to_wire_closes_open_spans_as_truncated(self):
+        capture = TelemetryCapture(CTX)
+        capture.span("left_open")  # e.g. a fault unwound past the exit
+        wire = capture.to_wire()
+        [record] = wire["spans"]
+        assert record["end_ns"] is not None
+        assert record["attrs"]["truncated"] is True
+        # the capture itself is untouched — to_wire copies
+        assert capture.spans[0]["end_ns"] is None
+
+    def test_to_wire_shape_pickles_as_plain_data(self):
+        capture = TelemetryCapture(CTX)
+        with capture.span("s"):
+            capture.event("e", x=1)
+        capture.metric("m", 2.0)
+        wire = capture.to_wire()
+        assert wire["trace_id"] == CTX.trace_id
+        assert wire["hop"] == CTX.hop
+        assert wire["pid"] == capture.pid
+        assert wire["spans_dropped"] == 0 and wire["events_dropped"] == 0
+        json.dumps(wire)  # nothing exotic survives into the wire format
+
+
+# ---------------------------------------------------------------------------
+# Thread-local activation and the no-op helpers
+# ---------------------------------------------------------------------------
+
+
+class TestActivation:
+    def test_helpers_are_noops_without_a_capture(self):
+        assert current_capture() is None
+        with worker_span("nothing", k=1) as s:
+            s.set_attribute("k", 2)
+        worker_event("nothing")
+        record_metric("nothing", 1)  # none of these raise or record anywhere
+
+    def test_activate_installs_and_restores(self):
+        capture = TelemetryCapture(CTX)
+        with activate(capture):
+            assert current_capture() is capture
+            with worker_span("inside", k="v"):
+                pass
+            worker_event("evt", a=1)
+            record_metric("m", 3.0)
+        assert current_capture() is None
+        assert [s["name"] for s in capture.spans] == ["inside"]
+        assert [e["kind"] for e in capture.events] == ["evt"]
+        assert capture.metrics == [("m", "counter", 3.0, ())]
+
+    def test_activation_is_thread_local(self):
+        mine = TelemetryCapture(CTX)
+        seen = {}
+
+        def other_thread():
+            seen["capture"] = current_capture()
+            worker_event("from_other")  # must not leak into `mine`
+
+        with activate(mine):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert seen["capture"] is None
+        assert mine.events == []
+
+    def test_nested_activation_restores_previous(self):
+        outer = TelemetryCapture(CTX)
+        inner = TelemetryCapture(CTX)
+        with activate(outer):
+            with activate(inner):
+                assert current_capture() is inner
+            assert current_capture() is outer
+
+
+# ---------------------------------------------------------------------------
+# Tracer.ingest: the gateway-side merge
+# ---------------------------------------------------------------------------
+
+
+class TestIngest:
+    def make_wire_spans(self):
+        capture = TelemetryCapture(CTX)
+        with capture.span("worker.task", hop=0):
+            with capture.span("worker.invoke"):
+                pass
+        return capture.to_wire()
+
+    def test_ids_remapped_and_roots_reparented(self):
+        tracer = Tracer()
+        parent = tracer.span("gateway.request", detached=True)
+        wire = self.make_wire_spans()
+        merged = tracer.ingest(wire["spans"], parent=parent, pid=wire["pid"],
+                               trace_id=CTX.trace_id)
+        parent.end()
+        by_name = {s.name: s for s in merged}
+        task, invoke = by_name["worker.task"], by_name["worker.invoke"]
+        assert task.parent_id == parent.span_id  # capture root hangs under parent
+        assert invoke.parent_id == task.span_id  # intra-capture link preserved
+        assert task.span_id != wire["spans"][0]["id"]  # remapped into tracer space
+        assert task.pid == wire["pid"] and invoke.pid == wire["pid"]
+        assert task.attributes["trace_id"] == CTX.trace_id
+        assert task.attributes["hop"] == 0  # original attrs survive
+
+    def test_ingest_without_parent_leaves_roots_detached(self):
+        tracer = Tracer()
+        wire = self.make_wire_spans()
+        merged = tracer.ingest(wire["spans"], pid=wire["pid"])
+        assert merged[0].parent_id is None
+
+    def test_chrome_trace_renders_per_span_pid_with_process_rows(self):
+        import os
+
+        tracer = Tracer()
+        with tracer.span("local"):
+            pass
+        wire = self.make_wire_spans()
+        foreign_pid = os.getpid() + 1000  # simulate a worker process
+        for record in wire["spans"]:
+            record.pop("pid", None)
+        tracer.ingest(wire["spans"], pid=foreign_pid)
+        doc = tracer.to_chrome_trace()
+        x_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        pids = {e["pid"] for e in x_events}
+        assert pids == {os.getpid(), foreign_pid}
+        names = sorted(e["args"]["name"] for e in meta)
+        assert any("gateway" in n for n in names)
+        assert any("worker" in n for n in names)
+
+    def test_chrome_trace_single_process_has_no_metadata_rows(self):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        doc = tracer.to_chrome_trace()
+        assert all(e["ph"] != "M" for e in doc["traceEvents"])
+
+
+# ---------------------------------------------------------------------------
+# Histogram exemplars
+# ---------------------------------------------------------------------------
+
+
+class TestExemplars:
+    @pytest.fixture(autouse=True)
+    def _metrics_on(self):
+        enable_metrics()
+        yield
+        disable_metrics()
+
+    def test_observe_with_exemplar_exposes_it(self):
+        h = Histogram("ctx_test_latency_s", "h", buckets=(0.1, 1.0))
+        h.observe(0.05, exemplar="aa" * 16, tenant="t")
+        h.observe(0.5, exemplar="bb" * 16, tenant="t")
+        h.observe(0.07, exemplar="cc" * 16, tenant="t")  # last-write-wins
+        assert h.exemplar(0, tenant="t") == ("cc" * 16, 0.07)
+        assert h.exemplar(1, tenant="t") == ("bb" * 16, 0.5)
+        assert h.exemplar(0, tenant="other") is None
+        bucket_lines = [
+            line for line in h.samples() if "_bucket" in line and "# {" in line
+        ]
+        assert any('trace_id="' + "cc" * 16 + '"' in line for line in bucket_lines)
+        [series] = h.to_json().values()
+        assert series["exemplars"]["0"] == {"trace_id": "cc" * 16, "value": 0.07}
+        h.reset()
+        assert h.exemplar(0, tenant="t") is None
+
+    def test_overflow_bucket_exemplar_annotates_inf_line(self):
+        h = Histogram("ctx_inf_latency_s", "h", buckets=(1.0,))
+        h.observe(5.0, exemplar="dd" * 16)
+        inf_lines = [line for line in h.samples() if 'le="+Inf"' in line]
+        assert len(inf_lines) == 1
+        assert 'trace_id="' + "dd" * 16 + '"' in inf_lines[0]
+
+    def test_observe_without_exemplar_adds_no_annotation(self):
+        h = Histogram("ctx_plain_latency_s", "h", buckets=(1.0,))
+        h.observe(0.5)
+        assert all("# {" not in line for line in h.samples())
+        [series] = h.to_json().values()
+        assert "exemplars" not in series
+
+
+# ---------------------------------------------------------------------------
+# explain_request
+# ---------------------------------------------------------------------------
+
+
+def _event(seq, kind, ts=0.0, **fields):
+    return Event(seq=seq, ts_s=ts, kind=kind, fields=fields)
+
+
+class TestExplainRequest:
+    def make_events(self):
+        tid = trace_id_for("gw-x", 4)
+        return tid, [
+            _event(1, "admit", ts=0.0, gateway="gw-x", request_id=4,
+                   tenant="alice", trace_id=tid),
+            _event(2, "module_cache", ts=0.01, gateway="gw-x", request_id=4,
+                   trace_id=tid, origin_pid=1234, outcome="decode"),
+            _event(3, "checkpoint", ts=0.05, gateway="gw-x", request_id=4,
+                   tenant="alice", checkpoint=1, snapshot_bytes=900, trace_id=tid),
+            _event(4, "receipt", ts=0.06, gateway="gw-x", request_id="4#cp1",
+                   tenant="alice", sequence=1, trace_id=tid),
+            _event(5, "module_cache", ts=0.07, gateway="gw-x", request_id=4,
+                   trace_id=tid, origin_pid=1299, outcome="hit"),
+            _event(6, "receipt", ts=0.10, gateway="gw-x", request_id=4,
+                   tenant="alice", sequence=2, trace_id=tid),
+            _event(7, "settled", ts=0.11, gateway="gw-x", request_id=4,
+                   tenant="alice", outcome="ok", latency_s=0.11, trace_id=tid),
+            _event(8, "seal", ts=0.20, gateway="gw-x", epoch=0, receipts=2),
+        ]
+
+    def test_reconstructs_the_full_chain(self):
+        tid, events = self.make_events()
+        report = explain_request(events, 4)
+        assert report["found"] is True
+        assert report["gateway"] == "gw-x"
+        assert report["trace_id"] == tid
+        assert report["checkpoints"] == [1]
+        assert [r["request_id"] for r in report["receipts"]] == ["4#cp1", 4]
+        assert all(r["trace_id"] == tid for r in report["receipts"])
+        assert report["origin_pids"] == [1234, 1299]
+        assert report["settled"]["outcome"] == "ok"
+        assert report["sealed_epoch"] == 0
+        story = "\n".join(report["story"])
+        assert "admitted" in story and "preempted" in story
+        assert "checkpoint receipt" in story and "final receipt" in story
+        assert "epoch 0 sealed" in story
+
+    def test_gateway_filter_excludes_other_gateways(self):
+        _tid, events = self.make_events()
+        assert explain_request(events, 4, gateway="gw-x")["found"] is True
+        assert explain_request(events, 4, gateway="gw-other")["found"] is False
+
+    def test_unknown_request_reports_not_found(self):
+        _tid, events = self.make_events()
+        report = explain_request(events, 99)
+        assert report["found"] is False
+        assert "no events found" in report["story"][0]
+
+    def test_seal_before_final_receipt_is_not_attributed(self):
+        tid = trace_id_for("gw-x", 1)
+        events = [
+            _event(1, "seal", ts=0.0, gateway="gw-x", epoch=0, receipts=3),
+            _event(2, "admit", ts=0.1, gateway="gw-x", request_id=1, trace_id=tid),
+            _event(3, "receipt", ts=0.2, gateway="gw-x", request_id=1,
+                   sequence=1, trace_id=tid),
+        ]
+        report = explain_request(events, 1)
+        assert report["sealed_epoch"] is None  # only a seal *after* counts
