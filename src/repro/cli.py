@@ -340,6 +340,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
 
     worker_counts = tuple(int(w) for w in args.workers.split(","))
     kernels = tuple(args.kernels.split(",")) if args.kernels else ()
+    seal_window = args.seal_window if args.seal_window > 0 else None
     backends = ("wasm", "modeled") if args.backend == "both" else (args.backend,)
     if args.preempt or args.warm:
         # preemption/warm pools execute for real; the modeled backend cannot
@@ -383,6 +384,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             preempt_after=args.preempt or None,
             warm_pool=args.warm,
             trace_out=trace_out,
+            seal_window=seal_window,
         )
         sweeps[backend] = result
         for point in result["sweep"]:
@@ -424,8 +426,18 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                       f"ok_responses={billing['ok_responses']})")
                 ok = ok and billing["exactly_once"]
         if "speedup_4_over_1" in result:
+            gate = result.get("speedup_gate", {})
+            advisory = " (advisory: fewer cores than workers)" if gate.get("advisory") else ""
             print(f"[{backend}] speedup 4 workers over 1: "
-                  f"{result['speedup_4_over_1']:.2f}x")
+                  f"{result['speedup_4_over_1']:.2f}x{advisory}")
+        sigs = result["sweep"][-1].get("signatures") if result["sweep"] else None
+        if sigs is not None:
+            mode = (f"batched (window {seal_window})" if seal_window
+                    else "per-receipt")
+            print(f"[{backend}] AE signatures: {mode} — "
+                  f"{sigs['per_receipt']} per-receipt + {sigs['batch_seals']} "
+                  f"batch seals over {sigs['receipts']} receipts "
+                  f"({sigs['per_request']:.2f} sigs/receipt)")
         if not args.no_serial and not chaos:
             print(f"[{backend}] totals byte-identical to serial sandbox: "
                   f"{result['serial_totals_match']}")
@@ -473,6 +485,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         "cores_available": sweeps[backends[0]]["cores_available"],
         "worker_counts": list(worker_counts),
         "requests_per_point": args.requests,
+        "seal_window": seal_window,
+        "speedup_gate": sweeps[backends[0]].get("speedup_gate"),
         "speedup_4_over_1": {
             backend: sweeps[backend].get("speedup_4_over_1")
             for backend in backends
@@ -954,6 +968,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "stitched Chrome/Perfetto trace here; exit non-zero "
                         "if any completed request's trace failed to stitch "
                         "or its receipts lack the trace id")
+    p.add_argument("--seal-window", type=int, default=16, metavar="N",
+                   help="batch receipt sealing: one AE signature over a "
+                        "Merkle root of N receipts per flush window "
+                        "(0 = per-receipt signing, the paper's protocol)")
     p.set_defaults(fn=cmd_loadtest)
 
     p = sub.add_parser("top",

@@ -115,6 +115,7 @@ class AccountingEnclave(Enclave):
         key_seed: int = 23,
         limits: ExecutionLimits | None = None,
         engine: str | None = None,
+        batch_window: int | None = None,
     ):
         super().__init__(
             "accounting-enclave",
@@ -137,7 +138,10 @@ class AccountingEnclave(Enclave):
         self.engine = engine
         self.lkl = SGXLKL()
         self._signing_key: RSAKeyPair = rsa_generate(key_bits, seed=key_seed)
-        self.log = ResourceUsageLog(self._signing_key)
+        #: ``batch_window=N`` puts the receipt log in batched-sealing mode:
+        #: one signature over a Merkle root of N entry bodies per flush
+        #: window instead of one RSA op per receipt (the gateway's hot path).
+        self.log = ResourceUsageLog(self._signing_key, batch_window=batch_window)
 
         self._module: Module | None = None
         self._counter_global: int | None = None

@@ -4,6 +4,21 @@ A :class:`ResourceUsageLog` is an append-only sequence of
 :class:`ResourceVector` entries, hash-chained and signed by the accounting
 enclave's run key (whose public half is bound to the enclave identity via
 remote attestation).  Either party can verify the chain offline.
+
+Two signing modes:
+
+* **per-entry** (the default) — every entry carries its own RSA signature,
+  as in the paper's base protocol;
+* **batched** (``batch_window=N``) — entries are appended with an empty
+  signature and, every ``N`` entries (or on an explicit :meth:`flush`),
+  one signature is produced over the Merkle root of the pending entry
+  bodies (:class:`LogBatch`).  This is the S-FaaS-style aggregation the
+  metering gateway uses to take the RSA operation off the request path:
+  one signature per flush window instead of one per request, with
+  per-entry inclusion proofs (:meth:`batch_proof` /
+  :func:`verify_batched_entry`) so a single receipt stays individually
+  auditable.  The hash chain is unaffected — entry bodies (and therefore
+  entry hashes) never include the signature.
 """
 
 from __future__ import annotations
@@ -12,6 +27,7 @@ import json
 from dataclasses import dataclass, field
 
 from repro.tcrypto.hashing import sha256
+from repro.tcrypto.merkle import MerkleProof, MerkleTree, verify_proof
 from repro.tcrypto.rsa import RSAKeyPair, RSAPublicKey, rsa_sign, rsa_verify
 
 
@@ -57,6 +73,11 @@ class LogEntry:
     signature: bytes
 
     def body(self) -> bytes:
+        # memoised: the chain hash, batch Merkle leaves and every verify
+        # pass all re-serialize the same immutable fields
+        cached = self.__dict__.get("_body")
+        if cached is not None:
+            return cached
         payload = {
             "sequence": self.sequence,
             "vector": self.vector.to_json(),
@@ -64,10 +85,124 @@ class LogEntry:
             "weight_table_digest": self.weight_table_digest.hex(),
             "previous_hash": self.previous_hash.hex(),
         }
-        return json.dumps(payload, sort_keys=True).encode("utf-8")
+        encoded = json.dumps(payload, sort_keys=True).encode("utf-8")
+        object.__setattr__(self, "_body", encoded)
+        return encoded
 
     def entry_hash(self) -> bytes:
         return sha256(self.body())
+
+
+@dataclass(frozen=True)
+class LogBatch:
+    """One AE signature over the Merkle root of a window of entry bodies.
+
+    Covers entries ``[start_sequence, end_sequence)``.  The signed body is
+    domain-tagged (``"kind": "receipt-batch"``) so a batch signature can
+    never be confused with a per-entry signature over the same key.
+    """
+
+    start_sequence: int
+    end_sequence: int  # exclusive
+    merkle_root: bytes
+    signature: bytes
+
+    def body(self) -> bytes:
+        payload = {
+            "kind": "receipt-batch",
+            "start_sequence": self.start_sequence,
+            "end_sequence": self.end_sequence,
+            "merkle_root": self.merkle_root.hex(),
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def verify_batched_entry(
+    entry: LogEntry,
+    batch: LogBatch,
+    proof: MerkleProof,
+    public_key: RSAPublicKey,
+) -> bool:
+    """Audit one receipt against its batch: proof + batch signature.
+
+    The privacy-preserving single-receipt path: a tenant holding one entry,
+    its batch and an inclusion proof needs nothing else to check the AE
+    really signed (a commitment to) this receipt.
+    """
+    if not batch.start_sequence <= entry.sequence < batch.end_sequence:
+        return False
+    if proof.leaf_index != entry.sequence - batch.start_sequence:
+        return False
+    if not verify_proof(entry.body(), proof, batch.merkle_root):
+        return False
+    unsigned = LogBatch(
+        start_sequence=batch.start_sequence,
+        end_sequence=batch.end_sequence,
+        merkle_root=batch.merkle_root,
+        signature=b"",
+    )
+    return rsa_verify(public_key, unsigned.body(), batch.signature)
+
+
+def verify_log_batches(
+    entries: list[LogEntry],
+    batches: list[LogBatch],
+    public_key: RSAPublicKey,
+) -> tuple[list[str], int]:
+    """Check that every unsigned entry is covered by a verifying batch.
+
+    ``entries`` is a contiguous chain segment (any base sequence);
+    ``batches`` the batches claimed to cover it.  Returns ``(problems,
+    pending)`` where ``pending`` counts *trailing* unsigned entries past
+    the last batch — awaiting a flush, incomplete rather than wrong.  Any
+    other uncovered unsigned entry, root mismatch or bad batch signature
+    is a problem.
+    """
+    problems: list[str] = []
+    covered: set[int] = set()
+    base = entries[0].sequence if entries else 0
+    last_end = base
+    for batch in batches:
+        lo, hi = batch.start_sequence - base, batch.end_sequence - base
+        if lo < 0 or hi > len(entries) or lo >= hi:
+            problems.append(
+                f"batch [{batch.start_sequence}, {batch.end_sequence}) falls "
+                "outside the provided entries"
+            )
+            continue
+        segment = entries[lo:hi]
+        root = MerkleTree([e.body() for e in segment]).root
+        if root != batch.merkle_root:
+            problems.append(
+                f"batch [{batch.start_sequence}, {batch.end_sequence}): "
+                "Merkle root does not match the covered entries (tampered)"
+            )
+            continue
+        unsigned = LogBatch(
+            start_sequence=batch.start_sequence,
+            end_sequence=batch.end_sequence,
+            merkle_root=batch.merkle_root,
+            signature=b"",
+        )
+        if not rsa_verify(public_key, unsigned.body(), batch.signature):
+            problems.append(
+                f"batch [{batch.start_sequence}, {batch.end_sequence}): "
+                "batch signature does not verify"
+            )
+            continue
+        covered.update(range(batch.start_sequence, batch.end_sequence))
+        last_end = max(last_end, batch.end_sequence)
+    pending = 0
+    for entry in entries:
+        if entry.signature or entry.sequence in covered:
+            continue
+        if entry.sequence >= last_end:
+            pending += 1
+        else:
+            problems.append(
+                f"entry {entry.sequence} is unsigned and not covered by any batch"
+            )
+    return problems, pending
 
 
 class ResourceUsageLog:
@@ -75,9 +210,24 @@ class ResourceUsageLog:
 
     GENESIS = b"\x00" * 32
 
-    def __init__(self, signing_key: RSAKeyPair | None = None):
+    def __init__(
+        self,
+        signing_key: RSAKeyPair | None = None,
+        batch_window: int | None = None,
+    ):
+        if batch_window is not None and batch_window < 1:
+            raise ValueError("batch_window must be >= 1")
         self._signing_key = signing_key
+        self._batch_window = batch_window
         self.entries: list[LogEntry] = []
+        #: Batches sealed so far (batched mode only), in coverage order.
+        self.batches: list[LogBatch] = []
+        self._batch_from = 0  # first sequence not yet covered by a batch
+        self._undrained: list[LogBatch] = []
+
+    @property
+    def batch_window(self) -> int | None:
+        return self._batch_window
 
     @property
     def head_hash(self) -> bytes:
@@ -91,7 +241,13 @@ class ResourceUsageLog:
         workload_hash: bytes,
         weight_table_digest: bytes,
     ) -> LogEntry:
-        """Sign and append one accounting sample (producer side)."""
+        """Sign and append one accounting sample (producer side).
+
+        In batched mode the entry is appended with an empty signature and
+        the pending window is sealed automatically once it reaches
+        ``batch_window`` entries — one RSA signature per window, not per
+        entry.
+        """
         if self._signing_key is None:
             raise RuntimeError("this log handle is verify-only")
         unsigned = LogEntry(
@@ -102,6 +258,12 @@ class ResourceUsageLog:
             previous_hash=self.head_hash,
             signature=b"",
         )
+        if self._batch_window is not None:
+            entry = unsigned
+            self.entries.append(entry)
+            if len(self.entries) - self._batch_from >= self._batch_window:
+                self._seal_batch()
+            return entry
         entry = LogEntry(
             sequence=unsigned.sequence,
             vector=unsigned.vector,
@@ -112,6 +274,53 @@ class ResourceUsageLog:
         )
         self.entries.append(entry)
         return entry
+
+    # -- batched sealing ---------------------------------------------------------
+
+    def _seal_batch(self) -> LogBatch:
+        pending = self.entries[self._batch_from :]
+        tree = MerkleTree([e.body() for e in pending])
+        unsigned = LogBatch(
+            start_sequence=self._batch_from,
+            end_sequence=len(self.entries),
+            merkle_root=tree.root,
+            signature=b"",
+        )
+        batch = LogBatch(
+            start_sequence=unsigned.start_sequence,
+            end_sequence=unsigned.end_sequence,
+            merkle_root=unsigned.merkle_root,
+            signature=rsa_sign(self._signing_key, unsigned.body()),
+        )
+        self.batches.append(batch)
+        self._undrained.append(batch)
+        self._batch_from = len(self.entries)
+        return batch
+
+    def flush(self) -> list[LogBatch]:
+        """Seal all pending entries into a (possibly short) batch.
+
+        The epoch-seal path calls this so batches never straddle an epoch
+        boundary.  No-op when nothing is pending or batching is off.
+        """
+        if self._batch_window is None or self._batch_from >= len(self.entries):
+            return []
+        return [self._seal_batch()]
+
+    def drain_batches(self) -> list[LogBatch]:
+        """Batches sealed since the last drain (consumer handoff)."""
+        out = self._undrained
+        self._undrained = []
+        return out
+
+    def batch_proof(self, sequence: int) -> tuple[LogBatch, MerkleProof]:
+        """The covering batch and inclusion proof for one entry."""
+        for batch in self.batches:
+            if batch.start_sequence <= sequence < batch.end_sequence:
+                segment = self.entries[batch.start_sequence : batch.end_sequence]
+                tree = MerkleTree([e.body() for e in segment])
+                return batch, tree.proof(sequence - batch.start_sequence)
+        raise KeyError(f"entry {sequence} is not covered by any sealed batch")
 
     def verify(
         self,
@@ -126,14 +335,27 @@ class ResourceUsageLog:
         the expected head hash (or entry count) out of band — e.g. from an
         epoch seal or a progress report — pass it via ``expected_head`` /
         ``expected_entries`` to close that hole.
+
+        Batched logs verify too: an entry with an empty signature must be
+        covered by a verifying :class:`LogBatch` — entries still pending a
+        flush make the log *incomplete*, so verification fails until
+        :meth:`flush` runs.
         """
         previous = self.GENESIS
         for i, entry in enumerate(self.entries):
             if entry.sequence != i or entry.previous_hash != previous:
                 return False
-            if not rsa_verify(public_key, entry.body(), entry.signature):
+            if entry.signature and not rsa_verify(
+                public_key, entry.body(), entry.signature
+            ):
                 return False
             previous = entry.entry_hash()
+        if any(not entry.signature for entry in self.entries):
+            problems, pending = verify_log_batches(
+                self.entries, self.batches, public_key
+            )
+            if problems or pending:
+                return False
         if expected_head is not None and previous != expected_head:
             return False
         if expected_entries is not None and len(self.entries) != expected_entries:

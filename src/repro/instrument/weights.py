@@ -52,12 +52,22 @@ class WeightTable:
         return counter_value / self.scale
 
     def digest(self) -> bytes:
-        """Stable digest identifying this table (goes into resource logs)."""
+        """Stable digest identifying this table (goes into resource logs).
+
+        Memoised: the table is frozen and the accounting enclave asks for
+        the digest on every receipt, so serializing the full weights dict
+        each time would dominate the accounting hot path.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is not None:
+            return cached
         canonical = json.dumps(
             {"weights": self.weights, "scale": self.scale, "version": self.version},
             sort_keys=True,
         )
-        return sha256(canonical.encode("utf-8"))
+        digest = sha256(canonical.encode("utf-8"))
+        object.__setattr__(self, "_digest", digest)
+        return digest
 
 
 #: Every instruction counts 1: the unweighted executed-instruction counter.

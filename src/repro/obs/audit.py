@@ -37,6 +37,7 @@ FINDING_CODES = {
     "unsettled-admissions": "admitted - in_flight != settled (slot leak)",
     "event-ledger-mismatch": "event-log billing narrative disagrees with the ledger",
     "unsealed-receipts": "receipts not yet covered by any epoch seal",
+    "pending-batch": "batched receipts still awaiting their AE batch seal (flush)",
 }
 
 #: Codes that mean billing is *wrong* (everything else is a warning).
@@ -145,6 +146,12 @@ def audit_billing(
     shared event log can audit each sweep point of a multi-gateway run
     separately).
     """
+    # deferred: repro.core's package init reaches back into repro.obs via
+    # the instrumentation enclave — a module-level import here would make
+    # the cycle unresolvable when repro.obs loads first
+    from repro.core.resource_log import verify_log_batches
+
+
     findings: list[DriftFinding] = []
     receipts_checked = 0
     events_checked = 0
@@ -183,7 +190,10 @@ def audit_billing(
                 f"{billed} distinct requests billed",
             )
 
-        # chain + signature + plausibility of every signed vector
+        # chain + signature + plausibility of every signed vector; receipts
+        # with an empty signature are batch-sealed — their AE signature is
+        # the batch's, checked below against the ledger's recorded batches
+        has_batched = False
         previous = ledger.GENESIS
         for i, receipt in enumerate(receipts):
             entry = receipt.entry
@@ -195,7 +205,9 @@ def audit_billing(
                     f"receipt {i}: sequence={entry.sequence}, chain link broken",
                 )
                 break
-            if not rsa_verify(ae_key, entry.body(), entry.signature):
+            if not entry.signature:
+                has_batched = True
+            elif not rsa_verify(ae_key, entry.body(), entry.signature):
                 _finding(
                     findings,
                     "bad-signature",
@@ -213,6 +225,26 @@ def audit_billing(
                     "has impossible components: " + ", ".join(problems),
                 )
             previous = entry.entry_hash()
+
+        # batched receipts: every unsigned entry must sit under a verifying
+        # AE batch seal (ledgers predating batched sealing have no batches()
+        # accessor — getattr keeps the auditor usable against them)
+        tenant_batches = (
+            ledger.batches(tenant) if hasattr(ledger, "batches") else []
+        )
+        if has_batched or tenant_batches:
+            problems, pending = verify_log_batches(
+                [r.entry for r in receipts], tenant_batches, ae_key
+            )
+            for problem in problems:
+                _finding(findings, "bad-signature", tenant, problem)
+            if pending:
+                _finding(
+                    findings,
+                    "pending-batch",
+                    tenant,
+                    f"{pending} batched receipts await their AE batch seal",
+                )
 
         # admission slot conservation: every admit settles exactly once
         if admission is not None:

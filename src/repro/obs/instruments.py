@@ -64,6 +64,10 @@ LEDGER_RECEIPTS = REGISTRY.counter(
     "acctee_ledger_receipts",
     "Signed receipts recorded into tenant hash chains, by tenant.",
 )
+LEDGER_BATCH_SEALS = REGISTRY.counter(
+    "acctee_ledger_batch_seals",
+    "AE batch seals recorded (one signature per receipt flush window), by tenant.",
+)
 
 # -- worker pool ---------------------------------------------------------------
 

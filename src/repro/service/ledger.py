@@ -26,10 +26,23 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.core.resource_log import LogEntry, ResourceUsageLog, ResourceVector
+from contextlib import ExitStack
+
+from repro.core.resource_log import (
+    LogBatch,
+    LogEntry,
+    ResourceUsageLog,
+    ResourceVector,
+    verify_log_batches,
+)
 from repro.obs.events import emit as emit_event
-from repro.obs.instruments import LEDGER_RECEIPTS, LEDGER_SEAL_DURATION
+from repro.obs.instruments import (
+    LEDGER_BATCH_SEALS,
+    LEDGER_RECEIPTS,
+    LEDGER_SEAL_DURATION,
+)
 from repro.obs.trace import span as obs_span
+from repro.service.sharding import DEFAULT_SHARDS, shard_index_for
 from repro.tcrypto.hashing import sha256
 from repro.tcrypto.merkle import MerkleProof, MerkleTree, verify_proof
 from repro.tcrypto.rsa import RSAKeyPair, RSAPublicKey, rsa_generate, rsa_sign, rsa_verify
@@ -129,33 +142,64 @@ class EpochVerification:
 
 
 class BillingLedger:
-    """Collects receipts per tenant and seals them into epochs."""
+    """Collects receipts per tenant and seals them into epochs.
+
+    Internally sharded per tenant-hash: each tenant's chain appends under
+    its shard's lock (:func:`~repro.service.sharding.shard_index_for`), so
+    concurrent tenants on different shards never contend.  Sealing an
+    epoch briefly takes every shard lock — a consistent cross-tenant cut,
+    off the request hot path.
+    """
 
     GENESIS = ResourceUsageLog.GENESIS
 
-    def __init__(self, signing_key: RSAKeyPair | None = None, owner: str = ""):
+    def __init__(
+        self,
+        signing_key: RSAKeyPair | None = None,
+        owner: str = "",
+        shards: int = DEFAULT_SHARDS,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self._signing_key = signing_key or rsa_generate(512, seed=0x1ED6E5)
         #: Telemetry stamp: which gateway this ledger serves.  Events the
         #: ledger emits carry it, so a shared event log can be audited per
         #: gateway (``audit_billing(..., gateway_id=...)``).
         self.owner = owner
-        self._lock = threading.Lock()
+        self._shard_locks = [threading.Lock() for _ in range(shards)]
+        # guards tenant registration (dict key insertion) and the seals list
+        self._registry_lock = threading.Lock()
         self._receipts: dict[str, list[Receipt]] = {}
         self._ae_keys: dict[str, RSAPublicKey] = {}
         self._sealed_upto: dict[str, int] = {}  # sequence already in an epoch
         self._billed_requests: dict[str, set[int | str]] = {}  # request ids receipted
+        self._batches: dict[str, list[LogBatch]] = {}  # batched AE seals per tenant
         self.seals: list[EpochSeal] = []
 
     @property
     def public_key(self) -> RSAPublicKey:
         return self._signing_key.public
 
+    @property
+    def shards(self) -> int:
+        return len(self._shard_locks)
+
+    def _shard_lock(self, tenant_id: str) -> threading.Lock:
+        return self._shard_locks[shard_index_for(tenant_id, len(self._shard_locks))]
+
+    def _all_locks(self, stack: ExitStack) -> None:
+        """Acquire the registry lock plus every shard lock, in fixed order."""
+        stack.enter_context(self._registry_lock)
+        for lock in self._shard_locks:
+            stack.enter_context(lock)
+
     def register_tenant(self, tenant_id: str, ae_public_key: RSAPublicKey) -> None:
-        with self._lock:
+        with self._registry_lock, self._shard_lock(tenant_id):
             self._receipts.setdefault(tenant_id, [])
             self._ae_keys[tenant_id] = ae_public_key
             self._sealed_upto.setdefault(tenant_id, 0)
             self._billed_requests.setdefault(tenant_id, set())
+            self._batches.setdefault(tenant_id, [])
 
     def record(
         self,
@@ -176,7 +220,9 @@ class BillingLedger:
             request_id=request_id,
             trace_id=trace_id,
         )
-        with self._lock:
+        # narrow critical section: only the chain append and the billed-id
+        # set are under the shard lock — metrics and events emit outside it
+        with self._shard_lock(tenant_id):
             chain = self._receipts[tenant_id]
             if request_id is not None and request_id in self._billed_requests[tenant_id]:
                 raise DuplicateReceipt(
@@ -209,24 +255,68 @@ class BillingLedger:
         The offline double-billing check compares this against the raw
         receipt count: they must be equal when every receipt carries an id.
         """
-        with self._lock:
-            if tenant_id is not None:
+        if tenant_id is not None:
+            with self._shard_lock(tenant_id):
                 return len(self._billed_requests.get(tenant_id, ()))
-            return sum(len(ids) for ids in self._billed_requests.values())
+        total = 0
+        with self._registry_lock:
+            tenant_ids = list(self._billed_requests)
+        for tid in tenant_ids:
+            with self._shard_lock(tid):
+                total += len(self._billed_requests.get(tid, ()))
+        return total
 
     def receipts(self, tenant_id: str) -> list[Receipt]:
-        with self._lock:
+        with self._shard_lock(tenant_id):
             return list(self._receipts[tenant_id])
 
     def tenants(self) -> list[str]:
         """Registered tenant ids, sorted (the drift auditor's iteration order)."""
-        with self._lock:
+        with self._registry_lock:
             return sorted(self._receipts)
 
     def sealed_upto(self, tenant_id: str) -> int:
         """How many of a tenant's receipts are already inside a sealed epoch."""
-        with self._lock:
+        with self._shard_lock(tenant_id):
             return self._sealed_upto.get(tenant_id, 0)
+
+    # -- batched AE seals --------------------------------------------------------
+
+    def record_batch(self, tenant_id: str, batch: LogBatch) -> None:
+        """Record one AE batch seal covering a window of a tenant's receipts.
+
+        Batches must arrive contiguously (each starting where the previous
+        ended) and never past the recorded chain — the gateway drains them
+        from the AE's log in order, under the tenant lock.
+        """
+        with self._shard_lock(tenant_id):
+            batches = self._batches[tenant_id]
+            expected = batches[-1].end_sequence if batches else 0
+            if batch.start_sequence != expected:
+                raise ValueError(
+                    f"batch out of order for {tenant_id!r}: starts at "
+                    f"{batch.start_sequence}, expected {expected}"
+                )
+            if batch.end_sequence > len(self._receipts[tenant_id]):
+                raise ValueError(
+                    f"batch for {tenant_id!r} covers receipts the ledger "
+                    "has not recorded"
+                )
+            batches.append(batch)
+        LEDGER_BATCH_SEALS.inc(tenant=tenant_id)
+        emit_event(
+            "batch_seal",
+            gateway=self.owner,
+            tenant=tenant_id,
+            start_sequence=batch.start_sequence,
+            end_sequence=batch.end_sequence,
+            receipts=batch.end_sequence - batch.start_sequence,
+        )
+
+    def batches(self, tenant_id: str) -> list[LogBatch]:
+        """The AE batch seals recorded for one tenant, in coverage order."""
+        with self._shard_lock(tenant_id):
+            return list(self._batches.get(tenant_id, ()))
 
     def ae_key(self, tenant_id: str) -> RSAPublicKey:
         return self._ae_keys[tenant_id]
@@ -247,7 +337,11 @@ class BillingLedger:
         rejected by the Merkle tree, so we commit a sentinel leaf).
         """
         sealed_at = time.perf_counter()
-        with self._lock, obs_span("ledger.seal_epoch", epoch=len(self.seals)):
+        with ExitStack() as stack:
+            # a consistent cut across every tenant chain: all shard locks,
+            # acquired in fixed order (sealing is rare and off the hot path)
+            self._all_locks(stack)
+            stack.enter_context(obs_span("ledger.seal_epoch", epoch=len(self.seals)))
             spans: list[TenantSpan] = []
             for tenant_id in sorted(self._receipts):
                 chain = self._receipts[tenant_id]
@@ -302,7 +396,7 @@ class BillingLedger:
         span = seal.span_for(tenant_id)
         if span is None:
             return []
-        with self._lock:
+        with self._shard_lock(tenant_id):
             return list(self._receipts[tenant_id][span.start_sequence : span.end_sequence])
 
     def inclusion_proof(self, seal: EpochSeal, tenant_id: str) -> MerkleProof:
@@ -319,6 +413,7 @@ def _verify_span(
     receipts: list[Receipt],
     ae_key: RSAPublicKey,
     errors: list[str],
+    batches: list[LogBatch] = (),
 ) -> None:
     tid = span.tenant_id
     if ae_key.fingerprint() != span.ae_key_fingerprint:
@@ -332,6 +427,7 @@ def _verify_span(
         )
         return
     previous = span.start_hash
+    batched = False
     for offset, receipt in enumerate(receipts):
         entry = receipt.entry
         seq = span.start_sequence + offset
@@ -341,12 +437,33 @@ def _verify_span(
         if entry.previous_hash != previous:
             errors.append(f"{tid}: chain broken at sequence {seq} (reordered or dropped)")
             return
-        if not rsa_verify(ae_key, entry.body(), entry.signature):
+        if not entry.signature:
+            batched = True  # covered by an AE batch seal, checked below
+        elif not rsa_verify(ae_key, entry.body(), entry.signature):
             errors.append(f"{tid}: signature invalid at sequence {seq} (tampered)")
             return
         previous = entry.entry_hash()
     if previous != span.end_hash:
         errors.append(f"{tid}: chain head does not match the sealed end hash (truncated tail)")
+        return
+    if batched:
+        # the epoch seal forced a flush, so the span must be fully covered
+        # by verifying batches — one RSA verify per flush window
+        relevant = [
+            b
+            for b in batches
+            if span.start_sequence <= b.start_sequence
+            and b.end_sequence <= span.end_sequence
+        ]
+        problems, pending = verify_log_batches(
+            [r.entry for r in receipts], relevant, ae_key
+        )
+        for problem in problems:
+            errors.append(f"{tid}: {problem}")
+        if pending:
+            errors.append(
+                f"{tid}: {pending} batched receipts have no covering AE batch seal"
+            )
 
 
 def verify_epoch(
@@ -355,12 +472,17 @@ def verify_epoch(
     ae_keys: dict[str, RSAPublicKey],
     ledger_public_key: RSAPublicKey,
     previous_seal: EpochSeal | None = None,
+    batches_by_tenant: dict[str, list[LogBatch]] | None = None,
 ) -> EpochVerification:
     """Offline audit of one epoch from first principles.
 
     ``receipts_by_tenant`` must hold, for each tenant with a span in the
     seal, exactly the receipts the span covers, in chain order.  Either
     party can run this: it needs only public keys and the receipts.
+    ``batches_by_tenant`` supplies the AE batch seals for tenants whose
+    receipts were signed in batched mode — the verifier recomputes each
+    batch's Merkle root from the receipts themselves and checks one batch
+    signature per flush window instead of one per receipt.
     """
     errors: list[str] = []
     checked = 0
@@ -388,7 +510,8 @@ def verify_epoch(
             errors.append(f"{span.tenant_id}: receipts or accounting key missing")
             continue
         checked += len(receipts)
-        _verify_span(span, receipts, key, errors)
+        batches = (batches_by_tenant or {}).get(span.tenant_id, [])
+        _verify_span(span, receipts, key, errors, batches=batches)
 
     return EpochVerification(
         ok=not errors,
@@ -405,10 +528,12 @@ def audit_tenant(
     receipts: list[Receipt],
     ae_key: RSAPublicKey,
     ledger_public_key: RSAPublicKey,
+    batches: list[LogBatch] = (),
 ) -> bool:
     """A single tenant's audit: my receipts, my span, one Merkle proof.
 
     Needs nothing about other tenants — the privacy-preserving audit path.
+    Pass ``batches`` when the receipts were signed in batched mode.
     """
     unsigned = EpochSeal(
         epoch=seal.epoch,
@@ -422,5 +547,5 @@ def audit_tenant(
     if not verify_proof(span.leaf(), proof, seal.merkle_root):
         return False
     errors: list[str] = []
-    _verify_span(span, receipts, ae_key, errors)
+    _verify_span(span, receipts, ae_key, errors, batches=list(batches))
     return not errors

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.obs.instruments import GATEWAY_QUEUE_DEPTH, GATEWAY_REJECTIONS
+from repro.service.sharding import DEFAULT_SHARDS, shard_index_for
 
 
 class AdmissionError(Exception):
@@ -101,25 +102,50 @@ class _TenantState:
         self.tokens = float(self.quota.burst)
 
 
+@dataclass
+class _Shard:
+    """One admission shard: its lock and the tenants routed to it."""
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    tenants: dict[str, _TenantState] = field(default_factory=dict)
+
+
 class AdmissionController:
     """Tracks per-tenant consumption and decides admission.
 
-    Thread-safe: the gateway calls :meth:`admit` from the submitting thread
-    and :meth:`settle` from pool completion callbacks.  ``clock`` is
-    injectable so tests can drive the token bucket deterministically.
+    Thread-safe, and sharded per tenant-hash: each tenant's state lives on
+    one of ``shards`` independently-locked shards
+    (:func:`~repro.service.sharding.shard_index_for`), so heavy traffic
+    from one tenant never serializes admission for tenants on other
+    shards.  The gateway calls :meth:`admit` from submitting threads and
+    :meth:`settle` from its front-end; ``clock`` is injectable so tests
+    can drive the token bucket deterministically.
     """
 
-    def __init__(self, clock: Callable[[], float] = time.monotonic):
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        shards: int = DEFAULT_SHARDS,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self._clock = clock
-        self._tenants: dict[str, _TenantState] = {}
-        self._lock = threading.Lock()
+        self._shards = [_Shard() for _ in range(shards)]
+
+    @property
+    def shards(self) -> int:
+        return len(self._shards)
+
+    def _shard(self, tenant_id: str) -> _Shard:
+        return self._shards[shard_index_for(tenant_id, len(self._shards))]
 
     def register(self, tenant_id: str, quota: TenantQuota) -> None:
-        with self._lock:
-            self._tenants[tenant_id] = _TenantState(quota=quota)
+        shard = self._shard(tenant_id)
+        with shard.lock:
+            shard.tenants[tenant_id] = _TenantState(quota=quota)
 
     def quota(self, tenant_id: str) -> TenantQuota:
-        state = self._tenants.get(tenant_id)
+        state = self._shard(tenant_id).tenants.get(tenant_id)
         if state is None:
             raise UnknownTenant(f"tenant {tenant_id!r} is not registered")
         return state.quota
@@ -132,8 +158,9 @@ class AdmissionController:
         On success the tenant's in-flight count is incremented; the caller
         must eventually :meth:`settle` the request (even if execution fails).
         """
-        with self._lock:
-            state = self._tenants.get(tenant_id)
+        shard = self._shard(tenant_id)
+        with shard.lock:
+            state = shard.tenants.get(tenant_id)
             if state is None:
                 GATEWAY_REJECTIONS.inc(tenant=tenant_id, reason=UnknownTenant.code)
                 raise UnknownTenant(f"tenant {tenant_id!r} is not registered")
@@ -183,8 +210,9 @@ class AdmissionController:
 
     def settle(self, tenant_id: str, weighted_instructions: int = 0) -> None:
         """Record one finished request: free its slot, charge its budget."""
-        with self._lock:
-            state = self._tenants.get(tenant_id)
+        shard = self._shard(tenant_id)
+        with shard.lock:
+            state = shard.tenants.get(tenant_id)
             if state is None:
                 raise UnknownTenant(f"tenant {tenant_id!r} is not registered")
             state.in_flight = max(0, state.in_flight - 1)
@@ -194,9 +222,10 @@ class AdmissionController:
 
     def reset_epoch(self) -> None:
         """Start a new accounting epoch: instruction budgets reset."""
-        with self._lock:
-            for state in self._tenants.values():
-                state.spent_instructions = 0
+        for shard in self._shards:
+            with shard.lock:
+                for state in shard.tenants.values():
+                    state.spent_instructions = 0
 
     def _refill(self, state: _TenantState) -> None:
         now = self._clock()
@@ -211,11 +240,12 @@ class AdmissionController:
     # -- introspection -----------------------------------------------------------
 
     def stats(self, tenant_id: str) -> dict[str, int]:
-        # snapshot under the lock: admit()/settle() mutate these fields from
-        # other threads, and callers rely on the counters being mutually
-        # consistent (admitted - in_flight == settled at all times)
-        with self._lock:
-            state = self._tenants.get(tenant_id)
+        # snapshot under the shard lock: admit()/settle() mutate these
+        # fields from other threads, and callers rely on the counters being
+        # mutually consistent (admitted - in_flight == settled at all times)
+        shard = self._shard(tenant_id)
+        with shard.lock:
+            state = shard.tenants.get(tenant_id)
             if state is None:
                 raise UnknownTenant(f"tenant {tenant_id!r} is not registered")
             return {

@@ -346,6 +346,16 @@ def _execute_resume(task: ExecutionTask, started: float) -> WorkerResult:
     )
 
 
+def cores_available() -> int:
+    """CPU cores actually schedulable for this process (affinity-aware)."""
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 class WorkerPool:
     """A bounded, self-healing pool of execution workers.
 
@@ -366,13 +376,29 @@ class WorkerPool:
     its own retry policy without ever double-executing work.  After
     ``max_rebuilds`` process-pool rebuilds the pool degrades to threads
     permanently.
+
+    ``adaptive=True`` probes the cores actually available to this process
+    (cgroup/affinity aware) and shrinks a *process* pool to that count:
+    oversubscribing CPU-bound workers past physical parallelism only adds
+    scheduler thrash — the multi-worker cliff.  Thread pools are left
+    alone (their workers block on I/O-ish waits, not cores).  The
+    requested size stays visible as :attr:`requested_workers`.
     """
 
-    def __init__(self, workers: int = 1, kind: str = "process", max_rebuilds: int = 3):
+    def __init__(
+        self,
+        workers: int = 1,
+        kind: str = "process",
+        max_rebuilds: int = 3,
+        adaptive: bool = False,
+    ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if kind not in ("process", "thread"):
             raise ValueError(f"unknown pool kind {kind!r}")
+        self.requested_workers = workers
+        if adaptive and kind == "process":
+            workers = max(1, min(workers, cores_available()))
         self.workers = workers
         self.max_rebuilds = max_rebuilds
         self.rebuilds = 0

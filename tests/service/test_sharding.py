@@ -1,0 +1,215 @@
+"""Sharded admission/ledger/request-id tests for the async gateway.
+
+Covers the regressions the sharded front-end was built against: request-id
+collisions under concurrent submit (the old process-wide sequence lock),
+the submit-vs-settle race on shared admission state, non-deterministic
+tenant routing (a tenant hopping shards across restarts would split its
+ledger chain), and the adaptive sizing that guards the oversubscription
+half of the multi-worker cliff.
+"""
+
+import threading
+
+import pytest
+
+from repro.service.backends import SimulatedFaaSBackend
+from repro.service.gateway import MeteringGateway
+from repro.service.quota import AdmissionController, TenantQuota
+from repro.service.sharding import DEFAULT_SHARDS, shard_index_for, shard_of_request
+from repro.service.worker import WorkerPool, cores_available
+
+MINIC_SQUARE = "int square(int x) { return x * x; }"
+
+TENANTS = ("alice", "bob", "carol", "dave")
+
+
+def _gateway(**kwargs) -> MeteringGateway:
+    kwargs.setdefault("backend", SimulatedFaaSBackend(workers=4, time_scale=0.0))
+    gw = MeteringGateway(workers=2, pool="thread", **kwargs)
+    for tenant in TENANTS:
+        gw.register_tenant(tenant, minic=MINIC_SQUARE)
+    return gw
+
+
+# -- routing determinism -------------------------------------------------------
+
+
+def test_shard_index_is_deterministic():
+    for tenant in ("a", "tenant-xyz", "", "日本語"):
+        assert shard_index_for(tenant, 8) == shard_index_for(tenant, 8)
+        assert 0 <= shard_index_for(tenant, 8) < 8
+    # different shard counts re-bucket but stay in range
+    assert 0 <= shard_index_for("a", 3) < 3
+
+
+def test_same_tenant_same_shard_across_restarts():
+    first = _gateway()
+    shards_before = {t: first._tenants[t].shard for t in TENANTS}
+    first.shutdown()
+    second = _gateway()
+    try:
+        for tenant in TENANTS:
+            assert second._tenants[tenant].shard == shards_before[tenant]
+            assert shards_before[tenant] == shard_index_for(
+                tenant, DEFAULT_SHARDS
+            )
+    finally:
+        second.shutdown()
+
+
+def test_shard_of_request_round_trips_minted_ids():
+    gw = _gateway(shards=4)
+    try:
+        for tenant in TENANTS:
+            shard = gw._tenants[tenant].shard
+            for _ in range(3):
+                rid = gw._mint_request_id(shard)
+                assert shard_of_request(rid, gw.shards) == shard
+                assert rid >= 1
+    finally:
+        gw.shutdown()
+
+
+# -- satellite 1: request-id uniqueness under concurrent submit ----------------
+
+
+def test_request_ids_unique_under_concurrent_submit():
+    gw = _gateway()
+    try:
+        futures = []
+        futures_lock = threading.Lock()
+
+        def spam(tenant: str) -> None:
+            for _ in range(25):
+                f = gw.submit(tenant, "square", 7)
+                with futures_lock:
+                    futures.append((tenant, f))
+
+        threads = [
+            threading.Thread(target=spam, args=(t,)) for t in TENANTS for _ in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        ids = []
+        for tenant, future in futures:
+            response = future.result(timeout=30)
+            ids.append(response.request_id)
+            # ids are shard-tagged: each one routes back to its tenant's shard
+            assert shard_of_request(response.request_id, gw.shards) == (
+                gw._tenants[tenant].shard
+            )
+        assert len(ids) == len(TENANTS) * 2 * 25
+        assert len(set(ids)) == len(ids), "request-id collision across shards"
+    finally:
+        gw.shutdown()
+
+
+# -- satellite 2: concurrent submit + settle must not race ---------------------
+
+
+def test_concurrent_submit_and_settle_conserve_slots():
+    # submits race against the settles the serving coroutines perform; the
+    # old coarse _requests_lock hid (and sometimes caused) slot leaks here
+    gw = _gateway()
+    try:
+        futures = []
+        futures_lock = threading.Lock()
+
+        def spam(tenant: str) -> None:
+            for _ in range(20):
+                f = gw.submit(tenant, "square", 3)
+                with futures_lock:
+                    futures.append(f)
+
+        threads = [threading.Thread(target=spam, args=(t,)) for t in TENANTS]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for future in futures:
+            future.result(timeout=30)
+
+        for tenant in TENANTS:
+            stats = gw.admission.stats(tenant)
+            assert stats["in_flight"] == 0
+            assert stats["admitted"] == stats["settled"] == 20
+            # exactly-once billing survived the races
+            assert gw.ledger.billed_requests(tenant) == 20
+    finally:
+        gw.shutdown()
+
+
+def test_quota_concurrent_admit_settle_across_shards():
+    # pure admission-controller race: admits and settles from many threads
+    # across tenants on different shards never leak or double-settle a slot
+    admission = AdmissionController(shards=4)
+    for tenant in TENANTS:
+        admission.register(tenant, TenantQuota(max_queue_depth=64))
+    errors: list[BaseException] = []
+
+    def churn(tenant: str) -> None:
+        try:
+            for _ in range(200):
+                admission.admit(tenant, 0)
+                admission.settle(tenant, 1000)
+        except BaseException as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=churn, args=(t,)) for t in TENANTS for _ in range(3)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    for tenant in TENANTS:
+        stats = admission.stats(tenant)
+        assert stats["in_flight"] == 0
+        assert stats["admitted"] == stats["settled"] == 600
+
+
+# -- satellite 3: adaptive worker sizing ---------------------------------------
+
+
+def test_adaptive_process_pool_shrinks_to_cores():
+    pool = WorkerPool(workers=256, kind="process", adaptive=True)
+    try:
+        assert pool.requested_workers == 256
+        assert pool.workers == min(256, cores_available())
+    finally:
+        pool.shutdown()
+
+
+def test_adaptive_sizing_leaves_thread_pools_alone():
+    # thread workers wait on I/O-ish futures, not cores; shrinking them
+    # would serialize the modeled backend for no reason
+    pool = WorkerPool(workers=9, kind="thread", adaptive=True)
+    try:
+        assert pool.workers == 9
+    finally:
+        pool.shutdown()
+
+
+def test_gateway_stats_report_worker_sizing():
+    gw = MeteringGateway(workers=3, pool="thread")
+    try:
+        gw.register_tenant("alice", minic=MINIC_SQUARE)
+        stats = gw.stats()
+        assert stats["shards"] == DEFAULT_SHARDS
+        workers = stats["workers"]
+        assert workers["requested"] == 3
+        assert workers["effective"] >= 1
+        assert workers["cores_available"] == cores_available()
+    finally:
+        gw.shutdown()
+
+
+def test_gateway_rejects_bad_shard_and_window_config():
+    with pytest.raises(ValueError):
+        MeteringGateway(shards=0)
+    with pytest.raises(ValueError):
+        MeteringGateway(seal_window=0)
