@@ -371,6 +371,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             pool=args.pool,
             engine=args.engine,
             kernels=kernels,
+            tenants=args.tenants or None,
             backend=backend,
             time_scale=args.time_scale,
             verify_serial=not args.no_serial,
@@ -535,8 +536,108 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    """Control-plane scale soak: sweep tenant decades, gate the curve flat."""
+    import json
+
+    from repro.obs.soak import run_scale_soak
+
+    counts = tuple(int(c) for c in args.tenants.split(","))
+    result = run_scale_soak(
+        tenant_counts=counts,
+        requests=args.requests,
+        tenant_budget=args.budget,
+        top_k=args.top_k,
+        max_resident=args.max_resident,
+        max_overhead_ratio=args.max_overhead_ratio,
+        rss_ceiling_mb=args.rss_ceiling_mb,
+        isolate=not args.no_isolate,
+    )
+    for point in result["points"]:
+        print(
+            f"tenants={point['tenants']:>9}: "
+            f"{point['per_request_us']:6.1f}us/req "
+            f"(norm {point['per_request_us_norm']:6.1f}us)  "
+            f"rss={point['rss_mb']:6.1f}MB  "
+            f"overflow={point['overflow_ratio']:.2f}  "
+            f"resident={point['structures']['admission_resident']}  "
+            f"tracked={point['structures']['rollup_tracked']}"
+        )
+    gates = result["gates"]
+    print(
+        f"overhead ratio (largest/smallest, drift-normalised): "
+        f"{gates['overhead_ratio']:.3f} (gate {gates['max_overhead_ratio']})"
+    )
+    print(
+        f"gates: overhead={'ok' if gates['overhead_ok'] else 'FAIL'} "
+        f"bounded={'ok' if gates['bounded_ok'] else 'FAIL'} "
+        f"top-recovered={'ok' if gates['top_recovered_ok'] else 'FAIL'} "
+        f"rss={'ok' if gates['rss_ok'] else 'FAIL'}"
+    )
+    pathlib.Path(args.out).write_text(json.dumps(result, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0 if result["ok"] else 1
+
+
+#: ``repro top --sort`` column -> (row key, descending?) for the tenant table.
+_TOP_SORT_COLUMNS = {
+    "events": ("events", True),
+    "tenant": ("tenant", False),
+    "error": ("error", True),
+}
+
+
+def _tenant_table_lines(
+    agg, top_k: int, sort: str, plain: bool, reserved_lines: int
+) -> list[str]:
+    """The per-tenant table for one ``repro top`` frame.
+
+    At scale the aggregator governs tenant cardinality, but even the
+    governed top-K can outrun a terminal; rows are sorted by the chosen
+    column and truncated to the terminal height (skipped under ``--plain``,
+    where frames go to pipes), and tenants beyond the visible rows are
+    summarised in a ``(+N more tenants)`` footer so nothing silently
+    disappears.
+    """
+    import shutil
+
+    rows = agg.top_tenants(top_k)
+    spill = agg.tenant_spill_info()
+    key, descending = _TOP_SORT_COLUMNS[sort]
+    rows.sort(key=lambda row: row[key], reverse=descending)
+    lines = [
+        f"  top tenants by {sort} "
+        f"({spill['tracked']} exact series, ~{spill['cardinality']} seen):"
+    ]
+    if not rows:
+        lines.append("    (no tenant traffic yet)")
+        return lines
+    body = []
+    for row in rows:
+        accuracy = "exact" if row["exact"] else f"±{row['error']}"
+        body.append(f"    {row['tenant']:<28} {row['events']:>10}  {accuracy}")
+    hidden = 0
+    if not plain:
+        height = shutil.get_terminal_size((80, 24)).lines
+        room = max(3, height - reserved_lines - len(lines) - 1)
+        if len(body) > room:
+            hidden = len(body) - room
+            body = body[:room]
+    more = max(hidden, spill["cardinality"] - len(body))
+    if more > 0:
+        body.append(f"    (+{more} more tenants)")
+    return lines + body
+
+
 def _render_top_frame(
-    agg, engine, log, window_s: float, plain: bool, failures: dict | None = None
+    agg,
+    engine,
+    log,
+    window_s: float,
+    plain: bool,
+    failures: dict | None = None,
+    top_k: int = 10,
+    sort: str = "events",
 ) -> None:
     snapshot = agg.snapshot(window_s)
     stats = log.stats()
@@ -563,14 +664,21 @@ def _render_top_frame(
     lines.append("  events in window:")
     for key, count in snapshot["counts"].items():
         lines.append(f"    {key:<40} {count:>8}")
+    tail = []
     if engine is not None:
         firing = engine.firing
         if firing:
-            lines.append("  ALERTS FIRING:")
+            tail.append("  ALERTS FIRING:")
             for alert in firing:
-                lines.append(f"    [{alert.severity:>8}] {alert.rule}: {alert.detail}")
+                tail.append(f"    [{alert.severity:>8}] {alert.rule}: {alert.detail}")
         else:
-            lines.append(f"  alerts: none firing ({len(engine.rules)} rules armed)")
+            tail.append(f"  alerts: none firing ({len(engine.rules)} rules armed)")
+    lines.extend(
+        _tenant_table_lines(
+            agg, top_k, sort, plain, reserved_lines=len(lines) + len(tail)
+        )
+    )
+    lines.extend(tail)
     if not plain:
         sys.stdout.write("\x1b[2J\x1b[H")  # clear screen, home cursor
     print("\n".join(lines), flush=True)
@@ -596,7 +704,7 @@ def cmd_top(args: argparse.Namespace) -> int:
 
         engine = SLOEngine(load_rules(args.rules))
     kernels = tuple(args.kernels.split(",")) if args.kernels else ()
-    mix = polybench_tenant_mix(kernels)
+    mix = polybench_tenant_mix(kernels, tenants=args.tenants or None)
     stop = threading.Event()
     # submit failures must not vanish: the driver counts them by failure
     # code and the dashboard surfaces the tally every frame
@@ -656,7 +764,8 @@ def cmd_top(args: argparse.Namespace) -> int:
             with failures_lock:
                 frame_failures = dict(failures)
             _render_top_frame(
-                agg, engine, log, args.window, args.plain, failures=frame_failures
+                agg, engine, log, args.window, args.plain,
+                failures=frame_failures, top_k=args.top_k, sort=args.sort,
             )
     finally:
         stop.set()
@@ -667,7 +776,8 @@ def cmd_top(args: argparse.Namespace) -> int:
     with failures_lock:
         frame_failures = dict(failures)
     _render_top_frame(
-        agg, engine, log, args.window, plain=True, failures=frame_failures
+        agg, engine, log, args.window, plain=True,
+        failures=frame_failures, top_k=args.top_k, sort=args.sort,
     )
     if args.events_out:
         meta = log.write_jsonl(args.events_out)
@@ -923,6 +1033,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--backend", choices=["both", "wasm", "modeled"], default="both")
     p.add_argument("--kernels", default="",
                    help="comma-separated PolyBench kernels (default: built-in mix)")
+    p.add_argument("--tenants", type=int, default=0, metavar="N",
+                   help="fan the kernel mix out to N distinct tenants "
+                        "(cycling kernels) to exercise admission sharding "
+                        "and telemetry cardinality (default: one per kernel)")
     p.add_argument("--time-scale", type=float, default=1.0)
     p.add_argument("--no-serial", action="store_true",
                    help="skip the serial single-sandbox equivalence check")
@@ -974,6 +1088,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "(0 = per-receipt signing, the paper's protocol)")
     p.set_defaults(fn=cmd_loadtest)
 
+    p = sub.add_parser("soak",
+                       help="million-tenant control-plane scale soak, emit JSON")
+    p.add_argument("--tenants", default="1000,10000,100000,1000000",
+                   help="comma-separated tenant counts to sweep")
+    p.add_argument("--requests", type=int, default=50_000,
+                   help="modeled requests per sweep point (fixed across "
+                        "points so per-request overhead is comparable)")
+    p.add_argument("--budget", type=int, default=64,
+                   help="exact per-tenant series budget; the rest spills "
+                        "to sketches plus one __other__ series")
+    p.add_argument("--top-k", type=int, default=64,
+                   help="Space-Saving capacity per sketch shard")
+    p.add_argument("--max-resident", type=int, default=256,
+                   help="resident lazy quota states before idle eviction")
+    p.add_argument("--max-overhead-ratio", type=float, default=1.25,
+                   help="gate: largest point's drift-normalised per-request "
+                        "overhead over the smallest point's")
+    p.add_argument("--rss-ceiling-mb", type=float, default=None,
+                   help="gate: fail if any point's RSS exceeds this")
+    p.add_argument("--no-isolate", action="store_true",
+                   help="run sweep points in-process instead of one fresh "
+                        "interpreter per point (faster, noisier)")
+    p.add_argument("--out", default="BENCH_scale.json", help="output JSON path")
+    p.set_defaults(fn=cmd_soak)
+
     p = sub.add_parser("top",
                        help="live rolling-window dashboard over the event stream")
     p.add_argument("--duration", type=float, default=10.0,
@@ -988,6 +1127,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="modeled-backend time compression")
     p.add_argument("--kernels", default="",
                    help="comma-separated PolyBench kernels (default: built-in mix)")
+    p.add_argument("--tenants", type=int, default=0, metavar="N",
+                   help="fan the kernel mix out to N distinct tenants")
+    p.add_argument("--top-k", type=int, default=10,
+                   help="tenant-table rows to rank in each frame")
+    p.add_argument("--sort", choices=sorted(_TOP_SORT_COLUMNS),
+                   default="events",
+                   help="tenant-table sort column")
     p.add_argument("--rules", default=None,
                    help="SLO rules JSON to evaluate live on each refresh")
     p.add_argument("--plain", action="store_true",

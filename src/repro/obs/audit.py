@@ -129,11 +129,41 @@ def _finding(findings: list, code: str, tenant: str, detail: str) -> None:
     DRIFT_FINDINGS.inc(code=code)
 
 
+def _narrative(
+    events, gateway_id: str | None, tenants: set[str] | None
+) -> tuple[dict[str, int], dict[str, int], int]:
+    """One pass over the event stream: the billing narrative per tenant.
+
+    With ``tenants`` given, only those tenants' receipt counters are kept —
+    the memory the streaming audit mode holds is O(batch), not O(all
+    tenants) — while the returned scanned-event count still covers the
+    whole (gateway-filtered) stream.
+    """
+    event_receipts: dict[str, int] = {}
+    event_instructions: dict[str, int] = {}
+    checked = 0
+    for event in events:
+        if gateway_id is not None and event.fields.get("gateway") != gateway_id:
+            continue
+        checked += 1
+        if event.kind != "receipt":
+            continue
+        tenant = str(event.fields.get("tenant"))
+        if tenants is not None and tenant not in tenants:
+            continue
+        event_receipts[tenant] = event_receipts.get(tenant, 0) + 1
+        event_instructions[tenant] = event_instructions.get(tenant, 0) + int(
+            event.fields.get("weighted_instructions", 0)
+        )
+    return event_receipts, event_instructions, checked
+
+
 def audit_billing(
     ledger,
     admission=None,
     events=None,
     gateway_id: str | None = None,
+    tenant_batch: int | None = None,
 ) -> DriftReport:
     """Reconcile one gateway's billing records; returns a :class:`DriftReport`.
 
@@ -145,152 +175,61 @@ def audit_billing(
     ``gateway_id`` is given, only events stamped with that id count (so one
     shared event log can audit each sweep point of a multi-gateway run
     separately).
+
+    ``tenant_batch`` turns on **streaming mode**: tenants are grouped by
+    their gateway shard (:func:`repro.service.sharding.shard_index_for`,
+    the same routing admission state uses) and reconciled ``tenant_batch``
+    at a time, holding each batch's event narrative — O(batch) — instead
+    of one dict over every tenant.  The event stream is re-scanned per
+    batch, so ``events`` must then be a re-iterable sequence (a list or an
+    :meth:`EventLog.events` snapshot, not a generator).  Findings are
+    identical to the single-pass mode; only peak memory changes.
     """
     # deferred: repro.core's package init reaches back into repro.obs via
     # the instrumentation enclave — a module-level import here would make
     # the cycle unresolvable when repro.obs loads first
     from repro.core.resource_log import verify_log_batches
 
-
     findings: list[DriftFinding] = []
     receipts_checked = 0
     events_checked = 0
 
-    # event-log billing narrative, bucketed per tenant
-    event_receipts: dict[str, int] = {}
-    event_instructions: dict[str, int] = {}
-    if events is not None:
-        for event in events:
-            if gateway_id is not None and event.fields.get("gateway") != gateway_id:
-                continue
-            events_checked += 1
-            if event.kind != "receipt":
-                continue
-            tenant = str(event.fields.get("tenant"))
-            event_receipts[tenant] = event_receipts.get(tenant, 0) + 1
-            event_instructions[tenant] = event_instructions.get(tenant, 0) + int(
-                event.fields.get("weighted_instructions", 0)
-            )
-
     tenants = ledger.tenants()
-    for tenant in tenants:
-        receipts = ledger.receipts(tenant)
-        receipts_checked += len(receipts)
-        ae_key = ledger.ae_key(tenant)
+    if tenant_batch is not None and tenant_batch > 0 and len(tenants) > tenant_batch:
+        # deferred for the same import-cycle reason as verify_log_batches
+        from repro.service.sharding import DEFAULT_SHARDS, shard_index_for
 
-        # exactly-once: every receipt carries a distinct request id
-        with_ids = [r for r in receipts if r.request_id is not None]
-        billed = ledger.billed_requests(tenant)
-        if len(with_ids) != billed:
-            _finding(
-                findings,
-                "double-billed",
-                tenant,
-                f"{len(with_ids)} receipts with request ids but only "
-                f"{billed} distinct requests billed",
-            )
-
-        # chain + signature + plausibility of every signed vector; receipts
-        # with an empty signature are batch-sealed — their AE signature is
-        # the batch's, checked below against the ledger's recorded batches
-        has_batched = False
-        previous = ledger.GENESIS
-        for i, receipt in enumerate(receipts):
-            entry = receipt.entry
-            if entry.sequence != i or entry.previous_hash != previous:
-                _finding(
-                    findings,
-                    "chain-broken",
-                    tenant,
-                    f"receipt {i}: sequence={entry.sequence}, chain link broken",
-                )
-                break
-            if not entry.signature:
-                has_batched = True
-            elif not rsa_verify(ae_key, entry.body(), entry.signature):
-                _finding(
-                    findings,
-                    "bad-signature",
-                    tenant,
-                    f"receipt {i}: AE signature does not verify",
-                )
-                break
-            problems = _plausible(entry.vector)
-            if problems:
-                _finding(
-                    findings,
-                    "implausible-receipt",
-                    tenant,
-                    f"receipt {i} (request {receipt.request_id}): signed vector "
-                    "has impossible components: " + ", ".join(problems),
-                )
-            previous = entry.entry_hash()
-
-        # batched receipts: every unsigned entry must sit under a verifying
-        # AE batch seal (ledgers predating batched sealing have no batches()
-        # accessor — getattr keeps the auditor usable against them)
-        tenant_batches = (
-            ledger.batches(tenant) if hasattr(ledger, "batches") else []
+        ordered = sorted(
+            tenants, key=lambda t: (shard_index_for(t, DEFAULT_SHARDS), t)
         )
-        if has_batched or tenant_batches:
-            problems, pending = verify_log_batches(
-                [r.entry for r in receipts], tenant_batches, ae_key
-            )
-            for problem in problems:
-                _finding(findings, "bad-signature", tenant, problem)
-            if pending:
-                _finding(
-                    findings,
-                    "pending-batch",
-                    tenant,
-                    f"{pending} batched receipts await their AE batch seal",
-                )
+        batches = [
+            ordered[i : i + tenant_batch]
+            for i in range(0, len(ordered), tenant_batch)
+        ]
+    else:
+        batches = [list(tenants)]
 
-        # admission slot conservation: every admit settles exactly once
-        if admission is not None:
-            stats = admission.stats(tenant)
-            if stats["admitted"] - stats["in_flight"] != stats["settled"]:
-                _finding(
-                    findings,
-                    "unsettled-admissions",
-                    tenant,
-                    f"admitted={stats['admitted']} in_flight={stats['in_flight']} "
-                    f"settled={stats['settled']}",
-                )
-
-        # event narrative vs ledger: same receipt count, same billed total
+    for batch_index, batch in enumerate(batches):
+        # event-log billing narrative, bucketed per tenant (batch-scoped in
+        # streaming mode)
+        event_receipts: dict[str, int] = {}
+        event_instructions: dict[str, int] = {}
         if events is not None:
-            narrated = event_receipts.get(tenant, 0)
-            if narrated != len(receipts):
-                _finding(
-                    findings,
-                    "event-ledger-mismatch",
-                    tenant,
-                    f"event log narrates {narrated} receipts, ledger holds "
-                    f"{len(receipts)}",
-                )
-            else:
-                ledger_total = sum(
-                    r.entry.vector.weighted_instructions for r in receipts
-                )
-                narrated_total = event_instructions.get(tenant, 0)
-                if narrated_total != ledger_total:
-                    _finding(
-                        findings,
-                        "event-ledger-mismatch",
-                        tenant,
-                        f"event log narrates {narrated_total} weighted "
-                        f"instructions, ledger totals {ledger_total}",
-                    )
-
-        # completeness: receipts outside any sealed epoch are un-auditable
-        unsealed = len(receipts) - ledger.sealed_upto(tenant)
-        if unsealed > 0:
-            _finding(
-                findings,
-                "unsealed-receipts",
+            event_receipts, event_instructions, checked = _narrative(
+                events, gateway_id, set(batch) if len(batches) > 1 else None
+            )
+            if batch_index == 0:
+                events_checked = checked
+        for tenant in batch:
+            receipts_checked += _audit_tenant(
+                ledger,
+                admission,
                 tenant,
-                f"{unsealed} receipts not yet sealed into an epoch",
+                findings,
+                events is not None,
+                event_receipts,
+                event_instructions,
+                verify_log_batches,
             )
 
     return DriftReport(
@@ -299,3 +238,135 @@ def audit_billing(
         receipts_checked=receipts_checked,
         events_checked=events_checked,
     )
+
+
+def _audit_tenant(
+    ledger,
+    admission,
+    tenant: str,
+    findings: list[DriftFinding],
+    have_events: bool,
+    event_receipts: dict[str, int],
+    event_instructions: dict[str, int],
+    verify_log_batches,
+) -> int:
+    """Reconcile one tenant's records; appends findings, returns receipts seen."""
+    receipts = ledger.receipts(tenant)
+    ae_key = ledger.ae_key(tenant)
+
+    # exactly-once: every receipt carries a distinct request id
+    with_ids = [r for r in receipts if r.request_id is not None]
+    billed = ledger.billed_requests(tenant)
+    if len(with_ids) != billed:
+        _finding(
+            findings,
+            "double-billed",
+            tenant,
+            f"{len(with_ids)} receipts with request ids but only "
+            f"{billed} distinct requests billed",
+        )
+
+    # chain + signature + plausibility of every signed vector; receipts
+    # with an empty signature are batch-sealed — their AE signature is
+    # the batch's, checked below against the ledger's recorded batches
+    has_batched = False
+    previous = ledger.GENESIS
+    for i, receipt in enumerate(receipts):
+        entry = receipt.entry
+        if entry.sequence != i or entry.previous_hash != previous:
+            _finding(
+                findings,
+                "chain-broken",
+                tenant,
+                f"receipt {i}: sequence={entry.sequence}, chain link broken",
+            )
+            break
+        if not entry.signature:
+            has_batched = True
+        elif not rsa_verify(ae_key, entry.body(), entry.signature):
+            _finding(
+                findings,
+                "bad-signature",
+                tenant,
+                f"receipt {i}: AE signature does not verify",
+            )
+            break
+        problems = _plausible(entry.vector)
+        if problems:
+            _finding(
+                findings,
+                "implausible-receipt",
+                tenant,
+                f"receipt {i} (request {receipt.request_id}): signed vector "
+                "has impossible components: " + ", ".join(problems),
+            )
+        previous = entry.entry_hash()
+
+    # batched receipts: every unsigned entry must sit under a verifying
+    # AE batch seal (ledgers predating batched sealing have no batches()
+    # accessor — getattr keeps the auditor usable against them)
+    tenant_batches = (
+        ledger.batches(tenant) if hasattr(ledger, "batches") else []
+    )
+    if has_batched or tenant_batches:
+        problems, pending = verify_log_batches(
+            [r.entry for r in receipts], tenant_batches, ae_key
+        )
+        for problem in problems:
+            _finding(findings, "bad-signature", tenant, problem)
+        if pending:
+            _finding(
+                findings,
+                "pending-batch",
+                tenant,
+                f"{pending} batched receipts await their AE batch seal",
+            )
+
+    # admission slot conservation: every admit settles exactly once
+    if admission is not None:
+        stats = admission.stats(tenant)
+        if stats["admitted"] - stats["in_flight"] != stats["settled"]:
+            _finding(
+                findings,
+                "unsettled-admissions",
+                tenant,
+                f"admitted={stats['admitted']} in_flight={stats['in_flight']} "
+                f"settled={stats['settled']}",
+            )
+
+    # event narrative vs ledger: same receipt count, same billed total
+    if have_events:
+        narrated = event_receipts.get(tenant, 0)
+        if narrated != len(receipts):
+            _finding(
+                findings,
+                "event-ledger-mismatch",
+                tenant,
+                f"event log narrates {narrated} receipts, ledger holds "
+                f"{len(receipts)}",
+            )
+        else:
+            ledger_total = sum(
+                r.entry.vector.weighted_instructions for r in receipts
+            )
+            narrated_total = event_instructions.get(tenant, 0)
+            if narrated_total != ledger_total:
+                _finding(
+                    findings,
+                    "event-ledger-mismatch",
+                    tenant,
+                    f"event log narrates {narrated_total} weighted "
+                    f"instructions, ledger totals {ledger_total}",
+                )
+
+    # completeness: receipts outside any sealed epoch are un-auditable
+    unsealed = len(receipts) - ledger.sealed_upto(tenant)
+    if unsealed > 0:
+        _finding(
+            findings,
+            "unsealed-receipts",
+            tenant,
+            f"{unsealed} receipts not yet sealed into an epoch",
+        )
+
+    return len(receipts)

@@ -20,7 +20,12 @@ from __future__ import annotations
 
 import pathlib
 
-from repro.obs.metrics import BYTES_BUCKETS, LATENCY_BUCKETS, get_registry
+from repro.obs.metrics import (
+    BYTES_BUCKETS,
+    LATENCY_BUCKETS,
+    get_registry,
+    set_governance_hook,
+)
 
 REGISTRY = get_registry()
 
@@ -186,6 +191,39 @@ TRACE_BACKHAUL_BYTES = REGISTRY.histogram(
     "Serialized worker telemetry shipped back per task result.",
     buckets=BYTES_BUCKETS,
 )
+
+# -- cardinality governance (tenant budgets, sketches, quota eviction) ---------
+
+TENANT_CARDINALITY = REGISTRY.gauge(
+    "acctee_tenant_cardinality",
+    "Approximate distinct tenant labelsets ever observed, by governed metric.",
+)
+LABEL_SETS_EVICTED = REGISTRY.counter(
+    "acctee_label_sets_evicted",
+    "Tenant labelsets denied an exact series (spilled to sketches), by metric.",
+)
+SKETCH_MERGES = REGISTRY.counter(
+    "acctee_sketch_merges",
+    "Shard-sketch merge operations performed for global rollups, by kind.",
+)
+QUOTA_EVICTIONS = REGISTRY.counter(
+    "acctee_quota_evictions",
+    "Idle lazily-instantiated tenant quota states evicted by the admission LRU.",
+)
+
+
+def _governance_hook(metric_name: str, cardinality: int, evicted_delta: int) -> None:
+    """Surface per-instrument governance state as metrics.
+
+    The governance instruments themselves carry only a ``metric`` label —
+    never ``tenant`` — so this cannot recurse into another spill decision.
+    """
+    TENANT_CARDINALITY.set(cardinality, metric=metric_name)
+    if evicted_delta:
+        LABEL_SETS_EVICTED.inc(evicted_delta, metric=metric_name)
+
+
+set_governance_hook(_governance_hook)
 
 # -- the name contract ---------------------------------------------------------
 

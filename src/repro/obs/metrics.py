@@ -21,12 +21,28 @@ sites cost an attribute read and a branch when metrics are disabled.  The
 instrument *objects* always exist — declaring them is free — which keeps
 the metric-name contract (``metric_names.txt``) checkable without running
 any workload.
+
+**Cardinality governance**: labelsets carrying a ``tenant`` label are the
+one unbounded dimension (everything else — outcomes, codes, engines — is a
+small enum).  Each instrument therefore runs its tenant labelsets through a
+:class:`~repro.obs.sketch.TenantSpill` governor: the first
+:func:`tenant_budget` distinct tenants get exact series, later ones are
+folded into a single ``tenant="__other__"`` overflow series while a
+Space-Saving/Count-Min sketch keeps their per-tenant frequencies within
+documented bounds.  Totals are conserved (the overflow series absorbs every
+spilled observation) and nothing is silently lost: governance state is
+reported through the hook installed by :mod:`repro.obs.instruments` as the
+``acctee_tenant_cardinality`` gauge and ``acctee_label_sets_evicted``
+counter.  Already-materialised series are a dict hit away, so the governed
+hot path costs the same as before for in-budget tenants.
 """
 
 from __future__ import annotations
 
 import threading
 from bisect import bisect_left
+
+from repro.obs.sketch import OVERFLOW_KEY, TenantSpill
 
 
 #: Log-scale (powers of 4) latency buckets: 1 µs … ~67 s.
@@ -73,6 +89,48 @@ def metrics_enabled() -> bool:
     return _STATE.enabled
 
 
+#: Default per-instrument budget of exact tenant labelsets.  Generous on
+#: purpose: workloads below it behave exactly as before governance existed.
+DEFAULT_TENANT_BUDGET = 1024
+
+_TENANT_BUDGET = DEFAULT_TENANT_BUDGET
+_SPILL_TOP_K = 64
+
+# Installed by repro.obs.instruments (metrics.py cannot import it — the
+# instruments module imports this one).  Called *outside* instrument locks
+# as hook(metric_name, cardinality, evicted_delta) whenever an instrument's
+# governance state changes.
+_GOVERNANCE_HOOK = None
+
+
+def set_tenant_budget(budget: int, top_k: int | None = None) -> int:
+    """Set the exact-series budget for instruments' *future* governors.
+
+    Returns the previous budget.  Applies to governors created after the
+    call (each instrument builds its governor lazily on the first tenant
+    labelset, and :meth:`Metric.reset` discards it), so tests and the soak
+    harness set the budget up front and ``reset()`` between runs.
+    """
+    global _TENANT_BUDGET, _SPILL_TOP_K
+    if budget < 0:
+        raise ValueError("budget must be >= 0")
+    previous = _TENANT_BUDGET
+    _TENANT_BUDGET = budget
+    if top_k is not None:
+        _SPILL_TOP_K = top_k
+    return previous
+
+
+def tenant_budget() -> int:
+    return _TENANT_BUDGET
+
+
+def set_governance_hook(hook) -> None:
+    """Install the observer for governance state changes (or ``None``)."""
+    global _GOVERNANCE_HOOK
+    _GOVERNANCE_HOOK = hook
+
+
 def _label_key(labels: dict) -> tuple:
     return tuple(sorted(labels.items()))
 
@@ -94,10 +152,87 @@ class Metric:
 
     kind = "untyped"
 
+    #: Governor fidelity (see :class:`~repro.obs.sketch.TenantSpill`):
+    #: counters/histograms keep Space-Saving heavy hitters ("heavy");
+    #: gauges route only — their sets are not additive, so sketched
+    #: frequency would be meaningless.  The rolling aggregator, not the
+    #: registry, carries the "full" Count-Min governor the top-K and SLO
+    #: paths read.
+    _spill_mode = "heavy"
+
+    #: Spills are reported to the governance hook in batches of this many —
+    #: per-spill notification is measurable overhead at 10^6-tenant spill
+    #: rates, and the evicted counter tolerates being up to a batch behind.
+    _NOTIFY_BATCH = 64
+
     def __init__(self, name: str, help: str):
         self.name = name
         self.help = help
         self._lock = threading.Lock()
+        self._spill: TenantSpill | None = None  # lazy tenant-cardinality governor
+        self._spill_reported = 0  # spills already delivered to the hook
+
+    def _govern(self, key: tuple, labels: dict):
+        """Route a *new* labelset through the tenant budget.
+
+        Caller holds ``self._lock`` and has already missed the values dict
+        — in-budget tenants only pay this once, at series creation.
+        Returns ``(key, notify)``: the (possibly overflow-rewritten) series
+        key, and ``None`` or ``(cardinality, evicted_delta)`` to hand to
+        :func:`_notify` after the lock is released.  Spill deltas are
+        batched (:data:`_NOTIFY_BATCH`); tracked-set growth notifies
+        immediately.
+        """
+        tenant = labels.get("tenant")
+        if tenant is None:
+            return key, None
+        spill = self._spill
+        if spill is None:
+            spill = self._spill = TenantSpill(
+                budget=_TENANT_BUDGET,
+                top_k=_SPILL_TOP_K,
+                mode=self._spill_mode,
+            )
+        tenant = str(tenant)
+        tracked_before = spill.tracked_count()
+        routed = spill.admit(tenant)
+        if routed is not tenant and routed != tenant:
+            # key is already the sorted labelset tuple; swap the tenant
+            # element in place instead of rebuilding + re-sorting the dict
+            key = tuple(
+                (name, OVERFLOW_KEY) if name == "tenant" else (name, value)
+                for name, value in key
+            )
+        pending = spill.spills - self._spill_reported
+        if spill.tracked_count() != tracked_before or pending >= self._NOTIFY_BATCH:
+            self._spill_reported = spill.spills
+            return key, (spill.cardinality(), pending)
+        return key, None
+
+    def _notify(self, notify) -> None:
+        """Report a governance change to the instruments hook (lock-free)."""
+        if notify is None:
+            return
+        hook = _GOVERNANCE_HOOK
+        if hook is not None:
+            hook(self.name, notify[0], notify[1])
+
+    def spill_info(self) -> dict | None:
+        """Governance state (``None`` until a tenant labelset was seen)."""
+        with self._lock:
+            return self._spill.to_json() if self._spill is not None else None
+
+    def top_spilled(self, n: int | None = None) -> list[tuple[str, int, int]]:
+        """``(tenant, count, error)`` for the heaviest over-budget tenants."""
+        with self._lock:
+            if self._spill is None:
+                return []
+            return self._spill.top_spilled(n)
+
+    def spill_estimate(self, tenant: str) -> int:
+        """Overestimate of a spilled tenant's observation count."""
+        with self._lock:
+            return self._spill.estimate(tenant) if self._spill is not None else 0
 
     def reset(self) -> None:
         raise NotImplementedError
@@ -122,8 +257,14 @@ class Counter(Metric):
         if not _STATE.enabled:
             return
         key = _label_key(labels)
+        notify = None
         with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
+            if key in self._values:
+                self._values[key] += amount
+            else:
+                key, notify = self._govern(key, labels)
+                self._values[key] = self._values.get(key, 0.0) + amount
+        self._notify(notify)
 
     def value(self, **labels) -> float:
         with self._lock:
@@ -136,6 +277,8 @@ class Counter(Metric):
     def reset(self) -> None:
         with self._lock:
             self._values.clear()
+            self._spill = None
+            self._spill_reported = 0
 
     def samples(self) -> list[str]:
         with self._lock:
@@ -157,6 +300,7 @@ class Gauge(Metric):
     """A value that goes up and down (queue depth, pool utilisation)."""
 
     kind = "gauge"
+    _spill_mode = "route"  # gauge sets are not additive; route-only governor
 
     def __init__(self, name: str, help: str):
         super().__init__(name, help)
@@ -165,15 +309,28 @@ class Gauge(Metric):
     def set(self, value: float, **labels) -> None:
         if not _STATE.enabled:
             return
+        key = _label_key(labels)
+        notify = None
         with self._lock:
-            self._values[_label_key(labels)] = float(value)
+            if key not in self._values:
+                key, notify = self._govern(key, labels)
+            # an over-budget gauge series is last-write-wins on the single
+            # overflow labelset: bounded, and still shows recent activity
+            self._values[key] = float(value)
+        self._notify(notify)
 
     def inc(self, amount: float = 1.0, **labels) -> None:
         if not _STATE.enabled:
             return
         key = _label_key(labels)
+        notify = None
         with self._lock:
-            self._values[key] = self._values.get(key, 0.0) + amount
+            if key in self._values:
+                self._values[key] += amount
+            else:
+                key, notify = self._govern(key, labels)
+                self._values[key] = self._values.get(key, 0.0) + amount
+        self._notify(notify)
 
     def dec(self, amount: float = 1.0, **labels) -> None:
         self.inc(-amount, **labels)
@@ -185,6 +342,8 @@ class Gauge(Metric):
     def reset(self) -> None:
         with self._lock:
             self._values.clear()
+            self._spill = None
+            self._spill_reported = 0
 
     def samples(self) -> list[str]:
         with self._lock:
@@ -211,6 +370,12 @@ class Histogram(Metric):
     """
 
     kind = "histogram"
+    # route-only governor: a spilled tenant's observations fold fully into
+    # the __other__ series' buckets (distribution conserved); per-tenant
+    # heavy-hitter ranking for spilled traffic comes from the rolling
+    # aggregator's full-mode sketches, so maintaining a second Space-Saving
+    # per histogram would duplicate hot-path work for data nothing reads
+    _spill_mode = "route"
 
     def __init__(self, name: str, help: str, buckets: tuple[float, ...] = LATENCY_BUCKETS):
         super().__init__(name, help)
@@ -228,8 +393,12 @@ class Histogram(Metric):
             return
         key = _label_key(labels)
         index = bucket_index(self.buckets, value)
+        notify = None
         with self._lock:
             series = self._series.get(key)
+            if series is None:
+                key, notify = self._govern(key, labels)
+                series = self._series.get(key)
             if series is None:
                 series = self._series[key] = [[0] * (len(self.buckets) + 1), 0.0, 0]
             series[0][index] += 1
@@ -239,6 +408,7 @@ class Histogram(Metric):
                 # last-write-wins per bucket: the freshest trace is the one
                 # an operator drilling into a bucket wants to open
                 self._exemplars.setdefault(key, {})[index] = (exemplar, value)
+        self._notify(notify)
 
     def exemplar(self, bucket: int, **labels) -> tuple[str, float] | None:
         """The (trace_id, value) exemplar recorded for one bucket index."""
@@ -259,6 +429,8 @@ class Histogram(Metric):
         with self._lock:
             self._series.clear()
             self._exemplars.clear()
+            self._spill = None
+            self._spill_reported = 0
 
     def samples(self) -> list[str]:
         with self._lock:

@@ -21,6 +21,17 @@ and ``(kind, "tenant", tenant)`` for per-tenant break-downs.  Latency
 observations come from ``settled`` events with ``outcome == "ok"`` and use the
 same log-scale buckets (and the same :func:`~repro.obs.metrics.bucket_index`
 edge semantics) as the metrics registry's histograms.
+
+The per-tenant dimension is **cardinality-governed**: only the first
+``tenant_budget`` distinct tenants get exact ``(kind, "tenant", t)`` keys.
+Later tenants fold into ``(kind, "tenant", "__other__")`` while per-shard
+Space-Saving/Count-Min sketches (sharded with the same tenant-hash routing
+as the gateway, :func:`repro.service.sharding.shard_index_for`) keep their
+frequencies recoverable within documented bounds.  :meth:`top_tenants`
+merges the shard sketches into a global ranking — exact rows beside
+sketched rows — so ``repro top`` and the SLO engine evaluate top-K plus
+one overflow series instead of 10^6 keys, and window memory stays
+O(slices × (kinds + budget)) no matter how many tenants ever appear.
 """
 
 from __future__ import annotations
@@ -29,9 +40,27 @@ import threading
 
 from repro.obs.events import Event
 from repro.obs.metrics import LATENCY_BUCKETS, bucket_index
+from repro.obs.sketch import OVERFLOW_KEY, TenantSpill
 
 #: Event fields that become ``(kind, value)`` counting sub-keys.
 SUBKEY_FIELDS = ("outcome", "code", "fault")
+
+#: Event kinds that weigh into the tenant spill sketches.  Every
+#: tenant-carrying event still *routes* through the governor (so the ring
+#: key folds to the overflow series consistently), but only request-level
+#: events count toward a tenant's sketched weight: the top-K ranking then
+#: reads "admission attempts per tenant" instead of a mixed event tally,
+#: and the spill path does sketch maintenance once per request rather than
+#: once per narrative event.
+WEIGHED_KINDS = frozenset({"admit", "reject"})
+
+#: Default exact-tenant budget for the window ring (see module docstring).
+DEFAULT_TENANT_BUDGET = 512
+
+#: Default number of per-shard spill sketches (matches the gateway's
+#: ``repro.service.sharding.DEFAULT_SHARDS`` so per-shard telemetry and
+#: admission state line up tenant-for-tenant).
+DEFAULT_SKETCH_SHARDS = 8
 
 
 class _Slice:
@@ -63,6 +92,9 @@ class RollingAggregator:
         slice_s: float = 1.0,
         slices: int = 120,
         buckets: tuple[float, ...] = LATENCY_BUCKETS,
+        tenant_budget: int = DEFAULT_TENANT_BUDGET,
+        top_k: int = 64,
+        sketch_shards: int = DEFAULT_SKETCH_SHARDS,
     ):
         if slice_s <= 0:
             raise ValueError("slice_s must be positive")
@@ -75,6 +107,11 @@ class RollingAggregator:
         self._lock = threading.Lock()
         self.now = 0.0  # newest event timestamp observed
         self.events_seen = 0
+        self.tenant_budget = tenant_budget
+        self.top_k = top_k
+        self._tenants = TenantSpill(
+            budget=tenant_budget, top_k=top_k, shards=sketch_shards
+        )
 
     # -- ingestion ---------------------------------------------------------------
 
@@ -87,12 +124,18 @@ class RollingAggregator:
             if value is not None:
                 keys.append((event.kind, str(value)))
         tenant = fields.get("tenant")
-        if tenant is not None:
-            keys.append((event.kind, "tenant", str(tenant)))
         latency = None
         if event.kind == "settled" and fields.get("outcome") == "ok":
             latency = fields.get("latency_s")
         with self._lock:
+            if tenant is not None:
+                # over-budget tenants fold into the single overflow key;
+                # the spill sketches keep their per-tenant frequencies
+                # (weighed by request-level events only, see WEIGHED_KINDS)
+                routed = self._tenants.admit(
+                    str(tenant), 1 if event.kind in WEIGHED_KINDS else 0
+                )
+                keys.append((event.kind, "tenant", routed))
             if event.ts_s > self.now:
                 self.now = event.ts_s
             self.events_seen += 1
@@ -192,6 +235,91 @@ class RollingAggregator:
             return 0.0
         return self.count(numerator, window_s, now) / denom
 
+    # -- tenant governance queries -------------------------------------------------
+
+    def key_census(self) -> dict:
+        """Distinct keys held across the whole ring (boundedness probe).
+
+        ``tenant_keys`` can never exceed ``tenant_budget + 1`` distinct
+        tenants (the exact series plus the overflow key) times the event
+        kinds — the invariant the scale soak and the cardinality
+        regression test assert.
+        """
+        keys: set[tuple] = set()
+        tenants: set[str] = set()
+        with self._lock:
+            for slot in self._ring:
+                for key in slot.counts:
+                    keys.add(key)
+                    if len(key) == 3 and key[1] == "tenant":
+                        tenants.add(key[2])
+        return {"total_keys": len(keys), "tenant_keys": len(tenants)}
+
+    def overflow_ratio(self, window_s: float, now: float | None = None) -> float:
+        """Fraction of the window's tenant-keyed events in the overflow series.
+
+        0.0 means every active tenant has an exact series; climbing toward
+        1.0 means the exact budget no longer covers the traffic mix and
+        per-tenant answers increasingly come from sketches.
+        """
+        overflow = 0
+        total = 0
+        with self._lock:
+            for slot in self._window_slots(window_s, now):
+                for key, c in slot.counts.items():
+                    if len(key) == 3 and key[1] == "tenant":
+                        total += c
+                        if key[2] == OVERFLOW_KEY:
+                            overflow += c
+        return overflow / total if total else 0.0
+
+    def tenant_cardinality(self) -> int:
+        """Approximate distinct tenants ever observed (exact below budget)."""
+        with self._lock:
+            return self._tenants.cardinality()
+
+    def top_tenants(self, n: int | None = None) -> list[dict]:
+        """Global top-N tenants by lifetime request count (``WEIGHED_KINDS``).
+
+        Exact rows (in-budget tenants, ``error == 0``) rank beside sketched
+        rows from the shard→global Space-Saving merge — the hierarchical
+        rollup that replaces iterating every tenant key.  Shard merges
+        performed here are reported as ``acctee_sketch_merges``.  The
+        ``events`` field counts admission attempts, the one-per-request
+        weight the spill sketches fold.
+        """
+        with self._lock:
+            merges_before = self._tenants.merges
+            rows = self._tenants.top(n)
+            merges = self._tenants.merges - merges_before
+        if merges:
+            from repro.obs.instruments import SKETCH_MERGES
+
+            SKETCH_MERGES.inc(merges, kind="rollup")
+        return [
+            {"tenant": key, "events": count, "error": error, "exact": exact}
+            for key, count, error, exact in rows
+        ]
+
+    def tenant_estimate(self, tenant: str) -> tuple[int, int]:
+        """``(count, error)`` lifetime request estimate for one tenant.
+
+        Exact (error 0) for in-budget tenants; a Count-Min upper bound
+        with the Space-Saving error term for spilled ones.  Counts weigh
+        request-level events only (``WEIGHED_KINDS``).
+        """
+        with self._lock:
+            tracked = self._tenants._tracked.get(tenant)
+            if tracked is not None:
+                return tracked, 0
+            estimate = self._tenants.estimate(tenant)
+            return estimate, estimate
+
+    def tenant_spill_info(self) -> dict:
+        """Governance counters for the snapshot / ``repro top`` footer."""
+        with self._lock:
+            return self._tenants.to_json()
+
     def snapshot(self, window_s: float, now: float | None = None) -> dict:
         """A JSON-friendly window summary (what ``repro top`` renders)."""
         with self._lock:
@@ -200,6 +328,7 @@ class RollingAggregator:
             for slot in slots:
                 for key, c in slot.counts.items():
                     counts[key] = counts.get(key, 0) + c
+            spill = self._tenants.to_json()
         return {
             "window_s": window_s,
             "now": self.now if now is None else now,
@@ -212,4 +341,11 @@ class RollingAggregator:
                 "mean": self.mean_latency(window_s, now),
             },
             "throughput_rps": self.rate(("settled", "ok"), window_s, now),
+            "tenants": {
+                "cardinality": spill["cardinality"],
+                "tracked": spill["tracked"],
+                "spilled_labelsets": spill["spilled_labelsets"],
+                "budget": spill["budget"],
+                "top": self.top_tenants(self.top_k),
+            },
         }

@@ -23,6 +23,13 @@ Signals (the vocabulary both rule kinds share)::
     rate:<kind>[:<sub>]       events per second over the window
     rejection_ratio           reject / (admit + reject)
     failure_ratio             non-ok settlements / all settlements
+    tenant_cardinality        approx. distinct tenants ever observed (window-free)
+    overflow_ratio            over-budget-tenant events / all tenant events
+
+The two tenant signals read the aggregator's cardinality governor, not the
+raw key space, so evaluating them stays O(top-K) at any tenant count — an
+alert on ``overflow_ratio`` tells an operator the exact-series budget no
+longer covers the traffic mix.
 
 Alerts are **edge-triggered**: a rule that stays breached across consecutive
 evaluations produces one :class:`Alert` when it starts firing (and the engine
@@ -100,6 +107,10 @@ def resolve_signal(agg: RollingAggregator, signal: str, window_s: float, now=Non
         settled = agg.count(("settled",), window_s, now)
         ok = agg.count(("settled", "ok"), window_s, now)
         return (settled - ok) / settled if settled else 0.0
+    if signal == "tenant_cardinality":
+        return float(agg.tenant_cardinality())
+    if signal == "overflow_ratio":
+        return agg.overflow_ratio(window_s, now)
     if signal.startswith("count:"):
         return float(agg.count(tuple(signal.split(":")[1:]), window_s, now))
     if signal.startswith("rate:"):

@@ -1109,20 +1109,46 @@ class MeteringGateway:
 # -- synthetic tenant mixes and the load-test driver ---------------------------
 
 
-def polybench_tenant_mix(kernels: tuple[str, ...] = ()) -> list[tuple[str, Module, tuple[str, tuple]]]:
+def polybench_tenant_mix(
+    kernels: tuple[str, ...] = (), tenants: int | None = None
+) -> list[tuple[str, Module, tuple[str, tuple]]]:
     """A mixed-tenant workload: one tenant per PolyBench kernel.
 
     Returns ``(tenant_id, module, (export, args))`` triples.  The default
     mix spans linear algebra, solvers and a stencil — small enough to load
     quickly, varied enough that request service times differ by ~10x.
+
+    ``tenants`` fans the mix out to that many distinct tenants, cycling the
+    kernels (``tenant-atax-000``, ``tenant-bicg-001``, …) — the same
+    workload shapes under many more tenant identities, for exercising
+    admission sharding and telemetry cardinality through the *real*
+    gateway.  Each registered tenant mints an attested AE (an RSA keypair,
+    ~1 s of pure-python keygen apiece), so real-gateway fan-out is for
+    tens-to-hundreds of tenants; the million-tenant scale soak
+    (:mod:`repro.obs.soak`) models the backend instead.
     """
     from repro.workloads.polybench import POLYBENCH_KERNELS
 
     names = kernels or ("atax", "bicg", "mvt", "trisolv", "gesummv", "jacobi-1d")
     mix = []
-    for name in names:
-        spec = POLYBENCH_KERNELS[name]
-        mix.append((f"tenant-{name}", spec.compile().clone(), spec.run))
+    if tenants is None:
+        for name in names:
+            spec = POLYBENCH_KERNELS[name]
+            mix.append((f"tenant-{name}", spec.compile().clone(), spec.run))
+        return mix
+    if tenants < 1:
+        raise ValueError("tenants must be >= 1")
+    # compile each kernel once; clone per tenant so instances stay isolated
+    compiled = {name: POLYBENCH_KERNELS[name].compile() for name in names}
+    for i in range(tenants):
+        name = names[i % len(names)]
+        mix.append(
+            (
+                f"tenant-{name}-{i:03d}",
+                compiled[name].clone(),
+                POLYBENCH_KERNELS[name].run,
+            )
+        )
     return mix
 
 
@@ -1189,6 +1215,7 @@ def run_loadtest(
     trace_out: str | None = None,
     seal_window: int | None = 16,
     adaptive: bool = True,
+    tenants: int | None = None,
 ) -> dict:
     """Drive the gateway at each worker count and report wall-clock numbers.
 
@@ -1251,6 +1278,14 @@ def run_loadtest(
     box has fewer cores than the widest sweep point (a 1-core runner
     cannot demonstrate a parallelism cliff, only scheduler thrash).
 
+    ``tenants`` fans the kernel mix out to that many distinct tenant
+    identities (see :func:`polybench_tenant_mix`) — useful for driving
+    admission sharding and telemetry cardinality through the real gateway
+    at tens-to-hundreds of tenants.  Per-tenant AE keygen makes larger
+    fan-outs impractical here; the synthetic scale soak
+    (``repro soak`` / :mod:`repro.obs.soak`) covers 10^3..10^6 tenants
+    with a modeled backend instead.
+
     ``preempt_after`` turns on budget-boundary preemption: every request is
     suspended after that many executed instructions per slice, checkpoint-
     billed, and re-dispatched from its snapshot.  Aggregate billing must be
@@ -1265,7 +1300,7 @@ def run_loadtest(
             "preemption and warm pools need backend='wasm': the modeled "
             "backend does not execute requests"
         )
-    mix = polybench_tenant_mix(kernels)
+    mix = polybench_tenant_mix(kernels, tenants=tenants)
     schedule = _request_schedule(mix, requests)
     plan: FaultPlan | None = None
     if faults is not None:

@@ -13,6 +13,17 @@ Four quota dimensions, mirroring what the paper's provider would sell:
 * **memory cap** — the workload's declared linear-memory requirement;
 * **queue depth** — in-flight + queued requests per tenant;
 * **request rate** — a token bucket (sustained rate plus burst).
+
+Tenant state is **lazy and bounded** when the controller is configured for
+scale: with a ``default_quota``, unseen tenants are instantiated on first
+admit instead of requiring up-front registration, and with ``max_resident``
+the per-shard population is capped by evicting the least-recently-admitted
+*idle* lazy tenant (``in_flight == 0``; explicitly registered tenants are
+pinned and never evicted).  An evicted tenant that returns is re-admitted
+under a fresh default-quota state — per-epoch spend tracking restarts for
+it, which is the deliberate trade for O(active) rather than O(ever-seen)
+memory; evictions are counted (``acctee_quota_evictions``) so the billing
+auditor can see how much history was shed.
 """
 
 from __future__ import annotations
@@ -22,7 +33,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.obs.instruments import GATEWAY_QUEUE_DEPTH, GATEWAY_REJECTIONS
+from repro.obs.instruments import (
+    GATEWAY_QUEUE_DEPTH,
+    GATEWAY_REJECTIONS,
+    QUOTA_EVICTIONS,
+)
 from repro.service.sharding import DEFAULT_SHARDS, shard_index_for
 
 
@@ -84,8 +99,11 @@ class TenantQuota:
     burst: int = 1  # token-bucket capacity when rate limiting is on
 
 
-@dataclass
+@dataclass(slots=True)
 class _TenantState:
+    # slots=True matters here: at scale these states are minted on the
+    # admit hot path (lazy tenants churn through the resident cap), and a
+    # slotted instance constructs measurably faster and ~3x smaller
     quota: TenantQuota
     in_flight: int = 0
     spent_instructions: int = 0  # this epoch
@@ -97,6 +115,9 @@ class _TenantState:
     admitted: int = 0
     rejected: int = 0
     settled: int = 0
+    # registered tenants are pinned (never evicted); lazily instantiated
+    # default-quota tenants are fair game for the idle LRU
+    pinned: bool = True
 
     def __post_init__(self) -> None:
         self.tokens = float(self.quota.burst)
@@ -126,11 +147,25 @@ class AdmissionController:
         self,
         clock: Callable[[], float] = time.monotonic,
         shards: int = DEFAULT_SHARDS,
+        default_quota: TenantQuota | None = None,
+        max_resident: int | None = None,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
+        if max_resident is not None and max_resident < shards:
+            raise ValueError("max_resident must be >= shards (one slot per shard)")
         self._clock = clock
         self._shards = [_Shard() for _ in range(shards)]
+        self.default_quota = default_quota
+        self.max_resident = max_resident
+        # per-shard slice of the global resident cap, rounded up so the sum
+        # across shards is never below max_resident
+        self._shard_cap = (
+            None
+            if max_resident is None
+            else -(-max_resident // shards)
+        )
+        self.evictions = 0
 
     @property
     def shards(self) -> int:
@@ -142,7 +177,40 @@ class AdmissionController:
     def register(self, tenant_id: str, quota: TenantQuota) -> None:
         shard = self._shard(tenant_id)
         with shard.lock:
-            shard.tenants[tenant_id] = _TenantState(quota=quota)
+            shard.tenants[tenant_id] = _TenantState(quota=quota, pinned=True)
+
+    def resident(self) -> int:
+        """Tenant states currently held in memory, across all shards."""
+        total = 0
+        for shard in self._shards:
+            with shard.lock:
+                total += len(shard.tenants)
+        return total
+
+    def _evict_idle(self, shard: _Shard, keep: str) -> None:
+        """Shed the least-recently-admitted idle lazy tenant; holds the lock.
+
+        Dict order is insertion order and :meth:`admit` re-inserts a lazy
+        tenant's entry on every successful admission, so iteration order
+        *is* recency order for evictable states.  Pinned or in-flight
+        tenants are skipped; if everything is busy the shard temporarily
+        exceeds its cap rather than rejecting traffic (in-flight counts
+        are bounded by queue-depth quotas, so so is the excess).
+        """
+        if self._shard_cap is None or len(shard.tenants) <= self._shard_cap:
+            return
+        for tenant_id, state in shard.tenants.items():
+            if tenant_id == keep or state.pinned or state.in_flight > 0:
+                continue
+            del shard.tenants[tenant_id]
+            self.evictions += 1
+            # the metric is reported in batches of 64: at scale an eviction
+            # happens on nearly every tail-tenant admit, and a per-event
+            # counter inc would be real hot-path overhead.  self.evictions
+            # stays exact; the metric is at most a batch behind.
+            if self.evictions % 64 == 0:
+                QUOTA_EVICTIONS.inc(64)
+            return
 
     def quota(self, tenant_id: str) -> TenantQuota:
         state = self._shard(tenant_id).tenants.get(tenant_id)
@@ -160,10 +228,19 @@ class AdmissionController:
         """
         shard = self._shard(tenant_id)
         with shard.lock:
+            fresh = False
             state = shard.tenants.get(tenant_id)
             if state is None:
-                GATEWAY_REJECTIONS.inc(tenant=tenant_id, reason=UnknownTenant.code)
-                raise UnknownTenant(f"tenant {tenant_id!r} is not registered")
+                if self.default_quota is None:
+                    GATEWAY_REJECTIONS.inc(tenant=tenant_id, reason=UnknownTenant.code)
+                    raise UnknownTenant(f"tenant {tenant_id!r} is not registered")
+                # lazy instantiation: first contact mints a default-quota
+                # state instead of demanding up-front registration
+                state = shard.tenants[tenant_id] = _TenantState(
+                    quota=self.default_quota, pinned=False
+                )
+                fresh = True
+                self._evict_idle(shard, keep=tenant_id)
             quota = state.quota
             try:
                 if (
@@ -206,7 +283,19 @@ class AdmissionController:
                 raise
             state.in_flight += 1
             state.admitted += 1
-            GATEWAY_QUEUE_DEPTH.set(state.in_flight, tenant=tenant_id)
+            if self._shard_cap is not None and not state.pinned and not fresh:
+                # re-insert so dict order tracks admission recency: the LRU
+                # scan in _evict_idle reads insertion order as recency (a
+                # freshly minted state is already last in dict order)
+                del shard.tenants[tenant_id]
+                shard.tenants[tenant_id] = state
+            if state.pinned:
+                # per-tenant queue depth is only published for registered
+                # tenants: for lazily minted mass tenants the series would
+                # all route to the __other__ overflow key, where last-write-
+                # wins depth is meaningless — exactly the unbounded-
+                # cardinality telemetry the governance layer exists to shed
+                GATEWAY_QUEUE_DEPTH.set(state.in_flight, tenant=tenant_id)
 
     def settle(self, tenant_id: str, weighted_instructions: int = 0) -> None:
         """Record one finished request: free its slot, charge its budget."""
@@ -218,7 +307,8 @@ class AdmissionController:
             state.in_flight = max(0, state.in_flight - 1)
             state.spent_instructions += weighted_instructions
             state.settled += 1
-            GATEWAY_QUEUE_DEPTH.set(state.in_flight, tenant=tenant_id)
+            if state.pinned:
+                GATEWAY_QUEUE_DEPTH.set(state.in_flight, tenant=tenant_id)
 
     def reset_epoch(self) -> None:
         """Start a new accounting epoch: instruction budgets reset."""

@@ -247,3 +247,72 @@ def test_validation_prevents_the_same_corruption(tmp_path):
         point["faults"]["results_rejected"] for point in result["sweep"]
     )
     assert rejected > 0
+
+
+# -- streaming (tenant-batched) mode -------------------------------------------
+
+
+def _many_tenant_ledger(rsa_keypair, tenants: list) -> BillingLedger:
+    ledger = BillingLedger(owner="gw-test")
+    for tenant in tenants:
+        ledger.register_tenant(tenant, rsa_keypair.public)
+    request_id = 0
+    for tenant in tenants:
+        # one AE log per tenant: receipt chains are per-tenant sequences
+        ae_log = ResourceUsageLog(signing_key=rsa_keypair)
+        for _ in range(2):
+            entry = ae_log.append(_vector(100), b"\x01" * 32, b"\x02" * 32)
+            ledger.record(tenant, entry, request_id=request_id)
+            request_id += 1
+    return ledger
+
+
+def _all_receipt_events(ledger: BillingLedger, tenants: list) -> list:
+    events = []
+    seq = 0
+    for tenant in tenants:
+        for receipt in ledger.receipts(tenant):
+            seq += 1
+            events.append(Event(seq=seq, ts_s=float(seq), kind="receipt", fields={
+                "gateway": "gw-test",
+                "tenant": tenant,
+                "request_id": receipt.request_id,
+                "weighted_instructions":
+                    receipt.entry.vector.weighted_instructions,
+            }))
+    return events
+
+
+def test_streaming_tenant_batches_match_single_pass(rsa_keypair):
+    """The bounded-memory audit mode finds exactly what one pass finds.
+
+    Streaming mode holds one tenant-shard batch's event narrative at a
+    time instead of a dict over every tenant; with a deliberate drift
+    planted for one tenant, both modes must report identical findings and
+    identical coverage counts.
+    """
+    tenants = ["tenant-%02d" % i for i in range(7)]
+    ledger = _many_tenant_ledger(rsa_keypair, tenants)
+    ledger.seal_epoch()
+    events = _all_receipt_events(ledger, tenants)
+    # drop one receipt event: the audit must flag that tenant's narrative
+    dropped = next(
+        i for i, e in enumerate(events)
+        if e.fields["tenant"] == "tenant-03"
+    )
+    events = events[:dropped] + events[dropped + 1:]
+
+    single = audit_billing(ledger, events=events, gateway_id="gw-test")
+    for batch in (1, 2, 3, 100):
+        streamed = audit_billing(
+            ledger, events=events, gateway_id="gw-test", tenant_batch=batch
+        )
+        assert {(f.code, f.tenant) for f in streamed.findings} == {
+            (f.code, f.tenant) for f in single.findings
+        }
+        assert streamed.ok == single.ok
+        assert streamed.tenants_checked == single.tenants_checked
+        assert streamed.receipts_checked == single.receipts_checked
+        assert streamed.events_checked == single.events_checked
+    assert not single.ok  # the planted drift really was found
+    assert any(f.tenant == "tenant-03" for f in single.findings)

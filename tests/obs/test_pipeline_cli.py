@@ -173,3 +173,76 @@ def test_top_plain_renders_frames_and_summary(tmp_path, capsys):
     meta = json.loads(events.read_text().splitlines()[0])
     assert meta["kind"] == "_meta"
     assert meta["emitted"] > 0
+
+
+def test_top_tenant_table_renders_sorted_rows_and_footer(tmp_path, capsys):
+    assert main([
+        "top", "--plain", "--duration", "1.0", "--interval", "0.4",
+        "--workers", "2", "--backend", "modeled", "--time-scale", "0",
+        "--kernels", "trisolv", "--tenants", "9", "--top-k", "4",
+        "--sort", "tenant",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "top tenants by tenant" in out
+    # only --top-k rows are ranked; the rest are summarised, never dropped
+    assert "(+5 more tenants)" in out
+    # sorted by the chosen column: each frame's rows appear in tenant
+    # order (examine the final summary frame only — frames repeat)
+    final = out[out.rindex("top tenants by tenant"):]
+    rows = [line for line in final.splitlines()
+            if line.startswith("    tenant-trisolv-")]
+    assert rows and rows == sorted(rows)
+
+
+def test_tenant_table_truncates_to_terminal_height(monkeypatch):
+    from repro.cli import _tenant_table_lines
+    from repro.obs.events import Event
+    from repro.obs.rollup import RollingAggregator
+
+    agg = RollingAggregator(slice_s=1.0, slices=4, tenant_budget=64, top_k=64)
+    for i in range(40):
+        agg.observe(Event(seq=i, ts_s=1.0, kind="admit",
+                          fields={"tenant": "t%02d" % i}))
+    monkeypatch.setenv("LINES", "12")
+    monkeypatch.setenv("COLUMNS", "80")
+    lines = _tenant_table_lines(agg, top_k=40, sort="events",
+                                plain=False, reserved_lines=4)
+    assert len(lines) <= 12 - 4
+    assert lines[-1].strip().startswith("(+")
+    assert lines[-1].strip().endswith("more tenants)")
+    # --plain skips height truncation (frames go to pipes)
+    plain_lines = _tenant_table_lines(agg, top_k=40, sort="events",
+                                      plain=True, reserved_lines=4)
+    assert len(plain_lines) == 1 + 40
+
+
+# -- repro soak ----------------------------------------------------------------
+
+
+def test_soak_cli_writes_gated_bench_json(tmp_path, capsys):
+    out = tmp_path / "scale.json"
+    assert main([
+        "soak", "--tenants", "200,2000", "--requests", "1500",
+        "--no-isolate", "--out", str(out),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "overhead ratio" in printed
+    assert "gates:" in printed
+    report = json.loads(out.read_text())
+    assert report["ok"] is True
+    assert [p["tenants"] for p in report["points"]] == [200, 2000]
+    for point in report["points"]:
+        assert point["structures"]["rollup_tracked"] <= 64
+        assert point["per_request_us_norm"] > 0
+
+
+def test_soak_cli_exits_nonzero_on_gate_failure(tmp_path, capsys):
+    out = tmp_path / "scale.json"
+    # an impossible flatness bound forces the overhead gate to fail
+    assert main([
+        "soak", "--tenants", "200,2000", "--requests", "800",
+        "--no-isolate", "--max-overhead-ratio", "0.01", "--out", str(out),
+    ]) == 1
+    report = json.loads(out.read_text())
+    assert report["ok"] is False
+    assert report["gates"]["overhead_ok"] is False
